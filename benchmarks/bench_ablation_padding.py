@@ -1,0 +1,39 @@
+"""Ablation: shared-memory padding on/off (bank conflicts, Section 3.2).
+
+"We employ a padding technique for efficient data exchange without bank
+conflicts."  Without it, the 16-way conflicted exchanges serialize and the
+step-5 kernel turns compute-bound everywhere.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.kernels import shared_x_step_spec
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import ALL_GPUS
+from repro.gpu.timing import time_kernel
+from repro.util.tables import Table
+
+
+def run():
+    out = {}
+    for device in ALL_GPUS:
+        ms = MemorySystem(device)
+        padded = shared_x_step_spec(device, 256, 65536, padded=True)
+        conflicted = shared_x_step_spec(device, 256, 65536, padded=False)
+        out[device.name] = (
+            time_kernel(device, padded, ms).seconds,
+            time_kernel(device, conflicted, ms).seconds,
+        )
+    return out
+
+
+def test_padding_ablation(benchmark, show):
+    times = run_once(benchmark, run)
+    t = Table(["Model", "Padded (ms)", "Conflicted (ms)", "Slowdown"],
+              title="Ablation: shared-memory padding in step 5")
+    for name, (good, bad) in times.items():
+        t.add_row([name, f"{good * 1e3:.2f}", f"{bad * 1e3:.2f}",
+                   f"{bad / good:.2f}x"])
+    show("Bank-conflict padding ablation", t.render())
+    for name, (good, bad) in times.items():
+        # 16-way serialized exchanges at least double the kernel time.
+        assert bad > 2.0 * good, name

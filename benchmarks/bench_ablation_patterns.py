@@ -1,0 +1,46 @@
+"""Ablation: the five-step pattern ordering vs a naive write ordering.
+
+"The transposes are performed in the order so as to optimize the memory
+access patterns to maximize the memory bandwidth" (Section 3.1).  This
+bench re-targets the step writes at the C/D positions instead of A/B and
+measures what that ordering costs.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.kernels import multirow_step_spec
+from repro.core.patterns import FiveDimView
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.gpu.timing import time_kernel
+from repro.util.tables import Table
+
+
+def run():
+    device = GEFORCE_8800_GTX
+    ms = MemorySystem(device)
+    view = FiveDimView((256, 16, 16, 16, 16))
+    out = FiveDimView((256, 16, 16, 16, 16))
+    times = {}
+    for star_out, label in ((2, "write A (paper)"), (3, "write B (paper)"),
+                            (4, "write C (naive)"), (5, "write D (naive)")):
+        spec = multirow_step_spec(
+            device, view, out, star_out, 0, view.total_bytes, False,
+            f"step-writes-{label}",
+        )
+        times[label] = time_kernel(device, spec, ms).seconds
+    return times
+
+
+def test_pattern_ordering_ablation(benchmark, show):
+    times = run_once(benchmark, run)
+    t = Table(["Write pattern", "Step time (ms)", "GB/s"],
+              title="Ablation: step write-pattern choice (D reads, GTX)")
+    total = 2 * 256**3 * 8
+    for label, s in times.items():
+        t.add_row([label, f"{s * 1e3:.2f}", f"{total / s / 1e9:.1f}"])
+    show("Pattern-ordering ablation", t.render())
+    best_paper = min(times["write A (paper)"], times["write B (paper)"])
+    worst_naive = max(times["write C (naive)"], times["write D (naive)"])
+    # The paper's ordering buys a significant margin on every step.
+    assert worst_naive > 1.15 * best_paper
+    assert times["write D (naive)"] > times["write A (paper)"]

@@ -1,0 +1,45 @@
+"""Ablation: slab count for the out-of-core 512^3 transform.
+
+The paper picks eight slabs (the minimum whose two buffers fit a 512 MB
+card).  More slabs fit smaller cards but add per-transfer setup and
+lower per-slab FFT efficiency; this bench prices the options.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.out_of_core import OutOfCorePlan
+from repro.gpu.specs import GEFORCE_8800_GT
+from repro.util.tables import Table
+
+
+def run():
+    out = {}
+    for slabs in (8, 16, 32, 64):
+        plan = OutOfCorePlan(512, GEFORCE_8800_GT, n_slabs=slabs)
+        out[slabs] = plan.estimate()
+    return out
+
+
+def test_slab_count_ablation(benchmark, show):
+    results = run_once(benchmark, run)
+    t = Table(
+        ["Slabs", "Slab shape", "Stage-1 FFT (s)", "Transfers (s)",
+         "Total (s)", "GFLOPS"],
+        title="Out-of-core 512^3 slab-count ablation (8800 GT)",
+    )
+    for slabs, e in results.items():
+        t.add_row([
+            slabs,
+            f"{512 // slabs} x 512 x 512",
+            f"{e.stage1_fft:.3f}",
+            f"{e.transfer_seconds:.3f}",
+            f"{e.total_seconds:.2f}",
+            f"{e.total_gflops:.1f}",
+        ])
+    show("Slab-count ablation", t.render())
+
+    # The paper's choice (fewest slabs that fit) is the fastest.
+    totals = {k: v.total_seconds for k, v in results.items()}
+    assert totals[8] == min(totals.values())
+    # Transfers dominate at every slab count — the Section 3.3 story.
+    for e in results.values():
+        assert e.transfer_seconds > 0.5 * e.total_seconds

@@ -1,0 +1,35 @@
+"""Ablation: autotuned launch configuration vs the alternatives.
+
+Automates the paper's hand-tuning ("optimizing the number of threads and
+registers through appropriate localization") and prices the whole search
+frontier, confirming the published configuration is on it.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.tuner import tune_multirow_step
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.util.tables import Table
+
+
+def test_tuner_ablation(benchmark, show):
+    result = run_once(benchmark, lambda: tune_multirow_step(GEFORCE_8800_GTX))
+    t = Table(
+        ["Radix", "Threads/block", "Registers", "Active/SM", "Passes",
+         "Axis time (rel)"],
+        title="Launch-configuration search frontier (8800 GTX, Y/Z axis)",
+    )
+    best = result.best.axis_seconds
+    shown = set()
+    for c in sorted(result.candidates, key=lambda c: c.axis_seconds):
+        if c.radix in shown:
+            continue
+        shown.add(c.radix)
+        t.add_row([c.radix, c.threads_per_block, c.registers,
+                   c.active_threads_per_sm, c.passes,
+                   f"{c.axis_seconds / best:.2f}x"])
+    show("Autotuner ablation (best per radix)", t.render())
+
+    assert result.best.radix == 16            # the paper's decomposition
+    assert result.by_radix(16).active_threads_per_sm >= 128
+    assert result.by_radix(64).axis_seconds > 2 * best  # register cliff
+    assert result.by_radix(4).axis_seconds > 1.5 * best  # pass overhead

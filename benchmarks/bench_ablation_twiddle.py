@@ -1,0 +1,62 @@
+"""Ablation: twiddle-factor storage options for the step-5 kernel.
+
+Section 3.2 lists four options and picks texture for step 5.  This bench
+prices each option into the step-5 kernel (extra registers -> occupancy;
+extra issue slots -> compute time) and checks the paper's choice wins.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.core.kernels import shared_x_step_spec
+from repro.core.twiddle_options import TWIDDLE_OPTIONS, TwiddleOption, twiddle_cost
+from repro.gpu.isa import InstructionMix
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import GEFORCE_8800_GTS
+from repro.gpu.timing import time_kernel
+from repro.util.tables import Table
+
+#: Twiddle uses per 256-point transform (one per butterfly output round).
+N_USES = 256.0
+#: Distinct values a thread would have to keep live for option (1).
+N_VALUES_PER_THREAD = 12
+
+
+def run():
+    device = GEFORCE_8800_GTS
+    ms = MemorySystem(device)
+    base = shared_x_step_spec(device, 256, 65536, twiddles_via_texture=False)
+    times = {}
+    for option in TWIDDLE_OPTIONS:
+        cost = twiddle_cost(option, device)
+        mix = InstructionMix(
+            flops=base.mix.flops,
+            fma_fraction=base.mix.fma_fraction,
+            shared_ops=base.mix.shared_ops,
+            other_ops=base.mix.other_ops + cost.extra_issue(N_USES),
+            overhead_fraction=base.mix.overhead_fraction,
+        )
+        spec = replace(
+            base,
+            name=f"step5-twiddle-{option.value}",
+            mix=mix,
+            regs_per_thread=base.regs_per_thread
+            + cost.extra_registers(N_VALUES_PER_THREAD),
+        )
+        times[option] = time_kernel(device, spec, ms).seconds
+    return times
+
+
+def test_twiddle_option_ablation(benchmark, show):
+    times = run_once(benchmark, run)
+    t = Table(["Option", "Step-5 time (ms)"],
+              title="Ablation: twiddle storage for step 5 (8800 GTS)")
+    for option, s in times.items():
+        t.add_row([option.value, f"{s * 1e3:.2f}"])
+    show("Twiddle-storage ablation", t.render())
+    # The paper's pick: texture is the best register-free option and not
+    # slower than any alternative for this kernel.
+    assert times[TwiddleOption.TEXTURE] <= min(times.values()) * 1.001
+    # Recomputing with SFU instructions costs measurably more.
+    assert times[TwiddleOption.COMPUTE] > times[TwiddleOption.TEXTURE]
+    assert times[TwiddleOption.CONSTANT] > times[TwiddleOption.TEXTURE]

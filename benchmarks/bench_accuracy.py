@@ -1,0 +1,35 @@
+"""Numerical-accuracy bench: the Section 4.5 precision question.
+
+Measures forward and round-trip error of the five-step transform in both
+precisions across sizes (the paper could only run single precision; the
+double column is its stated future work).
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.accuracy import accuracy_sweep
+from repro.util.tables import Table
+
+
+def test_accuracy_sweep(benchmark, show):
+    reports = run_once(
+        benchmark,
+        lambda: accuracy_sweep(sizes=(16, 32, 64), engines=("five_step",),
+                               precisions=("single", "double")),
+    )
+    t = Table(["Size", "Precision", "Forward rel. error", "Roundtrip error"],
+              title="Five-step transform accuracy vs float64 reference")
+    for r in reports:
+        t.add_row([f"{r.shape[0]}^3", r.precision,
+                   f"{r.forward_error:.2e}", f"{r.roundtrip_error:.2e}"])
+    show("Accuracy sweep (Section 4.5)", t.render())
+
+    singles = [r for r in reports if r.precision == "single"]
+    doubles = [r for r in reports if r.precision == "double"]
+    for r in singles:
+        assert r.forward_error < 1e-5
+        assert r.within_single_precision_budget()
+    for r in doubles:
+        assert r.forward_error < 1e-12
+    # Double precision buys ~7 orders of magnitude.
+    for s, d in zip(singles, doubles):
+        assert s.forward_error > 1e4 * d.forward_error

@@ -1,0 +1,45 @@
+"""Application bench: a DNS time step's FFT bill (the paper's HPC case).
+
+Runs real pseudo-spectral Navier-Stokes steps (functional, measured by
+pytest-benchmark) and prices the same FFT bundle at production scale on
+the simulated cards — connecting the application layer to the paper's
+per-transform numbers.
+"""
+
+import numpy as np
+
+from repro.apps.spectral import SpectralNavierStokes, taylor_green_field
+from repro.core.estimator import estimate_fft3d
+from repro.gpu.specs import ALL_GPUS
+from repro.util.tables import Table
+
+
+def test_dns_step_functional(benchmark, show):
+    ns = SpectralNavierStokes(32, viscosity=1e-2)
+    ns.set_velocity(taylor_green_field(32))
+
+    def step():
+        ns.step(1e-3)
+        return ns.diagnostics()
+
+    diag = benchmark(step)
+    assert np.isfinite(diag.kinetic_energy)
+    assert diag.max_divergence < 1e-9
+
+    ffts_per_step = 18  # 2 RHS evaluations x 9 transforms
+    t = Table(
+        ["Model", "per 256^3 FFT (ms)", "per DNS step (ms)", "steps/hour"],
+        title="Projected DNS step cost at 256^3 (18 FFTs/step)",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        per_fft = estimate_fft3d(dev, 256).on_board_seconds
+        per_step = ffts_per_step * per_fft
+        rows[dev.name] = per_step
+        t.add_row([dev.name, f"{per_fft * 1e3:.1f}", f"{per_step * 1e3:.0f}",
+                   f"{3600 / per_step:.0f}"])
+    show("DNS workload projection", t.render())
+
+    # A 256^3 DNS step stays sub-second on every card — the capability
+    # claim behind the paper's turbulence motivation.
+    assert all(s < 1.0 for s in rows.values())

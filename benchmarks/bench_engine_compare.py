@@ -1,0 +1,38 @@
+"""Host-engine shootout: real wall-clock statistics per 1-D engine.
+
+pytest-benchmark timing of the four host engines on the same batched
+workload — the data the wisdom cache acts on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fft.bluestein import fft_any
+from repro.fft.cooley_tukey import fft_pow2
+from repro.fft.split_radix import split_radix_fft
+from repro.fft.stockham import stockham_fft
+
+ENGINES = {
+    "four_step": fft_pow2,
+    "stockham": stockham_fft,
+    "split_radix": split_radix_fft,
+    "bluestein_pow2_path": fft_any,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    return (
+        rng.standard_normal((512, 256)) + 1j * rng.standard_normal((512, 256))
+    ).astype(np.complex64)
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES), ids=str)
+def test_engine_throughput(benchmark, engine, workload):
+    fn = ENGINES[engine]
+    out = benchmark(fn, workload)
+    # Same answer from every engine.
+    np.testing.assert_allclose(
+        out, np.fft.fft(workload, axis=-1), rtol=1e-4, atol=1e-3
+    )

@@ -1,0 +1,20 @@
+"""Regenerate Figure 1: 256^3 performance across algorithms and cards."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig1(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("fig1"))
+    show("Figure 1: 3-D FFT of size 256^3 (GFLOPS)", result.text)
+    for name, row in result.rows.items():
+        # >3x CUFFT (the abstract's headline claim).
+        assert row["ours"] > 3.0 * row["cufft"], name
+        # ~2x the conventional transpose algorithm.
+        assert 1.5 < row["ours"] / row["conventional"] < 2.8, name
+        # Within 10% of the paper's own bar for our kernel.
+        assert row["ours"] == pytest.approx(row["paper"]["ours"], rel=0.10), name
+    # "nearly 80 GFLOPS on a top-end GPU".
+    assert result.rows["8800 GTX"]["ours"] > 75

@@ -1,0 +1,21 @@
+"""Regenerate Figure 3: 128^3 performance across algorithms and cards."""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig3(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("fig3"))
+    show("Figure 3: 3-D FFT of size 128^3 (GFLOPS)", result.text)
+    for name, row in result.rows.items():
+        assert row["ours"] > 2.5 * row["cufft"], name
+        assert row["ours"] > 1.5 * row["conventional"], name
+    # 128^3 sits between the 64^3 and 256^3 rates.
+    fig1 = run_experiment("fig1")
+    fig2 = run_experiment("fig2")
+    for name in result.rows:
+        assert (
+            fig2.rows[name]["ours"]
+            < result.rows[name]["ours"]
+            < fig1.rows[name]["ours"]
+        )

@@ -1,0 +1,74 @@
+"""Real wall-clock benchmarks of the functional FFT engines.
+
+Unlike the table/figure benches (which exercise the *performance model*),
+these measure the actual NumPy implementations with pytest-benchmark's
+full statistics — the numbers a user of the host library cares about.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.five_step import FiveStepPlan
+from repro.fft.codelets import fft16
+from repro.fft.cooley_tukey import fft_pow2
+from repro.fft.plan import PlanND
+from repro.fft.stockham import stockham_fft
+
+
+@pytest.fixture(scope="module")
+def batch16():
+    rng = np.random.default_rng(0)
+    return (
+        rng.standard_normal((65536, 16)) + 1j * rng.standard_normal((65536, 16))
+    ).astype(np.complex64)
+
+
+@pytest.fixture(scope="module")
+def line4096():
+    rng = np.random.default_rng(0)
+    return (
+        rng.standard_normal((256, 4096)) + 1j * rng.standard_normal((256, 4096))
+    ).astype(np.complex64)
+
+
+@pytest.fixture(scope="module")
+def cube64():
+    rng = np.random.default_rng(0)
+    return (
+        rng.standard_normal((64, 64, 64)) + 1j * rng.standard_normal((64, 64, 64))
+    ).astype(np.complex64)
+
+
+def test_codelet_fft16_batched(benchmark, batch16):
+    out = benchmark(fft16, batch16)
+    assert out.shape == batch16.shape
+
+
+def test_four_step_batched_4096(benchmark, line4096):
+    out = benchmark(fft_pow2, line4096)
+    assert out.shape == line4096.shape
+
+
+def test_stockham_batched_4096(benchmark, line4096):
+    out = benchmark(stockham_fft, line4096)
+    assert out.shape == line4096.shape
+
+
+def test_host_plan_3d_64(benchmark, cube64):
+    plan = PlanND((64, 64, 64), precision="single")
+    out = benchmark(plan.execute, cube64)
+    assert out.shape == cube64.shape
+
+
+def test_five_step_3d_64(benchmark, cube64):
+    plan = FiveStepPlan((64, 64, 64))
+    out = benchmark(plan.execute, cube64)
+    # Spot-check correctness inside the benchmark loop's last result.
+    ref = np.fft.fftn(cube64.astype(np.complex128))
+    assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+
+
+def test_numpy_reference_3d_64(benchmark, cube64):
+    """numpy.fft baseline for context in the same units."""
+    out = benchmark(np.fft.fftn, cube64)
+    assert out.shape == cube64.shape

@@ -1,0 +1,45 @@
+"""Extension bench: strong scaling of a slab-decomposed multi-GPU FFT.
+
+The paper's single-card PCIe findings, extrapolated: with the all-to-all
+exchange crossing the host bus, adding cards only pays once the link is
+fast enough — on the GTX's PCIe 1.1, two cards are *slower* than one.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core.multi_gpu import MultiGpuFFT3D
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+from repro.util.tables import Table
+
+
+def run():
+    return {
+        dev.name: MultiGpuFFT3D(256, 2, device=dev).scaling_curve((1, 2, 4, 8))
+        for dev in (GEFORCE_8800_GTX, GEFORCE_8800_GT)
+    }
+
+
+def test_multi_gpu_scaling(benchmark, show):
+    curves = run_once(benchmark, run)
+    t = Table(
+        ["Device", "GPUs", "XY (ms)", "Exchange (ms)", "Z (ms)",
+         "Total (ms)", "GFLOPS", "Exchange share"],
+        title="Strong scaling, 256^3 slab decomposition",
+    )
+    for name, curve in curves.items():
+        for g in sorted(curve):
+            e = curve[g]
+            t.add_row([
+                name, g,
+                f"{e.xy_seconds * 1e3:.1f}",
+                f"{e.exchange_seconds * 1e3:.1f}",
+                f"{e.z_seconds * 1e3:.1f}",
+                f"{e.total_seconds * 1e3:.1f}",
+                f"{e.total_gflops:.1f}",
+                f"{e.exchange_fraction * 100:.0f}%",
+            ])
+    show("Multi-GPU scaling (extension)", t.render())
+
+    gtx = curves["8800 GTX"]
+    assert gtx[2].total_seconds > gtx[1].total_seconds  # PCIe 1.1 loses
+    gt = curves["8800 GT"]
+    assert gt[8].total_seconds < gt[1].total_seconds    # PCIe 2.0 scales

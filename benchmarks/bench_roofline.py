@@ -1,0 +1,39 @@
+"""Roofline bench: the paper's title as a measurement.
+
+Places every five-step kernel on the 8800 GTX's roofline — all of them
+left of the machine-balance ridge, all memory-bound, the multirow steps
+realizing ~90% of their bandwidth roof.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.roofline import kernel_rooflines, ridge_intensity
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.util.tables import Table
+
+
+def test_roofline(benchmark, show):
+    points = run_once(benchmark, lambda: kernel_rooflines(GEFORCE_8800_GTX))
+    ridge = ridge_intensity(GEFORCE_8800_GTX)
+    t = Table(
+        ["Kernel", "Intensity (F/B)", "Roof (GFLOPS)", "Achieved", "Of roof",
+         "Bound"],
+        title=f"Roofline, 8800 GTX (ridge at {ridge:.1f} flops/byte)",
+    )
+    for p in points:
+        t.add_row([
+            p.kernel,
+            f"{p.intensity:.2f}",
+            f"{p.roof_gflops:.0f}",
+            f"{p.achieved_gflops:.1f}",
+            f"{p.roof_fraction * 100:.0f}%",
+            p.bound,
+        ])
+    show("Roofline analysis", t.render())
+
+    assert all(p.intensity < ridge for p in points)
+    assert all(p.bound == "memory" for p in points)
+    whole = points[-1]
+    assert whole.intensity == pytest.approx(1.5, rel=0.01)
+    assert whole.roof_fraction > 0.7

@@ -1,0 +1,29 @@
+"""The reproduction scorecard bench: every table's error, one screen."""
+
+from benchmarks.conftest import run_once
+from repro.harness.scorecard import scorecard
+from repro.util.tables import Table
+
+
+def test_scorecard(benchmark, show):
+    scores = run_once(benchmark, scorecard)
+    t = Table(
+        ["Experiment", "Comparisons", "Median error", "Max error",
+         "Worst case"],
+        title="Reproduction scorecard (model vs paper)",
+    )
+    for s in scores:
+        t.add_row([
+            s.experiment,
+            s.n,
+            f"{s.median_error * 100:.1f}%",
+            f"{s.max_error * 100:.1f}%",
+            s.worst_case,
+        ])
+    show("Scorecard", t.render())
+
+    for s in scores:
+        assert s.median_error < 0.10, s.experiment
+    core = {s.experiment: s for s in scores}
+    for name in ("table7", "table8", "table10", "table12"):
+        assert core[name].max_error < 0.10, name

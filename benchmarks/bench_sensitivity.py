@@ -1,0 +1,31 @@
+"""Calibration-sensitivity bench: the model is mechanisms, not curve fit.
+
+Perturbs every calibrated DRAM constant and prints how the headline
+256^3 GFLOPS and the single-stream anchor respond.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.sensitivity import sensitivity_study
+from repro.util.tables import Table
+
+
+def test_sensitivity(benchmark, show):
+    rows = run_once(benchmark, sensitivity_study)
+    t = Table(
+        ["Constant", "Range", "GFLOPS (lo/nom/hi)", "Swing",
+         "Anchor GB/s (lo/hi)"],
+        title="Calibrated-constant sensitivity (8800 GTX, 256^3)",
+    )
+    for r in rows:
+        lo, nom, hi = r.gflops
+        t.add_row([
+            r.field,
+            f"[{r.low_value:g}, {r.high_value:g}]",
+            f"{lo:.1f} / {nom:.1f} / {hi:.1f}",
+            f"{r.gflops_swing * 100:.0f}%",
+            f"{r.anchor_single[0]:.1f} / {r.anchor_single[2]:.1f}",
+        ])
+    show("Sensitivity study", t.render())
+
+    for r in rows:
+        assert r.gflops_swing < 0.15, r.field

@@ -1,0 +1,19 @@
+"""Regenerate the Section 2.1 stream-count sweep (calibration anchors)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_stream_sweep(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("streams"))
+    show("Section 2.1: multirow copy bandwidth vs stream count (8800 GTX)",
+         result.text)
+    # The two published anchors.
+    assert result.rows[1] == pytest.approx(71.7, rel=0.03)
+    assert result.rows[256] == pytest.approx(30.7, rel=0.05)
+    # Monotone non-increasing sweep.
+    values = [result.rows[c] for c in sorted(result.rows)]
+    for a, b in zip(values, values[1:]):
+        assert b <= a * 1.02

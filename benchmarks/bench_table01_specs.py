@@ -1,0 +1,16 @@
+"""Regenerate Table 1 (GPU specifications) from the device model."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_table1(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table1"))
+    show("Table 1: specifications of NVIDIA GeForce 8 series GPUs", result.text)
+    # Derived peaks must reproduce the printed columns.
+    assert result.rows["8800 GTX"]["gflops"] == pytest.approx(345.6, abs=1.0)
+    assert result.rows["8800 GTX"]["bandwidth"] == pytest.approx(86.4, abs=0.1)
+    assert result.rows["8800 GT"]["bandwidth"] == pytest.approx(57.6, abs=0.1)
+    assert result.rows["8800 GTS"]["gflops"] == pytest.approx(416.0, abs=1.0)

@@ -1,0 +1,23 @@
+"""Regenerate Table 3: pattern-pair bandwidth on the 8800 GT."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table3(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table3"))
+    show("Table 3: achieved bandwidth per access-pattern pair, 8800 GT",
+         result.text)
+    rows = result.rows
+    # A/B-involved pairs stay near the single-stream copy rate...
+    for pair in ("AA", "AB", "BA", "BB", "CA", "DA"):
+        assert rows[pair] > 40.0, pair
+    # ...while pure C/D pairs collapse (paper: 27.8-34.4 GB/s).
+    for pair in ("CC", "CD", "DC", "DD"):
+        assert rows[pair] < 38.0, pair
+    # Quantitative spot checks against the published cells.
+    assert rows["CC"] == pytest.approx(paper_data.TABLE3_GT["C"][2], rel=0.12)
+    assert rows["AA"] == pytest.approx(paper_data.TABLE3_GT["A"][0], rel=0.05)

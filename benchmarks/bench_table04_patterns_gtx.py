@@ -1,0 +1,25 @@
+"""Regenerate Table 4: pattern-pair bandwidth on the 8800 GTX."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table4(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table4"))
+    show("Table 4: achieved bandwidth per access-pattern pair, 8800 GTX",
+         result.text)
+    rows = result.rows
+    # Pairs touching A or B approach the 71.7 GB/s single-stream copy.
+    for pair in ("AA", "AB", "BA", "BB", "CA", "CB", "DA", "DB", "AC", "AD"):
+        assert rows[pair] > 60.0, pair
+    # Pure C/D pairs collapse toward ~44-51 GB/s.
+    for pair in ("CC", "CD", "DC", "DD"):
+        assert rows[pair] < 56.0, pair
+    assert rows["CC"] == pytest.approx(paper_data.TABLE4_GTX["C"][2], rel=0.10)
+    assert rows["AA"] == pytest.approx(paper_data.TABLE4_GTX["A"][0], rel=0.05)
+    # The five-step algorithm's pairs (D reads, A/B writes) stay fast.
+    assert rows["DA"] > 0.9 * rows["AA"]
+    assert rows["DB"] > 0.9 * rows["AA"]

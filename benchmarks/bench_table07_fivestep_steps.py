@@ -1,0 +1,25 @@
+"""Regenerate Table 7: per-step times of the bandwidth-intensive kernel."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table7(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table7"))
+    show("Table 7: our bandwidth-intensive kernel, 256^3", result.text)
+    for name, row in result.rows.items():
+        paper = paper_data.TABLE7[name]
+        assert row["step13_ms"] == pytest.approx(paper["step13"][0], rel=0.15), name
+        assert row["step24_ms"] == pytest.approx(paper["step24"][0], rel=0.15), name
+        assert row["step5_ms"] == pytest.approx(paper["step5"][0], rel=0.15), name
+    # GTX dominates the memory-bound steps 1-4...
+    assert (
+        result.rows["8800 GTX"]["step13_ms"]
+        < result.rows["8800 GTS"]["step13_ms"]
+        < result.rows["8800 GT"]["step13_ms"]
+    )
+    # ...but the GTS wins the compute-sensitive step 5 (Section 4.1).
+    assert result.rows["8800 GTS"]["step5_ms"] < result.rows["8800 GTX"]["step5_ms"]

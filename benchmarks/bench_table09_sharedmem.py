@@ -1,0 +1,23 @@
+"""Regenerate Table 9: the shared-memory effect on the 8800 GTS."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table9(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table9"))
+    show("Table 9: X-axis with shared memory / texture / non-coalesced "
+         "(8800 GTS, 256^3)", result.text)
+    rows = result.rows
+    # Strict ordering: shared < texture < non-coalesced.
+    assert rows["shared"]["total_ms"] < rows["texture"]["total_ms"]
+    assert rows["texture"]["total_ms"] < rows["non_coalesced"]["total_ms"]
+    # Section 4.3: "more than 25% performance advantage" for shared memory.
+    assert rows["texture"]["total_ms"] > 1.20 * rows["shared"]["total_ms"]
+    # Totals near the published ones.
+    for key, row in rows.items():
+        paper = paper_data.TABLE9_GTS[key]["total"]
+        assert row["total_ms"] == pytest.approx(paper, rel=0.15), key

@@ -1,0 +1,25 @@
+"""Regenerate Table 10: 256^3 including PCIe transfers."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table10(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table10"))
+    show("Table 10: 256^3 with host<->device data transfer", result.text)
+    for name, row in result.rows.items():
+        paper = paper_data.TABLE10[name]
+        assert row["total_ms"] == pytest.approx(paper["total"][0], rel=0.10), name
+        assert row["h2d_ms"] == pytest.approx(paper["h2d"][0], rel=0.10), name
+        # Transfers dominate on-board compute everywhere.
+        assert row["h2d_ms"] + row["d2h_ms"] > row["fft_ms"], name
+    # The ranking inversion: best on-board card is worst overall.
+    assert result.rows["8800 GTX"]["fft_ms"] == min(
+        r["fft_ms"] for r in result.rows.values()
+    )
+    assert result.rows["8800 GTX"]["total_ms"] == max(
+        r["total_ms"] for r in result.rows.values()
+    )

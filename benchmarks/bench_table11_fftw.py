@@ -1,0 +1,19 @@
+"""Regenerate Table 11: FFTW on the quad-core CPUs."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table11(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table11"))
+    show("Table 11: FFTW 3.2alpha2, single precision, 256^3", result.text)
+    for name, row in result.rows.items():
+        paper = paper_data.TABLE11[name]
+        assert row["ms"] == pytest.approx(paper[0], rel=0.05), name
+        assert row["gflops"] == pytest.approx(paper[1], rel=0.05), name
+    # Both CPUs land near 10.5 GFLOPS — an order of magnitude below the
+    # paper's GPU kernel.
+    assert all(9 < r["gflops"] < 12 for r in result.rows.values())

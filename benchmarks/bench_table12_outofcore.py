@@ -1,0 +1,22 @@
+"""Regenerate Table 12: the 512^3 out-of-core transform."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table12(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table12"))
+    show("Table 12: 512^3 out-of-core, per phase (seconds)", result.text)
+    for name in ("8800 GT", "8800 GTS", "8800 GTX"):
+        row = result.rows[name]
+        paper = paper_data.TABLE12[name]
+        assert row["total_s"] == pytest.approx(paper["total"], rel=0.10), name
+        assert row["gflops"] == pytest.approx(paper["gflops"], rel=0.10), name
+        # "data transfer occupies a large part of elapsed time".
+        assert row["transfer_s"] > 0.5 * row["total_s"], name
+    # Section 4.6: still up to ~50% faster than FFTW despite the PCIe tax.
+    assert result.rows["8800 GTS"]["total_s"] < result.rows["FFTW"]["total_s"]
+    assert result.rows["8800 GT"]["total_s"] < result.rows["FFTW"]["total_s"]

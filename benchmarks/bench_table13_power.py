@@ -1,0 +1,21 @@
+"""Regenerate Table 13: whole-system power and GFLOPS/W."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+
+def test_table13(benchmark, show):
+    result = run_once(benchmark, lambda: run_experiment("table13"))
+    show("Table 13: system power while repeating 256^3 FFTs", result.text)
+    cpu_eff = result.rows["CPU"]["gflops_per_watt"]
+    assert cpu_eff == pytest.approx(
+        paper_data.TABLE13["CPU (RIVA128)"]["eff"], rel=0.1
+    )
+    # Section 4.7: GPUs ~4x the CPU's GFLOPS/W.
+    for name in ("8800 GT", "8800 GTS", "8800 GTX"):
+        eff = result.rows[name]["gflops_per_watt"]
+        assert 3.0 < eff / cpu_eff < 6.0, name
+        assert eff == pytest.approx(paper_data.TABLE13[name]["eff"], rel=0.15)

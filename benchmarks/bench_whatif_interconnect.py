@@ -1,0 +1,46 @@
+"""What-if bench: the paper's "faster GPU interfaces" wish, quantified.
+
+Section 5: "the ideal solution being facilitation of faster GPU
+interfaces" — what would the 8800 GTX's 256^3 transform look like on
+PCIe 2.0 or a (then-future) PCIe 3.0 link, and where does adding memory
+bandwidth stop helping?
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.whatif import bandwidth_scaling_study, interconnect_study
+from repro.util.tables import Table
+
+
+def run():
+    return dict(
+        links=interconnect_study(),
+        scaling=bandwidth_scaling_study(factors=(0.5, 1.0, 1.5, 2.0, 3.0)),
+    )
+
+
+def test_whatif_interconnect(benchmark, show):
+    r = run_once(benchmark, run)
+
+    t = Table(["PCIe link", "Total GFLOPS", "Transfer penalty"],
+              title="8800 GTX, 256^3 incl. transfers, by interconnect")
+    for p in r["links"]:
+        t.add_row([p.link, f"{p.total_gflops:.1f}",
+                   f"{p.transfer_penalty * 100:.0f}%"])
+    show("What-if: faster GPU interfaces", t.render())
+
+    t2 = Table(["Memory BW factor", "On-board GFLOPS"],
+               title="8800 GTX, 256^3 on-board, by memory bandwidth")
+    for f in sorted(r["scaling"]):
+        t2.add_row([f"{f:.1f}x", f"{r['scaling'][f]:.1f}"])
+    show("What-if: memory bandwidth scaling", t2.render())
+
+    links = {p.link: p for p in r["links"]}
+    # Gen 1.1 reproduces Table 10's 18 GFLOPS; each upgrade helps a lot.
+    assert links["1.1 x16"].total_gflops == pytest.approx(18.0, rel=0.1)
+    assert links["2.0 x16"].total_gflops > 1.3 * links["1.1 x16"].total_gflops
+    assert links["3.0 x16"].total_gflops > 1.5 * links["1.1 x16"].total_gflops
+    # Bandwidth-bound below 1x; compute-bound plateau past ~2x.
+    assert r["scaling"][0.5] < 0.65 * r["scaling"][1.0]
+    assert r["scaling"][3.0] < 1.1 * r["scaling"][2.0]

@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Every table/figure benchmark runs its experiment once under
+``benchmark.pedantic`` (the models are deterministic; statistical rounds
+would only re-measure Python overhead), prints the regenerated table next
+to the paper's values, and asserts the reproduction's *shape* criteria.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print a payload under a visible header (survives -s)."""
+
+    def _show(title: str, text: str) -> None:
+        print()
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        print(text)
+
+    return _show

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Out-of-core 3-D FFT: transforms larger than device memory (Section 3.3).
+
+Demonstrates both layers:
+
+1. *functionally*, a grid is transformed through the slab-decimation
+   algorithm with the slab count forced, and verified against NumPy;
+2. *predictively*, the full 512^3 case of Table 12 is estimated per card,
+   showing the PCIe-dominated phase breakdown.
+
+    python examples/out_of_core_512.py
+"""
+
+import numpy as np
+
+from repro.core.out_of_core import OutOfCorePlan, estimate_out_of_core
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GT
+from repro.util.tables import Table
+
+
+def functional_demo() -> None:
+    n = 64
+    print(f"-- functional check: {n}^3 grid forced through 8 slabs --")
+    rng = np.random.default_rng(3)
+    x = (rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n)))
+    x = x.astype(np.complex64)
+    plan = OutOfCorePlan((n, n, n), GEFORCE_8800_GT, n_slabs=8)
+    print(f"slab shape: {plan.slab_shape}, slabs: {plan.n_slabs}")
+    out = plan.execute(x)
+    ref = np.fft.fftn(x.astype(np.complex128))
+    print(f"max relative error vs numpy: "
+          f"{np.abs(out - ref).max() / np.abs(ref).max():.2e}\n")
+
+
+def table12_demo() -> None:
+    print("-- predicted 512^3 performance (Table 12) --")
+    t = Table(
+        ["Model", "Stage-1 xfer (s)", "Stage-1 FFT (s)", "Stage-2 xfer (s)",
+         "Stage-2 FFT (s)", "Total (s)", "GFLOPS"],
+    )
+    for dev in ALL_GPUS:
+        e = estimate_out_of_core(dev, 512)
+        t.add_row([
+            dev.name,
+            f"{e.stage1_h2d + e.stage1_d2h:.2f}",
+            f"{e.stage1_fft + e.stage1_twiddle:.2f}",
+            f"{e.stage2_h2d + e.stage2_d2h:.2f}",
+            f"{e.stage2_fft:.2f}",
+            f"{e.total_seconds:.2f}",
+            f"{e.total_gflops:.1f}",
+        ])
+    print(t.render())
+    print(
+        "\nThe data crosses PCIe twice; transfers dominate. Still ~50% "
+        "faster than FFTW on the quad-core host (1.93 s), and the CPU is "
+        "free during the GPU phases (Section 4.6)."
+    )
+
+
+def main() -> None:
+    print("== out-of-core 3-D FFT (grids larger than the card) ==\n")
+    functional_demo()
+    table12_demo()
+
+
+if __name__ == "__main__":
+    main()

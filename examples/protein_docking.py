@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""ZDOCK-style protein docking on the simulated GPU (paper Section 4.4).
+
+Generates two synthetic proteins, scans a rotation grid, scores every
+translation of each rotation with one FFT correlation, and reports the
+best poses — plus the paper's point made quantitative: keeping the
+working set on the card versus round-tripping every transform over PCIe.
+
+    python examples/protein_docking.py
+"""
+
+import numpy as np
+
+from repro.apps.docking import DockingSearch, random_protein, rotation_grid
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.util.tables import Table
+
+
+def main() -> None:
+    print("== FFT-correlation protein docking (synthetic shapes) ==\n")
+    receptor = random_protein(n_atoms=70, seed=101)
+    ligand = random_protein(n_atoms=35, seed=202)
+    print(
+        f"receptor: {receptor.n_atoms} atoms, extent {receptor.extent():.1f}; "
+        f"ligand: {ligand.n_atoms} atoms, extent {ligand.extent():.1f}"
+    )
+
+    search = DockingSearch(
+        receptor, ligand, grid_size=64, spacing=1.0, device=GEFORCE_8800_GTX
+    )
+    rotations = rotation_grid(n_alpha=4, n_beta=2, n_gamma=4)
+    print(f"searching {len(rotations)} rotations x 64^3 translations ...\n")
+    result = search.run(rotations, top_k=8)
+
+    table = Table(
+        ["#", "Rotation", "Translation (z,y,x)", "Score"],
+        title="Top docking poses (surface contacts - 81x core clashes)",
+    )
+    for i, pose in enumerate(result.poses, 1):
+        table.add_row([i, pose.rotation_index, str(pose.translation),
+                       f"{pose.score:.1f}"])
+    print(table.render())
+
+    print(
+        f"\nsimulated GPU time, working set resident on card: "
+        f"{result.on_card_seconds * 1e3:.1f} ms"
+    )
+    print(
+        f"same search, host-offload per transform:          "
+        f"{result.offload_seconds * 1e3:.1f} ms"
+    )
+    print(
+        f"on-card confinement speedup: {result.on_card_speedup:.2f}x "
+        "(the Section 4.4 argument)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works on minimal/offline environments whose
+setuptools predates PEP-660 editable wheels (pip falls back to the legacy
+``setup.py develop`` path when invoked with ``--no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""repro — reproduction of Nukada et al., "Bandwidth Intensive 3-D FFT
+kernel for GPUs using CUDA" (SC 2008).
+
+Layered architecture (see DESIGN.md):
+
+* :mod:`repro.fft` — from-scratch FFT math (codelets, Stockham, four-step,
+  multirow, 1/2/3-D transforms, plans).
+* :mod:`repro.gpu` — CUDA-class GPU performance simulator (coalescing,
+  GDDR row-buffer DRAM, occupancy, instruction issue, PCIe, power).
+* :mod:`repro.core` — the paper's contribution: the bandwidth-intensive
+  five-step 3-D FFT as simulated kernels, the access-pattern taxonomy, the
+  out-of-core 512^3 extension, and the end-to-end estimator.
+* :mod:`repro.baselines` — conventional six-step GPU FFT, CUFFT-like and
+  FFTW-like baselines.
+* :mod:`repro.apps` — ZDOCK-style docking, spectral solvers, convolution.
+* :mod:`repro.harness` — per-table/figure experiment registry and reports.
+
+1-D transforms live at ``repro.fft.fft``/``repro.fft.ifft`` (not re-exported
+here: a top-level ``fft`` name would shadow the subpackage).
+"""
+
+from repro.fft import fft2d, ifft2d, fft3d, ifft3d, rfft, irfft
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "fft2d",
+    "ifft2d",
+    "fft3d",
+    "ifft3d",
+    "rfft",
+    "irfft",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Applications driving the 3-D FFT kernel.
+
+* :mod:`repro.apps.docking` — ZDOCK-style protein-protein docking by FFT
+  correlation (the paper's Section 4.4 application: rotations/translations
+  scored on-card, eliminating per-FFT PCIe transfers);
+* :mod:`repro.apps.spectral` — spectral PDE solvers (Poisson) and
+  turbulence diagnostics (the paper cites the Earth Simulator turbulence
+  DNS as the canonical 3-D FFT consumer);
+* :mod:`repro.apps.convolution` — generic FFT convolution/correlation and
+  Gaussian density-map smoothing.
+"""
+
+from repro.apps.imaging import blur_volume, restoration_gain, wiener_deconvolve
+from repro.apps.convolution import (
+    fft_convolve,
+    fft_correlate,
+    gaussian_kernel,
+    gaussian_smooth,
+)
+from repro.apps.docking import (
+    DockingResult,
+    DockingSearch,
+    SyntheticProtein,
+    random_protein,
+    rotation_grid,
+    score_grids,
+)
+from repro.apps.spectral import (
+    poisson_solve,
+    spectral_laplacian,
+    energy_spectrum,
+    random_solenoidal_field,
+    taylor_green_field,
+)
+
+__all__ = [
+    "blur_volume",
+    "restoration_gain",
+    "wiener_deconvolve",
+    "fft_convolve",
+    "fft_correlate",
+    "gaussian_kernel",
+    "gaussian_smooth",
+    "DockingResult",
+    "DockingSearch",
+    "SyntheticProtein",
+    "random_protein",
+    "rotation_grid",
+    "score_grids",
+    "poisson_solve",
+    "spectral_laplacian",
+    "energy_spectrum",
+    "random_solenoidal_field",
+    "taylor_green_field",
+]

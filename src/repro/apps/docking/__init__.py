@@ -1,0 +1,39 @@
+"""ZDOCK-style protein-protein docking via FFT correlation (Section 4.4).
+
+"One of such applications we are working on is ZDock, which simulates
+protein-protein docking.  By rotating and translating the Ligand protein,
+the best docking positions are determined by scoring scheme.  Its kernel
+computation is 3-D convolution based on 3-D FFT to calculate scores for
+all the translations at once.  By integrating all such other operations
+into the GPU, data transfer is largely eliminated."
+
+Real ZDOCK inputs are PDB structures; we substitute synthetic proteins
+(random sphere clusters) that exercise the identical compute pattern —
+voxelize, transform, multiply, inverse-transform, peak-search — which is
+what the paper's argument is about (see DESIGN.md substitution table).
+"""
+
+from repro.apps.docking.shapes import SyntheticProtein, random_protein, rotation_grid
+from repro.apps.docking.scoring import (
+    PSC_CORE_WEIGHT,
+    grid_ligand,
+    grid_receptor,
+    score_grids,
+)
+from repro.apps.docking.zdock import DockingPose, DockingResult, DockingSearch
+from repro.apps.docking.clustering import PoseCluster, cluster_poses
+
+__all__ = [
+    "PoseCluster",
+    "cluster_poses",
+    "SyntheticProtein",
+    "random_protein",
+    "rotation_grid",
+    "PSC_CORE_WEIGHT",
+    "grid_receptor",
+    "grid_ligand",
+    "score_grids",
+    "DockingPose",
+    "DockingResult",
+    "DockingSearch",
+]

@@ -1,0 +1,94 @@
+"""Greedy pose clustering (the post-processing every docking code runs).
+
+Raw FFT scoring returns thousands of near-duplicate poses around each
+contact patch; ZDOCK-style pipelines greedily cluster them: take the
+best-scoring pose, absorb every pose within a translation radius (on the
+periodic grid) under the same rotation neighborhood, repeat.  The cluster
+representatives are the reported predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.docking.zdock import DockingPose
+
+__all__ = ["PoseCluster", "cluster_poses"]
+
+
+@dataclass(frozen=True)
+class PoseCluster:
+    """One cluster: its best pose and the poses it absorbed."""
+
+    representative: DockingPose
+    members: tuple[DockingPose, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def _periodic_distance(
+    a: tuple[int, int, int], b: tuple[int, int, int], n: int
+) -> float:
+    """Euclidean distance between translations on the periodic grid."""
+    d = 0.0
+    for x, y in zip(a, b):
+        delta = abs(x - y)
+        delta = min(delta, n - delta)
+        d += delta * delta
+    return float(np.sqrt(d))
+
+
+def cluster_poses(
+    poses,
+    grid_size: int,
+    radius: float = 3.0,
+    same_rotation_only: bool = False,
+    max_clusters: int | None = None,
+) -> list[PoseCluster]:
+    """Greedy clustering of scored poses.
+
+    Parameters
+    ----------
+    poses:
+        Iterable of :class:`DockingPose`, any order.
+    grid_size:
+        Grid extent (for periodic translation distance).
+    radius:
+        Poses within this many cells of a representative join its cluster.
+    same_rotation_only:
+        If True, only poses sharing the representative's rotation index
+        can join (stricter, like rotation-binned clustering).
+    max_clusters:
+        Stop after this many clusters (None = exhaust all poses).
+    """
+    if grid_size <= 0:
+        raise ValueError("grid_size must be positive")
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    remaining = sorted(poses, key=lambda p: p.score, reverse=True)
+    clusters: list[PoseCluster] = []
+    while remaining:
+        if max_clusters is not None and len(clusters) >= max_clusters:
+            break
+        rep = remaining[0]
+        members = []
+        rest = []
+        for p in remaining:
+            close = (
+                _periodic_distance(p.translation, rep.translation, grid_size)
+                <= radius
+            )
+            rotation_ok = (
+                not same_rotation_only or p.rotation_index == rep.rotation_index
+            )
+            if close and rotation_ok:
+                members.append(p)
+            else:
+                rest.append(p)
+        clusters.append(PoseCluster(representative=rep, members=tuple(members)))
+        remaining = rest
+    return clusters

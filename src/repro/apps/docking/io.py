@@ -1,0 +1,96 @@
+"""I/O for the docking application: minimal PDB and pose files.
+
+Real docking pipelines live on files — receptor/ligand structures in and
+ranked poses out.  Synthetic proteins round-trip through a minimal PDB
+subset (``ATOM`` records, carbon pseudo-atoms) so the example workload is
+inspectable in any molecular viewer, and results persist as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.docking.shapes import SyntheticProtein
+from repro.apps.docking.zdock import DockingPose, DockingResult
+
+__all__ = ["save_pdb", "load_pdb", "save_poses", "load_poses"]
+
+
+def save_pdb(protein: SyntheticProtein, path: str | Path, name: str = "SYN") -> Path:
+    """Write atoms as PDB ``ATOM`` records (carbon pseudo-atoms)."""
+    path = Path(path)
+    lines = [f"HEADER    SYNTHETIC PROTEIN {name[:10]:<10}"]
+    lines.append(f"REMARK   1 RADIUS {protein.radius:.3f}")
+    for i, (x, y, z) in enumerate(protein.atoms, start=1):
+        lines.append(
+            f"ATOM  {i:5d}  C   GLY A{i:4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}  1.00  0.00           C"
+        )
+    lines.append("END")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_pdb(path: str | Path) -> SyntheticProtein:
+    """Read a PDB written by :func:`save_pdb` (or any ATOM-record file).
+
+    The radius comes from the ``REMARK 1 RADIUS`` line when present,
+    defaulting to 1.8 (a carbon van der Waals radius).
+    """
+    path = Path(path)
+    atoms = []
+    radius = 1.8
+    for line in path.read_text().splitlines():
+        if line.startswith("REMARK   1 RADIUS"):
+            radius = float(line.split()[-1])
+        elif line.startswith(("ATOM", "HETATM")):
+            atoms.append(
+                (float(line[30:38]), float(line[38:46]), float(line[46:54]))
+            )
+    if not atoms:
+        raise ValueError(f"{path} contains no ATOM records")
+    return SyntheticProtein(np.asarray(atoms, dtype=np.float64), radius)
+
+
+def save_poses(result: DockingResult, path: str | Path) -> Path:
+    """Persist a docking result (poses + accounting) as JSON."""
+    path = Path(path)
+    doc = {
+        "n_rotations": result.n_rotations,
+        "grid_size": result.grid_size,
+        "on_card_seconds": result.on_card_seconds,
+        "offload_seconds": result.offload_seconds,
+        "poses": [
+            {
+                "rotation_index": p.rotation_index,
+                "translation": list(p.translation),
+                "score": p.score,
+            }
+            for p in result.poses
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_poses(path: str | Path) -> DockingResult:
+    """Load a docking result written by :func:`save_poses`."""
+    doc = json.loads(Path(path).read_text())
+    poses = tuple(
+        DockingPose(
+            rotation_index=int(p["rotation_index"]),
+            translation=tuple(int(v) for v in p["translation"]),
+            score=float(p["score"]),
+        )
+        for p in doc["poses"]
+    )
+    return DockingResult(
+        poses=poses,
+        n_rotations=int(doc["n_rotations"]),
+        grid_size=int(doc["grid_size"]),
+        on_card_seconds=float(doc["on_card_seconds"]),
+        offload_seconds=float(doc["offload_seconds"]),
+    )

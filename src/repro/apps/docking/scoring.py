@@ -1,0 +1,115 @@
+"""Pairwise shape-complementarity scoring grids (PSC-style).
+
+The ZDOCK-family encoding: voxelize each molecule, mark *surface* cells
+with weight 1 and *core* cells with weight ``9i``.  The correlation
+product then rewards surface-surface contact (+1, real) and punishes
+core-core interpenetration (``(9i)^2 = -81``, real), while surface-core
+terms are imaginary and drop out of the real-part score — one complex
+grid encodes both terms, so a single complex 3-D FFT per rotation does
+the whole job (exactly why docking is a showcase for the paper's kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.convolution import fft_correlate
+from repro.apps.docking.shapes import SyntheticProtein
+from repro.util.indexing import is_power_of_two
+
+__all__ = [
+    "PSC_CORE_WEIGHT",
+    "voxelize",
+    "surface_and_core",
+    "grid_receptor",
+    "grid_ligand",
+    "score_grids",
+]
+
+#: Core-cell weight; core-core overlap scores -PSC_CORE_WEIGHT^2.
+PSC_CORE_WEIGHT = 9.0
+
+
+def voxelize(
+    protein: SyntheticProtein, n: int, spacing: float
+) -> np.ndarray:
+    """Boolean occupancy grid, molecule centered, periodic box of ``n^3``.
+
+    ``spacing`` is grid units per coordinate unit.  Raises if the
+    molecule does not fit with a one-cell margin (wrapping a protein
+    around the box would silently corrupt scores).
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"grid size must be a power of two, got {n}")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    if 2 * protein.extent() / spacing > n - 2:
+        raise ValueError(
+            f"protein extent {protein.extent():.1f} does not fit an "
+            f"n={n}, spacing={spacing} grid"
+        )
+    center = np.asarray([n / 2] * 3)
+    occupancy = np.zeros((n, n, n), dtype=bool)
+    r_cells = protein.radius / spacing
+    reach = int(np.ceil(r_cells))
+    offsets = np.arange(-reach, reach + 1)
+    oz, oy, ox = np.meshgrid(offsets, offsets, offsets, indexing="ij")
+    cube = np.stack([oz, oy, ox], axis=-1).reshape(-1, 3)
+    for atom in protein.atoms:
+        cell = np.round(atom / spacing + center).astype(int)
+        pts = cell + cube
+        d = np.linalg.norm((atom / spacing + center) - pts, axis=1)
+        inside = pts[d <= r_cells] % n
+        occupancy[inside[:, 0], inside[:, 1], inside[:, 2]] = True
+    return occupancy
+
+
+def surface_and_core(occupancy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split an occupancy grid into surface and core cells.
+
+    Surface = occupied cells with at least one empty 6-neighbor (periodic
+    neighborhood); core = the rest.
+    """
+    occ = np.asarray(occupancy, dtype=bool)
+    eroded = occ.copy()
+    for axis in range(3):
+        for shift in (1, -1):
+            eroded &= np.roll(occ, shift, axis=axis)
+    surface = occ & ~eroded
+    return surface, eroded
+
+
+def grid_receptor(
+    protein: SyntheticProtein, n: int, spacing: float
+) -> np.ndarray:
+    """Receptor PSC grid: surface cells 1, core cells ``9i``."""
+    occ = voxelize(protein, n, spacing)
+    surface, core = surface_and_core(occ)
+    grid = np.zeros((n, n, n), dtype=np.complex128)
+    grid[surface] = 1.0
+    grid[core] = 1j * PSC_CORE_WEIGHT
+    return grid
+
+
+def grid_ligand(
+    protein: SyntheticProtein, n: int, spacing: float
+) -> np.ndarray:
+    """Ligand PSC grid: same encoding as the receptor."""
+    return grid_receptor(protein, n, spacing)
+
+
+def score_grids(receptor: np.ndarray, ligand: np.ndarray) -> np.ndarray:
+    """Scores for all cyclic translations of the ligand.
+
+    ``score[t] = Re( sum_x R(x) * L(x - t) )`` — surface-surface contacts
+    count +1, core-core clashes count -81.
+    """
+    receptor = np.asarray(receptor)
+    ligand = np.asarray(ligand)
+    if receptor.shape != ligand.shape:
+        raise ValueError(
+            f"grid shapes differ: {receptor.shape} vs {ligand.shape}"
+        )
+    # fft_correlate computes sum_x a(x) conj(b(x-t)); conjugating the
+    # ligand grid turns that into the plain product sum we want.
+    return fft_correlate(receptor, np.conj(ligand)).real

@@ -1,0 +1,76 @@
+"""Volumetric image restoration: FFT Wiener deconvolution.
+
+The paper's introduction points at "nano-science and life science" as the
+consumers of on-card 3-D FFTs; the concrete workload there is restoring
+blurred volumetric data (cryo-EM density maps, confocal stacks).  Wiener
+deconvolution is the classic linear restorer: with a known point-spread
+function ``h`` and noise-to-signal power ratio ``nsr``::
+
+    estimate_hat = conj(H) / (|H|^2 + nsr) * Y
+
+— three 3-D FFTs per restoration, all card-resident in the paper's
+deployment model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.convolution import fft_convolve, gaussian_kernel
+from repro.fft.fft3d import fft3d, ifft3d
+
+__all__ = ["blur_volume", "wiener_deconvolve", "restoration_gain"]
+
+
+def blur_volume(
+    volume: np.ndarray,
+    sigma: float,
+    noise_rms: float = 0.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Forward model: periodic Gaussian blur plus white noise."""
+    volume = np.asarray(volume, dtype=np.float64)
+    if volume.ndim != 3:
+        raise ValueError("volume must be 3-D")
+    psf = gaussian_kernel(volume.shape, sigma)
+    blurred = fft_convolve(volume, psf).real
+    if noise_rms > 0:
+        rng = np.random.default_rng(seed)
+        blurred = blurred + noise_rms * rng.standard_normal(volume.shape)
+    return blurred
+
+
+def wiener_deconvolve(
+    observed: np.ndarray, sigma: float, nsr: float = 1e-3
+) -> np.ndarray:
+    """Wiener-restore a Gaussian-blurred periodic volume.
+
+    ``nsr`` is the noise-to-signal power ratio regularizer; ``nsr -> 0``
+    approaches naive inverse filtering (exact for noise-free data, wildly
+    noise-amplifying otherwise).
+    """
+    observed = np.asarray(observed, dtype=np.float64)
+    if observed.ndim != 3:
+        raise ValueError("observed must be 3-D")
+    if nsr < 0:
+        raise ValueError("nsr must be non-negative")
+    psf = gaussian_kernel(observed.shape, sigma)
+    h = fft3d(psf)
+    y = fft3d(observed)
+    filt = np.conj(h) / (np.abs(h) ** 2 + nsr)
+    return ifft3d(filt * y).real
+
+
+def restoration_gain(
+    truth: np.ndarray, observed: np.ndarray, restored: np.ndarray
+) -> float:
+    """Improvement in RMS error: ``rms(observed-truth)/rms(restored-truth)``.
+
+    > 1 means the deconvolution helped.
+    """
+    truth = np.asarray(truth, dtype=np.float64)
+    before = np.sqrt(np.mean((observed - truth) ** 2))
+    after = np.sqrt(np.mean((restored - truth) ** 2))
+    if after == 0:
+        return np.inf
+    return float(before / after)

@@ -1,0 +1,34 @@
+"""Spectral-method applications (Poisson solver, turbulence diagnostics).
+
+The paper cites the Earth Simulator turbulence DNS [Yokokawa et al. 2002]
+as the canonical HPC consumer of 3-D FFTs; these modules exercise that
+workload class on the library.
+"""
+
+from repro.apps.spectral.poisson import (
+    poisson_solve,
+    spectral_laplacian,
+    wavenumbers,
+)
+from repro.apps.spectral.turbulence import (
+    energy_spectrum,
+    random_solenoidal_field,
+    taylor_green_field,
+    dissipation_rate,
+)
+from repro.apps.spectral.navier_stokes import NSDiagnostics, SpectralNavierStokes
+from repro.apps.spectral.heat import heat_evolve, heat_step
+
+__all__ = [
+    "NSDiagnostics",
+    "SpectralNavierStokes",
+    "heat_step",
+    "heat_evolve",
+    "poisson_solve",
+    "spectral_laplacian",
+    "wavenumbers",
+    "energy_spectrum",
+    "random_solenoidal_field",
+    "taylor_green_field",
+    "dissipation_rate",
+]

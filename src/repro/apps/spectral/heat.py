@@ -1,0 +1,61 @@
+"""Spectral heat (diffusion) solver on the periodic cube.
+
+The simplest PDE the 3-D FFT solves *exactly*: with
+``u_t = alpha * laplacian(u)``, every Fourier mode decays as
+``exp(-alpha |k|^2 t)``, so one forward transform, one elementwise
+exponential, and one inverse transform advance the solution by any time
+step without stability limits — a clean correctness workout for the
+transform pipeline and a common building block (diffusion sub-steps in
+splitting schemes, Gaussian blurs with exact kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.spectral.poisson import wavenumbers
+from repro.fft.fft3d import fft3d, ifft3d
+
+__all__ = ["heat_step", "heat_evolve"]
+
+
+def _ksq(shape: tuple[int, int, int]) -> np.ndarray:
+    kz = wavenumbers(shape[0])[:, None, None]
+    ky = wavenumbers(shape[1])[None, :, None]
+    kx = wavenumbers(shape[2])[None, None, :]
+    return kz**2 + ky**2 + kx**2
+
+
+def heat_step(u: np.ndarray, alpha: float, dt: float) -> np.ndarray:
+    """Advance the periodic heat equation by ``dt`` (exact in time).
+
+    ``u`` is a real or complex 3-D field; ``alpha > 0`` the diffusivity.
+    Unconditionally stable for any ``dt > 0``.
+    """
+    u = np.asarray(u)
+    if u.ndim != 3:
+        raise ValueError("u must be 3-D")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    spec = fft3d(u.astype(np.complex128, copy=False))
+    spec *= np.exp(-alpha * _ksq(u.shape) * dt)
+    out = ifft3d(spec)
+    return out.real if np.isrealobj(u) else out
+
+
+def heat_evolve(
+    u0: np.ndarray, alpha: float, t_final: float, n_snapshots: int = 1
+) -> list[np.ndarray]:
+    """Evolve to ``t_final``; return ``n_snapshots`` equally spaced states.
+
+    Since the spectral step is exact, snapshots are computed directly from
+    ``u0`` (no error accumulation).
+    """
+    if t_final <= 0:
+        raise ValueError("t_final must be positive")
+    if n_snapshots < 1:
+        raise ValueError("need at least one snapshot")
+    times = np.linspace(t_final / n_snapshots, t_final, n_snapshots)
+    return [heat_step(u0, alpha, float(t)) for t in times]

@@ -1,0 +1,34 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.six_step` — the conventional 3-D FFT with explicit
+  transpose steps (Section 3, Table 6);
+* :mod:`repro.baselines.cufft_model` — NVIDIA CUFFT 1.1 behavioral model
+  (Figures 1-3, Table 8);
+* :mod:`repro.baselines.fftw_cpu` — FFTW 3.2alpha on the Table 5/11 CPUs;
+* :mod:`repro.baselines.naive_gpu` — the straw-man stream-programming FFT
+  with per-element stride access (Section 1's "only on par with
+  conventional CPUs").
+"""
+
+from repro.baselines.six_step import SixStepPlan, SixStepEstimate, estimate_six_step
+from repro.baselines.cufft_model import (
+    CufftModel,
+    cufft_fft3d,
+    estimate_cufft_3d,
+    estimate_cufft_1d,
+)
+from repro.baselines.fftw_cpu import FftwCpuBaseline, estimate_fftw
+from repro.baselines.naive_gpu import estimate_naive_gpu
+
+__all__ = [
+    "SixStepPlan",
+    "SixStepEstimate",
+    "estimate_six_step",
+    "CufftModel",
+    "cufft_fft3d",
+    "estimate_cufft_3d",
+    "estimate_cufft_1d",
+    "FftwCpuBaseline",
+    "estimate_fftw",
+    "estimate_naive_gpu",
+]

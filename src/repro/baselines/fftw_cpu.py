@@ -1,0 +1,91 @@
+"""FFTW-on-CPU baseline (Tables 11 and 12, bottom rows).
+
+Functionally this is a real planned CPU transform (our four-step engine).
+Timing uses a calibrated sustained-rate model: FFTW 3.2alpha with OpenMP +
+SSE on the Table 5 quad cores reaches a stable ~10.3-10.7 GFLOPS at 256^3
+(14.6% / 12.6% of peak — 3-D FFTs on these parts are memory-bound), with
+a further small derate once the working set spills far beyond the caches
+(512^3: 9.40 GFLOPS, Table 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fft.plan import PlanND
+from repro.gpu.specs import AMD_PHENOM_9500, CpuSpec
+from repro.util.units import flops_3d_fft
+
+__all__ = ["FftwCpuBaseline", "FftwEstimate", "estimate_fftw"]
+
+#: Working-set size beyond which the sustained rate drops (bytes).
+_CACHE_SPILL_BYTES = 768 << 20
+#: Rate multiplier in the spilled regime (calibrated to Table 12's 9.40
+#: GFLOPS vs Table 11's 10.3 at the same efficiency base).
+_SPILL_DERATE = 0.91
+
+
+@dataclass(frozen=True)
+class FftwEstimate:
+    cpu: str
+    shape: tuple[int, int, int]
+    seconds: float
+    nominal_flops: float
+
+    @property
+    def gflops(self) -> float:
+        return self.nominal_flops / self.seconds / 1e9
+
+
+class FftwCpuBaseline:
+    """Planned CPU transform + calibrated wall-clock model."""
+
+    def __init__(self, cpu: CpuSpec = AMD_PHENOM_9500, precision: str = "single"):
+        self.cpu = cpu
+        self.precision = precision
+
+    def execute(self, x: np.ndarray, inverse: bool = False) -> np.ndarray:
+        """Actually transform ``x`` on the host.
+
+        NumPy/FFTW semantics: forward un-normalized, inverse scaled by
+        ``1/N`` (matches ``numpy.fft.fftn``/``ifftn``).
+        """
+        x = np.asarray(x)
+        plan = PlanND(x.shape, precision=self.precision)
+        return plan.execute(x, inverse=inverse)
+
+    def sustained_gflops(self, shape: tuple[int, int, int]) -> float:
+        """Calibrated sustained rate for this shape, GFLOPS."""
+        rate = self.cpu.peak_sp_gflops * self.cpu.fftw_efficiency
+        el = 8 if self.precision == "single" else 16
+        nbytes = el
+        for n in shape:
+            nbytes *= n
+        # Two live arrays (in + work) for an out-of-place plan.
+        if 2 * nbytes > _CACHE_SPILL_BYTES:
+            rate *= _SPILL_DERATE
+        if self.precision == "double":
+            rate /= 2.0  # half the SSE width
+        return rate
+
+    def estimate(self, shape: tuple[int, int, int] | int) -> FftwEstimate:
+        """Predicted wall time and GFLOPS for one transform."""
+        if isinstance(shape, int):
+            shape = (shape, shape, shape)
+        flops = flops_3d_fft(shape[2], shape[1], shape[0])
+        rate = self.sustained_gflops(shape)
+        return FftwEstimate(
+            cpu=self.cpu.name,
+            shape=tuple(shape),
+            seconds=flops / (rate * 1e9),
+            nominal_flops=flops,
+        )
+
+
+def estimate_fftw(
+    cpu: CpuSpec = AMD_PHENOM_9500, n: int = 256, precision: str = "single"
+) -> FftwEstimate:
+    """Table 11 row for ``cpu`` at ``n^3``."""
+    return FftwCpuBaseline(cpu, precision).estimate(n)

@@ -1,0 +1,104 @@
+"""Straw-man stream-programming GPU FFT (the Section 1 motivation).
+
+"FFT requires extensive stride memory access, so simple mapping to stream
+programming could result in significant loss in performance ... the
+currently reported results of FFT on GPUs have been only on par with
+conventional CPUs at best."
+
+Shader-era GPU FFTs ran one radix-2 Stockham *stage* per rendering pass:
+``log2(n)`` full read+write sweeps per dimension, with the Y/Z dimensions
+accessed at their element stride.  That is 8x the memory traffic of a
+fused kernel, with the Z sweeps at the many-stream bandwidth floor — the
+result lands at CPU-class GFLOPS, which is the gap the paper's techniques
+close.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cufft_model import strided_dim_pass_spec
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timing import time_kernel
+from repro.util.indexing import ilog2
+from repro.util.units import flops_3d_fft
+
+__all__ = ["NaiveGpuEstimate", "estimate_naive_gpu"]
+
+
+@dataclass(frozen=True)
+class NaiveGpuEstimate:
+    device: str
+    n: int
+    seconds: float
+    n_passes: int
+
+    @property
+    def gflops(self) -> float:
+        return flops_3d_fft(self.n) / self.seconds / 1e9
+
+
+def _stage_mix(n: int) -> InstructionMix:
+    """One radix-2 stage: 10 flops per butterfly, one butterfly per point
+    pair, per pass — i.e. 5 flops per point."""
+    return InstructionMix(flops=5.0 * n, other_ops=4.0 * n)
+
+
+def _x_stage_spec(device: DeviceSpec, n: int, batch: int, name: str) -> KernelSpec:
+    line = n * 8
+    read = BurstPattern(
+        base=0,
+        scan_dims=(batch,),
+        scan_strides=(line,),
+        burst_len=line // 128,
+        burst_stride=128,
+        transaction_bytes=128,
+        name=f"{name}-read",
+    )
+    write = BurstPattern(
+        base=batch * line,
+        scan_dims=(batch,),
+        scan_strides=(line,),
+        burst_len=line // 128,
+        burst_stride=128,
+        transaction_bytes=128,
+        name=f"{name}-write",
+    )
+    return KernelSpec(
+        name=name,
+        grid_blocks=3 * device.n_sm,
+        threads_per_block=64,
+        regs_per_thread=20,
+        shared_bytes_per_block=0,
+        work_items=batch,
+        mix=_stage_mix(n),
+        memory=(MemoryAccessSpec(read), MemoryAccessSpec(write)),
+        double_buffered=True,
+    )
+
+
+def estimate_naive_gpu(
+    device: DeviceSpec, n: int = 256, memsystem: MemorySystem | None = None
+) -> NaiveGpuEstimate:
+    """Time of the pass-per-stage shader-style FFT at ``n^3``."""
+    stages = ilog2(n)
+    ms = memsystem or MemorySystem(device)
+    batch = n * n
+    total = 0.0
+    x_spec = _x_stage_spec(device, n, batch, "naive-x-stage")
+    total += stages * time_kernel(device, x_spec, ms).seconds
+    for axis, stride, other in (
+        ("y", n * 8, n * n * 8),
+        ("z", n * n * 8, n * 8),
+    ):
+        spec = strided_dim_pass_spec(
+            device, n, n, n, stride, other, f"naive-{axis}-stage", _stage_mix(n)
+        )
+        total += stages * time_kernel(device, spec, ms).seconds
+    return NaiveGpuEstimate(
+        device=device.name, n=n, seconds=total, n_passes=3 * stages
+    )

@@ -1,0 +1,203 @@
+"""The conventional six-step 3-D FFT with explicit transposes (Table 6).
+
+    Step 1. Compute 1-D FFTs for dimension X.
+    Step 2. Transpose from (x,y,z) to (z,x,y).
+    Step 3. Compute 1-D FFTs for dimension Z.
+    Step 4. Transpose from (z,x,y) to (y,z,x).
+    Step 5. Compute 1-D FFTs for dimension Y.
+    Step 6. Transpose from (y,z,x) to (x,y,z).
+
+The FFT steps use the same fine-grained shared-memory kernel as the
+five-step algorithm's step 5 (out-of-place), so they are fast; the
+transpose steps move no useful flops and run at the many-stream bandwidth
+floor ("the transpose steps attain very poor memory bandwidth, which is
+nearly equal to the bandwidth of copying 256 streams", Section 4.1) —
+that 2x data-motion tax is exactly what the five-step algorithm removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kernels import shared_x_step_spec
+from repro.fft.cooley_tukey import fft_pow2
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timing import KernelTiming, time_kernel
+from repro.util.indexing import ilog2
+from repro.util.units import flops_3d_fft
+from repro.util.validation import as_complex_array
+
+__all__ = ["SixStepPlan", "SixStepEstimate", "estimate_six_step"]
+
+#: Transpose tile edge (16 x 16 complex64 tiles through shared memory).
+TILE = 16
+
+
+def transpose_spec(
+    device: DeviceSpec,
+    n_fast: int,
+    n_mid: int,
+    n_slow: int,
+    name: str,
+) -> KernelSpec:
+    """Straightforward out-of-place transpose ``(fast,mid,slow) -> (slow,fast,mid)``.
+
+    The conventional implementation the paper times: each thread copies
+    ``in[fast, mid, slow]`` to ``out[slow, fast, mid]``.  Reads along the
+    fast axis coalesce; the writes land ``n_slow`` elements apart, so a
+    half-warp's stores serialize into 16 32-byte transactions spread over
+    32 KB — which is why these steps sit at the many-stream bandwidth
+    floor ("nearly equal to the bandwidth of copying 256 streams").
+    """
+    el = 8
+    in_strides = (el, n_fast * el, n_fast * n_mid * el)
+    out_strides = (el, n_slow * el, n_slow * n_fast * el)
+    total = n_fast * n_mid * n_slow * el
+    scan_dims = (n_fast * el // 128, n_mid, n_slow)
+    read = BurstPattern(
+        base=0,
+        scan_dims=scan_dims,
+        scan_strides=(128, in_strides[1], in_strides[2]),
+        burst_len=1,
+        burst_stride=128,
+        transaction_bytes=128,
+        name=f"{name}-read",
+    )
+    write = BurstPattern(
+        base=total,
+        scan_dims=scan_dims,
+        scan_strides=(TILE * out_strides[1], out_strides[2], el),
+        burst_len=TILE,
+        burst_stride=out_strides[1],
+        transaction_bytes=32,
+        name=f"{name}-write",
+    )
+    return KernelSpec(
+        name=name,
+        grid_blocks=3 * device.n_sm,
+        threads_per_block=64,
+        regs_per_thread=16,
+        shared_bytes_per_block=TILE * (TILE + 1) * el,
+        work_items=n_fast * n_mid * n_slow,
+        mix=InstructionMix(flops=0.0, shared_ops=2.0, other_ops=2.0),
+        memory=(MemoryAccessSpec(read), MemoryAccessSpec(write)),
+        double_buffered=True,
+    )
+
+
+@dataclass(frozen=True)
+class SixStepEstimate:
+    """Per-step timing of the conventional algorithm on one device."""
+
+    device: str
+    n: int
+    fft_steps: tuple[KernelTiming, KernelTiming, KernelTiming]
+    transpose_steps: tuple[KernelTiming, KernelTiming, KernelTiming]
+
+    @property
+    def on_board_seconds(self) -> float:
+        return sum(t.seconds for t in self.fft_steps) + sum(
+            t.seconds for t in self.transpose_steps
+        )
+
+    @property
+    def on_board_gflops(self) -> float:
+        return flops_3d_fft(self.n) / self.on_board_seconds / 1e9
+
+    @property
+    def mean_fft_seconds(self) -> float:
+        return sum(t.seconds for t in self.fft_steps) / 3.0
+
+    @property
+    def mean_transpose_seconds(self) -> float:
+        return sum(t.seconds for t in self.transpose_steps) / 3.0
+
+    @property
+    def mean_transpose_bandwidth(self) -> float:
+        """Useful bytes/s of the transpose steps (Table 6 right columns).
+
+        The paper reports useful data moved (read + write of the grid);
+        the serialized 32-byte transactions' wasted bytes don't count.
+        """
+        useful = 2 * self.n ** 3 * 8
+        return useful / self.mean_transpose_seconds
+
+
+class SixStepPlan:
+    """Functional + timed conventional six-step transform (cubic)."""
+
+    def __init__(self, n: int, precision: str = "single"):
+        ilog2(n)
+        if n < 16:
+            raise ValueError(f"n must be >= 16, got {n}")
+        self.n = n
+        self.precision = precision
+
+    def execute(self, x: np.ndarray, inverse: bool = False) -> np.ndarray:
+        """Host execution; matches ``numpy.fft.fftn`` (un-normalized).
+
+        The transposes are real data movements (``ascontiguousarray``), so
+        the memory traffic of the algorithm actually happens.
+        """
+        x = as_complex_array(x, self.precision)
+        n = self.n
+        if x.shape != (n, n, n):
+            raise ValueError(f"plan is for {n}^3, got {x.shape}")
+        # Working layout note: NumPy C-order (z, y, x) with x fastest.
+        v = fft_pow2(x, inverse)                                  # FFTs along X
+        v = np.ascontiguousarray(np.moveaxis(v, 0, 2))            # (y, x, z): Z fastest
+        v = fft_pow2(v, inverse)                                  # FFTs along Z
+        v = np.ascontiguousarray(np.moveaxis(v, 0, 2))            # (x, z, y): Y fastest
+        v = fft_pow2(v, inverse)                                  # FFTs along Y
+        v = np.ascontiguousarray(np.moveaxis(v, 0, 2))            # back to (z, y, x)
+        return v
+
+    def step_specs(self, device: DeviceSpec) -> list[KernelSpec]:
+        """The six KernelSpecs (three FFT passes, three transposes)."""
+        n = self.n
+        batch = n * n
+        total = batch * n * 8
+        specs = []
+        for i in range(3):
+            specs.append(
+                shared_x_step_spec(
+                    device,
+                    n,
+                    batch,
+                    base_in=0,
+                    base_out=total,
+                    name=f"sixstep-fft-{i + 1}",
+                )
+            )
+            specs.append(transpose_spec(device, n, n, n, f"sixstep-transpose-{i + 1}"))
+        return specs
+
+
+def estimate_six_step(
+    device: DeviceSpec,
+    n: int = 256,
+    memsystem: MemorySystem | None = None,
+) -> SixStepEstimate:
+    """Predict Table 6 for ``device``."""
+    plan = SixStepPlan(n)
+    ms = memsystem or MemorySystem(device)
+    ffts = []
+    transposes = []
+    for spec in plan.step_specs(device):
+        t = time_kernel(device, spec, ms)
+        if "transpose" in spec.name:
+            transposes.append(t)
+        else:
+            ffts.append(t)
+    return SixStepEstimate(
+        device=device.name,
+        n=n,
+        fft_steps=tuple(ffts),
+        transpose_steps=tuple(transposes),
+    )

@@ -1,0 +1,110 @@
+"""The conventional transpose at thread level — observing the *failure*.
+
+The warp executor proves the five-step kernels coalesce perfectly; this
+module shows the opposite for the six-step algorithm's transpose (Table
+6's bottleneck): each thread copies ``in[fast, slow] -> out[slow, fast]``,
+so reads coalesce but every half-warp's writes land ``n`` elements apart
+and serialize into 16 transactions — the measured reason the conventional
+algorithm spends two thirds of its time in transposes.
+
+A tiled shared-memory variant is included as the classic fix (stage
+through a padded tile so both sides coalesce), quantifying what the
+conventional implementation left on the table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.warp_kernels import WarpStepResult
+from repro.gpu.exec import Dim3, GlobalBuffer, SharedBuffer, WarpExecutor
+from repro.gpu.sharedmem import padded_stride
+from repro.util.indexing import ilog2
+
+__all__ = ["naive_transpose_kernel", "tiled_transpose_kernel", "run_transpose"]
+
+
+def naive_transpose_kernel(ctx, inp, out, n):
+    """Direct per-element transpose: coalesced reads, strided writes."""
+    tid = ctx.global_thread_id()
+    total = ctx.gridDim.count * ctx.blockDim.count
+    i = tid
+    while i < n * n:
+        row, col = i // n, i % n
+        v = yield ("load", inp, row * n + col)
+        yield ("store", out, col * n + row, v)  # n-element write stride
+        i += total
+
+
+def tiled_transpose_kernel(ctx, inp, out, shared, n, tile):
+    """Staged transpose: both global sides coalesce; the tile is padded.
+
+    The 4-byte shared words hold one real value each, so the complex tile
+    crosses shared memory in two passes (real then imaginary) — the same
+    split the paper's step-5 kernel uses.
+    """
+    t = ctx.threadIdx.x
+    tiles_per_side = n // tile
+    block = ctx.blockIdx.x
+    trow, tcol = block // tiles_per_side, block % tiles_per_side
+    stride = padded_stride(tile)
+    rows_per_round = ctx.blockDim.x // tile
+    lrow0, lcol = t // tile, t % tile
+
+    values = {}
+    for r in range(lrow0, tile, rows_per_round):
+        values[r] = yield (
+            "load", inp, (trow * tile + r) * n + tcol * tile + lcol
+        )
+    outs = {}
+    for part in (0, 1):
+        for r in range(lrow0, tile, rows_per_round):
+            word = values[r].real if part == 0 else values[r].imag
+            yield ("shared_store", shared, r * stride + lcol, word)
+        yield ("sync",)
+        for r in range(lrow0, tile, rows_per_round):
+            word = yield ("shared_load", shared, lcol * stride + r)
+            prev = outs.get(r, 0.0)
+            outs[r] = complex(word, 0.0) if part == 0 else complex(
+                prev.real, word
+            )
+        yield ("sync",)
+    for r in range(lrow0, tile, rows_per_round):
+        yield (
+            "store",
+            out,
+            (tcol * tile + r) * n + trow * tile + lcol,
+            outs[r],
+        )
+
+
+def run_transpose(
+    matrix: np.ndarray, tiled: bool, threads_per_block: int = 64
+) -> WarpStepResult:
+    """Transpose a square matrix with either kernel; returns observations."""
+    matrix = np.ascontiguousarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("expected a square matrix")
+    n = matrix.shape[0]
+    ilog2(n)
+    if n < 16:
+        raise ValueError("n must be >= 16 (one tile per half-warp)")
+
+    inp = GlobalBuffer(matrix.reshape(-1).astype(np.complex128), 0, "A")
+    out = GlobalBuffer(np.zeros(n * n, np.complex128), matrix.nbytes, "At")
+    executor = WarpExecutor()
+    if tiled:
+        tile = 16
+        shared = SharedBuffer(tile * padded_stride(tile), "tile")
+        blocks = (n // tile) ** 2
+        report = executor.launch(
+            tiled_transpose_kernel, Dim3(blocks), Dim3(threads_per_block),
+            inp, out, shared, n, tile,
+        )
+    else:
+        blocks = max(1, min(8, n * n // threads_per_block))
+        report = executor.launch(
+            naive_transpose_kernel, Dim3(blocks), Dim3(threads_per_block),
+            inp, out, n,
+        )
+    return WarpStepResult(out.data.reshape(n, n), report)

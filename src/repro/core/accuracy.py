@@ -1,0 +1,103 @@
+"""Numerical-accuracy measurement for the transform engines.
+
+Section 4.5 of the paper flags precision as the open concern of the G80
+generation ("currently available CUDA GPUs support only single precision
+operations, they are not useful for applications that require higher
+accuracy").  This module quantifies exactly that for every engine in the
+package: relative forward error against a double-precision reference and
+round-trip (forward-then-inverse) error, as functions of size and
+precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.five_step import FiveStepPlan
+from repro.fft.plan import PlanND
+
+__all__ = ["AccuracyReport", "measure_accuracy", "accuracy_sweep"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Error metrics of one engine at one size/precision."""
+
+    engine: str
+    shape: tuple[int, int, int]
+    precision: str
+    #: max |X - X_ref| / max |X_ref| against a float64 reference forward
+    #: transform of the same data.
+    forward_error: float
+    #: max |IFFT(FFT(x)) - x| over unit-scale data.
+    roundtrip_error: float
+
+    def within_single_precision_budget(self) -> bool:
+        """Error consistent with float32 rounding (~eps * log2 N growth)."""
+        n_ops = np.log2(max(np.prod(self.shape), 2))
+        budget = 1.2e-7 * n_ops * 8
+        return self.forward_error < budget and self.roundtrip_error < budget * 10
+
+
+_ENGINES: dict[str, Callable] = {
+    "five_step": lambda shape, precision: FiveStepPlan(shape, precision=precision),
+    "host_plan": lambda shape, precision: PlanND(shape, precision=precision),
+}
+
+
+def measure_accuracy(
+    engine: str,
+    shape: tuple[int, int, int] | int = 64,
+    precision: str = "single",
+    seed: int = 0,
+) -> AccuracyReport:
+    """Measure one engine's forward and round-trip error."""
+    if isinstance(shape, int):
+        shape = (shape, shape, shape)
+    try:
+        factory = _ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {sorted(_ENGINES)}"
+        ) from None
+    rng = np.random.default_rng(seed)
+    x64 = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ref = np.fft.fftn(x64)
+    ref_scale = np.abs(ref).max()
+
+    plan = factory(shape, precision)
+    dtype = np.complex64 if precision == "single" else np.complex128
+    x = x64.astype(dtype)
+    fwd = plan.execute(x)
+    forward_error = float(np.abs(fwd.astype(np.complex128) - ref).max() / ref_scale)
+
+    if isinstance(plan, PlanND):
+        back = plan.execute(fwd, inverse=True)  # backward norm: 1/N applied
+    else:
+        back = plan.execute(fwd, inverse=True) / x.size
+    roundtrip_error = float(np.abs(back.astype(np.complex128) - x64).max())
+    return AccuracyReport(
+        engine=engine,
+        shape=tuple(shape),
+        precision=precision,
+        forward_error=forward_error,
+        roundtrip_error=roundtrip_error,
+    )
+
+
+def accuracy_sweep(
+    sizes=(16, 32, 64),
+    engines=("five_step", "host_plan"),
+    precisions=("single", "double"),
+    seed: int = 0,
+) -> list[AccuracyReport]:
+    """Accuracy of every engine/size/precision combination."""
+    return [
+        measure_accuracy(engine, n, precision, seed)
+        for engine in engines
+        for n in sizes
+        for precision in precisions
+    ]

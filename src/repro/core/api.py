@@ -1,0 +1,165 @@
+"""High-level public API for the bandwidth-intensive GPU 3-D FFT.
+
+:class:`GpuFFT3D` is what a downstream application (e.g. the docking code
+in :mod:`repro.apps.docking`) uses: plan once, transform many times, and —
+when given a :class:`~repro.gpu.simulator.DeviceSimulator` — have every
+launch and transfer accounted on the simulated timeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimator import FFT3DEstimate, estimate_fft3d
+from repro.core.five_step import FiveStepPlan
+from repro.core.out_of_core import OutOfCorePlan
+from repro.fft.normalization import apply_norm
+from repro.gpu.simulator import DeviceArray, DeviceSimulator
+from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
+from repro.util.validation import as_complex_array
+
+__all__ = ["GpuFFT3D", "gpu_fft3d", "gpu_ifft3d"]
+
+
+class GpuFFT3D:
+    """A planned 3-D transform bound to a (simulated) device.
+
+    Parameters
+    ----------
+    shape:
+        ``(nz, ny, nx)`` or a cube size.
+    device:
+        Target GPU spec; defaults to the 8800 GTX.
+    simulator:
+        Optional shared :class:`DeviceSimulator`; when omitted, one is
+        created and exposed as :attr:`simulator`.
+    precision / norm:
+        As in :mod:`repro.fft`.
+
+    Transforms larger than device memory transparently take the
+    out-of-core path (Section 3.3).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int] | int,
+        device: DeviceSpec = GEFORCE_8800_GTX,
+        simulator: DeviceSimulator | None = None,
+        precision: str = "single",
+        norm: str = "backward",
+    ):
+        if isinstance(shape, int):
+            shape = (shape, shape, shape)
+        self.device = device
+        self.norm = norm
+        self.precision = precision
+        self.simulator = simulator or DeviceSimulator(device)
+        self._ooc = OutOfCorePlan(shape, device, precision=precision)
+        self.shape = self._ooc.shape
+        self._plan = FiveStepPlan(self.shape, precision=precision)
+        self._dev_v: DeviceArray | None = None
+        self._dev_w: DeviceArray | None = None
+
+    @property
+    def out_of_core(self) -> bool:
+        """True when the grid does not fit on the card."""
+        return not self._ooc.fits_in_core
+
+    @property
+    def total_elements(self) -> int:
+        nz, ny, nx = self.shape
+        return nz * ny * nx
+
+    # ------------------------------------------------------------------
+
+    def _ensure_device_buffers(self) -> None:
+        if self._dev_v is not None:
+            return
+        dtype = np.complex64 if self.precision == "single" else np.complex128
+        self._dev_v = self.simulator.allocate(self.shape, dtype, "fft3d-V")
+        self._dev_w = self.simulator.allocate(self.shape, dtype, "fft3d-WORK")
+
+    def _run(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        x = as_complex_array(x, self.precision)
+        if x.shape != self.shape:
+            raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
+
+        if self.out_of_core:
+            if inverse:
+                out = np.conj(self._ooc.execute(np.conj(x)))
+            else:
+                out = self._ooc.execute(x)
+            self.simulator.charge(
+                "out-of-core-fft3d", self._ooc.estimate().total_seconds, "kernel"
+            )
+            return apply_norm(out, self.total_elements, self.norm, inverse)
+
+        self._ensure_device_buffers()
+        assert self._dev_v is not None
+        self.simulator.h2d(x, self._dev_v, "fft3d-h2d")
+        specs = self._plan.step_specs(self.device)
+        result: dict[str, np.ndarray] = {}
+
+        def body() -> None:
+            result["out"] = self._plan.execute(self._dev_v.data, inverse=inverse)
+
+        # Launch the five kernels; the functional work happens on the last
+        # launch (one pass through the plan), the timing on each.
+        for spec in specs[:-1]:
+            self.simulator.launch(spec)
+        self.simulator.launch(specs[-1], body)
+        np.copyto(self._dev_v.data, result["out"])
+        out = np.empty_like(x)
+        self.simulator.d2h(self._dev_v, out, "fft3d-d2h")
+        return apply_norm(out, self.total_elements, self.norm, inverse)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward transform; matches ``numpy.fft.fftn`` (default norm)."""
+        return self._run(x, inverse=False)
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Inverse transform; matches ``numpy.fft.ifftn`` (default norm)."""
+        return self._run(x, inverse=True)
+
+    # ------------------------------------------------------------------
+
+    def estimate(self) -> FFT3DEstimate:
+        """Performance prediction for one on-board transform."""
+        return estimate_fft3d(
+            self.device, self.shape, self.precision, self.simulator.memsystem
+        )
+
+    def release(self) -> None:
+        """Free the device buffers."""
+        if self._dev_v is not None:
+            self.simulator.free(self._dev_v)
+            self.simulator.free(self._dev_w)
+            self._dev_v = self._dev_w = None
+
+
+def gpu_fft3d(
+    x: np.ndarray,
+    device: DeviceSpec = GEFORCE_8800_GTX,
+    norm: str = "backward",
+) -> np.ndarray:
+    """One-shot forward 3-D FFT through the simulated GPU path."""
+    x = np.asarray(x)
+    plan = GpuFFT3D(x.shape, device=device, norm=norm)
+    try:
+        return plan.forward(x)
+    finally:
+        plan.release()
+
+
+def gpu_ifft3d(
+    x: np.ndarray,
+    device: DeviceSpec = GEFORCE_8800_GTX,
+    norm: str = "backward",
+) -> np.ndarray:
+    """One-shot inverse 3-D FFT through the simulated GPU path."""
+    x = np.asarray(x)
+    plan = GpuFFT3D(x.shape, device=device, norm=norm)
+    try:
+        return plan.inverse(x)
+    finally:
+        plan.release()

@@ -1,0 +1,252 @@
+"""The five simulated CUDA kernels of the bandwidth-intensive 3-D FFT.
+
+Each kernel exists twice, deliberately coupled:
+
+* a **functional body** — vectorized NumPy that performs exactly the data
+  movement and butterflies of the CUDA original (verified against
+  ``numpy.fft`` in the test suite), and
+* a **KernelSpec builder** — the launch geometry, register/shared-memory
+  footprint, instruction mix and memory access patterns the performance
+  simulator times.
+
+Kernel inventory (Section 3.2):
+
+* steps 1-4: coarse-grained multirow 16-point (8-point for 64^3/128^3)
+  FFTs, one transform per thread, 51-52 registers, no shared memory,
+  twiddles in registers;
+* step 5: fine-grained shared-memory transform along X, 64 threads per
+  256-point transform, twiddles via texture, padded real/imag exchanges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.patterns import FiveDimView, TRANSACTION_BYTES
+from repro.fft.codelets import CODELET_SIZES, codelet_fft
+from repro.fft.cooley_tukey import fft_pow2
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.sharedmem import SharedMemoryModel, padded_stride
+from repro.gpu.specs import DeviceSpec
+from repro.util.indexing import ilog2
+
+__all__ = [
+    "fft_codelet_axis0",
+    "multirow_half1",
+    "multirow_half2",
+    "shared_x_transform",
+    "multirow_step_spec",
+    "shared_x_step_spec",
+    "MULTIROW_REGISTERS",
+    "SHARED_X_REGISTERS",
+]
+
+#: Register footprint of the 16-point coarse-grained kernel (Section 3.1:
+#: "we implement the kernels of 16-point FFT with 51 or 52 registers").
+MULTIROW_REGISTERS = {2: 16, 4: 20, 8: 30, 16: 52, 32: 68, 64: 132}
+
+#: Register footprint per thread of the fine-grained shared-memory kernel
+#: (Section 3.2: "each thread uses only eight registers to store four
+#: complex numbers" plus addressing state).
+SHARED_X_REGISTERS = 16
+
+#: Threads per block used throughout (the paper's Tables 3/4/6/7 config).
+THREADS_PER_BLOCK = 64
+
+
+# ----------------------------------------------------------------------
+# Functional bodies
+# ----------------------------------------------------------------------
+
+def fft_codelet_axis0(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """FFT along axis 0 of an N-D array (vectorized batch).
+
+    Dispatches to a straight-line codelet when one exists; oversized
+    factors (the out-of-core slabs' 32-point half) recurse through the
+    four-step engine.
+    """
+    moved = np.ascontiguousarray(np.moveaxis(state, 0, -1))
+    if moved.shape[-1] in CODELET_SIZES:
+        out = codelet_fft(moved, inverse=inverse)
+    else:
+        out = fft_pow2(moved, inverse=inverse)
+    return np.moveaxis(out, -1, 0)
+
+
+def multirow_half1(
+    state: np.ndarray, twiddle: np.ndarray, inverse: bool = False
+) -> np.ndarray:
+    """Steps 1 and 3: first half of the split transform (FFT256_1).
+
+    Transforms axis 0 (the slow digit of the split axis), applies the
+    inter-factor twiddles, and lands the result in the pattern-A layout:
+    C axes ``(d0, d1, d2, d3, x) -> (d1, d2, d3, k, x)``.
+    """
+    if state.ndim != 5:
+        raise ValueError(f"expected a 5-D state, got shape {state.shape}")
+    if twiddle.shape != (state.shape[0], state.shape[1]):
+        raise ValueError(
+            f"twiddle shape {twiddle.shape} does not match state "
+            f"{state.shape[:2]}"
+        )
+    t = fft_codelet_axis0(state, inverse)
+    w = np.conj(twiddle) if inverse else twiddle
+    t = t * w[:, :, None, None, None].astype(t.dtype, copy=False)
+    return np.ascontiguousarray(t.transpose(1, 2, 3, 0, 4))
+
+
+def multirow_half2(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Steps 2 and 4: second half of the split transform (FFT256_2).
+
+    Transforms axis 0 (the fast digit) and lands in the pattern-B layout:
+    C axes ``(d0, d1, d2, d3, x) -> (d1, d2, k, d3, x)``.
+    """
+    if state.ndim != 5:
+        raise ValueError(f"expected a 5-D state, got shape {state.shape}")
+    t = fft_codelet_axis0(state, inverse)
+    return np.ascontiguousarray(t.transpose(1, 2, 0, 3, 4))
+
+
+def shared_x_transform(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Step 5: in-place transform along the contiguous X axis.
+
+    The CUDA original computes each X line with 64 cooperating threads via
+    shared memory; functionally it is a batched power-of-two FFT along the
+    last axis.
+    """
+    return fft_pow2(np.ascontiguousarray(state), inverse=inverse)
+
+
+# ----------------------------------------------------------------------
+# KernelSpec builders
+# ----------------------------------------------------------------------
+
+def _grid_blocks(device: DeviceSpec) -> int:
+    """Paper launch configuration: 3 blocks per SM (42 on GT, 48 on GTX)."""
+    return 3 * device.n_sm
+
+
+def multirow_step_spec(
+    device: DeviceSpec,
+    view_in: FiveDimView,
+    view_out: FiveDimView,
+    star_out_dim: int,
+    base_in: int,
+    base_out: int,
+    with_twiddle: bool,
+    name: str,
+) -> KernelSpec:
+    """Spec for one of steps 1-4 (coarse-grained multirow pass).
+
+    The read is always the pattern-D stream (star at Fortran dim 5 of the
+    input view); the write lands at ``star_out_dim`` (2 for pattern A,
+    3 for pattern B).
+    """
+    radix = view_in.dims[4]
+    if radix not in MULTIROW_REGISTERS:
+        raise ValueError(f"no multirow kernel for radix {radix}")
+    read = view_in.star_burst(5, base_in)
+    write = view_out.star_burst(star_out_dim, base_out)
+
+    total = 1
+    for d in view_in.dims:
+        total *= d
+    work_items = total // radix
+
+    flops = 5.0 * radix * ilog2(radix)
+    if with_twiddle:
+        flops += 6.0 * radix  # one complex multiply per output point
+    mix = InstructionMix(
+        flops=flops,
+        # Per transform: 2*radix global ld/st issues + index arithmetic.
+        other_ops=2.0 * radix,
+    )
+    return KernelSpec(
+        name=name,
+        grid_blocks=_grid_blocks(device),
+        threads_per_block=THREADS_PER_BLOCK,
+        regs_per_thread=MULTIROW_REGISTERS[radix],
+        shared_bytes_per_block=0,
+        work_items=work_items,
+        mix=mix,
+        memory=(MemoryAccessSpec(read), MemoryAccessSpec(write)),
+        double_buffered=True,
+    )
+
+
+def shared_x_shared_bytes(nx: int) -> int:
+    """Shared-memory allocation of the step-5 kernel, bytes per block.
+
+    One padded real array of ``nx`` floats (real and imaginary parts are
+    exchanged in two passes to halve the allocation, Section 3.2).
+    """
+    rows = nx // 16
+    return padded_stride(16) * rows * 4
+
+
+def shared_x_step_spec(
+    device: DeviceSpec,
+    nx: int,
+    batch: int,
+    base_in: int = 0,
+    base_out: int | None = None,
+    name: str = "step5-sharedX",
+    padded: bool = True,
+    twiddles_via_texture: bool = True,
+) -> KernelSpec:
+    """Spec for step 5 (fine-grained shared-memory X transform).
+
+    ``base_out=None`` means in-place (Table 7); Table 6's conventional
+    1-D steps use the same kernel out-of-place.  ``padded=False`` models
+    the bank-conflicted layout for the padding ablation.
+    """
+    ilog2(nx)
+    if nx * 8 % TRANSACTION_BYTES != 0:
+        raise ValueError("X line must be a multiple of 128 bytes")
+    line_txns = nx * 8 // TRANSACTION_BYTES
+    read = BurstPattern(
+        base=base_in,
+        scan_dims=(batch,),
+        scan_strides=(nx * 8,),
+        burst_len=line_txns,
+        burst_stride=TRANSACTION_BYTES,
+        transaction_bytes=TRANSACTION_BYTES,
+        name="step5-read",
+    )
+    write = BurstPattern(
+        base=base_in if base_out is None else base_out,
+        scan_dims=(batch,),
+        scan_strides=(nx * 8,),
+        burst_len=line_txns,
+        burst_stride=TRANSACTION_BYTES,
+        transaction_bytes=TRANSACTION_BYTES,
+        name="step5-write",
+    )
+
+    # Radix-4 stages with shared exchanges between them; each exchange
+    # moves every point through shared memory in two (real/imag) passes:
+    # store + load per half = 4 issues per point per exchange.
+    stages = max(1, (ilog2(nx) + 1) // 2)
+    exchanges = stages - 1
+    conflict = 1 if padded else 16
+    shared = SharedMemoryModel(conflict_degree=conflict)
+    shared_ops = shared.exchange_cost(exchanges * 4 * nx)
+    texture_ops = nx // 4 if twiddles_via_texture else 0
+    mix = InstructionMix(
+        flops=5.0 * nx * ilog2(nx),
+        shared_ops=float(shared_ops),
+        other_ops=2.0 * line_txns * 16 / 4 + texture_ops,
+    )
+    return KernelSpec(
+        name=name,
+        grid_blocks=_grid_blocks(device),
+        threads_per_block=THREADS_PER_BLOCK,
+        regs_per_thread=SHARED_X_REGISTERS,
+        shared_bytes_per_block=shared_x_shared_bytes(nx),
+        work_items=batch,
+        mix=mix,
+        memory=(MemoryAccessSpec(read), MemoryAccessSpec(write)),
+        double_buffered=True,
+    )

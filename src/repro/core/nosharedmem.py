@@ -1,0 +1,167 @@
+"""The no-shared-memory ablation of the X-axis transform (Table 9).
+
+"Without shared memory, we are forced to use global memory for data
+exchange between threads ... the transforms for X axis are also divided
+into two steps of 16-point FFTs ... we must either utilize texture memory
+or non-coalesced memory access for the second step" (Section 4.3).
+
+Three variants of the X-axis transform at 256^3:
+
+* ``shared``       — the real step 5 (one kernel, shared-memory exchange);
+* ``texture``      — two 16-point passes, second reading via texture;
+* ``non_coalesced``— two 16-point passes, second with serialized loads.
+
+The Y&Z steps are identical in all variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import estimate_fft3d
+from repro.core.kernels import MULTIROW_REGISTERS, THREADS_PER_BLOCK
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timing import time_kernel
+from repro.util.indexing import ilog2
+
+__all__ = ["NoSharedMemoryVariant", "estimate_x_axis_variants"]
+
+
+@dataclass(frozen=True)
+class NoSharedMemoryVariant:
+    """Times of one Table 9 row, seconds."""
+
+    name: str
+    x_axis_first: float
+    x_axis_second: float
+    yz_axes: float
+
+    @property
+    def x_axis_total(self) -> float:
+        return self.x_axis_first + self.x_axis_second
+
+    @property
+    def total(self) -> float:
+        return self.x_axis_total + self.yz_axes
+
+
+def _x_pass_spec(
+    device: DeviceSpec,
+    n: int,
+    batch: int,
+    second_pass: bool,
+    via_texture: bool,
+    name: str,
+) -> KernelSpec:
+    """One 16-point global-exchange pass over the X lines.
+
+    First pass: each thread reads its 16 points at stride ``(n/16)*8``
+    within the 2 KB line — adjacent threads stay coalescable.  Second
+    pass: the digit-reversed gather has stride 16 elements (128 B), which
+    cannot coalesce; it goes through texture or serialized loads.
+    """
+    r = 16
+    line_bytes = n * 8
+    if second_pass:
+        # Digit-reversed gather: thread t reads x = 16t + j, so one load
+        # instruction touches 16 addresses 128 B apart within the 2 KB
+        # line — 16 serialized 32-byte transactions (4x traffic) unless
+        # routed through the texture cache.
+        if via_texture:
+            read = BurstPattern(
+                base=0,
+                scan_dims=(batch,),
+                scan_strides=(line_bytes,),
+                burst_len=line_bytes // 128,
+                burst_stride=128,
+                transaction_bytes=128,
+                name=f"{name}-gather",
+            )
+        else:
+            read = BurstPattern(
+                base=0,
+                scan_dims=(r, batch),
+                scan_strides=(8, line_bytes),
+                burst_len=r,
+                burst_stride=128,
+                transaction_bytes=32,
+                name=f"{name}-gather",
+            )
+    else:
+        # Strided-but-dense read: the 16 points of one transform tile a
+        # contiguous 2 KB line across the half-warp.
+        read = BurstPattern(
+            base=0,
+            scan_dims=(batch,),
+            scan_strides=(line_bytes,),
+            burst_len=line_bytes // 128,
+            burst_stride=128,
+            transaction_bytes=128,
+            name=f"{name}-read",
+        )
+    if second_pass and not via_texture:
+        # Same scan space as the serialized gather: one coalesced write
+        # transaction per load round.
+        write = BurstPattern(
+            base=batch * line_bytes,
+            scan_dims=(r, batch),
+            scan_strides=(128, line_bytes),
+            burst_len=1,
+            burst_stride=128,
+            transaction_bytes=128,
+            name=f"{name}-write",
+        )
+    else:
+        write = BurstPattern(
+            base=batch * line_bytes,
+            scan_dims=(batch,),
+            scan_strides=(line_bytes,),
+            burst_len=line_bytes // 128,
+            burst_stride=128,
+            transaction_bytes=128,
+            name=f"{name}-write",
+        )
+    return KernelSpec(
+        name=name,
+        grid_blocks=3 * device.n_sm,
+        threads_per_block=THREADS_PER_BLOCK,
+        regs_per_thread=MULTIROW_REGISTERS[r],
+        shared_bytes_per_block=0,
+        work_items=batch * n // r,
+        mix=InstructionMix(flops=5.0 * r * ilog2(r) + 6.0 * r, other_ops=2.0 * r),
+        memory=(
+            MemoryAccessSpec(read, via_texture=second_pass and via_texture),
+            MemoryAccessSpec(write),
+        ),
+        double_buffered=True,
+    )
+
+
+def estimate_x_axis_variants(
+    device: DeviceSpec, n: int = 256, memsystem: MemorySystem | None = None
+) -> dict[str, NoSharedMemoryVariant]:
+    """The three Table 9 rows for an ``n^3`` transform on ``device``."""
+    ms = memsystem or MemorySystem(device)
+    batch = n * n
+    est = estimate_fft3d(device, (n, n, n), memsystem=ms)
+    yz = sum(t.seconds for t in est.steps[:4])
+    shared_t = est.steps[4].seconds
+
+    def timed(spec: KernelSpec) -> float:
+        # These passes stream whole X lines (sequential-dominated), so the
+        # strided-kernel derate does not apply.
+        return time_kernel(device, spec, ms).seconds
+
+    first = timed(_x_pass_spec(device, n, batch, False, False, "xpass1"))
+    tex = timed(_x_pass_spec(device, n, batch, True, True, "xpass2-tex"))
+    ser = timed(_x_pass_spec(device, n, batch, True, False, "xpass2-ser"))
+
+    return {
+        "shared": NoSharedMemoryVariant("Shared memory", shared_t, 0.0, yz),
+        "texture": NoSharedMemoryVariant("Texture memory", first, tex, yz),
+        "non_coalesced": NoSharedMemoryVariant("Not coalesced", first, ser, yz),
+    }

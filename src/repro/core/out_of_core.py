@@ -1,0 +1,300 @@
+"""Out-of-core 3-D FFT for grids larger than device memory (Section 3.3).
+
+A 512^3 single-precision grid needs 1 GB plus work space — more than the
+512 MB cards hold.  The paper splits the Z axis by decimation into ``S``
+interleaved slabs (S = 8 for 512^3):
+
+    Stage 1 (per slab i):  send the planes z ≡ i (mod S); compute the 3-D
+        FFT of the (nz/S, ny, nx) slab on the device; multiply the
+        decimation twiddles W_nz^{i*k2}; receive.
+    Stage 2 (per plane group): send the S planes holding one k2 across all
+        slabs; compute S-point FFTs along the slab axis; receive into
+        natural order (plane k2 + (nz/S)*k1).
+
+Data crosses PCIe twice, which dominates the runtime (Table 12) — the
+performance is "greatly restricted by its transfer speed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.estimator import estimate_fft3d
+from repro.core.five_step import FiveStepPlan
+from repro.core.kernels import MULTIROW_REGISTERS, fft_codelet_axis0
+from repro.fft.twiddle import twiddle_table
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.pcie import link_for
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timing import time_kernel
+from repro.util.indexing import ilog2
+from repro.util.units import flops_3d_fft
+from repro.util.validation import as_complex_array
+
+__all__ = ["OutOfCoreEstimate", "OutOfCorePlan", "estimate_out_of_core"]
+
+
+@dataclass(frozen=True)
+class OutOfCoreEstimate:
+    """Predicted phase times of the out-of-core transform (Table 12)."""
+
+    device: str
+    shape: tuple[int, int, int]
+    n_slabs: int
+    stage1_h2d: float
+    stage1_fft: float
+    stage1_twiddle: float
+    stage1_d2h: float
+    stage2_h2d: float
+    stage2_fft: float
+    stage2_d2h: float
+    nominal_flops: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.stage1_h2d
+            + self.stage1_fft
+            + self.stage1_twiddle
+            + self.stage1_d2h
+            + self.stage2_h2d
+            + self.stage2_fft
+            + self.stage2_d2h
+        )
+
+    @property
+    def total_gflops(self) -> float:
+        return self.nominal_flops / self.total_seconds / 1e9
+
+    @property
+    def transfer_seconds(self) -> float:
+        return (
+            self.stage1_h2d + self.stage1_d2h + self.stage2_h2d + self.stage2_d2h
+        )
+
+
+class OutOfCorePlan:
+    """Functional + timed out-of-core transform.
+
+    ``n_slabs`` defaults to the smallest power-of-two split whose two slab
+    buffers (data + work) fit in device memory.
+    """
+
+    #: Fraction of device memory usable for the two slab buffers (the rest
+    #: goes to twiddle tables, CUDA context, display surface).
+    USABLE_FRACTION = 0.9
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int] | int,
+        device: DeviceSpec,
+        n_slabs: int | None = None,
+        precision: str = "single",
+    ):
+        if isinstance(shape, int):
+            shape = (shape, shape, shape)
+        nz, ny, nx = (int(n) for n in shape)
+        ilog2(nz)
+        self.shape = (nz, ny, nx)
+        self.device = device
+        self.precision = precision
+        el = 8 if precision == "single" else 16
+        total = nz * ny * nx * el
+        if n_slabs is None:
+            budget = device.memory_bytes * self.USABLE_FRACTION
+            n_slabs = 1
+            while n_slabs < nz and 2 * total / n_slabs > budget:
+                n_slabs *= 2
+        if nz % n_slabs != 0:
+            raise ValueError(f"n_slabs {n_slabs} must divide nz {nz}")
+        if n_slabs > 1 and (n_slabs & (n_slabs - 1)) != 0:
+            raise ValueError(
+                f"slab count {n_slabs} must be a power of two for the "
+                "stage-2 FFTs"
+            )
+        self.n_slabs = n_slabs
+        self._el = el
+
+    @property
+    def slab_shape(self) -> tuple[int, int, int]:
+        nz, ny, nx = self.shape
+        return (nz // self.n_slabs, ny, nx)
+
+    @property
+    def fits_in_core(self) -> bool:
+        return self.n_slabs == 1
+
+    @property
+    def flops(self) -> float:
+        nz, ny, nx = self.shape
+        return flops_3d_fft(nx, ny, nz)
+
+    # ------------------------------------------------------------------
+    # Functional execution
+    # ------------------------------------------------------------------
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Forward transform on the host, staged exactly as on the device.
+
+        Matches ``numpy.fft.fftn``; un-normalized.
+        """
+        x = as_complex_array(x, self.precision)
+        if x.shape != self.shape:
+            raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
+        nz, ny, nx = self.shape
+        s = self.n_slabs
+        if s == 1:
+            return FiveStepPlan(self.shape, self.precision).execute(x)
+
+        sub_nz = nz // s
+        if sub_nz >= 4:
+            slab_plan = FiveStepPlan((sub_nz, ny, nx), self.precision)
+        else:
+            # Slabs too thin for the five-step Z split (tiny-card cases):
+            # fall back to the host separable plan for the slab transform.
+            from repro.fft.plan import PlanND
+
+            slab_plan = PlanND((sub_nz, ny, nx), precision=self.precision)
+        work = np.empty_like(x)
+        wz = twiddle_table(nz, self.precision)
+        k2 = np.arange(sub_nz)
+        # Stage 1: per-slab 3-D FFT + decimation twiddles.
+        for i in range(s):
+            slab = np.ascontiguousarray(x[i::s])  # planes z ≡ i (mod s)
+            out = slab_plan.execute(slab)
+            out *= wz[(i * k2) % nz][:, None, None]
+            work[i::s] = out
+        # Stage 2: s-point FFTs across slabs for each k2 plane group.
+        result = np.empty_like(x)
+        for k in range(sub_nz):
+            group = np.ascontiguousarray(work[k * s : (k + 1) * s])
+            # FFT over the slab axis (axis 0); the recursive path covers
+            # slab counts beyond the straight-line codelets.
+            result[k::sub_nz] = fft_codelet_axis0(group)
+        return result
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+
+    def _twiddle_spec(self, device: DeviceSpec) -> KernelSpec:
+        """Elementwise twiddle multiply over one slab (sequential r/w)."""
+        sub_nz, ny, nx = self.slab_shape
+        n_bytes = sub_nz * ny * nx * self._el
+        seq = BurstPattern(
+            base=0,
+            scan_dims=(n_bytes // 128,),
+            scan_strides=(128,),
+            burst_len=1,
+            burst_stride=128,
+            transaction_bytes=128,
+            name="twiddle-rw",
+        )
+        seq_out = BurstPattern(
+            base=0,
+            scan_dims=(n_bytes // 128,),
+            scan_strides=(128,),
+            burst_len=1,
+            burst_stride=128,
+            transaction_bytes=128,
+            name="twiddle-w",
+        )
+        return KernelSpec(
+            name="twiddle-multiply",
+            grid_blocks=3 * device.n_sm,
+            threads_per_block=64,
+            regs_per_thread=16,
+            shared_bytes_per_block=0,
+            work_items=sub_nz * ny * nx,
+            mix=InstructionMix(flops=6.0, other_ops=2.0),
+            memory=(MemoryAccessSpec(seq), MemoryAccessSpec(seq_out)),
+        )
+
+    def _stage2_spec(self, device: DeviceSpec) -> KernelSpec:
+        """S-point multirow FFT across one plane group (on device)."""
+        sub_nz, ny, nx = self.slab_shape
+        s = self.n_slabs
+        plane_bytes = ny * nx * self._el
+        read = BurstPattern(
+            base=0,
+            scan_dims=(plane_bytes // 128,),
+            scan_strides=(128,),
+            burst_len=s,
+            burst_stride=plane_bytes,
+            transaction_bytes=128,
+            name="stage2-read",
+        )
+        write = BurstPattern(
+            base=s * plane_bytes,
+            scan_dims=(plane_bytes // 128,),
+            scan_strides=(128,),
+            burst_len=s,
+            burst_stride=plane_bytes,
+            transaction_bytes=128,
+            name="stage2-write",
+        )
+        return KernelSpec(
+            name=f"stage2-fft{s}",
+            grid_blocks=3 * device.n_sm,
+            threads_per_block=64,
+            regs_per_thread=MULTIROW_REGISTERS.get(s, 132),
+            shared_bytes_per_block=0,
+            work_items=ny * nx,
+            mix=InstructionMix(flops=5.0 * s * ilog2(s), other_ops=2.0 * s),
+            memory=(MemoryAccessSpec(read), MemoryAccessSpec(write)),
+        )
+
+    def estimate(self, memsystem: MemorySystem | None = None) -> OutOfCoreEstimate:
+        """Predicted Table 12 row for this plan's device."""
+        if self.fits_in_core:
+            raise ValueError(
+                "transform fits in device memory; use estimate_fft3d instead"
+            )
+        device = self.device
+        ms = memsystem or MemorySystem(device)
+        link = link_for(device.pcie)
+        nz, ny, nx = self.shape
+        s = self.n_slabs
+        sub_nz = nz // s
+        slab_bytes = sub_nz * ny * nx * self._el
+        total_bytes = nz * ny * nx * self._el
+
+        slab_est = estimate_fft3d(device, self.slab_shape, self.precision, ms)
+        # Stage 1: per-slab plane-by-plane transfers (the paper sends each
+        # XY plane separately: 64 transfers of 2 MB each per slab).
+        plane_bytes = ny * nx * self._el
+        h2d_1 = s * sub_nz * link.transfer_time(plane_bytes, "h2d")
+        d2h_1 = s * sub_nz * link.transfer_time(plane_bytes, "d2h")
+        fft_1 = s * slab_est.on_board_seconds
+        tw_1 = s * time_kernel(device, self._twiddle_spec(device), ms).seconds
+
+        # Stage 2: per-group transfers of s planes + the small FFT pass.
+        h2d_2 = sub_nz * s * link.transfer_time(plane_bytes, "h2d")
+        d2h_2 = sub_nz * s * link.transfer_time(plane_bytes, "d2h")
+        fft_2 = sub_nz * time_kernel(device, self._stage2_spec(device), ms).seconds
+
+        return OutOfCoreEstimate(
+            device=device.name,
+            shape=self.shape,
+            n_slabs=s,
+            stage1_h2d=h2d_1,
+            stage1_fft=fft_1,
+            stage1_twiddle=tw_1,
+            stage1_d2h=d2h_1,
+            stage2_h2d=h2d_2,
+            stage2_fft=fft_2,
+            stage2_d2h=d2h_2,
+            nominal_flops=self.flops,
+        )
+
+
+def estimate_out_of_core(
+    device: DeviceSpec, n: int = 512, precision: str = "single"
+) -> OutOfCoreEstimate:
+    """Convenience wrapper: Table 12's 512^3 case on ``device``."""
+    return OutOfCorePlan((n, n, n), device, precision=precision).estimate()

@@ -1,0 +1,181 @@
+"""Access-pattern taxonomy over the five-dimensional view (Table 2).
+
+The paper splits ``V(X, Y1, Y2, Z1, Z2)`` (Fortran order, X fastest) and
+names the four ways a 16-point FFT can read/write along one of the split
+axes:
+
+    A = (256,*,16,16,16)   star at Fortran dim 2, stride 2 KB
+    B = (256,16,*,16,16)   dim 3, stride 32 KB
+    C = (256,16,16,*,16)   dim 4, stride 512 KB
+    D = (256,16,16,16,*)   dim 5, stride 8 MB
+
+(strides for the 256^3 single-precision case).  Tables 3/4 measure the
+bandwidth of every input/output pattern combination; the five-step
+algorithm is ordered so that every kernel pairs its D-pattern read with an
+A or B write, avoiding the C/D x C/D collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.gpu.access import BurstPattern
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import DeviceSpec
+from repro.util.validation import check_power_of_two
+
+__all__ = [
+    "Pattern",
+    "PATTERNS",
+    "FiveDimView",
+    "pattern_of_star_dim",
+    "pattern_pair_bandwidth",
+    "pattern_table",
+]
+
+#: Coalesced half-warp transaction for complex64 data: 16 threads x 8 B.
+TRANSACTION_BYTES = 128
+
+
+class Pattern(str, Enum):
+    """The four starred-axis positions of Table 2."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+
+    @property
+    def star_dim(self) -> int:
+        """Fortran dimension (2-5) carrying the star."""
+        return {"A": 2, "B": 3, "C": 4, "D": 5}[self.value]
+
+
+PATTERNS = (Pattern.A, Pattern.B, Pattern.C, Pattern.D)
+
+
+def pattern_of_star_dim(star_dim: int) -> Pattern:
+    """Inverse of :attr:`Pattern.star_dim`."""
+    try:
+        return {2: Pattern.A, 3: Pattern.B, 4: Pattern.C, 5: Pattern.D}[star_dim]
+    except KeyError:
+        raise ValueError(f"star dimension must be 2-5, got {star_dim}") from None
+
+
+@dataclass(frozen=True)
+class FiveDimView:
+    """Byte-level geometry of a ``(nx, d2, d3, d4, d5)`` Fortran view.
+
+    ``dims`` are the Fortran extents (dim 1 = X first); element size is
+    8 bytes (complex64) unless overridden.
+    """
+
+    dims: tuple[int, int, int, int, int]
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != 5:
+            raise ValueError("a five-dimensional view needs 5 extents")
+        for d in self.dims:
+            check_power_of_two(d, "extent")
+
+    @property
+    def strides(self) -> tuple[int, int, int, int, int]:
+        """Byte stride of each Fortran dimension (dim 1 first)."""
+        out = []
+        s = self.element_bytes
+        for d in self.dims:
+            out.append(s)
+            s *= d
+        return tuple(out)
+
+    @property
+    def total_bytes(self) -> int:
+        n = self.element_bytes
+        for d in self.dims:
+            n *= d
+        return n
+
+    def x_chunks(self) -> int:
+        """Coalesced 128-byte transactions per X line."""
+        line = self.dims[0] * self.element_bytes
+        if line % TRANSACTION_BYTES != 0:
+            raise ValueError(
+                f"X line of {line} bytes is not a whole number of "
+                f"{TRANSACTION_BYTES}-byte transactions"
+            )
+        return line // TRANSACTION_BYTES
+
+    def star_burst(self, star_dim: int, base: int = 0) -> BurstPattern:
+        """The access stream of a multirow FFT along ``star_dim`` (2-5).
+
+        Each warp bursts over the starred axis (``burst_len`` = extent,
+        spaced by its stride); scans sweep X fastest then the non-star
+        dimensions in increasing order — the paper's fused cyclic loop.
+        """
+        if not 2 <= star_dim <= 5:
+            raise ValueError(f"star dimension must be 2-5, got {star_dim}")
+        strides = self.strides
+        scan_dims = [self.x_chunks()]
+        scan_strides = [TRANSACTION_BYTES]
+        for dim in range(2, 6):
+            if dim == star_dim:
+                continue
+            scan_dims.append(self.dims[dim - 1])
+            scan_strides.append(strides[dim - 1])
+        return BurstPattern(
+            base=base,
+            scan_dims=tuple(scan_dims),
+            scan_strides=tuple(scan_strides),
+            burst_len=self.dims[star_dim - 1],
+            burst_stride=strides[star_dim - 1],
+            transaction_bytes=TRANSACTION_BYTES,
+            name=f"star@{star_dim}",
+        )
+
+
+def pattern_pair_bandwidth(
+    device: DeviceSpec,
+    pattern_in: Pattern,
+    pattern_out: Pattern,
+    n: int = 256,
+    blocks: int | None = None,
+    threads: int = 64,
+    memsystem: MemorySystem | None = None,
+) -> float:
+    """Bandwidth (bytes/s) of the Tables 3/4 microbenchmark.
+
+    A 16-point multirow FFT reads pattern ``pattern_in`` from the input
+    array and writes ``pattern_out`` to a second array, with the paper's
+    launch configuration (42/48 blocks of 64 threads).
+    """
+    check_power_of_two(n, "n")
+    if n < 16:
+        raise ValueError("the taxonomy experiment needs X extent >= 16")
+    # The canonical (n,16,16,16,16) view of the paper's experiment; for
+    # n != 256 only the X extent (and hence all strides) changes.
+    view = FiveDimView((n, 16, 16, 16, 16))
+    ms = memsystem or MemorySystem(device)
+    read = view.star_burst(pattern_in.star_dim, base=0)
+    write_view = FiveDimView(view.dims)
+    write = write_view.star_burst(pattern_out.star_dim, base=view.total_bytes)
+    groups = ms.default_groups(blocks, threads)
+    return ms.effective_bandwidth([read, write], groups)
+
+
+def pattern_table(
+    device: DeviceSpec,
+    n: int = 256,
+    blocks: int | None = None,
+    threads: int = 64,
+) -> dict[tuple[Pattern, Pattern], float]:
+    """The full 4x4 pattern-pair table (GB-level values in bytes/s)."""
+    ms = MemorySystem(device)
+    return {
+        (pi, po): pattern_pair_bandwidth(
+            device, pi, po, n=n, blocks=blocks, threads=threads, memsystem=ms
+        )
+        for pi in PATTERNS
+        for po in PATTERNS
+    }

@@ -1,0 +1,101 @@
+"""Roofline analysis of the five-step kernels.
+
+The paper's title is a roofline statement: the 3-D FFT lives left of the
+machine-balance ridge, so performance is bandwidth * arithmetic-intensity
+and every design decision should buy bandwidth.  This module computes the
+roofline coordinates of each kernel — arithmetic intensity (flops per
+byte of DRAM traffic), the roof it hits, and the headroom — and of the
+whole transform, quantifying "bandwidth intensive" precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimator import estimate_fft3d
+from repro.core.five_step import FiveStepPlan
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["RooflinePoint", "kernel_rooflines", "ridge_intensity"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel on the roofline plot."""
+
+    kernel: str
+    #: Arithmetic intensity, flops per DRAM byte.
+    intensity: float
+    #: Achieved GFLOPS (from the timing model).
+    achieved_gflops: float
+    #: Bandwidth roof at this intensity (intensity * sustained GB/s).
+    memory_roof_gflops: float
+    #: The device's compute roof.
+    compute_roof_gflops: float
+
+    @property
+    def roof_gflops(self) -> float:
+        """The binding roof (min of the two ceilings)."""
+        return min(self.memory_roof_gflops, self.compute_roof_gflops)
+
+    @property
+    def bound(self) -> str:
+        return (
+            "memory"
+            if self.memory_roof_gflops <= self.compute_roof_gflops
+            else "compute"
+        )
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved performance as a fraction of the binding roof."""
+        return self.achieved_gflops / self.roof_gflops
+
+
+def ridge_intensity(device: DeviceSpec, memsystem: MemorySystem | None = None) -> float:
+    """Machine balance: flops/byte where the two roofs cross.
+
+    Uses the *sustained* stream bandwidth (the realistic roof), not pins.
+    """
+    ms = memsystem or MemorySystem(device)
+    return device.peak_gflops * 1e9 / ms.sequential_bandwidth()
+
+
+def kernel_rooflines(
+    device: DeviceSpec,
+    n: int = 256,
+    memsystem: MemorySystem | None = None,
+) -> list[RooflinePoint]:
+    """Roofline coordinates of each five-step kernel plus the whole FFT."""
+    ms = memsystem or MemorySystem(device)
+    plan = FiveStepPlan((n, n, n))
+    est = estimate_fft3d(device, n, memsystem=ms)
+    sustained = ms.sequential_bandwidth()
+
+    points = []
+    for info, timing in zip(plan.steps(), est.steps):
+        intensity = timing.flops / timing.bytes_moved
+        points.append(
+            RooflinePoint(
+                kernel=info.name,
+                intensity=intensity,
+                achieved_gflops=timing.gflops,
+                memory_roof_gflops=intensity * sustained / 1e9,
+                compute_roof_gflops=device.peak_gflops,
+            )
+        )
+
+    # The whole transform: nominal flops over total DRAM traffic.
+    total_bytes = sum(t.bytes_moved for t in est.steps)
+    intensity = est.nominal_flops / total_bytes
+    points.append(
+        RooflinePoint(
+            kernel=f"whole {n}^3 transform",
+            intensity=intensity,
+            achieved_gflops=est.on_board_gflops,
+            memory_roof_gflops=intensity * sustained / 1e9,
+            compute_roof_gflops=device.peak_gflops,
+        )
+    )
+    return points

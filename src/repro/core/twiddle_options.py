@@ -1,0 +1,80 @@
+"""Twiddle-factor storage options and their costs (Section 3.2).
+
+"For the twiddle factors, we can use one of the following four options:
+(1) registers ... the fastest.  (2) constant memory ... only a 32-bit data
+in each cycle.  (3) texture memory ... a good option to save the number of
+registers.  (4) calculate each time ... additional processor cycles.
+Considering these pros and cons, we selected texture memory for step 5,
+and registers for the other steps."
+
+The cost model exposes, per twiddle *use* (one complex factor consumed by
+one thread): extra registers held, extra issue slots, and whether the
+fetch serializes across the half-warp.  The ablation bench applies it to
+the step-5 kernel and reproduces the paper's choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["TwiddleOption", "TwiddleCost", "TWIDDLE_OPTIONS", "twiddle_cost"]
+
+
+class TwiddleOption(str, Enum):
+    """The four storage options of Section 3.2."""
+
+    REGISTERS = "registers"
+    CONSTANT = "constant"
+    TEXTURE = "texture"
+    COMPUTE = "compute"
+
+
+TWIDDLE_OPTIONS = tuple(TwiddleOption)
+
+
+@dataclass(frozen=True)
+class TwiddleCost:
+    """Per-use resource cost of a twiddle storage option."""
+
+    option: TwiddleOption
+    #: Registers held per resident twiddle value (per thread).
+    regs_per_value: float
+    #: Issue slots per fetch of one complex factor.
+    issue_slots_per_use: float
+
+    def extra_registers(self, n_values: int) -> int:
+        """Registers a thread spends keeping ``n_values`` factors live."""
+        if n_values < 0:
+            raise ValueError("n_values must be non-negative")
+        return int(round(self.regs_per_value * n_values))
+
+    def extra_issue(self, n_uses: float) -> float:
+        """Issue slots consumed fetching factors ``n_uses`` times."""
+        if n_uses < 0:
+            raise ValueError("n_uses must be non-negative")
+        return self.issue_slots_per_use * n_uses
+
+
+def twiddle_cost(option: TwiddleOption, device: DeviceSpec) -> TwiddleCost:
+    """Cost table for ``option`` on a G80-class device.
+
+    * registers: 2 registers per complex value, zero fetch cost;
+    * constant memory: no registers, but the 32-bit broadcast port means a
+      64-bit complex load with per-thread-distinct addresses serializes
+      across the half-warp -> ~2 x 16 slots per use in the worst case
+      (modeled as 8, assuming partial address sharing);
+    * texture: no registers, one TEX issue per use (cache-resident table);
+    * compute: no registers, sin+cos via SFU ~ 16 slots per complex value.
+    """
+    if option == TwiddleOption.REGISTERS:
+        return TwiddleCost(option, regs_per_value=2.0, issue_slots_per_use=0.0)
+    if option == TwiddleOption.CONSTANT:
+        return TwiddleCost(option, regs_per_value=0.0, issue_slots_per_use=8.0)
+    if option == TwiddleOption.TEXTURE:
+        return TwiddleCost(option, regs_per_value=0.0, issue_slots_per_use=1.0)
+    if option == TwiddleOption.COMPUTE:
+        return TwiddleCost(option, regs_per_value=0.0, issue_slots_per_use=16.0)
+    raise ValueError(f"unknown twiddle option {option!r}")

@@ -1,0 +1,397 @@
+"""The paper's kernels at thread level, on the warp executor.
+
+Where :mod:`repro.core.kernels` executes whole steps as vectorized NumPy
+sweeps (fast, used by the plans), this module writes the same two kernels
+the way the CUDA originals are written — one thread at a time — and runs
+them on :class:`repro.gpu.exec.WarpExecutor`:
+
+* :func:`multirow_fft16_kernel` — steps 1-4: one 16-point FFT per thread,
+  pattern-D burst reads, pattern-A coalesced writes, twiddles "in
+  registers" (Python locals);
+* :func:`shared_fft_kernel` — step 5: 64 threads cooperate on one
+  2^(2s)-point line via four radix-4 stages with three shared-memory
+  exchanges, padded, real and imaginary parts exchanged separately.
+
+The executor *observes* the memory behavior, so the test suite can assert
+the design claims directly: every half-warp access of the step kernels
+coalesces, and the padded exchanges are bank-conflict free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fft.codelets import codelet_fft
+from repro.gpu.exec import Dim3, ExecutionReport, GlobalBuffer, SharedBuffer, WarpExecutor
+from repro.util.indexing import ilog2
+
+__all__ = [
+    "multirow_fft16_kernel",
+    "shared_fft_kernel",
+    "exchange_word",
+    "run_multirow_step",
+    "run_shared_x_step",
+    "run_five_step_warp_level",
+    "WarpStepResult",
+]
+
+
+@dataclass
+class WarpStepResult:
+    """Output array plus the executor's memory observations."""
+
+    output: np.ndarray
+    report: ExecutionReport
+
+
+# ----------------------------------------------------------------------
+# Steps 1-4: coarse-grained 16-point multirow kernel
+# ----------------------------------------------------------------------
+
+def multirow_fft16_kernel(ctx, inp, out, params):
+    """One 16-point FFT per thread (generator kernel).
+
+    ``params`` carries the five-dimensional geometry in *elements*:
+
+    * ``n_scans``      total (x, non-star) iterations,
+    * ``scan_dims`` / ``scan_strides``  the fused loop (x fastest),
+    * ``in_star_stride`` / ``out_star_stride``  the burst strides,
+    * ``out_scan_strides``  the same digits' strides in the output array,
+    * ``radix``  burst length (16),
+    * ``twiddle``  optional (radix, radix) inter-factor twiddles — "kept
+      in registers", i.e. captured Python values, never re-fetched.
+    """
+    tid = ctx.global_thread_id()
+    total_threads = ctx.gridDim.count * ctx.blockDim.count
+    radix = params["radix"]
+    twiddle = params.get("twiddle")
+
+    scan = tid
+    while scan < params["n_scans"]:
+        # Decompose the fused scan index into its digits.
+        in_base = 0
+        out_base = 0
+        rest = scan
+        for dim, in_stride, out_stride in zip(
+            params["scan_dims"], params["scan_strides"], params["out_scan_strides"]
+        ):
+            digit = rest % dim
+            rest //= dim
+            in_base += digit * in_stride
+            out_base += digit * out_stride
+
+        # Burst read along the starred axis (pattern D: one load per
+        # point, 16 points far apart; the half-warp still coalesces each
+        # load across adjacent-x threads).
+        values = np.empty(radix, dtype=np.complex128)
+        for j in range(radix):
+            values[j] = yield ("load", inp, in_base + j * params["in_star_stride"])
+
+        # The butterfly network, entirely in "registers".
+        spectrum = codelet_fft(values)
+        if twiddle is not None:
+            n1 = params["twiddle_digit"](scan)
+            spectrum = spectrum * twiddle[:, n1]
+
+        for k in range(radix):
+            yield (
+                "store",
+                out,
+                out_base + k * params["out_star_stride"],
+                spectrum[k],
+            )
+        scan += total_threads  # the paper's cyclic loop
+
+
+def run_multirow_step(
+    x5d: np.ndarray,
+    in_star_axis: int,
+    out_star_position: int,
+    twiddle: np.ndarray | None = None,
+    grid_blocks: int = 4,
+    threads_per_block: int = 64,
+) -> WarpStepResult:
+    """Run one step-1-style pass at thread level on a 5-D C-order state.
+
+    ``x5d`` has C axes ``(d0, d1, d2, d3, x)``; the transform runs along
+    ``in_star_axis`` (normally 0) and the result lands with the new digit
+    at C position ``out_star_position``, matching
+    :func:`repro.core.kernels.multirow_half1` / ``multirow_half2``.
+    """
+    if x5d.ndim != 5:
+        raise ValueError("expected a 5-D state")
+    if in_star_axis != 0:
+        raise ValueError("the paper's kernels always burst over C axis 0")
+    radix = x5d.shape[0]
+    nx = x5d.shape[4]
+
+    flat = np.ascontiguousarray(x5d).reshape(-1)
+    # Element strides of the C-order input.
+    in_strides = [int(s // x5d.itemsize) for s in np.ascontiguousarray(x5d).strides]
+
+    # Output shape: star digit moved to out_star_position.
+    out_axes = [1, 2, 3]  # remaining C axes of the input, in order
+    out_shape_axes = []
+    placed = False
+    for pos in range(4):
+        if pos == out_star_position:
+            out_shape_axes.append(0)
+            placed = True
+        else:
+            out_shape_axes.append(out_axes.pop(0))
+    if not placed:
+        raise ValueError("out_star_position must be 0-3")
+    out_shape = tuple(x5d.shape[a] for a in out_shape_axes) + (nx,)
+    out_arr = np.zeros(out_shape, dtype=np.complex128)
+    out_strides_c = [int(s // out_arr.itemsize) for s in out_arr.strides]
+    # Stride of each *input* axis's digit within the output layout.
+    out_stride_of_input_axis = {0: out_strides_c[out_shape_axes.index(0)]}
+    for a in (1, 2, 3):
+        out_stride_of_input_axis[a] = out_strides_c[out_shape_axes.index(a)]
+
+    # Fused scan space: x fastest, then input C axes 3, 2, 1.
+    scan_dims = (nx, x5d.shape[3], x5d.shape[2], x5d.shape[1])
+    scan_strides = (in_strides[4], in_strides[3], in_strides[2], in_strides[1])
+    out_scan_strides = (
+        out_strides_c[4],
+        out_stride_of_input_axis[3],
+        out_stride_of_input_axis[2],
+        out_stride_of_input_axis[1],
+    )
+
+    def twiddle_digit(scan: int) -> int:
+        # n1 is the input's C-axis-1 digit (the fast factor).
+        return (scan // (nx * x5d.shape[3] * x5d.shape[2])) % x5d.shape[1]
+
+    params = dict(
+        n_scans=int(np.prod(scan_dims)),
+        scan_dims=scan_dims,
+        scan_strides=scan_strides,
+        out_scan_strides=out_scan_strides,
+        in_star_stride=in_strides[0],
+        out_star_stride=out_stride_of_input_axis[0],
+        radix=radix,
+        twiddle=twiddle,
+        twiddle_digit=twiddle_digit,
+    )
+
+    inp = GlobalBuffer(flat.astype(np.complex128), base=0, name="V")
+    out = GlobalBuffer(out_arr.reshape(-1), base=flat.nbytes, name="WORK")
+    executor = WarpExecutor()
+    report = executor.launch(
+        multirow_fft16_kernel,
+        Dim3(grid_blocks),
+        Dim3(threads_per_block),
+        inp,
+        out,
+        params,
+    )
+    return WarpStepResult(out.data.reshape(out_shape), report)
+
+
+# ----------------------------------------------------------------------
+# Step 5: fine-grained shared-memory kernel
+# ----------------------------------------------------------------------
+
+def exchange_word(i: int, n: int, quarter: int) -> int:
+    """Padded shared-memory word for logical position ``i`` of an exchange.
+
+    Each exchange serves two access shapes: contiguous 16-element stores
+    and gathers of runs of ``quarter/4`` spaced ``quarter``.  A single
+    static layout cannot make both conflict-free across all stages, so —
+    as production kernels do — each exchange uses its own padded map
+    (the paper's "padding technique", per stage):
+
+    * ``quarter >= 16``: insert ``quarter/4`` pad words per ``quarter``
+      block (``i + (i//quarter) * (quarter//4)``);
+    * ``quarter == 4`` (the final exchange, a 4-wide transpose): a
+      column-major layout with stride ``n/4 + 4``.
+
+    Both are injective and give every half-warp access a distinct bank
+    (asserted by the executor's bank accounting in the tests).
+    """
+    if quarter >= 16:
+        return i + (i // quarter) * (quarter // 4)
+    stride = n // 4 + 4  # ≡ 4 (mod 16) for n >= 64 -> distinct banks
+    return (i % 4) * stride + i // 4
+
+
+def shared_fft_kernel(ctx, data, out, params):
+    """Cooperative n-point FFT, one line per block (generator kernel).
+
+    Radix-4 Stockham with ``log4(n) - 1`` shared exchanges; each exchange
+    moves real parts first, then imaginary parts, through a per-stage
+    padded layout so no bank conflicts occur — the paper's Section 3.2
+    recipe, executed literally.
+    """
+    n = params["n"]
+    vpt = params["values_per_thread"]  # n // blockDim.x
+    t = ctx.threadIdx.x
+    threads = ctx.blockDim.x
+    line = ctx.blockIdx.x * n
+    shared: SharedBuffer = params["shared"][ctx.flat_block() % len(params["shared"])]
+    sign = -2j * math.pi
+    padded = params.get("padded", True)
+
+    def word_of(i: int, quarter: int) -> int:
+        return exchange_word(i, n, quarter) if padded else i
+
+    # Coalesced load: thread t takes positions t, t+threads, ...
+    values = []
+    for p in range(vpt):
+        v = yield ("load", data, line + t + p * threads)
+        values.append(complex(v))
+
+    stages = ilog2(n) // 2
+    l = n
+    for stage in range(stages):
+        quarter = l // 4
+        row = t // quarter if quarter else 0
+        j = t % quarter if quarter else 0
+        # Butterfly: u_q = W_l^{jq} * sum_p v_p * w4^{pq}
+        new = []
+        for q in range(vpt):
+            acc = 0.0 + 0.0j
+            for p in range(vpt):
+                acc += values[p] * np.exp(sign * p * q / 4.0)
+            new.append(acc * np.exp(sign * j * q / l))
+        m = n // l  # rows before this stage
+        # Output flat positions: (q*m + row) * quarter + j.
+        positions = [(q * m + row) * quarter + j for q in range(vpt)]
+
+        if stage < stages - 1:
+            # Exchange through shared memory, real then imaginary.
+            for part in (0, 1):
+                for q in range(vpt):
+                    word = new[q].real if part == 0 else new[q].imag
+                    yield (
+                        "shared_store",
+                        shared,
+                        word_of(positions[q], quarter),
+                        word,
+                    )
+                yield ("sync",)
+                # Re-gather with next-stage ownership: l' = quarter,
+                # quarter' = quarter/4, row' = t // quarter', j' = t mod
+                # quarter'; position = row'*l' + j' + p*quarter'.
+                next_quarter = quarter // 4
+                nrow = t // next_quarter
+                nj = t % next_quarter
+                for p in range(vpt):
+                    src = nrow * quarter + nj + p * next_quarter
+                    word = yield (
+                        "shared_load",
+                        shared,
+                        word_of(src, quarter),
+                    )
+                    if part == 0:
+                        values[p] = complex(word, 0.0)
+                    else:
+                        values[p] = complex(values[p].real, word)
+                yield ("sync",)
+        else:
+            # Final stage: positions are q*64 + t style -> coalesced store.
+            for q in range(vpt):
+                yield ("store", out, line + positions[q], new[q])
+        l = quarter
+
+
+def run_shared_x_step(
+    lines: np.ndarray,
+    threads_per_block: int = 64,
+    padded: bool = True,
+) -> WarpStepResult:
+    """Transform each row of ``lines`` with the cooperative kernel.
+
+    ``lines`` has shape ``(batch, n)`` with ``n = 4 * threads_per_block``
+    (the paper's 256-point / 64-thread configuration and its smaller
+    tailorings).
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.complex128)
+    if lines.ndim != 2:
+        raise ValueError("expected (batch, n) lines")
+    batch, n = lines.shape
+    if n != 4 * threads_per_block:
+        raise ValueError(
+            f"n = {n} must be 4 * threads_per_block = {4 * threads_per_block}"
+        )
+    if ilog2(n) % 2 != 0:
+        raise ValueError("the radix-4 kernel needs a power-of-4 size")
+
+    data = GlobalBuffer(lines.reshape(-1), base=0, name="X")
+    out = GlobalBuffer(np.zeros(batch * n, np.complex128), base=lines.nbytes,
+                       name="Xout")
+    shared = [SharedBuffer(2 * n, "exchange")]  # covers every padded map
+    params = dict(n=n, values_per_thread=4, shared=shared, padded=padded)
+    executor = WarpExecutor()
+    report = executor.launch(
+        shared_fft_kernel, Dim3(batch), Dim3(threads_per_block), data, out, params
+    )
+    return WarpStepResult(out.data.reshape(batch, n), report)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the whole five-step transform at thread level
+# ----------------------------------------------------------------------
+
+def run_five_step_warp_level(
+    x: np.ndarray, collect_reports: bool = False
+) -> WarpStepResult:
+    """Full 3-D transform with every step executed thread by thread.
+
+    The most literal reproduction in the package: the same five kernels a
+    CUDA device would launch, run on the warp executor, chained through
+    the same intermediate layouts as :class:`repro.core.five_step.
+    FiveStepPlan`.  Tractable for small grids (the executor is a Python
+    interpreter per thread); the vectorized plan covers production sizes.
+
+    ``x`` has shape ``(nz, ny, nx)`` with ``nz``/``ny`` squares of a
+    codelet factor and ``nx`` a power of 4 with ``nx >= 64``.
+    """
+    from repro.core.five_step import split_axis
+    from repro.fft.twiddle import four_step_twiddles
+
+    x = np.ascontiguousarray(x, dtype=np.complex128)
+    if x.ndim != 3:
+        raise ValueError("expected a 3-D grid")
+    nz, ny, nx = x.shape
+    rz1, rz2 = split_axis(nz)
+    ry1, ry2 = split_axis(ny)
+
+    reports = []
+    state = x.reshape(rz2, rz1, ry2, ry1, nx)
+    # Step 1: transform z2, twiddle, land at C position 3 (pattern A).
+    res = run_multirow_step(state, 0, 3, twiddle=four_step_twiddles(rz1, rz2))
+    reports.append(res.report)
+    # Step 2: transform z1, land at C position 2 (pattern B).
+    res = run_multirow_step(res.output, 0, 2)
+    reports.append(res.report)
+    # Step 3: transform y2, twiddle, pattern A.
+    res = run_multirow_step(res.output, 0, 3,
+                            twiddle=four_step_twiddles(ry1, ry2))
+    reports.append(res.report)
+    # Step 4: transform y1, pattern B.
+    res = run_multirow_step(res.output, 0, 2)
+    reports.append(res.report)
+    # Step 5: X lines through the shared-memory kernel.
+    lines = res.output.reshape(-1, nx)
+    res5 = run_shared_x_step(lines, threads_per_block=nx // 4)
+    reports.append(res5.report)
+
+    out = res5.output.reshape(rz1, rz2, ry1, ry2, nx).reshape(nz, ny, nx)
+    combined = ExecutionReport()
+    for r in reports:
+        combined.n_threads += r.n_threads
+        combined.rounds += r.rounds
+        combined.global_loads += r.global_loads
+        combined.global_stores += r.global_stores
+        combined.coalesced_half_warps += r.coalesced_half_warps
+        combined.serialized_half_warps += r.serialized_half_warps
+        combined.global_transactions += r.global_transactions
+        combined.shared_accesses += r.shared_accesses
+        combined.bank_conflict_cycles += r.bank_conflict_cycles
+        combined.syncs += r.syncs
+    return WarpStepResult(out, combined)

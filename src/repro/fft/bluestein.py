@@ -1,0 +1,81 @@
+"""Bluestein's algorithm: FFTs of arbitrary length.
+
+The paper restricts itself to powers of two ("the data size for each
+dimension is assumed to be power of two"); this extension lifts that
+restriction for the host library.  Bluestein's chirp-z trick turns an
+arbitrary-length DFT into a cyclic convolution of chirp-modulated
+sequences, which our power-of-two engine evaluates:
+
+    X[k] = conj(w[k]) * IFFT( FFT(a) * FFT(b) )[k],
+    a[n] = x[n] * w[n],      w[n] = exp(-i pi n^2 / N),
+    b[n] = conj(w[|n|])      (chirp, embedded in a 2^m >= 2N-1 ring).
+
+Cost: three power-of-two FFTs of length ~4N — still O(N log N) for prime
+sizes where Cooley-Tukey alone cannot help.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.cooley_tukey import fft_pow2
+from repro.util.indexing import is_power_of_two
+
+__all__ = ["bluestein_fft", "fft_any"]
+
+
+def _chirp(n: int) -> np.ndarray:
+    """``w[j] = exp(-i pi j^2 / n)`` with the squared index reduced mod 2n.
+
+    Reducing ``j^2 mod 2n`` keeps the argument small so the chirp stays
+    accurate for large ``n`` (naive ``j**2`` loses ulps fast).
+    """
+    j = np.arange(n, dtype=np.int64)
+    exponent = (j * j) % (2 * n)
+    return np.exp(-1j * np.pi * exponent / n)
+
+
+def bluestein_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Un-normalized DFT of arbitrary length along the last axis."""
+    x = np.asarray(x)
+    if not np.iscomplexobj(x):
+        x = x.astype(np.complex128)
+    n = x.shape[-1]
+    if n == 0:
+        raise ValueError("empty transform")
+    if n == 1:
+        return x.copy()
+
+    w = _chirp(n)
+    if inverse:
+        w = np.conj(w)
+
+    m = 1
+    while m < 2 * n - 1:
+        m *= 2
+
+    a = np.zeros(x.shape[:-1] + (m,), dtype=np.complex128)
+    a[..., :n] = x * w
+    b = np.zeros(m, dtype=np.complex128)
+    b[:n] = np.conj(w)
+    b[m - n + 1:] = np.conj(w[1:][::-1])  # wrap-around chirp tail
+
+    conv = fft_pow2(
+        fft_pow2(a) * fft_pow2(b), inverse=True
+    ) / m
+    return (conv[..., :n] * w).astype(x.dtype, copy=False)
+
+
+def fft_any(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Un-normalized FFT along the last axis for any length.
+
+    Power-of-two sizes take the fast four-step path; everything else goes
+    through Bluestein.
+    """
+    x = np.asarray(x)
+    n = x.shape[-1]
+    if n > 0 and is_power_of_two(n):
+        if not np.iscomplexobj(x):
+            x = x.astype(np.complex128)
+        return fft_pow2(x, inverse=inverse)
+    return bluestein_fft(x, inverse=inverse)

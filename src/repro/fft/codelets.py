@@ -1,0 +1,139 @@
+"""Small-point FFT codelets, vectorized over leading batch axes.
+
+These play the role of the paper's register-resident compute kernels: the
+16-point codelet is exactly what each GPU thread executes in steps 1-4 of
+the five-step algorithm (Section 3.1: "we perform four 16-point FFTs to
+compute a single 256-point FFT"), and the 2/4/8-point codelets are the
+butterflies inside the shared-memory 256-point kernel of step 5.
+
+All codelets transform the *last* axis and are pure NumPy expressions, so a
+batch of any shape is processed in one vectorized sweep — the multirow-FFT
+structure the paper inherits from vector machines maps onto NumPy's batch
+axes here.
+
+Flop counts (used by the performance model) follow the standard
+``5 n log2 n`` convention; the explicit butterfly structure below achieves
+it up to the usual trivial-twiddle savings, which we do not discount (the
+paper's GFLOPS convention does not either).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "CODELET_SIZES",
+    "codelet_fft",
+    "fft2",
+    "fft4",
+    "fft8",
+    "fft16",
+]
+
+_SQRT1_2 = np.sqrt(0.5)
+
+
+def _mul_j(x: np.ndarray) -> np.ndarray:
+    """Multiply by ``-i`` without a complex multiply (two moves + negate).
+
+    On the GPU this is free register renaming; here it avoids promoting
+    complex64 operands through a python complex scalar.
+    """
+    return x.imag - 1j * x.real  # (a+bi) * -i = b - ai
+
+
+def fft2(x: np.ndarray) -> np.ndarray:
+    """2-point DFT along the last axis."""
+    if x.shape[-1] != 2:
+        raise ValueError(f"fft2 expects last axis 2, got {x.shape[-1]}")
+    a, b = x[..., 0], x[..., 1]
+    return np.stack([a + b, a - b], axis=-1)
+
+
+def fft4(x: np.ndarray) -> np.ndarray:
+    """4-point DFT along the last axis (radix-2 DIT, straight-line)."""
+    if x.shape[-1] != 4:
+        raise ValueError(f"fft4 expects last axis 4, got {x.shape[-1]}")
+    x0, x1, x2, x3 = (x[..., i] for i in range(4))
+    t0 = x0 + x2
+    t1 = x0 - x2
+    t2 = x1 + x3
+    t3 = _mul_j(x1 - x3)  # -i * (x1 - x3)
+    return np.stack([t0 + t2, t1 + t3, t0 - t2, t1 - t3], axis=-1)
+
+
+def _dit_combine(even: np.ndarray, odd: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Combine half-size DFTs: ``X[k] = E[k] + w[k] O[k]`` (and the mirror).
+
+    ``even``/``odd`` have last axis ``n/2``; ``w`` is ``W_n^k`` for
+    ``k < n/2``.  Returns the natural-order n-point DFT.
+    """
+    t = odd * w
+    return np.concatenate([even + t, even - t], axis=-1)
+
+
+def _half_twiddles(n: int, dtype: np.dtype) -> np.ndarray:
+    k = np.arange(n // 2, dtype=np.float64)
+    return np.exp(-2j * np.pi * k / n).astype(dtype, copy=False)
+
+
+def fft8(x: np.ndarray) -> np.ndarray:
+    """8-point DFT along the last axis (DIT from two 4-point codelets)."""
+    if x.shape[-1] != 8:
+        raise ValueError(f"fft8 expects last axis 8, got {x.shape[-1]}")
+    even = fft4(x[..., 0::2])
+    odd = fft4(x[..., 1::2])
+    # W8^k, k=0..3: 1, (1-i)/sqrt2, -i, -(1+i)/sqrt2 — constants, like the
+    # register-held twiddles of the paper's step 1-4 kernels.
+    w = np.array(
+        [1.0, _SQRT1_2 * (1 - 1j), -1j, _SQRT1_2 * (-1 - 1j)],
+        dtype=x.dtype if np.iscomplexobj(x) else np.complex128,
+    )
+    return _dit_combine(even, odd, w)
+
+
+def fft16(x: np.ndarray) -> np.ndarray:
+    """16-point DFT along the last axis (DIT from two 8-point codelets).
+
+    This is the workhorse of the paper's steps 1-4: one of these per thread,
+    51-52 registers in the CUDA original.
+    """
+    if x.shape[-1] != 16:
+        raise ValueError(f"fft16 expects last axis 16, got {x.shape[-1]}")
+    even = fft8(x[..., 0::2])
+    odd = fft8(x[..., 1::2])
+    dtype = x.dtype if np.iscomplexobj(x) else np.dtype(np.complex128)
+    w = _half_twiddles(16, dtype)
+    return _dit_combine(even, odd, w)
+
+
+_CODELETS: dict[int, Callable[[np.ndarray], np.ndarray]] = {
+    2: fft2,
+    4: fft4,
+    8: fft8,
+    16: fft16,
+}
+
+#: Sizes with a straight-line codelet.
+CODELET_SIZES: tuple[int, ...] = tuple(sorted(_CODELETS))
+
+
+def codelet_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Dispatch to the codelet for ``x.shape[-1]``.
+
+    ``inverse=True`` computes the un-normalized inverse via conjugation
+    (``IDFT(x) = conj(DFT(conj(x)))``), which reuses the forward butterfly
+    structure exactly as a real implementation would.
+    """
+    n = x.shape[-1]
+    try:
+        f = _CODELETS[n]
+    except KeyError:
+        raise ValueError(
+            f"no codelet for size {n}; available: {CODELET_SIZES}"
+        ) from None
+    if inverse:
+        return np.conj(f(np.conj(x)))
+    return f(x)

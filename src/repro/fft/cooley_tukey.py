@@ -1,0 +1,100 @@
+"""Recursive four-step (Cooley-Tukey) decomposition.
+
+This is the decomposition the paper applies to its 256-point transforms:
+``FFT_256 = FFT_16 x twiddle x FFT_16`` — "the multirow FFT algorithm is
+used not for 256-point FFTs but for those 16-point FFTs" (Section 3.1).
+The general lemma, for ``n = r1 * r2`` and input index ``i = n1 + r1*n2``,
+output index ``k = k2 + r2*k1``::
+
+    step 1:  A[n1, k2] = FFT_r2 over n2 of x[n1 + r1*n2]
+    step 2:  A[n1, k2] *= W_n^{n1*k2}
+    step 3:  X[k1, k2] = FFT_r1 over n1 of A[n1, k2]
+
+The two half-transforms are exactly the paper's FFT256_1 (steps 1+2) and
+FFT256_2 (step 3); :mod:`repro.core.kernels` reuses the same helpers with
+the same index convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.codelets import CODELET_SIZES, codelet_fft
+from repro.fft.twiddle import four_step_twiddles
+from repro.util.indexing import ilog2
+
+__all__ = ["split_radices", "four_step_fft", "fft_pow2"]
+
+
+def split_radices(n: int) -> tuple[int, int]:
+    """Choose ``(r1, r2)`` with ``n = r1*r2``, preferring large codelets.
+
+    The paper's choice for 256 is 16 x 16; for 128 we get 16 x 8 and for
+    64, 8 x 8 ("the program itself must be tailored for each major sizes",
+    Section 4.6).  ``r1 >= r2`` and ``r1`` is the largest codelet dividing
+    ``n`` with a power-of-two cofactor.
+    """
+    ilog2(n)  # validates power of two
+    if n in CODELET_SIZES:
+        raise ValueError(f"size {n} is a codelet; no split needed")
+    for r1 in sorted(CODELET_SIZES, reverse=True):
+        if n % r1 == 0 and n // r1 >= 2:
+            r2 = n // r1
+            return r1, r2
+    raise ValueError(f"cannot split {n}")  # unreachable for n >= 4
+
+
+def _fft_last_axis(x: np.ndarray, inverse: bool) -> np.ndarray:
+    """Un-normalized FFT along the last axis; recursive four-step."""
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+    if n in CODELET_SIZES:
+        return codelet_fft(x, inverse=inverse)
+    r1, r2 = split_radices(n)
+    return four_step_fft(x, r1, r2, inverse=inverse)
+
+
+def four_step_fft(
+    x: np.ndarray, r1: int, r2: int, inverse: bool = False
+) -> np.ndarray:
+    """FFT along the last axis via the ``n = r1*r2`` four-step lemma.
+
+    Both factors are transformed recursively, so any power-of-two size
+    works as long as it factors into codelets eventually.
+    """
+    x = np.asarray(x)
+    if not np.iscomplexobj(x):
+        x = x.astype(np.complex128)
+    n = x.shape[-1]
+    if r1 * r2 != n:
+        raise ValueError(f"r1*r2 = {r1 * r2} != n = {n}")
+    batch = x.shape[:-1]
+
+    # i = n1 + r1*n2  ->  C-order view (..., n2, n1)
+    a = x.reshape(batch + (r2, r1))
+    # Inner transform over n2 (axis -2).
+    a = np.moveaxis(_fft_last_axis(np.moveaxis(a, -2, -1), inverse), -1, -2)
+    # a is now A[k2, n1]; twiddle W_n^{n1*k2} (conjugated for inverse).
+    w = four_step_twiddles(r1, r2, precision="double").astype(a.dtype, copy=False)
+    if inverse:
+        w = np.conj(w)
+    a = a * w
+    # Outer transform over n1 (axis -1) -> X[k2, k1].
+    a = _fft_last_axis(a, inverse)
+    # Output index k = k2 + r2*k1: flatten [k1, k2] in C order.
+    a = np.swapaxes(a, -1, -2)
+    return np.ascontiguousarray(a).reshape(batch + (n,))
+
+
+def fft_pow2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Un-normalized power-of-two FFT along the last axis.
+
+    Recursive four-step down to straight-line codelets; batched over all
+    leading axes.  This is the default host transform of the package.
+    """
+    x = np.asarray(x)
+    if not np.iscomplexobj(x):
+        x = x.astype(np.complex128)
+    ilog2(x.shape[-1])
+    return _fft_last_axis(x, inverse)

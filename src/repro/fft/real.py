@@ -1,0 +1,73 @@
+"""Real-input transforms via the half-length complex trick.
+
+Not used by the paper (its kernels are complex-to-complex), but real
+transforms are the standard extension any adopter of the library asks for
+first, and the packing trick exercises the complex engine in a non-trivial
+way.  An ``n``-point real FFT is computed from one ``n/2``-point complex
+FFT of ``z[k] = x[2k] + i*x[2k+1]`` plus an O(n) untangling pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.cooley_tukey import fft_pow2
+from repro.util.indexing import ilog2
+
+__all__ = ["rfft", "irfft"]
+
+
+def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Real-to-complex FFT along ``axis``; matches ``numpy.fft.rfft``.
+
+    Length must be an even power of two (>= 2).  Output length is
+    ``n//2 + 1`` along the transform axis.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x = np.moveaxis(x, axis, -1)
+    n = x.shape[-1]
+    ilog2(n)
+    if n < 2:
+        raise ValueError("rfft needs length >= 2")
+    half = n // 2
+
+    z = x[..., 0::2] + 1j * x[..., 1::2]
+    zhat = fft_pow2(np.ascontiguousarray(z))
+
+    # Z[(half - k) mod half] for k = 0..half (period half in k).
+    k = np.arange(half + 1)
+    mirror = np.conj(zhat[..., (half - k) % half])
+    zk = zhat[..., k % half]
+    even = 0.5 * (zk + mirror)
+    odd = -0.5j * (zk - mirror)
+    w = np.exp(-2j * np.pi * k / n)
+    out = even + w * odd
+    return np.ascontiguousarray(np.moveaxis(out, -1, axis))
+
+
+def irfft(spec: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Complex-to-real inverse FFT; matches ``numpy.fft.irfft``.
+
+    ``spec`` has ``n//2 + 1`` entries along ``axis``; the output length
+    ``n`` is inferred and must be an even power of two.
+    """
+    spec = np.asarray(spec, dtype=np.complex128)
+    spec = np.moveaxis(spec, axis, -1)
+    half = spec.shape[-1] - 1
+    n = 2 * half
+    ilog2(max(n, 1))
+    if half < 1:
+        raise ValueError("irfft needs at least 2 spectral points")
+
+    k = np.arange(half)
+    xk = spec[..., :half]
+    mirror = np.conj(spec[..., half - k])
+    even = 0.5 * (xk + mirror)
+    odd = 0.5 * (xk - mirror) * np.exp(2j * np.pi * k / n)
+    z = even + 1j * odd
+    zt = fft_pow2(np.ascontiguousarray(z), inverse=True) / half
+
+    out = np.empty(spec.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0::2] = zt.real
+    out[..., 1::2] = zt.imag
+    return np.ascontiguousarray(np.moveaxis(out, -1, axis))

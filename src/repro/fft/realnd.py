@@ -1,0 +1,48 @@
+"""Real-input 3-D transforms with half-spectrum storage.
+
+A real ``(nz, ny, nx)`` grid has a Hermitian spectrum; storing only
+``kx <= nx/2`` halves memory and bandwidth — the standard optimization
+for spectral solvers whose fields are real (velocity, density).  Built on
+the complex engine: real 1-D transforms along X (via the packing trick in
+:mod:`repro.fft.real`) then complex multirow transforms along Y and Z.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.multirow import multirow_fft
+from repro.fft.real import irfft, rfft
+
+__all__ = ["rfft3d", "irfft3d"]
+
+
+def rfft3d(x: np.ndarray) -> np.ndarray:
+    """Real-to-complex 3-D FFT; matches ``numpy.fft.rfftn``.
+
+    Output shape ``(nz, ny, nx//2 + 1)``.
+    """
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"expected a 3-D array, got shape {x.shape}")
+    if np.iscomplexobj(x):
+        raise TypeError("rfft3d needs real input; use fft3d for complex")
+    out = rfft(x.astype(np.float64, copy=False), axis=2)
+    out = multirow_fft(out, axis=1)
+    out = multirow_fft(out, axis=0)
+    return out
+
+
+def irfft3d(spec: np.ndarray) -> np.ndarray:
+    """Complex-to-real inverse; matches ``numpy.fft.irfftn``.
+
+    ``spec`` has shape ``(nz, ny, nx//2 + 1)``; returns ``(nz, ny, nx)``
+    real with NumPy's backward normalization.
+    """
+    spec = np.asarray(spec, dtype=np.complex128)
+    if spec.ndim != 3:
+        raise ValueError(f"expected a 3-D array, got shape {spec.shape}")
+    nz, ny = spec.shape[0], spec.shape[1]
+    out = multirow_fft(spec, axis=0, inverse=True) / nz
+    out = multirow_fft(out, axis=1, inverse=True) / ny
+    return irfft(out, axis=2)

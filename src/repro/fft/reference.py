@@ -1,0 +1,49 @@
+"""Naive O(N^2) reference DFT.
+
+This is the oracle of last resort: four lines of linear algebra that are
+obviously the definition of the transform.  Every fast algorithm in the
+package is tested against it for small sizes (and against ``numpy.fft``
+for large ones, in the test suite only).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["dft_matrix", "dft_reference", "dft3_reference"]
+
+
+def dft_matrix(n: int, inverse: bool = False) -> np.ndarray:
+    """The ``n x n`` DFT matrix ``F[k, j] = W_n^{k j}`` (complex128).
+
+    ``inverse=True`` returns the un-normalized inverse kernel (conjugate);
+    callers divide by ``n`` themselves, matching ``numpy.fft.ifft`` when
+    they do.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    k = np.arange(n)
+    sign = 2j if inverse else -2j
+    return np.exp(sign * np.pi * np.outer(k, k) / n)
+
+
+def dft_reference(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """DFT of ``x`` along its last axis by direct matrix multiplication.
+
+    Un-normalized in both directions (so ``dft_reference`` matches
+    ``numpy.fft.fft`` and ``dft_reference(..., inverse=True) / n`` matches
+    ``numpy.fft.ifft``).
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    return x @ dft_matrix(n, inverse=inverse).T
+
+
+def dft3_reference(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """3-D DFT by applying :func:`dft_reference` along each axis in turn."""
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim != 3:
+        raise ValueError(f"expected a 3-D array, got shape {x.shape}")
+    for axis in range(3):
+        x = np.moveaxis(dft_reference(np.moveaxis(x, axis, -1), inverse), -1, axis)
+    return x

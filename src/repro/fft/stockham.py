@@ -1,0 +1,113 @@
+"""Stockham autosort FFT (iterative, batched, no bit-reversal pass).
+
+The paper contrasts its transpose ordering with the "Stockham auto-sort
+algorithm" (Section 3.1); we implement the classic algorithm both as a
+general-purpose host transform and as the model for what CUFFT-style
+libraries execute.
+
+Formulation
+-----------
+Radix-2 decimation-in-frequency with the self-sorting data layout: the
+working array is viewed as ``(m, l)`` where ``m`` sub-transforms of length
+``l`` remain.  One step maps ``(m, l) -> (2m, l/2)``::
+
+    u = A[:, :l/2] + A[:, l/2:]
+    v = (A[:, :l/2] - A[:, l/2:]) * W_l^j      (j = 0..l/2-1)
+    A' = concat(u, v, axis=0)
+
+After ``log2 n`` steps the flattened array is the natural-order transform —
+no separate reordering pass, which is why vector machines (and GPUs)
+favored it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.indexing import ilog2
+
+__all__ = ["stockham_fft", "stockham_radix4"]
+
+
+def stockham_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Un-normalized FFT along the last axis of ``x`` (power-of-two only).
+
+    Vectorized over all leading axes.  ``inverse=True`` conjugates the
+    twiddles (still un-normalized; divide by ``n`` for ``numpy.fft.ifft``
+    semantics).
+    """
+    x = np.asarray(x)
+    if not np.iscomplexobj(x):
+        x = x.astype(np.complex128)
+    n = x.shape[-1]
+    stages = ilog2(n)  # validates power of two
+    if n == 1:
+        return x.copy()
+
+    batch = x.shape[:-1]
+    sign = 2j if inverse else -2j
+    # Working view: (..., m, l)
+    a = x.reshape(batch + (1, n))
+    l = n
+    for _ in range(stages):
+        half = l // 2
+        j = np.arange(half, dtype=np.float64)
+        # W_l^j = exp(-2*pi*i*j/l) forward (sign carries the 2i factor).
+        w = np.exp(sign * np.pi * j / l).astype(a.dtype, copy=False)
+        lo = a[..., :half]
+        hi = a[..., half:]
+        u = lo + hi
+        v = (lo - hi) * w
+        a = np.concatenate([u, v], axis=-2)
+        l = half
+    return a.reshape(batch + (n,))
+
+
+def stockham_radix4(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Un-normalized radix-4 Stockham FFT along the last axis.
+
+    ``n`` must be a power of 4.  This is the exact stage structure of the
+    paper's step-5 shared-memory kernel (four radix-4 stages with three
+    data exchanges for 256 points); the warp-level kernel in
+    :mod:`repro.core.warp_kernels` mirrors it thread by thread, and this
+    host version is its oracle.
+
+    One stage maps the working view ``(m, l) -> (4m, l/4)``::
+
+        u_q[row, j] = W_l^{j q} * sum_p A[row, j + p*l/4] * w4^{p q}
+        A'[q*m + row, j] = u_q[row, j]
+    """
+    x = np.asarray(x)
+    if not np.iscomplexobj(x):
+        x = x.astype(np.complex128)
+    n = x.shape[-1]
+    stages = ilog2(n)
+    if stages % 2 != 0:
+        raise ValueError(f"radix-4 Stockham needs a power of 4, got {n}")
+    if n == 1:
+        return x.copy()
+
+    batch = x.shape[:-1]
+    sign = 2j if inverse else -2j
+    # w4[p, q] = exp(-2*pi*i*p*q/4) forward (sign carries the 2i factor).
+    w4 = np.exp(sign * np.pi * np.outer(np.arange(4), np.arange(4)) / 4.0)
+    w4 = w4.astype(x.dtype, copy=False)
+
+    a = x.reshape(batch + (1, n))
+    l = n
+    while l > 1:
+        quarter = l // 4
+        j = np.arange(quarter, dtype=np.float64)
+        # parts[p] = A[..., row, j + p*quarter]
+        parts = [a[..., p * quarter:(p + 1) * quarter] for p in range(4)]
+        outs = []
+        for q in range(4):
+            acc = parts[0] * w4[0, q]
+            for p in range(1, 4):
+                acc = acc + parts[p] * w4[p, q]
+            tw = np.exp(sign * np.pi * j * q / l).astype(a.dtype, copy=False)
+            outs.append(acc * tw)
+        # A'[q*m + row, j]: stack the q-planes above the row axis.
+        a = np.concatenate(outs, axis=-2)
+        l = quarter
+    return a.reshape(batch + (n,))

@@ -1,0 +1,100 @@
+"""Twiddle factor tables.
+
+Twiddle factors are the unit roots ``W_N^k = exp(-2*pi*i*k/N)`` that glue
+FFT stages together.  The paper discusses four storage options for them on
+the GPU (registers / constant memory / texture memory / recompute,
+Section 3.2); on the host side we always precompute and cache tables, which
+corresponds to the texture/constant options.
+
+Sign convention: forward transform uses ``exp(-2*pi*i*...)`` (the NumPy and
+FFTW convention); the inverse conjugates.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["twiddle_table", "four_step_twiddles", "TwiddleCache"]
+
+
+def _complex_dtype(precision: str) -> np.dtype:
+    if precision == "single":
+        return np.dtype(np.complex64)
+    if precision == "double":
+        return np.dtype(np.complex128)
+    raise ValueError(f"unknown precision {precision!r}")
+
+
+def twiddle_table(n: int, precision: str = "double") -> np.ndarray:
+    """Return ``W_n^k`` for ``k = 0..n-1`` as a 1-D array.
+
+    Computed in double precision then cast, so the complex64 tables carry
+    correctly-rounded values rather than accumulated single-precision phase
+    error.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    k = np.arange(n, dtype=np.float64)
+    table = np.exp(-2j * np.pi * k / n)
+    return table.astype(_complex_dtype(precision), copy=False)
+
+
+def four_step_twiddles(r1: int, r2: int, precision: str = "double") -> np.ndarray:
+    """Twiddle matrix ``W_{r1*r2}^{n1*k2}`` of shape ``(r2, r1)``.
+
+    Indexed ``[k2, n1]`` to match the intermediate array layout of the
+    four-step decomposition in :mod:`repro.fft.cooley_tukey` (and of the
+    paper's FFT256_1 kernel, where the 16x16 twiddle multiply follows the
+    first bank of 16-point transforms).
+    """
+    if r1 <= 0 or r2 <= 0:
+        raise ValueError("radices must be positive")
+    n = r1 * r2
+    k2 = np.arange(r2, dtype=np.float64)[:, None]
+    n1 = np.arange(r1, dtype=np.float64)[None, :]
+    table = np.exp(-2j * np.pi * (k2 * n1) / n)
+    return table.astype(_complex_dtype(precision), copy=False)
+
+
+class TwiddleCache:
+    """Thread-safe memoizing store for twiddle tables.
+
+    A 256^3 five-step transform re-reads the same 16x16 and 256-point
+    tables thousands of times; recomputing ``exp`` each time would dominate
+    host runtime, so plans share one cache.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[tuple, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def table(self, n: int, precision: str = "double") -> np.ndarray:
+        """Memoized :func:`twiddle_table`."""
+        key = ("1d", n, precision)
+        with self._lock:
+            if key not in self._tables:
+                self._tables[key] = twiddle_table(n, precision)
+            return self._tables[key]
+
+    def four_step(self, r1: int, r2: int, precision: str = "double") -> np.ndarray:
+        """Memoized :func:`four_step_twiddles`."""
+        key = ("4step", r1, r2, precision)
+        with self._lock:
+            if key not in self._tables:
+                self._tables[key] = four_step_twiddles(r1, r2, precision)
+            return self._tables[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tables)
+
+    def clear(self) -> None:
+        """Drop every cached table."""
+        with self._lock:
+            self._tables.clear()
+
+
+#: Process-wide default cache used by plans unless given their own.
+DEFAULT_CACHE = TwiddleCache()

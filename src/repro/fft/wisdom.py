@@ -1,0 +1,113 @@
+"""FFTW-style wisdom: measure engines once, remember the winner.
+
+The host library has two 1-D engines (four-step and Stockham) whose
+relative speed depends on size and machine.  Wisdom times both on first
+use of a size, caches the decision in memory, and can persist it to JSON
+(the "wisdom file") across processes — the planning model FFTW
+popularized and the paper's own size-specialized kernels echo.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.fft.cooley_tukey import fft_pow2
+from repro.fft.split_radix import split_radix_fft
+from repro.fft.stockham import stockham_fft
+from repro.util.indexing import ilog2
+
+__all__ = ["Wisdom", "wise_fft"]
+
+_ENGINES = {
+    "four_step": fft_pow2,
+    "stockham": stockham_fft,
+    "split_radix": split_radix_fft,
+}
+
+
+class Wisdom:
+    """Per-size engine choices, measured and memoized."""
+
+    #: Batch used for timing runs (big enough to dominate overheads).
+    MEASURE_ELEMENTS = 1 << 16
+
+    def __init__(self, path: str | Path | None = None):
+        self._best: dict[int, str] = {}
+        self._timings: dict[int, dict[str, float]] = {}
+        self.path = Path(path) if path is not None else None
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    # ------------------------------------------------------------------
+
+    def measure(self, n: int, repeats: int = 3) -> dict[str, float]:
+        """Time every engine at size ``n``; returns seconds per call."""
+        ilog2(n)
+        batch = max(1, self.MEASURE_ELEMENTS // n)
+        rng = np.random.default_rng(0)
+        x = (
+            rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
+        ).astype(np.complex64)
+        results = {}
+        for name, fn in _ENGINES.items():
+            fn(x)  # warm caches / twiddles
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                fn(x)
+                best = min(best, time.perf_counter() - t0)
+            results[name] = best
+        self._timings[n] = results
+        self._best[n] = min(results, key=results.get)
+        return results
+
+    def engine_for(self, n: int) -> str:
+        """Best engine name for size ``n`` (measuring on first ask)."""
+        if n not in self._best:
+            self.measure(n)
+        return self._best[n]
+
+    def known_sizes(self) -> list[int]:
+        """Sizes with a measured decision."""
+        return sorted(self._best)
+
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Persist decisions and timings as JSON; returns the path."""
+        path = Path(path) if path is not None else self.path
+        if path is None:
+            raise ValueError("no wisdom path configured")
+        doc = {
+            "best": {str(k): v for k, v in self._best.items()},
+            "timings": {
+                str(k): v for k, v in self._timings.items()
+            },
+        }
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        return path
+
+    def load(self, path: str | Path) -> None:
+        """Merge wisdom from a JSON file written by :meth:`save`."""
+        doc = json.loads(Path(path).read_text())
+        for k, v in doc.get("best", {}).items():
+            if v not in _ENGINES:
+                raise ValueError(f"wisdom names unknown engine {v!r}")
+            self._best[int(k)] = v
+        for k, v in doc.get("timings", {}).items():
+            self._timings[int(k)] = dict(v)
+
+
+#: Process-wide wisdom used by :func:`wise_fft`.
+_DEFAULT = Wisdom()
+
+
+def wise_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """FFT along the last axis using the measured-best engine."""
+    x = np.asarray(x)
+    engine = _DEFAULT.engine_for(x.shape[-1])
+    return _ENGINES[engine](x, inverse=inverse)

@@ -1,0 +1,94 @@
+"""CUDA-class GPU performance simulator.
+
+This package substitutes for the paper's GeForce 8800 GT/GTS/GTX hardware.
+It models the mechanisms the paper identifies as performance-critical:
+
+* half-warp **coalescing** rules (Section 2.1, conditions a/b/c)
+  — :mod:`repro.gpu.coalesce`;
+* the **GDDR memory system** "optimized for successive memory access
+  operations, incurring heavy relative penalties for non-successive
+  accesses" — a bank/row-buffer DRAM timing model driven by sampled
+  transaction traces — :mod:`repro.gpu.dram`, :mod:`repro.gpu.access`,
+  :mod:`repro.gpu.memsystem`;
+* **occupancy** from register/shared-memory/thread limits (Section 3.1's
+  "only eight threads can be executed on each SM" failure mode)
+  — :mod:`repro.gpu.occupancy`;
+* the **instruction issue** model behind "measured GFLOPS in step 5 is only
+  about 30% of peak" (Section 4.2) — :mod:`repro.gpu.isa`;
+* **shared memory banks** and the padding technique (Section 3.2)
+  — :mod:`repro.gpu.sharedmem`;
+* **PCI-Express** transfers (Section 4.4) — :mod:`repro.gpu.pcie`;
+* whole-system **power** (Section 4.7) — :mod:`repro.gpu.power`.
+
+Device parameters come from the paper's Table 1; DRAM/issue constants are
+calibrated once against the paper's anchor measurements (see
+``repro.harness.calibrate``) and frozen in :mod:`repro.gpu.specs`.
+"""
+
+from repro.gpu.specs import (
+    DeviceSpec,
+    CpuSpec,
+    DramTimings,
+    GEFORCE_8800_GT,
+    GEFORCE_8800_GTS,
+    GEFORCE_8800_GTX,
+    ALL_GPUS,
+    GPUS_BY_NAME,
+    AMD_PHENOM_9500,
+    INTEL_CORE2_Q6700,
+)
+from repro.gpu.coalesce import CoalesceResult, coalesce_half_warp, segment_transactions
+from repro.gpu.access import BurstPattern, interleave_bursts, sample_trace
+from repro.gpu.dram import DramModel, TraceTiming
+from repro.gpu.memsystem import MemorySystem, StreamBandwidth
+from repro.gpu.sharedmem import bank_conflict_degree, padded_stride, SharedMemoryModel
+from repro.gpu.occupancy import Occupancy, occupancy
+from repro.gpu.isa import InstructionMix, ComputeModel
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec, LaunchResult
+from repro.gpu.timing import KernelTiming, time_kernel
+from repro.gpu.pcie import PcieLink, PCIE_1_1_X16, PCIE_2_0_X16
+from repro.gpu.power import SystemPowerModel, PowerReading
+from repro.gpu.simulator import DeviceSimulator, DeviceArray, DeviceMemoryError
+
+__all__ = [
+    "DeviceSpec",
+    "CpuSpec",
+    "DramTimings",
+    "GEFORCE_8800_GT",
+    "GEFORCE_8800_GTS",
+    "GEFORCE_8800_GTX",
+    "ALL_GPUS",
+    "GPUS_BY_NAME",
+    "AMD_PHENOM_9500",
+    "INTEL_CORE2_Q6700",
+    "CoalesceResult",
+    "coalesce_half_warp",
+    "segment_transactions",
+    "BurstPattern",
+    "interleave_bursts",
+    "sample_trace",
+    "DramModel",
+    "TraceTiming",
+    "MemorySystem",
+    "StreamBandwidth",
+    "bank_conflict_degree",
+    "padded_stride",
+    "SharedMemoryModel",
+    "Occupancy",
+    "occupancy",
+    "InstructionMix",
+    "ComputeModel",
+    "KernelSpec",
+    "MemoryAccessSpec",
+    "LaunchResult",
+    "KernelTiming",
+    "time_kernel",
+    "PcieLink",
+    "PCIE_1_1_X16",
+    "PCIE_2_0_X16",
+    "SystemPowerModel",
+    "PowerReading",
+    "DeviceSimulator",
+    "DeviceArray",
+    "DeviceMemoryError",
+]

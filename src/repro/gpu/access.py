@@ -1,0 +1,177 @@
+"""Kernel memory-access descriptors and transaction-trace generation.
+
+The paper's kernels have a very regular memory shape: each warp performs a
+*burst* of transactions spaced by the starred-axis stride (the 16 loads of
+a 16-point FFT), then advances to the next *scan* (the next fused loop
+index, i.e. the next 128-byte x-chunk), with scans distributed cyclically
+over the concurrently active warps ("the loop is executed by threads and
+thread blocks in a cyclic fashion", Section 3.1).
+
+:class:`BurstPattern` captures one such stream (per kernel there is one for
+the input array and one for the output array);
+:func:`interleave_bursts` produces the time-ordered transaction trace the
+DRAM model consumes.  Traces are *sampled*: the steady-state bandwidth of a
+homogeneous pattern is estimated from a bounded prefix, which keeps the
+simulator fast enough to sit inside benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BurstPattern", "interleave_bursts", "sample_trace"]
+
+
+@dataclass(frozen=True)
+class BurstPattern:
+    """One logical access stream of a kernel.
+
+    Parameters
+    ----------
+    base:
+        Byte address of the underlying array in device memory.
+    scan_dims / scan_strides:
+        The fused scan (loop) space: dimension extents (fastest first) and
+        the byte stride contributed by each.  Scan ``i`` with digits
+        ``d_k`` starts at ``base + sum(d_k * scan_strides[k])``.
+    burst_len:
+        Transactions per scan (e.g. 16 FFT points; 1 for a plain copy).
+    burst_stride:
+        Bytes between transactions of one burst (the starred-axis stride).
+    transaction_bytes:
+        Size of each transaction (128 for a coalesced half-warp of
+        complex64; 32 per thread when not coalesced).
+    transactions_per_point:
+        Hardware transactions issued per logical burst element (1 when
+        coalesced, 16 when serialized per-thread).
+    """
+
+    base: int
+    scan_dims: tuple[int, ...]
+    scan_strides: tuple[int, ...]
+    burst_len: int
+    burst_stride: int
+    transaction_bytes: int = 128
+    transactions_per_point: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.scan_dims) != len(self.scan_strides):
+            raise ValueError("scan_dims and scan_strides must align")
+        if self.burst_len <= 0 or self.transaction_bytes <= 0:
+            raise ValueError("burst_len and transaction_bytes must be positive")
+        if self.transactions_per_point <= 0:
+            raise ValueError("transactions_per_point must be positive")
+        if any(d <= 0 for d in self.scan_dims):
+            raise ValueError("scan dimensions must be positive")
+
+    @property
+    def n_scans(self) -> int:
+        n = 1
+        for d in self.scan_dims:
+            n *= d
+        return n
+
+    @property
+    def bytes_per_scan(self) -> int:
+        return (
+            self.burst_len * self.transactions_per_point * self.transaction_bytes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n_scans * self.bytes_per_scan
+
+    def scan_bases(self, scan_indices: np.ndarray) -> np.ndarray:
+        """Byte base address of each scan index (vectorized)."""
+        idx = np.asarray(scan_indices, dtype=np.int64)
+        out = np.full(idx.shape, self.base, dtype=np.int64)
+        for dim, stride in zip(self.scan_dims, self.scan_strides):
+            out += (idx % dim) * stride
+            idx = idx // dim
+        return out
+
+    def burst_addresses(self, scan_indices: np.ndarray) -> np.ndarray:
+        """Transaction addresses, shape ``(len(scan_indices), burst_txns)``.
+
+        Within a burst, the ``transactions_per_point`` serialized
+        transactions of one point are adjacent in time (the hardware issues
+        them back to back for the half-warp).
+        """
+        bases = self.scan_bases(scan_indices)[:, None]
+        j = np.arange(self.burst_len, dtype=np.int64)[:, None]
+        t = np.arange(self.transactions_per_point, dtype=np.int64)[None, :]
+        # Serialized transactions of one point fall in the same segment
+        # region; space them by transaction size.
+        offsets = (j * self.burst_stride + t * self.transaction_bytes).ravel()
+        return bases + offsets[None, :]
+
+
+def interleave_bursts(
+    patterns: list[BurstPattern],
+    n_groups: int,
+    max_transactions: int = 200_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Time-ordered (addresses, sizes) trace of concurrent warp groups.
+
+    ``n_groups`` warps run concurrently; group ``g`` executes scans
+    ``g, g+G, g+2G, ...``.  At each step every group runs one scan,
+    performing each pattern's burst in order (read burst then write burst
+    for a typical kernel).  The trace is truncated to roughly
+    ``max_transactions`` whole steps.
+
+    All patterns must share the same scan count (they are facets of one
+    kernel loop).
+    """
+    if not patterns:
+        raise ValueError("need at least one pattern")
+    if n_groups <= 0:
+        raise ValueError("n_groups must be positive")
+    n_scans = patterns[0].n_scans
+    for p in patterns:
+        if p.n_scans != n_scans:
+            raise ValueError("all patterns must share the scan space")
+
+    txns_per_scan = sum(
+        p.burst_len * p.transactions_per_point for p in patterns
+    )
+    txns_per_step = txns_per_scan * min(n_groups, n_scans)
+    n_steps = max(1, min(
+        (n_scans + n_groups - 1) // n_groups,
+        max(1, max_transactions // max(txns_per_step, 1)),
+    ))
+
+    g = np.arange(min(n_groups, n_scans), dtype=np.int64)
+    t = np.arange(n_steps, dtype=np.int64)
+    # scan_idx[t, g]
+    scan_idx = (t[:, None] * n_groups + g[None, :])
+    scan_idx = scan_idx[scan_idx < n_scans]
+
+    addr_blocks = []
+    size_blocks = []
+    for p in patterns:
+        a = p.burst_addresses(scan_idx)  # (n_sel, burst_txns)
+        addr_blocks.append(a)
+        size_blocks.append(
+            np.full(a.shape, p.transaction_bytes, dtype=np.int64)
+        )
+    # Concatenate patterns along the burst axis: per scan, pattern bursts
+    # run back to back; scans of one step interleave in trace order.
+    addrs = np.concatenate(addr_blocks, axis=1).reshape(-1)
+    sizes = np.concatenate(size_blocks, axis=1).reshape(-1)
+    return addrs, sizes
+
+
+def sample_trace(
+    addrs: np.ndarray, sizes: np.ndarray, max_transactions: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Truncate a trace to a prefix of ``max_transactions`` entries."""
+    if len(addrs) != len(sizes):
+        raise ValueError("addrs and sizes must have equal length")
+    if max_transactions <= 0:
+        raise ValueError("max_transactions must be positive")
+    if len(addrs) <= max_transactions:
+        return addrs, sizes
+    return addrs[:max_transactions], sizes[:max_transactions]

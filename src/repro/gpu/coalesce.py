@@ -1,0 +1,121 @@
+"""Half-warp memory coalescing rules (compute capability 1.0/1.1).
+
+Section 2.1 of the paper states the three conditions exactly:
+
+    a) each thread must access successive addresses in the order of the
+       thread number,
+    b) only 32, 64, or 128 bit memory accesses can be coalesced,
+    c) the address accessed by the first thread of the half-warp must be
+       aligned to either 64, 128, or 256 byte boundaries, respectively.
+
+"Otherwise ... multiple memory accesses are issued for each thread, even if
+they access a same memory block."  This module turns a half-warp's 16
+per-thread addresses into the list of memory transactions the hardware
+would issue, which is what the DRAM model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "HALF_WARP",
+    "CoalesceResult",
+    "coalesce_half_warp",
+    "segment_transactions",
+]
+
+HALF_WARP = 16
+
+#: element size (bytes) -> required base alignment (bytes).
+_ALIGNMENT = {4: 64, 8: 128, 16: 256}
+
+
+@dataclass(frozen=True)
+class CoalesceResult:
+    """Outcome of coalescing one half-warp access.
+
+    ``transactions`` is a list of ``(address, size_bytes)``; ``coalesced``
+    says whether the single-transaction fast path was taken.
+    """
+
+    coalesced: bool
+    transactions: tuple[tuple[int, int], ...]
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(size for _, size in self.transactions)
+
+
+def coalesce_half_warp(
+    addresses, element_bytes: int, active_mask: int = 0xFFFF
+) -> CoalesceResult:
+    """Apply rules a/b/c to a half-warp of per-thread addresses.
+
+    Parameters
+    ----------
+    addresses:
+        Sequence of 16 byte addresses (thread 0 first).  Inactive threads
+        (mask bit clear) are ignored for rule a but the CC 1.x hardware
+        still requires active threads to sit at their thread-indexed slot.
+    element_bytes:
+        4, 8 or 16 (rule b); anything else forces the serialized path.
+    active_mask:
+        Bit i set -> thread i performs the access.
+
+    Returns
+    -------
+    CoalesceResult with either one transaction of ``16 * element_bytes``
+    (covering the full segment, as the hardware fetches the whole block)
+    or one transaction per active thread.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.shape != (HALF_WARP,):
+        raise ValueError(f"expected 16 addresses, got shape {addresses.shape}")
+    active = np.array(
+        [(active_mask >> i) & 1 for i in range(HALF_WARP)], dtype=bool
+    )
+    if not active.any():
+        return CoalesceResult(True, ())
+
+    base = int(addresses[0]) - 0 * element_bytes
+    ok = element_bytes in _ALIGNMENT
+    if ok:
+        # Rule a: thread i at base + i*element_bytes (only active threads
+        # are checked; CC 1.1 allows divergent threads to sit out).
+        first_active = int(np.flatnonzero(active)[0])
+        base = int(addresses[first_active]) - first_active * element_bytes
+        expected = base + np.arange(HALF_WARP, dtype=np.int64) * element_bytes
+        ok = bool(np.all(addresses[active] == expected[active]))
+        # Rule c: alignment of the segment base.
+        ok = ok and base % _ALIGNMENT[element_bytes] == 0
+    if ok:
+        return CoalesceResult(True, ((base, HALF_WARP * element_bytes),))
+    # Serialized: one transaction per active thread.  CC 1.x issues a
+    # 32-byte minimum transaction even for a 4-byte load.
+    size = max(int(element_bytes), 32)
+    txns = tuple(
+        (int(a) // size * size, size) for a in addresses[active]
+    )
+    return CoalesceResult(False, txns)
+
+
+def segment_transactions(
+    base: int, total_bytes: int, segment_bytes: int = 128
+) -> np.ndarray:
+    """Addresses of the aligned segments covering ``[base, base+total)``.
+
+    Used to expand a coalesced sweep into the fixed-size transactions the
+    DRAM trace works in.
+    """
+    if segment_bytes <= 0 or total_bytes < 0:
+        raise ValueError("sizes must be positive")
+    first = base // segment_bytes * segment_bytes
+    last = (base + total_bytes + segment_bytes - 1) // segment_bytes * segment_bytes
+    return np.arange(first, last, segment_bytes, dtype=np.int64)

@@ -1,0 +1,59 @@
+"""Constant-memory model (twiddle option 2 of Section 3.2).
+
+G80 constant memory is a 64 KB read-only region behind a per-SM cache
+with a *broadcast* port: "the constant memory provides only a 32-bit data
+in each cycle."  A half-warp reading one address gets it in a single
+cycle; distinct addresses serialize, and a 64-bit complex value costs two
+32-bit reads — which is exactly why the paper rejects it for per-thread
+twiddle factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CONSTANT_MEMORY_BYTES", "ConstantMemoryModel"]
+
+#: CUDA constant-memory capacity on CC 1.x.
+CONSTANT_MEMORY_BYTES = 64 << 10
+
+
+@dataclass(frozen=True)
+class ConstantMemoryModel:
+    """Access-cost model for the broadcast-port constant cache."""
+
+    #: Bytes served per port cycle.
+    port_bytes: int = 4
+
+    def fits(self, n_bytes: int) -> bool:
+        """Whether a table of ``n_bytes`` fits the constant region."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return n_bytes <= CONSTANT_MEMORY_BYTES
+
+    def access_cycles(self, addresses, element_bytes: int = 4) -> int:
+        """Port cycles for one half-warp read of per-thread addresses.
+
+        Distinct addresses serialize; each address costs
+        ``ceil(element_bytes / port_bytes)`` cycles (a complex64 twiddle
+        is two 32-bit words).
+        """
+        addresses = np.asarray(addresses)
+        if addresses.size == 0:
+            raise ValueError("need at least one address")
+        if element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+        distinct = len(np.unique(addresses))
+        words = -(-element_bytes // self.port_bytes)
+        return distinct * words
+
+    def broadcast_cycles(self, element_bytes: int = 4) -> int:
+        """Cycles when all threads read the same address (the good case)."""
+        return self.access_cycles(np.zeros(16, dtype=np.int64), element_bytes)
+
+    def worst_case_cycles(self, element_bytes: int = 8) -> int:
+        """Cycles for 16 distinct per-thread reads (the paper's twiddle
+        case): 32 port cycles for complex64 — the Section 3.2 rejection."""
+        return self.access_cycles(np.arange(16) * element_bytes, element_bytes)

@@ -1,0 +1,38 @@
+"""Warp-level functional CUDA executor.
+
+The highest-fidelity layer of the simulator: kernels are written as
+*per-thread Python generators* (the CUDA programming model — threadIdx,
+blockIdx, shared memory, ``__syncthreads``) and executed warp-
+synchronously.  Every global load/store and shared-memory access is an
+explicit yield, so the executor can
+
+* run the kernel's actual math thread by thread (validated against the
+  vectorized engines and ``numpy.fft``), and
+* *observe* — not assume — the memory behavior the paper's design claims:
+  which half-warp accesses coalesce (rules a/b/c), what burst patterns
+  the kernels emit, and whether shared-memory exchanges are bank-conflict
+  free after padding.
+
+:mod:`repro.core.warp_kernels` implements the paper's 16-point multirow
+kernel and the step-5 shared-memory kernel on this executor.
+"""
+
+from repro.gpu.exec.executor import (
+    Dim3,
+    ExecutionReport,
+    GlobalBuffer,
+    KernelError,
+    SharedBuffer,
+    ThreadContext,
+    WarpExecutor,
+)
+
+__all__ = [
+    "Dim3",
+    "ExecutionReport",
+    "GlobalBuffer",
+    "KernelError",
+    "SharedBuffer",
+    "ThreadContext",
+    "WarpExecutor",
+]

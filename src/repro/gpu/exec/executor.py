@@ -1,0 +1,358 @@
+"""The warp-synchronous executor.
+
+Kernel protocol
+---------------
+A kernel is a Python *generator function* taking a :class:`ThreadContext`
+first, then its arguments.  Memory operations are expressed by yielding
+and (for loads) receiving the value back::
+
+    def copy_kernel(ctx, src, dst, n):
+        i = ctx.global_thread_id()
+        if i < n:
+            v = yield ("load", src, i)
+            yield ("store", dst, i, v)
+
+Yield forms:
+
+* ``("load", GlobalBuffer, index)``  -> value sent back
+* ``("store", GlobalBuffer, index, value)``
+* ``("shared_load", SharedBuffer, index)`` -> value sent back
+* ``("shared_store", SharedBuffer, index, value)``
+* ``("sync",)`` — block-wide barrier (every live thread must reach one)
+
+Execution model: threads of a block advance in lockstep rounds.  In each
+round every non-finished, non-waiting thread performs exactly one
+operation; the global operations of each half-warp in a round are grouped
+and pushed through the coalescing rules, shared operations through the
+bank-conflict rule.  This is the CC 1.x "warp-synchronous" abstraction —
+exactly the contract the paper's kernels are written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.coalesce import coalesce_half_warp
+
+__all__ = [
+    "Dim3",
+    "GlobalBuffer",
+    "SharedBuffer",
+    "ThreadContext",
+    "ExecutionReport",
+    "KernelError",
+    "WarpExecutor",
+]
+
+
+class KernelError(RuntimeError):
+    """A kernel violated the execution contract (bad op, missed barrier)."""
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """CUDA dim3 — used both as an extent (>= 1) and as an index (>= 0)."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.x, self.y, self.z) < 0:
+            raise ValueError("dim3 components must be non-negative")
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+
+class GlobalBuffer:
+    """Device-global array: NumPy storage + base address + element size."""
+
+    def __init__(self, data: np.ndarray, base: int = 0, name: str = ""):
+        self.data = np.ascontiguousarray(data).reshape(-1)
+        self.base = base
+        self.name = name or "global"
+        self.element_bytes = self.data.itemsize
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def address_of(self, index: int) -> int:
+        """Byte address of element ``index`` in the device address space."""
+        return self.base + index * self.element_bytes
+
+
+class SharedBuffer:
+    """Per-block shared memory of 4-byte words (float32 view).
+
+    Complex values are exchanged as separate real/imaginary passes, as in
+    the paper ("real parts are exchanged at first, and then the imaginary
+    parts"), so the word granularity is what the kernels actually use.
+    """
+
+    def __init__(self, n_words: int, name: str = "shared"):
+        if n_words <= 0:
+            raise ValueError("shared buffer needs at least one word")
+        self.words = np.zeros(n_words, dtype=np.float64)  # exact exchange
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.words) * 4  # allocated as float32 on the device
+
+
+@dataclass
+class ThreadContext:
+    """What a CUDA thread sees."""
+
+    threadIdx: Dim3
+    blockIdx: Dim3
+    blockDim: Dim3
+    gridDim: Dim3
+
+    def flat_thread(self) -> int:
+        """Linear thread index within the block (x fastest)."""
+        return (
+            self.threadIdx.x
+            + self.threadIdx.y * self.blockDim.x
+            + self.threadIdx.z * self.blockDim.x * self.blockDim.y
+        )
+
+    def flat_block(self) -> int:
+        """Linear block index within the grid (x fastest)."""
+        return (
+            self.blockIdx.x
+            + self.blockIdx.y * self.gridDim.x
+            + self.blockIdx.z * self.gridDim.x * self.gridDim.y
+        )
+
+    def global_thread_id(self) -> int:
+        """Grid-wide linear thread id (block-major, the CUDA idiom)."""
+        return self.flat_block() * self.blockDim.count + self.flat_thread()
+
+
+@dataclass
+class ExecutionReport:
+    """What the executor observed."""
+
+    n_threads: int = 0
+    rounds: int = 0
+    global_loads: int = 0
+    global_stores: int = 0
+    coalesced_half_warps: int = 0
+    serialized_half_warps: int = 0
+    global_transactions: int = 0
+    shared_accesses: int = 0
+    bank_conflict_cycles: int = 0
+    syncs: int = 0
+    #: (address, bytes) of every issued global transaction, trace order.
+    transactions: list = field(default_factory=list)
+
+    @property
+    def coalesced_fraction(self) -> float:
+        total = self.coalesced_half_warps + self.serialized_half_warps
+        return 1.0 if total == 0 else self.coalesced_half_warps / total
+
+    @property
+    def shared_conflict_free(self) -> bool:
+        return self.bank_conflict_cycles == self.shared_accesses
+
+
+_WAITING = object()
+_DONE = object()
+
+
+class WarpExecutor:
+    """Run kernels block by block, warp-synchronously."""
+
+    HALF_WARP = 16
+
+    def __init__(self, record_transactions: bool = False):
+        self.record_transactions = record_transactions
+
+    # ------------------------------------------------------------------
+
+    def launch(self, kernel, grid: Dim3, block: Dim3, *args) -> ExecutionReport:
+        """Execute ``kernel`` over the grid; returns the observation report."""
+        if grid.count < 1 or block.count < 1:
+            raise KernelError("grid and block must contain at least one thread")
+        if block.count % self.HALF_WARP != 0:
+            raise KernelError(
+                f"block size {block.count} must be a multiple of 16 "
+                "(half-warp granularity)"
+            )
+        report = ExecutionReport(n_threads=grid.count * block.count)
+        for bz in range(grid.z):
+            for by in range(grid.y):
+                for bx in range(grid.x):
+                    self._run_block(
+                        kernel, Dim3(bx, by, bz), grid, block, args, report
+                    )
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _make_threads(self, kernel, block_idx, grid, block, args):
+        threads = []
+        for tz in range(block.z):
+            for ty in range(block.y):
+                for tx in range(block.x):
+                    ctx = ThreadContext(
+                        threadIdx=Dim3(tx, ty, tz),
+                        blockIdx=block_idx,
+                        blockDim=block,
+                        gridDim=grid,
+                    )
+                    threads.append(kernel(ctx, *args))
+        return threads
+
+    def _run_block(self, kernel, block_idx, grid, block, args, report):
+        gens = self._make_threads(kernel, block_idx, grid, block, args)
+        n = len(gens)
+        # state[i]: pending op tuple, _WAITING (at barrier), or _DONE.
+        state: list = [None] * n
+        send: list = [None] * n
+
+        def advance(i):
+            """Step thread i to its next yield (or completion)."""
+            try:
+                state[i] = gens[i].send(send[i])
+            except StopIteration:
+                state[i] = _DONE
+            send[i] = None
+
+        for i in range(n):
+            advance(i)
+
+        while True:
+            live = [i for i in range(n) if state[i] is not _DONE]
+            if not live:
+                break
+            report.rounds += 1
+
+            # Barrier handling: threads at ("sync",) wait for all others.
+            at_sync = [i for i in live if state[i] == ("sync",)]
+            others = [i for i in live if state[i] != ("sync",)]
+            if at_sync and not others:
+                report.syncs += 1
+                for i in at_sync:
+                    advance(i)
+                continue
+            runnable = others if others else live
+
+            # Group this round's ops by half-warp and execute.
+            for hw_start in range(0, n, self.HALF_WARP):
+                hw = [
+                    i
+                    for i in range(hw_start, hw_start + self.HALF_WARP)
+                    if i in set(runnable)
+                ]
+                if not hw:
+                    continue
+                self._execute_half_warp(hw, hw_start, state, send, report)
+                for i in hw:
+                    advance(i)
+
+    # ------------------------------------------------------------------
+
+    def _execute_half_warp(self, threads, hw_start, state, send, report):
+        ops = {i: state[i] for i in threads}
+        kinds = {op[0] for op in ops.values()}
+
+        # Global memory: group same-kind accesses for coalescing analysis.
+        for kind in ("load", "store"):
+            group = {i: op for i, op in ops.items() if op[0] == kind}
+            if not group:
+                continue
+            self._global_group(kind, group, hw_start, send, report)
+
+        for kind in ("shared_load", "shared_store"):
+            group = {i: op for i, op in ops.items() if op[0] == kind}
+            if not group:
+                continue
+            self._shared_group(kind, group, send, report)
+
+        bad = kinds - {"load", "store", "shared_load", "shared_store", "sync"}
+        if bad:
+            raise KernelError(f"unknown kernel operation(s): {sorted(bad)}")
+
+    def _global_group(self, kind, group, hw_start, send, report):
+        buffers = {id(op[1]) for op in group.values()}
+        if len(buffers) > 1:
+            raise KernelError(
+                "a half-warp accessed multiple global buffers in one round"
+            )
+        any_op = next(iter(group.values()))
+        buf: GlobalBuffer = any_op[1]
+
+        addresses = np.zeros(self.HALF_WARP, dtype=np.int64)
+        mask = 0
+        for i, op in group.items():
+            lane = i - hw_start
+            index = int(op[2])
+            if not 0 <= index < len(buf):
+                raise KernelError(
+                    f"{kind} out of bounds: index {index} in buffer "
+                    f"{buf.name!r} of length {len(buf)}"
+                )
+            addresses[lane] = buf.address_of(index)
+            mask |= 1 << lane
+
+        result = coalesce_half_warp(addresses, buf.element_bytes, mask)
+        if result.coalesced:
+            report.coalesced_half_warps += 1
+        else:
+            report.serialized_half_warps += 1
+        report.global_transactions += result.n_transactions
+        if self.record_transactions:
+            report.transactions.extend(result.transactions)
+
+        for i, op in group.items():
+            index = int(op[2])
+            if kind == "load":
+                report.global_loads += 1
+                send[i] = buf.data[index]
+            else:
+                report.global_stores += 1
+                buf.data[index] = op[3]
+
+    def _shared_group(self, kind, group, send, report):
+        buffers = {id(op[1]) for op in group.values()}
+        if len(buffers) > 1:
+            raise KernelError(
+                "a half-warp accessed multiple shared buffers in one round"
+            )
+        any_op = next(iter(group.values()))
+        shared: SharedBuffer = any_op[1]
+
+        # Bank-conflict accounting over the active lanes' word indices.
+        indices = []
+        for op in group.values():
+            idx = int(op[2])
+            if not 0 <= idx < len(shared):
+                raise KernelError(
+                    f"{kind} out of bounds: word {idx} in shared buffer "
+                    f"of {len(shared)} words"
+                )
+            indices.append(idx)
+        uniq = set(indices)
+        if len(uniq) == 1:
+            degree = 1  # broadcast (or a lone lane)
+        else:
+            banks = np.asarray(indices, dtype=np.int64) % 16
+            degree = int(np.bincount(banks, minlength=16).max())
+        report.shared_accesses += 1
+        report.bank_conflict_cycles += degree
+
+        for i, op in group.items():
+            idx = int(op[2])
+            if kind == "shared_load":
+                send[i] = shared.words[idx]
+            else:
+                shared.words[idx] = op[3]

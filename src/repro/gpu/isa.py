@@ -1,0 +1,88 @@
+"""Instruction-issue compute model.
+
+Section 4.2 of the paper: "the measured GFLOPS in step 5 is only about 30%
+of its peak floating-point performance.  Investigating a cubin file ...
+there are many other instructions than FP operations, such as shared
+memory access.  Moreover, many of FP operations are not combined into FMA
+operation.  That wastes half of the FMA units capability."
+
+We model exactly that: an SM issues one instruction per SP per hot clock;
+peak flops assume every slot is an FMA (2 flops).  A kernel's achieved
+compute rate follows from its instruction mix: FMA slots carry 2 flops,
+other FP slots carry 1, shared-memory and miscellaneous slots carry 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["InstructionMix", "ComputeModel"]
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Instruction counts for one *work item* (e.g. one FFT transform).
+
+    ``flops`` is the nominal flop count; ``fma_fraction`` the share of
+    those flops executed as FMAs; ``shared_ops`` shared-memory ld/st
+    issues (already multiplied by any bank-conflict degree);
+    ``other_ops`` explicit extra issues (global ld/st address setup etc.).
+    If ``overhead_fraction`` is None the device default applies.
+    """
+
+    flops: float
+    fma_fraction: float | None = None
+    shared_ops: float = 0.0
+    other_ops: float = 0.0
+    overhead_fraction: float | None = None
+
+    def issue_slots(self, device: DeviceSpec) -> float:
+        """Issue slots consumed per work item on ``device``."""
+        fma_frac = (
+            device.issue.fft_fma_fraction
+            if self.fma_fraction is None
+            else self.fma_fraction
+        )
+        if not 0.0 <= fma_frac <= 1.0:
+            raise ValueError("fma_fraction must be in [0, 1]")
+        fma_slots = self.flops * fma_frac / device.issue.flops_per_fma
+        plain_slots = self.flops * (1.0 - fma_frac)
+        fp_and_shared = fma_slots + plain_slots + self.shared_ops
+        ovh = (
+            device.issue.overhead_fraction
+            if self.overhead_fraction is None
+            else self.overhead_fraction
+        )
+        return fp_and_shared * (1.0 + ovh) + self.other_ops
+
+
+class ComputeModel:
+    """Kernel compute-phase timing for one device."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def issue_rate(self) -> float:
+        """Instructions per second across the whole chip."""
+        return self.device.n_sp * self.device.sp_clock_ghz * 1e9
+
+    def compute_time(self, mix: InstructionMix, work_items: float) -> float:
+        """Seconds to issue ``work_items`` instances of ``mix``."""
+        if work_items < 0:
+            raise ValueError("work_items must be non-negative")
+        slots = mix.issue_slots(self.device) * work_items
+        return slots / self.issue_rate()
+
+    def achieved_gflops(self, mix: InstructionMix) -> float:
+        """Sustained GFLOPS if the kernel were purely compute-bound."""
+        slots = mix.issue_slots(self.device)
+        if slots <= 0:
+            return 0.0
+        flops_per_slot = mix.flops / slots
+        return self.issue_rate() * flops_per_slot / 1e9
+
+    def fraction_of_peak(self, mix: InstructionMix) -> float:
+        """Achieved compute rate relative to the FMA peak (Section 4.2)."""
+        return self.achieved_gflops(mix) / self.device.peak_gflops

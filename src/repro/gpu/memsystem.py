@@ -1,0 +1,154 @@
+"""Memory-system façade: effective bandwidth for kernel access mixes.
+
+Combines the trace generator (:mod:`repro.gpu.access`) with the DRAM
+timing model (:mod:`repro.gpu.dram`) and provides the two measurements the
+paper bases its design on:
+
+* the **multirow stream copy** sweep of Section 2.1 (bandwidth vs. number
+  of concurrent streams: 71.7 GB/s at 1 stream to 30.7 GB/s at 256 on the
+  8800 GTX), and
+* arbitrary **kernel access mixes** given as :class:`BurstPattern` lists
+  (used for the pattern-pair Tables 3/4 and for timing every FFT step).
+
+Results are memoized per (device, trace shape): the five-step estimator
+asks for the same handful of mixes thousands of times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.access import BurstPattern, interleave_bursts
+from repro.gpu.dram import DramModel, TraceTiming
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["StreamBandwidth", "MemorySystem"]
+
+
+@dataclass(frozen=True)
+class StreamBandwidth:
+    """One point of the stream-count sweep."""
+
+    n_streams: int
+    bandwidth: float  # bytes/s (read+write combined)
+
+    @property
+    def gbytes_per_s(self) -> float:
+        return self.bandwidth / 1e9
+
+
+class MemorySystem:
+    """Effective-bandwidth oracle for one device."""
+
+    #: Trace sample size; large enough for steady state, small enough to
+    #: keep a full table regeneration under a second.
+    MAX_TRACE = 120_000
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.dram = DramModel(device)
+        self._cache: dict[tuple, TraceTiming] = {}
+
+    def default_groups(self, blocks: int | None = None, threads: int = 64) -> int:
+        """Concurrent half-warp streams for a launch configuration.
+
+        Defaults to the paper's Table 3/4 configuration: 3 blocks per SM of
+        64 threads (42 blocks on the GT, 48 on GTS/GTX), 4 half-warps each.
+        """
+        if blocks is None:
+            blocks = 3 * self.device.n_sm
+        if blocks <= 0 or threads <= 0:
+            raise ValueError("blocks and threads must be positive")
+        return max(1, blocks * max(1, threads // 16))
+
+    def trace_timing(
+        self,
+        patterns: list[BurstPattern],
+        n_groups: int | None = None,
+        max_transactions: int | None = None,
+    ) -> TraceTiming:
+        """DRAM timing of the interleaved trace of ``patterns``."""
+        if n_groups is None:
+            n_groups = self.default_groups()
+        key = (
+            tuple(
+                (
+                    p.base,
+                    p.scan_dims,
+                    p.scan_strides,
+                    p.burst_len,
+                    p.burst_stride,
+                    p.transaction_bytes,
+                    p.transactions_per_point,
+                )
+                for p in patterns
+            ),
+            n_groups,
+            max_transactions,
+        )
+        if key not in self._cache:
+            addrs, sizes = interleave_bursts(
+                patterns, n_groups, max_transactions or self.MAX_TRACE
+            )
+            self._cache[key] = self.dram.evaluate(addrs, sizes)
+        return self._cache[key]
+
+    def effective_bandwidth(
+        self, patterns: list[BurstPattern], n_groups: int | None = None
+    ) -> float:
+        """Bytes/s sustained by the given access mix."""
+        return self.trace_timing(patterns, n_groups).bandwidth
+
+    # ------------------------------------------------------------------
+    # Section 2.1 microbenchmark
+    # ------------------------------------------------------------------
+
+    def stream_copy(
+        self,
+        n_streams: int,
+        array_bytes: int = 128 << 20,
+        n_groups: int | None = None,
+    ) -> StreamBandwidth:
+        """Multirow copy touching ``n_streams`` concurrent streams.
+
+        Each warp reads one 128-byte transaction from each stream (spaced
+        ``array_bytes / n_streams`` apart) and writes the mirror layout to
+        a second array — the memory shape of a multirow FFT pass with
+        ``n_streams`` rows.
+        """
+        if n_streams <= 0:
+            raise ValueError("n_streams must be positive")
+        if array_bytes % (n_streams * 128) != 0:
+            raise ValueError("array_bytes must be a multiple of 128*n_streams")
+        stream_len = array_bytes // n_streams
+        n_scans = stream_len // 128
+        read = BurstPattern(
+            base=0,
+            scan_dims=(n_scans,),
+            scan_strides=(128,),
+            burst_len=n_streams,
+            burst_stride=stream_len,
+            transaction_bytes=128,
+            name=f"read[{n_streams}]",
+        )
+        write = BurstPattern(
+            base=array_bytes,
+            scan_dims=(n_scans,),
+            scan_strides=(128,),
+            burst_len=n_streams,
+            burst_stride=stream_len,
+            transaction_bytes=128,
+            name=f"write[{n_streams}]",
+        )
+        timing = self.trace_timing([read, write], n_groups)
+        return StreamBandwidth(n_streams=n_streams, bandwidth=timing.bandwidth)
+
+    def stream_sweep(
+        self, counts=(1, 2, 4, 8, 16, 32, 64, 128, 256)
+    ) -> list[StreamBandwidth]:
+        """The full Section 2.1 sweep."""
+        return [self.stream_copy(int(c)) for c in counts]
+
+    def sequential_bandwidth(self) -> float:
+        """Single-stream copy bandwidth (the paper's 71.7 GB/s anchor)."""
+        return self.stream_copy(1).bandwidth

@@ -1,0 +1,104 @@
+"""SM occupancy: how many threads a kernel keeps resident.
+
+This is the resource calculus behind the paper's central tuning decision:
+"if the multirow FFT algorithm used for 256-point FFT, each thread needs
+more than 512 registers ... only eight threads can be executed on each SM,
+thereby not satisfying the conditions for coalesced memory access, and
+finally performance will fall flat due to extremely poor memory bandwidth"
+versus "we implement the kernels of 16-point FFT with 51 or 52 registers,
+allowing 128 threads to run on an SM" (Section 3.1).
+
+Compute-capability 1.x rules: a block's register footprint is
+``threads * regs_per_thread`` out of 8192 per SM; shared memory out of
+16 KB per SM; at most 768 threads and 8 blocks per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["Occupancy", "occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel on one SM."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    limiting_resource: str
+
+    @property
+    def active_threads(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def active_warps(self) -> int:
+        return self.active_threads // 32
+
+    def latency_hiding_factor(self, device: DeviceSpec) -> float:
+        """Fraction of streaming bandwidth reachable at this residency.
+
+        DRAM latency is hidden by switching among resident threads; below
+        ``issue.latency_hiding_threads`` (128 on these parts) achievable
+        bandwidth degrades proportionally.  This is the cliff the paper's
+        register budgeting avoids.
+        """
+        need = device.issue.latency_hiding_threads
+        if self.active_threads <= 0:
+            return 0.0
+        return min(1.0, self.active_threads / need)
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    regs_per_thread: int,
+    shared_bytes_per_block: int = 0,
+) -> Occupancy:
+    """CC 1.x occupancy of a launch configuration on ``device``.
+
+    Returns zero blocks (with the limiting resource named) when a single
+    block cannot fit at all — e.g. 1024 registers/thread at 64 threads.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if threads_per_block > device.max_threads_per_block:
+        raise ValueError(
+            f"{threads_per_block} threads exceeds the device block limit "
+            f"{device.max_threads_per_block}"
+        )
+    if regs_per_thread < 0 or shared_bytes_per_block < 0:
+        raise ValueError("resource requests must be non-negative")
+
+    limits: dict[str, int] = {}
+    regs_per_block = regs_per_thread * threads_per_block
+    if regs_per_block > 0:
+        limits["registers"] = device.registers_per_sm // regs_per_block
+    if shared_bytes_per_block > 0:
+        limits["shared memory"] = device.shared_mem_per_sm // shared_bytes_per_block
+    limits["threads"] = device.max_threads_per_sm // threads_per_block
+    limits["blocks"] = device.max_blocks_per_sm
+
+    resource, blocks = min(limits.items(), key=lambda kv: kv[1])
+    if blocks == 0:
+        # The kernel cannot launch with full blocks; CC 1.x would fail the
+        # launch, but the paper's degenerate case ("only eight threads")
+        # corresponds to shrinking the block. Model it as the largest
+        # thread count whose registers fit.
+        if regs_per_thread > 0:
+            fit = device.registers_per_sm // regs_per_thread
+            fit = max(0, min(fit, threads_per_block))
+            return Occupancy(
+                blocks_per_sm=1 if fit else 0,
+                threads_per_block=fit,
+                limiting_resource=resource,
+            )
+        return Occupancy(0, 0, resource)
+    return Occupancy(
+        blocks_per_sm=blocks,
+        threads_per_block=threads_per_block,
+        limiting_resource=resource,
+    )

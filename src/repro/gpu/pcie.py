@@ -1,0 +1,97 @@
+"""PCI-Express transfer model.
+
+"The data transfer between the host CPU and device often occupies a large
+percentage of the total execution time" (Section 1); Table 10 quantifies
+it: ~5.2 GB/s host-to-device on the PCIe 2.0 x16 boards and only
+2.8/3.3 GB/s on the 8800 GTX's PCIe 1.1 link — which inverts the
+performance ranking once transfers are included.
+
+Effective rates are theoretical link bandwidth times a per-direction
+efficiency (protocol framing, pinned-buffer DMA setup); the efficiencies
+are calibrated to Table 10 and sit in the usual 65-85% envelope.
+The model also supports the asynchronous-overlap extension the paper
+mentions ("the latest devices support asynchronous transfers", Section
+4.4), used by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PcieLink", "PCIE_1_1_X16", "PCIE_2_0_X16", "link_for"]
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """One PCIe link configuration."""
+
+    name: str
+    #: Theoretical one-direction payload bandwidth, bytes/s.
+    raw_bandwidth: float
+    #: Achieved fraction host-to-device (calibrated, Table 10).
+    h2d_efficiency: float
+    #: Achieved fraction device-to-host.
+    d2h_efficiency: float
+    #: Fixed per-transfer setup cost, seconds.
+    setup_s: float = 10e-6
+
+    @property
+    def h2d_bandwidth(self) -> float:
+        return self.raw_bandwidth * self.h2d_efficiency
+
+    @property
+    def d2h_bandwidth(self) -> float:
+        return self.raw_bandwidth * self.d2h_efficiency
+
+    def transfer_time(self, n_bytes: int, direction: str) -> float:
+        """Seconds for one synchronous transfer of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if direction == "h2d":
+            bw = self.h2d_bandwidth
+        elif direction == "d2h":
+            bw = self.d2h_bandwidth
+        else:
+            raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+        if n_bytes == 0:
+            return 0.0
+        return self.setup_s + n_bytes / bw
+
+    def overlapped_time(self, transfer_s: float, compute_s: float) -> float:
+        """Wall time when a transfer is overlapped with device compute.
+
+        Asynchronous copies proceed concurrently with kernels; wall time is
+        the max of the two phases (the paper's suggested mitigation).
+        """
+        if transfer_s < 0 or compute_s < 0:
+            raise ValueError("times must be non-negative")
+        return max(transfer_s, compute_s)
+
+
+# PCIe 2.0 x16: 8 GB/s raw. Table 10 (8800 GT/GTS): H2D ~5.2, D2H ~4.9-5.1.
+PCIE_2_0_X16 = PcieLink(
+    name="2.0 x16",
+    raw_bandwidth=8.0e9,
+    h2d_efficiency=0.65,
+    d2h_efficiency=0.63,
+)
+
+# PCIe 1.1 x16: 4 GB/s raw. Table 10 (8800 GTX): H2D 2.82, D2H 3.35.
+PCIE_1_1_X16 = PcieLink(
+    name="1.1 x16",
+    raw_bandwidth=4.0e9,
+    h2d_efficiency=0.705,
+    d2h_efficiency=0.838,
+)
+
+_LINKS = {link.name: link for link in (PCIE_1_1_X16, PCIE_2_0_X16)}
+
+
+def link_for(pcie_name: str) -> PcieLink:
+    """Resolve a ``DeviceSpec.pcie`` string to its link model."""
+    try:
+        return _LINKS[pcie_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown PCIe configuration {pcie_name!r}; known: {sorted(_LINKS)}"
+        ) from None

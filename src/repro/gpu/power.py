@@ -1,0 +1,100 @@
+"""Whole-system power model (the paper's Table 13).
+
+The paper measures wall power of the complete host while repeatedly
+computing a 256^3 FFT, with an old low-power RIVA128 card installed when
+the CPU does the work.  We decompose those measurements into additive
+components (host base, display card, CPU load delta, GPU idle, GPU load
+delta) so the model can also answer questions the paper doesn't print,
+e.g. power with the FFT on the GPU *and* the CPU busy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["GpuPowerProfile", "PowerReading", "SystemPowerModel"]
+
+
+@dataclass(frozen=True)
+class GpuPowerProfile:
+    """Idle draw and FFT-load delta of one card, watts."""
+
+    idle_watts: float
+    fft_load_delta: float
+
+
+#: Component decomposition of Table 13 (host base chosen so the RIVA128
+#: row reproduces exactly: 120 + 6 = 126 W idle, +14 W CPU load = 140 W).
+_HOST_BASE_W = 120.0
+_CPU_LOAD_DELTA_W = 14.0
+
+_GPU_PROFILES: dict[str, GpuPowerProfile] = {
+    "RIVA128": GpuPowerProfile(idle_watts=6.0, fft_load_delta=0.0),
+    "8800 GT": GpuPowerProfile(idle_watts=60.0, fft_load_delta=35.0),
+    "8800 GTS": GpuPowerProfile(idle_watts=76.0, fft_load_delta=42.0),
+    "8800 GTX": GpuPowerProfile(idle_watts=104.0, fft_load_delta=66.0),
+}
+
+
+@dataclass(frozen=True)
+class PowerReading:
+    """System power in one scenario, plus the efficiency quotient."""
+
+    idle_watts: float
+    load_watts: float
+    gflops: float
+
+    @property
+    def gflops_per_watt(self) -> float:
+        if self.load_watts <= 0:
+            raise ValueError("load power must be positive")
+        return self.gflops / self.load_watts
+
+
+class SystemPowerModel:
+    """Wall power of the Table 5 host with a given accelerator installed."""
+
+    def __init__(
+        self,
+        host_base_watts: float = _HOST_BASE_W,
+        cpu_load_delta_watts: float = _CPU_LOAD_DELTA_W,
+    ):
+        if host_base_watts <= 0:
+            raise ValueError("host base power must be positive")
+        self.host_base = host_base_watts
+        self.cpu_load_delta = cpu_load_delta_watts
+
+    def profile(self, gpu_name: str) -> GpuPowerProfile:
+        """Power profile of one card (raises for unknown names)."""
+        try:
+            return _GPU_PROFILES[gpu_name]
+        except KeyError:
+            raise ValueError(
+                f"no power profile for {gpu_name!r}; known: {sorted(_GPU_PROFILES)}"
+            ) from None
+
+    def idle(self, gpu_name: str) -> float:
+        """System idle power with ``gpu_name`` installed, watts."""
+        return self.host_base + self.profile(gpu_name).idle_watts
+
+    def fft_on_gpu(self, device: DeviceSpec, gflops: float) -> PowerReading:
+        """Table 13 row for FFT running on ``device`` at ``gflops``."""
+        prof = self.profile(device.name)
+        idle = self.host_base + prof.idle_watts
+        return PowerReading(
+            idle_watts=idle,
+            load_watts=idle + prof.fft_load_delta,
+            gflops=gflops,
+        )
+
+    def fft_on_cpu(self, gflops: float, display_gpu: str = "RIVA128") -> PowerReading:
+        """Table 13's CPU row: FFT on the host, low-power display card."""
+        prof = self.profile(display_gpu)
+        idle = self.host_base + prof.idle_watts
+        return PowerReading(
+            idle_watts=idle,
+            load_watts=idle + self.cpu_load_delta + prof.fft_load_delta,
+            gflops=gflops,
+        )

@@ -1,0 +1,97 @@
+"""Shared-memory bank-conflict model and the paper's padding technique.
+
+"Since shared memory has 16 banks which are accessible in parallel, we
+employ a padding technique for efficient data exchange without bank
+conflicts.  To save the amount of shared memory to be allocated, real
+parts are exchanged at first, and then the imaginary parts are exchanged."
+(Section 3.2.)
+
+G80 shared memory: 16 banks, 4-byte words, bank = (word address) mod 16.
+A half-warp access where ``k`` threads map to the same bank serializes
+into ``k`` cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "N_BANKS",
+    "bank_conflict_degree",
+    "stride_conflict_degree",
+    "padded_stride",
+    "SharedMemoryModel",
+]
+
+N_BANKS = 16
+_WORD = 4  # bytes
+
+
+def bank_conflict_degree(word_indices) -> int:
+    """Serialization factor of one half-warp shared-memory access.
+
+    ``word_indices`` are the 16 per-thread 4-byte word indices.  The
+    degree is the maximum number of threads hitting one bank (1 =
+    conflict-free; 16 = fully serialized).  Broadcasts (all threads, same
+    word) are conflict-free on G80 and return 1.
+    """
+    idx = np.asarray(word_indices, dtype=np.int64)
+    if idx.shape != (16,):
+        raise ValueError(f"expected 16 word indices, got shape {idx.shape}")
+    if np.all(idx == idx[0]):
+        return 1  # broadcast path
+    banks = idx % N_BANKS
+    return int(np.bincount(banks, minlength=N_BANKS).max())
+
+
+def stride_conflict_degree(stride_words: int) -> int:
+    """Conflict degree when thread ``i`` accesses word ``i * stride``.
+
+    Equals ``gcd(stride, 16)``: a stride sharing a factor with the bank
+    count folds several threads onto one bank.  Stride 1 (and any odd
+    stride) is conflict-free — hence the paper's padding.
+    """
+    if stride_words <= 0:
+        raise ValueError("stride must be positive")
+    return math.gcd(stride_words, N_BANKS)
+
+
+def padded_stride(stride_words: int) -> int:
+    """Smallest stride >= ``stride_words`` that is conflict-free.
+
+    The paper pads rows so exchanges hit all 16 banks; for any
+    even stride the fix is +1 word per row.
+    """
+    s = stride_words
+    while stride_conflict_degree(s) != 1:
+        s += 1
+    return s
+
+
+@dataclass(frozen=True)
+class SharedMemoryModel:
+    """Cost model for a kernel's shared-memory traffic.
+
+    ``conflict_degree`` multiplies the issue cost of each shared-memory
+    instruction; a padded layout has degree 1.
+    """
+
+    capacity_bytes: int = 16384
+    conflict_degree: int = 1
+
+    def exchange_cost(self, n_ops: int) -> float:
+        """Issue-slot cost of ``n_ops`` shared ld/st half-warp operations."""
+        if n_ops < 0:
+            raise ValueError("n_ops must be non-negative")
+        return float(n_ops) * self.conflict_degree
+
+    def exchange_bytes_per_point(self, precision: str = "single") -> int:
+        """Bytes exchanged per complex value (split real/imag passes).
+
+        Splitting halves the *allocation* (only one real array live at a
+        time) but not the traffic: both halves still move.
+        """
+        return 8 if precision == "single" else 16

@@ -1,0 +1,210 @@
+"""Device simulator façade: allocate, transfer, launch, account time.
+
+:class:`DeviceSimulator` gives the algorithm layer a CUDA-runtime-shaped
+API: device arrays live in a simulated address space (backed by host NumPy
+storage), kernels execute their functional NumPy body and charge the
+timing model, and PCIe transfers move data while charging the link model.
+The capacity check is real — allocating a 512^3 complex grid on a 512 MB
+card raises :class:`DeviceMemoryError`, which is precisely why the paper
+needs its out-of-core algorithm (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.gpu.kernel import KernelSpec, LaunchResult
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.pcie import PcieLink, link_for
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.timing import KernelTiming, time_kernel
+
+__all__ = ["DeviceMemoryError", "DeviceArray", "DeviceSimulator"]
+
+
+class DeviceMemoryError(MemoryError):
+    """Raised when an allocation exceeds device memory capacity."""
+
+
+@dataclass
+class DeviceArray:
+    """A device-resident array: NumPy storage + simulated base address."""
+
+    name: str
+    data: np.ndarray
+    base: int  # byte address in the simulated device address space
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+
+@dataclass
+class _TimelineEvent:
+    kind: str  # "kernel" | "h2d" | "d2h"
+    label: str
+    seconds: float
+    bytes_moved: int = 0
+    flops: float = 0.0
+
+
+class DeviceSimulator:
+    """One simulated GPU: allocator + launcher + transfer engine + clock."""
+
+    #: Allocation alignment, bytes (CUDA allocations are 256-aligned).
+    ALIGN = 256
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+        self.memsystem = MemorySystem(device)
+        self.pcie: PcieLink = link_for(device.pcie)
+        self._next_base = 0
+        self._arrays: dict[str, DeviceArray] = {}
+        self._used = 0
+        self._timeline: list[_TimelineEvent] = []
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.device.memory_bytes - self._used
+
+    def allocate(self, shape, dtype, name: str | None = None) -> DeviceArray:
+        """Allocate a device array; raises if it does not fit."""
+        data = np.zeros(shape, dtype=dtype)
+        if data.nbytes > self.free_bytes:
+            raise DeviceMemoryError(
+                f"cannot allocate {data.nbytes / 2**20:.0f} MiB on "
+                f"{self.device.name} ({self.free_bytes / 2**20:.0f} MiB free "
+                f"of {self.device.memory_mbytes} MiB); use the out-of-core "
+                "path (repro.core.out_of_core) for transforms larger than "
+                "device memory"
+            )
+        name = name or f"array{len(self._arrays)}"
+        if name in self._arrays:
+            raise ValueError(f"device array {name!r} already exists")
+        base = self._next_base
+        arr = DeviceArray(name=name, data=data, base=base)
+        padded = (data.nbytes + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+        self._next_base += padded
+        self._used += padded
+        self._arrays[name] = arr
+        return arr
+
+    def free(self, arr: DeviceArray) -> None:
+        """Release a device array (simple non-compacting free)."""
+        if arr.name not in self._arrays:
+            raise KeyError(f"array {arr.name!r} is not allocated here")
+        del self._arrays[arr.name]
+        padded = (arr.nbytes + self.ALIGN - 1) // self.ALIGN * self.ALIGN
+        self._used -= padded
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def h2d(self, host: np.ndarray, dev: DeviceArray, label: str = "h2d") -> float:
+        """Copy host -> device; returns simulated seconds."""
+        if host.nbytes != dev.nbytes:
+            raise ValueError(
+                f"size mismatch: host {host.nbytes} B vs device {dev.nbytes} B"
+            )
+        np.copyto(dev.data, host.reshape(dev.shape).astype(dev.dtype, copy=False))
+        t = self.pcie.transfer_time(host.nbytes, "h2d")
+        self._timeline.append(_TimelineEvent("h2d", label, t, host.nbytes))
+        return t
+
+    def d2h(self, dev: DeviceArray, host: np.ndarray, label: str = "d2h") -> float:
+        """Copy device -> host; returns simulated seconds."""
+        if host.nbytes != dev.nbytes:
+            raise ValueError(
+                f"size mismatch: device {dev.nbytes} B vs host {host.nbytes} B"
+            )
+        np.copyto(host, dev.data.reshape(host.shape).astype(host.dtype, copy=False))
+        t = self.pcie.transfer_time(dev.nbytes, "d2h")
+        self._timeline.append(_TimelineEvent("d2h", label, t, dev.nbytes))
+        return t
+
+    # ------------------------------------------------------------------
+    # Kernel launches
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        spec: KernelSpec,
+        body: Callable[..., None] | None = None,
+        *args,
+        **kwargs,
+    ) -> KernelTiming:
+        """Run a kernel: execute its functional body, charge its timing.
+
+        ``body`` receives ``*args``/``**kwargs`` (typically DeviceArrays'
+        ``.data``) and mutates them in place, exactly like a CUDA kernel.
+        """
+        timing = time_kernel(self.device, spec, self.memsystem)
+        if body is not None:
+            body(*args, **kwargs)
+        self._timeline.append(
+            _TimelineEvent(
+                "kernel", spec.name, timing.seconds, spec.total_bytes, spec.total_flops
+            )
+        )
+        return timing
+
+    def charge(self, label: str, seconds: float, kind: str = "kernel") -> None:
+        """Record externally-computed time (e.g. an estimator result)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._timeline.append(_TimelineEvent(kind, label, seconds))
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated seconds on this device's timeline."""
+        return sum(e.seconds for e in self._timeline)
+
+    @property
+    def kernel_seconds(self) -> float:
+        return sum(e.seconds for e in self._timeline if e.kind == "kernel")
+
+    @property
+    def transfer_seconds(self) -> float:
+        return sum(e.seconds for e in self._timeline if e.kind in ("h2d", "d2h"))
+
+    def launches(self) -> list[LaunchResult]:
+        """Timeline as LaunchResult records (kernels only)."""
+        return [
+            LaunchResult(
+                kernel=e.label,
+                seconds=e.seconds,
+                bytes_moved=e.bytes_moved,
+                flops=e.flops,
+                bound="memory",
+            )
+            for e in self._timeline
+            if e.kind == "kernel"
+        ]
+
+    def reset_clock(self) -> None:
+        """Clear the timeline (allocations stay)."""
+        self._timeline.clear()

@@ -1,0 +1,229 @@
+"""Device specifications (the paper's Table 1) and calibrated model constants.
+
+The architectural numbers (SM count, clocks, memory interface) are copied
+from Table 1 of the paper.  The DRAM/issue constants have no published
+values; they were calibrated once against the paper's anchor measurements
+(Section 2.1: 71.7 GB/s single-stream copy and 30.7 GB/s at 256 streams on
+8800 GTX; Section 4.2: step-5 achieves ~30% of peak FLOPs) and are frozen
+here.  ``repro.harness.calibrate`` re-derives them and the test suite
+asserts they still reproduce the anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DramTimings",
+    "DeviceSpec",
+    "CpuSpec",
+    "GEFORCE_8800_GT",
+    "GEFORCE_8800_GTS",
+    "GEFORCE_8800_GTX",
+    "ALL_GPUS",
+    "GPUS_BY_NAME",
+    "AMD_PHENOM_9500",
+    "INTEL_CORE2_Q6700",
+]
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """GDDR3 controller/array timing in units of data beats.
+
+    One *beat* transfers ``channel_bytes`` on one channel; at 1800 MT/s a
+    beat is ~0.56 ns.  Values are not vendor datasheet numbers (those are
+    not public for the boards) but calibrated to the paper's anchors; they
+    sit inside the plausible GDDR3 envelope (tRC ~ 35 ns, tRRD ~ 8-12 ns).
+    """
+
+    #: Bytes per beat per channel (64-bit channels -> 8).
+    channel_bytes: int = 8
+    #: Effective row reach per channel, bytes: DRAM page size times the
+    #: controller's same-row merge reach (adjacent-page prefetch/streaming).
+    row_bytes: int = 65536
+    #: Effective independent row buffers per channel (banks x the
+    #: controller's open-row tracking capacity).
+    n_banks: int = 8
+    #: Address interleave granularity across channels, bytes.
+    interleave_bytes: int = 256
+    #: Effective serialization per row activation across banks, in beats:
+    #: command-bus issue (precharge+activate+read at the half-rate command
+    #: clock) plus tRRD/tFAW spacing.  Dominates random-access traffic.
+    t_rrd_beats: float = 45.0
+    #: Minimum beats between activates to the *same* bank (tRC-class).
+    t_rc_beats: float = 63.0
+    #: Controller reorder queue, transactions (global, shared by all
+    #: channels; each channel reorders within its share).
+    reorder_window_total: int = 48
+    #: Fraction of raw pin bandwidth usable on an ideal sequential stream
+    #: (refresh, read/write turnaround, command overhead).
+    stream_utilization: float = 0.83
+
+
+@dataclass(frozen=True)
+class IssueModel:
+    """SM instruction-issue constants (Section 4.2 analysis).
+
+    The G80-class SM issues one instruction per SP per hot clock; an FMA
+    carries 2 flops, any other FP op carries 1.  The paper observes "many
+    of FP operations are not combined into FMA" — ``fft_fma_fraction`` is
+    the fraction of an FFT kernel's flops carried by FMAs, and
+    ``overhead_fraction`` is the share of issue slots spent on address
+    arithmetic, predication and loop control.
+    """
+
+    flops_per_fma: float = 2.0
+    #: Fraction of FFT butterfly flops issued as FMA (cuFFT-era codegen).
+    fft_fma_fraction: float = 0.25
+    #: Non-FP issue overhead as a fraction of FP+shared instructions.
+    overhead_fraction: float = 0.20
+    #: Threads per SM needed to hide DRAM latency (Section 3.1: "we require
+    #: at least 128 threads for each SM").
+    latency_hiding_threads: int = 128
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One CUDA GPU: Table 1 columns plus modeling constants."""
+
+    name: str
+    core: str
+    process_nm: int
+    n_sm: int
+    sp_per_sm: int
+    sp_clock_ghz: float
+    memory_mbytes: int
+    interface_bits: int
+    mem_clock_mtps: float  # effective transfer rate, MT/s
+    pcie: str  # "1.1 x16" or "2.0 x16"
+    #: CC 1.x SM resource limits.
+    registers_per_sm: int = 8192
+    shared_mem_per_sm: int = 16384
+    max_threads_per_sm: int = 768
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 512
+    warp_size: int = 32
+    supports_double: bool = False
+    dram: DramTimings = field(default_factory=DramTimings)
+    issue: IssueModel = field(default_factory=IssueModel)
+    #: Fixed per-kernel-launch overhead, seconds (driver + setup).
+    launch_overhead_s: float = 15e-6
+    #: Texture path: fraction of sequential-stream bandwidth achieved by
+    #: cached gathers (Table 9 calibration).
+    texture_gather_efficiency: float = 0.52
+
+    @property
+    def n_sp(self) -> int:
+        return self.n_sm * self.sp_per_sm
+
+    @property
+    def peak_gflops(self) -> float:
+        """Single-precision peak: 2 flops (FMA) per SP per hot clock.
+
+        Reproduces Table 1: 336 (GT), 416 (GTS), 345.6 (GTX).
+        """
+        return self.n_sp * self.sp_clock_ghz * 2.0
+
+    @property
+    def n_channels(self) -> int:
+        """64-bit memory partitions (G80: 6, G92: 4)."""
+        return self.interface_bits // 64
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Raw pin bandwidth, bytes/s (Table 1 rightmost column)."""
+        return self.interface_bits / 8 * self.mem_clock_mtps * 1e6
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.memory_mbytes * (1 << 20)
+
+    def with_dram(self, **kwargs) -> "DeviceSpec":
+        """Copy of this spec with modified DRAM timing fields."""
+        return replace(self, dram=replace(self.dram, **kwargs))
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A host CPU baseline (Section 2, Table 11)."""
+
+    name: str
+    clock_ghz: float
+    cores: int
+    #: Single-precision peak GFLOPS (all cores, SSE).
+    peak_sp_gflops: float
+    #: Sustained memory bandwidth, bytes/s (STREAM-class).
+    stream_bandwidth: float
+    #: Fraction of peak an optimized FFT (FFTW) sustains on this core
+    #: (calibrated to Table 11; FFT is memory-bound on these parts).
+    fftw_efficiency: float
+
+
+GEFORCE_8800_GT = DeviceSpec(
+    name="8800 GT",
+    core="G92",
+    process_nm=65,
+    n_sm=14,
+    sp_per_sm=8,
+    sp_clock_ghz=1.500,
+    memory_mbytes=512,
+    interface_bits=256,
+    mem_clock_mtps=1800.0,
+    pcie="2.0 x16",
+)
+
+GEFORCE_8800_GTS = DeviceSpec(
+    name="8800 GTS",
+    core="G92",
+    process_nm=65,
+    n_sm=16,
+    sp_per_sm=8,
+    sp_clock_ghz=1.625,
+    memory_mbytes=512,
+    interface_bits=256,
+    mem_clock_mtps=1940.0,
+    pcie="2.0 x16",
+)
+
+GEFORCE_8800_GTX = DeviceSpec(
+    name="8800 GTX",
+    core="G80",
+    process_nm=90,
+    n_sm=16,
+    sp_per_sm=8,
+    sp_clock_ghz=1.350,
+    memory_mbytes=768,
+    interface_bits=384,
+    mem_clock_mtps=1800.0,
+    pcie="1.1 x16",
+)
+
+ALL_GPUS: tuple[DeviceSpec, ...] = (
+    GEFORCE_8800_GT,
+    GEFORCE_8800_GTS,
+    GEFORCE_8800_GTX,
+)
+
+GPUS_BY_NAME: dict[str, DeviceSpec] = {g.name: g for g in ALL_GPUS}
+
+# Table 5 host: AMD Phenom 9500, 2.2 GHz quad core.  Peak SP = 70.4 GFLOPS
+# (4 cores x 2.2 GHz x 8 flops/cycle), STREAM < 10 GB/s (Section 2).
+AMD_PHENOM_9500 = CpuSpec(
+    name="AMD Phenom 9500",
+    clock_ghz=2.2,
+    cores=4,
+    peak_sp_gflops=70.4,
+    stream_bandwidth=9.0e9,
+    fftw_efficiency=0.146,  # Table 11: 10.3 GFLOPS measured
+)
+
+# Table 11 second row.
+INTEL_CORE2_Q6700 = CpuSpec(
+    name="Intel Core 2 Quad Q6700",
+    clock_ghz=2.66,
+    cores=4,
+    peak_sp_gflops=85.1,
+    stream_bandwidth=8.5e9,
+    fftw_efficiency=0.126,  # Table 11: 10.7 GFLOPS measured
+)

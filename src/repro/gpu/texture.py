@@ -1,0 +1,54 @@
+"""Texture memory path.
+
+The paper uses textures twice: as the twiddle-factor store for step 5
+("we selected texture memory for step 5", Section 3.2) and as the fallback
+data path when shared memory is disabled (Table 9, where the texture
+variant of the second X-axis pass takes 8.43 ms versus 5.1 ms coalesced
+and 14.3 ms non-coalesced on the 8800 GTS).
+
+The texture cache turns spatially-local gathers into burst fetches, so its
+sustained rate sits between fully-coalesced global access and the
+serialized non-coalesced path.  We model it as a calibrated fraction of
+the device's sequential-stream bandwidth
+(``DeviceSpec.texture_gather_efficiency``).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["TextureModel"]
+
+
+class TextureModel:
+    """Bandwidth oracle for texture-path traffic on one device."""
+
+    def __init__(self, device: DeviceSpec, memsystem: MemorySystem | None = None):
+        self.device = device
+        self.memsystem = memsystem or MemorySystem(device)
+
+    def gather_bandwidth(self) -> float:
+        """Bytes/s for a spatially-local gather through the texture cache."""
+        return (
+            self.memsystem.sequential_bandwidth()
+            * self.device.texture_gather_efficiency
+        )
+
+    def fetch_time(self, n_bytes: int) -> float:
+        """Seconds to fetch ``n_bytes`` through the texture path."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return n_bytes / self.gather_bandwidth()
+
+    def twiddle_fetch_overhead(self, n_fetches: int) -> float:
+        """Issue-slot cost of per-thread twiddle texture fetches.
+
+        Twiddle tables are tiny and cache-resident, so the cost is issue
+        bandwidth (one TEX issue per fetch), not DRAM traffic.
+        """
+        if n_fetches < 0:
+            raise ValueError("n_fetches must be non-negative")
+        return float(n_fetches)

@@ -1,0 +1,108 @@
+"""Kernel execution-time model.
+
+Ties together occupancy, the DRAM trace model, the texture path and the
+instruction-issue model:
+
+* memory phase: declared global traffic at the trace-model bandwidth,
+  derated by the occupancy latency-hiding factor; texture traffic at the
+  texture-path bandwidth;
+* compute phase: instruction mix at the issue rate;
+* the two phases overlap when the kernel double-buffers (Section 3), so
+  kernel time is their max — exactly the structure the paper observes in
+  step 5, which is memory-bound on the GTS but compute-bound on the GTX
+  (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.isa import ComputeModel
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.occupancy import Occupancy, occupancy
+from repro.gpu.specs import DeviceSpec
+from repro.gpu.texture import TextureModel
+
+__all__ = ["KernelTiming", "time_kernel"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Predicted timing of one kernel launch."""
+
+    kernel: str
+    seconds: float
+    memory_seconds: float
+    compute_seconds: float
+    occupancy: Occupancy
+    #: Effective global-memory bandwidth used for the memory phase, B/s.
+    global_bandwidth: float
+    bytes_moved: int
+    flops: float
+
+    @property
+    def bound(self) -> str:
+        return "memory" if self.memory_seconds >= self.compute_seconds else "compute"
+
+    @property
+    def gbytes_per_s(self) -> float:
+        """Achieved end-to-end bandwidth, the paper's per-step metric."""
+        return self.bytes_moved / self.seconds / 1e9
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.seconds / 1e9
+
+
+def time_kernel(
+    device: DeviceSpec,
+    spec: KernelSpec,
+    memsystem: MemorySystem | None = None,
+) -> KernelTiming:
+    """Predict the execution time of ``spec`` on ``device``."""
+    ms = memsystem or MemorySystem(device)
+    occ = occupancy(
+        device,
+        spec.threads_per_block,
+        spec.regs_per_thread,
+        spec.shared_bytes_per_block,
+    )
+    hiding = occ.latency_hiding_factor(device)
+    if hiding <= 0.0:
+        raise ValueError(
+            f"kernel {spec.name!r} cannot run: zero occupancy "
+            f"(limited by {occ.limiting_resource})"
+        )
+
+    # Concurrent half-warp streams actually resident on the chip.
+    resident_blocks = min(spec.grid_blocks, occ.blocks_per_sm * device.n_sm)
+    n_groups = max(1, resident_blocks * max(1, occ.threads_per_block // 16))
+
+    global_specs = [m for m in spec.memory if not m.via_texture]
+    mem_s = 0.0
+    bw = 0.0
+    if global_specs:
+        timing = ms.trace_timing([m.pattern for m in global_specs], n_groups)
+        bw = timing.bandwidth * hiding
+        mem_s += spec.global_bytes / bw
+    if spec.texture_bytes:
+        tex = TextureModel(device, ms)
+        mem_s += spec.texture_bytes / (tex.gather_bandwidth() * hiding)
+
+    compute_s = ComputeModel(device).compute_time(spec.mix, spec.work_items)
+
+    if spec.double_buffered:
+        body = max(mem_s, compute_s)
+    else:
+        body = mem_s + compute_s
+    return KernelTiming(
+        kernel=spec.name,
+        seconds=body + device.launch_overhead_s,
+        memory_seconds=mem_s,
+        compute_seconds=compute_s,
+        occupancy=occ,
+        global_bandwidth=bw,
+        bytes_moved=spec.total_bytes,
+        flops=spec.total_flops,
+    )

@@ -1,0 +1,44 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.harness.paper_data` — the published numbers (comparison
+  targets only; the models never read them);
+* :mod:`repro.harness.calibrate` — re-derive the model anchors and check
+  they still hold;
+* :mod:`repro.harness.experiments` — one registered experiment per
+  table/figure, each returning rendered text plus machine-readable rows;
+* :mod:`repro.harness.report` — side-by-side paper-vs-model rendering;
+* ``python -m repro.harness`` — run everything (or one id) from a shell.
+"""
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment, ExperimentResult
+from repro.harness.calibrate import calibration_report, CalibrationReport
+from repro.harness.export import collect_results, export_results
+from repro.harness.regression import compare_to_baseline, load_baseline
+from repro.harness.scorecard import Score, scorecard
+from repro.harness.sensitivity import sensitivity_study
+from repro.harness.svgfig import grouped_bar_svg, write_figure_svgs
+from repro.harness.whatif import (
+    bandwidth_scaling_study,
+    double_precision_study,
+    interconnect_study,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+    "calibration_report",
+    "CalibrationReport",
+    "collect_results",
+    "export_results",
+    "compare_to_baseline",
+    "load_baseline",
+    "Score",
+    "scorecard",
+    "sensitivity_study",
+    "grouped_bar_svg",
+    "write_figure_svgs",
+    "bandwidth_scaling_study",
+    "double_precision_study",
+    "interconnect_study",
+]

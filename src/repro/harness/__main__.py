@@ -1,0 +1,73 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness            # everything
+    python -m repro.harness table7     # one experiment
+    python -m repro.harness fig1 fig2  # several
+    python -m repro.harness --list     # available ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.report import EXPERIMENT_ORDER, full_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures from the models.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all); see --list",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="additionally export machine-readable results to PATH",
+    )
+    parser.add_argument(
+        "--svg",
+        metavar="DIR",
+        help="render Figures 1-3 as SVG files into DIR and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.svg:
+        from repro.harness.svgfig import write_figure_svgs
+
+        for path in write_figure_svgs(args.svg):
+            print(f"wrote {path}")
+        return 0
+
+    if args.list:
+        for exp_id in EXPERIMENT_ORDER:
+            print(f"{exp_id:10s} {EXPERIMENTS[exp_id][0]}")
+        return 0
+
+    ids = tuple(args.experiments) or None
+    try:
+        print(full_report(ids))
+        if args.json:
+            from repro.harness.export import export_results
+
+            path = export_results(args.json, ids)
+            print(f"\nwrote machine-readable results to {path}")
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,412 @@
+"""Registry of experiments: one per table and figure in the paper.
+
+Each experiment regenerates its table/figure from the models and renders
+it side by side with the paper's published values.  ``run_experiment(id)``
+returns an :class:`ExperimentResult` whose ``rows`` field carries the raw
+numbers for programmatic checks (the benchmark suite asserts the shape
+criteria on them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.baselines.cufft_model import estimate_cufft_1d, estimate_cufft_3d
+from repro.baselines.fftw_cpu import estimate_fftw
+from repro.baselines.six_step import estimate_six_step
+from repro.core.estimator import estimate_batch_1d, estimate_fft3d
+from repro.core.nosharedmem import estimate_x_axis_variants
+from repro.core.out_of_core import estimate_out_of_core
+from repro.core.patterns import PATTERNS, pattern_table
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.power import SystemPowerModel
+from repro.gpu.specs import (
+    ALL_GPUS,
+    AMD_PHENOM_9500,
+    GEFORCE_8800_GT,
+    GEFORCE_8800_GTS,
+    GEFORCE_8800_GTX,
+    INTEL_CORE2_Q6700,
+)
+from repro.harness import paper_data
+from repro.util.ascii_plot import grouped_bar_chart
+from repro.util.tables import Table
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rendered experiment output plus machine-readable rows."""
+
+    experiment_id: str
+    title: str
+    text: str
+    rows: dict = field(default_factory=dict)
+
+
+_REGISTRY: dict[str, tuple[str, Callable[[], ExperimentResult]]] = {}
+
+
+def _experiment(exp_id: str, title: str):
+    def wrap(fn: Callable[[], ExperimentResult]):
+        _REGISTRY[exp_id] = (title, fn)
+        return fn
+
+    return wrap
+
+
+# ----------------------------------------------------------------------
+
+
+@_experiment("table1", "Table 1: GPU specifications")
+def _table1() -> ExperimentResult:
+    t = Table(
+        ["Model", "Core", "SM", "SP", "SP clock", "GFLOPS", "Interface",
+         "Mem clock", "GB/s"],
+        title="Table 1 (model-derived | paper)",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        p = paper_data.TABLE1[dev.name]
+        t.add_row([
+            dev.name,
+            dev.core,
+            dev.n_sm,
+            dev.n_sp,
+            f"{dev.sp_clock_ghz:.3f} GHz",
+            f"{dev.peak_gflops:.0f} | {p['gflops']}",
+            f"{dev.interface_bits}-bit",
+            f"{dev.mem_clock_mtps:.0f} MT/s",
+            f"{dev.peak_bandwidth / 1e9:.1f} | {p['bandwidth']}",
+        ])
+        rows[dev.name] = dict(
+            gflops=dev.peak_gflops, bandwidth=dev.peak_bandwidth / 1e9
+        )
+    return ExperimentResult("table1", "GPU specifications", t.render(), rows)
+
+
+@_experiment("streams", "Section 2.1: bandwidth vs stream count (8800 GTX)")
+def _streams() -> ExperimentResult:
+    ms = MemorySystem(GEFORCE_8800_GTX)
+    counts = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    t = Table(["Streams", "Model GB/s", "Paper GB/s"],
+              title="Multirow copy bandwidth, 8800 GTX")
+    rows = {}
+    for c in counts:
+        bw = ms.stream_copy(c).gbytes_per_s
+        paper = paper_data.STREAM_ANCHORS_GTX.get(c)
+        t.add_row([c, f"{bw:.1f}", f"{paper:.1f}" if paper else "-"])
+        rows[c] = bw
+    return ExperimentResult("streams", "stream-count sweep", t.render(), rows)
+
+
+def _pattern_exp(exp_id, device, paper_table, blocks):
+    table = pattern_table(device, blocks=blocks)
+    t = Table(
+        ["In\\Out"] + [p.value for p in PATTERNS],
+        title=f"{exp_id}: pattern-pair bandwidth on {device.name} "
+        "(model | paper, GB/s)",
+    )
+    rows = {}
+    for pi in PATTERNS:
+        cells = [pi.value]
+        for j, po in enumerate(PATTERNS):
+            bw = table[(pi, po)] / 1e9
+            cells.append(f"{bw:.1f} | {paper_table[pi.value][j]:.1f}")
+            rows[f"{pi.value}{po.value}"] = bw
+        t.add_row(cells)
+    return ExperimentResult(exp_id, f"pattern pairs on {device.name}",
+                            t.render(), rows)
+
+
+@_experiment("table3", "Table 3: pattern-pair bandwidth, 8800 GT")
+def _table3() -> ExperimentResult:
+    return _pattern_exp("table3", GEFORCE_8800_GT, paper_data.TABLE3_GT, 42)
+
+
+@_experiment("table4", "Table 4: pattern-pair bandwidth, 8800 GTX")
+def _table4() -> ExperimentResult:
+    return _pattern_exp("table4", GEFORCE_8800_GTX, paper_data.TABLE4_GTX, 48)
+
+
+@_experiment("table6", "Table 6: conventional six-step per-step times")
+def _table6() -> ExperimentResult:
+    t = Table(
+        ["Model", "FFT ms (paper)", "FFT GB/s", "Transpose ms (paper)",
+         "Transpose GB/s (paper)"],
+        title="Table 6: conventional algorithm, 256^3",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        e = estimate_six_step(dev, 256)
+        p = paper_data.TABLE6[dev.name]
+        fft_ms = e.mean_fft_seconds * 1e3
+        tr_ms = e.mean_transpose_seconds * 1e3
+        tr_bw = e.mean_transpose_bandwidth / 1e9
+        t.add_row([
+            dev.name,
+            f"{fft_ms:.2f} ({p['fft'][0]})",
+            f"{2 * 256 ** 3 * 8 / e.mean_fft_seconds / 1e9:.1f}",
+            f"{tr_ms:.2f} ({p['transpose'][0]})",
+            f"{tr_bw:.1f} ({p['transpose'][1]})",
+        ])
+        rows[dev.name] = dict(
+            fft_ms=fft_ms, transpose_ms=tr_ms, transpose_gbs=tr_bw,
+            onboard_gflops=e.on_board_gflops,
+        )
+    return ExperimentResult("table6", "six-step steps", t.render(), rows)
+
+
+@_experiment("table7", "Table 7: bandwidth-intensive kernel per-step times")
+def _table7() -> ExperimentResult:
+    t = Table(
+        ["Model", "Step 1,3 ms (paper)", "GB/s (paper)",
+         "Step 2,4 ms (paper)", "GB/s (paper)", "Step 5 ms (paper)",
+         "GB/s (paper)"],
+        title="Table 7: our kernel, 256^3",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        e = estimate_fft3d(dev, 256)
+        p = paper_data.TABLE7[dev.name]
+        s13, s24, s5 = e.steps[0], e.steps[1], e.steps[4]
+        t.add_row([
+            dev.name,
+            f"{s13.seconds * 1e3:.2f} ({p['step13'][0]})",
+            f"{s13.gbytes_per_s:.1f} ({p['step13'][1]})",
+            f"{s24.seconds * 1e3:.2f} ({p['step24'][0]})",
+            f"{s24.gbytes_per_s:.1f} ({p['step24'][1]})",
+            f"{s5.seconds * 1e3:.2f} ({p['step5'][0]})",
+            f"{s5.gbytes_per_s:.1f} ({p['step5'][1]})",
+        ])
+        rows[dev.name] = dict(
+            step13_ms=s13.seconds * 1e3,
+            step24_ms=s24.seconds * 1e3,
+            step5_ms=s5.seconds * 1e3,
+            onboard_gflops=e.on_board_gflops,
+        )
+    return ExperimentResult("table7", "five-step steps", t.render(), rows)
+
+
+@_experiment("table8", "Table 8: 65536 x 256-point 1-D FFTs")
+def _table8() -> ExperimentResult:
+    t = Table(
+        ["Model", "Ours ms (paper)", "Ours GFLOPS (paper)",
+         "CUFFT ms (paper)", "CUFFT GFLOPS (paper)"],
+        title="Table 8: batched 1-D transforms",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        ours = estimate_batch_1d(dev, 256, 65536)
+        cufft = estimate_cufft_1d(dev, 256, 65536)
+        p = paper_data.TABLE8[dev.name]
+        t.add_row([
+            dev.name,
+            f"{ours.seconds * 1e3:.2f} ({p['ours'][0]})",
+            f"{ours.gflops:.0f} ({p['ours'][1]:.0f})",
+            f"{cufft.seconds * 1e3:.1f} ({p['cufft'][0]})",
+            f"{cufft.gflops:.1f} ({p['cufft'][1]})",
+        ])
+        rows[dev.name] = dict(
+            ours_ms=ours.seconds * 1e3, ours_gflops=ours.gflops,
+            cufft_ms=cufft.seconds * 1e3, cufft_gflops=cufft.gflops,
+        )
+    return ExperimentResult("table8", "batched 1-D", t.render(), rows)
+
+
+@_experiment("table9", "Table 9: shared vs texture vs non-coalesced (GTS)")
+def _table9() -> ExperimentResult:
+    variants = estimate_x_axis_variants(GEFORCE_8800_GTS)
+    t = Table(
+        ["Variant", "X axis ms (paper)", "Y&Z ms (paper)", "Total ms (paper)"],
+        title="Table 9: X-axis data-exchange variants, 256^3 on 8800 GTS",
+    )
+    rows = {}
+    for key, v in variants.items():
+        p = paper_data.TABLE9_GTS[key]
+        x_paper = " + ".join(f"{x}" for x in p["x_axis"])
+        t.add_row([
+            v.name,
+            f"{v.x_axis_total * 1e3:.1f} ({x_paper})",
+            f"{v.yz_axes * 1e3:.1f} ({p['yz']})",
+            f"{v.total * 1e3:.1f} ({p['total']})",
+        ])
+        rows[key] = dict(x_ms=v.x_axis_total * 1e3, total_ms=v.total * 1e3)
+    return ExperimentResult("table9", "shared-memory effect", t.render(), rows)
+
+
+@_experiment("table10", "Table 10: 256^3 including PCIe transfers")
+def _table10() -> ExperimentResult:
+    t = Table(
+        ["Model", "PCIe", "H2D ms (paper)", "FFT ms (paper)",
+         "D2H ms (paper)", "Total ms (paper)", "GFLOPS (paper)"],
+        title="Table 10: 256^3 with host<->device transfers",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        e = estimate_fft3d(dev, 256)
+        p = paper_data.TABLE10[dev.name]
+        t.add_row([
+            dev.name,
+            dev.pcie,
+            f"{e.h2d_seconds * 1e3:.1f} ({p['h2d'][0]})",
+            f"{e.on_board_seconds * 1e3:.1f} ({p['fft'][0]})",
+            f"{e.d2h_seconds * 1e3:.1f} ({p['d2h'][0]})",
+            f"{e.total_seconds * 1e3:.1f} ({p['total'][0]})",
+            f"{e.total_gflops:.1f} ({p['total'][1]})",
+        ])
+        rows[dev.name] = dict(
+            h2d_ms=e.h2d_seconds * 1e3,
+            fft_ms=e.on_board_seconds * 1e3,
+            d2h_ms=e.d2h_seconds * 1e3,
+            total_ms=e.total_seconds * 1e3,
+            total_gflops=e.total_gflops,
+            onboard_gflops=e.on_board_gflops,
+        )
+    return ExperimentResult("table10", "with transfers", t.render(), rows)
+
+
+@_experiment("table11", "Table 11: FFTW on CPUs")
+def _table11() -> ExperimentResult:
+    t = Table(
+        ["Processor", "Time ms (paper)", "GFLOPS (paper)"],
+        title="Table 11: FFTW 3.2alpha, single precision, 256^3",
+    )
+    rows = {}
+    for cpu in (AMD_PHENOM_9500, INTEL_CORE2_Q6700):
+        e = estimate_fftw(cpu, 256)
+        p = paper_data.TABLE11[cpu.name]
+        t.add_row([
+            cpu.name,
+            f"{e.seconds * 1e3:.0f} ({p[0]:.0f})",
+            f"{e.gflops:.1f} ({p[1]})",
+        ])
+        rows[cpu.name] = dict(ms=e.seconds * 1e3, gflops=e.gflops)
+    return ExperimentResult("table11", "FFTW baseline", t.render(), rows)
+
+
+@_experiment("table12", "Table 12: 512^3 out-of-core")
+def _table12() -> ExperimentResult:
+    t = Table(
+        ["Model", "S1 H2D", "S1 FFT", "Twiddle", "S1 D2H", "S2 H2D",
+         "S2 FFT", "S2 D2H", "Total s (paper)", "GFLOPS (paper)"],
+        title="Table 12: 512^3 (seconds)",
+    )
+    rows = {}
+    for dev in ALL_GPUS:
+        e = estimate_out_of_core(dev, 512)
+        p = paper_data.TABLE12[dev.name]
+        t.add_row([
+            dev.name,
+            f"{e.stage1_h2d:.3f}",
+            f"{e.stage1_fft:.3f}",
+            f"{e.stage1_twiddle:.3f}",
+            f"{e.stage1_d2h:.3f}",
+            f"{e.stage2_h2d:.3f}",
+            f"{e.stage2_fft:.3f}",
+            f"{e.stage2_d2h:.3f}",
+            f"{e.total_seconds:.2f} ({p['total']})",
+            f"{e.total_gflops:.1f} ({p['gflops']})",
+        ])
+        rows[dev.name] = dict(
+            total_s=e.total_seconds, gflops=e.total_gflops,
+            transfer_s=e.transfer_seconds,
+        )
+    fftw = estimate_fftw(AMD_PHENOM_9500, 512)
+    pw = paper_data.TABLE12["FFTW"]
+    t.add_row(["FFTW", "-", "-", "-", "-", "-", "-", "-",
+               f"{fftw.seconds:.2f} ({pw['total']})",
+               f"{fftw.gflops:.2f} ({pw['gflops']})"])
+    rows["FFTW"] = dict(total_s=fftw.seconds, gflops=fftw.gflops)
+    return ExperimentResult("table12", "out-of-core 512^3", t.render(), rows)
+
+
+@_experiment("table13", "Table 13: system power and efficiency")
+def _table13() -> ExperimentResult:
+    model = SystemPowerModel()
+    t = Table(
+        ["Configuration", "Idle W (paper)", "Load W (paper)",
+         "GFLOPS", "GFLOPS/W (paper)"],
+        title="Table 13: whole-system power, repeated 256^3 FFT",
+    )
+    rows = {}
+    cpu_gflops = estimate_fftw(AMD_PHENOM_9500, 256).gflops
+    reading = model.fft_on_cpu(cpu_gflops)
+    p = paper_data.TABLE13["CPU (RIVA128)"]
+    t.add_row([
+        "CPU (RIVA128)",
+        f"{reading.idle_watts:.0f} ({p['idle']})",
+        f"{reading.load_watts:.0f} ({p['load']})",
+        f"{reading.gflops:.1f}",
+        f"{reading.gflops_per_watt:.3f} ({p['eff']})",
+    ])
+    rows["CPU"] = dict(gflops_per_watt=reading.gflops_per_watt)
+    for dev in ALL_GPUS:
+        gflops = estimate_fft3d(dev, 256).on_board_gflops
+        r = model.fft_on_gpu(dev, gflops)
+        p = paper_data.TABLE13[dev.name]
+        t.add_row([
+            dev.name,
+            f"{r.idle_watts:.0f} ({p['idle']})",
+            f"{r.load_watts:.0f} ({p['load']})",
+            f"{r.gflops:.1f}",
+            f"{r.gflops_per_watt:.3f} ({p['eff']})",
+        ])
+        rows[dev.name] = dict(gflops_per_watt=r.gflops_per_watt)
+    return ExperimentResult("table13", "power efficiency", t.render(), rows)
+
+
+def _figure_exp(exp_id: str, n: int, paper_fig: dict) -> ExperimentResult:
+    series = {"Bandwidth Intensive Kernel": [], "Conventional (transposes)": [],
+              "CUFFT3D": []}
+    rows = {}
+    for dev in ALL_GPUS:
+        ours = estimate_fft3d(dev, n).on_board_gflops
+        conv = estimate_six_step(dev, n).on_board_gflops
+        cufft = estimate_cufft_3d(dev, n).gflops
+        series["Bandwidth Intensive Kernel"].append(ours)
+        series["Conventional (transposes)"].append(conv)
+        series["CUFFT3D"].append(cufft)
+        rows[dev.name] = dict(
+            ours=ours, conventional=conv, cufft=cufft,
+            paper=paper_fig[dev.name],
+        )
+    chart = grouped_bar_chart(
+        [d.name for d in ALL_GPUS],
+        series,
+        title=f"{exp_id}: 3-D FFT of size {n}^3 (GFLOPS; paper values in rows)",
+        unit=" GF",
+    )
+    return ExperimentResult(exp_id, f"{n}^3 performance", chart, rows)
+
+
+@_experiment("fig1", "Figure 1: 256^3 performance")
+def _fig1() -> ExperimentResult:
+    return _figure_exp("fig1", 256, paper_data.FIG1)
+
+
+@_experiment("fig2", "Figure 2: 64^3 performance")
+def _fig2() -> ExperimentResult:
+    return _figure_exp("fig2", 64, paper_data.FIG2_64)
+
+
+@_experiment("fig3", "Figure 3: 128^3 performance")
+def _fig3() -> ExperimentResult:
+    return _figure_exp("fig3", 128, paper_data.FIG3_128)
+
+
+#: Public registry: id -> (title, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], ExperimentResult]]] = dict(_REGISTRY)
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        _, fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn()

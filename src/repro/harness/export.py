@@ -1,0 +1,66 @@
+"""Machine-readable export of experiment results.
+
+``python -m repro.harness --json results.json`` (or
+:func:`export_results`) writes every experiment's raw rows to JSON, so
+downstream tooling — regression trackers, plotting scripts, the paper-vs-
+model comparisons in CI — can consume the reproduction without scraping
+the text tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness.calibrate import calibration_report
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import EXPERIMENT_ORDER
+
+__all__ = ["collect_results", "export_results"]
+
+
+def _jsonable(value):
+    """Coerce experiment row values into JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def collect_results(ids: tuple[str, ...] | None = None) -> dict:
+    """Run experiments and gather their rows into one document."""
+    ids = ids or EXPERIMENT_ORDER
+    cal = calibration_report()
+    doc = {
+        "paper": "Nukada et al., Bandwidth Intensive 3-D FFT kernel for "
+                 "GPUs using CUDA, SC 2008",
+        "calibration": {
+            "single_stream_gbs": cal.single_stream_bw / 1e9,
+            "many_stream_gbs": cal.many_stream_bw / 1e9,
+            "step5_peak_fraction": cal.step5_peak_fraction,
+            "anchors_hold": cal.within(),
+        },
+        "experiments": {},
+    }
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        result = run_experiment(exp_id)
+        doc["experiments"][exp_id] = {
+            "title": EXPERIMENTS[exp_id][0],
+            "rows": _jsonable(result.rows),
+        }
+    return doc
+
+
+def export_results(
+    path: str | Path, ids: tuple[str, ...] | None = None
+) -> Path:
+    """Write :func:`collect_results` to ``path`` as pretty JSON."""
+    path = Path(path)
+    doc = collect_results(ids)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path

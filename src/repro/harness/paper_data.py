@@ -1,0 +1,137 @@
+"""The paper's published numbers, verbatim.
+
+Used exclusively for comparison reporting and shape assertions in the
+test suite; no model in :mod:`repro.gpu`/:mod:`repro.core` reads this
+module (calibration anchors are documented constants in
+``repro.gpu.specs``).
+
+All times in the units the paper prints (ms unless noted); bandwidths in
+GB/s; rates in GFLOPS.
+"""
+
+from __future__ import annotations
+
+GPUS = ("8800 GT", "8800 GTS", "8800 GTX")
+
+# Table 1 (specifications).
+TABLE1 = {
+    "8800 GT": dict(core="G92", process=65, sm=14, sp=112, sp_clock=1.500,
+                    gflops=336, capacity=512, interface=256, mem_clock=1800,
+                    bandwidth=57.6),
+    "8800 GTS": dict(core="G92", process=65, sm=16, sp=128, sp_clock=1.625,
+                     gflops=416, capacity=512, interface=256, mem_clock=1940,
+                     bandwidth=62.0),
+    "8800 GTX": dict(core="G80", process=90, sm=16, sp=128, sp_clock=1.350,
+                     gflops=345, capacity=768, interface=384, mem_clock=1800,
+                     bandwidth=86.4),
+}
+
+# Section 2.1 anchors: multirow-copy bandwidth on the 8800 GTX.
+STREAM_ANCHORS_GTX = {1: 71.7, 256: 30.7}
+
+# Tables 3/4: pattern-pair bandwidth (GB/s), rows = input A..D,
+# cols = output A..D.
+TABLE3_GT = {
+    "A": (47.4, 47.9, 46.8, 47.1),
+    "B": (48.2, 48.3, 46.8, 47.1),
+    "C": (47.3, 47.1, 34.4, 33.3),
+    "D": (45.6, 45.2, 32.6, 27.8),
+}
+TABLE4_GTX = {
+    "A": (71.5, 71.5, 67.7, 66.8),
+    "B": (71.3, 71.3, 67.6, 67.0),
+    "C": (68.7, 68.5, 51.3, 50.4),
+    "D": (67.5, 66.7, 50.0, 43.7),
+}
+
+# Table 6: conventional six-step, 256^3 — mean per-step (time ms, GB/s).
+TABLE6 = {
+    "8800 GT": dict(fft=(5.74, 46.7), transpose=(13.0, 20.7)),
+    "8800 GTS": dict(fft=(5.09, 52.7), transpose=(12.3, 21.8)),
+    "8800 GTX": dict(fft=(5.52, 48.5), transpose=(7.85, 34.2)),
+}
+
+# Table 7: bandwidth-intensive kernel, 256^3 — (time ms, GB/s).
+TABLE7 = {
+    "8800 GT": dict(step13=(6.65, 40.4), step24=(6.70, 40.0), step5=(5.72, 47.0)),
+    "8800 GTS": dict(step13=(6.09, 44.1), step24=(6.23, 43.1), step5=(5.17, 51.9)),
+    "8800 GTX": dict(step13=(4.39, 61.2), step24=(4.70, 57.1), step5=(5.52, 48.6)),
+}
+
+# Table 8: 65536 x 256-point 1-D FFTs — (time ms, GFLOPS).
+TABLE8 = {
+    "8800 GT": dict(ours=(5.72, 117.0), cufft=(13.7, 49.0)),
+    "8800 GTS": dict(ours=(5.17, 130.0), cufft=(11.4, 58.9)),
+    "8800 GTX": dict(ours=(5.52, 122.0), cufft=(13.2, 50.8)),
+}
+
+# Table 9: 256^3 on the 8800 GTS, X-axis variants (ms).
+TABLE9_GTS = {
+    "shared": dict(x_axis=(5.17,), yz=24.7, total=29.9),
+    "texture": dict(x_axis=(5.11, 8.43), yz=24.7, total=38.3),
+    "non_coalesced": dict(x_axis=(5.13, 14.3), yz=24.7, total=44.2),
+}
+
+# Table 10: 256^3 including transfers — ms and GB/s / GFLOPS.
+TABLE10 = {
+    "8800 GT": dict(pcie="2.0 x16", h2d=(25.9, 5.18), fft=(32.3, 62.2),
+                    d2h=(26.1, 5.14), total=(84.3, 23.9)),
+    "8800 GTS": dict(pcie="2.0 x16", h2d=(25.7, 5.21), fft=(30.0, 67.1),
+                     d2h=(27.3, 4.91), total=(83.1, 24.2)),
+    "8800 GTX": dict(pcie="1.1 x16", h2d=(47.6, 2.82), fft=(23.8, 84.4),
+                     d2h=(40.1, 3.35), total=(112.0, 18.0)),
+}
+
+# Figure 1 (256^3 GFLOPS, on-board).  "ours" from Table 10's FFT column;
+# the conventional/CUFFT bars are read off the figure (±1).
+FIG1 = {
+    "8800 GT": dict(ours=62.2, conventional=36.0, cufft=21.0),
+    "8800 GTS": dict(ours=67.1, conventional=39.0, cufft=23.0),
+    "8800 GTX": dict(ours=84.4, conventional=50.0, cufft=25.0),
+}
+
+# Figures 2/3 (64^3 and 128^3 GFLOPS), bars read off the figures (±2).
+FIG2_64 = {
+    "8800 GT": dict(ours=38.0, conventional=22.0, cufft=12.0),
+    "8800 GTS": dict(ours=41.0, conventional=24.0, cufft=13.0),
+    "8800 GTX": dict(ours=52.0, conventional=30.0, cufft=15.0),
+}
+FIG3_128 = {
+    "8800 GT": dict(ours=52.0, conventional=30.0, cufft=17.0),
+    "8800 GTS": dict(ours=56.0, conventional=33.0, cufft=19.0),
+    "8800 GTX": dict(ours=70.0, conventional=42.0, cufft=21.0),
+}
+
+# Table 11: FFTW 3.2alpha2, single precision, 4 cores (time ms, GFLOPS).
+TABLE11 = {
+    "AMD Phenom 9500": (195.0, 10.3),
+    "Intel Core 2 Quad Q6700": (188.0, 10.7),
+}
+
+# Table 12: 512^3 (seconds; total time and GFLOPS).
+TABLE12 = {
+    "8800 GT": dict(
+        s1_h2d=0.216, s1_fft=0.360, s1_twiddle=0.043, s1_d2h=0.217,
+        s2_h2d=0.206, s2_fft=0.062, s2_d2h=0.212, total=1.32, gflops=13.7,
+    ),
+    "8800 GTS": dict(
+        s1_h2d=0.217, s1_fft=0.287, s1_twiddle=0.042, s1_d2h=0.217,
+        s2_h2d=0.207, s2_fft=0.052, s2_d2h=0.216, total=1.24, gflops=14.6,
+    ),
+    "8800 GTX": dict(
+        s1_h2d=0.419, s1_fft=0.224, s1_twiddle=0.031, s1_d2h=0.322,
+        s2_h2d=0.381, s2_fft=0.033, s2_d2h=0.339, total=1.75, gflops=10.3,
+    ),
+    "FFTW": dict(total=1.93, gflops=9.40),
+}
+
+# Table 13: whole-system power (watts) and efficiency.
+TABLE13 = {
+    "CPU (RIVA128)": dict(idle=126, load=140, gflops=10.3, eff=0.074),
+    "8800 GT": dict(idle=180, load=215, gflops=62.2, eff=0.289),
+    "8800 GTS": dict(idle=196, load=238, gflops=67.2, eff=0.282),
+    "8800 GTX": dict(idle=224, load=290, gflops=84.4, eff=0.291),
+}
+
+# Section 4.2: step 5 achieves ~30% of peak FLOPs.
+STEP5_PEAK_FRACTION = 0.30

@@ -1,0 +1,86 @@
+"""Regression gate: compare current model outputs against a frozen baseline.
+
+``src/repro/harness/data/baseline_results.json`` snapshots every
+experiment's rows at a known-good state (regenerate with
+``python -m repro.harness --json src/repro/harness/data/baseline_results.json``
+after an intentional model change).  :func:`compare_to_baseline` re-runs
+the experiments and reports any numeric drift beyond tolerance — the test
+suite runs it on the cheap experiments, so an accidental change to a
+calibrated constant or a model equation fails loudly instead of silently
+shifting every table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from importlib import resources
+from pathlib import Path
+
+from repro.harness.export import collect_results
+
+__all__ = ["Drift", "load_baseline", "compare_to_baseline"]
+
+#: Relative drift tolerated before a value counts as a regression.  The
+#: models are deterministic; this only absorbs float round-trip noise.
+DEFAULT_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One value that moved beyond tolerance."""
+
+    experiment: str
+    key: str
+    baseline: float
+    current: float
+
+    @property
+    def relative(self) -> float:
+        scale = max(abs(self.baseline), 1e-12)
+        return abs(self.current - self.baseline) / scale
+
+
+def load_baseline(path: str | Path | None = None) -> dict:
+    """Load the committed baseline document."""
+    if path is not None:
+        return json.loads(Path(path).read_text())
+    ref = resources.files("repro.harness") / "data" / "baseline_results.json"
+    return json.loads(ref.read_text())
+
+
+def _walk(prefix: str, node, out: dict) -> None:
+    if isinstance(node, dict):
+        for k, v in node.items():
+            _walk(f"{prefix}.{k}" if prefix else str(k), v, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+
+
+def compare_to_baseline(
+    ids: tuple[str, ...] | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline_path: str | Path | None = None,
+) -> list[Drift]:
+    """Re-run experiments and list values drifting beyond ``tolerance``."""
+    baseline = load_baseline(baseline_path)
+    current = collect_results(ids)
+    drifts: list[Drift] = []
+    for exp_id, cur_exp in current["experiments"].items():
+        base_exp = baseline["experiments"].get(exp_id)
+        if base_exp is None:
+            drifts.append(Drift(exp_id, "<missing in baseline>", 0.0, 1.0))
+            continue
+        base_vals: dict[str, float] = {}
+        cur_vals: dict[str, float] = {}
+        _walk("", base_exp["rows"], base_vals)
+        _walk("", cur_exp["rows"], cur_vals)
+        for key, cur in cur_vals.items():
+            base = base_vals.get(key)
+            if base is None:
+                drifts.append(Drift(exp_id, key, float("nan"), cur))
+                continue
+            scale = max(abs(base), 1e-12)
+            if abs(cur - base) / scale > tolerance:
+                drifts.append(Drift(exp_id, key, base, cur))
+    return drifts

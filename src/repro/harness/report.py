@@ -1,0 +1,50 @@
+"""Full-report rendering: every experiment, paper vs model."""
+
+from __future__ import annotations
+
+from repro.harness.calibrate import calibration_report
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["full_report", "EXPERIMENT_ORDER"]
+
+EXPERIMENT_ORDER = (
+    "table1",
+    "streams",
+    "table3",
+    "table4",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "table13",
+    "fig1",
+    "fig2",
+    "fig3",
+)
+
+
+def full_report(ids: tuple[str, ...] | None = None) -> str:
+    """Render the calibration summary plus every requested experiment."""
+    ids = ids or EXPERIMENT_ORDER
+    parts = []
+    cal = calibration_report()
+    parts.append(
+        "Calibration anchors (8800 GTX): "
+        f"single-stream {cal.single_stream_bw / 1e9:.1f} GB/s (paper 71.7), "
+        f"256-stream {cal.many_stream_bw / 1e9:.1f} GB/s (paper 30.7), "
+        f"step-5 compute {cal.step5_peak_fraction * 100:.0f}% of peak "
+        "(paper ~30%)"
+    )
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        result = run_experiment(exp_id)
+        parts.append("")
+        parts.append("=" * 72)
+        parts.append(EXPERIMENTS[exp_id][0])
+        parts.append("=" * 72)
+        parts.append(result.text)
+    return "\n".join(parts)

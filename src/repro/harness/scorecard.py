@@ -1,0 +1,165 @@
+"""The reproduction scorecard: one number per table/figure.
+
+Collapses every paper-vs-model comparison into per-experiment error
+statistics and an overall verdict, so "how faithful is this
+reproduction?" has a machine-checkable answer.  The benchmark suite
+prints it; the test suite asserts the thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness import paper_data
+from repro.harness.experiments import run_experiment
+
+__all__ = ["Score", "scorecard"]
+
+
+@dataclass(frozen=True)
+class Score:
+    """Error statistics of one experiment against the paper."""
+
+    experiment: str
+    #: (label, model value, paper value) triples compared.
+    comparisons: tuple[tuple[str, float, float], ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def median_error(self) -> float:
+        errs = sorted(self._errors())
+        mid = len(errs) // 2
+        if len(errs) % 2:
+            return errs[mid]
+        return 0.5 * (errs[mid - 1] + errs[mid])
+
+    @property
+    def max_error(self) -> float:
+        return max(self._errors())
+
+    @property
+    def worst_case(self) -> str:
+        errs = list(self._errors())
+        label, model, paper = self.comparisons[errs.index(max(errs))]
+        return f"{label}: {model:.3g} vs {paper:.3g}"
+
+    def _errors(self):
+        for _, model, paper in self.comparisons:
+            scale = max(abs(paper), 1e-12)
+            yield abs(model - paper) / scale
+
+
+def _pairs_pattern_table(exp_id, paper_table):
+    result = run_experiment(exp_id)
+    out = []
+    for pair, model in result.rows.items():
+        paper = paper_table[pair[0]]["ABCD".index(pair[1])]
+        out.append((pair, model, paper))
+    return out
+
+
+def scorecard() -> list[Score]:
+    """Every quantitative table/figure scored against the paper."""
+    scores = []
+
+    rows = run_experiment("table1").rows
+    scores.append(Score("table1", tuple(
+        (f"{name} {key}", rows[name][key], paper_data.TABLE1[name][key2])
+        for name in rows
+        for key, key2 in (("gflops", "gflops"), ("bandwidth", "bandwidth"))
+    )))
+
+    sweep = run_experiment("streams").rows
+    scores.append(Score("streams", tuple(
+        (f"{c} streams", sweep[c], paper_data.STREAM_ANCHORS_GTX[c])
+        for c in paper_data.STREAM_ANCHORS_GTX
+    )))
+
+    scores.append(Score("table3", tuple(
+        _pairs_pattern_table("table3", paper_data.TABLE3_GT)
+    )))
+    scores.append(Score("table4", tuple(
+        _pairs_pattern_table("table4", paper_data.TABLE4_GTX)
+    )))
+
+    rows = run_experiment("table6").rows
+    scores.append(Score("table6", tuple(
+        c
+        for name in rows
+        for c in (
+            (f"{name} fft", rows[name]["fft_ms"],
+             paper_data.TABLE6[name]["fft"][0]),
+            (f"{name} transpose", rows[name]["transpose_ms"],
+             paper_data.TABLE6[name]["transpose"][0]),
+        )
+    )))
+
+    rows = run_experiment("table7").rows
+    scores.append(Score("table7", tuple(
+        c
+        for name in rows
+        for c in (
+            (f"{name} s13", rows[name]["step13_ms"],
+             paper_data.TABLE7[name]["step13"][0]),
+            (f"{name} s24", rows[name]["step24_ms"],
+             paper_data.TABLE7[name]["step24"][0]),
+            (f"{name} s5", rows[name]["step5_ms"],
+             paper_data.TABLE7[name]["step5"][0]),
+        )
+    )))
+
+    rows = run_experiment("table8").rows
+    scores.append(Score("table8", tuple(
+        c
+        for name in rows
+        for c in (
+            (f"{name} ours", rows[name]["ours_ms"],
+             paper_data.TABLE8[name]["ours"][0]),
+            (f"{name} cufft", rows[name]["cufft_ms"],
+             paper_data.TABLE8[name]["cufft"][0]),
+        )
+    )))
+
+    rows = run_experiment("table9").rows
+    scores.append(Score("table9", tuple(
+        (key, rows[key]["total_ms"], paper_data.TABLE9_GTS[key]["total"])
+        for key in rows
+    )))
+
+    rows = run_experiment("table10").rows
+    scores.append(Score("table10", tuple(
+        (f"{name} total", rows[name]["total_ms"],
+         paper_data.TABLE10[name]["total"][0])
+        for name in rows
+    )))
+
+    rows = run_experiment("table11").rows
+    scores.append(Score("table11", tuple(
+        (name, rows[name]["gflops"], paper_data.TABLE11[name][1])
+        for name in rows
+    )))
+
+    rows = run_experiment("table12").rows
+    scores.append(Score("table12", tuple(
+        (name, rows[name]["total_s"], paper_data.TABLE12[name]["total"])
+        for name in rows
+    )))
+
+    rows = run_experiment("table13").rows
+    mapping = {"CPU": "CPU (RIVA128)"}
+    scores.append(Score("table13", tuple(
+        (name, rows[name]["gflops_per_watt"],
+         paper_data.TABLE13[mapping.get(name, name)]["eff"])
+        for name in rows
+    )))
+
+    rows = run_experiment("fig1").rows
+    scores.append(Score("fig1", tuple(
+        (name, rows[name]["ours"], rows[name]["paper"]["ours"])
+        for name in rows
+    )))
+
+    return scores

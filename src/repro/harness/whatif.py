@@ -1,0 +1,134 @@
+"""What-if studies: the paper's forward-looking questions, quantified.
+
+Section 5 closes with two wishes: "application kernels confinement within
+the card" (modeled in :mod:`repro.apps.docking`) and "facilitation of
+faster GPU interfaces".  Section 4.5 promises a double-precision version
+"as soon as such cards ... are available".  This module answers both with
+the calibrated models:
+
+* :func:`interconnect_study` — the 256^3 transform with each card's PCIe
+  link swapped for faster (or slower) generations;
+* :func:`bandwidth_scaling_study` — on-board GFLOPS as device memory
+  bandwidth scales (where does the kernel stop being bandwidth-bound?);
+* :func:`double_precision_device` / :func:`double_precision_study` — a
+  hypothetical GT200-class card (the actual successor) running the
+  five-step kernel in double precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.estimator import estimate_fft3d
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.pcie import PcieLink
+from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
+
+__all__ = [
+    "InterconnectPoint",
+    "interconnect_study",
+    "bandwidth_scaling_study",
+    "double_precision_device",
+    "double_precision_study",
+]
+
+#: Hypothetical faster links (PCIe 3.0 didn't exist in 2008 — that's the
+#: point of a what-if).
+PCIE_3_0_X16 = PcieLink("3.0 x16", raw_bandwidth=15.75e9,
+                        h2d_efficiency=0.80, d2h_efficiency=0.80)
+PCIE_2_0_X16_WHATIF = PcieLink("2.0 x16", raw_bandwidth=8.0e9,
+                               h2d_efficiency=0.65, d2h_efficiency=0.63)
+PCIE_1_1_X16_WHATIF = PcieLink("1.1 x16", raw_bandwidth=4.0e9,
+                               h2d_efficiency=0.705, d2h_efficiency=0.838)
+
+_LINKS = (PCIE_1_1_X16_WHATIF, PCIE_2_0_X16_WHATIF, PCIE_3_0_X16)
+
+
+@dataclass(frozen=True)
+class InterconnectPoint:
+    """One (device, link) combination's predicted 256^3 performance."""
+
+    device: str
+    link: str
+    on_board_gflops: float
+    total_gflops: float
+
+    @property
+    def transfer_penalty(self) -> float:
+        """Fraction of on-board performance lost to transfers."""
+        return 1.0 - self.total_gflops / self.on_board_gflops
+
+
+def interconnect_study(
+    device: DeviceSpec = GEFORCE_8800_GTX, n: int = 256
+) -> list[InterconnectPoint]:
+    """256^3 transform under each PCIe generation."""
+    est = estimate_fft3d(device, n)
+    n_bytes = n**3 * 8
+    out = []
+    for link in _LINKS:
+        h2d = link.transfer_time(n_bytes, "h2d")
+        d2h = link.transfer_time(n_bytes, "d2h")
+        total = h2d + est.on_board_seconds + d2h
+        out.append(
+            InterconnectPoint(
+                device=device.name,
+                link=link.name,
+                on_board_gflops=est.on_board_gflops,
+                total_gflops=est.nominal_flops / total / 1e9,
+            )
+        )
+    return out
+
+
+def bandwidth_scaling_study(
+    base: DeviceSpec = GEFORCE_8800_GTX,
+    factors=(0.5, 1.0, 1.5, 2.0, 3.0),
+    n: int = 256,
+) -> dict[float, float]:
+    """On-board GFLOPS as the memory clock scales by each factor.
+
+    Reveals the bandwidth-bound -> compute-bound crossover: beyond it,
+    more GB/s stops helping and the step-5 issue rate takes over.
+    """
+    out = {}
+    for f in factors:
+        if f <= 0:
+            raise ValueError("scaling factors must be positive")
+        dev = replace(
+            base,
+            name=base.name,
+            mem_clock_mtps=base.mem_clock_mtps * f,
+        )
+        est = estimate_fft3d(dev, n, memsystem=MemorySystem(dev))
+        out[f] = est.on_board_gflops
+    return out
+
+
+def double_precision_device(base: DeviceSpec = GEFORCE_8800_GTX) -> DeviceSpec:
+    """A GT200-class what-if: DP support at 1/8 the SP issue rate.
+
+    Models the paper's §4.5 plan ("implementing a double precision
+    version ... as soon as such cards are available"); the GTX 280 that
+    shipped months later had 30 SMs, 141 GB/s and 1:8 DP:SP throughput —
+    we keep the 8800 GTX shader config and just enable DP to isolate the
+    precision effect.
+    """
+    return replace(base, name=f"{base.name} (DP what-if)", supports_double=True)
+
+
+def double_precision_study(n: int = 256) -> dict[str, float]:
+    """Single vs double precision 256^3 on the DP what-if device.
+
+    Doubling the element size doubles every kernel's traffic; the
+    memory-bound steps slow ~2x, so the DP transform lands near half the
+    SP GFLOPS — before even charging the slower DP ALUs.
+    """
+    dev = double_precision_device()
+    sp = estimate_fft3d(dev, n, precision="single")
+    dp = estimate_fft3d(dev, n, precision="double")
+    return {
+        "single_gflops": sp.on_board_gflops,
+        "double_gflops": dp.on_board_gflops,
+        "slowdown": sp.on_board_gflops / dp.on_board_gflops,
+    }

@@ -1,0 +1,66 @@
+"""Shared utilities: index manipulation, validation, units, formatting.
+
+These helpers are deliberately dependency-light (NumPy only) and are used by
+every other subpackage.  Nothing in here is specific to the paper's
+algorithm; it is the generic substrate glue.
+"""
+
+from repro.util.indexing import (
+    digit_reverse,
+    digit_reverse_permutation,
+    is_power_of_two,
+    ilog2,
+    split_index,
+    merge_index,
+    mixed_radix_digits,
+    mixed_radix_number,
+)
+from repro.util.units import (
+    GIB,
+    GB,
+    MB,
+    KB,
+    gflops_3d_fft,
+    flops_1d_fft,
+    flops_3d_fft,
+    bytes_per_complex,
+    to_gbytes_per_s,
+    to_gflops,
+)
+from repro.util.validation import (
+    check_power_of_two,
+    check_complex_array,
+    check_cube,
+    as_complex_array,
+)
+from repro.util.tables import Table, format_float
+from repro.util.ascii_plot import bar_chart, grouped_bar_chart
+
+__all__ = [
+    "digit_reverse",
+    "digit_reverse_permutation",
+    "is_power_of_two",
+    "ilog2",
+    "split_index",
+    "merge_index",
+    "mixed_radix_digits",
+    "mixed_radix_number",
+    "GIB",
+    "GB",
+    "MB",
+    "KB",
+    "gflops_3d_fft",
+    "flops_1d_fft",
+    "flops_3d_fft",
+    "bytes_per_complex",
+    "to_gbytes_per_s",
+    "to_gflops",
+    "check_power_of_two",
+    "check_complex_array",
+    "check_cube",
+    "as_complex_array",
+    "Table",
+    "format_float",
+    "bar_chart",
+    "grouped_bar_chart",
+]

@@ -1,0 +1,70 @@
+"""ASCII bar charts for reproducing the paper's figures in a terminal.
+
+Figures 1-3 of the paper are grouped bar charts (three algorithms x three
+GPUs).  We render the same data textually so the benchmark harness needs no
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart"]
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the max value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))  # doctest: +SKIP
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    vmax = max(values.values())
+    if vmax < 0:
+        raise ValueError("bar_chart values must be non-negative")
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        if v < 0:
+            raise ValueError("bar_chart values must be non-negative")
+        n = 0 if vmax == 0 else round(width * v / vmax)
+        lines.append(f"{label.ljust(label_w)} |{'#' * n} {v:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Render grouped bars: one block per group, one bar per series.
+
+    Mirrors the paper's figure layout (groups = GPU models, series =
+    algorithms).  All bars share one scale so cross-group comparison works.
+    """
+    if not groups or not series:
+        raise ValueError("grouped_bar_chart needs groups and series")
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for {len(groups)} groups"
+            )
+    vmax = max(max(vals) for vals in series.values())
+    label_w = max(len(s) for s in series)
+    lines = [title] if title else []
+    for gi, group in enumerate(groups):
+        lines.append(f"[{group}]")
+        for name, vals in series.items():
+            v = vals[gi]
+            if v < 0:
+                raise ValueError("values must be non-negative")
+            n = 0 if vmax == 0 else round(width * v / vmax)
+            lines.append(f"  {name.ljust(label_w)} |{'#' * n} {v:.1f}{unit}")
+    return "\n".join(lines)

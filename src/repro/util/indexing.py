@@ -1,0 +1,122 @@
+"""Index arithmetic used by FFT decompositions.
+
+FFT decompositions (Cooley-Tukey, four-step, the paper's 16x16 split of a
+256-point transform) permanently juggle between a flat index ``n`` and its
+digits in a mixed radix system.  This module centralizes that arithmetic so
+the transform code can stay readable.
+
+Conventions
+-----------
+For radices ``(r0, r1, ..., rk)`` a flat index decomposes as::
+
+    n = d0 + r0 * (d1 + r1 * (d2 + ...))
+
+i.e. ``d0`` is the *fastest varying* (least significant) digit.  This matches
+Fortran/column-major array order used in the paper's pseudo code
+``V(256,16,16,16,16)`` where the first index varies fastest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "digit_reverse",
+    "digit_reverse_permutation",
+    "split_index",
+    "merge_index",
+    "mixed_radix_digits",
+    "mixed_radix_number",
+]
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two (1 counts)."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises ``ValueError`` for non powers of two so callers fail loudly
+    instead of silently mis-planning a transform.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def split_index(n: int | np.ndarray, radix: int):
+    """Split ``n = lo + radix * hi`` and return ``(lo, hi)``.
+
+    Works elementwise on arrays.
+    """
+    return n % radix, n // radix
+
+
+def merge_index(lo: int | np.ndarray, hi: int | np.ndarray, radix: int):
+    """Inverse of :func:`split_index`: ``lo + radix * hi``."""
+    return lo + radix * hi
+
+
+def mixed_radix_digits(n: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """Digits of ``n`` in the given mixed radix system, fastest digit first.
+
+    >>> mixed_radix_digits(7, (2, 4))
+    (1, 3)
+    """
+    digits = []
+    for r in radices:
+        if r <= 0:
+            raise ValueError("radices must be positive")
+        n, d = divmod(n, r)
+        digits.append(d)
+    if n != 0:
+        raise ValueError("index out of range for the given radices")
+    return tuple(digits)
+
+
+def mixed_radix_number(digits: Sequence[int], radices: Sequence[int]) -> int:
+    """Inverse of :func:`mixed_radix_digits`.
+
+    >>> mixed_radix_number((1, 3), (2, 4))
+    7
+    """
+    if len(digits) != len(radices):
+        raise ValueError("digits and radices must have equal length")
+    n = 0
+    for d, r in zip(reversed(digits), reversed(radices)):
+        if not 0 <= d < r:
+            raise ValueError(f"digit {d} out of range for radix {r}")
+        n = n * r + d
+    return n
+
+
+def digit_reverse(n: int, radices: Sequence[int]) -> int:
+    """Digit-reverse ``n``: write digits in ``radices`` order, read reversed.
+
+    With ``radices == (2,) * k`` this is classic FFT bit reversal.  The
+    reversed value is interpreted in the *reversed* radix system, which is
+    what a decimation-in-time reordering requires for mixed radices.
+    """
+    digits = mixed_radix_digits(n, radices)
+    return mixed_radix_number(tuple(reversed(digits)), tuple(reversed(radices)))
+
+
+def digit_reverse_permutation(radices: Sequence[int]) -> np.ndarray:
+    """Permutation array ``p`` with ``p[n] = digit_reverse(n, radices)``.
+
+    ``x[digit_reverse_permutation(radices)]`` reorders a natural-order array
+    into digit-reversed order.  The permutation is an involution only when
+    the radix list is palindromic (e.g. pure radix-2).
+    """
+    total = 1
+    for r in radices:
+        total *= r
+    return np.asarray(
+        [digit_reverse(n, radices) for n in range(total)], dtype=np.intp
+    )

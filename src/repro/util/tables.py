@@ -1,0 +1,75 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+is the shared renderer.  Output is monospace-aligned, suitable both for the
+terminal and for inclusion in EXPERIMENTS.md fenced blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float with ``digits`` significant digits, like the paper.
+
+    The paper mixes precisions (``71.5``, ``5.17``, ``0.216``); three
+    significant digits reproduces that style for the magnitudes involved.
+    """
+    if value == 0:
+        return "0"
+    formatted = f"{value:.{digits}g}"
+    # Avoid exponent notation for the magnitudes we print.
+    if "e" in formatted or "E" in formatted:
+        formatted = f"{value:.{digits}f}"
+    return formatted
+
+
+class Table:
+    """A small column-aligned table builder.
+
+    >>> t = Table(["Model", "GFLOPS"], title="Figure 1")
+    >>> t.add_row(["8800 GTX", 84.4])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[Any]) -> None:
+        """Append one row; floats are formatted to three significant digits."""
+        cells = [
+            format_float(c) if isinstance(c, float) else str(c) for c in cells
+        ]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the table as aligned monospace text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * w for w in widths]))
+        parts.extend(line(row) for row in self.rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

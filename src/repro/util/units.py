@@ -1,0 +1,83 @@
+"""Unit conversions and FFT operation-count conventions.
+
+The paper computes GFLOPS with the standard radix-2 convention:
+
+    flops(1-D FFT of size N) = 5 N log2(N)
+    flops(3-D FFT of size N^3) = 15 N^3 log2(N)
+
+(Section 4.1: "the number of floating-point operations of size N^3 is
+assumed to be 15 N^3 log2 N").  We keep the same convention everywhere so
+our GFLOPS figures are directly comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "GIB",
+    "bytes_per_complex",
+    "flops_1d_fft",
+    "flops_3d_fft",
+    "gflops_3d_fft",
+    "to_gbytes_per_s",
+    "to_gflops",
+]
+
+# Decimal units (memory bandwidth is conventionally decimal: 86.4 GB/s).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+# Binary unit (device memory capacity: "512MByte" in the paper is binary).
+GIB = 1 << 30
+
+
+def bytes_per_complex(precision: str = "single") -> int:
+    """Size of one complex element: 8 bytes single, 16 double."""
+    if precision == "single":
+        return 8
+    if precision == "double":
+        return 16
+    raise ValueError(f"unknown precision {precision!r}")
+
+
+def flops_1d_fft(n: int, batch: int = 1) -> float:
+    """Nominal flop count of ``batch`` complex 1-D FFTs of size ``n``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return 5.0 * n * math.log2(n) * batch
+
+
+def flops_3d_fft(nx: int, ny: int | None = None, nz: int | None = None) -> float:
+    """Nominal flop count of a 3-D FFT of shape ``(nx, ny, nz)``.
+
+    For a cube this reduces to the paper's ``15 N^3 log2 N``.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    total = nx * ny * nz
+    return 5.0 * total * (math.log2(nx) + math.log2(ny) + math.log2(nz))
+
+
+def gflops_3d_fft(n: int, seconds: float) -> float:
+    """GFLOPS of a cubic 3-D FFT of size ``n^3`` completed in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return flops_3d_fft(n) / seconds / 1e9
+
+
+def to_gbytes_per_s(n_bytes: float, seconds: float) -> float:
+    """Bandwidth in (decimal) GB/s."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return n_bytes / seconds / GB
+
+
+def to_gflops(flops: float, seconds: float) -> float:
+    """Throughput in GFLOPS."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return flops / seconds / 1e9

@@ -1,0 +1,74 @@
+"""Argument validation helpers with informative errors.
+
+Transform entry points validate aggressively: an FFT silently run on a
+mis-shaped or real-valued array produces numbers, not errors, and those
+numbers are wrong.  Validation failures raise early with a message naming
+the offending argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_power_of_two",
+    "check_complex_array",
+    "check_cube",
+    "as_complex_array",
+]
+
+_COMPLEX_DTYPES = (np.complex64, np.complex128)
+
+
+def check_power_of_two(n: int, name: str = "n") -> int:
+    """Validate that ``n`` is a positive power of two and return it."""
+    if not isinstance(n, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(n).__name__}")
+    n = int(n)
+    if n <= 0 or (n & (n - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {n}")
+    return n
+
+
+def as_complex_array(x, precision: str | None = None) -> np.ndarray:
+    """Coerce ``x`` to a C-contiguous complex ndarray.
+
+    ``precision`` of ``"single"``/``"double"`` forces complex64/complex128;
+    ``None`` keeps an existing complex dtype or promotes real input to
+    complex128.
+    """
+    x = np.asarray(x)
+    if precision == "single":
+        dtype = np.complex64
+    elif precision == "double":
+        dtype = np.complex128
+    elif precision is None:
+        dtype = x.dtype if x.dtype in _COMPLEX_DTYPES else np.complex128
+    else:
+        raise ValueError(f"unknown precision {precision!r}")
+    return np.ascontiguousarray(x, dtype=dtype)
+
+
+def check_complex_array(x, name: str = "x") -> np.ndarray:
+    """Require a complex ndarray (no silent promotion) and return it."""
+    x = np.asarray(x)
+    if x.dtype not in _COMPLEX_DTYPES:
+        raise TypeError(
+            f"{name} must be complex64 or complex128, got {x.dtype}; "
+            "use as_complex_array() to promote real input explicitly"
+        )
+    return x
+
+
+def check_cube(x, name: str = "x") -> np.ndarray:
+    """Require a 3-D array with power-of-two extents along each axis."""
+    x = np.asarray(x)
+    if x.ndim != 3:
+        raise ValueError(f"{name} must be 3-D, got shape {x.shape}")
+    for axis, n in enumerate(x.shape):
+        if n <= 0 or (n & (n - 1)) != 0:
+            raise ValueError(
+                f"{name} axis {axis} has extent {n}; all extents must be "
+                "powers of two (paper scope, Section 1)"
+            )
+    return x

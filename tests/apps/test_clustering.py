@@ -1,0 +1,83 @@
+"""Tests for greedy docking-pose clustering."""
+
+import pytest
+
+from repro.apps.docking import DockingPose, PoseCluster, cluster_poses
+
+
+def pose(rot, t, score):
+    return DockingPose(rotation_index=rot, translation=t, score=score)
+
+
+class TestClusterPoses:
+    def test_nearby_poses_merge(self):
+        poses = [
+            pose(0, (10, 10, 10), 5.0),
+            pose(0, (11, 10, 10), 4.0),
+            pose(0, (10, 12, 10), 3.0),
+        ]
+        clusters = cluster_poses(poses, grid_size=32, radius=3.0)
+        assert len(clusters) == 1
+        assert clusters[0].size == 3
+
+    def test_representative_is_best_scoring(self):
+        poses = [pose(0, (5, 5, 5), 1.0), pose(1, (5, 5, 6), 9.0)]
+        clusters = cluster_poses(poses, grid_size=32, radius=3.0)
+        assert clusters[0].representative.score == 9.0
+
+    def test_distant_poses_stay_separate(self):
+        poses = [pose(0, (0, 0, 0), 5.0), pose(0, (16, 16, 16), 4.0)]
+        clusters = cluster_poses(poses, grid_size=32, radius=3.0)
+        assert len(clusters) == 2
+
+    def test_periodic_wraparound_distance(self):
+        # Translations 1 and 31 on a 32-grid are 2 cells apart.
+        poses = [pose(0, (1, 0, 0), 5.0), pose(0, (31, 0, 0), 4.0)]
+        clusters = cluster_poses(poses, grid_size=32, radius=3.0)
+        assert len(clusters) == 1
+
+    def test_same_rotation_only_splits(self):
+        poses = [pose(0, (5, 5, 5), 5.0), pose(1, (5, 5, 5), 4.0)]
+        loose = cluster_poses(poses, grid_size=32, radius=3.0)
+        strict = cluster_poses(
+            poses, grid_size=32, radius=3.0, same_rotation_only=True
+        )
+        assert len(loose) == 1
+        assert len(strict) == 2
+
+    def test_max_clusters_truncates(self):
+        poses = [pose(0, (i * 10, 0, 0), 10.0 - i) for i in range(3)]
+        clusters = cluster_poses(poses, grid_size=64, radius=2.0, max_clusters=2)
+        assert len(clusters) == 2
+
+    def test_clusters_ordered_by_score(self):
+        poses = [pose(0, (0, 0, 0), 1.0), pose(0, (20, 20, 20), 9.0)]
+        clusters = cluster_poses(poses, grid_size=64, radius=2.0)
+        assert clusters[0].representative.score == 9.0
+
+    def test_every_pose_assigned_exactly_once(self):
+        poses = [pose(0, (i, 0, 0), float(i)) for i in range(10)]
+        clusters = cluster_poses(poses, grid_size=32, radius=1.5)
+        total = sum(c.size for c in clusters)
+        assert total == len(poses)
+
+    def test_empty_input(self):
+        assert cluster_poses([], grid_size=32) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_poses([], grid_size=0)
+        with pytest.raises(ValueError):
+            cluster_poses([], grid_size=32, radius=-1.0)
+
+    def test_integration_with_search(self):
+        from repro.apps.docking import DockingSearch, random_protein, rotation_grid
+
+        search = DockingSearch(
+            random_protein(30, seed=1), random_protein(15, seed=2),
+            grid_size=32, spacing=2.0,
+        )
+        result = search.run(rotation_grid(2, 1, 2), top_k=20)
+        clusters = cluster_poses(result.poses, grid_size=32, radius=4.0)
+        assert 1 <= len(clusters) <= 20
+        assert clusters[0].representative.score == result.best.score

@@ -1,0 +1,121 @@
+"""Tests for FFT convolution/correlation and Gaussian smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.convolution import (
+    fft_convolve,
+    fft_correlate,
+    gaussian_kernel,
+    gaussian_smooth,
+)
+
+
+def direct_circular_convolve(a, b):
+    n = a.shape
+    out = np.zeros_like(a, dtype=complex)
+    for t in np.ndindex(*n):
+        s = 0.0 + 0j
+        for x in np.ndindex(*n):
+            y = tuple((np.array(t) - np.array(x)) % np.array(n))
+            s += a[x] * b[y]
+        out[t] = s
+    return out
+
+
+class TestConvolve:
+    def test_matches_direct_small(self, rng):
+        a = rng.standard_normal((4, 4, 4))
+        b = rng.standard_normal((4, 4, 4))
+        np.testing.assert_allclose(
+            fft_convolve(a, b), direct_circular_convolve(a, b), atol=1e-10
+        )
+
+    def test_delta_is_identity(self, rng):
+        a = rng.standard_normal((8, 8, 8))
+        delta = np.zeros((8, 8, 8))
+        delta[0, 0, 0] = 1.0
+        np.testing.assert_allclose(fft_convolve(a, delta).real, a, atol=1e-10)
+
+    def test_shifted_delta_rolls(self, rng):
+        a = rng.standard_normal((8, 8, 8))
+        delta = np.zeros((8, 8, 8))
+        delta[1, 2, 3] = 1.0
+        out = fft_convolve(a, delta).real
+        np.testing.assert_allclose(out, np.roll(a, (1, 2, 3), (0, 1, 2)), atol=1e-10)
+
+    def test_commutative(self, rng):
+        a = rng.standard_normal((8, 8, 8))
+        b = rng.standard_normal((8, 8, 8))
+        np.testing.assert_allclose(
+            fft_convolve(a, b), fft_convolve(b, a), atol=1e-10
+        )
+
+    def test_padded_equals_linear_convolution(self, rng):
+        # With zero padding, wrap-around contributions vanish for
+        # kernels confined to a corner.
+        a = np.zeros((8, 8, 8))
+        a[:3, :3, :3] = rng.standard_normal((3, 3, 3))
+        b = np.zeros((8, 8, 8))
+        b[:2, :2, :2] = rng.standard_normal((2, 2, 2))
+        padded = fft_convolve(a, b, pad=True).real
+        circular = fft_convolve(a, b).real
+        np.testing.assert_allclose(padded, circular, atol=1e-10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            fft_convolve(np.zeros((4, 4, 4)), np.zeros((8, 8, 8)))
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            fft_convolve(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestCorrelate:
+    def test_autocorrelation_peak_at_zero(self, rng):
+        a = rng.standard_normal((8, 8, 8))
+        c = fft_correlate(a, a).real
+        assert np.unravel_index(np.argmax(c), c.shape) == (0, 0, 0)
+        assert c[0, 0, 0] == pytest.approx(np.sum(a * a))
+
+    def test_detects_translation(self, rng):
+        a = rng.standard_normal((8, 8, 8))
+        shifted = np.roll(a, (2, 3, 1), (0, 1, 2))
+        c = fft_correlate(shifted, a).real
+        assert np.unravel_index(np.argmax(c), c.shape) == (2, 3, 1)
+
+
+class TestGaussian:
+    def test_kernel_unit_mass(self):
+        k = gaussian_kernel((8, 8, 8), 1.5)
+        assert k.sum() == pytest.approx(1.0)
+
+    def test_kernel_peak_at_origin(self):
+        k = gaussian_kernel((8, 8, 8), 1.0)
+        assert k[0, 0, 0] == k.max()
+
+    def test_kernel_periodic_symmetry(self):
+        k = gaussian_kernel((8, 8, 8), 1.0)
+        np.testing.assert_allclose(k[1], k[-1], atol=1e-15)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel((8, 8, 8), 0.0)
+
+    def test_smooth_preserves_mass(self, rng):
+        d = rng.random((8, 8, 8))
+        s = gaussian_smooth(d, 1.2)
+        assert s.sum() == pytest.approx(d.sum())
+
+    def test_smooth_reduces_variance(self, rng):
+        d = rng.random((16, 16, 16))
+        s = gaussian_smooth(d, 2.0)
+        assert s.var() < d.var()
+
+    def test_smooth_constant_is_identity(self):
+        d = np.full((8, 8, 8), 3.0)
+        np.testing.assert_allclose(gaussian_smooth(d, 1.0), 3.0, atol=1e-10)
+
+    def test_smooth_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            gaussian_smooth(np.zeros((4, 4)), 1.0)

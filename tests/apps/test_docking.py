@@ -1,0 +1,165 @@
+"""Tests for the ZDOCK-style docking application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.docking import (
+    DockingSearch,
+    SyntheticProtein,
+    random_protein,
+    rotation_grid,
+    score_grids,
+)
+from repro.apps.docking.scoring import (
+    PSC_CORE_WEIGHT,
+    grid_ligand,
+    grid_receptor,
+    surface_and_core,
+    voxelize,
+)
+from repro.apps.docking.shapes import rotation_matrix
+from repro.gpu.specs import GEFORCE_8800_GT
+
+
+class TestShapes:
+    def test_random_protein_deterministic(self):
+        a = random_protein(seed=7)
+        b = random_protein(seed=7)
+        np.testing.assert_array_equal(a.atoms, b.atoms)
+
+    def test_centered(self):
+        p = random_protein(seed=1)
+        np.testing.assert_allclose(p.atoms.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_rotation_preserves_distances(self):
+        p = random_protein(seed=2)
+        r = rotation_matrix(0.3, 1.0, 2.0)
+        q = p.rotated(r)
+        d0 = np.linalg.norm(p.atoms[0] - p.atoms[-1])
+        d1 = np.linalg.norm(q.atoms[0] - q.atoms[-1])
+        assert d1 == pytest.approx(d0)
+
+    def test_rotation_matrix_orthonormal(self):
+        r = rotation_matrix(0.5, 0.7, 1.2)
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_rotation_grid_shape(self):
+        g = rotation_grid(2, 2, 3)
+        assert g.shape[1:] == (3, 3)
+        assert len(g) >= 6
+
+    def test_extent_positive(self):
+        assert random_protein(seed=3).extent() > 0
+
+    def test_atoms_validated(self):
+        with pytest.raises(ValueError):
+            SyntheticProtein(np.zeros((3, 2)), 1.0)
+        with pytest.raises(ValueError):
+            SyntheticProtein(np.zeros((3, 3)), -1.0)
+
+
+class TestVoxelization:
+    def test_occupancy_contains_atom_cells(self):
+        p = SyntheticProtein(np.array([[0.0, 0.0, 0.0]]), radius=1.5)
+        occ = voxelize(p, 16, 1.0)
+        assert occ[8, 8, 8]
+
+    def test_occupied_volume_scales_with_radius(self):
+        small = voxelize(SyntheticProtein(np.zeros((1, 3)), 1.0), 16, 1.0)
+        big = voxelize(SyntheticProtein(np.zeros((1, 3)), 3.0), 16, 1.0)
+        assert big.sum() > small.sum()
+
+    def test_protein_must_fit(self):
+        p = random_protein(n_atoms=100, step=4.0, seed=1)
+        with pytest.raises(ValueError, match="fit"):
+            voxelize(p, 16, 1.0)
+
+    def test_surface_core_partition(self):
+        p = SyntheticProtein(np.zeros((1, 3)), radius=3.0)
+        occ = voxelize(p, 16, 1.0)
+        surface, core = surface_and_core(occ)
+        assert not (surface & core).any()
+        np.testing.assert_array_equal(surface | core, occ)
+        assert surface.sum() > 0 and core.sum() > 0
+
+    def test_grid_encoding(self):
+        p = SyntheticProtein(np.zeros((1, 3)), radius=3.0)
+        g = grid_receptor(p, 16, 1.0)
+        values = set(np.unique(g))
+        assert values <= {0, 1, 1j * PSC_CORE_WEIGHT}
+
+
+class TestScoring:
+    def test_self_docking_favors_contact(self):
+        # Scoring a shape against itself: zero translation is all core
+        # clash (very negative); some offset must beat it.
+        p = SyntheticProtein(np.zeros((1, 3)), radius=3.0)
+        g = grid_receptor(p, 16, 1.0)
+        scores = score_grids(g, g)
+        assert scores[0, 0, 0] < 0
+        assert scores.max() > 0
+
+    def test_distant_shapes_score_zero(self):
+        a = SyntheticProtein(np.array([[0.0, 0, 0]]), 1.0)
+        ga = grid_receptor(a, 32, 1.0)
+        scores = score_grids(ga, np.zeros_like(ga))
+        np.testing.assert_allclose(scores, 0.0, atol=1e-9)
+
+    def test_score_shift_consistency(self):
+        p = SyntheticProtein(np.zeros((1, 3)), radius=2.0)
+        g = grid_receptor(p, 16, 1.0)
+        scores = score_grids(g, g)
+        # score[t] computed directly for one t.
+        t = (3, 0, 0)
+        direct = np.real(np.sum(g * np.roll(g, t, (0, 1, 2))))
+        assert scores[t] == pytest.approx(direct, rel=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            score_grids(np.zeros((8, 8, 8)), np.zeros((16, 16, 16)))
+
+
+class TestDockingSearch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        receptor = random_protein(40, seed=11)
+        ligand = random_protein(20, seed=22)
+        search = DockingSearch(
+            receptor, ligand, grid_size=32, spacing=2.0, device=GEFORCE_8800_GT
+        )
+        return search.run(rotation_grid(2, 1, 2), top_k=5)
+
+    def test_returns_requested_poses(self, result):
+        assert len(result.poses) == 5
+
+    def test_poses_sorted_by_score(self, result):
+        scores = [p.score for p in result.poses]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_best_pose_positive_contact(self, result):
+        assert result.best.score > 0
+
+    def test_on_card_beats_offload(self, result):
+        # The paper's Section 4.4 argument quantified.
+        assert result.on_card_speedup > 1.5
+
+    def test_time_accounting_positive(self, result):
+        assert result.on_card_seconds > 0
+        assert result.offload_seconds > result.on_card_seconds
+
+    def test_bad_rotations_rejected(self):
+        search = DockingSearch(
+            random_protein(10, seed=1), random_protein(8, seed=2),
+            grid_size=32, spacing=2.0,
+        )
+        with pytest.raises(ValueError):
+            search.run(np.zeros((4, 2, 2)))
+
+    def test_top_k_validated(self):
+        search = DockingSearch(
+            random_protein(10, seed=1), random_protein(8, seed=2),
+            grid_size=32, spacing=2.0,
+        )
+        with pytest.raises(ValueError):
+            search.run(top_k=0)

@@ -1,0 +1,82 @@
+"""Tests for docking file I/O (PDB + pose JSON round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.docking import DockingPose, DockingResult, random_protein
+from repro.apps.docking.io import load_pdb, load_poses, save_pdb, save_poses
+
+
+class TestPdbRoundTrip:
+    def test_atoms_preserved_to_pdb_precision(self, tmp_path):
+        p = random_protein(20, seed=3)
+        path = save_pdb(p, tmp_path / "prot.pdb")
+        back = load_pdb(path)
+        np.testing.assert_allclose(back.atoms, p.atoms, atol=1e-3)
+
+    def test_radius_preserved(self, tmp_path):
+        p = random_protein(5, seed=1, radius=2.25)
+        back = load_pdb(save_pdb(p, tmp_path / "r.pdb"))
+        assert back.radius == pytest.approx(2.25)
+
+    def test_pdb_format_fields(self, tmp_path):
+        p = random_protein(3, seed=1)
+        text = save_pdb(p, tmp_path / "f.pdb", name="TEST").read_text()
+        assert text.startswith("HEADER")
+        assert text.rstrip().endswith("END")
+        atom_lines = [ln for ln in text.splitlines() if ln.startswith("ATOM")]
+        assert len(atom_lines) == 3
+        # Fixed-column coordinates parse back as floats.
+        float(atom_lines[0][30:38])
+
+    def test_empty_file_rejected(self, tmp_path):
+        f = tmp_path / "empty.pdb"
+        f.write_text("HEADER\nEND\n")
+        with pytest.raises(ValueError, match="no ATOM"):
+            load_pdb(f)
+
+    def test_foreign_pdb_defaults_radius(self, tmp_path):
+        f = tmp_path / "foreign.pdb"
+        f.write_text(
+            "ATOM      1  CA  ALA A   1      11.104  13.207   2.100"
+            "  1.00  0.00           C\n"
+        )
+        p = load_pdb(f)
+        assert p.n_atoms == 1
+        assert p.radius == pytest.approx(1.8)
+
+
+class TestPoseRoundTrip:
+    def make_result(self):
+        poses = (
+            DockingPose(2, (1, 2, 3), 42.5),
+            DockingPose(0, (31, 0, 7), 17.0),
+        )
+        return DockingResult(
+            poses=poses,
+            n_rotations=8,
+            grid_size=32,
+            on_card_seconds=0.013,
+            offload_seconds=0.058,
+        )
+
+    def test_roundtrip_exact(self, tmp_path):
+        result = self.make_result()
+        back = load_poses(save_poses(result, tmp_path / "poses.json"))
+        assert back == result
+
+    def test_speedup_survives(self, tmp_path):
+        result = self.make_result()
+        back = load_poses(save_poses(result, tmp_path / "p.json"))
+        assert back.on_card_speedup == pytest.approx(result.on_card_speedup)
+
+    def test_integration_with_search(self, tmp_path):
+        from repro.apps.docking import DockingSearch, rotation_grid
+
+        search = DockingSearch(
+            random_protein(20, seed=1), random_protein(10, seed=2),
+            grid_size=32, spacing=2.0,
+        )
+        result = search.run(rotation_grid(2, 1, 1), top_k=3)
+        back = load_poses(save_poses(result, tmp_path / "run.json"))
+        assert back.best == result.best

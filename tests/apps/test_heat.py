@@ -1,0 +1,78 @@
+"""Tests for the spectral heat solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spectral import heat_evolve, heat_step
+
+
+def single_mode(n, k=(1, 2, 3)):
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    z, y, xg = np.meshgrid(x, x, x, indexing="ij")
+    return np.cos(k[0] * z) * np.cos(k[1] * y) * np.cos(k[2] * xg), sum(
+        v * v for v in k
+    )
+
+
+class TestHeatStep:
+    def test_single_mode_decays_exactly(self):
+        u0, ksq = single_mode(16)
+        alpha, dt = 0.1, 0.37
+        out = heat_step(u0, alpha, dt)
+        np.testing.assert_allclose(out, u0 * np.exp(-alpha * ksq * dt),
+                                   atol=1e-12)
+
+    def test_mean_preserved(self, rng):
+        u0 = rng.random((8, 8, 8))
+        out = heat_step(u0, 1.0, 0.5)
+        assert out.mean() == pytest.approx(u0.mean(), rel=1e-12)
+
+    def test_unconditionally_stable(self, rng):
+        u0 = rng.random((8, 8, 8))
+        out = heat_step(u0, 1.0, 1e6)  # enormous step
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, u0.mean(), atol=1e-8)
+
+    def test_variance_monotone_decreasing(self, rng):
+        u = rng.random((8, 8, 8))
+        for _ in range(3):
+            nxt = heat_step(u, 0.1, 0.1)
+            assert nxt.var() <= u.var() + 1e-14
+            u = nxt
+
+    def test_exact_semigroup_property(self, rng):
+        # step(dt1+dt2) == step(dt2) after step(dt1): exact integrator.
+        u0 = rng.random((8, 8, 8))
+        once = heat_step(u0, 0.3, 0.7)
+        twice = heat_step(heat_step(u0, 0.3, 0.35), 0.3, 0.35)
+        np.testing.assert_allclose(once, twice, atol=1e-12)
+
+    def test_complex_field_supported(self, rng):
+        u0 = rng.random((8, 8, 8)) + 1j * rng.random((8, 8, 8))
+        out = heat_step(u0, 1.0, 0.1)
+        assert np.iscomplexobj(out)
+
+    def test_validation(self, rng):
+        u0 = rng.random((8, 8, 8))
+        with pytest.raises(ValueError):
+            heat_step(u0, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            heat_step(u0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            heat_step(np.zeros((4, 4)), 1.0, 0.1)
+
+
+class TestHeatEvolve:
+    def test_snapshots_equally_spaced(self):
+        u0, ksq = single_mode(8, (1, 0, 0))
+        snaps = heat_evolve(u0, 1.0, 1.0, n_snapshots=4)
+        assert len(snaps) == 4
+        for i, s in enumerate(snaps, 1):
+            t = i / 4
+            np.testing.assert_allclose(s, u0 * np.exp(-ksq * t), atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heat_evolve(np.zeros((8, 8, 8)), 1.0, 0.0)
+        with pytest.raises(ValueError):
+            heat_evolve(np.zeros((8, 8, 8)), 1.0, 1.0, n_snapshots=0)

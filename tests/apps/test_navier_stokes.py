@@ -1,0 +1,116 @@
+"""Tests for the pseudo-spectral Navier-Stokes integrator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spectral import (
+    SpectralNavierStokes,
+    random_solenoidal_field,
+    taylor_green_field,
+)
+
+
+@pytest.fixture
+def tg_solver():
+    ns = SpectralNavierStokes(16, viscosity=0.05)
+    ns.set_velocity(taylor_green_field(16))
+    return ns
+
+
+class TestSetup:
+    def test_initial_energy_of_taylor_green(self, tg_solver):
+        # TG kinetic energy on the periodic cube is 1/8.
+        assert tg_solver.diagnostics().kinetic_energy == pytest.approx(
+            0.125, rel=1e-10
+        )
+
+    def test_projection_makes_divergence_free(self, rng):
+        ns = SpectralNavierStokes(16, viscosity=0.01)
+        u = rng.standard_normal((3, 16, 16, 16))  # not solenoidal
+        ns.set_velocity(u)
+        assert ns.diagnostics().max_divergence < 1e-12
+
+    def test_velocity_roundtrip(self, tg_solver):
+        u = tg_solver.velocity()
+        np.testing.assert_allclose(u, taylor_green_field(16), atol=1e-10)
+
+    def test_shape_validated(self):
+        ns = SpectralNavierStokes(16)
+        with pytest.raises(ValueError):
+            ns.set_velocity(np.zeros((3, 8, 8, 8)))
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            SpectralNavierStokes(4)
+        with pytest.raises(ValueError):
+            SpectralNavierStokes(16, viscosity=0.0)
+
+
+class TestDynamics:
+    def test_viscous_energy_decay(self, tg_solver):
+        e0 = tg_solver.diagnostics().kinetic_energy
+        for _ in range(5):
+            tg_solver.step(0.02)
+        e1 = tg_solver.diagnostics().kinetic_energy
+        assert e1 < e0
+
+    def test_stays_divergence_free(self, tg_solver):
+        for _ in range(5):
+            tg_solver.step(0.02)
+        assert tg_solver.diagnostics().max_divergence < 1e-10
+
+    def test_near_inviscid_energy_conservation(self):
+        ns = SpectralNavierStokes(16, viscosity=1e-10)
+        ns.set_velocity(taylor_green_field(16))
+        e0 = ns.diagnostics().kinetic_energy
+        for _ in range(3):
+            ns.step(5e-3)
+        e1 = ns.diagnostics().kinetic_energy
+        assert abs(e1 - e0) / e0 < 1e-6
+
+    def test_pure_viscous_decay_rate_exact(self):
+        # With TG's single-shell |k|^2 = 3 modes and the nonlinear term
+        # initially orthogonal, the first-step decay follows
+        # exp(-2 nu k^2 dt) very closely.
+        nu, dt = 0.1, 1e-3
+        ns = SpectralNavierStokes(16, viscosity=nu)
+        ns.set_velocity(taylor_green_field(16))
+        e0 = ns.diagnostics().kinetic_energy
+        ns.step(dt)
+        expected = e0 * np.exp(-2 * nu * 3 * dt)
+        assert ns.diagnostics().kinetic_energy == pytest.approx(
+            expected, rel=1e-5
+        )
+
+    def test_time_advances(self, tg_solver):
+        tg_solver.step(0.01)
+        tg_solver.step(0.01)
+        assert tg_solver.time == pytest.approx(0.02)
+
+    def test_invalid_dt(self, tg_solver):
+        with pytest.raises(ValueError):
+            tg_solver.step(0.0)
+
+    def test_turbulent_field_enstrophy_positive(self):
+        ns = SpectralNavierStokes(16, viscosity=1e-3)
+        ns.set_velocity(random_solenoidal_field(16, seed=5))
+        d = ns.diagnostics()
+        assert d.enstrophy > 0
+        assert d.dissipation == pytest.approx(2e-3 * d.enstrophy)
+
+
+class TestFftAccounting:
+    def test_fft_count_tracks_workload(self, tg_solver):
+        # set_velocity: 3 forward; per step: 2 RHS evals x 9 transforms.
+        before = tg_solver.fft_count
+        tg_solver.step(0.01)
+        assert tg_solver.fft_count - before == 18
+
+    def test_step_cost_maps_to_device_estimate(self, tg_solver):
+        # Bridge to the performance model: one step's FFT bill at 256^3.
+        from repro.core.estimator import estimate_fft3d
+        from repro.gpu.specs import GEFORCE_8800_GTX
+
+        per_fft = estimate_fft3d(GEFORCE_8800_GTX, 256).on_board_seconds
+        step_cost = 18 * per_fft
+        assert 0.2 < step_cost < 1.0  # a DNS step in the sub-second range

@@ -1,0 +1,120 @@
+"""Tests for the spectral Poisson solver and turbulence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.spectral import (
+    dissipation_rate,
+    energy_spectrum,
+    poisson_solve,
+    random_solenoidal_field,
+    spectral_laplacian,
+    taylor_green_field,
+    wavenumbers,
+)
+
+
+def manufactured(n):
+    x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+    z, y, xg = np.meshgrid(x, x, x, indexing="ij")
+    u = np.sin(2 * xg) * np.cos(3 * y) * np.sin(z)
+    f = -(4 + 9 + 1) * u
+    return u, f
+
+
+class TestWavenumbers:
+    def test_fft_ordering(self):
+        np.testing.assert_array_equal(wavenumbers(8), [0, 1, 2, 3, 4, -3, -2, -1])
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wavenumbers(0)
+
+
+class TestPoisson:
+    def test_manufactured_solution(self):
+        u, f = manufactured(16)
+        np.testing.assert_allclose(poisson_solve(f), u, atol=1e-12)
+
+    def test_laplacian_inverts_solve(self, rng):
+        f = rng.standard_normal((8, 8, 8))
+        f -= f.mean()
+        u = poisson_solve(f)
+        np.testing.assert_allclose(spectral_laplacian(u), f, atol=1e-10)
+
+    def test_solution_zero_mean(self, rng):
+        f = rng.standard_normal((8, 8, 8))
+        f -= f.mean()
+        assert abs(poisson_solve(f).mean()) < 1e-12
+
+    def test_nonzero_mean_rejected(self):
+        with pytest.raises(ValueError, match="zero-mean"):
+            poisson_solve(np.ones((8, 8, 8)))
+
+    def test_laplacian_of_plane_wave(self):
+        n = 16
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        z, y, xg = np.meshgrid(x, x, x, indexing="ij")
+        u = np.cos(3 * xg)
+        np.testing.assert_allclose(spectral_laplacian(u), -9 * u, atol=1e-10)
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_solve(np.zeros((4, 4)))
+
+
+class TestTurbulence:
+    def test_solenoidal_field_divergence_free(self):
+        u = random_solenoidal_field(16, seed=5)
+        from repro.fft.fft3d import fft3d
+
+        kz = wavenumbers(16)[:, None, None]
+        ky = wavenumbers(16)[None, :, None]
+        kx = wavenumbers(16)[None, None, :]
+        div = (
+            kz * fft3d(u[0] + 0j) + ky * fft3d(u[1] + 0j) + kx * fft3d(u[2] + 0j)
+        )
+        scale = max(np.abs(fft3d(u[0] + 0j)).max(), 1.0)
+        assert np.abs(div).max() / scale < 1e-10
+
+    def test_field_unit_rms_overall(self):
+        u = random_solenoidal_field(16, seed=1)
+        rms = np.sqrt(np.mean(np.sum(u**2, axis=0)) / 3.0)
+        assert rms == pytest.approx(1.0, rel=1e-6)
+
+    def test_spectrum_parseval(self):
+        u = random_solenoidal_field(16, seed=2)
+        k, e = energy_spectrum(u)
+        total = 0.5 * np.mean(np.sum(u**2, axis=0))
+        assert e.sum() == pytest.approx(total, rel=1e-10)
+
+    def test_spectrum_slope_roughly_kolmogorov(self):
+        u = random_solenoidal_field(64, slope=-5.0 / 3.0, seed=3)
+        k, e = energy_spectrum(u)
+        sel = (k >= 4) & (k <= 16) & (e > 0)
+        slope = np.polyfit(np.log(k[sel]), np.log(e[sel]), 1)[0]
+        assert slope == pytest.approx(-5.0 / 3.0, abs=0.5)
+
+    def test_taylor_green_energy_in_low_shells(self):
+        u = taylor_green_field(16)
+        k, e = energy_spectrum(u)
+        assert e[:3].sum() > 0.95 * e.sum()
+
+    def test_dissipation_positive_and_linear_in_viscosity(self):
+        u = random_solenoidal_field(16, seed=4)
+        eps1 = dissipation_rate(u, viscosity=1.0)
+        eps2 = dissipation_rate(u, viscosity=2.0)
+        assert eps1 > 0
+        assert eps2 == pytest.approx(2 * eps1)
+
+    def test_invalid_viscosity(self):
+        with pytest.raises(ValueError):
+            dissipation_rate(taylor_green_field(8), viscosity=0.0)
+
+    def test_spectrum_requires_vector_field(self):
+        with pytest.raises(ValueError):
+            energy_spectrum(np.zeros((8, 8, 8)))
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            random_solenoidal_field(2)

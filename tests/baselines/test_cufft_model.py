@@ -1,0 +1,73 @@
+"""Tests for the CUFFT 1.1 behavioral model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cufft_model import (
+    CufftModel,
+    cufft_fft3d,
+    estimate_cufft_1d,
+    estimate_cufft_3d,
+)
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTX
+from repro.harness import paper_data
+
+
+class TestFunctional:
+    def test_fft3d_matches_numpy(self, rng):
+        x = rng.standard_normal((16, 16, 16)) + 1j * rng.standard_normal((16, 16, 16))
+        np.testing.assert_allclose(
+            cufft_fft3d(x), np.fft.fftn(x), rtol=1e-8, atol=1e-8
+        )
+
+    def test_inverse(self, rng):
+        x = rng.standard_normal((8, 8, 8)) + 0j
+        model = CufftModel(GEFORCE_8800_GTX)
+        back = model.fft3d(model.fft3d(x), inverse=True) / x.size
+        np.testing.assert_allclose(back, x, atol=1e-10)
+
+
+@pytest.mark.slow
+class TestTable8Cufft:
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_time_within_10pct(self, dev):
+        e = estimate_cufft_1d(dev, 256, 65536)
+        paper = paper_data.TABLE8[dev.name]["cufft"]
+        assert e.seconds * 1e3 == pytest.approx(paper[0], rel=0.10)
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_constant_fraction_of_peak(self, dev):
+        # The key empirical fact: ~14.5% of peak on every card.
+        e = estimate_cufft_1d(dev, 256, 65536)
+        assert e.gflops / dev.peak_gflops == pytest.approx(0.145, abs=0.02)
+
+    def test_two_passes_for_256(self):
+        e = estimate_cufft_1d(GEFORCE_8800_GTX, 256, 1024)
+        assert len(e.passes) == 2
+
+
+@pytest.mark.slow
+class TestCufft3D:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        return {dev.name: estimate_cufft_3d(dev, 256) for dev in ALL_GPUS}
+
+    def test_in_papers_range(self, estimates):
+        # Figure 1 bars sit around 20-27 GFLOPS.
+        for e in estimates.values():
+            assert 12 < e.gflops < 30
+
+    def test_much_slower_than_1d_rate(self, estimates):
+        for dev in ALL_GPUS:
+            one_d = estimate_cufft_1d(dev, 256, 65536)
+            assert estimates[dev.name].gflops < 0.6 * one_d.gflops
+
+    def test_six_passes_plus_1d(self, estimates):
+        # 2 contiguous X passes + 2 Y + 2 Z.
+        assert len(estimates["8800 GTX"].passes) == 6
+
+    def test_strided_passes_dominate(self, estimates):
+        e = estimates["8800 GTX"]
+        x_time = sum(p.seconds for p in e.passes[:2])
+        yz_time = sum(p.seconds for p in e.passes[2:])
+        assert yz_time > 2 * x_time

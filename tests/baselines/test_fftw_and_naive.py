@@ -1,0 +1,80 @@
+"""Tests for the FFTW CPU baseline (Table 11) and the naive GPU straw-man."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fftw_cpu import FftwCpuBaseline, estimate_fftw
+from repro.baselines.naive_gpu import estimate_naive_gpu
+from repro.gpu.specs import (
+    ALL_GPUS,
+    AMD_PHENOM_9500,
+    GEFORCE_8800_GTX,
+    INTEL_CORE2_Q6700,
+)
+from repro.harness import paper_data
+
+
+class TestFftwFunctional:
+    def test_executes_a_real_transform(self, rng):
+        x = rng.standard_normal((16, 16, 16)) + 0j
+        out = FftwCpuBaseline(precision="double").execute(x)
+        np.testing.assert_allclose(out, np.fft.fftn(x), rtol=1e-9, atol=1e-9)
+
+    def test_inverse(self, rng):
+        # NumPy semantics: the inverse carries the 1/N factor itself.
+        x = rng.standard_normal((8, 8, 8)) + 0j
+        base = FftwCpuBaseline(precision="double")
+        back = base.execute(base.execute(x), inverse=True)
+        np.testing.assert_allclose(back, x, atol=1e-10)
+
+
+class TestTable11:
+    def test_phenom_row(self):
+        e = estimate_fftw(AMD_PHENOM_9500, 256)
+        paper = paper_data.TABLE11[AMD_PHENOM_9500.name]
+        assert e.seconds * 1e3 == pytest.approx(paper[0], rel=0.03)
+        assert e.gflops == pytest.approx(paper[1], rel=0.03)
+
+    def test_core2_row(self):
+        e = estimate_fftw(INTEL_CORE2_Q6700, 256)
+        paper = paper_data.TABLE11[INTEL_CORE2_Q6700.name]
+        assert e.seconds * 1e3 == pytest.approx(paper[0], rel=0.03)
+
+    def test_512_cubed_spills(self):
+        # Table 12: 1.93 s / 9.40 GFLOPS (slower per flop than 256^3).
+        small = estimate_fftw(AMD_PHENOM_9500, 256)
+        big = estimate_fftw(AMD_PHENOM_9500, 512)
+        assert big.gflops < small.gflops
+        assert big.seconds == pytest.approx(
+            paper_data.TABLE12["FFTW"]["total"], rel=0.05
+        )
+
+    def test_double_precision_halves_rate(self):
+        sp = FftwCpuBaseline(AMD_PHENOM_9500, "single").estimate(256)
+        dp = FftwCpuBaseline(AMD_PHENOM_9500, "double").estimate(256)
+        assert dp.seconds == pytest.approx(2 * sp.seconds, rel=0.05)
+
+
+@pytest.mark.slow
+class TestNaiveGpu:
+    def test_lands_at_cpu_class_performance(self):
+        # Section 1: early GPU FFTs were "only on par with conventional
+        # CPUs at best".
+        e = estimate_naive_gpu(GEFORCE_8800_GTX, 256)
+        cpu = estimate_fftw(AMD_PHENOM_9500, 256)
+        assert 0.5 * cpu.gflops < e.gflops < 4 * cpu.gflops
+
+    def test_far_below_the_papers_kernel(self):
+        from repro.core.estimator import estimate_fft3d
+
+        naive = estimate_naive_gpu(GEFORCE_8800_GTX, 256)
+        ours = estimate_fft3d(GEFORCE_8800_GTX, 256)
+        assert ours.on_board_gflops > 4 * naive.gflops
+
+    def test_pass_count(self):
+        e = estimate_naive_gpu(GEFORCE_8800_GTX, 256)
+        assert e.n_passes == 24  # 3 dims x log2(256) radix-2 stages
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_positive_everywhere(self, dev):
+        assert estimate_naive_gpu(dev, 64).seconds > 0

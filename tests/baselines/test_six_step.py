@@ -1,0 +1,94 @@
+"""Tests for the conventional six-step baseline (Table 6)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.six_step import SixStepPlan, estimate_six_step
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTX
+from repro.harness import paper_data
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n", [16, 32, 64])
+    def test_matches_fftn(self, n, rng):
+        x = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
+        plan = SixStepPlan(n, precision="double")
+        np.testing.assert_allclose(
+            plan.execute(x), np.fft.fftn(x), rtol=1e-9, atol=1e-8
+        )
+
+    def test_inverse(self, rng):
+        x = rng.standard_normal((16, 16, 16)) + 0j
+        plan = SixStepPlan(16, precision="double")
+        back = plan.execute(plan.execute(x), inverse=True) / x.size
+        np.testing.assert_allclose(back, x, atol=1e-9)
+
+    def test_matches_five_step(self, rng):
+        from repro.core.five_step import FiveStepPlan
+
+        x = (rng.standard_normal((32, 32, 32)) + 0j)
+        six = SixStepPlan(32, precision="double").execute(x)
+        five = FiveStepPlan((32, 32, 32), precision="double").execute(x)
+        np.testing.assert_allclose(six, five, atol=1e-9)
+
+    def test_shape_checked(self):
+        plan = SixStepPlan(16)
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros((16, 16, 32), np.complex64))
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            SixStepPlan(8)
+
+
+class TestStepStructure:
+    def test_six_specs(self):
+        specs = SixStepPlan(64).step_specs(GEFORCE_8800_GTX)
+        assert len(specs) == 6
+        assert sum("transpose" in s.name for s in specs) == 3
+
+    def test_transposes_move_whole_grid(self):
+        specs = SixStepPlan(64).step_specs(GEFORCE_8800_GTX)
+        for s in specs:
+            if "transpose" in s.name:
+                # Read of the grid plus (inflated) serialized writes.
+                assert s.total_bytes >= 2 * 64**3 * 8
+
+
+@pytest.mark.slow
+class TestTable6:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        return {dev.name: estimate_six_step(dev, 256) for dev in ALL_GPUS}
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_fft_step_times(self, dev, estimates):
+        paper = paper_data.TABLE6[dev.name]["fft"][0]
+        assert estimates[dev.name].mean_fft_seconds * 1e3 == pytest.approx(
+            paper, rel=0.15
+        )
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_transpose_step_times(self, dev, estimates):
+        paper = paper_data.TABLE6[dev.name]["transpose"][0]
+        assert estimates[dev.name].mean_transpose_seconds * 1e3 == pytest.approx(
+            paper, rel=0.35
+        )
+
+    def test_transposes_slower_than_ffts(self, estimates):
+        # The whole point of Table 6: transposes waste most of the time.
+        for e in estimates.values():
+            assert e.mean_transpose_seconds > e.mean_fft_seconds
+
+    def test_transpose_bandwidth_near_many_stream_floor(self, estimates):
+        # "nearly equal to the bandwidth of copying 256 streams".
+        from repro.gpu.memsystem import MemorySystem
+
+        for dev in ALL_GPUS:
+            floor = MemorySystem(dev).stream_copy(256).bandwidth
+            bw = estimates[dev.name].mean_transpose_bandwidth
+            assert bw == pytest.approx(floor, rel=0.45)
+
+    def test_gtx_best_transposes(self, estimates):
+        t = {k: v.mean_transpose_seconds for k, v in estimates.items()}
+        assert t["8800 GTX"] == min(t.values())

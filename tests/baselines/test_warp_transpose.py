@@ -1,0 +1,66 @@
+"""Thread-level transpose tests: Table 6's bottleneck, observed."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.warp_transpose import run_transpose
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((32, 32)) + 1j * rng.standard_normal((32, 32))
+
+
+class TestNaiveTranspose:
+    def test_correct(self, matrix):
+        res = run_transpose(matrix, tiled=False)
+        np.testing.assert_allclose(res.output, matrix.T, atol=1e-14)
+
+    def test_writes_serialize(self, matrix):
+        # The conventional implementation's measured pathology: half of
+        # the half-warp accesses (all the writes) fail to coalesce.
+        res = run_transpose(matrix, tiled=False)
+        r = res.report
+        assert r.serialized_half_warps == r.coalesced_half_warps
+        assert r.coalesced_fraction == pytest.approx(0.5)
+
+    def test_transaction_blowup(self, matrix):
+        # Serialized writes issue 16 transactions per half-warp.
+        res = run_transpose(matrix, tiled=False)
+        r = res.report
+        n_halfwarps = r.coalesced_half_warps + r.serialized_half_warps
+        assert r.global_transactions == (
+            r.coalesced_half_warps + 16 * r.serialized_half_warps
+        )
+        assert r.global_transactions > 4 * n_halfwarps
+
+
+class TestTiledTranspose:
+    def test_correct(self, matrix):
+        res = run_transpose(matrix, tiled=True)
+        np.testing.assert_allclose(res.output, matrix.T, atol=1e-14)
+
+    def test_both_sides_coalesce(self, matrix):
+        res = run_transpose(matrix, tiled=True)
+        assert res.report.coalesced_fraction == 1.0
+
+    def test_padded_tile_conflict_free(self, matrix):
+        res = run_transpose(matrix, tiled=True)
+        assert res.report.shared_accesses > 0
+        assert res.report.shared_conflict_free
+
+    def test_tiled_issues_far_fewer_transactions(self, matrix):
+        naive = run_transpose(matrix, tiled=False).report
+        tiled = run_transpose(matrix, tiled=True).report
+        assert tiled.global_transactions < 0.3 * naive.global_transactions
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            run_transpose(np.zeros((8, 16), complex), tiled=False)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            run_transpose(np.zeros((8, 8), complex), tiled=True)

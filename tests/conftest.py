@@ -1,0 +1,52 @@
+"""Shared fixtures.
+
+Memory-system trace evaluation is the expensive part of the simulator;
+the session-scoped ``memsystem`` fixtures share one cached instance per
+device across the whole suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import (
+    GEFORCE_8800_GT,
+    GEFORCE_8800_GTS,
+    GEFORCE_8800_GTX,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gtx_memsystem() -> MemorySystem:
+    return MemorySystem(GEFORCE_8800_GTX)
+
+
+@pytest.fixture(scope="session")
+def gt_memsystem() -> MemorySystem:
+    return MemorySystem(GEFORCE_8800_GT)
+
+
+@pytest.fixture(scope="session")
+def gts_memsystem() -> MemorySystem:
+    return MemorySystem(GEFORCE_8800_GTS)
+
+
+def random_complex(rng: np.random.Generator, shape, dtype=np.complex128):
+    """Unit-scale random complex array."""
+    out = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    return out.astype(dtype)
+
+
+@pytest.fixture
+def random_complex_factory(rng):
+    def make(shape, dtype=np.complex128):
+        return random_complex(rng, shape, dtype)
+
+    return make

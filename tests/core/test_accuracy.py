@@ -1,0 +1,60 @@
+"""Tests for the numerical-accuracy measurement module."""
+
+import pytest
+
+from repro.core.accuracy import AccuracyReport, accuracy_sweep, measure_accuracy
+
+
+class TestMeasureAccuracy:
+    def test_single_precision_five_step_in_budget(self):
+        r = measure_accuracy("five_step", 32, "single")
+        assert r.forward_error < 1e-5
+        assert r.within_single_precision_budget()
+
+    def test_double_precision_near_machine(self):
+        r = measure_accuracy("five_step", 32, "double")
+        assert r.forward_error < 1e-12
+        assert r.roundtrip_error < 1e-11
+
+    def test_host_plan_comparable_to_five_step(self):
+        a = measure_accuracy("five_step", 16, "single")
+        b = measure_accuracy("host_plan", 16, "single")
+        assert a.forward_error < 10 * b.forward_error
+        assert b.forward_error < 10 * a.forward_error
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            measure_accuracy("cufft_hw", 16)
+
+    def test_deterministic_under_seed(self):
+        a = measure_accuracy("five_step", 16, "single", seed=3)
+        b = measure_accuracy("five_step", 16, "single", seed=3)
+        assert a == b
+
+    def test_non_cubic_shape(self):
+        r = measure_accuracy("five_step", (8, 16, 32), "double")
+        assert r.shape == (8, 16, 32)
+        assert r.forward_error < 1e-12
+
+
+class TestAccuracySweep:
+    def test_full_grid(self):
+        reports = accuracy_sweep(sizes=(16,), engines=("five_step",),
+                                 precisions=("single", "double"))
+        assert len(reports) == 2
+        single = next(r for r in reports if r.precision == "single")
+        double = next(r for r in reports if r.precision == "double")
+        # The Section 4.5 concern, quantified: single is orders of
+        # magnitude less accurate than double.
+        assert single.forward_error > 100 * double.forward_error
+
+    def test_error_grows_slowly_with_size(self):
+        reports = accuracy_sweep(sizes=(16, 32), engines=("five_step",),
+                                 precisions=("single",))
+        small, large = reports
+        # O(log N) growth, not O(N): less than 4x for a 8x volume change.
+        assert large.forward_error < 4 * small.forward_error
+
+    def test_all_within_budget(self):
+        for r in accuracy_sweep(sizes=(16,)):
+            assert r.within_single_precision_budget() or r.precision == "double"

@@ -1,0 +1,113 @@
+"""Tests for the high-level GpuFFT3D API."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import GpuFFT3D, gpu_fft3d, gpu_ifft3d
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+
+
+class TestForwardInverse:
+    def test_forward_matches_fftn(self, rng):
+        x = (rng.standard_normal((32, 32, 32)) + 0j).astype(np.complex64)
+        plan = GpuFFT3D((32, 32, 32))
+        out = plan.forward(x)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+
+    def test_inverse_matches_ifftn(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        plan = GpuFFT3D((16, 16, 16))
+        out = plan.inverse(x)
+        ref = np.fft.ifftn(x.astype(np.complex128))
+        assert np.abs(out - ref).max() < 1e-6
+
+    def test_roundtrip(self, rng):
+        x = (rng.standard_normal((16, 32, 16)) + 0j).astype(np.complex64)
+        plan = GpuFFT3D((16, 32, 16))
+        back = plan.inverse(plan.forward(x))
+        assert np.abs(back - x).max() < 1e-4
+
+    def test_one_shot_helpers(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        out = gpu_fft3d(x)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+        back = gpu_ifft3d(out)
+        assert np.abs(back - x).max() < 1e-4
+
+    def test_ortho_norm(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        plan = GpuFFT3D((16, 16, 16), norm="ortho")
+        out = plan.forward(x)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(x), rel=1e-4)
+
+    def test_wrong_shape_rejected(self, rng):
+        plan = GpuFFT3D((16, 16, 16))
+        with pytest.raises(ValueError):
+            plan.forward(np.zeros((16, 16, 32), np.complex64))
+
+
+class TestSimulatorAccounting:
+    def test_transfers_and_kernels_on_timeline(self, rng):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        plan = GpuFFT3D((32, 32, 32), simulator=sim)
+        plan.forward((rng.standard_normal((32, 32, 32)) + 0j).astype(np.complex64))
+        assert sim.kernel_seconds > 0
+        assert sim.transfer_seconds > 0
+        assert len(sim.launches()) == 5
+
+    def test_buffers_reused_across_calls(self, rng):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        plan = GpuFFT3D((16, 16, 16), simulator=sim)
+        x = np.zeros((16, 16, 16), np.complex64)
+        plan.forward(x)
+        used = sim.used_bytes
+        plan.forward(x)
+        assert sim.used_bytes == used
+
+    def test_release_frees_buffers(self, rng):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        plan = GpuFFT3D((16, 16, 16), simulator=sim)
+        plan.forward(np.zeros((16, 16, 16), np.complex64))
+        plan.release()
+        assert sim.used_bytes == 0
+
+    def test_estimate_available(self):
+        plan = GpuFFT3D((64, 64, 64))
+        est = plan.estimate()
+        assert est.on_board_seconds > 0
+        assert len(est.steps) == 5
+
+
+class TestOutOfCorePath:
+    def test_large_grid_flagged(self):
+        plan = GpuFFT3D((512, 512, 512), device=GEFORCE_8800_GT)
+        assert plan.out_of_core
+
+    def test_small_grid_not_flagged(self):
+        assert not GpuFFT3D((64, 64, 64)).out_of_core
+
+    def test_out_of_core_functional(self, rng):
+        # Shrink to a testable size by pretending the card is tiny: force
+        # the out-of-core path via an explicit simulator + small device.
+        from dataclasses import replace
+
+        tiny = replace(GEFORCE_8800_GT, memory_mbytes=1, name="8800 GT")
+        plan = GpuFFT3D((64, 64, 64), device=tiny)
+        assert plan.out_of_core
+        x = (rng.standard_normal((64, 64, 64)) + 0j).astype(np.complex64)
+        out = plan.forward(x)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+
+    def test_out_of_core_inverse(self, rng):
+        from dataclasses import replace
+
+        tiny = replace(GEFORCE_8800_GT, memory_mbytes=1, name="8800 GT")
+        plan = GpuFFT3D((64, 64, 64), device=tiny)
+        assert plan.out_of_core
+        x = (rng.standard_normal((64, 64, 64)) + 0j).astype(np.complex64)
+        back = plan.inverse(plan.forward(x))
+        assert np.abs(back - x).max() < 1e-3

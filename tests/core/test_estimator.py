@@ -1,0 +1,126 @@
+"""Tests for the end-to-end estimator against Tables 7, 8 and 10."""
+
+import pytest
+
+from repro.core.estimator import estimate_batch_1d, estimate_fft3d
+from repro.gpu.specs import (
+    ALL_GPUS,
+    GEFORCE_8800_GT,
+    GEFORCE_8800_GTS,
+    GEFORCE_8800_GTX,
+)
+from repro.harness import paper_data
+
+
+@pytest.fixture(scope="module")
+def estimates(gtx_memsystem_module=None):
+    from repro.gpu.memsystem import MemorySystem
+
+    return {
+        dev.name: estimate_fft3d(dev, 256, memsystem=MemorySystem(dev))
+        for dev in ALL_GPUS
+    }
+
+
+class TestTable7Shape:
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_step_times_within_15pct(self, dev, estimates):
+        e = estimates[dev.name]
+        p = paper_data.TABLE7[dev.name]
+        assert e.steps[0].seconds * 1e3 == pytest.approx(p["step13"][0], rel=0.15)
+        assert e.steps[1].seconds * 1e3 == pytest.approx(p["step24"][0], rel=0.15)
+        assert e.steps[4].seconds * 1e3 == pytest.approx(p["step5"][0], rel=0.15)
+
+    def test_gtx_fastest_on_steps_1_to_4(self, estimates):
+        # Largest memory bandwidth wins the memory-bound steps.
+        for i in range(4):
+            assert (
+                estimates["8800 GTX"].steps[i].seconds
+                < estimates["8800 GTS"].steps[i].seconds
+            )
+            assert (
+                estimates["8800 GTX"].steps[i].seconds
+                < estimates["8800 GT"].steps[i].seconds
+            )
+
+    def test_gts_beats_gtx_on_step5(self, estimates):
+        # Section 4.1: "8800 GTS is faster than 8800 GTX in this step,
+        # because its total peak performance of SPs is better".
+        assert (
+            estimates["8800 GTS"].steps[4].seconds
+            < estimates["8800 GTX"].steps[4].seconds
+        )
+
+    def test_step5_compute_bound_on_gtx_memory_bound_on_gts(self, estimates):
+        assert estimates["8800 GTX"].steps[4].bound == "compute"
+        assert estimates["8800 GTS"].steps[4].bound == "memory"
+
+    def test_steps_1_to_4_memory_bound_everywhere(self, estimates):
+        for name, e in estimates.items():
+            for i in range(4):
+                assert e.steps[i].bound == "memory", (name, i)
+
+
+class TestOnBoardPerformance:
+    def test_gtx_near_84_gflops(self, estimates):
+        assert estimates["8800 GTX"].on_board_gflops == pytest.approx(84.4, rel=0.1)
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_on_board_gflops_within_10pct(self, dev, estimates):
+        paper = paper_data.TABLE10[dev.name]["fft"]
+        assert estimates[dev.name].on_board_gflops == pytest.approx(
+            paper[1], rel=0.10
+        )
+
+    def test_gtx_ranks_first_on_board(self, estimates):
+        g = {k: v.on_board_gflops for k, v in estimates.items()}
+        assert g["8800 GTX"] > g["8800 GTS"] > g["8800 GT"]
+
+
+class TestTable10WithTransfers:
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_total_time_within_10pct(self, dev, estimates):
+        paper = paper_data.TABLE10[dev.name]["total"][0]
+        assert estimates[dev.name].total_seconds * 1e3 == pytest.approx(
+            paper, rel=0.10
+        )
+
+    def test_transfer_inverts_ranking(self, estimates):
+        # The paper's punchline: the GTX (best on-board) becomes the
+        # slowest card once its PCIe 1.1 link is included.
+        t = {k: v.total_seconds for k, v in estimates.items()}
+        assert t["8800 GTX"] > t["8800 GT"]
+        assert t["8800 GTX"] > t["8800 GTS"]
+
+    def test_transfer_dominates(self, estimates):
+        # "the performance becomes heavily degraded".
+        for e in estimates.values():
+            assert e.h2d_seconds + e.d2h_seconds > e.on_board_seconds
+
+    def test_step_time_lookup_one_based(self, estimates):
+        e = estimates["8800 GTX"]
+        assert e.step_time(1) is e.steps[0]
+        assert e.step_time(5) is e.steps[4]
+        with pytest.raises(IndexError):
+            e.step_time(6)
+
+
+class TestBatch1D:
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_table8_ours_within_10pct(self, dev):
+        t = estimate_batch_1d(dev, 256, 65536)
+        paper = paper_data.TABLE8[dev.name]["ours"]
+        assert t.seconds * 1e3 == pytest.approx(paper[0], rel=0.10)
+        assert t.gflops == pytest.approx(paper[1], rel=0.10)
+
+    def test_gts_fastest(self):
+        times = {
+            dev.name: estimate_batch_1d(dev, 256, 65536).seconds
+            for dev in ALL_GPUS
+        }
+        assert times["8800 GTS"] == min(times.values())
+
+    def test_out_of_place_slightly_slower_or_equal(self):
+        inp = estimate_batch_1d(GEFORCE_8800_GTS, 256, 65536, out_of_place=False)
+        outp = estimate_batch_1d(GEFORCE_8800_GTS, 256, 65536, out_of_place=True)
+        assert outp.seconds >= inp.seconds * 0.98

@@ -1,0 +1,148 @@
+"""Tests for the simulated kernels' functional bodies and specs."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    MULTIROW_REGISTERS,
+    fft_codelet_axis0,
+    multirow_half1,
+    multirow_half2,
+    multirow_step_spec,
+    shared_x_shared_bytes,
+    shared_x_step_spec,
+    shared_x_transform,
+)
+from repro.core.patterns import FiveDimView
+from repro.fft.twiddle import four_step_twiddles
+from repro.gpu.occupancy import occupancy
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+
+class TestFftCodeletAxis0:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal((16, 3, 4)) + 1j * rng.standard_normal((16, 3, 4))
+        np.testing.assert_allclose(
+            fft_codelet_axis0(x), np.fft.fft(x, axis=0), atol=1e-10
+        )
+
+    def test_oversized_factor_falls_back(self, rng):
+        x = rng.standard_normal((32, 4)) + 1j * rng.standard_normal((32, 4))
+        np.testing.assert_allclose(
+            fft_codelet_axis0(x), np.fft.fft(x, axis=0), atol=1e-10
+        )
+
+
+class TestMultirowHalves:
+    def test_two_halves_complete_a_split_transform(self, rng):
+        # half1 then half2 along the split (z2, z1) axes must equal a full
+        # 256-point transform over z = z1 + 16*z2, with the output digit
+        # layout (d2, d3, k1, k2, x) and k = k2 + 16*k1.
+        r1 = r2 = 16
+        w = four_step_twiddles(r1, r2)
+        state5 = rng.standard_normal((r2, r1, 2, 2, 8)) + 1j * rng.standard_normal(
+            (r2, r1, 2, 2, 8)
+        )
+        out = multirow_half2(multirow_half1(state5, w))
+        # C-order flattening of (z2, z1) is exactly z-order.
+        direct = np.fft.fft(state5.reshape(256, 2, 2, 8), axis=0)
+        for k1 in range(r1):
+            for k2 in range(r2):
+                np.testing.assert_allclose(
+                    out[:, :, k1, k2, :], direct[k2 + r2 * k1], atol=1e-9
+                )
+
+    def test_half1_validates_twiddle_shape(self, rng):
+        state = np.zeros((16, 16, 2, 2, 16), complex)
+        with pytest.raises(ValueError):
+            multirow_half1(state, np.zeros((8, 16), complex))
+
+    def test_half1_requires_5d(self):
+        with pytest.raises(ValueError):
+            multirow_half1(np.zeros((16, 16), complex), np.zeros((16, 16)))
+
+    def test_half2_requires_5d(self):
+        with pytest.raises(ValueError):
+            multirow_half2(np.zeros((16, 16), complex))
+
+    def test_outputs_contiguous(self, rng):
+        state = rng.standard_normal((8, 8, 2, 2, 16)) + 0j
+        w = four_step_twiddles(8, 8)
+        assert multirow_half1(state, w).flags.c_contiguous
+        assert multirow_half2(state).flags.c_contiguous
+
+
+class TestSharedXTransform:
+    def test_matches_numpy_last_axis(self, rng):
+        x = rng.standard_normal((4, 4, 256)) + 1j * rng.standard_normal((4, 4, 256))
+        np.testing.assert_allclose(
+            shared_x_transform(x), np.fft.fft(x, axis=-1), rtol=1e-9, atol=1e-8
+        )
+
+    def test_inverse(self, rng):
+        x = rng.standard_normal((2, 64)) + 0j
+        back = shared_x_transform(shared_x_transform(x), inverse=True) / 64
+        np.testing.assert_allclose(back, x, atol=1e-10)
+
+
+class TestMultirowStepSpec:
+    def make(self, with_twiddle=True):
+        view = FiveDimView((256, 16, 16, 16, 16))
+        out = FiveDimView((256, 16, 16, 16, 16))
+        return multirow_step_spec(
+            GEFORCE_8800_GTX, view, out, 2, 0, view.total_bytes,
+            with_twiddle, "test-step",
+        )
+
+    def test_work_items(self):
+        assert self.make().work_items == 256**3 // 16
+
+    def test_twiddle_adds_flops(self):
+        assert self.make(True).mix.flops > self.make(False).mix.flops
+
+    def test_achieves_full_latency_hiding(self):
+        spec = self.make()
+        occ = occupancy(
+            GEFORCE_8800_GTX, spec.threads_per_block, spec.regs_per_thread
+        )
+        assert occ.active_threads >= 128
+
+    def test_unknown_radix_rejected(self):
+        view = FiveDimView((256, 16, 16, 16, 128))
+        with pytest.raises(ValueError):
+            multirow_step_spec(
+                GEFORCE_8800_GTX, view, view, 2, 0, 0, False, "bad"
+            )
+
+
+class TestSharedXStepSpec:
+    def test_shared_allocation_padded(self):
+        # 256 floats in 16 rows of padded stride 17.
+        assert shared_x_shared_bytes(256) == 17 * 16 * 4
+
+    def test_spec_fields(self):
+        spec = shared_x_step_spec(GEFORCE_8800_GTX, 256, 65536)
+        assert spec.work_items == 65536
+        assert spec.shared_bytes_per_block > 0
+        assert spec.total_bytes == 2 * 65536 * 256 * 8
+
+    def test_unpadded_variant_costs_more_issue(self):
+        good = shared_x_step_spec(GEFORCE_8800_GTX, 256, 100, padded=True)
+        bad = shared_x_step_spec(GEFORCE_8800_GTX, 256, 100, padded=False)
+        assert bad.mix.shared_ops == 16 * good.mix.shared_ops
+
+    def test_out_of_place_distinct_bases(self):
+        spec = shared_x_step_spec(
+            GEFORCE_8800_GTX, 256, 100, base_in=0, base_out=1 << 20
+        )
+        assert spec.memory[0].pattern.base != spec.memory[1].pattern.base
+
+    def test_line_size_checked(self):
+        with pytest.raises(ValueError):
+            shared_x_step_spec(GEFORCE_8800_GTX, 8, 100)
+
+    def test_registers_match_paper(self):
+        # Section 3.2: fine-grained threads hold 4 complex values in 8
+        # registers; 16 total with addressing.
+        spec = shared_x_step_spec(GEFORCE_8800_GTX, 256, 100)
+        assert spec.regs_per_thread <= MULTIROW_REGISTERS[16] // 3

@@ -1,0 +1,73 @@
+"""Tests for the multi-GPU slab-decomposed transform."""
+
+import numpy as np
+import pytest
+
+from repro.core.multi_gpu import MultiGpuFFT3D
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n_gpus", [1, 2, 4, 8])
+    def test_matches_fftn(self, n_gpus, rng):
+        x = rng.standard_normal((16, 16, 16)) + 1j * rng.standard_normal(
+            (16, 16, 16)
+        )
+        plan = MultiGpuFFT3D(16, n_gpus, precision="double")
+        np.testing.assert_allclose(
+            plan.execute(x), np.fft.fftn(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_gpu_count_validation(self):
+        with pytest.raises(ValueError):
+            MultiGpuFFT3D(64, 3)
+        with pytest.raises(ValueError):
+            MultiGpuFFT3D(16, 32)
+
+    def test_shape_validation(self, rng):
+        plan = MultiGpuFFT3D(16, 2)
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros((16, 16, 32), np.complex64))
+
+    def test_single_precision(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        plan = MultiGpuFFT3D(16, 2)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        err = np.abs(plan.execute(x) - ref).max() / np.abs(ref).max()
+        assert err < 1e-5
+
+
+@pytest.mark.slow
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return MultiGpuFFT3D(256, 2).scaling_curve((1, 2, 4, 8))
+
+    def test_two_gpus_lose_on_pcie11(self, curve):
+        # The multi-card version of the paper's transfer finding: the
+        # all-to-all over PCIe 1.1 more than eats the compute halving.
+        assert curve[2].total_seconds > curve[1].total_seconds
+
+    def test_exchange_dominates_beyond_one(self, curve):
+        for g in (2, 4, 8):
+            assert curve[g].exchange_fraction > 0.5
+
+    def test_compute_phases_scale(self, curve):
+        assert curve[4].xy_seconds == pytest.approx(
+            curve[1].xy_seconds / 4, rel=0.01
+        )
+
+    def test_single_gpu_matches_estimator(self, curve):
+        from repro.core.estimator import estimate_fft3d
+
+        single = estimate_fft3d(GEFORCE_8800_GTX, 256)
+        assert curve[1].total_seconds == pytest.approx(
+            single.on_board_seconds, rel=0.01
+        )
+
+    def test_faster_link_restores_scaling(self):
+        # On the PCIe 2.0 G92 cards the 8-GPU point wins clearly.
+        curve = MultiGpuFFT3D(256, 2, device=GEFORCE_8800_GT).scaling_curve(
+            (1, 8)
+        )
+        assert curve[8].total_seconds < curve[1].total_seconds

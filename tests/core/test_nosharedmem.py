@@ -1,0 +1,66 @@
+"""Tests for the Table 9 shared-memory ablation."""
+
+import pytest
+
+from repro.core.nosharedmem import estimate_x_axis_variants
+from repro.gpu.specs import GEFORCE_8800_GTS
+from repro.harness import paper_data
+
+
+@pytest.fixture(scope="module")
+def variants(gts_memsystem_module=None):
+    from repro.gpu.memsystem import MemorySystem
+
+    return estimate_x_axis_variants(
+        GEFORCE_8800_GTS, memsystem=MemorySystem(GEFORCE_8800_GTS)
+    )
+
+
+class TestTable9Shape:
+    def test_three_variants(self, variants):
+        assert set(variants) == {"shared", "texture", "non_coalesced"}
+
+    def test_ordering_shared_fastest(self, variants):
+        assert variants["shared"].total < variants["texture"].total
+        assert variants["texture"].total < variants["non_coalesced"].total
+
+    def test_shared_advantage_over_texture_25pct(self, variants):
+        # Section 4.3: "overall we observe more than 25% performance
+        # advantage".
+        assert variants["texture"].total > 1.2 * variants["shared"].total
+
+    def test_yz_time_identical_across_variants(self, variants):
+        yz = {v.yz_axes for v in variants.values()}
+        assert len(yz) == 1
+
+    def test_shared_has_single_x_pass(self, variants):
+        assert variants["shared"].x_axis_second == 0.0
+
+    def test_two_pass_variants_have_two_passes(self, variants):
+        for key in ("texture", "non_coalesced"):
+            assert variants[key].x_axis_first > 0
+            assert variants[key].x_axis_second > 0
+
+    def test_second_pass_slower_than_first(self, variants):
+        # "the second step takes longer than the first step".
+        for key in ("texture", "non_coalesced"):
+            assert variants[key].x_axis_second > variants[key].x_axis_first
+
+
+class TestTable9Values:
+    def test_totals_within_15pct(self, variants):
+        for key, v in variants.items():
+            paper = paper_data.TABLE9_GTS[key]["total"]
+            assert v.total * 1e3 == pytest.approx(paper, rel=0.15), key
+
+    def test_texture_second_pass_near_843(self, variants):
+        paper = paper_data.TABLE9_GTS["texture"]["x_axis"][1]
+        assert variants["texture"].x_axis_second * 1e3 == pytest.approx(
+            paper, rel=0.15
+        )
+
+    def test_non_coalesced_second_pass_near_143(self, variants):
+        paper = paper_data.TABLE9_GTS["non_coalesced"]["x_axis"][1]
+        assert variants["non_coalesced"].x_axis_second * 1e3 == pytest.approx(
+            paper, rel=0.15
+        )

@@ -1,0 +1,109 @@
+"""Tests for the out-of-core transform (Section 3.3, Table 12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.out_of_core import OutOfCorePlan, estimate_out_of_core
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GT, GEFORCE_8800_GTX
+from repro.harness import paper_data
+
+
+class TestSlabSelection:
+    def test_512cubed_needs_8_slabs_on_512mb(self):
+        plan = OutOfCorePlan(512, GEFORCE_8800_GT)
+        assert plan.n_slabs == 8
+        assert plan.slab_shape == (64, 512, 512)
+
+    def test_256cubed_fits_in_core(self):
+        plan = OutOfCorePlan(256, GEFORCE_8800_GT)
+        assert plan.fits_in_core
+
+    def test_explicit_slab_count(self):
+        plan = OutOfCorePlan(512, GEFORCE_8800_GTX, n_slabs=16)
+        assert plan.slab_shape == (32, 512, 512)
+
+    def test_slab_count_must_divide(self):
+        with pytest.raises(ValueError):
+            OutOfCorePlan(512, GEFORCE_8800_GT, n_slabs=3)
+
+    def test_slab_count_must_be_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            OutOfCorePlan((96, 128, 128), GEFORCE_8800_GT, n_slabs=3)
+
+    def test_large_slab_counts_supported(self, rng):
+        # Slab counts beyond the straight-line codelets (tiny-card case).
+        x = rng.standard_normal((64, 16, 16)) + 0j
+        plan = OutOfCorePlan((64, 16, 16), GEFORCE_8800_GT, n_slabs=32,
+                             precision="double")
+        np.testing.assert_allclose(
+            plan.execute(x), np.fft.fftn(x), rtol=1e-9, atol=1e-8
+        )
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("n_slabs", [2, 4, 8])
+    def test_matches_fftn_with_forced_slabs(self, n_slabs, rng):
+        shape = (32, 16, 32)
+        x = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+        plan = OutOfCorePlan(shape, GEFORCE_8800_GT, n_slabs=n_slabs,
+                             precision="double")
+        np.testing.assert_allclose(
+            plan.execute(x), np.fft.fftn(x), rtol=1e-9, atol=1e-8
+        )
+
+    def test_single_precision(self, rng):
+        shape = (16, 16, 16)
+        x = (rng.standard_normal(shape) + 0j).astype(np.complex64)
+        plan = OutOfCorePlan(shape, GEFORCE_8800_GT, n_slabs=4)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        err = np.abs(plan.execute(x) - ref).max() / np.abs(ref).max()
+        assert err < 1e-5
+
+    def test_in_core_path_delegates(self, rng):
+        shape = (16, 16, 16)
+        x = rng.standard_normal(shape) + 0j
+        plan = OutOfCorePlan(shape, GEFORCE_8800_GTX, precision="double")
+        np.testing.assert_allclose(plan.execute(x), np.fft.fftn(x), atol=1e-9)
+
+    def test_shape_validated(self):
+        plan = OutOfCorePlan((16, 16, 16), GEFORCE_8800_GT, n_slabs=2)
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros((16, 16, 32), np.complex64))
+
+
+@pytest.mark.slow
+class TestTable12:
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        return {dev.name: estimate_out_of_core(dev, 512) for dev in ALL_GPUS}
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_total_time_within_10pct(self, dev, estimates):
+        paper = paper_data.TABLE12[dev.name]["total"]
+        assert estimates[dev.name].total_seconds == pytest.approx(paper, rel=0.10)
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_gflops_within_10pct(self, dev, estimates):
+        paper = paper_data.TABLE12[dev.name]["gflops"]
+        assert estimates[dev.name].total_gflops == pytest.approx(paper, rel=0.10)
+
+    def test_transfers_dominate(self, estimates):
+        # "the performance is greatly restricted by its transfer speed".
+        for e in estimates.values():
+            assert e.transfer_seconds > 0.5 * e.total_seconds
+
+    def test_still_beats_fftw(self, estimates):
+        # Section 4.6: "up to 50% faster than FFTW on a quad-core CPU".
+        from repro.baselines.fftw_cpu import estimate_fftw
+
+        fftw = estimate_fftw(n=512).seconds
+        assert estimates["8800 GTS"].total_seconds < fftw
+
+    def test_gtx_slowest_due_to_pcie(self, estimates):
+        totals = {k: v.total_seconds for k, v in estimates.items()}
+        assert totals["8800 GTX"] == max(totals.values())
+
+    def test_in_core_estimate_rejected(self):
+        plan = OutOfCorePlan(256, GEFORCE_8800_GTX)
+        with pytest.raises(ValueError, match="fits"):
+            plan.estimate()

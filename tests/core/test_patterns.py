@@ -1,0 +1,124 @@
+"""Tests for the access-pattern taxonomy (Table 2) and pair bandwidths."""
+
+import pytest
+
+from repro.core.patterns import (
+    PATTERNS,
+    FiveDimView,
+    Pattern,
+    pattern_of_star_dim,
+    pattern_pair_bandwidth,
+)
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+
+class TestPatternEnum:
+    def test_star_dims_match_table2(self):
+        assert Pattern.A.star_dim == 2
+        assert Pattern.B.star_dim == 3
+        assert Pattern.C.star_dim == 4
+        assert Pattern.D.star_dim == 5
+
+    def test_roundtrip(self):
+        for p in PATTERNS:
+            assert pattern_of_star_dim(p.star_dim) is p
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            pattern_of_star_dim(1)
+
+
+class TestFiveDimView:
+    def test_strides_of_paper_view(self):
+        # V(256,16,16,16,16) complex64: 8 B, 2 KB, 32 KB, 512 KB, 8 MB.
+        v = FiveDimView((256, 16, 16, 16, 16))
+        assert v.strides == (8, 2048, 32768, 524288, 8388608)
+
+    def test_total_bytes_is_128mb(self):
+        v = FiveDimView((256, 16, 16, 16, 16))
+        assert v.total_bytes == 256**3 * 8
+
+    def test_x_chunks(self):
+        assert FiveDimView((256, 16, 16, 16, 16)).x_chunks() == 16
+
+    def test_non_power_extent_rejected(self):
+        with pytest.raises(ValueError):
+            FiveDimView((256, 12, 16, 16, 16))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            FiveDimView((256, 16, 16))
+
+
+class TestStarBurst:
+    def test_burst_geometry_pattern_a(self):
+        v = FiveDimView((256, 16, 16, 16, 16))
+        p = v.star_burst(2)
+        assert p.burst_len == 16
+        assert p.burst_stride == 2048
+
+    def test_burst_geometry_pattern_d(self):
+        v = FiveDimView((256, 16, 16, 16, 16))
+        p = v.star_burst(5)
+        assert p.burst_stride == 8388608
+
+    def test_scan_space_excludes_star(self):
+        v = FiveDimView((256, 16, 16, 16, 16))
+        p = v.star_burst(3)
+        # x-chunks plus the three non-star 16s.
+        assert p.scan_dims == (16, 16, 16, 16)
+        assert 32768 not in p.scan_strides
+
+    def test_total_bytes_covers_array(self):
+        v = FiveDimView((256, 16, 16, 16, 16))
+        for dim in range(2, 6):
+            assert v.star_burst(dim).total_bytes == v.total_bytes
+
+    def test_invalid_star_dim(self):
+        v = FiveDimView((256, 16, 16, 16, 16))
+        with pytest.raises(ValueError):
+            v.star_burst(1)
+
+
+@pytest.mark.slow
+class TestPairBandwidths:
+    """Shape assertions on the Table 3/4 reproduction (GTX)."""
+
+    @pytest.fixture(scope="class")
+    def table(self, request):
+        from repro.gpu.memsystem import MemorySystem
+
+        ms = MemorySystem(GEFORCE_8800_GTX)
+        return {
+            (pi, po): pattern_pair_bandwidth(
+                GEFORCE_8800_GTX, pi, po, blocks=48, memsystem=ms
+            )
+            for pi in PATTERNS
+            for po in PATTERNS
+        }
+
+    def test_good_pairs_near_single_stream(self, table, gtx_memsystem):
+        seq = gtx_memsystem.sequential_bandwidth()
+        for pi in PATTERNS:
+            for po in PATTERNS:
+                if pi in (Pattern.A, Pattern.B) or po in (Pattern.A, Pattern.B):
+                    assert table[(pi, po)] > 0.85 * seq, (pi, po)
+
+    def test_bad_pairs_collapse(self, table, gtx_memsystem):
+        seq = gtx_memsystem.sequential_bandwidth()
+        for pi in (Pattern.C, Pattern.D):
+            for po in (Pattern.C, Pattern.D):
+                assert table[(pi, po)] < 0.78 * seq, (pi, po)
+
+    def test_cc_matches_paper_value(self, table):
+        # Paper Table 4: C/C = 51.3 GB/s.
+        assert table[(Pattern.C, Pattern.C)] / 1e9 == pytest.approx(51.3, rel=0.1)
+
+    def test_aa_matches_paper_value(self, table):
+        # Paper Table 4: A/A = 71.5 GB/s.
+        assert table[(Pattern.A, Pattern.A)] / 1e9 == pytest.approx(71.5, rel=0.05)
+
+    def test_worst_cell_is_a_cd_pair(self, table):
+        worst = min(table, key=table.get)
+        assert worst[0] in (Pattern.C, Pattern.D)
+        assert worst[1] in (Pattern.C, Pattern.D)

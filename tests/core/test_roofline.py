@@ -1,0 +1,65 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.core.roofline import kernel_rooflines, ridge_intensity
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTS, GEFORCE_8800_GTX
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def points():
+    return kernel_rooflines(
+        GEFORCE_8800_GTX, memsystem=MemorySystem(GEFORCE_8800_GTX)
+    )
+
+
+class TestRidge:
+    def test_gtx_ridge_near_5_flops_per_byte(self):
+        # 345.6 GFLOPS / 71.7 GB/s sustained.
+        assert ridge_intensity(GEFORCE_8800_GTX) == pytest.approx(4.82, rel=0.03)
+
+    def test_gts_ridge_higher(self):
+        # More FLOPs over less bandwidth -> higher machine balance.
+        assert ridge_intensity(GEFORCE_8800_GTS) > ridge_intensity(
+            GEFORCE_8800_GTX
+        )
+
+
+class TestKernelPlacement:
+    def test_every_kernel_left_of_ridge(self, points):
+        # The paper's premise: the FFT is bandwidth-intensive everywhere.
+        ridge = ridge_intensity(GEFORCE_8800_GTX)
+        for p in points:
+            assert p.intensity < ridge, p.kernel
+
+    def test_all_memory_bound_on_gtx(self, points):
+        for p in points:
+            assert p.bound == "memory", p.kernel
+
+    def test_achieved_below_roof(self, points):
+        for p in points:
+            assert p.achieved_gflops <= p.roof_gflops * 1.001, p.kernel
+
+    def test_multirow_steps_near_their_roof(self, points):
+        # Steps 1-4 realize most of their bandwidth roof — the design
+        # working as intended.
+        for p in points[:4]:
+            assert p.roof_fraction > 0.75, p.kernel
+
+    def test_step5_highest_intensity(self, points):
+        intensities = [p.intensity for p in points[:5]]
+        assert intensities[4] == max(intensities)
+
+    def test_whole_transform_point(self, points):
+        whole = points[-1]
+        assert "whole" in whole.kernel
+        # 15 N^3 log N flops over 10 N^3 * 8 bytes = 1.5 flops/byte.
+        assert whole.intensity == pytest.approx(1.5, rel=0.01)
+        assert whole.roof_fraction > 0.7
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_six_points_everywhere(self, dev):
+        assert len(kernel_rooflines(dev, 64)) == 6

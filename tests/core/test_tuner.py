@@ -1,0 +1,66 @@
+"""Tests for the launch-configuration autotuner."""
+
+import pytest
+
+from repro.core.tuner import tune_multirow_step
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result():
+    return tune_multirow_step(
+        GEFORCE_8800_GTX, memsystem=MemorySystem(GEFORCE_8800_GTX)
+    )
+
+
+class TestTunerFindsPapersChoice:
+    def test_best_radix_is_16(self, result):
+        # Section 3.1's conclusion, recovered by search.
+        assert result.best.radix == 16
+
+    def test_paper_config_ties_with_best(self, result):
+        # 64 threads x 52 registers is within a hair of the optimum.
+        paper = next(
+            c for c in result.candidates
+            if c.radix == 16 and c.threads_per_block == 64
+        )
+        assert paper.axis_seconds <= result.best.axis_seconds * 1.02
+
+    def test_radix16_keeps_128_threads_resident(self, result):
+        c = result.by_radix(16)
+        assert c.active_threads_per_sm >= 128
+
+    def test_radix64_occupancy_collapses(self, result):
+        c = result.by_radix(64)
+        assert c.active_threads_per_sm < 128
+        assert c.axis_seconds > 2 * result.best.axis_seconds
+
+    def test_small_radix_pays_extra_passes(self, result):
+        # Radix 4 needs 4 passes; even at perfect bandwidth it loses.
+        c4 = result.by_radix(4)
+        assert c4.passes == 4
+        assert c4.axis_seconds > 1.5 * result.best.axis_seconds
+
+    def test_radix32_worse_than_16(self, result):
+        assert result.by_radix(32).axis_seconds > result.best.axis_seconds
+
+
+class TestTunerMechanics:
+    def test_all_candidates_feasible(self, result):
+        for c in result.candidates:
+            assert c.active_threads_per_sm > 0
+            assert c.seconds_per_transform_pass > 0
+
+    def test_by_radix_unknown(self, result):
+        with pytest.raises(KeyError):
+            result.by_radix(128)
+
+    def test_restricted_search(self):
+        res = tune_multirow_step(
+            GEFORCE_8800_GTX, radices=(8,), thread_options=(64,)
+        )
+        assert res.best.radix == 8
+        assert len(res.candidates) == 1

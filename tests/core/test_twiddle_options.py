@@ -1,0 +1,77 @@
+"""Tests for the twiddle-storage option model (Section 3.2)."""
+
+import pytest
+
+from repro.core.twiddle_options import (
+    TWIDDLE_OPTIONS,
+    TwiddleOption,
+    twiddle_cost,
+)
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+
+class TestCostTable:
+    def test_four_options(self):
+        assert len(TWIDDLE_OPTIONS) == 4
+
+    def test_registers_fastest_per_use(self):
+        costs = {
+            opt: twiddle_cost(opt, GEFORCE_8800_GTX).issue_slots_per_use
+            for opt in TWIDDLE_OPTIONS
+        }
+        assert costs[TwiddleOption.REGISTERS] == min(costs.values())
+
+    def test_registers_only_option_using_registers(self):
+        for opt in TWIDDLE_OPTIONS:
+            c = twiddle_cost(opt, GEFORCE_8800_GTX)
+            if opt is TwiddleOption.REGISTERS:
+                assert c.regs_per_value > 0
+            else:
+                assert c.regs_per_value == 0
+
+    def test_texture_cheaper_than_constant_and_compute(self):
+        # The paper's rationale for picking texture in step 5.
+        tex = twiddle_cost(TwiddleOption.TEXTURE, GEFORCE_8800_GTX)
+        const = twiddle_cost(TwiddleOption.CONSTANT, GEFORCE_8800_GTX)
+        comp = twiddle_cost(TwiddleOption.COMPUTE, GEFORCE_8800_GTX)
+        assert tex.issue_slots_per_use < const.issue_slots_per_use
+        assert tex.issue_slots_per_use < comp.issue_slots_per_use
+
+    def test_extra_registers_counts_complex_values(self):
+        c = twiddle_cost(TwiddleOption.REGISTERS, GEFORCE_8800_GTX)
+        assert c.extra_registers(8) == 16  # 2 registers per complex value
+
+    def test_extra_issue_linear(self):
+        c = twiddle_cost(TwiddleOption.COMPUTE, GEFORCE_8800_GTX)
+        assert c.extra_issue(10) == 10 * c.issue_slots_per_use
+
+    def test_negative_rejected(self):
+        c = twiddle_cost(TwiddleOption.TEXTURE, GEFORCE_8800_GTX)
+        with pytest.raises(ValueError):
+            c.extra_registers(-1)
+        with pytest.raises(ValueError):
+            c.extra_issue(-1)
+
+
+class TestPapersChoices:
+    def test_steps_1_to_4_prefer_registers(self):
+        """With 52 of 64 register budget used, 12 free registers hold the
+        16-point kernel's twiddles; registers win on issue slots."""
+        reg = twiddle_cost(TwiddleOption.REGISTERS, GEFORCE_8800_GTX)
+        # 6 distinct twiddle values fit the spare registers.
+        assert reg.extra_registers(6) <= 12
+        assert reg.issue_slots_per_use == 0.0
+
+    def test_step5_prefers_texture(self):
+        """The 256-point kernel cannot afford 2*64 twiddle registers per
+        thread (would kill occupancy); texture is the cheapest
+        register-free option."""
+        reg = twiddle_cost(TwiddleOption.REGISTERS, GEFORCE_8800_GTX)
+        assert reg.extra_registers(64) > 64  # unaffordable at 16 regs/thread
+        register_free = [
+            twiddle_cost(o, GEFORCE_8800_GTX)
+            for o in TWIDDLE_OPTIONS
+            if twiddle_cost(o, GEFORCE_8800_GTX).regs_per_value == 0
+        ]
+        best = min(register_free, key=lambda c: c.issue_slots_per_use)
+        assert best.option is TwiddleOption.TEXTURE

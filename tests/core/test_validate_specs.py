@@ -1,0 +1,49 @@
+"""Tests for the spec-vs-observation cross-validation."""
+
+import pytest
+
+from repro.core.validate_specs import (
+    validate_multirow_spec,
+    validate_shared_spec,
+)
+
+
+class TestMultirowValidation:
+    @pytest.fixture(scope="class")
+    def v(self):
+        return validate_multirow_spec()
+
+    def test_transactions_match_exactly(self, v):
+        assert v.declared_transactions == v.observed_transactions
+
+    def test_fully_coalesced(self, v):
+        assert v.observed_coalesced_fraction == 1.0
+
+    def test_math_exact(self, v):
+        assert v.max_error < 1e-10
+
+    def test_consistent_flag(self, v):
+        assert v.consistent
+
+    def test_other_geometry(self):
+        v = validate_multirow_spec(shape=(8, 8, 2, 2, 32))
+        assert v.consistent
+
+
+class TestSharedValidation:
+    @pytest.fixture(scope="class")
+    def v(self):
+        return validate_shared_spec()
+
+    def test_transactions_match_exactly(self, v):
+        assert v.declared_transactions == v.observed_transactions
+
+    def test_fully_coalesced(self, v):
+        assert v.observed_coalesced_fraction == 1.0
+
+    def test_math_matches_numpy(self, v):
+        assert v.max_error < 1e-10
+
+    def test_smaller_tailoring(self):
+        v = validate_shared_spec(batch=3, n=64)
+        assert v.consistent

@@ -1,0 +1,80 @@
+"""Tests for the arbitrary-size Bluestein transform."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fft.bluestein import bluestein_fft, fft_any
+
+
+class TestBluestein:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 13, 17, 31, 97, 127])
+    def test_prime_sizes_match_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            bluestein_fft(x), np.fft.fft(x), rtol=1e-10, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("n", [6, 12, 20, 36, 100, 360])
+    def test_composite_sizes(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            bluestein_fft(x), np.fft.fft(x), rtol=1e-9, atol=1e-8
+        )
+
+    def test_power_of_two_consistent_with_fast_path(self, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(
+            bluestein_fft(x), fft_any(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((4, 7)) + 1j * rng.standard_normal((4, 7))
+        np.testing.assert_allclose(
+            bluestein_fft(x), np.fft.fft(x, axis=-1), atol=1e-10
+        )
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.standard_normal(13) + 1j * rng.standard_normal(13)
+        back = bluestein_fft(bluestein_fft(x), inverse=True) / 13
+        np.testing.assert_allclose(back, x, atol=1e-10)
+
+    def test_size_one(self):
+        x = np.array([3.0 + 1j])
+        np.testing.assert_allclose(bluestein_fft(x), x)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bluestein_fft(np.zeros(0, complex))
+
+    def test_large_size_accuracy(self, rng):
+        # The mod-2n chirp reduction keeps phase error tiny at size 999.
+        x = rng.standard_normal(999) + 1j * rng.standard_normal(999)
+        err = np.abs(bluestein_fft(x) - np.fft.fft(x)).max()
+        assert err / np.abs(np.fft.fft(x)).max() < 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 64), st.integers(0, 100))
+    def test_parseval_any_size(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        out = bluestein_fft(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(out) ** 2), n * np.sum(np.abs(x) ** 2), rtol=1e-8
+        )
+
+
+class TestFftAny:
+    def test_dispatches_pow2(self, rng):
+        x = rng.standard_normal(128) + 0j
+        np.testing.assert_allclose(fft_any(x), np.fft.fft(x), atol=1e-9)
+
+    def test_dispatches_odd(self, rng):
+        x = rng.standard_normal(15) + 0j
+        np.testing.assert_allclose(fft_any(x), np.fft.fft(x), atol=1e-10)
+
+    def test_inverse(self, rng):
+        x = rng.standard_normal(21) + 1j * rng.standard_normal(21)
+        np.testing.assert_allclose(
+            fft_any(x, inverse=True) / 21, np.fft.ifft(x), atol=1e-11
+        )

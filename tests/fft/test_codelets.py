@@ -1,0 +1,114 @@
+"""Tests for the small-point FFT codelets against the naive DFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fft.codelets import CODELET_SIZES, codelet_fft, fft2, fft4, fft8, fft16
+from repro.fft.reference import dft_reference
+
+_CODELETS = {2: fft2, 4: fft4, 8: fft8, 16: fft16}
+
+
+@pytest.mark.parametrize("n", CODELET_SIZES)
+class TestCodeletsAgainstReference:
+    def test_random_input(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            _CODELETS[n](x), dft_reference(x), atol=1e-12
+        )
+
+    def test_impulse(self, n, rng):
+        x = np.zeros(n, complex)
+        x[1] = 1.0
+        expected = np.exp(-2j * np.pi * np.arange(n) / n)
+        np.testing.assert_allclose(_CODELETS[n](x), expected, atol=1e-13)
+
+    def test_constant_input_concentrates_dc(self, n, rng):
+        x = np.ones(n, complex)
+        out = _CODELETS[n](x)
+        assert out[0] == pytest.approx(n)
+        np.testing.assert_allclose(out[1:], 0.0, atol=1e-12)
+
+    def test_batched(self, n, rng):
+        x = rng.standard_normal((3, 5, n)) + 1j * rng.standard_normal((3, 5, n))
+        np.testing.assert_allclose(
+            _CODELETS[n](x), dft_reference(x), atol=1e-12
+        )
+
+    def test_linearity(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        lhs = _CODELETS[n](2.0 * x + 3.0 * y)
+        rhs = 2.0 * _CODELETS[n](x) + 3.0 * _CODELETS[n](y)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_wrong_size_rejected(self, n, rng):
+        with pytest.raises(ValueError):
+            _CODELETS[n](np.zeros(n + 1, complex))
+
+    def test_single_precision_accuracy(self, n, rng):
+        x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(
+            np.complex64
+        )
+        out = _CODELETS[n](x)
+        assert out.dtype == np.complex64
+        np.testing.assert_allclose(
+            out, dft_reference(x), rtol=1e-5, atol=1e-5
+        )
+
+
+class TestCodeletDispatch:
+    def test_dispatches_by_size(self, rng):
+        for n in CODELET_SIZES:
+            x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            np.testing.assert_allclose(
+                codelet_fft(x), dft_reference(x), atol=1e-12
+            )
+
+    def test_inverse_via_conjugation(self, rng):
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        back = codelet_fft(codelet_fft(x), inverse=True) / 16
+        np.testing.assert_allclose(back, x, atol=1e-12)
+
+    def test_inverse_matches_numpy(self, rng):
+        x = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        np.testing.assert_allclose(
+            codelet_fft(x, inverse=True) / 8, np.fft.ifft(x), atol=1e-13
+        )
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="no codelet"):
+            codelet_fft(np.zeros(32, complex))
+
+
+class TestCodeletProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            np.complex128,
+            (16,),
+            elements=st.complex_numbers(
+                max_magnitude=1e6, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    def test_parseval_fft16(self, x):
+        out = fft16(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(out) ** 2),
+            16 * np.sum(np.abs(x) ** 2),
+            rtol=1e-9,
+            atol=1e-6,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 3))
+    def test_shift_theorem_fft16(self, shift, _seed):
+        rng = np.random.default_rng(_seed)
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        rolled = np.roll(x, shift)
+        k = np.arange(16)
+        phase = np.exp(-2j * np.pi * k * shift / 16)
+        np.testing.assert_allclose(fft16(rolled), fft16(x) * phase, atol=1e-10)

@@ -1,0 +1,108 @@
+"""Tests for the recursive four-step decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fft.cooley_tukey import fft_pow2, four_step_fft, split_radices
+
+
+class TestSplitRadices:
+    def test_256_is_16_by_16(self):
+        assert split_radices(256) == (16, 16)
+
+    def test_128_is_16_by_8(self):
+        assert split_radices(128) == (16, 8)
+
+    def test_64_is_16_by_4(self):
+        # Largest codelet first, cofactor still power of two.
+        r1, r2 = split_radices(64)
+        assert r1 * r2 == 64
+        assert r1 == 16
+
+    def test_codelet_sizes_rejected(self):
+        with pytest.raises(ValueError, match="codelet"):
+            split_radices(16)
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            split_radices(48)
+
+
+class TestFourStepFft:
+    @pytest.mark.parametrize("r1,r2", [(16, 16), (16, 8), (8, 8), (4, 2)])
+    def test_matches_numpy(self, r1, r2, rng):
+        n = r1 * r2
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            four_step_fft(x, r1, r2), np.fft.fft(x), rtol=1e-10, atol=1e-9
+        )
+
+    def test_factor_order_does_not_matter(self, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        np.testing.assert_allclose(
+            four_step_fft(x, 16, 8), four_step_fft(x, 8, 16), atol=1e-10
+        )
+
+    def test_wrong_factorization_rejected(self, rng):
+        with pytest.raises(ValueError):
+            four_step_fft(np.zeros(64, complex), 16, 8)
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((5, 256)) + 1j * rng.standard_normal((5, 256))
+        np.testing.assert_allclose(
+            four_step_fft(x, 16, 16), np.fft.fft(x, axis=-1), rtol=1e-9, atol=1e-8
+        )
+
+    def test_inverse(self, rng):
+        x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+        back = four_step_fft(four_step_fft(x, 16, 16), 16, 16, inverse=True) / 256
+        np.testing.assert_allclose(back, x, atol=1e-10)
+
+
+class TestFftPow2:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096])
+    def test_all_power_of_two_sizes(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            fft_pow2(x), np.fft.fft(x), rtol=1e-9, atol=1e-8
+        )
+
+    def test_matches_stockham_engine(self, rng):
+        from repro.fft.stockham import stockham_fft
+
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        np.testing.assert_allclose(fft_pow2(x), stockham_fft(x), atol=1e-9)
+
+    def test_inverse_matches_numpy(self, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        np.testing.assert_allclose(
+            fft_pow2(x, inverse=True) / 128, np.fft.ifft(x), atol=1e-12
+        )
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            fft_pow2(np.zeros(24, complex))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500), st.sampled_from([32, 256, 2048]))
+    def test_parseval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        out = fft_pow2(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(out) ** 2), n * np.sum(np.abs(x) ** 2), rtol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500))
+    def test_convolution_theorem(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 64
+        a = rng.standard_normal(n)
+        b = rng.standard_normal(n)
+        circ = np.real(fft_pow2(fft_pow2(a + 0j) * fft_pow2(b + 0j), inverse=True)) / n
+        direct = np.array(
+            [sum(a[j] * b[(t - j) % n] for j in range(n)) for t in range(n)]
+        )
+        np.testing.assert_allclose(circ, direct, atol=1e-9)

@@ -1,0 +1,80 @@
+"""Tests for the chirp-z transform and zoom FFT."""
+
+import numpy as np
+import pytest
+
+from repro.fft.czt import czt, zoom_fft
+
+
+def direct_dft_at(x, freqs):
+    n = len(x)
+    t = np.arange(n)
+    return np.array([np.sum(x * np.exp(-2j * np.pi * f * t)) for f in freqs])
+
+
+class TestCzt:
+    @pytest.mark.parametrize("n", [5, 16, 37, 64, 100])
+    def test_defaults_reduce_to_dft(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(czt(x), np.fft.fft(x), rtol=1e-9, atol=1e-9)
+
+    def test_m_shorter_than_n(self, rng):
+        x = rng.standard_normal(64) + 0j
+        out = czt(x, m=16, w=np.exp(-2j * np.pi / 64))
+        np.testing.assert_allclose(out, np.fft.fft(x)[:16], atol=1e-10)
+
+    def test_m_longer_than_n_interpolates(self, rng):
+        # CZT with finer spacing == zero-padded FFT samples.
+        x = rng.standard_normal(16) + 0j
+        out = czt(x, m=32, w=np.exp(-2j * np.pi / 32))
+        padded = np.fft.fft(np.concatenate([x, np.zeros(16)]))
+        np.testing.assert_allclose(out, padded, atol=1e-10)
+
+    def test_offset_start_point(self, rng):
+        x = rng.standard_normal(32) + 0j
+        f0 = 0.1
+        out = czt(x, m=8, w=np.exp(-2j * np.pi * 0.01),
+                  a=np.exp(2j * np.pi * f0))
+        freqs = f0 + 0.01 * np.arange(8)
+        np.testing.assert_allclose(out, direct_dft_at(x, freqs), atol=1e-9)
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((3, 20)) + 0j
+        out = czt(x)
+        for i in range(3):
+            np.testing.assert_allclose(out[i], np.fft.fft(x[i]), atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            czt(np.zeros(0, complex))
+        with pytest.raises(ValueError):
+            czt(np.zeros(4, complex), m=0)
+
+
+class TestZoomFft:
+    def test_localizes_off_bin_tone_finely(self, rng):
+        # Zoom refines *sampling*: an off-bin tone's peak localizes far
+        # beyond the plain FFT's 1/n bin spacing.
+        n = 256
+        t = np.arange(n)
+        f0 = 0.3017  # between plain-FFT bins
+        sig = np.exp(2j * np.pi * f0 * t)
+        m = 512
+        band = zoom_fft(sig, 0.295, 0.308, m)
+        freqs = 0.295 + (0.308 - 0.295) * np.arange(m) / m
+        peak = freqs[np.argmax(np.abs(band))]
+        assert abs(peak - f0) < (0.308 - 0.295) / m + 1e-9
+        assert abs(peak - f0) < (1 / n) / 10  # 10x finer than a bin
+
+    def test_matches_direct_evaluation(self, rng):
+        x = rng.standard_normal(64) + 0j
+        band = zoom_fft(x, 0.2, 0.3, 32)
+        freqs = 0.2 + 0.1 * np.arange(32) / 32
+        np.testing.assert_allclose(band, direct_dft_at(x, freqs), atol=1e-9)
+
+    def test_validation(self, rng):
+        x = np.zeros(16, complex)
+        with pytest.raises(ValueError):
+            zoom_fft(x, 0.5, 0.4, 8)
+        with pytest.raises(ValueError):
+            zoom_fft(x, 0.1, 0.2, 0)

@@ -1,0 +1,95 @@
+"""dtype, layout and aliasing behavior of the transform entry points.
+
+An HPC library's silent failure modes live here: strided views, Fortran
+order, float32 inputs, in-place aliasing.  Each case either works
+correctly or fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.five_step import FiveStepPlan
+from repro.fft import fft, fft3d
+from repro.fft.plan import Plan1D, PlanND
+
+
+class TestStridedInputs:
+    def test_non_contiguous_view_handled(self, rng):
+        big = rng.standard_normal((8, 64)) + 1j * rng.standard_normal((8, 64))
+        view = big[:, ::2]  # stride-2 view, length 32
+        np.testing.assert_allclose(
+            fft(view), np.fft.fft(view), rtol=1e-10, atol=1e-10
+        )
+
+    def test_fortran_order_3d(self, rng):
+        x = np.asfortranarray(
+            rng.standard_normal((8, 16, 8)) + 1j * rng.standard_normal((8, 16, 8))
+        )
+        np.testing.assert_allclose(fft3d(x), np.fft.fftn(x), rtol=1e-9, atol=1e-9)
+
+    def test_transposed_view(self, rng):
+        x = (rng.standard_normal((16, 8)) + 0j).T  # (8, 16) view
+        np.testing.assert_allclose(
+            fft(x, axis=0), np.fft.fft(x, axis=0), atol=1e-10
+        )
+
+
+class TestDtypes:
+    def test_float32_input_single_path(self, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        out = Plan1D(64, precision="single").execute(x)
+        assert out.dtype == np.complex64
+
+    def test_int_input_promoted(self):
+        x = np.arange(16)
+        out = fft(x)
+        assert out.dtype == np.complex128
+        np.testing.assert_allclose(out, np.fft.fft(x), atol=1e-11)
+
+    def test_plan_casts_between_precisions(self, rng):
+        x = rng.standard_normal(32).astype(np.complex64)
+        out = Plan1D(32, precision="double").execute(x)
+        assert out.dtype == np.complex128
+
+    def test_five_step_single_dtype_stable(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        out = FiveStepPlan((16, 16, 16)).execute(x)
+        assert out.dtype == np.complex64
+
+
+class TestAliasingSafety:
+    def test_input_never_mutated_by_plans(self, rng):
+        x = rng.standard_normal((8, 8, 16)) + 1j * rng.standard_normal((8, 8, 16))
+        copy = x.copy()
+        PlanND((8, 8, 16)).execute(x)
+        FiveStepPlan((8, 8, 16), precision="double").execute(x)
+        np.testing.assert_array_equal(x, copy)
+
+    def test_output_is_fresh_array(self, rng):
+        x = rng.standard_normal(16) + 0j
+        out = fft(x)
+        assert out is not x
+        assert not np.shares_memory(out, x)
+
+
+class TestScaleExtremes:
+    def test_tiny_values_no_underflow_blowup(self):
+        x = np.full(16, 1e-300 + 0j)
+        out = fft(x)
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(16e-300, rel=1e-10)
+
+    def test_large_values_no_overflow(self):
+        x = np.full(16, 1e300 + 0j)
+        out = fft(x)
+        assert np.isfinite(out[0])
+
+    def test_zeros_stay_zeros(self):
+        out = fft3d(np.zeros((8, 8, 8), complex))
+        np.testing.assert_array_equal(out, 0)
+
+    def test_nan_propagates_not_hides(self):
+        x = np.zeros(16, complex)
+        x[3] = np.nan
+        out = fft(x)
+        assert np.isnan(out).any()

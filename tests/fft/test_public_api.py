@@ -1,0 +1,97 @@
+"""Tests for the public fft/ifft/fft2d/fft3d/rfft entry points."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.fft import fft, ifft, fft2d, ifft2d, fft3d, ifft3d, rfft, irfft
+
+
+class TestFft1D:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-10)
+
+    def test_axis_argument(self, rng):
+        x = rng.standard_normal((4, 8, 16)) + 0j
+        np.testing.assert_allclose(
+            fft(x, axis=1), np.fft.fft(x, axis=1), atol=1e-10
+        )
+
+    def test_ifft_roundtrip(self, rng):
+        x = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-11)
+
+    def test_complex64_stays_single(self, rng):
+        x = (rng.standard_normal(16) + 0j).astype(np.complex64)
+        assert fft(x).dtype == np.complex64
+
+    def test_norm_forwarded(self, rng):
+        x = rng.standard_normal(16) + 0j
+        np.testing.assert_allclose(
+            fft(x, norm="ortho"), np.fft.fft(x, norm="ortho"), atol=1e-12
+        )
+
+
+class TestFft2D3D:
+    def test_fft2d(self, rng):
+        x = rng.standard_normal((16, 8)) + 1j * rng.standard_normal((16, 8))
+        np.testing.assert_allclose(fft2d(x), np.fft.fft2(x), rtol=1e-9, atol=1e-9)
+
+    def test_ifft2d(self, rng):
+        x = rng.standard_normal((8, 8)) + 0j
+        np.testing.assert_allclose(ifft2d(x), np.fft.ifft2(x), atol=1e-11)
+
+    def test_fft3d(self, rng):
+        x = rng.standard_normal((8, 16, 4)) + 1j * rng.standard_normal((8, 16, 4))
+        np.testing.assert_allclose(fft3d(x), np.fft.fftn(x), rtol=1e-9, atol=1e-8)
+
+    def test_ifft3d_roundtrip(self, rng):
+        x = rng.standard_normal((8, 8, 8)) + 1j * rng.standard_normal((8, 8, 8))
+        np.testing.assert_allclose(ifft3d(fft3d(x)), x, atol=1e-10)
+
+    def test_fft3d_rejects_2d(self):
+        with pytest.raises(ValueError):
+            fft3d(np.zeros((4, 4), complex))
+
+    def test_fft2d_rejects_3d(self):
+        with pytest.raises(ValueError):
+            fft2d(np.zeros((4, 4, 4), complex))
+
+    def test_top_level_exports(self):
+        assert repro.fft3d is fft3d
+        assert repro.rfft is rfft
+
+
+class TestRealTransforms:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256])
+    def test_rfft_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-10)
+
+    def test_rfft_output_length(self, rng):
+        assert rfft(rng.standard_normal(32)).shape == (17,)
+
+    def test_rfft_axis(self, rng):
+        x = rng.standard_normal((3, 16))
+        np.testing.assert_allclose(
+            rfft(x, axis=1), np.fft.rfft(x, axis=1), atol=1e-11
+        )
+
+    @pytest.mark.parametrize("n", [4, 16, 128])
+    def test_irfft_matches_numpy(self, n, rng):
+        spec = np.fft.rfft(rng.standard_normal(n))
+        np.testing.assert_allclose(irfft(spec), np.fft.irfft(spec), atol=1e-11)
+
+    def test_rfft_irfft_roundtrip(self, rng):
+        x = rng.standard_normal(64)
+        np.testing.assert_allclose(irfft(rfft(x)), x, atol=1e-11)
+
+    def test_rfft_rejects_odd_length(self, rng):
+        with pytest.raises(ValueError):
+            rfft(rng.standard_normal(12))
+
+    def test_rfft_hermitian_dc_and_nyquist_real(self, rng):
+        out = rfft(rng.standard_normal(32))
+        assert abs(out[0].imag) < 1e-12
+        assert abs(out[-1].imag) < 1e-12

@@ -1,0 +1,61 @@
+"""Tests for half-spectrum 3-D real transforms."""
+
+import numpy as np
+import pytest
+
+from repro.fft.realnd import irfft3d, rfft3d
+
+
+class TestRfft3d:
+    @pytest.mark.parametrize("shape", [(8, 8, 8), (4, 16, 8), (16, 4, 32)])
+    def test_matches_numpy_rfftn(self, shape, rng):
+        x = rng.standard_normal(shape)
+        np.testing.assert_allclose(
+            rfft3d(x), np.fft.rfftn(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_half_spectrum_shape(self, rng):
+        out = rfft3d(rng.standard_normal((8, 8, 16)))
+        assert out.shape == (8, 8, 9)
+
+    def test_memory_saving_is_near_half(self, rng):
+        x = rng.standard_normal((16, 16, 16))
+        full = np.fft.fftn(x)
+        half = rfft3d(x)
+        assert half.nbytes < 0.6 * full.nbytes
+
+    def test_complex_input_rejected(self):
+        with pytest.raises(TypeError):
+            rfft3d(np.zeros((8, 8, 8), complex))
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            rfft3d(np.zeros((8, 8)))
+
+    def test_dc_bin_is_sum(self, rng):
+        x = rng.standard_normal((8, 8, 8))
+        assert rfft3d(x)[0, 0, 0] == pytest.approx(x.sum())
+
+
+class TestIrfft3d:
+    @pytest.mark.parametrize("shape", [(8, 8, 8), (4, 8, 16)])
+    def test_matches_numpy_irfftn(self, shape, rng):
+        spec = np.fft.rfftn(rng.standard_normal(shape))
+        np.testing.assert_allclose(
+            irfft3d(spec),
+            np.fft.irfftn(spec, shape, axes=(0, 1, 2)),
+            rtol=1e-9,
+            atol=1e-10,
+        )
+
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((8, 16, 8))
+        np.testing.assert_allclose(irfft3d(rfft3d(x)), x, atol=1e-10)
+
+    def test_output_is_real(self, rng):
+        out = irfft3d(rfft3d(rng.standard_normal((8, 8, 8))))
+        assert out.dtype == np.float64
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            irfft3d(np.zeros((8, 5), complex))

@@ -1,0 +1,62 @@
+"""Tests for the naive reference DFT (the oracle of last resort)."""
+
+import numpy as np
+import pytest
+
+from repro.fft.reference import dft3_reference, dft_matrix, dft_reference
+
+
+class TestDftMatrix:
+    def test_is_symmetric(self):
+        f = dft_matrix(8)
+        np.testing.assert_allclose(f, f.T, atol=1e-14)
+
+    def test_unitary_up_to_scale(self):
+        n = 8
+        f = dft_matrix(n)
+        np.testing.assert_allclose(f @ np.conj(f.T), n * np.eye(n), atol=1e-12)
+
+    def test_inverse_is_conjugate(self):
+        np.testing.assert_allclose(
+            dft_matrix(8, inverse=True), np.conj(dft_matrix(8)), atol=1e-15
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            dft_matrix(0)
+
+
+class TestDftReference:
+    def test_matches_numpy(self, rng):
+        x = rng.standard_normal(13) + 1j * rng.standard_normal(13)
+        np.testing.assert_allclose(dft_reference(x), np.fft.fft(x), atol=1e-11)
+
+    def test_non_power_of_two_sizes_work(self, rng):
+        x = rng.standard_normal(7)
+        np.testing.assert_allclose(dft_reference(x), np.fft.fft(x), atol=1e-12)
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((3, 5, 8)) + 1j * rng.standard_normal((3, 5, 8))
+        np.testing.assert_allclose(
+            dft_reference(x), np.fft.fft(x, axis=-1), atol=1e-12
+        )
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.standard_normal(16) + 1j * rng.standard_normal(16)
+        back = dft_reference(dft_reference(x), inverse=True) / 16
+        np.testing.assert_allclose(back, x, atol=1e-12)
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(8, complex)
+        x[0] = 1
+        np.testing.assert_allclose(dft_reference(x), np.ones(8), atol=1e-14)
+
+
+class TestDft3Reference:
+    def test_matches_numpy_fftn(self, rng):
+        x = rng.standard_normal((4, 6, 8)) + 1j * rng.standard_normal((4, 6, 8))
+        np.testing.assert_allclose(dft3_reference(x), np.fft.fftn(x), atol=1e-11)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            dft3_reference(np.zeros((4, 4)))

@@ -1,0 +1,72 @@
+"""Tests for the split-radix engine and its flop accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fft.split_radix import split_radix_fft, split_radix_flops
+
+
+class TestSplitRadixCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64, 256, 1024])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            split_radix_fft(x), np.fft.fft(x), rtol=1e-10, atol=1e-9
+        )
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((5, 3, 64)) + 0j
+        np.testing.assert_allclose(
+            split_radix_fft(x), np.fft.fft(x, axis=-1), atol=1e-10
+        )
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        back = split_radix_fft(split_radix_fft(x), inverse=True) / 128
+        np.testing.assert_allclose(back, x, atol=1e-11)
+
+    def test_agrees_with_other_engines(self, rng):
+        from repro.fft.cooley_tukey import fft_pow2
+        from repro.fft.stockham import stockham_fft
+
+        x = rng.standard_normal(512) + 1j * rng.standard_normal(512)
+        a = split_radix_fft(x)
+        np.testing.assert_allclose(a, fft_pow2(x), atol=1e-9)
+        np.testing.assert_allclose(a, stockham_fft(x), atol=1e-9)
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError):
+            split_radix_fft(np.zeros(12, complex))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 500), st.sampled_from([16, 64, 256]))
+    def test_parseval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        out = split_radix_fft(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(out) ** 2), n * np.sum(np.abs(x) ** 2), rtol=1e-9
+        )
+
+
+class TestFlopAccounting:
+    def test_formula_values(self):
+        # Classic split-radix counts.
+        assert split_radix_flops(1) == 0
+        assert split_radix_flops(2) == 4
+        assert split_radix_flops(256) == 4 * 256 * 8 - 6 * 256 + 8
+
+    def test_below_nominal_convention(self):
+        # The paper's 5 N lg N convention overstates real work by ~30%.
+        for n in (64, 256, 1024):
+            nominal = 5 * n * np.log2(n)
+            assert split_radix_flops(n) < 0.85 * nominal
+
+    def test_ratio_approaches_4_over_5(self):
+        # (4 lg N - 6) / (5 lg N): 0.74 at lg N = 20, -> 0.8 as N grows.
+        n = 1 << 20
+        ratio = split_radix_flops(n) / (5 * n * 20)
+        assert ratio == pytest.approx((4 * 20 - 6) / 100, abs=0.01)
+        huge = split_radix_flops(1 << 60) / (5 * (1 << 60) * 60)
+        assert huge == pytest.approx(0.78, abs=0.01)

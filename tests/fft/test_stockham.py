@@ -1,0 +1,78 @@
+"""Tests for the Stockham autosort FFT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fft.stockham import stockham_fft
+
+
+class TestStockhamForward:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024])
+    def test_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(
+            stockham_fft(x), np.fft.fft(x), rtol=1e-10, atol=1e-9
+        )
+
+    def test_batched(self, rng):
+        x = rng.standard_normal((4, 3, 32)) + 1j * rng.standard_normal((4, 3, 32))
+        np.testing.assert_allclose(
+            stockham_fft(x), np.fft.fft(x, axis=-1), rtol=1e-10, atol=1e-9
+        )
+
+    def test_real_input_promoted(self, rng):
+        x = rng.standard_normal(16)
+        np.testing.assert_allclose(stockham_fft(x), np.fft.fft(x), atol=1e-12)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            stockham_fft(np.zeros(12, complex))
+
+    def test_does_not_mutate_input(self, rng):
+        x = rng.standard_normal(16) + 0j
+        copy = x.copy()
+        stockham_fft(x)
+        np.testing.assert_array_equal(x, copy)
+
+    def test_single_precision_preserved(self, rng):
+        x = (rng.standard_normal(64) + 1j * rng.standard_normal(64)).astype(
+            np.complex64
+        )
+        out = stockham_fft(x)
+        assert out.dtype == np.complex64
+        np.testing.assert_allclose(out, np.fft.fft(x), rtol=2e-5, atol=2e-4)
+
+
+class TestStockhamInverse:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal(128) + 1j * rng.standard_normal(128)
+        back = stockham_fft(stockham_fft(x), inverse=True) / 128
+        np.testing.assert_allclose(back, x, atol=1e-10)
+
+    def test_matches_numpy_ifft(self, rng):
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(
+            stockham_fft(x, inverse=True) / 64, np.fft.ifft(x), atol=1e-12
+        )
+
+
+class TestStockhamProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1000), st.sampled_from([8, 32, 128]))
+    def test_parseval(self, seed, n):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        out = stockham_fft(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(out) ** 2), n * np.sum(np.abs(x) ** 2), rtol=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_conjugate_symmetry_of_real_input(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(32)
+        out = stockham_fft(x)
+        mirrored = np.conj(out[(-np.arange(32)) % 32])
+        np.testing.assert_allclose(out, mirrored, atol=1e-10)

@@ -1,0 +1,86 @@
+"""Tests for twiddle-factor tables."""
+
+import numpy as np
+import pytest
+
+from repro.fft.twiddle import TwiddleCache, four_step_twiddles, twiddle_table
+
+
+class TestTwiddleTable:
+    def test_values_are_unit_roots(self):
+        w = twiddle_table(8)
+        np.testing.assert_allclose(np.abs(w), 1.0, atol=1e-15)
+
+    def test_forward_sign_convention(self):
+        # W_4^1 = exp(-2 pi i / 4) = -i (NumPy/FFTW forward convention).
+        w = twiddle_table(4)
+        assert w[1] == pytest.approx(-1j)
+
+    def test_periodicity(self):
+        w = twiddle_table(16)
+        np.testing.assert_allclose(w[8], -1.0, atol=1e-15)
+
+    def test_single_precision_dtype(self):
+        assert twiddle_table(8, "single").dtype == np.complex64
+
+    def test_single_precision_accuracy(self):
+        # Cast from double: each entry correct to float32 eps.
+        w32 = twiddle_table(1024, "single").astype(np.complex128)
+        w64 = twiddle_table(1024, "double")
+        assert np.abs(w32 - w64).max() < 1e-7
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            twiddle_table(0)
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            twiddle_table(8, "half")
+
+
+class TestFourStepTwiddles:
+    def test_shape_is_r2_by_r1(self):
+        assert four_step_twiddles(16, 8).shape == (8, 16)
+
+    def test_matches_definition(self):
+        r1, r2 = 4, 8
+        w = four_step_twiddles(r1, r2)
+        n = r1 * r2
+        for k2 in range(r2):
+            for n1 in range(r1):
+                expected = np.exp(-2j * np.pi * k2 * n1 / n)
+                assert w[k2, n1] == pytest.approx(expected, abs=1e-14)
+
+    def test_first_row_and_column_are_one(self):
+        w = four_step_twiddles(16, 16)
+        np.testing.assert_allclose(w[0], 1.0, atol=1e-15)
+        np.testing.assert_allclose(w[:, 0], 1.0, atol=1e-15)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            four_step_twiddles(0, 4)
+
+
+class TestTwiddleCache:
+    def test_returns_same_object(self):
+        c = TwiddleCache()
+        assert c.table(16) is c.table(16)
+
+    def test_distinguishes_precision(self):
+        c = TwiddleCache()
+        assert c.table(16, "single") is not c.table(16, "double")
+
+    def test_four_step_cached(self):
+        c = TwiddleCache()
+        assert c.four_step(16, 16) is c.four_step(16, 16)
+        assert len(c) == 1
+
+    def test_clear(self):
+        c = TwiddleCache()
+        c.table(8)
+        c.clear()
+        assert len(c) == 0
+
+    def test_values_correct(self):
+        c = TwiddleCache()
+        np.testing.assert_array_equal(c.table(32), twiddle_table(32))

@@ -1,0 +1,61 @@
+"""Tests for the wisdom (engine auto-selection) cache."""
+
+import numpy as np
+import pytest
+
+from repro.fft.wisdom import Wisdom, wise_fft
+
+
+class TestWisdom:
+    def test_measure_covers_all_engines(self):
+        w = Wisdom()
+        results = w.measure(64, repeats=1)
+        assert set(results) == {"four_step", "stockham", "split_radix"}
+        assert all(t > 0 for t in results.values())
+
+    def test_engine_for_memoizes(self):
+        w = Wisdom()
+        first = w.engine_for(32)
+        assert w.engine_for(32) == first
+        assert w.known_sizes() == [32]
+
+    def test_best_is_argmin_of_timings(self):
+        w = Wisdom()
+        w.measure(128, repeats=1)
+        timings = w._timings[128]
+        assert w.engine_for(128) == min(timings, key=timings.get)
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        w = Wisdom()
+        w.measure(64, repeats=1)
+        path = w.save(tmp_path / "wisdom.json")
+        w2 = Wisdom(path)
+        assert w2.engine_for(64) == w.engine_for(64)
+
+    def test_load_rejects_unknown_engine(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"best": {"64": "quantum"}}')
+        with pytest.raises(ValueError):
+            Wisdom(path)
+
+    def test_save_without_path_rejected(self):
+        with pytest.raises(ValueError):
+            Wisdom().save()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            Wisdom().measure(48)
+
+
+class TestWiseFft:
+    def test_correctness(self, rng):
+        x = rng.standard_normal((4, 64)) + 1j * rng.standard_normal((4, 64))
+        np.testing.assert_allclose(
+            wise_fft(x), np.fft.fft(x, axis=-1), rtol=1e-10, atol=1e-9
+        )
+
+    def test_inverse(self, rng):
+        x = rng.standard_normal(32) + 0j
+        np.testing.assert_allclose(
+            wise_fft(wise_fft(x), inverse=True) / 32, x, atol=1e-11
+        )

@@ -1,0 +1,119 @@
+"""Tests for BurstPattern trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.access import BurstPattern, interleave_bursts, sample_trace
+
+
+def simple_pattern(base=0, n_scans=8, burst_len=4, burst_stride=1024):
+    return BurstPattern(
+        base=base,
+        scan_dims=(n_scans,),
+        scan_strides=(128,),
+        burst_len=burst_len,
+        burst_stride=burst_stride,
+        transaction_bytes=128,
+    )
+
+
+class TestBurstPattern:
+    def test_n_scans_product(self):
+        p = BurstPattern(0, (4, 8), (128, 1024), 2, 64)
+        assert p.n_scans == 32
+
+    def test_total_bytes(self):
+        p = simple_pattern(n_scans=10, burst_len=4)
+        assert p.total_bytes == 10 * 4 * 128
+
+    def test_scan_bases_mixed_radix(self):
+        p = BurstPattern(1000, (2, 3), (10, 100), 1, 0, 128)
+        bases = p.scan_bases(np.arange(6))
+        np.testing.assert_array_equal(
+            bases, [1000, 1010, 1100, 1110, 1200, 1210]
+        )
+
+    def test_burst_addresses_shape(self):
+        p = simple_pattern(burst_len=4)
+        a = p.burst_addresses(np.array([0, 1]))
+        assert a.shape == (2, 4)
+
+    def test_burst_addresses_values(self):
+        p = simple_pattern(burst_len=3, burst_stride=1000)
+        a = p.burst_addresses(np.array([2]))
+        np.testing.assert_array_equal(a[0], [256, 1256, 2256])
+
+    def test_serialized_transactions_adjacent(self):
+        p = BurstPattern(0, (4,), (2048,), 2, 4096,
+                         transaction_bytes=32, transactions_per_point=4)
+        a = p.burst_addresses(np.array([0]))
+        # 2 points x 4 sub-transactions, sub-transactions 32 B apart.
+        np.testing.assert_array_equal(
+            a[0], [0, 32, 64, 96, 4096, 4128, 4160, 4192]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstPattern(0, (4,), (128, 2), 1, 0)
+        with pytest.raises(ValueError):
+            BurstPattern(0, (4,), (128,), 0, 0)
+        with pytest.raises(ValueError):
+            BurstPattern(0, (0,), (128,), 1, 0)
+
+
+class TestInterleaveBursts:
+    def test_round_robin_order(self):
+        p = simple_pattern(n_scans=4, burst_len=1)
+        addrs, sizes = interleave_bursts([p], n_groups=2)
+        # Step 0: groups 0,1 -> scans 0,1; step 1: scans 2,3.
+        np.testing.assert_array_equal(addrs, [0, 128, 256, 384])
+
+    def test_patterns_interleave_per_scan(self):
+        read = simple_pattern(base=0, n_scans=2, burst_len=2)
+        write = simple_pattern(base=10**6, n_scans=2, burst_len=2)
+        addrs, _ = interleave_bursts([read, write], n_groups=1)
+        # scan 0: read burst then write burst, then scan 1.
+        assert addrs[0] < 10**6 and addrs[1] < 10**6
+        assert addrs[2] >= 10**6 and addrs[3] >= 10**6
+
+    def test_sizes_follow_patterns(self):
+        p = BurstPattern(0, (4,), (128,), 1, 0, transaction_bytes=32)
+        _, sizes = interleave_bursts([p], 2)
+        assert set(sizes.tolist()) == {32}
+
+    def test_truncates_to_max(self):
+        p = simple_pattern(n_scans=10_000, burst_len=1)
+        addrs, _ = interleave_bursts([p], n_groups=10, max_transactions=100)
+        assert len(addrs) <= 110  # whole steps only
+
+    def test_mismatched_scan_spaces_rejected(self):
+        a = simple_pattern(n_scans=4)
+        b = simple_pattern(n_scans=8)
+        with pytest.raises(ValueError):
+            interleave_bursts([a, b], 2)
+
+    def test_empty_pattern_list_rejected(self):
+        with pytest.raises(ValueError):
+            interleave_bursts([], 2)
+
+    def test_more_groups_than_scans(self):
+        p = simple_pattern(n_scans=3, burst_len=1)
+        addrs, _ = interleave_bursts([p], n_groups=16)
+        assert len(addrs) == 3
+
+
+class TestSampleTrace:
+    def test_no_op_when_short(self):
+        a = np.arange(10)
+        s = np.ones(10)
+        out_a, out_s = sample_trace(a, s, 100)
+        assert out_a is a and out_s is s
+
+    def test_truncates(self):
+        a = np.arange(10)
+        out_a, _ = sample_trace(a, np.ones(10), 4)
+        assert len(out_a) == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sample_trace(np.arange(4), np.ones(3), 2)

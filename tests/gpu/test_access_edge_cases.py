@@ -1,0 +1,94 @@
+"""Edge-case coverage for the trace machinery and memory system."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.access import BurstPattern, interleave_bursts
+from repro.gpu.dram import DramModel
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.specs import GEFORCE_8800_GTS, GEFORCE_8800_GTX
+
+
+class TestBurstPatternEdges:
+    def test_single_scan_single_burst(self):
+        p = BurstPattern(0, (1,), (0,), 1, 0, 128)
+        a = p.burst_addresses(np.array([0]))
+        assert a.shape == (1, 1)
+        assert a[0, 0] == 0
+
+    def test_large_base_offset_preserved(self):
+        base = 512 << 20
+        p = BurstPattern(base, (4,), (128,), 1, 0, 128)
+        assert p.scan_bases(np.array([0]))[0] == base
+
+    def test_zero_stride_scan_dim(self):
+        # A degenerate dimension (stride 0) is legal: all scans alias.
+        p = BurstPattern(0, (4,), (0,), 1, 0, 128)
+        np.testing.assert_array_equal(p.scan_bases(np.arange(4)), 0)
+
+    def test_bytes_per_scan_includes_serialization(self):
+        p = BurstPattern(0, (2,), (128,), 4, 256,
+                         transaction_bytes=32, transactions_per_point=16)
+        assert p.bytes_per_scan == 4 * 16 * 32
+
+
+class TestInterleaveEdges:
+    def test_single_group_is_sequential_scan_order(self):
+        p = BurstPattern(0, (6,), (128,), 1, 0, 128)
+        addrs, _ = interleave_bursts([p], 1)
+        np.testing.assert_array_equal(np.diff(addrs), 128)
+
+    def test_zero_groups_rejected(self):
+        p = BurstPattern(0, (4,), (128,), 1, 0, 128)
+        with pytest.raises(ValueError):
+            interleave_bursts([p], 0)
+
+    def test_three_patterns_interleave(self):
+        ps = [
+            BurstPattern(i << 30, (4,), (128,), 1, 0, 128, name=f"p{i}")
+            for i in range(3)
+        ]
+        addrs, _ = interleave_bursts(ps, 2)
+        # Per scan: one txn from each pattern in order.
+        assert (addrs[0] >> 30, addrs[1] >> 30, addrs[2] >> 30) == (0, 1, 2)
+
+
+class TestDramEdges:
+    def test_single_transaction_trace(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        t = model.evaluate(np.array([0], dtype=np.int64),
+                           np.array([128], dtype=np.int64))
+        assert t.seconds > 0
+        assert t.trace_bytes == 128
+
+    def test_mixed_transaction_sizes(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        addrs = np.arange(1000, dtype=np.int64) * 128
+        sizes = np.where(np.arange(1000) % 2 == 0, 128, 32).astype(np.int64)
+        t = model.evaluate(addrs, sizes)
+        assert t.trace_bytes == int(sizes.sum())
+
+    def test_identical_addresses_fast(self):
+        # Hammering one row: all hits after the first activation.
+        model = DramModel(GEFORCE_8800_GTX)
+        addrs = np.zeros(5000, dtype=np.int64)
+        t = model.evaluate(addrs, np.full(5000, 128, dtype=np.int64))
+        assert t.activations <= GEFORCE_8800_GTX.n_channels
+
+    def test_huge_addresses_no_overflow(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        addrs = (np.arange(100, dtype=np.int64) * 128) + (1 << 40)
+        t = model.evaluate(addrs, np.full(100, 128, dtype=np.int64))
+        assert t.bandwidth > 0
+
+
+class TestMemorySystemEdges:
+    def test_two_devices_independent_caches(self):
+        a = MemorySystem(GEFORCE_8800_GTX)
+        b = MemorySystem(GEFORCE_8800_GTS)
+        assert a.stream_copy(1).bandwidth != b.stream_copy(1).bandwidth
+
+    def test_custom_trace_budget(self, gtx_memsystem):
+        p = BurstPattern(0, (100_000,), (128,), 1, 0, 128)
+        t = gtx_memsystem.trace_timing([p], 32, max_transactions=1_000)
+        assert t.trace_bytes <= 1_100 * 128

@@ -1,0 +1,129 @@
+"""Tests for the half-warp coalescing rules (paper Section 2.1, a/b/c)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.coalesce import (
+    HALF_WARP,
+    coalesce_half_warp,
+    segment_transactions,
+)
+
+
+def seq_addresses(base: int, element: int) -> np.ndarray:
+    return base + np.arange(HALF_WARP, dtype=np.int64) * element
+
+
+class TestRuleA_Sequential:
+    def test_sequential_aligned_coalesces(self):
+        r = coalesce_half_warp(seq_addresses(0, 8), 8)
+        assert r.coalesced
+        assert r.n_transactions == 1
+        assert r.transactions[0] == (0, 128)
+
+    def test_permuted_addresses_serialize(self):
+        addrs = seq_addresses(0, 8)
+        addrs[[0, 1]] = addrs[[1, 0]]
+        r = coalesce_half_warp(addrs, 8)
+        assert not r.coalesced
+        assert r.n_transactions == HALF_WARP
+
+    def test_strided_addresses_serialize(self):
+        # The paper's digit-reversed gather: 128-byte element stride.
+        r = coalesce_half_warp(seq_addresses(0, 128), 8)
+        assert not r.coalesced
+
+    def test_same_block_still_serializes(self):
+        # "multiple memory accesses are issued ... even if they access a
+        # same memory block".
+        addrs = np.zeros(HALF_WARP, dtype=np.int64)  # broadcast-like
+        r = coalesce_half_warp(addrs, 4)
+        assert not r.coalesced
+
+
+class TestRuleB_Sizes:
+    @pytest.mark.parametrize("element", [4, 8, 16])
+    def test_legal_sizes_coalesce(self, element):
+        r = coalesce_half_warp(seq_addresses(0, element), element)
+        assert r.coalesced
+        assert r.bytes_moved == 16 * element
+
+    @pytest.mark.parametrize("element", [1, 2, 32])
+    def test_illegal_sizes_serialize(self, element):
+        r = coalesce_half_warp(seq_addresses(0, element), element)
+        assert not r.coalesced
+
+
+class TestRuleC_Alignment:
+    def test_misaligned_base_serializes(self):
+        r = coalesce_half_warp(seq_addresses(64, 8), 8)  # needs 128 for 8B
+        assert not r.coalesced
+
+    @pytest.mark.parametrize(
+        "element,align", [(4, 64), (8, 128), (16, 256)]
+    )
+    def test_alignment_requirements(self, element, align):
+        assert coalesce_half_warp(seq_addresses(align, element), element).coalesced
+        assert not coalesce_half_warp(
+            seq_addresses(align // 2, element), element
+        ).coalesced
+
+
+class TestPartialWarp:
+    def test_inactive_threads_ignored(self):
+        addrs = seq_addresses(0, 8)
+        addrs[8:] = 0  # garbage in inactive lanes
+        r = coalesce_half_warp(addrs, 8, active_mask=0x00FF)
+        assert r.coalesced
+
+    def test_all_inactive_moves_nothing(self):
+        r = coalesce_half_warp(np.zeros(16, np.int64), 8, active_mask=0)
+        assert r.bytes_moved == 0
+
+    def test_serialized_counts_active_only(self):
+        r = coalesce_half_warp(seq_addresses(0, 128), 8, active_mask=0x000F)
+        assert r.n_transactions == 4
+
+    def test_single_conforming_thread_still_fetches_segment(self):
+        # CC 1.x issues the whole 128-byte segment even for one thread.
+        r = coalesce_half_warp(seq_addresses(0, 8), 8, active_mask=0x0001)
+        assert r.coalesced
+        assert r.transactions[0][1] == 128
+
+    def test_serialized_minimum_transaction_32b(self):
+        # A misaligned lone access serializes into one 32-byte transaction.
+        addrs = seq_addresses(8, 8)  # base misaligned for 8-byte elements
+        r = coalesce_half_warp(addrs, 8, active_mask=0x0001)
+        assert not r.coalesced
+        assert r.transactions[0][1] == 32
+
+
+class TestInputValidation:
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            coalesce_half_warp(np.zeros(8, np.int64), 8)
+
+
+class TestSegmentTransactions:
+    def test_exact_cover(self):
+        np.testing.assert_array_equal(
+            segment_transactions(0, 256, 128), [0, 128]
+        )
+
+    def test_unaligned_range_rounds_out(self):
+        segs = segment_transactions(100, 100, 128)
+        np.testing.assert_array_equal(segs, [0, 128])
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            segment_transactions(0, 128, 0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(0, 10**4))
+    def test_segments_cover_range(self, base, nbytes):
+        segs = segment_transactions(base, nbytes, 128)
+        if nbytes == 0:
+            return
+        assert segs[0] <= base
+        assert segs[-1] + 128 >= base + nbytes

@@ -1,0 +1,62 @@
+"""Tests for the constant-memory broadcast-port model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.constmem import CONSTANT_MEMORY_BYTES, ConstantMemoryModel
+
+
+@pytest.fixture
+def model():
+    return ConstantMemoryModel()
+
+
+class TestCapacity:
+    def test_64kb(self):
+        assert CONSTANT_MEMORY_BYTES == 65536
+
+    def test_twiddle_tables_fit(self, model):
+        # A full 256-point complex64 table easily fits.
+        assert model.fits(256 * 8)
+
+    def test_oversized_rejected_gracefully(self, model):
+        assert not model.fits(CONSTANT_MEMORY_BYTES + 1)
+
+    def test_negative_invalid(self, model):
+        with pytest.raises(ValueError):
+            model.fits(-1)
+
+
+class TestAccessCost:
+    def test_broadcast_is_single_word_cost(self, model):
+        assert model.broadcast_cycles(4) == 1
+
+    def test_broadcast_complex64_costs_two(self, model):
+        assert model.broadcast_cycles(8) == 2
+
+    def test_distinct_addresses_serialize(self, model):
+        cycles = model.access_cycles(np.arange(16) * 4, 4)
+        assert cycles == 16
+
+    def test_papers_twiddle_case(self, model):
+        # 16 distinct complex64 factors: 32 port cycles per fetch round —
+        # why Section 3.2 rejects constant memory for step 5.
+        assert model.worst_case_cycles(8) == 32
+
+    def test_partial_duplication(self, model):
+        addrs = np.array([0, 0, 4, 4, 8, 8, 12, 12] * 2)
+        assert model.access_cycles(addrs, 4) == 4
+
+    def test_empty_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.access_cycles(np.array([]))
+
+    def test_matches_twiddle_option_ranking(self, model):
+        # Consistency with repro.core.twiddle_options: constant memory's
+        # modeled issue cost (8) sits between texture (1) and the 32-cycle
+        # worst case (amortized by partial address sharing).
+        from repro.core.twiddle_options import TwiddleOption, twiddle_cost
+        from repro.gpu.specs import GEFORCE_8800_GTX
+
+        const_cost = twiddle_cost(TwiddleOption.CONSTANT, GEFORCE_8800_GTX)
+        assert 1 < const_cost.issue_slots_per_use < model.worst_case_cycles(8)

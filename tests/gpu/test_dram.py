@@ -1,0 +1,112 @@
+"""Tests for the GDDR DRAM timing model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.dram import DramModel
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+
+
+def sequential_trace(n_txns: int, size: int = 128):
+    addrs = np.arange(n_txns, dtype=np.int64) * size
+    sizes = np.full(n_txns, size, dtype=np.int64)
+    return addrs, sizes
+
+
+def random_trace(n_txns: int, span: int, seed: int = 0, size: int = 128):
+    rng = np.random.default_rng(seed)
+    addrs = rng.integers(0, span // size, n_txns, dtype=np.int64) * size
+    sizes = np.full(n_txns, size, dtype=np.int64)
+    return addrs, sizes
+
+
+class TestSequentialStream:
+    def test_efficiency_near_stream_utilization(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        t = model.evaluate(*sequential_trace(60_000))
+        util = GEFORCE_8800_GTX.dram.stream_utilization
+        assert t.bandwidth / GEFORCE_8800_GTX.peak_bandwidth == pytest.approx(
+            util, rel=0.02
+        )
+
+    def test_gtx_single_stream_anchor(self):
+        # Section 2.1: 71.7 GB/s.
+        model = DramModel(GEFORCE_8800_GTX)
+        t = model.evaluate(*sequential_trace(60_000))
+        assert t.bandwidth / 1e9 == pytest.approx(71.7, rel=0.02)
+
+    def test_few_activations_for_sequential(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        t = model.evaluate(*sequential_trace(60_000))
+        assert t.activations < len(sequential_trace(60_000)[0]) / 50
+
+
+class TestRandomAccess:
+    def test_random_much_slower_than_sequential(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        seq = model.evaluate(*sequential_trace(40_000))
+        rnd = model.evaluate(*random_trace(40_000, 512 << 20))
+        assert rnd.bandwidth < 0.6 * seq.bandwidth
+
+    def test_random_activates_often(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        rnd = model.evaluate(*random_trace(40_000, 512 << 20))
+        assert rnd.activations > 20_000
+
+    def test_small_footprint_random_stays_fast(self):
+        # Random accesses within one row-reach footprint hit open rows.
+        model = DramModel(GEFORCE_8800_GTX)
+        small = model.evaluate(*random_trace(40_000, 64 << 10))
+        assert small.bandwidth > 0.7 * GEFORCE_8800_GTX.peak_bandwidth * 0.83
+
+
+class TestChannelScaling:
+    def test_gt_peak_proportional(self):
+        gt = DramModel(GEFORCE_8800_GT).evaluate(*sequential_trace(40_000))
+        gtx = DramModel(GEFORCE_8800_GTX).evaluate(*sequential_trace(40_000))
+        ratio = gt.bandwidth / gtx.bandwidth
+        expected = GEFORCE_8800_GT.peak_bandwidth / GEFORCE_8800_GTX.peak_bandwidth
+        assert ratio == pytest.approx(expected, rel=0.05)
+
+    def test_channel_beats_reported_per_channel(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        t = model.evaluate(*sequential_trace(12_000))
+        assert len(t.channel_beats) == GEFORCE_8800_GTX.n_channels
+        assert max(t.channel_beats) == t.beats
+
+
+class TestTraceTimingFields:
+    def test_bytes_accounted(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        addrs, sizes = sequential_trace(1_000)
+        t = model.evaluate(addrs, sizes)
+        assert t.trace_bytes == int(sizes.sum())
+
+    def test_seconds_consistent_with_beats(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        t = model.evaluate(*sequential_trace(1_000))
+        assert t.seconds == pytest.approx(t.beats / model.beat_rate)
+
+    def test_empty_trace_rejected(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        with pytest.raises(ValueError):
+            model.evaluate(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+
+    def test_shape_mismatch_rejected(self):
+        model = DramModel(GEFORCE_8800_GTX)
+        with pytest.raises(ValueError):
+            model.evaluate(np.zeros(4, np.int64), np.zeros(3, np.int64))
+
+
+class TestStrideCamping:
+    def test_power_of_two_stride_not_pathological(self):
+        # Bank/channel hashing keeps huge power-of-two strides usable
+        # (real controllers hash for exactly this reason).
+        model = DramModel(GEFORCE_8800_GT)
+        n = 30_000
+        addrs = (np.arange(n, dtype=np.int64) % 64) * (8 << 20) + (
+            np.arange(n, dtype=np.int64) // 64
+        ) * 128
+        sizes = np.full(n, 128, dtype=np.int64)
+        t = model.evaluate(addrs, sizes)
+        assert t.bandwidth > 0.15 * GEFORCE_8800_GT.peak_bandwidth

@@ -1,0 +1,196 @@
+"""Tests for the warp-synchronous executor."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.exec import (
+    Dim3,
+    GlobalBuffer,
+    KernelError,
+    SharedBuffer,
+    WarpExecutor,
+)
+
+
+def copy_kernel(ctx, src, dst, n):
+    i = ctx.global_thread_id()
+    if i < n:
+        v = yield ("load", src, i)
+        yield ("store", dst, i, v)
+
+
+def strided_copy_kernel(ctx, src, dst, n, stride):
+    i = ctx.global_thread_id()
+    if i < n:
+        v = yield ("load", src, (i * stride) % n)
+        yield ("store", dst, i, v)
+
+
+def reverse_in_shared_kernel(ctx, src, dst, shared):
+    t = ctx.threadIdx.x
+    n = ctx.blockDim.x
+    v = yield ("load", src, t)
+    yield ("shared_store", shared, t, v)
+    yield ("sync",)
+    out = yield ("shared_load", shared, n - 1 - t)
+    yield ("store", dst, t, out)
+
+
+class TestBasicExecution:
+    def test_copy_moves_data(self, rng):
+        data = rng.standard_normal(64)
+        src = GlobalBuffer(data.copy(), 0)
+        dst = GlobalBuffer(np.zeros(64), 1024)
+        WarpExecutor().launch(copy_kernel, Dim3(1), Dim3(64), src, dst, 64)
+        np.testing.assert_array_equal(dst.data, data)
+
+    def test_multi_block_grid(self, rng):
+        data = rng.standard_normal(128)
+        src = GlobalBuffer(data.copy(), 0)
+        dst = GlobalBuffer(np.zeros(128), 4096)
+        report = WarpExecutor().launch(
+            copy_kernel, Dim3(4), Dim3(32), src, dst, 128
+        )
+        np.testing.assert_array_equal(dst.data, data)
+        assert report.n_threads == 128
+
+    def test_partial_activity(self, rng):
+        # Threads past n return immediately (predication).
+        data = rng.standard_normal(40)
+        src = GlobalBuffer(np.concatenate([data, np.zeros(24)]), 0)
+        dst = GlobalBuffer(np.zeros(64), 1024)
+        WarpExecutor().launch(copy_kernel, Dim3(1), Dim3(64), src, dst, 40)
+        np.testing.assert_array_equal(dst.data[:40], data)
+        np.testing.assert_array_equal(dst.data[40:], 0)
+
+    def test_shared_memory_barrier_semantics(self, rng):
+        data = rng.standard_normal(32)
+        src = GlobalBuffer(data.copy(), 0)
+        dst = GlobalBuffer(np.zeros(32), 1024)
+        shared = SharedBuffer(32)
+        report = WarpExecutor().launch(
+            reverse_in_shared_kernel, Dim3(1), Dim3(32), src, dst, shared
+        )
+        np.testing.assert_array_equal(dst.data, data[::-1])
+        assert report.syncs == 1
+
+
+class TestCoalescingObservation:
+    def test_sequential_access_coalesces(self, rng):
+        src = GlobalBuffer(rng.standard_normal(64), 0)
+        dst = GlobalBuffer(np.zeros(64), 1024)
+        report = WarpExecutor().launch(
+            copy_kernel, Dim3(1), Dim3(64), src, dst, 64
+        )
+        assert report.coalesced_fraction == 1.0
+        # 4 half-warps x (1 load + 1 store) = 8 transactions.
+        assert report.global_transactions == 8
+
+    def test_strided_access_serializes(self, rng):
+        src = GlobalBuffer(rng.standard_normal(64), 0)
+        dst = GlobalBuffer(np.zeros(64), 1024)
+        report = WarpExecutor().launch(
+            strided_copy_kernel, Dim3(1), Dim3(64), src, dst, 64, 16
+        )
+        # Loads serialize (stride 16), stores coalesce.
+        assert report.serialized_half_warps == 4
+        assert report.coalesced_half_warps == 4
+
+    def test_transaction_recording(self, rng):
+        src = GlobalBuffer(rng.standard_normal(16), 0)
+        dst = GlobalBuffer(np.zeros(16), 1024)
+        ex = WarpExecutor(record_transactions=True)
+        report = ex.launch(copy_kernel, Dim3(1), Dim3(16), src, dst, 16)
+        assert len(report.transactions) == report.global_transactions
+        addr, size = report.transactions[0]
+        assert size == 16 * src.element_bytes
+
+    def test_loads_and_stores_counted(self, rng):
+        src = GlobalBuffer(rng.standard_normal(32), 0)
+        dst = GlobalBuffer(np.zeros(32), 1024)
+        report = WarpExecutor().launch(
+            copy_kernel, Dim3(1), Dim3(32), src, dst, 32
+        )
+        assert report.global_loads == 32
+        assert report.global_stores == 32
+
+
+class TestBankConflictObservation:
+    def test_unit_stride_conflict_free(self, rng):
+        src = GlobalBuffer(rng.standard_normal(32), 0)
+        dst = GlobalBuffer(np.zeros(32), 1024)
+        shared = SharedBuffer(64)
+        report = WarpExecutor().launch(
+            reverse_in_shared_kernel, Dim3(1), Dim3(32), src, dst, shared
+        )
+        assert report.shared_conflict_free
+
+    def test_stride_16_conflicts_detected(self, rng):
+        def conflicted_kernel(ctx, src, dst, shared):
+            t = ctx.threadIdx.x
+            v = yield ("load", src, t)
+            yield ("shared_store", shared, t * 16, v)  # all lanes, bank 0
+            yield ("sync",)
+            out = yield ("shared_load", shared, t * 16)
+            yield ("store", dst, t, out)
+
+        src = GlobalBuffer(rng.standard_normal(16), 0)
+        dst = GlobalBuffer(np.zeros(16), 1024)
+        shared = SharedBuffer(16 * 16)
+        report = WarpExecutor().launch(
+            conflicted_kernel, Dim3(1), Dim3(16), src, dst, shared
+        )
+        assert not report.shared_conflict_free
+        # Two fully-serialized accesses: 2 x 16 cycles.
+        assert report.bank_conflict_cycles == 32
+
+
+class TestContractEnforcement:
+    def test_out_of_bounds_load(self):
+        def bad(ctx, buf):
+            yield ("load", buf, 999)
+
+        with pytest.raises(KernelError, match="out of bounds"):
+            WarpExecutor().launch(bad, Dim3(1), Dim3(16), GlobalBuffer(np.zeros(4)))
+
+    def test_unknown_op(self):
+        def bad(ctx):
+            yield ("teleport", 1)
+
+        with pytest.raises(KernelError, match="unknown"):
+            WarpExecutor().launch(bad, Dim3(1), Dim3(16))
+
+    def test_block_must_be_half_warp_multiple(self):
+        def ok(ctx):
+            return
+            yield
+
+        with pytest.raises(KernelError, match="multiple of 16"):
+            WarpExecutor().launch(ok, Dim3(1), Dim3(10))
+
+    def test_empty_grid_rejected(self):
+        def ok(ctx):
+            return
+            yield
+
+        with pytest.raises(KernelError):
+            WarpExecutor().launch(ok, Dim3(0), Dim3(16))
+
+
+class TestThreadContext:
+    def test_global_ids_unique(self):
+        seen = []
+
+        def probe(ctx, sink):
+            i = ctx.global_thread_id()
+            seen.append(i)
+            yield ("store", sink, i, 1.0)
+
+        sink = GlobalBuffer(np.zeros(96), 0)
+        WarpExecutor().launch(probe, Dim3(3), Dim3(32), sink)
+        assert sorted(seen) == list(range(96))
+        assert sink.data.sum() == 96
+
+    def test_dim3_validation(self):
+        with pytest.raises(ValueError):
+            Dim3(-1)

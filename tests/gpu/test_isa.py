@@ -1,0 +1,94 @@
+"""Tests for the instruction-issue compute model (paper Section 4.2)."""
+
+import pytest
+
+from repro.gpu.isa import ComputeModel, InstructionMix
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTS, GEFORCE_8800_GTX
+
+
+class TestIssueSlots:
+    def test_pure_fma_halves_slots(self):
+        mix = InstructionMix(flops=100, fma_fraction=1.0, overhead_fraction=0.0)
+        assert mix.issue_slots(GEFORCE_8800_GTX) == pytest.approx(50)
+
+    def test_no_fma_full_slots(self):
+        mix = InstructionMix(flops=100, fma_fraction=0.0, overhead_fraction=0.0)
+        assert mix.issue_slots(GEFORCE_8800_GTX) == pytest.approx(100)
+
+    def test_shared_ops_counted(self):
+        a = InstructionMix(flops=100, fma_fraction=0.0, overhead_fraction=0.0)
+        b = InstructionMix(
+            flops=100, fma_fraction=0.0, shared_ops=50, overhead_fraction=0.0
+        )
+        assert b.issue_slots(GEFORCE_8800_GTX) == a.issue_slots(GEFORCE_8800_GTX) + 50
+
+    def test_overhead_multiplies(self):
+        mix = InstructionMix(flops=100, fma_fraction=0.0, overhead_fraction=0.5)
+        assert mix.issue_slots(GEFORCE_8800_GTX) == pytest.approx(150)
+
+    def test_other_ops_added_after_overhead(self):
+        mix = InstructionMix(
+            flops=0, fma_fraction=0.0, other_ops=10, overhead_fraction=0.5
+        )
+        assert mix.issue_slots(GEFORCE_8800_GTX) == pytest.approx(10)
+
+    def test_device_defaults_used_when_none(self):
+        mix = InstructionMix(flops=100)
+        dev = GEFORCE_8800_GTX
+        expect = (
+            100 * dev.issue.fft_fma_fraction / 2
+            + 100 * (1 - dev.issue.fft_fma_fraction)
+        ) * (1 + dev.issue.overhead_fraction)
+        assert mix.issue_slots(dev) == pytest.approx(expect)
+
+    def test_invalid_fraction_rejected(self):
+        mix = InstructionMix(flops=1, fma_fraction=1.5)
+        with pytest.raises(ValueError):
+            mix.issue_slots(GEFORCE_8800_GTX)
+
+
+class TestComputeModel:
+    def test_issue_rate_is_sp_times_clock(self):
+        cm = ComputeModel(GEFORCE_8800_GTX)
+        assert cm.issue_rate() == pytest.approx(128 * 1.35e9)
+
+    def test_peak_reached_by_pure_fma(self):
+        cm = ComputeModel(GEFORCE_8800_GTX)
+        mix = InstructionMix(flops=1000, fma_fraction=1.0, overhead_fraction=0.0)
+        assert cm.achieved_gflops(mix) == pytest.approx(
+            GEFORCE_8800_GTX.peak_gflops
+        )
+
+    def test_fraction_of_peak_step5_mix_near_30pct(self):
+        # The Section 4.2 observation: many non-FMA FP ops + shared-memory
+        # instructions put the 256-point kernel at ~30% of peak.
+        cm = ComputeModel(GEFORCE_8800_GTS)
+        mix = InstructionMix(flops=10240, shared_ops=3072, other_ops=192)
+        assert 0.25 <= cm.fraction_of_peak(mix) <= 0.40
+
+    def test_compute_time_scales_with_items(self):
+        cm = ComputeModel(GEFORCE_8800_GTX)
+        mix = InstructionMix(flops=320)
+        assert cm.compute_time(mix, 2000) == pytest.approx(
+            2 * cm.compute_time(mix, 1000)
+        )
+
+    def test_negative_items_rejected(self):
+        cm = ComputeModel(GEFORCE_8800_GTX)
+        with pytest.raises(ValueError):
+            cm.compute_time(InstructionMix(flops=1), -1)
+
+    def test_zero_flops_zero_gflops(self):
+        cm = ComputeModel(GEFORCE_8800_GTX)
+        assert cm.achieved_gflops(InstructionMix(flops=0)) == 0.0
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_faster_clock_means_faster_compute(self, dev):
+        cm = ComputeModel(dev)
+        mix = InstructionMix(flops=320)
+        t = cm.compute_time(mix, 10_000)
+        assert t > 0
+        # Sanity: time inversely proportional to aggregate issue rate.
+        assert t == pytest.approx(
+            mix.issue_slots(dev) * 10_000 / (dev.n_sp * dev.sp_clock_ghz * 1e9)
+        )

@@ -1,0 +1,114 @@
+"""Tests for KernelSpec and the kernel timing model."""
+
+import pytest
+
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.gpu.timing import time_kernel
+
+
+def sequential_access(base=0, n_scans=65536, txn=128):
+    return MemoryAccessSpec(
+        BurstPattern(base, (n_scans,), (txn,), 1, txn, txn)
+    )
+
+
+def make_spec(
+    regs=16,
+    threads=64,
+    flops=320.0,
+    double_buffered=True,
+    memory=None,
+    work_items=65536,
+    shared=0,
+):
+    return KernelSpec(
+        name="test-kernel",
+        grid_blocks=48,
+        threads_per_block=threads,
+        regs_per_thread=regs,
+        shared_bytes_per_block=shared,
+        work_items=work_items,
+        mix=InstructionMix(flops=flops),
+        memory=memory or (sequential_access(), sequential_access(256 << 20)),
+    )
+
+
+class TestKernelSpec:
+    def test_byte_accounting(self):
+        spec = make_spec()
+        assert spec.global_bytes == 2 * 65536 * 128
+        assert spec.texture_bytes == 0
+
+    def test_texture_bytes_separated(self):
+        mem = (
+            sequential_access(),
+            MemoryAccessSpec(
+                BurstPattern(0, (100,), (128,), 1, 128, 128), via_texture=True
+            ),
+        )
+        spec = KernelSpec(
+            "t", 48, 64, 16, 0, 100, InstructionMix(flops=1.0), mem
+        )
+        assert spec.texture_bytes == 100 * 128
+
+    def test_total_flops(self):
+        spec = make_spec(flops=10.0, work_items=100)
+        assert spec.total_flops == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelSpec("t", 0, 64, 16, 0, 1, InstructionMix(flops=1.0),
+                       (sequential_access(),))
+        with pytest.raises(ValueError):
+            KernelSpec("t", 1, 64, 16, 0, 1, InstructionMix(flops=1.0), ())
+
+
+class TestTimeKernel:
+    def test_memory_bound_sequential(self, gtx_memsystem):
+        spec = make_spec(flops=1.0)
+        t = time_kernel(GEFORCE_8800_GTX, spec, gtx_memsystem)
+        assert t.bound == "memory"
+        # Sequential traffic should land near the 71.7 GB/s anchor.
+        assert t.gbytes_per_s == pytest.approx(71.7, rel=0.1)
+
+    def test_compute_bound_heavy_flops(self, gtx_memsystem):
+        spec = make_spec(flops=1e6)
+        t = time_kernel(GEFORCE_8800_GTX, spec, gtx_memsystem)
+        assert t.bound == "compute"
+        assert t.compute_seconds > t.memory_seconds
+
+    def test_double_buffering_overlaps(self, gtx_memsystem):
+        spec_db = make_spec()
+        spec_seq = KernelSpec(
+            "seq", 48, 64, 16, 0, spec_db.work_items, spec_db.mix,
+            spec_db.memory, double_buffered=False,
+        )
+        t_db = time_kernel(GEFORCE_8800_GTX, spec_db, gtx_memsystem)
+        t_seq = time_kernel(GEFORCE_8800_GTX, spec_seq, gtx_memsystem)
+        assert t_seq.seconds > t_db.seconds
+
+    def test_low_occupancy_degrades_bandwidth(self, gtx_memsystem):
+        fast = time_kernel(GEFORCE_8800_GTX, make_spec(regs=16), gtx_memsystem)
+        slow = time_kernel(GEFORCE_8800_GTX, make_spec(regs=1024), gtx_memsystem)
+        # The paper's register-pressure cliff: "performance will fall flat
+        # due to extremely poor memory bandwidth".
+        assert slow.memory_seconds > 5 * fast.memory_seconds
+
+    def test_launch_overhead_included(self, gtx_memsystem):
+        spec = make_spec(memory=(sequential_access(n_scans=8),), work_items=1,
+                         flops=1.0)
+        t = time_kernel(GEFORCE_8800_GTX, spec, gtx_memsystem)
+        assert t.seconds >= GEFORCE_8800_GTX.launch_overhead_s
+
+    def test_zero_occupancy_raises(self, gtx_memsystem):
+        spec = make_spec(regs=8192 + 1)
+        with pytest.raises(ValueError, match="occupancy"):
+            time_kernel(GEFORCE_8800_GTX, spec, gtx_memsystem)
+
+    def test_gflops_property(self, gtx_memsystem):
+        spec = make_spec(flops=320.0)
+        t = time_kernel(GEFORCE_8800_GTX, spec, gtx_memsystem)
+        assert t.gflops == pytest.approx(spec.total_flops / t.seconds / 1e9)

@@ -1,0 +1,71 @@
+"""Tests for the memory-system façade and the Section 2.1 anchors."""
+
+import pytest
+
+from repro.gpu.access import BurstPattern
+
+
+class TestStreamCopyAnchors:
+    def test_single_stream_gtx(self, gtx_memsystem):
+        # Paper: 71.7 GB/s.
+        bw = gtx_memsystem.stream_copy(1).gbytes_per_s
+        assert bw == pytest.approx(71.7, rel=0.03)
+
+    def test_256_streams_gtx(self, gtx_memsystem):
+        # Paper: 30.7 GB/s.
+        bw = gtx_memsystem.stream_copy(256).gbytes_per_s
+        assert bw == pytest.approx(30.7, rel=0.05)
+
+    def test_sweep_monotone_nonincreasing(self, gtx_memsystem):
+        sweep = gtx_memsystem.stream_sweep((1, 4, 16, 64, 256))
+        bws = [s.bandwidth for s in sweep]
+        for a, b in zip(bws, bws[1:]):
+            assert b <= a * 1.02  # allow trace noise
+
+    def test_gt_floor_matches_table6_transposes(self, gt_memsystem):
+        # Paper Table 6: GT transposes at 20.7 GB/s ~ 256-stream copy.
+        bw = gt_memsystem.stream_copy(256).gbytes_per_s
+        assert bw == pytest.approx(20.7, rel=0.08)
+
+    def test_sequential_bandwidth_alias(self, gtx_memsystem):
+        assert gtx_memsystem.sequential_bandwidth() == pytest.approx(
+            gtx_memsystem.stream_copy(1).bandwidth
+        )
+
+    def test_invalid_stream_count(self, gtx_memsystem):
+        with pytest.raises(ValueError):
+            gtx_memsystem.stream_copy(0)
+
+    def test_array_divisibility_checked(self, gtx_memsystem):
+        with pytest.raises(ValueError):
+            gtx_memsystem.stream_copy(3, array_bytes=1000)
+
+
+class TestTraceTimingCache:
+    def test_identical_request_cached(self, gtx_memsystem):
+        p = BurstPattern(0, (1024,), (128,), 4, 4096, 128)
+        t1 = gtx_memsystem.trace_timing([p], 32)
+        t2 = gtx_memsystem.trace_timing([p], 32)
+        assert t1 is t2
+
+    def test_different_groups_not_conflated(self, gtx_memsystem):
+        p = BurstPattern(0, (1024,), (128,), 4, 4096, 128)
+        t1 = gtx_memsystem.trace_timing([p], 32)
+        t2 = gtx_memsystem.trace_timing([p], 64)
+        assert t1 is not t2
+
+
+class TestDefaultGroups:
+    def test_paper_configuration(self, gtx_memsystem):
+        # 48 blocks x 4 half-warps (64 threads).
+        assert gtx_memsystem.default_groups() == 48 * 4
+
+    def test_gt_has_42_blocks(self, gt_memsystem):
+        assert gt_memsystem.default_groups() == 42 * 4
+
+    def test_explicit_blocks(self, gtx_memsystem):
+        assert gtx_memsystem.default_groups(10, 32) == 20
+
+    def test_invalid(self, gtx_memsystem):
+        with pytest.raises(ValueError):
+            gtx_memsystem.default_groups(0)

@@ -1,0 +1,75 @@
+"""Tests for the CC 1.x occupancy calculator (paper Section 3.1)."""
+
+import pytest
+
+from repro.gpu.occupancy import occupancy
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+
+class TestPapersKernels:
+    def test_16point_kernel_gets_128_threads(self):
+        # 52 registers, 64 threads/block -> 2 blocks -> 128 threads/SM
+        # ("allowing 128 threads to run on an SM").
+        occ = occupancy(GEFORCE_8800_GTX, 64, 52)
+        assert occ.blocks_per_sm == 2
+        assert occ.active_threads == 128
+        assert occ.limiting_resource == "registers"
+
+    def test_16point_kernel_hides_latency(self):
+        occ = occupancy(GEFORCE_8800_GTX, 64, 52)
+        assert occ.latency_hiding_factor(GEFORCE_8800_GTX) == pytest.approx(1.0)
+
+    def test_256point_multirow_collapses(self):
+        # "each thread needs ... 1024 registers ... only eight threads can
+        # be executed on each SM".
+        occ = occupancy(GEFORCE_8800_GTX, 64, 1024)
+        assert occ.active_threads == 8
+        f = occ.latency_hiding_factor(GEFORCE_8800_GTX)
+        assert f == pytest.approx(8 / 128)
+
+    def test_step5_kernel_high_occupancy(self):
+        occ = occupancy(GEFORCE_8800_GTX, 64, 16, shared_bytes_per_block=1088)
+        assert occ.active_threads >= 512
+
+
+class TestResourceLimits:
+    def test_thread_limit(self):
+        occ = occupancy(GEFORCE_8800_GTX, 256, 8)
+        assert occ.blocks_per_sm == 3  # 768 / 256
+        assert occ.limiting_resource == "threads"
+
+    def test_block_limit(self):
+        occ = occupancy(GEFORCE_8800_GTX, 32, 4)
+        assert occ.blocks_per_sm == 8
+        assert occ.limiting_resource == "blocks"
+
+    def test_shared_memory_limit(self):
+        occ = occupancy(GEFORCE_8800_GTX, 64, 8, shared_bytes_per_block=8192)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_resource == "shared memory"
+
+    def test_register_limit(self):
+        occ = occupancy(GEFORCE_8800_GTX, 128, 32)
+        assert occ.blocks_per_sm == 2  # 8192 / 4096
+
+    def test_block_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GEFORCE_8800_GTX, 1024, 8)
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GEFORCE_8800_GTX, 64, -1)
+
+    def test_zero_thread_block_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(GEFORCE_8800_GTX, 0, 8)
+
+
+class TestDerivedQuantities:
+    def test_active_warps(self):
+        occ = occupancy(GEFORCE_8800_GTX, 64, 16)
+        assert occ.active_warps == occ.active_threads // 32
+
+    def test_hiding_factor_caps_at_one(self):
+        occ = occupancy(GEFORCE_8800_GTX, 256, 8)
+        assert occ.latency_hiding_factor(GEFORCE_8800_GTX) == 1.0

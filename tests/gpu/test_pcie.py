@@ -1,0 +1,80 @@
+"""Tests for the PCIe transfer model against Table 10's measured rates."""
+
+import pytest
+
+from repro.gpu.pcie import PCIE_1_1_X16, PCIE_2_0_X16, PcieLink, link_for
+
+
+class TestMeasuredRates:
+    def test_gen2_h2d_matches_table10(self):
+        # Paper: ~5.2 GB/s on the GT/GTS.
+        assert PCIE_2_0_X16.h2d_bandwidth / 1e9 == pytest.approx(5.2, rel=0.03)
+
+    def test_gen1_h2d_matches_table10(self):
+        # Paper: 2.82 GB/s on the GTX.
+        assert PCIE_1_1_X16.h2d_bandwidth / 1e9 == pytest.approx(2.82, rel=0.03)
+
+    def test_gen1_d2h_matches_table10(self):
+        # Paper: 3.35 GB/s.
+        assert PCIE_1_1_X16.d2h_bandwidth / 1e9 == pytest.approx(3.35, rel=0.03)
+
+    def test_256cubed_transfer_times(self):
+        n_bytes = 256**3 * 8
+        t = PCIE_2_0_X16.transfer_time(n_bytes, "h2d")
+        assert t * 1e3 == pytest.approx(25.9, rel=0.05)
+        t = PCIE_1_1_X16.transfer_time(n_bytes, "h2d")
+        assert t * 1e3 == pytest.approx(47.6, rel=0.05)
+
+    def test_efficiencies_physical(self):
+        for link in (PCIE_1_1_X16, PCIE_2_0_X16):
+            assert 0.5 < link.h2d_efficiency < 1.0
+            assert 0.5 < link.d2h_efficiency < 1.0
+
+
+class TestTransferTime:
+    def test_zero_bytes_free(self):
+        assert PCIE_2_0_X16.transfer_time(0, "h2d") == 0.0
+
+    def test_setup_cost_included(self):
+        small = PCIE_2_0_X16.transfer_time(128, "h2d")
+        assert small >= PCIE_2_0_X16.setup_s
+
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            PCIE_2_0_X16.transfer_time(100, "sideways")
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_2_0_X16.transfer_time(-1, "h2d")
+
+    def test_linear_in_size(self):
+        a = PCIE_2_0_X16.transfer_time(1 << 20, "d2h")
+        b = PCIE_2_0_X16.transfer_time(2 << 20, "d2h")
+        assert b - a == pytest.approx((1 << 20) / PCIE_2_0_X16.d2h_bandwidth)
+
+
+class TestOverlap:
+    def test_overlap_is_max(self):
+        assert PCIE_2_0_X16.overlapped_time(3.0, 5.0) == 5.0
+        assert PCIE_2_0_X16.overlapped_time(5.0, 3.0) == 5.0
+
+    def test_overlap_never_exceeds_sum(self):
+        assert PCIE_2_0_X16.overlapped_time(2.0, 2.0) < 4.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_2_0_X16.overlapped_time(-1.0, 1.0)
+
+
+class TestLinkFor:
+    def test_resolves_names(self):
+        assert link_for("1.1 x16") is PCIE_1_1_X16
+        assert link_for("2.0 x16") is PCIE_2_0_X16
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            link_for("3.0 x8")
+
+    def test_custom_link(self):
+        link = PcieLink("test", 1e9, 0.8, 0.9, setup_s=0.0)
+        assert link.transfer_time(8e8, "h2d") == pytest.approx(1.0)

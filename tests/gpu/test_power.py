@@ -1,0 +1,52 @@
+"""Tests for the system power model against Table 13."""
+
+import pytest
+
+from repro.gpu.power import PowerReading, SystemPowerModel
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTX
+from repro.harness import paper_data
+
+
+@pytest.fixture
+def model():
+    return SystemPowerModel()
+
+
+class TestTable13Reproduction:
+    def test_cpu_row(self, model):
+        r = model.fft_on_cpu(10.3)
+        assert r.idle_watts == pytest.approx(126)
+        assert r.load_watts == pytest.approx(140)
+        assert r.gflops_per_watt == pytest.approx(0.074, abs=0.005)
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_gpu_rows(self, dev, model):
+        paper = paper_data.TABLE13[dev.name]
+        r = model.fft_on_gpu(dev, paper["gflops"])
+        assert r.idle_watts == pytest.approx(paper["idle"])
+        assert r.load_watts == pytest.approx(paper["load"])
+        assert r.gflops_per_watt == pytest.approx(paper["eff"], abs=0.01)
+
+    def test_gpu_beats_cpu_efficiency_4x(self, model):
+        # Section 4.7: "about four times higher power efficiency".
+        cpu = model.fft_on_cpu(10.3)
+        gtx = model.fft_on_gpu(GEFORCE_8800_GTX, 84.4)
+        assert gtx.gflops_per_watt / cpu.gflops_per_watt > 3.5
+
+
+class TestModelMechanics:
+    def test_idle_lookup(self, model):
+        assert model.idle("8800 GT") == pytest.approx(180)
+
+    def test_unknown_gpu_rejected(self, model):
+        with pytest.raises(ValueError, match="power profile"):
+            model.profile("9999 XTX")
+
+    def test_reading_requires_positive_load(self):
+        r = PowerReading(idle_watts=0, load_watts=0, gflops=1)
+        with pytest.raises(ValueError):
+            _ = r.gflops_per_watt
+
+    def test_invalid_base_power(self):
+        with pytest.raises(ValueError):
+            SystemPowerModel(host_base_watts=0)

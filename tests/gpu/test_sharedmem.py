@@ -1,0 +1,83 @@
+"""Tests for the shared-memory bank-conflict model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.sharedmem import (
+    N_BANKS,
+    SharedMemoryModel,
+    bank_conflict_degree,
+    padded_stride,
+    stride_conflict_degree,
+)
+
+
+class TestBankConflictDegree:
+    def test_unit_stride_conflict_free(self):
+        assert bank_conflict_degree(np.arange(16)) == 1
+
+    def test_stride_two_halves_banks(self):
+        assert bank_conflict_degree(np.arange(16) * 2) == 2
+
+    def test_stride_sixteen_fully_serializes(self):
+        assert bank_conflict_degree(np.arange(16) * 16) == 16
+
+    def test_broadcast_is_free(self):
+        assert bank_conflict_degree(np.full(16, 7)) == 1
+
+    def test_odd_stride_conflict_free(self):
+        assert bank_conflict_degree(np.arange(16) * 17) == 1
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            bank_conflict_degree(np.arange(8))
+
+
+class TestStrideConflictDegree:
+    @pytest.mark.parametrize(
+        "stride,degree",
+        [(1, 1), (2, 2), (3, 1), (4, 4), (8, 8), (16, 16), (17, 1), (32, 16)],
+    )
+    def test_gcd_rule(self, stride, degree):
+        assert stride_conflict_degree(stride) == degree
+
+    def test_consistent_with_explicit_indices(self):
+        for stride in range(1, 33):
+            explicit = bank_conflict_degree(np.arange(16) * stride)
+            assert stride_conflict_degree(stride) == explicit
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            stride_conflict_degree(0)
+
+
+class TestPaddedStride:
+    def test_sixteen_pads_to_seventeen(self):
+        # The paper's padding technique for 16-bank shared memory.
+        assert padded_stride(16) == 17
+
+    def test_odd_stride_unchanged(self):
+        assert padded_stride(5) == 5
+
+    def test_padded_result_is_conflict_free(self):
+        for s in range(1, 64):
+            assert stride_conflict_degree(padded_stride(s)) == 1
+
+
+class TestSharedMemoryModel:
+    def test_exchange_cost_scales_with_conflicts(self):
+        free = SharedMemoryModel(conflict_degree=1)
+        bad = SharedMemoryModel(conflict_degree=16)
+        assert bad.exchange_cost(100) == 16 * free.exchange_cost(100)
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMemoryModel().exchange_cost(-1)
+
+    def test_split_exchange_bytes(self):
+        # Real+imag split still moves 8 bytes per complex value.
+        assert SharedMemoryModel().exchange_bytes_per_point("single") == 8
+        assert SharedMemoryModel().exchange_bytes_per_point("double") == 16
+
+    def test_bank_count_is_g80(self):
+        assert N_BANKS == 16

@@ -1,0 +1,120 @@
+"""Tests for the DeviceSimulator façade."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.access import BurstPattern
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.simulator import DeviceMemoryError, DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+
+
+@pytest.fixture
+def sim():
+    return DeviceSimulator(GEFORCE_8800_GTX)
+
+
+def tiny_spec():
+    mem = MemoryAccessSpec(BurstPattern(0, (1024,), (128,), 1, 128, 128))
+    return KernelSpec("k", 48, 64, 16, 0, 1024, InstructionMix(flops=10.0), (mem,))
+
+
+class TestAllocator:
+    def test_allocation_tracked(self, sim):
+        arr = sim.allocate((64, 64, 64), np.complex64, "a")
+        assert sim.used_bytes >= arr.nbytes
+        sim.free(arr)
+        assert sim.used_bytes == 0
+
+    def test_capacity_enforced(self):
+        sim = DeviceSimulator(GEFORCE_8800_GT)  # 512 MB card
+        with pytest.raises(DeviceMemoryError, match="out-of-core"):
+            sim.allocate((512, 512, 512), np.complex64)  # 1 GB
+
+    def test_512cubed_needs_out_of_core_even_on_gtx(self, sim):
+        # The Section 3.3 motivation: 512^3 + work buffer > 768 MB.
+        sim.allocate((512, 512, 256), np.complex64, "half")  # 512 MB fits
+        with pytest.raises(DeviceMemoryError):
+            sim.allocate((512, 512, 256), np.complex64, "work")
+
+    def test_duplicate_names_rejected(self, sim):
+        sim.allocate((4,), np.complex64, "x")
+        with pytest.raises(ValueError):
+            sim.allocate((4,), np.complex64, "x")
+
+    def test_free_unknown_rejected(self, sim):
+        other = DeviceSimulator(GEFORCE_8800_GTX)
+        arr = other.allocate((4,), np.complex64, "y")
+        with pytest.raises(KeyError):
+            sim.free(arr)
+
+    def test_distinct_base_addresses(self, sim):
+        a = sim.allocate((1024,), np.complex64, "a")
+        b = sim.allocate((1024,), np.complex64, "b")
+        assert b.base >= a.base + a.nbytes
+
+
+class TestTransfers:
+    def test_h2d_copies_data(self, sim, rng):
+        host = (rng.standard_normal((8, 8)) + 0j).astype(np.complex64)
+        dev = sim.allocate((8, 8), np.complex64, "d")
+        t = sim.h2d(host, dev)
+        np.testing.assert_array_equal(dev.data, host)
+        assert t > 0
+
+    def test_d2h_copies_back(self, sim, rng):
+        dev = sim.allocate((8,), np.complex64, "d")
+        dev.data[:] = np.arange(8)
+        host = np.empty(8, np.complex64)
+        sim.d2h(dev, host)
+        np.testing.assert_array_equal(host, np.arange(8))
+
+    def test_transfer_time_matches_link(self, sim, rng):
+        host = np.zeros(1 << 20, np.complex64)
+        dev = sim.allocate((1 << 20,), np.complex64, "d")
+        t = sim.h2d(host, dev)
+        assert t == pytest.approx(sim.pcie.transfer_time(host.nbytes, "h2d"))
+
+    def test_size_mismatch_rejected(self, sim):
+        dev = sim.allocate((8,), np.complex64, "d")
+        with pytest.raises(ValueError):
+            sim.h2d(np.zeros(16, np.complex64), dev)
+
+    def test_transfer_seconds_accumulate(self, sim):
+        host = np.zeros(1024, np.complex64)
+        dev = sim.allocate((1024,), np.complex64, "d")
+        sim.h2d(host, dev)
+        sim.d2h(dev, host)
+        assert sim.transfer_seconds == pytest.approx(sim.elapsed)
+
+
+class TestLaunches:
+    def test_body_executed(self, sim):
+        hit = {}
+
+        def body(v):
+            hit["x"] = v
+
+        sim.launch(tiny_spec(), body, 42)
+        assert hit["x"] == 42
+
+    def test_timing_charged(self, sim):
+        sim.launch(tiny_spec())
+        assert sim.kernel_seconds > 0
+        assert len(sim.launches()) == 1
+
+    def test_charge_external_time(self, sim):
+        sim.charge("custom", 0.5)
+        assert sim.elapsed == pytest.approx(0.5)
+
+    def test_negative_charge_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.charge("bad", -1.0)
+
+    def test_reset_clock_keeps_allocations(self, sim):
+        arr = sim.allocate((4,), np.complex64, "keep")
+        sim.launch(tiny_spec())
+        sim.reset_clock()
+        assert sim.elapsed == 0.0
+        assert sim.used_bytes >= arr.nbytes

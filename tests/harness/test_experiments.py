@@ -1,0 +1,66 @@
+"""Tests for the experiment registry and report rendering."""
+
+import pytest
+
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.report import EXPERIMENT_ORDER
+
+
+class TestRegistry:
+    def test_every_table_and_figure_registered(self):
+        expected = {
+            "table1", "streams", "table3", "table4", "table6", "table7",
+            "table8", "table9", "table10", "table11", "table12", "table13",
+            "fig1", "fig2", "fig3",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_order_covers_registry(self):
+        assert set(EXPERIMENT_ORDER) == set(EXPERIMENTS)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+class TestCheapExperiments:
+    def test_table1_rows(self):
+        r = run_experiment("table1")
+        assert r.rows["8800 GTX"]["gflops"] == pytest.approx(345.6)
+        assert "8800 GT" in r.text
+
+    def test_table11_rows(self):
+        r = run_experiment("table11")
+        assert r.rows["AMD Phenom 9500"]["gflops"] == pytest.approx(10.3, rel=0.05)
+
+    def test_table13_rows(self):
+        r = run_experiment("table13")
+        assert r.rows["8800 GTX"]["gflops_per_watt"] > 3 * r.rows["CPU"][
+            "gflops_per_watt"
+        ]
+
+
+@pytest.mark.slow
+class TestModelExperiments:
+    def test_streams_experiment_anchors(self):
+        r = run_experiment("streams")
+        assert r.rows[1] == pytest.approx(71.7, rel=0.03)
+        assert r.rows[256] == pytest.approx(30.7, rel=0.05)
+
+    def test_table7_text_contains_paper_comparison(self):
+        r = run_experiment("table7")
+        assert "(4.39)" in r.text  # GTX step 1,3 paper value
+
+    def test_fig1_rows_shape(self):
+        r = run_experiment("fig1")
+        for dev, row in r.rows.items():
+            assert row["ours"] > 2.5 * row["cufft"], dev
+            assert row["ours"] > 1.5 * row["conventional"], dev
+
+    def test_table9_ordering(self):
+        r = run_experiment("table9")
+        assert (
+            r.rows["shared"]["total_ms"]
+            < r.rows["texture"]["total_ms"]
+            < r.rows["non_coalesced"]["total_ms"]
+        )

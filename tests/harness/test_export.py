@@ -1,0 +1,40 @@
+"""Tests for the JSON export path."""
+
+import json
+
+import pytest
+
+from repro.harness.export import collect_results, export_results
+
+
+class TestCollect:
+    def test_cheap_subset(self):
+        doc = collect_results(("table1", "table11"))
+        assert doc["calibration"]["anchors_hold"] is True
+        assert set(doc["experiments"]) == {"table1", "table11"}
+        rows = doc["experiments"]["table1"]["rows"]
+        assert rows["8800 GTX"]["bandwidth"] == pytest.approx(86.4, abs=0.1)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            collect_results(("tableX",))
+
+    def test_values_json_serializable(self):
+        doc = collect_results(("table13",))
+        json.dumps(doc)  # must not raise
+
+
+class TestExport:
+    def test_writes_valid_json(self, tmp_path):
+        out = export_results(tmp_path / "results.json", ("table1",))
+        doc = json.loads(out.read_text())
+        assert "experiments" in doc
+        assert doc["experiments"]["table1"]["title"].startswith("Table 1")
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        path = tmp_path / "r.json"
+        assert main(["table1", "--json", str(path)]) == 0
+        assert path.exists()
+        assert "machine-readable" in capsys.readouterr().out

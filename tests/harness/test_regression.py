@@ -1,0 +1,54 @@
+"""Tests for the baseline regression gate."""
+
+import json
+
+import pytest
+
+from repro.harness.regression import Drift, compare_to_baseline, load_baseline
+
+
+class TestBaseline:
+    def test_committed_baseline_loads(self):
+        doc = load_baseline()
+        assert "experiments" in doc
+        assert "table7" in doc["experiments"]
+        assert doc["calibration"]["anchors_hold"] is True
+
+    def test_cheap_experiments_match_baseline(self):
+        # Deterministic models: zero drift on re-run.
+        drifts = compare_to_baseline(("table1", "table11", "table13"))
+        assert drifts == []
+
+    def test_drift_detected_against_modified_baseline(self, tmp_path):
+        doc = load_baseline()
+        doc["experiments"]["table1"]["rows"]["8800 GTX"]["gflops"] *= 1.05
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(doc))
+        drifts = compare_to_baseline(("table1",), baseline_path=path)
+        assert len(drifts) == 1
+        assert drifts[0].experiment == "table1"
+        assert drifts[0].relative == pytest.approx(0.05, rel=0.05)
+
+    def test_missing_experiment_flagged(self, tmp_path):
+        doc = load_baseline()
+        del doc["experiments"]["table11"]
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(doc))
+        drifts = compare_to_baseline(("table11",), baseline_path=path)
+        assert any(d.key == "<missing in baseline>" for d in drifts)
+
+    def test_tolerance_respected(self, tmp_path):
+        doc = load_baseline()
+        doc["experiments"]["table1"]["rows"]["8800 GT"]["gflops"] *= 1.0000001
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(doc))
+        assert compare_to_baseline(("table1",), tolerance=1e-3,
+                                   baseline_path=path) == []
+
+
+@pytest.mark.slow
+class TestFullBaseline:
+    def test_model_experiments_match_baseline(self):
+        # The heavier experiments are deterministic too.
+        drifts = compare_to_baseline(("table7", "table10", "fig1"))
+        assert drifts == [], [f"{d.experiment}:{d.key}" for d in drifts[:5]]

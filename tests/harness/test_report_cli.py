@@ -1,0 +1,37 @@
+"""Tests for the report renderer and the CLI entry point."""
+
+import pytest
+
+from repro.harness.__main__ import main
+from repro.harness.report import EXPERIMENT_ORDER, full_report
+
+
+class TestFullReport:
+    def test_single_experiment_renders(self):
+        text = full_report(("table1",))
+        assert "Calibration anchors" in text
+        assert "8800 GTX" in text
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            full_report(("table42",))
+
+    def test_order_is_paper_order(self):
+        assert EXPERIMENT_ORDER[0] == "table1"
+        assert EXPERIMENT_ORDER[-1] == "fig3"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out and "fig1" in out
+
+    def test_run_one(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "GeForce" in out or "8800" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert main(["tableX"]) == 2
+        assert "tableX" in capsys.readouterr().err

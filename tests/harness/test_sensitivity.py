@@ -1,0 +1,43 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.harness.sensitivity import TUNABLE_FIELDS, sensitivity_study
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return sensitivity_study()
+
+
+class TestSensitivity:
+    def test_all_tunables_covered(self, rows):
+        assert {r.field for r in rows} == set(TUNABLE_FIELDS)
+
+    def test_headline_robust_to_every_constant(self, rows):
+        # The reproduction claim: no single calibrated constant carries
+        # the result — 20-100% perturbations move the headline < 15%.
+        for r in rows:
+            assert r.gflops_swing < 0.15, r.field
+
+    def test_utilization_sets_the_anchor(self, rows):
+        # stream_utilization is the one constant that defines the
+        # single-stream anchor; the others must not touch it.
+        for r in rows:
+            lo, nom, hi = r.anchor_single
+            if r.field == "stream_utilization":
+                assert hi - lo > 5.0
+            else:
+                assert abs(hi - nom) < 0.5 and abs(lo - nom) < 0.5, r.field
+
+    def test_trrd_direction(self, rows):
+        # Slower activations (larger t_rrd) can only hurt.
+        r = next(x for x in rows if x.field == "t_rrd_beats")
+        lo, nom, hi = r.gflops
+        assert hi <= nom <= lo
+
+    def test_nominal_consistent_across_rows(self, rows):
+        noms = {round(r.gflops[1], 6) for r in rows}
+        assert len(noms) == 1

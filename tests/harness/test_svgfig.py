@@ -1,0 +1,71 @@
+"""Tests for the dependency-free SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.harness.svgfig import grouped_bar_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def render(groups=("GT", "GTX"), series=None, **kw):
+    series = series or {"ours": [60.0, 84.0], "cufft": [20.0, 25.0]}
+    return grouped_bar_svg(groups, series, "Test figure", **kw)
+
+
+class TestGroupedBarSvg:
+    def test_valid_xml(self):
+        root = ET.fromstring(render())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_bar_per_group_series(self):
+        root = ET.fromstring(render())
+        bars = [
+            r for r in root.iter(f"{SVG_NS}rect")
+            if r.get("fill", "").startswith("#") and r.get("fill") != "#fff"
+        ]
+        # 2 groups x 2 series bars + 2 legend swatches + background.
+        data_bars = [b for b in bars if float(b.get("height", 0)) > 12]
+        assert len(data_bars) >= 4
+
+    def test_bar_heights_proportional(self):
+        svg = render(series={"s": [50.0, 100.0]})
+        root = ET.fromstring(svg)
+        heights = sorted(
+            float(r.get("height"))
+            for r in root.iter(f"{SVG_NS}rect")
+            if r.find(f"{SVG_NS}title") is not None
+        )
+        assert heights[1] == pytest.approx(2 * heights[0], rel=0.01)
+
+    def test_title_and_labels_present(self):
+        svg = render()
+        assert "Test figure" in svg
+        assert "GFLOPS" in svg
+        assert "GT" in svg
+
+    def test_values_annotated(self):
+        assert "84" in render()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_svg([], {}, "t")
+        with pytest.raises(ValueError):
+            grouped_bar_svg(["a"], {"s": [1.0, 2.0]}, "t")
+
+    def test_escaping(self):
+        svg = grouped_bar_svg(["a<b"], {"x&y": [1.0]}, "t<t>")
+        ET.fromstring(svg)  # must stay well-formed
+
+
+@pytest.mark.slow
+class TestWriteFigures:
+    def test_writes_three_files(self, tmp_path):
+        from repro.harness.svgfig import write_figure_svgs
+
+        paths = write_figure_svgs(tmp_path)
+        assert len(paths) == 3
+        for p in paths:
+            root = ET.fromstring(p.read_text())
+            assert root.tag == f"{SVG_NS}svg"

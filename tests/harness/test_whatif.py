@@ -1,0 +1,80 @@
+"""Tests for the what-if studies (faster links, more bandwidth, DP)."""
+
+import pytest
+
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+from repro.harness.whatif import (
+    bandwidth_scaling_study,
+    double_precision_device,
+    double_precision_study,
+    interconnect_study,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestInterconnectStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return interconnect_study(GEFORCE_8800_GTX)
+
+    def test_faster_links_monotone(self, points):
+        totals = [p.total_gflops for p in points]
+        assert totals == sorted(totals)
+
+    def test_gen1_matches_table10(self, points):
+        gen1 = next(p for p in points if p.link == "1.1 x16")
+        assert gen1.total_gflops == pytest.approx(18.0, rel=0.1)
+
+    def test_upgrading_gtx_to_gen2_beats_the_g92s(self, points):
+        # The paper's "ideal solution": with a modern link, the GTX's
+        # on-board advantage survives the transfers.
+        from repro.core.estimator import estimate_fft3d
+
+        gen2 = next(p for p in points if p.link == "2.0 x16")
+        gt_total = estimate_fft3d(GEFORCE_8800_GT, 256).total_gflops
+        assert gen2.total_gflops > gt_total
+
+    def test_penalty_shrinks_but_persists(self, points):
+        gen3 = next(p for p in points if p.link == "3.0 x16")
+        assert 0.2 < gen3.transfer_penalty < 0.7
+
+    def test_on_board_unchanged_by_link(self, points):
+        assert len({round(p.on_board_gflops, 6) for p in points}) == 1
+
+
+class TestBandwidthScaling:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return bandwidth_scaling_study(factors=(0.5, 1.0, 2.0, 3.0))
+
+    def test_monotone_nondecreasing(self, curve):
+        vals = [curve[f] for f in sorted(curve)]
+        for a, b in zip(vals, vals[1:]):
+            assert b >= a * 0.999
+
+    def test_bandwidth_bound_at_baseline(self, curve):
+        # Halving bandwidth nearly halves performance...
+        assert curve[0.5] < 0.65 * curve[1.0]
+
+    def test_compute_bound_plateau(self, curve):
+        # ...but beyond ~2x the kernel saturates on issue rate.
+        assert curve[3.0] < 1.10 * curve[2.0]
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            bandwidth_scaling_study(factors=(0.0,))
+
+
+class TestDoublePrecision:
+    def test_device_flag(self):
+        dev = double_precision_device()
+        assert dev.supports_double
+        assert not GEFORCE_8800_GTX.supports_double
+
+    def test_dp_roughly_halves_throughput(self):
+        r = double_precision_study(128)
+        # Doubling element size doubles memory traffic on a
+        # bandwidth-bound kernel.
+        assert 1.5 < r["slowdown"] < 2.5
+        assert r["double_gflops"] < r["single_gflops"]

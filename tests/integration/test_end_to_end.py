@@ -1,0 +1,139 @@
+"""End-to-end integration: GPU-simulated transforms inside applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.convolution import fft_correlate
+from repro.apps.spectral import poisson_solve
+from repro.core.api import GpuFFT3D
+from repro.core.five_step import FiveStepPlan
+from repro.fft.fft3d import fft3d, ifft3d
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GTS, GEFORCE_8800_GTX
+
+
+class TestEnginesAgree:
+    """All four functional 3-D engines compute the same transform."""
+
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(99)
+        return rng.standard_normal((32, 32, 32)) + 1j * rng.standard_normal(
+            (32, 32, 32)
+        )
+
+    def test_five_step_vs_host(self, data):
+        five = FiveStepPlan((32, 32, 32), precision="double").execute(data)
+        np.testing.assert_allclose(five, fft3d(data), rtol=1e-9, atol=1e-8)
+
+    def test_six_step_vs_host(self, data):
+        from repro.baselines.six_step import SixStepPlan
+
+        six = SixStepPlan(32, precision="double").execute(data)
+        np.testing.assert_allclose(six, fft3d(data), rtol=1e-9, atol=1e-8)
+
+    def test_cufft_vs_host(self, data):
+        from repro.baselines.cufft_model import cufft_fft3d
+
+        np.testing.assert_allclose(
+            cufft_fft3d(data), fft3d(data), rtol=1e-9, atol=1e-8
+        )
+
+    def test_out_of_core_vs_host(self, data):
+        from repro.core.out_of_core import OutOfCorePlan
+        from repro.gpu.specs import GEFORCE_8800_GT
+
+        plan = OutOfCorePlan((32, 32, 32), GEFORCE_8800_GT, n_slabs=4,
+                             precision="double")
+        np.testing.assert_allclose(
+            plan.execute(data), fft3d(data), rtol=1e-9, atol=1e-8
+        )
+
+
+class TestApplicationOnSimulatedGpu:
+    def test_poisson_pipeline_through_gpu_plan(self, rng):
+        n = 32
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        z, y, xg = np.meshgrid(x, x, x, indexing="ij")
+        u_true = np.sin(xg) * np.sin(2 * y) * np.cos(z)
+        f = -(1 + 4 + 1) * u_true
+
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        plan = GpuFFT3D((n, n, n), simulator=sim, precision="double")
+        spec = plan.forward(f.astype(np.complex128))
+        from repro.apps.spectral.poisson import wavenumbers
+
+        kz = wavenumbers(n)[:, None, None]
+        ky = wavenumbers(n)[None, :, None]
+        kx = wavenumbers(n)[None, None, :]
+        ksq = kz**2 + ky**2 + kx**2
+        ksq[0, 0, 0] = 1.0
+        uhat = spec / (-ksq)
+        uhat[0, 0, 0] = 0.0
+        u = plan.inverse(uhat).real
+        np.testing.assert_allclose(u, u_true, atol=1e-9)
+        # Four transfers and ten kernel launches were accounted.
+        assert len(sim.launches()) == 10
+        assert sim.transfer_seconds > 0
+
+    def test_correlation_matches_simulated_gpu_path(self, rng):
+        a = rng.standard_normal((16, 16, 16))
+        b = np.roll(a, (1, 2, 3), (0, 1, 2))
+        host = fft_correlate(b, a).real
+        plan = GpuFFT3D((16, 16, 16), precision="double")
+        fa = plan.forward(b.astype(np.complex128))
+        fb = plan.forward(a.astype(np.complex128))
+        gpu = plan.inverse(fa * np.conj(fb)).real
+        np.testing.assert_allclose(gpu, host, atol=1e-8)
+        assert np.unravel_index(np.argmax(gpu), gpu.shape) == (1, 2, 3)
+
+    def test_poisson_solve_helper(self, rng):
+        f = rng.standard_normal((16, 16, 16))
+        f -= f.mean()
+        u = poisson_solve(f)
+        from repro.apps.spectral import spectral_laplacian
+
+        np.testing.assert_allclose(spectral_laplacian(u), f, atol=1e-10)
+
+
+class TestPrecisionExtension:
+    """The paper's stated future work: a double-precision version."""
+
+    def test_double_precision_plan(self, rng):
+        x = rng.standard_normal((16, 16, 16)) + 1j * rng.standard_normal(
+            (16, 16, 16)
+        )
+        plan = FiveStepPlan((16, 16, 16), precision="double")
+        out = plan.execute(x)
+        assert out.dtype == np.complex128
+        np.testing.assert_allclose(out, np.fft.fftn(x), atol=1e-10)
+
+    def test_single_precision_worse_but_bounded(self, rng):
+        shape = (32, 32, 32)
+        x = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ref = np.fft.fftn(x)
+        single = FiveStepPlan(shape, precision="single").execute(
+            x.astype(np.complex64)
+        )
+        double = FiveStepPlan(shape, precision="double").execute(x)
+        err_s = np.abs(single - ref).max() / np.abs(ref).max()
+        err_d = np.abs(double - ref).max() / np.abs(ref).max()
+        assert err_d < 1e-12
+        assert err_d < err_s < 1e-5
+
+
+class TestAsyncOverlapExtension:
+    """Section 4.4: asynchronous transfers shrink the PCIe penalty."""
+
+    def test_overlap_reduces_wall_time(self):
+        from repro.core.estimator import estimate_fft3d
+        from repro.gpu.pcie import link_for
+
+        est = estimate_fft3d(GEFORCE_8800_GTS, 256)
+        link = link_for(GEFORCE_8800_GTS.pcie)
+        sync = est.total_seconds
+        overlapped = (
+            link.overlapped_time(est.h2d_seconds, est.on_board_seconds)
+            + est.d2h_seconds
+        )
+        assert overlapped < sync

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the quickstart surface of the library; a broken one is a
+broken deliverable.  Each runs in a subprocess exactly as a user would
+invoke it (small arguments where supported).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["32"], "max relative error"),
+    ("protein_docking.py", [], "Top docking poses"),
+    ("spectral_solver.py", [], "Poisson solve"),
+    ("bandwidth_explorer.py", ["8800 GT"], "pattern pair"),
+    ("out_of_core_512.py", [], "Table 12"),
+    ("dns_taylor_green.py", ["16", "6"], "kinetic energy"),
+    ("warp_level_demo.py", [], "coalesced"),
+]
+
+
+@pytest.mark.parametrize("script,args,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected.lower() in result.stdout.lower(), result.stdout[-2000:]
+
+
+def test_all_examples_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == {c[0] for c in CASES}

@@ -1,0 +1,122 @@
+"""Property-based invariants of the performance models.
+
+A mechanistic simulator should obey physical sanity laws regardless of
+input: bandwidth never exceeds pins, more traffic never takes less time,
+occupancy never exceeds limits, predicted GFLOPS respond monotonically to
+resources.  Hypothesis hunts for counterexamples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.dram import DramModel
+from repro.gpu.memsystem import MemorySystem
+from repro.gpu.occupancy import occupancy
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTX
+
+pytestmark = pytest.mark.slow
+
+_DRAM = DramModel(GEFORCE_8800_GTX)
+_MS = MemorySystem(GEFORCE_8800_GTX)
+
+
+class TestDramInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**31), st.integers(64, 2000), st.integers(1, 8))
+    def test_bandwidth_never_exceeds_pins(self, base, n_txns, stride_chunks):
+        addrs = base + np.arange(n_txns, dtype=np.int64) * 128 * stride_chunks
+        sizes = np.full(n_txns, 128, dtype=np.int64)
+        t = _DRAM.evaluate(addrs, sizes)
+        assert t.bandwidth <= GEFORCE_8800_GTX.peak_bandwidth * 1.0001
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_sequential_is_fastest_shape(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4000
+        seq = np.arange(n, dtype=np.int64) * 128
+        rand = rng.permutation(seq)
+        sizes = np.full(n, 128, dtype=np.int64)
+        t_seq = _DRAM.evaluate(seq, sizes)
+        t_rand = _DRAM.evaluate(rand, sizes)
+        assert t_seq.bandwidth >= t_rand.bandwidth * 0.999
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(500, 3000))
+    def test_time_scales_superlinearly_never_sublinearly(self, n):
+        # Doubling a homogeneous trace at least doubles busy time.
+        addrs = np.arange(n, dtype=np.int64) * 128
+        sizes = np.full(n, 128, dtype=np.int64)
+        one = _DRAM.evaluate(addrs, sizes).beats
+        double = _DRAM.evaluate(
+            np.concatenate([addrs, addrs + n * 128]),
+            np.concatenate([sizes, sizes]),
+        ).beats
+        assert double >= 1.9 * one
+
+    def test_activation_count_bounded_by_transactions(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 27, 5000, dtype=np.int64) * 128
+        t = _DRAM.evaluate(addrs, np.full(5000, 128, dtype=np.int64))
+        assert t.activations <= 5000
+
+
+class TestStreamSweepInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256]))
+    def test_floor_and_ceiling(self, streams):
+        bw = _MS.stream_copy(streams).bandwidth
+        floor = _MS.stream_copy(256).bandwidth
+        ceil = _MS.stream_copy(1).bandwidth
+        assert floor * 0.999 <= bw <= ceil * 1.001
+
+
+class TestOccupancyInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.sampled_from([16, 32, 64, 128, 256, 512]),
+        st.integers(0, 256),
+        st.integers(0, 16384),
+    )
+    def test_limits_respected(self, threads, regs, shared):
+        occ = occupancy(GEFORCE_8800_GTX, threads, regs, shared)
+        dev = GEFORCE_8800_GTX
+        assert occ.active_threads <= dev.max_threads_per_sm
+        assert occ.blocks_per_sm <= dev.max_blocks_per_sm
+        if occ.blocks_per_sm > 0 and occ.threads_per_block == threads:
+            assert occ.blocks_per_sm * threads * regs <= dev.registers_per_sm or regs == 0
+            if shared > 0:
+                assert occ.blocks_per_sm * shared <= dev.shared_mem_per_sm
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 200))
+    def test_more_registers_never_help(self, regs):
+        a = occupancy(GEFORCE_8800_GTX, 64, regs)
+        b = occupancy(GEFORCE_8800_GTX, 64, regs + 8)
+        assert b.active_threads <= a.active_threads
+
+
+class TestEstimatorInvariants:
+    def test_bigger_grids_take_longer(self):
+        from repro.core.estimator import estimate_fft3d
+
+        times = [
+            estimate_fft3d(GEFORCE_8800_GTX, n).on_board_seconds
+            for n in (32, 64, 128)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    @pytest.mark.parametrize("dev", ALL_GPUS, ids=lambda d: d.name)
+    def test_gflops_below_peak(self, dev):
+        from repro.core.estimator import estimate_fft3d
+
+        est = estimate_fft3d(dev, 256)
+        assert est.on_board_gflops < dev.peak_gflops
+
+    def test_double_precision_slower(self):
+        from repro.core.estimator import estimate_fft3d
+
+        sp = estimate_fft3d(GEFORCE_8800_GTX, 64, precision="single")
+        dp = estimate_fft3d(GEFORCE_8800_GTX, 64, precision="double")
+        assert dp.on_board_seconds > 1.5 * sp.on_board_seconds

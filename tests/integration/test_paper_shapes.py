@@ -1,0 +1,103 @@
+"""The headline reproduction criteria, asserted in one place.
+
+These are the claims a reader checks first; all comparisons are *shape*
+comparisons (who wins, by what factor) per the reproduction brief.
+"""
+
+import pytest
+
+from repro.baselines.cufft_model import estimate_cufft_3d
+from repro.baselines.fftw_cpu import estimate_fftw
+from repro.baselines.six_step import estimate_six_step
+from repro.core.estimator import estimate_fft3d
+from repro.gpu.power import SystemPowerModel
+from repro.gpu.specs import ALL_GPUS, GEFORCE_8800_GTX
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for dev in ALL_GPUS:
+        out[dev.name] = dict(
+            ours=estimate_fft3d(dev, 256),
+            six=estimate_six_step(dev, 256),
+            cufft=estimate_cufft_3d(dev, 256),
+        )
+    return out
+
+
+class TestHeadlineClaims:
+    def test_more_than_3x_cufft_on_every_card(self, results):
+        # Abstract: "more than three times faster than any existing FFT
+        # implementations on GPUs including CUFFT".
+        for name, r in results.items():
+            ratio = r["ours"].on_board_gflops / r["cufft"].gflops
+            assert ratio > 3.0, (name, ratio)
+
+    def test_about_2x_conventional(self, results):
+        # Section 4.1: "about twice faster than conventional algorithm
+        # using transposes".
+        for name, r in results.items():
+            ratio = r["ours"].on_board_gflops / r["six"].on_board_gflops
+            assert 1.5 < ratio < 2.8, (name, ratio)
+
+    def test_nearly_80_gflops_on_top_card(self, results):
+        # Abstract: "achieves nearly 80 GFLOPS on a top-end GPU".
+        assert results["8800 GTX"]["ours"].on_board_gflops > 75
+
+    def test_several_times_faster_than_cpu(self, results):
+        cpu = estimate_fftw(n=256)
+        for r in results.values():
+            assert r["ours"].on_board_gflops > 4 * cpu.gflops
+
+    def test_gpu_beats_cpu_even_with_transfers(self, results):
+        # Section 4.5: "greatly outperforms FFTW ... even if we include
+        # the transfer time".
+        cpu = estimate_fftw(n=256)
+        for r in results.values():
+            assert r["ours"].total_gflops > 1.5 * cpu.gflops
+
+
+class TestRankingStructure:
+    def test_on_board_ranking_follows_bandwidth(self, results):
+        g = {k: v["ours"].on_board_gflops for k, v in results.items()}
+        assert g["8800 GTX"] > g["8800 GTS"] > g["8800 GT"]
+
+    def test_pcie_inverts_ranking(self, results):
+        t = {k: v["ours"].total_seconds for k, v in results.items()}
+        assert t["8800 GTX"] > max(t["8800 GT"], t["8800 GTS"])
+
+    def test_transfer_quarters_the_gflops(self, results):
+        # Table 10: 84.4 -> 18.0 on the GTX.
+        r = results["8800 GTX"]["ours"]
+        assert r.total_gflops < 0.30 * r.on_board_gflops
+
+
+class TestPowerEfficiency:
+    def test_roughly_4x_cpu_gflops_per_watt(self, results):
+        model = SystemPowerModel()
+        cpu = model.fft_on_cpu(estimate_fftw(n=256).gflops)
+        gtx = model.fft_on_gpu(
+            GEFORCE_8800_GTX, results["8800 GTX"]["ours"].on_board_gflops
+        )
+        ratio = gtx.gflops_per_watt / cpu.gflops_per_watt
+        assert 3.0 < ratio < 6.0
+
+
+class TestSizeScaling:
+    def test_gflops_decrease_for_smaller_grids(self):
+        # Section 4.6: "smaller problem sizes decrease the ratio of
+        # floating-point operations to memory accesses".
+        g = [
+            estimate_fft3d(GEFORCE_8800_GTX, n).on_board_gflops
+            for n in (64, 128, 256)
+        ]
+        assert g[0] < g[1] < g[2]
+
+    def test_still_beats_cufft_at_every_size(self):
+        for n in (64, 128, 256):
+            ours = estimate_fft3d(GEFORCE_8800_GTX, n).on_board_gflops
+            cufft = estimate_cufft_3d(GEFORCE_8800_GTX, n).gflops
+            assert ours > 2.5 * cufft, n

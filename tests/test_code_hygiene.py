@@ -1,0 +1,70 @@
+"""Code hygiene: no unused imports in library modules.
+
+A lightweight AST check (no external linter available offline) that keeps
+the many-small-modules codebase tidy.  ``__init__.py`` files are exempt
+(their imports *are* the re-export surface).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+MODULES = sorted(
+    p for p in SRC.rglob("*.py") if p.name != "__init__.py"
+)
+
+
+def _imported_names(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.asname or alias.name.split(".")[0], node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield alias.asname or alias.name, node.lineno
+
+
+def _used_names(tree: ast.AST) -> set[str]:
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+    return used
+
+
+@pytest.mark.parametrize(
+    "path", MODULES, ids=lambda p: str(p.relative_to(SRC))
+)
+def test_no_unused_imports(path):
+    tree = ast.parse(path.read_text())
+    used = _used_names(tree)
+    # Names exported via __all__ count as used.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    if isinstance(node.value, (ast.List, ast.Tuple)):
+                        for elt in node.value.elts:
+                            if isinstance(elt, ast.Constant):
+                                used.add(str(elt.value))
+    unused = [
+        f"{name} (line {lineno})"
+        for name, lineno in _imported_names(tree)
+        if name not in used
+    ]
+    assert not unused, f"{path.relative_to(SRC)}: unused imports: {unused}"

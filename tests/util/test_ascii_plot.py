@@ -1,0 +1,55 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_max_value_gets_full_width(self):
+        out = bar_chart({"a": 2.0, "b": 1.0}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_rendered(self):
+        out = bar_chart({"a": 1.0}, title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_unit_suffix(self):
+        out = bar_chart({"a": 1.0}, unit=" GF")
+        assert "1.0 GF" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_all_zero_draws_no_bars(self):
+        out = bar_chart({"a": 0.0})
+        assert "#" not in out
+
+
+class TestGroupedBarChart:
+    def test_shared_scale_across_groups(self):
+        out = grouped_bar_chart(
+            ["g1", "g2"], {"s": [1.0, 2.0]}, width=10
+        )
+        lines = [ln for ln in out.splitlines() if "#" in ln]
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_group_headers(self):
+        out = grouped_bar_chart(["gtx"], {"ours": [1.0]})
+        assert "[gtx]" in out
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart(["a", "b"], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([], {})

@@ -1,0 +1,55 @@
+"""Tests for the table renderer and float formatting."""
+
+import pytest
+
+from repro.util.tables import Table, format_float
+
+
+class TestFormatFloat:
+    def test_three_significant_digits(self):
+        assert format_float(71.534) == "71.5"
+
+    def test_small_value(self):
+        assert format_float(0.216) == "0.216"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_no_exponent_notation(self):
+        assert "e" not in format_float(0.00043)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["Model", "GFLOPS"])
+        t.add_row(["8800 GTX", 84.4])
+        t.add_row(["GT", 62.2])
+        lines = t.render().splitlines()
+        assert lines[0].startswith("Model")
+        # Columns align: all data rows have GFLOPS at the same offset.
+        col = lines[2].index("84.4")
+        assert lines[3][col:].startswith("62.2")
+
+    def test_title_first(self):
+        t = Table(["a"], title="My Table")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "My Table"
+
+    def test_row_length_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_str_is_render(self):
+        t = Table(["x"])
+        t.add_row([3])
+        assert str(t) == t.render()
+
+    def test_separator_row_present(self):
+        t = Table(["abc"])
+        t.add_row(["x"])
+        assert "---" in t.render().splitlines()[1]

@@ -1,0 +1,75 @@
+"""Tests for repro.util.units (flop-count conventions)."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    GIB,
+    bytes_per_complex,
+    flops_1d_fft,
+    flops_3d_fft,
+    gflops_3d_fft,
+    to_gbytes_per_s,
+    to_gflops,
+)
+
+
+class TestConstants:
+    def test_decimal_gb(self):
+        assert GB == 10**9
+
+    def test_binary_gib(self):
+        assert GIB == 2**30
+
+
+class TestBytesPerComplex:
+    def test_single(self):
+        assert bytes_per_complex("single") == 8
+
+    def test_double(self):
+        assert bytes_per_complex("double") == 16
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            bytes_per_complex("half")
+
+
+class TestFlopCounts:
+    def test_1d_matches_convention(self):
+        assert flops_1d_fft(256) == 5 * 256 * 8
+
+    def test_1d_batch(self):
+        assert flops_1d_fft(16, batch=10) == 10 * flops_1d_fft(16)
+
+    def test_3d_cube_is_papers_formula(self):
+        # 15 N^3 log2 N (Section 4.1).
+        n = 256
+        assert flops_3d_fft(n) == pytest.approx(15 * n**3 * math.log2(n))
+
+    def test_3d_non_cubic(self):
+        assert flops_3d_fft(16, 32, 64) == pytest.approx(
+            5 * 16 * 32 * 64 * (4 + 5 + 6)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            flops_1d_fft(0)
+
+
+class TestRates:
+    def test_gflops_3d(self):
+        # Paper Table 10: 23.8 ms at 256^3 -> 84.4 GFLOPS.
+        assert gflops_3d_fft(256, 23.8e-3) == pytest.approx(84.5, abs=0.5)
+
+    def test_bandwidth(self):
+        assert to_gbytes_per_s(86.4e9, 1.0) == pytest.approx(86.4)
+
+    def test_to_gflops(self):
+        assert to_gflops(1e9, 0.5) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("fn", [gflops_3d_fft, to_gbytes_per_s, to_gflops])
+    def test_zero_time_rejected(self, fn):
+        with pytest.raises(ValueError):
+            fn(100, 0.0)

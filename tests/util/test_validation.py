@@ -1,0 +1,81 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_complex_array,
+    check_complex_array,
+    check_cube,
+    check_power_of_two,
+)
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        assert check_power_of_two(64) == 64
+
+    def test_accepts_numpy_int(self):
+        assert check_power_of_two(np.int64(128)) == 128
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(48)
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_power_of_two(64.0)
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="ny"):
+            check_power_of_two(3, "ny")
+
+
+class TestAsComplexArray:
+    def test_promotes_real_to_complex128(self):
+        out = as_complex_array(np.zeros(4))
+        assert out.dtype == np.complex128
+
+    def test_keeps_complex64(self):
+        out = as_complex_array(np.zeros(4, np.complex64))
+        assert out.dtype == np.complex64
+
+    def test_single_forces_complex64(self):
+        out = as_complex_array(np.zeros(4), precision="single")
+        assert out.dtype == np.complex64
+
+    def test_double_forces_complex128(self):
+        out = as_complex_array(np.zeros(4, np.complex64), precision="double")
+        assert out.dtype == np.complex128
+
+    def test_makes_contiguous(self):
+        x = np.zeros((4, 4), np.complex128)[:, ::2]
+        assert as_complex_array(x).flags.c_contiguous
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            as_complex_array(np.zeros(4), precision="quad")
+
+
+class TestCheckComplexArray:
+    def test_accepts_complex(self):
+        x = np.zeros(4, np.complex64)
+        assert check_complex_array(x) is not None
+
+    def test_rejects_real(self):
+        with pytest.raises(TypeError, match="complex"):
+            check_complex_array(np.zeros(4))
+
+
+class TestCheckCube:
+    def test_accepts_power_of_two_cube(self):
+        x = np.zeros((8, 16, 32))
+        assert check_cube(x).shape == (8, 16, 32)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="3-D"):
+            check_cube(np.zeros((8, 8)))
+
+    def test_rejects_non_power_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_cube(np.zeros((8, 12, 8)))
