@@ -1,0 +1,97 @@
+"""Cost of resilience: zero-fault overhead and throughput vs fault rate.
+
+Two questions the fault-injection layer must answer quantitatively:
+
+1. What does the machinery cost when nothing goes wrong?  (Answer: no
+   simulated time at all — checksums and energy checks are host-side.)
+2. How does effective throughput degrade as the injected fault rate
+   rises, with retries, backoff and re-sent transfers all charged to the
+   simulated clock?
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.api import GpuFFT3D
+from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.util.units import flops_3d_fft
+
+N = 32
+RATES = (0.0, 0.02, 0.05, 0.10, 0.20)
+
+
+def _input():
+    rng = np.random.default_rng(12345)
+    return (rng.standard_normal((N, N, N)) + 0j).astype(np.complex64)
+
+
+def _faulty_specs(rate):
+    return [
+        FaultSpec("transfer-fail", rate=rate),
+        FaultSpec("transfer-corrupt", rate=rate),
+        FaultSpec("launch-fail", rate=rate),
+    ]
+
+
+def test_zero_fault_overhead(benchmark, show):
+    """Resilient plan vs bare plan with no injector: identical timelines."""
+    x = _input()
+
+    def run():
+        bare = GpuFFT3D((N, N, N))
+        bare.forward(x)
+        guarded = GpuFFT3D((N, N, N), verify=True)
+        guarded.forward(x)
+        return bare.simulator.elapsed, guarded.simulator.elapsed
+
+    base_s, guarded_s = run_once(benchmark, run)
+    overhead = guarded_s / base_s - 1.0
+    show(
+        "Resilience overhead at zero fault rate",
+        f"bare:    {base_s * 1e3:8.3f} ms\n"
+        f"guarded: {guarded_s * 1e3:8.3f} ms\n"
+        f"overhead: {overhead * 100:+.2f}% (acceptance bar: < 5%)",
+    )
+    assert overhead < 0.05
+
+
+def test_throughput_vs_fault_rate(benchmark, show):
+    """Effective GFLOPS as transfer/launch fault rates rise."""
+    x = _input()
+    flops = flops_3d_fft(N, N, N)
+    ref = np.fft.fftn(x.astype(np.complex128))
+
+    def sweep():
+        rows = []
+        for rate in RATES:
+            inj = FaultInjector(_faulty_specs(rate), seed=2008) if rate else None
+            plan = GpuFFT3D((N, N, N), fault_injector=inj)
+            out = plan.forward(x)
+            assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+            report = plan.resilience_report()
+            rows.append(
+                (
+                    rate,
+                    plan.simulator.elapsed,
+                    flops / plan.simulator.elapsed / 1e9,
+                    report.total_retries,
+                    report.backoff_seconds + report.fault_seconds,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    lines = [
+        f"{'rate':>6} {'time (ms)':>10} {'GFLOPS':>8} {'retries':>8} {'lost (ms)':>10}"
+    ]
+    for rate, secs, gflops, retries, lost in rows:
+        lines.append(
+            f"{rate:6.2f} {secs * 1e3:10.3f} {gflops:8.2f} "
+            f"{retries:8d} {lost * 1e3:10.3f}"
+        )
+    show(f"Throughput vs injected fault rate ({N}^3, forward)", "\n".join(lines))
+    # Correct at every rate (asserted in the sweep); monotone cost overall:
+    # the heaviest fault rate must be strictly slower than fault-free.
+    assert rows[-1][1] > rows[0][1]
+    assert rows[0][3] == 0 and rows[-1][3] > 0

@@ -12,6 +12,8 @@
 * :mod:`repro.core.out_of_core` — transforms larger than device memory
   (Section 3.3, Table 12);
 * :mod:`repro.core.estimator` — end-to-end time/GFLOPS prediction;
+* :mod:`repro.core.resilient` — retries, checksummed transfers and
+  checkpoint/restart over the fault-injecting simulator;
 * :mod:`repro.core.api` — the high-level :class:`GpuFFT3D` entry point.
 """
 
@@ -28,6 +30,14 @@ from repro.core.estimator import FFT3DEstimate, estimate_fft3d, estimate_batch_1
 from repro.core.out_of_core import OutOfCorePlan, estimate_out_of_core
 from repro.core.nosharedmem import NoSharedMemoryVariant, estimate_x_axis_variants
 from repro.core.twiddle_options import TwiddleOption, TWIDDLE_OPTIONS, twiddle_cost
+from repro.core.resilient import (
+    ResilienceReport,
+    ResilientExecutor,
+    RetryPolicy,
+    checksum,
+    energy_preserved,
+    run_out_of_core,
+)
 from repro.core.api import GpuFFT3D, gpu_fft3d, gpu_ifft3d
 from repro.core.accuracy import AccuracyReport, accuracy_sweep, measure_accuracy
 from repro.core.multi_gpu import MultiGpuEstimate, MultiGpuFFT3D
@@ -63,6 +73,12 @@ __all__ = [
     "TwiddleOption",
     "TWIDDLE_OPTIONS",
     "twiddle_cost",
+    "ResilienceReport",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "checksum",
+    "energy_preserved",
+    "run_out_of_core",
     "GpuFFT3D",
     "gpu_fft3d",
     "gpu_ifft3d",

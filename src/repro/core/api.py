@@ -4,21 +4,53 @@
 in :mod:`repro.apps.docking`) uses: plan once, transform many times, and —
 when given a :class:`~repro.gpu.simulator.DeviceSimulator` — have every
 launch and transfer accounted on the simulated timeline.
+
+The plan is *resilient* by construction: transfers are checksummed and
+retried, rejected launches are retried with backoff, a lost device is
+reset and the transform resumed (from the last completed slab checkpoint
+on the out-of-core path), and when the device keeps failing the plan
+degrades to the host reference transform
+(:class:`repro.fft.plan.PlanND`) and records the downgrade.  All of this
+is driven by an optional :class:`~repro.gpu.faults.FaultInjector`; with
+no injector attached the resilient machinery adds zero simulated time.
+The cost of robustness is surfaced via :meth:`GpuFFT3D.resilience_report`.
 """
 
 from __future__ import annotations
+
+from itertools import count
 
 import numpy as np
 
 from repro.core.estimator import FFT3DEstimate, estimate_fft3d
 from repro.core.five_step import FiveStepPlan
-from repro.core.out_of_core import OutOfCorePlan
+from repro.core.out_of_core import OutOfCoreEstimate, OutOfCorePlan
+from repro.core.resilient import (
+    ResilienceReport,
+    ResilientExecutor,
+    RetryPolicy,
+    energy_preserved,
+    run_out_of_core,
+)
 from repro.fft.normalization import apply_norm
+from repro.fft.plan import PlanND
+from repro.gpu.faults import (
+    AllocationError,
+    CorruptionError,
+    DeviceLostError,
+    FaultError,
+    FaultInjector,
+)
 from repro.gpu.simulator import DeviceArray, DeviceSimulator
 from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
+from repro.util.units import flops_3d_fft
 from repro.util.validation import as_complex_array
 
 __all__ = ["GpuFFT3D", "gpu_fft3d", "gpu_ifft3d"]
+
+#: Monotonic plan ids so device buffer names never collide when several
+#: plans share one simulator.
+_PLAN_IDS = count()
 
 
 class GpuFFT3D:
@@ -35,9 +67,20 @@ class GpuFFT3D:
         created and exposed as :attr:`simulator`.
     precision / norm:
         As in :mod:`repro.fft`.
+    fault_injector:
+        Optional :class:`~repro.gpu.faults.FaultInjector` attached to the
+        simulator; makes transfers/launches/allocations fallible.
+    retry_policy:
+        Bounds on retries, backoff and device resets; defaults to
+        :class:`~repro.core.resilient.RetryPolicy`.
+    verify:
+        Run the Parseval energy check on transform results (catches ECC
+        upsets).  Default ``None`` enables it exactly when a fault
+        injector is attached.
 
     Transforms larger than device memory transparently take the
-    out-of-core path (Section 3.3).
+    out-of-core path (Section 3.3), staged slab by slab through the
+    simulator with per-slab checkpoints.
     """
 
     def __init__(
@@ -47,18 +90,35 @@ class GpuFFT3D:
         simulator: DeviceSimulator | None = None,
         precision: str = "single",
         norm: str = "backward",
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        verify: bool | None = None,
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
         self.device = device
         self.norm = norm
         self.precision = precision
-        self.simulator = simulator or DeviceSimulator(device)
+        if simulator is None:
+            simulator = DeviceSimulator(device, fault_injector=fault_injector)
+        elif fault_injector is not None:
+            simulator.faults = fault_injector
+        self.simulator = simulator
         self._ooc = OutOfCorePlan(shape, device, precision=precision)
         self.shape = self._ooc.shape
         self._plan = FiveStepPlan(self.shape, precision=precision)
         self._dev_v: DeviceArray | None = None
         self._dev_w: DeviceArray | None = None
+        self._buf = f"fft3d{next(_PLAN_IDS)}"
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.resilience = ResilienceReport()
+        self._executor = ResilientExecutor(
+            self.simulator, self.retry_policy, self.resilience
+        )
+        self._verify = (
+            (self.simulator.faults is not None) if verify is None else verify
+        )
+        self._ooc_estimate: OutOfCoreEstimate | None = None
 
     @property
     def out_of_core(self) -> bool:
@@ -72,31 +132,29 @@ class GpuFFT3D:
 
     # ------------------------------------------------------------------
 
+    def _allocate_retrying(self, shape, dtype, name: str) -> DeviceArray:
+        last = self.retry_policy.max_attempts - 1
+        for attempt in range(self.retry_policy.max_attempts):
+            try:
+                return self.simulator.allocate(shape, dtype, name)
+            except AllocationError:
+                if attempt == last:
+                    raise
+                self._executor.backoff(attempt, "alloc")
+        raise AssertionError("unreachable")
+
     def _ensure_device_buffers(self) -> None:
-        if self._dev_v is not None:
+        if self._dev_v is not None and self.simulator.is_allocated(self._dev_v):
             return
         dtype = np.complex64 if self.precision == "single" else np.complex128
-        self._dev_v = self.simulator.allocate(self.shape, dtype, "fft3d-V")
-        self._dev_w = self.simulator.allocate(self.shape, dtype, "fft3d-WORK")
+        self._dev_v = self._allocate_retrying(self.shape, dtype, f"{self._buf}-V")
+        self._dev_w = self._allocate_retrying(self.shape, dtype, f"{self._buf}-WORK")
 
-    def _run(self, x: np.ndarray, inverse: bool) -> np.ndarray:
-        x = as_complex_array(x, self.precision)
-        if x.shape != self.shape:
-            raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
-
-        if self.out_of_core:
-            if inverse:
-                out = np.conj(self._ooc.execute(np.conj(x)))
-            else:
-                out = self._ooc.execute(x)
-            self.simulator.charge(
-                "out-of-core-fft3d", self._ooc.estimate().total_seconds, "kernel"
-            )
-            return apply_norm(out, self.total_elements, self.norm, inverse)
-
+    def _attempt_in_core(self, x: np.ndarray, inverse: bool) -> np.ndarray:
         self._ensure_device_buffers()
         assert self._dev_v is not None
-        self.simulator.h2d(x, self._dev_v, "fft3d-h2d")
+        ex = self._executor
+        ex.h2d(x, self._dev_v, f"{self._buf}-h2d")
         specs = self._plan.step_specs(self.device)
         result: dict[str, np.ndarray] = {}
 
@@ -106,11 +164,89 @@ class GpuFFT3D:
         # Launch the five kernels; the functional work happens on the last
         # launch (one pass through the plan), the timing on each.
         for spec in specs[:-1]:
-            self.simulator.launch(spec)
-        self.simulator.launch(specs[-1], body)
+            ex.launch(spec)
+        ex.launch(specs[-1], body)
+        if self._verify:
+            e_in = float(np.vdot(x, x).real)
+            e_out = float(np.vdot(result["out"], result["out"]).real)
+            if not energy_preserved(e_in, e_out, float(self.total_elements)):
+                raise CorruptionError(
+                    "in-core transform violated the energy invariant "
+                    "(likely an ECC upset of a device buffer)"
+                )
         np.copyto(self._dev_v.data, result["out"])
         out = np.empty_like(x)
-        self.simulator.d2h(self._dev_v, out, "fft3d-d2h")
+        ex.d2h(self._dev_v, out, f"{self._buf}-d2h")
+        return out
+
+    def _host_fallback(self, x: np.ndarray, inverse: bool, reason: str) -> np.ndarray:
+        """Graceful degradation: host reference transform, charged as host time."""
+        self.resilience.downgrades.append(f"host-fallback: {reason}")
+        if self.simulator.device_lost:
+            self.simulator.reset_device()
+            self.resilience.device_resets += 1
+        self._dev_v = self._dev_w = None
+        from repro.baselines.fftw_cpu import FftwCpuBaseline
+
+        rate = FftwCpuBaseline(precision=self.precision).sustained_gflops(self.shape)
+        nz, ny, nx = self.shape
+        self.simulator.charge(
+            f"{self._buf}-host-fallback",
+            flops_3d_fft(nx, ny, nz) / (rate * 1e9),
+            "host",
+        )
+        plan = PlanND(self.shape, precision=self.precision)
+        if inverse:
+            return np.conj(plan.execute(np.conj(x)))
+        return plan.execute(x)
+
+    def _run_in_core(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        resets = 0
+        corruption_retries = 0
+        while True:
+            try:
+                return self._attempt_in_core(x, inverse)
+            except DeviceLostError:
+                resets += 1
+                self.resilience.device_resets += 1
+                if resets > self.retry_policy.max_device_resets:
+                    return self._host_fallback(x, inverse, "device lost")
+                self.simulator.reset_device()
+                self._dev_v = self._dev_w = None
+            except CorruptionError:
+                corruption_retries += 1
+                if corruption_retries >= self.retry_policy.max_attempts:
+                    return self._host_fallback(x, inverse, "persistent corruption")
+                self._executor.backoff(corruption_retries - 1, "ecc")
+            except FaultError as exc:
+                # Transfer/launch/allocation retries already exhausted in
+                # the executor: repeated device failure, so degrade.
+                return self._host_fallback(x, inverse, type(exc).__name__)
+
+    def _run_out_of_core(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        est = self.out_of_core_estimate()
+        y = np.conj(x) if inverse else x
+        try:
+            out = run_out_of_core(
+                self._ooc,
+                est,
+                y,
+                self._executor,
+                verify=self._verify,
+                name=f"{self._buf}-ooc",
+            )
+        except FaultError as exc:
+            return self._host_fallback(x, inverse, type(exc).__name__)
+        return np.conj(out) if inverse else out
+
+    def _run(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        x = as_complex_array(x, self.precision)
+        if x.shape != self.shape:
+            raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
+        if self.out_of_core:
+            out = self._run_out_of_core(x, inverse)
+        else:
+            out = self._run_in_core(x, inverse)
         return apply_norm(out, self.total_elements, self.norm, inverse)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -129,12 +265,22 @@ class GpuFFT3D:
             self.device, self.shape, self.precision, self.simulator.memsystem
         )
 
+    def out_of_core_estimate(self) -> OutOfCoreEstimate:
+        """Cached Table-12-style estimate (out-of-core plans only)."""
+        if self._ooc_estimate is None:
+            self._ooc_estimate = self._ooc.estimate()
+        return self._ooc_estimate
+
+    def resilience_report(self) -> ResilienceReport:
+        """The live resilience account, time fields synced to the simulator."""
+        return self.resilience.capture_timeline(self.simulator)
+
     def release(self) -> None:
-        """Free the device buffers."""
-        if self._dev_v is not None:
-            self.simulator.free(self._dev_v)
-            self.simulator.free(self._dev_w)
-            self._dev_v = self._dev_w = None
+        """Free the device buffers (a no-op for buffers lost to a reset)."""
+        for arr in (self._dev_v, self._dev_w):
+            if arr is not None and self.simulator.is_allocated(arr):
+                self.simulator.free(arr)
+        self._dev_v = self._dev_w = None
 
 
 def gpu_fft3d(

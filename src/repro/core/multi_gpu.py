@@ -22,7 +22,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.estimator import estimate_fft3d
+from repro.core.resilient import ResilienceReport, RetryPolicy
 from repro.fft.multirow import multirow_fft
+from repro.gpu.faults import DeviceLostError, FaultInjector, KernelLaunchError
 from repro.gpu.memsystem import MemorySystem
 from repro.gpu.pcie import link_for
 from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
@@ -31,6 +33,37 @@ from repro.util.units import flops_3d_fft
 from repro.util.validation import as_complex_array
 
 __all__ = ["MultiGpuEstimate", "MultiGpuFFT3D"]
+
+
+def _largest_pow2(k: int) -> int:
+    return 1 << (k.bit_length() - 1)
+
+
+def _rank_compute(injector, policy, report, label, fn):
+    """Run one rank's phase kernel under the injector's launch stream.
+
+    ``launch-fail`` retries the rank's kernel up to the policy bound;
+    ``device-lost`` propagates (the rank is gone — the caller re-plans).
+    Other fault kinds do not apply to this coarse per-rank model and are
+    ignored.
+    """
+    if injector is None:
+        return fn()
+    last = policy.max_attempts - 1
+    for attempt in range(policy.max_attempts):
+        report.attempts += 1
+        fault = injector.on_launch(label)
+        if fault == "device-lost":
+            raise DeviceLostError(f"rank lost during {label}")
+        if fault == "launch-fail":
+            if attempt == last:
+                raise KernelLaunchError(
+                    f"{label} rejected {policy.max_attempts} times"
+                )
+            report.note_retry("launch")
+            continue
+        return fn()
+    raise AssertionError("unreachable")
 
 
 @dataclass(frozen=True)
@@ -86,6 +119,9 @@ class MultiGpuFFT3D:
 
     def execute(self, x: np.ndarray) -> np.ndarray:
         """Forward transform, staged exactly as the cards would run it."""
+        return self._execute_ranks(x, None, None, None)
+
+    def _execute_ranks(self, x, injector, policy, report) -> np.ndarray:
         x = as_complex_array(x, self.precision)
         n = self.n
         if x.shape != (n, n, n):
@@ -96,10 +132,15 @@ class MultiGpuFFT3D:
         # Phase 1: per-GPU X and Y transforms on its Z-slab.
         work = np.empty_like(x)
         for rank in range(g):
-            slab = x[rank * snz:(rank + 1) * snz]
-            slab = multirow_fft(slab, axis=2)   # X
-            slab = multirow_fft(slab, axis=1)   # Y
-            work[rank * snz:(rank + 1) * snz] = slab
+
+            def xy_slab(rank: int = rank) -> np.ndarray:
+                slab = x[rank * snz:(rank + 1) * snz]
+                slab = multirow_fft(slab, axis=2)   # X
+                return multirow_fft(slab, axis=1)   # Y
+
+            work[rank * snz:(rank + 1) * snz] = _rank_compute(
+                injector, policy, report, f"rank{rank}-xy", xy_slab
+            )
 
         # Phase 2: all-to-all — regroup so each GPU owns full Z pencils
         # for a contiguous Y range (ny/n_gpus rows each).  Host-staged.
@@ -109,9 +150,53 @@ class MultiGpuFFT3D:
         out = np.empty_like(x)
         sny = n // g
         for rank in range(g):
-            block = work[:, rank * sny:(rank + 1) * sny, :]
-            out[:, rank * sny:(rank + 1) * sny, :] = multirow_fft(block, axis=0)
+
+            def z_block(rank: int = rank) -> np.ndarray:
+                block = work[:, rank * sny:(rank + 1) * sny, :]
+                return multirow_fft(block, axis=0)
+
+            out[:, rank * sny:(rank + 1) * sny, :] = _rank_compute(
+                injector, policy, report, f"rank{rank}-z", z_block
+            )
         return out
+
+    def execute_resilient(
+        self,
+        x: np.ndarray,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        report: ResilienceReport | None = None,
+    ) -> tuple[np.ndarray, ResilienceReport]:
+        """Distributed transform that survives rank loss by re-planning.
+
+        Each rank's phase-1 (``rankN-xy``) and phase-3 (``rankN-z``)
+        kernels poll the injector's launch stream: ``launch-fail``
+        retries that rank's kernel under ``retry_policy``; ``device-lost``
+        drops the rank, and the transform re-plans the slab decomposition
+        over the largest power-of-two subset of the surviving ranks and
+        restarts (the decomposition changes, so partial phase work cannot
+        carry over).  When the last rank dies the error propagates.
+
+        Returns ``(out, report)`` — the transform result plus the
+        resilience account (retries, re-plans recorded as downgrades).
+        """
+        policy = retry_policy or RetryPolicy()
+        report = report or ResilienceReport()
+        plan = self
+        while True:
+            try:
+                out = plan._execute_ranks(x, fault_injector, policy, report)
+                return out, report
+            except DeviceLostError:
+                survivors = plan.n_gpus - 1
+                report.device_resets += 1
+                if survivors < 1:
+                    raise
+                new_g = _largest_pow2(survivors)
+                report.downgrades.append(
+                    f"replan:{plan.n_gpus}->{new_g} ranks"
+                )
+                plan = MultiGpuFFT3D(plan.n, new_g, plan.device, plan.precision)
 
     # ------------------------------------------------------------------
 

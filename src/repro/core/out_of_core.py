@@ -138,6 +138,36 @@ class OutOfCorePlan:
     # Functional execution
     # ------------------------------------------------------------------
 
+    def slab_plan(self):
+        """The transform plan for one stage-1 slab.
+
+        Five-step for slabs thick enough for its Z split; the host
+        separable plan (:class:`repro.fft.plan.PlanND`) for the thin-slab
+        tiny-card cases.
+        """
+        sub_nz, ny, nx = self.slab_shape
+        if sub_nz >= 4:
+            return FiveStepPlan((sub_nz, ny, nx), self.precision)
+        from repro.fft.plan import PlanND
+
+        return PlanND((sub_nz, ny, nx), precision=self.precision)
+
+    def stage1_twiddles(self, i: int) -> np.ndarray:
+        """Decimation twiddles ``W_nz^{i*k2}`` for slab ``i`` (per plane)."""
+        nz = self.shape[0]
+        sub_nz = nz // self.n_slabs
+        wz = twiddle_table(nz, self.precision)
+        k2 = np.arange(sub_nz)
+        return wz[(i * k2) % nz][:, None, None]
+
+    def stage2_compute(self, group: np.ndarray) -> np.ndarray:
+        """S-point FFTs across the slab axis of one ``k2`` plane group.
+
+        FFT over axis 0; the recursive path covers slab counts beyond the
+        straight-line codelets.
+        """
+        return fft_codelet_axis0(group)
+
     def execute(self, x: np.ndarray) -> np.ndarray:
         """Forward transform on the host, staged exactly as on the device.
 
@@ -152,30 +182,19 @@ class OutOfCorePlan:
             return FiveStepPlan(self.shape, self.precision).execute(x)
 
         sub_nz = nz // s
-        if sub_nz >= 4:
-            slab_plan = FiveStepPlan((sub_nz, ny, nx), self.precision)
-        else:
-            # Slabs too thin for the five-step Z split (tiny-card cases):
-            # fall back to the host separable plan for the slab transform.
-            from repro.fft.plan import PlanND
-
-            slab_plan = PlanND((sub_nz, ny, nx), precision=self.precision)
+        slab_plan = self.slab_plan()
         work = np.empty_like(x)
-        wz = twiddle_table(nz, self.precision)
-        k2 = np.arange(sub_nz)
         # Stage 1: per-slab 3-D FFT + decimation twiddles.
         for i in range(s):
             slab = np.ascontiguousarray(x[i::s])  # planes z ≡ i (mod s)
             out = slab_plan.execute(slab)
-            out *= wz[(i * k2) % nz][:, None, None]
+            out *= self.stage1_twiddles(i)
             work[i::s] = out
         # Stage 2: s-point FFTs across slabs for each k2 plane group.
         result = np.empty_like(x)
         for k in range(sub_nz):
             group = np.ascontiguousarray(work[k * s : (k + 1) * s])
-            # FFT over the slab axis (axis 0); the recursive path covers
-            # slab counts beyond the straight-line codelets.
-            result[k::sub_nz] = fft_codelet_axis0(group)
+            result[k::sub_nz] = self.stage2_compute(group)
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,456 @@
+"""Resilient execution: retries, checksums, checkpoints, degradation.
+
+The recovery side of the fault model in :mod:`repro.gpu.faults`.  Four
+mechanisms, all accounted on the same simulated clock as the useful work
+so the *cost* of robustness is a first-class observable:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  deterministic jitter, charged to the device timeline as ``"backoff"``
+  events;
+* checksummed transfers — :class:`ResilientExecutor` CRCs every payload
+  across the PCIe hop and re-sends on mismatch, which is what turns
+  *silent* injected corruption into a retryable event;
+* checkpointed out-of-core execution — :func:`run_out_of_core` stages the
+  Section 3.3 pipeline through real simulated transfers with the stage-1
+  slabs and stage-2 plane groups as natural checkpoints, so a mid-run
+  device loss resumes from the last completed slab instead of re-paying
+  the 2x-PCIe traffic from scratch;
+* :class:`ResilienceReport` — attempts, retries by fault class,
+  checkpoint restores and time lost to faults, surfaced by the plan that
+  owns the transform.
+
+Energy verification (Parseval: an un-normalized FFT scales total energy
+by exactly N) is the cheap invariant used to catch ECC upsets that
+checksums cannot see because they happen *after* the data crossed the
+bus.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.out_of_core import OutOfCoreEstimate, OutOfCorePlan
+from repro.gpu.faults import (
+    CorruptionError,
+    DeviceLostError,
+    KernelLaunchError,
+    TransferError,
+)
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.simulator import DeviceArray, DeviceSimulator
+from repro.gpu.timing import KernelTiming
+from repro.util.validation import as_complex_array
+
+__all__ = [
+    "RetryPolicy",
+    "ResilienceReport",
+    "ResilientExecutor",
+    "checksum",
+    "energy_preserved",
+    "run_out_of_core",
+]
+
+
+def checksum(a: np.ndarray) -> int:
+    """CRC32 of an array's bytes (the simulated link-layer checksum)."""
+    return zlib.crc32(np.ascontiguousarray(a).tobytes())
+
+
+def _energy(a: np.ndarray) -> float:
+    return float(np.vdot(a, a).real)
+
+
+def energy_preserved(
+    e_in: float, e_out: float, scale: float, rtol: float = 1e-4
+) -> bool:
+    """Check the Parseval invariant ``e_out == scale * e_in`` within ``rtol``.
+
+    An un-normalized N-point FFT scales total energy by exactly N; an ECC
+    upset (modeled as an exponent-field bit-flip) violates this by many
+    orders of magnitude, so a loose tolerance never false-positives on
+    legitimate single-precision rounding.
+    """
+    expected = scale * e_in
+    return abs(e_out - expected) <= rtol * expected + 1e-20
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up, per fault class.
+
+    ``max_attempts`` bounds transfer/launch/corruption retries;
+    ``max_device_resets`` bounds full device-loss recoveries before the
+    caller degrades (host fallback or re-planned ranks).  Backoff is
+    exponential with deterministic jitter and is charged to the simulated
+    timeline — waiting is not free.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 100e-6
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    max_device_resets: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.max_device_resets < 0:
+            raise ValueError("max_device_resets must be non-negative")
+
+    def backoff_seconds(self, attempt: int, u: float) -> float:
+        """Backoff before retry ``attempt`` (0-based); ``u`` in [0,1) jitters."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        t = self.backoff_base_s * self.backoff_factor**attempt
+        return t * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+
+@dataclass
+class ResilienceReport:
+    """What resilience cost: attempts, retries, restores, lost time.
+
+    Time fields are filled by :meth:`capture_timeline` from the owning
+    simulator so they share its clock; counter fields are maintained live
+    by the executor and the checkpointed runners.
+    """
+
+    attempts: int = 0
+    retries: dict[str, int] = field(default_factory=dict)
+    checksum_failures: int = 0
+    checkpoint_restores: int = 0
+    device_resets: int = 0
+    downgrades: list[str] = field(default_factory=list)
+    backoff_seconds: float = 0.0
+    fault_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def total_retries(self) -> int:
+        """Retries across every fault class."""
+        return sum(self.retries.values())
+
+    @property
+    def useful_seconds(self) -> float:
+        """Simulated time not lost to failed work or backoff waits."""
+        return self.total_seconds - self.fault_seconds - self.backoff_seconds
+
+    @property
+    def degraded(self) -> bool:
+        """True when any downgrade (host fallback, re-plan) was taken."""
+        return bool(self.downgrades)
+
+    def note_retry(self, fault_class: str) -> None:
+        """Count one retry attributed to ``fault_class``."""
+        self.retries[fault_class] = self.retries.get(fault_class, 0) + 1
+
+    def capture_timeline(self, sim: DeviceSimulator) -> "ResilienceReport":
+        """Snapshot time accounting from ``sim``'s timeline; returns self."""
+        self.fault_seconds = sim.fault_seconds
+        self.backoff_seconds = sim.backoff_seconds
+        self.total_seconds = sim.elapsed
+        return self
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the resilience cost."""
+        lines = [
+            f"attempts:            {self.attempts}",
+            f"retries:             {self.total_retries} "
+            + (f"({self.retries})" if self.retries else "(none)"),
+            f"checksum failures:   {self.checksum_failures}",
+            f"checkpoint restores: {self.checkpoint_restores}",
+            f"device resets:       {self.device_resets}",
+            f"downgrades:          {', '.join(self.downgrades) or 'none'}",
+        ]
+        if self.total_seconds > 0:
+            lost = self.fault_seconds + self.backoff_seconds
+            lines.append(
+                f"time lost to faults: {lost * 1e3:.3f} ms of "
+                f"{self.total_seconds * 1e3:.3f} ms "
+                f"({100.0 * lost / self.total_seconds:.1f}%)"
+            )
+        return "\n".join(lines)
+
+
+class ResilientExecutor:
+    """Retrying, checksumming front-end to a :class:`DeviceSimulator`.
+
+    Wraps the simulator's transfer/launch surface: every payload is CRC'd
+    across the bus and re-sent on mismatch, aborted transfers and
+    rejected launches are retried under the :class:`RetryPolicy`, and all
+    backoff waits are charged to the simulated timeline.  Device loss is
+    *not* handled here — it needs plan-level recovery (checkpoints,
+    re-planning), so :class:`~repro.gpu.faults.DeviceLostError`
+    propagates to the caller.
+
+    With no fault injector attached the executor adds zero simulated
+    time: checksums are host-side bookkeeping, and no backoff or repeat
+    events are ever charged.
+    """
+
+    def __init__(
+        self,
+        sim: DeviceSimulator,
+        policy: RetryPolicy | None = None,
+        report: ResilienceReport | None = None,
+        seed: int = 2008,
+    ):
+        self.sim = sim
+        self.policy = policy or RetryPolicy()
+        self.report = report or ResilienceReport()
+        self._rng = np.random.default_rng(seed)
+
+    def backoff(self, attempt: int, fault_class: str) -> float:
+        """Charge one backoff wait to the timeline; returns its seconds."""
+        t = self.policy.backoff_seconds(attempt, float(self._rng.random()))
+        self.sim.charge(f"backoff-{fault_class}", t, kind="backoff")
+        self.report.backoff_seconds += t
+        self.report.note_retry(fault_class)
+        return t
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+
+    def h2d(self, host: np.ndarray, dev: DeviceArray, label: str = "h2d") -> float:
+        """Checksummed host->device copy with bounded retries."""
+        expected = checksum(
+            np.asarray(host).reshape(dev.shape).astype(dev.dtype, copy=False)
+        )
+        last = self.policy.max_attempts - 1
+        for attempt in range(self.policy.max_attempts):
+            self.report.attempts += 1
+            try:
+                t = self.sim.h2d(host, dev, label)
+            except TransferError:
+                if attempt == last:
+                    raise
+                self.backoff(attempt, "transfer")
+                continue
+            if checksum(dev.data) == expected:
+                return t
+            self.report.checksum_failures += 1
+            if attempt == last:
+                raise CorruptionError(
+                    f"h2d {label!r}: checksum mismatch persisted through "
+                    f"{self.policy.max_attempts} attempts"
+                )
+            self.backoff(attempt, "corruption")
+        raise AssertionError("unreachable")
+
+    def d2h(self, dev: DeviceArray, host: np.ndarray, label: str = "d2h") -> float:
+        """Checksummed device->host copy with bounded retries."""
+        expected = checksum(
+            dev.data.reshape(host.shape).astype(host.dtype, copy=False)
+        )
+        last = self.policy.max_attempts - 1
+        for attempt in range(self.policy.max_attempts):
+            self.report.attempts += 1
+            try:
+                t = self.sim.d2h(dev, host, label)
+            except TransferError:
+                if attempt == last:
+                    raise
+                self.backoff(attempt, "transfer")
+                continue
+            if checksum(host) == expected:
+                return t
+            self.report.checksum_failures += 1
+            if attempt == last:
+                raise CorruptionError(
+                    f"d2h {label!r}: checksum mismatch persisted through "
+                    f"{self.policy.max_attempts} attempts"
+                )
+            self.backoff(attempt, "corruption")
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    # Launches
+    # ------------------------------------------------------------------
+
+    def launch(self, spec: KernelSpec, body=None, *args, **kwargs) -> KernelTiming:
+        """Launch a spec'd kernel, retrying rejected launches."""
+        last = self.policy.max_attempts - 1
+        for attempt in range(self.policy.max_attempts):
+            self.report.attempts += 1
+            try:
+                return self.sim.launch(spec, body, *args, **kwargs)
+            except KernelLaunchError:
+                if attempt == last:
+                    raise
+                self.backoff(attempt, "launch")
+        raise AssertionError("unreachable")
+
+    def launch_timed(
+        self, label: str, seconds: float, body=None, *args, **kwargs
+    ) -> float:
+        """Launch with precomputed timing, retrying rejected launches."""
+        last = self.policy.max_attempts - 1
+        for attempt in range(self.policy.max_attempts):
+            self.report.attempts += 1
+            try:
+                return self.sim.launch_timed(label, seconds, body, *args, **kwargs)
+            except KernelLaunchError:
+                if attempt == last:
+                    raise
+                self.backoff(attempt, "launch")
+        raise AssertionError("unreachable")
+
+
+# ----------------------------------------------------------------------
+# Checkpointed out-of-core execution
+# ----------------------------------------------------------------------
+
+
+def run_out_of_core(
+    plan: OutOfCorePlan,
+    est: OutOfCoreEstimate,
+    x: np.ndarray,
+    executor: ResilientExecutor,
+    verify: bool = False,
+    name: str = "ooc",
+) -> np.ndarray:
+    """Forward out-of-core transform, staged through the simulator.
+
+    Functionally identical to :meth:`OutOfCorePlan.execute` but every
+    slab and plane group genuinely crosses the simulated PCIe link
+    through device buffers, with the estimator's per-phase times charged
+    as individual kernel launches.  The host-side ``work`` array holds
+    completed stage-1 slabs and stage-2 plane groups — the checkpoints: a
+    :class:`~repro.gpu.faults.DeviceLostError` mid-run triggers a device
+    reset and resumption from the first incomplete unit rather than a
+    restart.  After ``policy.max_device_resets`` losses the error
+    propagates so the caller can degrade to the host plan.
+
+    Returns the un-normalized forward transform (callers apply norms, and
+    handle the inverse by conjugation as usual).
+    """
+    sim = executor.sim
+    policy = executor.policy
+    report = executor.report
+    x = as_complex_array(x, plan.precision)
+    if x.shape != plan.shape:
+        raise ValueError(f"plan is for shape {plan.shape}, got {x.shape}")
+    nz, ny, nx = plan.shape
+    s = plan.n_slabs
+    sub_nz = nz // s
+    dtype = x.dtype
+    link = sim.pcie
+    slab_plan = plan.slab_plan()
+    n_slab = sub_nz * ny * nx
+
+    fft_t = est.stage1_fft / s
+    tw_t = est.stage1_twiddle / s
+    s2_t = est.stage2_fft / sub_nz
+
+    work = np.empty_like(x)
+    result = np.empty_like(x)
+    s1_done = [False] * s
+    s2_done = [False] * sub_nz
+    resets = 0
+
+    def plane_setup(label: str, n_planes: int, kind: str) -> None:
+        # The paper stages each XY plane as its own transfer; the slab
+        # copy above charged one setup, so account the remaining ones.
+        if n_planes > 1:
+            sim.charge(label, (n_planes - 1) * link.setup_s, kind)
+
+    def stage1() -> None:
+        dev = sim.allocate(plan.slab_shape, dtype, f"{name}-slab")
+        try:
+            for i in range(s):
+                if s1_done[i]:
+                    continue
+                slab = np.ascontiguousarray(x[i::s])
+                e_in = _energy(slab)
+                last = policy.max_attempts - 1
+                for attempt in range(policy.max_attempts):
+                    executor.h2d(slab, dev, f"{name}-s1-h2d[{i}]")
+                    plane_setup(f"{name}-s1-h2d[{i}]-planes", sub_nz, "h2d")
+                    executor.launch_timed(
+                        f"{name}-s1-fft[{i}]",
+                        fft_t,
+                        lambda: dev.data.__setitem__(
+                            ..., slab_plan.execute(dev.data)
+                        ),
+                    )
+                    executor.launch_timed(
+                        f"{name}-s1-twiddle[{i}]",
+                        tw_t,
+                        lambda: dev.data.__imul__(plan.stage1_twiddles(i)),
+                    )
+                    if not verify or energy_preserved(
+                        e_in, _energy(dev.data), float(n_slab)
+                    ):
+                        break
+                    if attempt == last:
+                        raise CorruptionError(
+                            f"stage-1 slab {i}: energy invariant violated "
+                            f"through {policy.max_attempts} attempts"
+                        )
+                    executor.backoff(attempt, "ecc")
+                tmp = np.empty(plan.slab_shape, dtype)
+                executor.d2h(dev, tmp, f"{name}-s1-d2h[{i}]")
+                plane_setup(f"{name}-s1-d2h[{i}]-planes", sub_nz, "d2h")
+                work[i::s] = tmp
+                s1_done[i] = True
+        finally:
+            if sim.is_allocated(dev):
+                sim.free(dev)
+
+    def stage2() -> None:
+        dev = sim.allocate((s, ny, nx), dtype, f"{name}-group")
+        try:
+            for k in range(sub_nz):
+                if s2_done[k]:
+                    continue
+                group = np.ascontiguousarray(work[k * s : (k + 1) * s])
+                e_in = _energy(group)
+                last = policy.max_attempts - 1
+                for attempt in range(policy.max_attempts):
+                    executor.h2d(group, dev, f"{name}-s2-h2d[{k}]")
+                    plane_setup(f"{name}-s2-h2d[{k}]-planes", s, "h2d")
+                    executor.launch_timed(
+                        f"{name}-s2-fft[{k}]",
+                        s2_t,
+                        lambda: dev.data.__setitem__(
+                            ..., plan.stage2_compute(dev.data)
+                        ),
+                    )
+                    if not verify or energy_preserved(
+                        e_in, _energy(dev.data), float(s)
+                    ):
+                        break
+                    if attempt == last:
+                        raise CorruptionError(
+                            f"stage-2 group {k}: energy invariant violated "
+                            f"through {policy.max_attempts} attempts"
+                        )
+                    executor.backoff(attempt, "ecc")
+                tmp = np.empty((s, ny, nx), dtype)
+                executor.d2h(dev, tmp, f"{name}-s2-d2h[{k}]")
+                plane_setup(f"{name}-s2-d2h[{k}]-planes", s, "d2h")
+                result[k::sub_nz] = tmp
+                s2_done[k] = True
+        finally:
+            if sim.is_allocated(dev):
+                sim.free(dev)
+
+    while True:
+        try:
+            stage1()
+            stage2()
+            return result
+        except DeviceLostError:
+            resets += 1
+            report.device_resets += 1
+            if resets > policy.max_device_resets:
+                raise
+            sim.reset_device()
+            report.checkpoint_restores += 1

@@ -18,7 +18,9 @@ It models the mechanisms the paper identifies as performance-critical:
 * **shared memory banks** and the padding technique (Section 3.2)
   — :mod:`repro.gpu.sharedmem`;
 * **PCI-Express** transfers (Section 4.4) — :mod:`repro.gpu.pcie`;
-* whole-system **power** (Section 4.7) — :mod:`repro.gpu.power`.
+* whole-system **power** (Section 4.7) — :mod:`repro.gpu.power`;
+* deterministic **fault injection** (transfer/launch/allocation faults,
+  ECC upsets, device loss) — :mod:`repro.gpu.faults`.
 
 Device parameters come from the paper's Table 1; DRAM/issue constants are
 calibrated once against the paper's anchor measurements (see
@@ -48,7 +50,24 @@ from repro.gpu.kernel import KernelSpec, MemoryAccessSpec, LaunchResult
 from repro.gpu.timing import KernelTiming, time_kernel
 from repro.gpu.pcie import PcieLink, PCIE_1_1_X16, PCIE_2_0_X16
 from repro.gpu.power import SystemPowerModel, PowerReading
-from repro.gpu.simulator import DeviceSimulator, DeviceArray, DeviceMemoryError
+from repro.gpu.simulator import (
+    DeviceSimulator,
+    DeviceArray,
+    DeviceMemoryError,
+    TimelineEvent,
+)
+from repro.gpu.faults import (
+    FAULT_KINDS,
+    AllocationError,
+    CorruptionError,
+    DeviceLostError,
+    FaultError,
+    FaultInjector,
+    FaultRecord,
+    FaultSpec,
+    KernelLaunchError,
+    TransferError,
+)
 
 __all__ = [
     "DeviceSpec",
@@ -91,4 +110,15 @@ __all__ = [
     "DeviceSimulator",
     "DeviceArray",
     "DeviceMemoryError",
+    "TimelineEvent",
+    "FAULT_KINDS",
+    "AllocationError",
+    "CorruptionError",
+    "DeviceLostError",
+    "FaultError",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSpec",
+    "KernelLaunchError",
+    "TransferError",
 ]

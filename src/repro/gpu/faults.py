@@ -1,0 +1,257 @@
+"""Deterministic fault injection for the simulated GPU.
+
+The paper's out-of-core transform is dominated by PCIe staging (Table 12)
+— exactly the phase most exposed to transfer failures, corruption and
+device loss in a real deployment.  This module supplies the *fault side*
+of the resilience story: a seedable :class:`FaultInjector` that the
+:class:`~repro.gpu.simulator.DeviceSimulator` consults on every allocate,
+transfer and kernel launch, plus the typed exceptions those faults raise.
+The *recovery side* (retries, checksums, checkpoints) lives in
+:mod:`repro.core.resilient`.
+
+Determinism matters: every fault schedule is a pure function of the
+injector seed and the operation sequence, so a failing fault-tolerance
+test replays exactly.  Faults can fire probabilistically (``rate``) or at
+exact operation indices (``at_ops``), and both are bounded by
+``max_fires``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultError",
+    "TransferError",
+    "KernelLaunchError",
+    "DeviceLostError",
+    "AllocationError",
+    "CorruptionError",
+    "FaultSpec",
+    "FaultRecord",
+    "FaultInjector",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for all injected (or injected-then-detected) faults."""
+
+
+class TransferError(FaultError):
+    """A PCIe transfer aborted before completing."""
+
+
+class KernelLaunchError(FaultError):
+    """A kernel launch was rejected by the (simulated) driver."""
+
+
+class DeviceLostError(FaultError):
+    """The device dropped off the bus; its memory contents are gone."""
+
+
+class AllocationError(FaultError):
+    """A device allocation failed transiently (not a capacity limit)."""
+
+
+class CorruptionError(FaultError):
+    """Corruption was detected but could not be repaired by retrying."""
+
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "transfer-fail",
+    "transfer-corrupt",
+    "launch-fail",
+    "ecc-bitflip",
+    "device-lost",
+    "alloc-fail",
+)
+
+#: Operation category each kind naturally applies to; ``device-lost``
+#: defaults to every operation (a card can drop at any point).
+_DEFAULT_CATEGORY = {
+    "transfer-fail": "transfer",
+    "transfer-corrupt": "transfer",
+    "launch-fail": "launch",
+    "ecc-bitflip": "launch",
+    "alloc-fail": "allocate",
+    "device-lost": "any",
+}
+
+_CATEGORIES = ("transfer", "launch", "allocate", "any")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault source: what fires, how often, and when.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    rate:
+        Per-operation firing probability in ``[0, 1]``.
+    at_ops:
+        Exact 0-based operation indices (within the spec's category
+        stream) at which to fire, independent of ``rate`` — the handle
+        for deterministic scenarios ("device lost on the 6th transfer").
+    max_fires:
+        Stop firing after this many hits (``None`` = unbounded).
+    category:
+        Operation stream the spec watches: ``"transfer"``, ``"launch"``,
+        ``"allocate"`` or ``"any"``; defaults per ``kind``.
+    """
+
+    kind: str
+    rate: float = 0.0
+    at_ops: tuple[int, ...] = ()
+    max_fires: int | None = None
+    category: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ValueError("max_fires must be non-negative")
+        object.__setattr__(self, "at_ops", tuple(int(i) for i in self.at_ops))
+        if any(i < 0 for i in self.at_ops):
+            raise ValueError("at_ops indices must be non-negative")
+        cat = self.category or _DEFAULT_CATEGORY[self.kind]
+        if cat not in _CATEGORIES:
+            raise ValueError(
+                f"unknown category {cat!r}; expected one of {_CATEGORIES}"
+            )
+        object.__setattr__(self, "category", cat)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired (for reports and assertions)."""
+
+    kind: str
+    category: str
+    op_index: int
+    label: str
+
+
+class FaultInjector:
+    """Seeded fault source consulted by :class:`DeviceSimulator` hooks.
+
+    The injector keeps one operation counter per category (``transfer``,
+    ``launch``, ``allocate``) plus a global counter for ``"any"``-scoped
+    specs; each hook call advances the counters, polls every spec, and
+    returns the highest-priority fault that fired.  All randomness comes
+    from one ``numpy`` generator seeded at construction.
+    """
+
+    #: When several kinds fire on one op, the most severe wins.
+    _PRIORITY = (
+        "device-lost",
+        "transfer-fail",
+        "launch-fail",
+        "alloc-fail",
+        "transfer-corrupt",
+        "ecc-bitflip",
+    )
+
+    def __init__(self, specs=(), seed: int = 0):
+        specs = tuple(specs)
+        for spec in specs:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"expected FaultSpec, got {type(spec).__name__}")
+        self.specs = specs
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._op_counts: Counter[str] = Counter()
+        self._fires: Counter[int] = Counter()
+        self.records: list[FaultRecord] = []
+
+    # ------------------------------------------------------------------
+    # Polling (called by the simulator)
+    # ------------------------------------------------------------------
+
+    def _poll(self, category: str, label: str) -> str | None:
+        self._op_counts[category] += 1
+        self._op_counts["any"] += 1
+        fired: list[str] = []
+        for idx, spec in enumerate(self.specs):
+            if spec.category not in (category, "any"):
+                continue
+            if spec.max_fires is not None and self._fires[idx] >= spec.max_fires:
+                continue
+            op_index = self._op_counts[spec.category] - 1
+            hit = op_index in spec.at_ops
+            if not hit and spec.rate > 0.0:
+                hit = self._rng.random() < spec.rate
+            if hit:
+                self._fires[idx] += 1
+                fired.append(spec.kind)
+                self.records.append(
+                    FaultRecord(spec.kind, spec.category, op_index, label)
+                )
+        if not fired:
+            return None
+        return min(fired, key=self._PRIORITY.index)
+
+    def on_transfer(self, label: str, n_bytes: int) -> str | None:
+        """Poll transfer faults; returns the winning kind or ``None``."""
+        del n_bytes  # size-dependent rates are a future refinement
+        return self._poll("transfer", label)
+
+    def on_launch(self, label: str) -> str | None:
+        """Poll kernel-launch faults; returns the winning kind or ``None``."""
+        return self._poll("launch", label)
+
+    def on_allocate(self, label: str) -> str | None:
+        """Poll allocation faults; returns the winning kind or ``None``."""
+        return self._poll("allocate", label)
+
+    # ------------------------------------------------------------------
+    # Corruption
+    # ------------------------------------------------------------------
+
+    def corrupt(self, data: np.ndarray) -> int:
+        """Upset one element of ``data`` in place; returns its flat index.
+
+        Modeled as an exponent-field bit-flip: the victim element is
+        scaled by 2^31 (or set to a large constant when it is zero) — any
+        upset big enough to matter numerically is also big enough for
+        checksums and energy invariants to see.  ``data`` must be a
+        contiguous float or complex array (device storage always is).
+        """
+        flat = data.reshape(-1)
+        if np.iscomplexobj(flat):
+            flat = flat.view(flat.real.dtype)
+        idx = int(self._rng.integers(flat.size))
+        v = flat[idx]
+        flat[idx] = v * 2.0**31 if v != 0 else 1.0e9
+        return idx
+
+    def choose(self, items):
+        """Pick one item deterministically (used for ECC victim arrays)."""
+        items = list(items)
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[int(self._rng.integers(len(items)))]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def fired_counts(self) -> dict[str, int]:
+        """Faults fired so far, by kind."""
+        counts: Counter[str] = Counter(r.kind for r in self.records)
+        return dict(counts)
+
+    def ops_seen(self, category: str = "any") -> int:
+        """Operations observed so far in ``category``."""
+        return self._op_counts[category]

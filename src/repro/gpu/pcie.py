@@ -57,6 +57,22 @@ class PcieLink:
             return 0.0
         return self.setup_s + n_bytes / bw
 
+    def partial_transfer_time(
+        self, n_bytes: int, direction: str, fraction: float
+    ) -> float:
+        """Seconds consumed by a transfer that aborts partway through.
+
+        A failed DMA still pays the setup cost plus ``fraction`` of the
+        payload time before the error surfaces; the fault-injection layer
+        charges this to the timeline so retries have an honest price.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        full = self.transfer_time(n_bytes, direction)
+        if n_bytes == 0:
+            return 0.0
+        return self.setup_s + (full - self.setup_s) * fraction
+
     def overlapped_time(self, transfer_s: float, compute_s: float) -> float:
         """Wall time when a transfer is overlapped with device compute.
 

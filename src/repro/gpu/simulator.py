@@ -7,6 +7,15 @@ timing model, and PCIe transfers move data while charging the link model.
 The capacity check is real — allocating a 512^3 complex grid on a 512 MB
 card raises :class:`DeviceMemoryError`, which is precisely why the paper
 needs its out-of-core algorithm (Section 3.3).
+
+An optional :class:`~repro.gpu.faults.FaultInjector` hook makes every
+operation fallible: transfers can abort or corrupt, launches can be
+rejected or suffer ECC upsets, allocations can fail transiently, and the
+whole device can drop off the bus (after which every operation raises
+:class:`~repro.gpu.faults.DeviceLostError` until :meth:`reset_device`).
+Failed operations still charge the timeline — marked ``faulted`` so the
+cost of unreliability is observable on the same simulated clock as the
+useful work.
 """
 
 from __future__ import annotations
@@ -16,13 +25,20 @@ from typing import Callable
 
 import numpy as np
 
+from repro.gpu.faults import (
+    AllocationError,
+    DeviceLostError,
+    FaultInjector,
+    KernelLaunchError,
+    TransferError,
+)
 from repro.gpu.kernel import KernelSpec, LaunchResult
 from repro.gpu.memsystem import MemorySystem
 from repro.gpu.pcie import PcieLink, link_for
 from repro.gpu.specs import DeviceSpec
 from repro.gpu.timing import KernelTiming, time_kernel
 
-__all__ = ["DeviceMemoryError", "DeviceArray", "DeviceSimulator"]
+__all__ = ["DeviceMemoryError", "DeviceArray", "TimelineEvent", "DeviceSimulator"]
 
 
 class DeviceMemoryError(MemoryError):
@@ -51,12 +67,17 @@ class DeviceArray:
 
 
 @dataclass
-class _TimelineEvent:
-    kind: str  # "kernel" | "h2d" | "d2h"
+class TimelineEvent:
+    """One accounted operation on the simulated clock."""
+
+    kind: str  # "kernel" | "h2d" | "d2h" | "backoff" | "host"
     label: str
     seconds: float
     bytes_moved: int = 0
     flops: float = 0.0
+    #: True when this time was spent on an operation that failed or whose
+    #: payload arrived corrupted (and therefore had to be redone).
+    faulted: bool = False
 
 
 class DeviceSimulator:
@@ -65,14 +86,52 @@ class DeviceSimulator:
     #: Allocation alignment, bytes (CUDA allocations are 256-aligned).
     ALIGN = 256
 
-    def __init__(self, device: DeviceSpec):
+    #: Fraction of a transfer's payload time consumed before an injected
+    #: failure aborts it (the DMA engine stops partway through).
+    FAIL_FRACTION = 0.5
+
+    def __init__(self, device: DeviceSpec, fault_injector: FaultInjector | None = None):
         self.device = device
         self.memsystem = MemorySystem(device)
         self.pcie: PcieLink = link_for(device.pcie)
+        self.faults = fault_injector
         self._next_base = 0
         self._arrays: dict[str, DeviceArray] = {}
         self._used = 0
-        self._timeline: list[_TimelineEvent] = []
+        self._timeline: list[TimelineEvent] = []
+        self._device_lost = False
+        self.device_resets = 0
+
+    # ------------------------------------------------------------------
+    # Device health
+    # ------------------------------------------------------------------
+
+    @property
+    def device_lost(self) -> bool:
+        """True after a device-lost fault, until :meth:`reset_device`."""
+        return self._device_lost
+
+    def _check_alive(self) -> None:
+        if self._device_lost:
+            raise DeviceLostError(
+                f"{self.device.name} was lost; call reset_device() to recover"
+            )
+
+    def _lose_device(self, what: str) -> DeviceLostError:
+        self._device_lost = True
+        return DeviceLostError(f"{self.device.name} lost during {what}")
+
+    def reset_device(self) -> None:
+        """Recover a lost device: memory contents and allocations are gone.
+
+        The timeline is preserved — the time spent before the loss really
+        elapsed — and allocation tracking restarts from an empty card.
+        """
+        self._arrays.clear()
+        self._used = 0
+        self._next_base = 0
+        self._device_lost = False
+        self.device_resets += 1
 
     # ------------------------------------------------------------------
     # Memory management
@@ -88,6 +147,7 @@ class DeviceSimulator:
 
     def allocate(self, shape, dtype, name: str | None = None) -> DeviceArray:
         """Allocate a device array; raises if it does not fit."""
+        self._check_alive()
         data = np.zeros(shape, dtype=dtype)
         if data.nbytes > self.free_bytes:
             raise DeviceMemoryError(
@@ -100,6 +160,15 @@ class DeviceSimulator:
         name = name or f"array{len(self._arrays)}"
         if name in self._arrays:
             raise ValueError(f"device array {name!r} already exists")
+        if self.faults is not None:
+            fault = self.faults.on_allocate(name)
+            if fault == "device-lost":
+                raise self._lose_device(f"allocate({name!r})")
+            if fault == "alloc-fail":
+                raise AllocationError(
+                    f"transient allocation failure for {name!r} "
+                    f"({data.nbytes} B) on {self.device.name}"
+                )
         base = self._next_base
         arr = DeviceArray(name=name, data=data, base=base)
         padded = (data.nbytes + self.ALIGN - 1) // self.ALIGN * self.ALIGN
@@ -116,35 +185,93 @@ class DeviceSimulator:
         padded = (arr.nbytes + self.ALIGN - 1) // self.ALIGN * self.ALIGN
         self._used -= padded
 
+    def is_allocated(self, arr: DeviceArray) -> bool:
+        """True while ``arr`` is live on this device (survived any reset)."""
+        return self._arrays.get(arr.name) is arr
+
     # ------------------------------------------------------------------
     # Transfers
     # ------------------------------------------------------------------
 
+    def _transfer_fault(self, label: str, n_bytes: int, direction: str) -> str | None:
+        if self.faults is None:
+            return None
+        fault = self.faults.on_transfer(label, n_bytes)
+        if fault in ("device-lost", "transfer-fail"):
+            t = self.pcie.partial_transfer_time(n_bytes, direction, self.FAIL_FRACTION)
+            self._timeline.append(
+                TimelineEvent(direction, label, t, n_bytes, faulted=True)
+            )
+            if fault == "device-lost":
+                raise self._lose_device(f"{direction} {label!r}")
+            raise TransferError(
+                f"{direction} transfer {label!r} ({n_bytes} B) aborted"
+            )
+        return fault
+
     def h2d(self, host: np.ndarray, dev: DeviceArray, label: str = "h2d") -> float:
         """Copy host -> device; returns simulated seconds."""
+        self._check_alive()
         if host.nbytes != dev.nbytes:
             raise ValueError(
                 f"size mismatch: host {host.nbytes} B vs device {dev.nbytes} B"
             )
+        fault = self._transfer_fault(label, host.nbytes, "h2d")
         np.copyto(dev.data, host.reshape(dev.shape).astype(dev.dtype, copy=False))
+        corrupted = fault == "transfer-corrupt"
+        if corrupted:
+            assert self.faults is not None
+            self.faults.corrupt(dev.data)
         t = self.pcie.transfer_time(host.nbytes, "h2d")
-        self._timeline.append(_TimelineEvent("h2d", label, t, host.nbytes))
+        self._timeline.append(
+            TimelineEvent("h2d", label, t, host.nbytes, faulted=corrupted)
+        )
         return t
 
     def d2h(self, dev: DeviceArray, host: np.ndarray, label: str = "d2h") -> float:
         """Copy device -> host; returns simulated seconds."""
+        self._check_alive()
         if host.nbytes != dev.nbytes:
             raise ValueError(
                 f"size mismatch: device {dev.nbytes} B vs host {host.nbytes} B"
             )
+        fault = self._transfer_fault(label, dev.nbytes, "d2h")
         np.copyto(host, dev.data.reshape(host.shape).astype(host.dtype, copy=False))
+        corrupted = fault == "transfer-corrupt"
+        if corrupted:
+            assert self.faults is not None
+            self.faults.corrupt(host)
         t = self.pcie.transfer_time(dev.nbytes, "d2h")
-        self._timeline.append(_TimelineEvent("d2h", label, t, dev.nbytes))
+        self._timeline.append(
+            TimelineEvent("d2h", label, t, dev.nbytes, faulted=corrupted)
+        )
         return t
 
     # ------------------------------------------------------------------
     # Kernel launches
     # ------------------------------------------------------------------
+
+    def _launch_fault(self, label: str) -> str | None:
+        if self.faults is None:
+            return None
+        fault = self.faults.on_launch(label)
+        if fault in ("device-lost", "launch-fail"):
+            self._timeline.append(
+                TimelineEvent(
+                    "kernel", label, self.device.launch_overhead_s, faulted=True
+                )
+            )
+            if fault == "device-lost":
+                raise self._lose_device(f"launch {label!r}")
+            raise KernelLaunchError(f"launch of {label!r} rejected")
+        return fault
+
+    def _ecc_upset(self) -> None:
+        """Flip one element of a random live device array (silent)."""
+        assert self.faults is not None
+        if self._arrays:
+            victim = self.faults.choose(sorted(self._arrays))
+            self.faults.corrupt(self._arrays[victim].data)
 
     def launch(
         self,
@@ -158,21 +285,52 @@ class DeviceSimulator:
         ``body`` receives ``*args``/``**kwargs`` (typically DeviceArrays'
         ``.data``) and mutates them in place, exactly like a CUDA kernel.
         """
+        self._check_alive()
+        fault = self._launch_fault(spec.name)
         timing = time_kernel(self.device, spec, self.memsystem)
         if body is not None:
             body(*args, **kwargs)
+        if fault == "ecc-bitflip":
+            self._ecc_upset()
         self._timeline.append(
-            _TimelineEvent(
+            TimelineEvent(
                 "kernel", spec.name, timing.seconds, spec.total_bytes, spec.total_flops
             )
         )
         return timing
 
+    def launch_timed(
+        self,
+        label: str,
+        seconds: float,
+        body: Callable[..., None] | None = None,
+        *args,
+        **kwargs,
+    ) -> float:
+        """Launch with externally-computed timing (estimator results).
+
+        Same fault surface as :meth:`launch` — rejected launches and ECC
+        upsets apply — but the charge is the precomputed ``seconds``
+        rather than a :func:`time_kernel` evaluation.  Used by the
+        out-of-core pipeline, whose per-phase times come from the
+        Table 12 estimator.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self._check_alive()
+        fault = self._launch_fault(label)
+        if body is not None:
+            body(*args, **kwargs)
+        if fault == "ecc-bitflip":
+            self._ecc_upset()
+        self._timeline.append(TimelineEvent("kernel", label, seconds))
+        return seconds
+
     def charge(self, label: str, seconds: float, kind: str = "kernel") -> None:
         """Record externally-computed time (e.g. an estimator result)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        self._timeline.append(_TimelineEvent(kind, label, seconds))
+        self._timeline.append(TimelineEvent(kind, label, seconds))
 
     # ------------------------------------------------------------------
     # Accounting
@@ -191,8 +349,22 @@ class DeviceSimulator:
     def transfer_seconds(self) -> float:
         return sum(e.seconds for e in self._timeline if e.kind in ("h2d", "d2h"))
 
+    @property
+    def fault_seconds(self) -> float:
+        """Time spent on operations that failed or delivered corrupt data."""
+        return sum(e.seconds for e in self._timeline if e.faulted)
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Time spent waiting in retry backoff (charged by the resilient layer)."""
+        return sum(e.seconds for e in self._timeline if e.kind == "backoff")
+
+    def events(self) -> list[TimelineEvent]:
+        """The timeline as a list copy (kernels, transfers, backoff, host)."""
+        return list(self._timeline)
+
     def launches(self) -> list[LaunchResult]:
-        """Timeline as LaunchResult records (kernels only)."""
+        """Timeline as LaunchResult records (successful kernels only)."""
         return [
             LaunchResult(
                 kernel=e.label,
@@ -202,7 +374,7 @@ class DeviceSimulator:
                 bound="memory",
             )
             for e in self._timeline
-            if e.kind == "kernel"
+            if e.kind == "kernel" and not e.faulted
         ]
 
     def reset_clock(self) -> None:

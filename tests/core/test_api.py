@@ -111,3 +111,47 @@ class TestOutOfCorePath:
         x = (rng.standard_normal((64, 64, 64)) + 0j).astype(np.complex64)
         back = plan.inverse(plan.forward(x))
         assert np.abs(back - x).max() < 1e-3
+
+    def test_out_of_core_timeline_split_by_phase(self, rng):
+        # Regression: the whole out-of-core estimate used to be charged as
+        # one opaque "kernel" event; transfers and kernels must now appear
+        # as separate timeline events that still sum to the estimate.
+        from dataclasses import replace
+
+        tiny = replace(GEFORCE_8800_GT, memory_mbytes=1, name="8800 GT")
+        plan = GpuFFT3D((64, 64, 64), device=tiny)
+        est = plan.out_of_core_estimate()
+        x = (rng.standard_normal((64, 64, 64)) + 0j).astype(np.complex64)
+        plan.forward(x)
+        sim = plan.simulator
+        assert sim.transfer_seconds == pytest.approx(est.transfer_seconds)
+        assert sim.kernel_seconds == pytest.approx(
+            est.stage1_fft + est.stage1_twiddle + est.stage2_fft
+        )
+        assert sim.elapsed == pytest.approx(est.total_seconds)
+        kinds = {e.kind for e in sim.events()}
+        assert {"h2d", "d2h", "kernel"} <= kinds
+
+    def test_out_of_core_estimate_cached(self):
+        from dataclasses import replace
+
+        tiny = replace(GEFORCE_8800_GT, memory_mbytes=1, name="8800 GT")
+        plan = GpuFFT3D((64, 64, 64), device=tiny)
+        assert plan.out_of_core_estimate() is plan.out_of_core_estimate()
+
+
+class TestSharedSimulator:
+    def test_two_plans_share_one_simulator(self, rng):
+        # Regression: both plans used to allocate "fft3d-V"/"fft3d-WORK"
+        # and the second construction blew up with a name collision.
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        a = GpuFFT3D((16, 16, 16), simulator=sim)
+        b = GpuFFT3D((16, 16, 16), simulator=sim)
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        for plan in (a, b):
+            out = plan.forward(x)
+            assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+        a.release()
+        b.release()
+        assert sim.used_bytes == 0

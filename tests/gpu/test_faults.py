@@ -1,0 +1,216 @@
+"""Tests for the deterministic fault injector and its simulator wiring."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.access import BurstPattern
+from repro.gpu.faults import (
+    AllocationError,
+    DeviceLostError,
+    FaultInjector,
+    FaultSpec,
+    KernelLaunchError,
+    TransferError,
+)
+from repro.gpu.isa import InstructionMix
+from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+
+def tiny_spec(name="k"):
+    mem = MemoryAccessSpec(BurstPattern(0, (1024,), (128,), 1, 128, 128))
+    return KernelSpec(name, 48, 64, 16, 0, 1024, InstructionMix(flops=10.0), (mem,))
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor-strike")
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("transfer-fail", rate=1.5)
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec("transfer-fail", rate=-0.1)
+
+    def test_negative_at_ops_rejected(self):
+        with pytest.raises(ValueError, match="at_ops"):
+            FaultSpec("launch-fail", at_ops=(-1,))
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            FaultSpec("launch-fail", category="warp")
+
+    def test_default_categories(self):
+        assert FaultSpec("transfer-fail").category == "transfer"
+        assert FaultSpec("launch-fail").category == "launch"
+        assert FaultSpec("alloc-fail").category == "allocate"
+        assert FaultSpec("device-lost").category == "any"
+
+
+class TestInjectorDeterminism:
+    def specs(self):
+        return [FaultSpec("transfer-fail", rate=0.3)]
+
+    def stream(self, seed):
+        inj = FaultInjector(self.specs(), seed=seed)
+        return [inj.on_transfer(f"t{i}", 1024) for i in range(50)]
+
+    def test_same_seed_same_schedule(self):
+        assert self.stream(7) == self.stream(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self.stream(7) != self.stream(8)
+
+    def test_at_ops_fire_exactly(self):
+        inj = FaultInjector([FaultSpec("launch-fail", at_ops=(2, 5))])
+        hits = [inj.on_launch(f"k{i}") for i in range(8)]
+        assert hits == [None, None, "launch-fail", None, None, "launch-fail",
+                        None, None]
+
+    def test_max_fires_bounds(self):
+        inj = FaultInjector([FaultSpec("transfer-fail", rate=1.0, max_fires=2)])
+        hits = [inj.on_transfer(f"t{i}", 64) for i in range(5)]
+        assert hits == ["transfer-fail", "transfer-fail", None, None, None]
+        assert inj.fired_counts == {"transfer-fail": 2}
+
+    def test_category_streams_independent(self):
+        inj = FaultInjector([FaultSpec("launch-fail", at_ops=(0,))])
+        assert inj.on_transfer("t", 64) is None  # transfer op 0: no hit
+        assert inj.on_launch("k") == "launch-fail"  # launch op 0: hit
+
+    def test_priority_device_lost_wins(self):
+        inj = FaultInjector(
+            [
+                FaultSpec("transfer-fail", at_ops=(0,)),
+                FaultSpec("device-lost", at_ops=(0,), category="transfer"),
+            ]
+        )
+        assert inj.on_transfer("t", 64) == "device-lost"
+
+    def test_records_kept(self):
+        inj = FaultInjector([FaultSpec("alloc-fail", at_ops=(1,))])
+        inj.on_allocate("a")
+        inj.on_allocate("b")
+        (rec,) = inj.records
+        assert rec.kind == "alloc-fail" and rec.label == "b" and rec.op_index == 1
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(TypeError):
+            FaultInjector([{"kind": "transfer-fail"}])
+
+
+class TestCorrupt:
+    def test_upset_is_detectable(self, rng):
+        inj = FaultInjector(seed=1)
+        a = rng.standard_normal(64).astype(np.complex64)
+        before = a.copy()
+        inj.corrupt(a)
+        assert np.abs(a - before).max() > 1e3 * np.abs(before).max()
+
+    def test_zero_array_still_upset(self):
+        inj = FaultInjector(seed=1)
+        a = np.zeros(16, np.complex64)
+        inj.corrupt(a)
+        assert np.abs(a).max() >= 1e9
+
+    def test_choose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().choose([])
+
+
+class TestSimulatorWiring:
+    def test_transfer_fail_raises_and_charges(self):
+        inj = FaultInjector([FaultSpec("transfer-fail", at_ops=(0,))])
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        dev = sim.allocate((1024,), np.complex64, "d")
+        with pytest.raises(TransferError):
+            sim.h2d(np.zeros(1024, np.complex64), dev)
+        # Time for the aborted transfer is on the clock, marked faulted.
+        assert sim.fault_seconds > 0
+        assert sim.fault_seconds == pytest.approx(
+            sim.pcie.partial_transfer_time(dev.nbytes, "h2d", sim.FAIL_FRACTION)
+        )
+
+    def test_transfer_corrupt_flips_payload(self, rng):
+        inj = FaultInjector([FaultSpec("transfer-corrupt", at_ops=(0,))], seed=3)
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        host = rng.standard_normal(256).astype(np.complex64)
+        dev = sim.allocate((256,), np.complex64, "d")
+        sim.h2d(host, dev)
+        assert not np.array_equal(dev.data, host)
+        assert sim.events()[-1].faulted
+
+    def test_launch_fail_raises_and_charges_overhead(self):
+        inj = FaultInjector([FaultSpec("launch-fail", at_ops=(0,))])
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        with pytest.raises(KernelLaunchError):
+            sim.launch(tiny_spec())
+        assert sim.fault_seconds == pytest.approx(sim.device.launch_overhead_s)
+        assert sim.launches() == []  # rejected launches are not successes
+
+    def test_ecc_bitflip_corrupts_live_array(self, rng):
+        inj = FaultInjector([FaultSpec("ecc-bitflip", at_ops=(0,))], seed=5)
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        dev = sim.allocate((256,), np.complex64, "d")
+        dev.data[:] = rng.standard_normal(256)
+        before = dev.data.copy()
+        sim.launch(tiny_spec())
+        assert not np.array_equal(dev.data, before)
+
+    def test_alloc_fail_raises(self):
+        inj = FaultInjector([FaultSpec("alloc-fail", at_ops=(0,))])
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        with pytest.raises(AllocationError):
+            sim.allocate((4,), np.complex64, "a")
+        # The failed allocation holds no memory and the name is reusable.
+        assert sim.used_bytes == 0
+        sim.allocate((4,), np.complex64, "a")
+
+    def test_device_lost_blocks_everything_until_reset(self):
+        inj = FaultInjector([FaultSpec("device-lost", at_ops=(0,), category="launch")])
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        dev = sim.allocate((16,), np.complex64, "d")
+        with pytest.raises(DeviceLostError):
+            sim.launch(tiny_spec())
+        assert sim.device_lost
+        with pytest.raises(DeviceLostError):
+            sim.h2d(np.zeros(16, np.complex64), dev)
+        with pytest.raises(DeviceLostError):
+            sim.allocate((16,), np.complex64, "e")
+        elapsed = sim.elapsed
+        sim.reset_device()
+        assert not sim.device_lost
+        assert not sim.is_allocated(dev)  # memory contents are gone
+        assert sim.used_bytes == 0
+        assert sim.elapsed == elapsed  # ...but the time really passed
+        assert sim.device_resets == 1
+
+    def test_no_injector_means_no_faults(self, rng):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        dev = sim.allocate((64,), np.complex64, "d")
+        host = rng.standard_normal(64).astype(np.complex64)
+        sim.h2d(host, dev)
+        sim.launch(tiny_spec())
+        assert sim.fault_seconds == 0.0
+        np.testing.assert_array_equal(dev.data, host)
+
+
+class TestPartialTransferTime:
+    def test_between_setup_and_full(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        n = 1 << 20
+        full = sim.pcie.transfer_time(n, "h2d")
+        half = sim.pcie.partial_transfer_time(n, "h2d", 0.5)
+        assert sim.pcie.setup_s < half < full
+        assert sim.pcie.partial_transfer_time(n, "h2d", 1.0) == pytest.approx(full)
+
+    def test_fraction_bounds(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        with pytest.raises(ValueError):
+            sim.pcie.partial_transfer_time(1024, "h2d", 1.5)
+
+    def test_zero_bytes_free(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        assert sim.pcie.partial_transfer_time(0, "h2d", 0.5) == 0.0

@@ -55,6 +55,47 @@ class TestAllocator:
         assert b.base >= a.base + a.nbytes
 
 
+class TestMemoryPressure:
+    def test_capacity_error_reports_sizes(self):
+        sim = DeviceSimulator(GEFORCE_8800_GT)  # 512 MB card
+        sim.allocate((256, 512, 512), np.complex64, "half")  # 512 MB... minus
+        with pytest.raises(DeviceMemoryError) as exc:
+            sim.allocate((256, 512, 512), np.complex64, "again")
+        msg = str(exc.value)
+        assert "512 MiB" in msg  # requested size
+        assert "8800 GT" in msg  # which card refused
+        assert "out-of-core" in msg  # where to go instead
+
+    def test_free_reclaims_capacity(self):
+        sim = DeviceSimulator(GEFORCE_8800_GT)
+        arr = sim.allocate((256, 512, 512), np.complex64, "big")
+        with pytest.raises(DeviceMemoryError):
+            sim.allocate((256, 512, 512), np.complex64, "more")
+        sim.free(arr)
+        # The same request succeeds once the first buffer is released.
+        again = sim.allocate((256, 512, 512), np.complex64, "more")
+        assert sim.used_bytes >= again.nbytes
+
+    def test_allocate_free_cycling_is_stable(self):
+        # A long-lived simulator (many transforms) must not leak tracked
+        # capacity through repeated allocate/free cycles.
+        sim = DeviceSimulator(GEFORCE_8800_GT)
+        for i in range(200):
+            arr = sim.allocate((64, 64, 64), np.complex64, f"cycle{i}")
+            sim.free(arr)
+        assert sim.used_bytes == 0
+        assert sim.free_bytes == sim.device.memory_bytes
+
+    def test_near_capacity_boundary(self):
+        sim = DeviceSimulator(GEFORCE_8800_GT)
+        fill = sim.allocate((sim.free_bytes // 8,), np.complex64, "fill")
+        assert sim.free_bytes < 8 + sim.ALIGN
+        with pytest.raises(DeviceMemoryError):
+            sim.allocate((1024,), np.complex64, "straw")
+        sim.free(fill)
+        assert sim.used_bytes == 0
+
+
 class TestTransfers:
     def test_h2d_copies_data(self, sim, rng):
         host = (rng.standard_normal((8, 8)) + 0j).astype(np.complex64)
