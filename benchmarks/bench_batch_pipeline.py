@@ -1,0 +1,101 @@
+"""Pipelined batch execution vs back-to-back single transforms.
+
+The stream model's acceptance experiment: run B same-shape cubes through
+``BatchedGpuFFT3D`` (H2D of entry i+1 overlapping the kernels of entry i
+overlapping the D2H of entry i-1) and through B sequential
+``GpuFFT3D.execute`` calls, on identical simulated hardware.  The batch
+must be at least 1.3x faster in simulated time, bit-correct per entry,
+and the second plan request for the same ``(shape, precision, device)``
+must be served from the plan cache without recomputing twiddles.
+
+Results are also emitted as ``BENCH_batch.json`` for CI consumption.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, write_bench_json
+from repro.core.api import GpuFFT3D
+from repro.core.batch import BatchedGpuFFT3D
+from repro.core.plan_cache import PLAN_CACHE
+from repro.fft.twiddle import DEFAULT_CACHE
+
+N = 32
+BATCH = 8
+SPEEDUP_BAR = 1.3
+
+
+def _batch_input():
+    rng = np.random.default_rng(20080819)
+    return (
+        rng.standard_normal((BATCH, N, N, N))
+        + 1j * rng.standard_normal((BATCH, N, N, N))
+    ).astype(np.complex64)
+
+
+def test_batch_pipeline_speedup(benchmark, show):
+    """B pipelined transforms vs B sequential executes, plus cache reuse."""
+    xs = _batch_input()
+    refs = np.stack([np.fft.fftn(x.astype(np.complex128)) for x in xs])
+
+    def run():
+        # Sequential baseline: one plan, B blocking round-trips.
+        with GpuFFT3D((N, N, N)) as plan:
+            seq_outs = np.stack([plan.execute(x) for x in xs])
+            seq_s = plan.simulator.elapsed
+
+        # Pipelined: same B cubes through the stream engine.
+        cache_before = PLAN_CACHE.stats
+        twiddles_before = len(DEFAULT_CACHE)
+        with BatchedGpuFFT3D((N, N, N)) as engine:
+            pipe_outs = engine.execute(xs)
+            pipe_s = engine.simulator.elapsed
+            busy = engine.pipeline_report()
+        cache_after = PLAN_CACHE.stats
+        return seq_outs, seq_s, pipe_outs, pipe_s, busy, (
+            cache_after.hits - cache_before.hits,
+            len(DEFAULT_CACHE) - twiddles_before,
+        )
+
+    seq_outs, seq_s, pipe_outs, pipe_s, busy, (cache_hits, new_twiddles) = (
+        run_once(benchmark, run)
+    )
+
+    scale = np.abs(refs).max()
+    seq_err = np.abs(seq_outs - refs).max() / scale
+    pipe_err = np.abs(pipe_outs - refs).max() / scale
+    speedup = seq_s / pipe_s
+
+    payload = {
+        "n": N,
+        "batch": BATCH,
+        "sequential_seconds": seq_s,
+        "pipelined_seconds": pipe_s,
+        "speedup": speedup,
+        "speedup_bar": SPEEDUP_BAR,
+        "engine_busy_seconds": busy,
+        "max_rel_error_sequential": float(seq_err),
+        "max_rel_error_pipelined": float(pipe_err),
+        "plan_cache_hits_for_batch_plan": cache_hits,
+        "new_twiddle_tables_for_batch_plan": new_twiddles,
+    }
+    path = write_bench_json("batch", payload)
+
+    show(
+        f"Batch pipeline: {BATCH} x {N}^3 transforms",
+        f"sequential: {seq_s * 1e3:8.3f} ms  (err {seq_err:.2e})\n"
+        f"pipelined:  {pipe_s * 1e3:8.3f} ms  (err {pipe_err:.2e})\n"
+        f"speedup:    {speedup:8.3f}x (acceptance bar: >= {SPEEDUP_BAR}x)\n"
+        f"engine busy: "
+        + ", ".join(f"{k} {v * 1e3:.3f} ms" for k, v in busy.items())
+        + f"\nplan cache: +{cache_hits} hit(s), "
+        f"+{new_twiddles} twiddle tables (expected 0)\n"
+        f"json: {path}",
+    )
+
+    assert seq_err < 1e-5 and pipe_err < 1e-5
+    assert speedup >= SPEEDUP_BAR
+    # The sequential plan above already populated the cache for this key:
+    # the batch engine's plan request must be a hit, and building it must
+    # not have recomputed any twiddle tables.
+    assert cache_hits >= 1
+    assert new_twiddles == 0

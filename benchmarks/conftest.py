@@ -8,12 +8,29 @@ to the paper's values, and asserts the reproduction's *shape* criteria.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 
 def run_once(benchmark, fn):
     """Benchmark ``fn`` with a single round and return its result."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a benchmark's results as machine-readable JSON.
+
+    Writes ``BENCH_<name>.json`` into ``$REPRO_BENCH_DIR`` (default: the
+    repository root) so CI can diff benchmark outputs across runs without
+    scraping pytest stdout.  Returns the path written.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", Path(__file__).parent.parent))
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture

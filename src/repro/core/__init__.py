@@ -14,7 +14,11 @@
 * :mod:`repro.core.estimator` — end-to-end time/GFLOPS prediction;
 * :mod:`repro.core.resilient` — retries, checksummed transfers and
   checkpoint/restart over the fault-injecting simulator;
-* :mod:`repro.core.api` — the high-level :class:`GpuFFT3D` entry point.
+* :mod:`repro.core.api` — the high-level :class:`GpuFFT3D` entry point;
+* :mod:`repro.core.plan_cache` — process-wide plan/twiddle cache keyed by
+  ``(shape, precision, device)``;
+* :mod:`repro.core.batch` — :class:`BatchedGpuFFT3D`, stream-pipelined
+  execution of N same-shape transforms through one resilient plan.
 """
 
 from repro.core.patterns import (
@@ -39,8 +43,10 @@ from repro.core.resilient import (
     run_out_of_core,
 )
 from repro.core.api import GpuFFT3D, gpu_fft3d, gpu_ifft3d
+from repro.core.batch import BatchedGpuFFT3D, gpu_fft3d_batch
+from repro.core.plan_cache import PLAN_CACHE, PlanCache, PlanCacheStats
 from repro.core.accuracy import AccuracyReport, accuracy_sweep, measure_accuracy
-from repro.core.multi_gpu import MultiGpuEstimate, MultiGpuFFT3D
+from repro.core.multi_gpu import MultiGpuBatchEstimate, MultiGpuEstimate, MultiGpuFFT3D
 from repro.core.tuner import TuneResult, tune_multirow_step
 from repro.core.warp_kernels import (
     run_five_step_warp_level,
@@ -82,9 +88,15 @@ __all__ = [
     "GpuFFT3D",
     "gpu_fft3d",
     "gpu_ifft3d",
+    "BatchedGpuFFT3D",
+    "gpu_fft3d_batch",
+    "PLAN_CACHE",
+    "PlanCache",
+    "PlanCacheStats",
     "AccuracyReport",
     "accuracy_sweep",
     "measure_accuracy",
+    "MultiGpuBatchEstimate",
     "MultiGpuEstimate",
     "MultiGpuFFT3D",
     "TuneResult",

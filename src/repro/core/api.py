@@ -23,8 +23,8 @@ from itertools import count
 import numpy as np
 
 from repro.core.estimator import FFT3DEstimate, estimate_fft3d
-from repro.core.five_step import FiveStepPlan
 from repro.core.out_of_core import OutOfCoreEstimate, OutOfCorePlan
+from repro.core.plan_cache import PLAN_CACHE
 from repro.core.resilient import (
     ResilienceReport,
     ResilientExecutor,
@@ -68,8 +68,13 @@ class GpuFFT3D:
     precision / norm:
         As in :mod:`repro.fft`.
     fault_injector:
-        Optional :class:`~repro.gpu.faults.FaultInjector` attached to the
-        simulator; makes transfers/launches/allocations fallible.
+        Optional :class:`~repro.gpu.faults.FaultInjector` scoped to *this
+        plan's* operations; makes its transfers/launches/allocations
+        fallible.  On a shared simulator the injector is attached only
+        while this plan executes (via
+        :meth:`DeviceSimulator.fault_scope`), so sibling plans stay
+        fault-free; passing a second, different injector while the
+        simulator already has one raises ``ValueError``.
     retry_policy:
         Bounds on retries, backoff and device resets; defaults to
         :class:`~repro.core.resilient.RetryPolicy`.
@@ -99,14 +104,24 @@ class GpuFFT3D:
         self.device = device
         self.norm = norm
         self.precision = precision
+        self._injector = None
         if simulator is None:
+            # A plan-owned simulator can carry the injector directly.
             simulator = DeviceSimulator(device, fault_injector=fault_injector)
         elif fault_injector is not None:
-            simulator.faults = fault_injector
+            if simulator.faults is not None and simulator.faults is not fault_injector:
+                raise ValueError(
+                    "simulator already has a different fault injector; "
+                    "plans sharing a simulator must share one injector"
+                )
+            if simulator.faults is None:
+                # Shared simulator: never mutate it — scope the injector
+                # to this plan's transforms so sibling plans stay clean.
+                self._injector = fault_injector
         self.simulator = simulator
         self._ooc = OutOfCorePlan(shape, device, precision=precision)
         self.shape = self._ooc.shape
-        self._plan = FiveStepPlan(self.shape, precision=precision)
+        self._plan = PLAN_CACHE.five_step(self.shape, precision, device)
         self._dev_v: DeviceArray | None = None
         self._dev_w: DeviceArray | None = None
         self._buf = f"fft3d{next(_PLAN_IDS)}"
@@ -116,7 +131,9 @@ class GpuFFT3D:
             self.simulator, self.retry_policy, self.resilience
         )
         self._verify = (
-            (self.simulator.faults is not None) if verify is None else verify
+            (fault_injector is not None or self.simulator.faults is not None)
+            if verify is None
+            else verify
         )
         self._ooc_estimate: OutOfCoreEstimate | None = None
 
@@ -155,7 +172,7 @@ class GpuFFT3D:
         assert self._dev_v is not None
         ex = self._executor
         ex.h2d(x, self._dev_v, f"{self._buf}-h2d")
-        specs = self._plan.step_specs(self.device)
+        specs = PLAN_CACHE.step_specs(self.shape, self.precision, self.device)
         result: dict[str, np.ndarray] = {}
 
         def body() -> None:
@@ -185,7 +202,9 @@ class GpuFFT3D:
         if self.simulator.device_lost:
             self.simulator.reset_device()
             self.resilience.device_resets += 1
-        self._dev_v = self._dev_w = None
+        # The device buffers are dead weight from here on: free them (a
+        # reset already discarded them) instead of leaking the capacity.
+        self.release()
         from repro.baselines.fftw_cpu import FftwCpuBaseline
 
         rate = FftwCpuBaseline(precision=self.precision).sustained_gflops(self.shape)
@@ -243,10 +262,11 @@ class GpuFFT3D:
         x = as_complex_array(x, self.precision)
         if x.shape != self.shape:
             raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
-        if self.out_of_core:
-            out = self._run_out_of_core(x, inverse)
-        else:
-            out = self._run_in_core(x, inverse)
+        with self.simulator.fault_scope(self._injector):
+            if self.out_of_core:
+                out = self._run_out_of_core(x, inverse)
+            else:
+                out = self._run_in_core(x, inverse)
         return apply_norm(out, self.total_elements, self.norm, inverse)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -256,6 +276,10 @@ class GpuFFT3D:
     def inverse(self, x: np.ndarray) -> np.ndarray:
         """Inverse transform; matches ``numpy.fft.ifftn`` (default norm)."""
         return self._run(x, inverse=True)
+
+    def execute(self, x: np.ndarray, inverse: bool = False) -> np.ndarray:
+        """One transform in either direction (the generic entry point)."""
+        return self._run(x, inverse=inverse)
 
     # ------------------------------------------------------------------
 
@@ -282,6 +306,20 @@ class GpuFFT3D:
                 self.simulator.free(arr)
         self._dev_v = self._dev_w = None
 
+    def close(self) -> None:
+        """Tear the plan down: device buffers are freed, capacity returned.
+
+        Subsequent transforms re-allocate transparently, so ``close`` is
+        safe to call between bursts of work as well as at end of life.
+        """
+        self.release()
+
+    def __enter__(self) -> "GpuFFT3D":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 def gpu_fft3d(
     x: np.ndarray,
@@ -290,11 +328,8 @@ def gpu_fft3d(
 ) -> np.ndarray:
     """One-shot forward 3-D FFT through the simulated GPU path."""
     x = np.asarray(x)
-    plan = GpuFFT3D(x.shape, device=device, norm=norm)
-    try:
+    with GpuFFT3D(x.shape, device=device, norm=norm) as plan:
         return plan.forward(x)
-    finally:
-        plan.release()
 
 
 def gpu_ifft3d(
@@ -304,8 +339,5 @@ def gpu_ifft3d(
 ) -> np.ndarray:
     """One-shot inverse 3-D FFT through the simulated GPU path."""
     x = np.asarray(x)
-    plan = GpuFFT3D(x.shape, device=device, norm=norm)
-    try:
+    with GpuFFT3D(x.shape, device=device, norm=norm) as plan:
         return plan.inverse(x)
-    finally:
-        plan.release()

@@ -1,0 +1,120 @@
+"""Process-wide plan cache for the five-step transform.
+
+Real FFT workloads (a docking search scoring thousands of rotations, a
+spectral solver stepping a fixed grid) build the *same* plan over and
+over: identical shape, precision and target device.  Plan construction is
+not free — axis splitting, the five intermediate layout views, the
+four-step twiddle tables and the per-device kernel specs — so the cache
+pays it once per distinct ``(shape, precision, device)`` and hands every
+subsequent :class:`~repro.core.api.GpuFFT3D` /
+:class:`~repro.core.batch.BatchedGpuFFT3D` the shared, immutable plan.
+
+:class:`~repro.core.five_step.FiveStepPlan` is stateless after
+construction (execution reads the memoized twiddle tables and writes only
+caller-owned arrays), so sharing one instance across plans — and across
+threads, under the cache lock — is safe.  Kernel specs depend on the
+device, hence the device name in the key; the functional plan itself is
+device-independent, but keying it the same way keeps one cache with one
+invalidation story.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.core.five_step import FiveStepPlan
+from repro.fft.twiddle import DEFAULT_CACHE
+from repro.gpu.kernel import KernelSpec
+from repro.gpu.specs import DeviceSpec
+
+__all__ = ["PlanCacheStats", "PlanCache", "PLAN_CACHE"]
+
+
+@dataclass(frozen=True)
+class PlanCacheStats:
+    """Hit/miss counters snapshot (misses == distinct plans built)."""
+
+    hits: int
+    misses: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+
+def _normalize(shape) -> tuple[int, int, int]:
+    if isinstance(shape, int):
+        shape = (shape, shape, shape)
+    if len(shape) != 3:
+        raise ValueError(f"shape must be 3-D, got {shape!r}")
+    return tuple(int(n) for n in shape)
+
+
+class PlanCache:
+    """Thread-safe memoizing store for plans and their kernel specs."""
+
+    def __init__(self) -> None:
+        self._plans: dict[tuple, FiveStepPlan] = {}
+        self._specs: dict[tuple, list[KernelSpec]] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def five_step(
+        self, shape, precision: str, device: DeviceSpec
+    ) -> FiveStepPlan:
+        """The shared plan for ``(shape, precision, device)``.
+
+        A miss builds the plan and warms its twiddle tables in the
+        process-wide :data:`~repro.fft.twiddle.DEFAULT_CACHE`; a hit
+        recomputes neither.
+        """
+        key = (_normalize(shape), precision, device.name)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._hits += 1
+                return plan
+            self._misses += 1
+        # Build outside the lock (construction touches the twiddle cache,
+        # which has its own lock); last writer wins on a racing miss.
+        plan = FiveStepPlan(key[0], precision=precision)
+        DEFAULT_CACHE.four_step(plan.rz1, plan.rz2, precision)
+        DEFAULT_CACHE.four_step(plan.ry1, plan.ry2, precision)
+        with self._lock:
+            return self._plans.setdefault(key, plan)
+
+    def step_specs(
+        self, shape, precision: str, device: DeviceSpec
+    ) -> list[KernelSpec]:
+        """The plan's five kernel specs, built once per device."""
+        key = (_normalize(shape), precision, device.name)
+        with self._lock:
+            specs = self._specs.get(key)
+            if specs is not None:
+                return specs
+        specs = self.five_step(shape, precision, device).step_specs(device)
+        with self._lock:
+            return self._specs.setdefault(key, specs)
+
+    @property
+    def stats(self) -> PlanCacheStats:
+        with self._lock:
+            return PlanCacheStats(self._hits, self._misses)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every cached plan and spec list (counters reset too)."""
+        with self._lock:
+            self._plans.clear()
+            self._specs.clear()
+            self._hits = 0
+            self._misses = 0
+
+
+#: The process-wide cache every GPU plan consults.
+PLAN_CACHE = PlanCache()

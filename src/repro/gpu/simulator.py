@@ -8,6 +8,20 @@ The capacity check is real — allocating a 512^3 complex grid on a 512 MB
 card raises :class:`DeviceMemoryError`, which is precisely why the paper
 needs its out-of-core algorithm (Section 3.3).
 
+Time is accounted on a *scheduled* timeline: every event carries a start
+time and a duration.  The legacy synchronous surface (:meth:`h2d`,
+:meth:`d2h`, :meth:`launch`, :meth:`charge`) behaves like the CUDA default
+stream — each operation begins when everything before it has finished, so
+``elapsed`` degenerates to the plain sum of durations.  The asynchronous
+surface (:meth:`async_h2d`, :meth:`async_d2h`, :meth:`async_launch`,
+:meth:`async_launch_timed`) models numbered streams fed into three
+hardware engines — the H2D copy engine, the compute engine and the D2H
+copy engine.  Operations on one stream are ordered; operations on one
+engine serialize; everything else overlaps, which is exactly the
+"asynchronous transfers" overlap the paper points at in Section 4.4 and
+what the batched pipeline in :mod:`repro.core.batch` exploits: while
+cube ``i`` computes, cube ``i+1`` uploads and cube ``i-1`` downloads.
+
 An optional :class:`~repro.gpu.faults.FaultInjector` hook makes every
 operation fallible: transfers can abort or corrupt, launches can be
 rejected or suffer ECC upsets, allocations can fail transiently, and the
@@ -15,13 +29,16 @@ whole device can drop off the bus (after which every operation raises
 :class:`~repro.gpu.faults.DeviceLostError` until :meth:`reset_device`).
 Failed operations still charge the timeline — marked ``faulted`` so the
 cost of unreliability is observable on the same simulated clock as the
-useful work.
+useful work.  :meth:`fault_scope` bounds an injector to one plan's
+operations so plans sharing a simulator do not leak faults onto each
+other.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -78,6 +95,19 @@ class TimelineEvent:
     #: True when this time was spent on an operation that failed or whose
     #: payload arrived corrupted (and therefore had to be redone).
     faulted: bool = False
+    #: When the operation began on the simulated clock.
+    start: float = 0.0
+    #: Stream the operation was issued on; ``None`` for synchronous
+    #: (default-stream) operations, which serialize against everything.
+    stream: int | None = None
+
+    @property
+    def end(self) -> float:
+        return self.start + self.seconds
+
+
+#: Engine each event kind occupies in the async schedule.
+_ENGINES = ("h2d", "d2h", "compute")
 
 
 class DeviceSimulator:
@@ -101,6 +131,11 @@ class DeviceSimulator:
         self._timeline: list[TimelineEvent] = []
         self._device_lost = False
         self.device_resets = 0
+        #: Completion time of the last operation on each engine/stream.
+        self._engine_cursor: dict[str, float] = {e: 0.0 for e in _ENGINES}
+        self._stream_cursor: dict[int, float] = {}
+        #: Latest completion time of any event — the simulated wall clock.
+        self._horizon = 0.0
 
     # ------------------------------------------------------------------
     # Device health
@@ -132,6 +167,37 @@ class DeviceSimulator:
         self._next_base = 0
         self._device_lost = False
         self.device_resets += 1
+
+    # ------------------------------------------------------------------
+    # Fault scoping
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def fault_scope(self, injector: FaultInjector | None) -> Iterator[None]:
+        """Attach ``injector`` for the duration of one plan's operations.
+
+        Plans sharing a simulator use this so a per-plan injector never
+        leaks onto sibling plans: the injector is consulted only while the
+        owning plan is inside the scope, and detached on exit.  A ``None``
+        injector (or the one already attached) makes the scope a no-op, so
+        fault-free plans still observe simulator-level injection.  A
+        *different* injector while one is attached is a conflict — the
+        fault schedules would interleave unpredictably — and raises.
+        """
+        if injector is None or injector is self.faults:
+            yield
+            return
+        if self.faults is not None:
+            raise ValueError(
+                "simulator already has a fault injector attached; plans "
+                "sharing a simulator must share one injector (or scope "
+                "injection to disjoint plans)"
+            )
+        self.faults = injector
+        try:
+            yield
+        finally:
+            self.faults = None
 
     # ------------------------------------------------------------------
     # Memory management
@@ -190,18 +256,83 @@ class DeviceSimulator:
         return self._arrays.get(arr.name) is arr
 
     # ------------------------------------------------------------------
+    # Scheduling plumbing
+    # ------------------------------------------------------------------
+
+    def _record(
+        self,
+        kind: str,
+        label: str,
+        seconds: float,
+        *,
+        start: float,
+        bytes_moved: int = 0,
+        flops: float = 0.0,
+        faulted: bool = False,
+        stream: int | None = None,
+    ) -> TimelineEvent:
+        ev = TimelineEvent(
+            kind, label, seconds, bytes_moved, flops, faulted, start, stream
+        )
+        self._timeline.append(ev)
+        if ev.end > self._horizon:
+            self._horizon = ev.end
+        return ev
+
+    def _sync_cursors(self) -> None:
+        """Drag every engine and stream cursor up to the wall clock."""
+        for e in self._engine_cursor:
+            self._engine_cursor[e] = self._horizon
+        for s in self._stream_cursor:
+            self._stream_cursor[s] = self._horizon
+
+    def _async_start(self, stream: int, engine: str) -> float:
+        """Issue time on ``stream``: after its prior ops and the engine."""
+        return max(self._stream_cursor.get(stream, 0.0), self._engine_cursor[engine])
+
+    def _advance(self, stream: int, engine: str, end: float) -> None:
+        self._stream_cursor[stream] = end
+        self._engine_cursor[engine] = end
+
+    def record_event(self, stream: int = 0) -> float:
+        """Timestamp after all work issued on ``stream`` so far (cudaEventRecord)."""
+        return self._stream_cursor.get(stream, 0.0)
+
+    def wait_event(self, stream: int, timestamp: float) -> None:
+        """Make ``stream`` wait until ``timestamp`` (cudaStreamWaitEvent)."""
+        if timestamp > self._stream_cursor.get(stream, 0.0):
+            self._stream_cursor[stream] = timestamp
+
+    def synchronize(self) -> float:
+        """Join every stream and engine; returns the simulated wall clock."""
+        self._sync_cursors()
+        return self._horizon
+
+    # ------------------------------------------------------------------
     # Transfers
     # ------------------------------------------------------------------
 
-    def _transfer_fault(self, label: str, n_bytes: int, direction: str) -> str | None:
+    def _transfer_fault(
+        self,
+        label: str,
+        n_bytes: int,
+        direction: str,
+        start: float,
+        stream: int | None = None,
+    ) -> str | None:
         if self.faults is None:
             return None
         fault = self.faults.on_transfer(label, n_bytes)
         if fault in ("device-lost", "transfer-fail"):
             t = self.pcie.partial_transfer_time(n_bytes, direction, self.FAIL_FRACTION)
-            self._timeline.append(
-                TimelineEvent(direction, label, t, n_bytes, faulted=True)
+            self._record(
+                direction, label, t, start=start, bytes_moved=n_bytes,
+                faulted=True, stream=stream,
             )
+            if stream is None:
+                self._sync_cursors()
+            else:
+                self._advance(stream, direction, start + t)
             if fault == "device-lost":
                 raise self._lose_device(f"{direction} {label!r}")
             raise TransferError(
@@ -209,58 +340,104 @@ class DeviceSimulator:
             )
         return fault
 
-    def h2d(self, host: np.ndarray, dev: DeviceArray, label: str = "h2d") -> float:
-        """Copy host -> device; returns simulated seconds."""
-        self._check_alive()
+    def _check_sizes(self, host: np.ndarray, dev: DeviceArray, direction: str) -> None:
         if host.nbytes != dev.nbytes:
-            raise ValueError(
-                f"size mismatch: host {host.nbytes} B vs device {dev.nbytes} B"
-            )
-        fault = self._transfer_fault(label, host.nbytes, "h2d")
+            a, b = ("host", "device") if direction == "h2d" else ("device", "host")
+            first = host.nbytes if direction == "h2d" else dev.nbytes
+            second = dev.nbytes if direction == "h2d" else host.nbytes
+            raise ValueError(f"size mismatch: {a} {first} B vs {b} {second} B")
+
+    def _do_h2d(
+        self, host: np.ndarray, dev: DeviceArray, label: str,
+        start: float, stream: int | None,
+    ) -> float:
+        self._check_alive()
+        self._check_sizes(host, dev, "h2d")
+        fault = self._transfer_fault(label, host.nbytes, "h2d", start, stream)
         np.copyto(dev.data, host.reshape(dev.shape).astype(dev.dtype, copy=False))
         corrupted = fault == "transfer-corrupt"
         if corrupted:
             assert self.faults is not None
             self.faults.corrupt(dev.data)
         t = self.pcie.transfer_time(host.nbytes, "h2d")
-        self._timeline.append(
-            TimelineEvent("h2d", label, t, host.nbytes, faulted=corrupted)
+        self._record(
+            "h2d", label, t, start=start, bytes_moved=host.nbytes,
+            faulted=corrupted, stream=stream,
         )
         return t
 
-    def d2h(self, dev: DeviceArray, host: np.ndarray, label: str = "d2h") -> float:
-        """Copy device -> host; returns simulated seconds."""
+    def _do_d2h(
+        self, dev: DeviceArray, host: np.ndarray, label: str,
+        start: float, stream: int | None,
+    ) -> float:
         self._check_alive()
-        if host.nbytes != dev.nbytes:
-            raise ValueError(
-                f"size mismatch: device {dev.nbytes} B vs host {host.nbytes} B"
-            )
-        fault = self._transfer_fault(label, dev.nbytes, "d2h")
+        self._check_sizes(host, dev, "d2h")
+        fault = self._transfer_fault(label, dev.nbytes, "d2h", start, stream)
         np.copyto(host, dev.data.reshape(host.shape).astype(host.dtype, copy=False))
         corrupted = fault == "transfer-corrupt"
         if corrupted:
             assert self.faults is not None
             self.faults.corrupt(host)
         t = self.pcie.transfer_time(dev.nbytes, "d2h")
-        self._timeline.append(
-            TimelineEvent("d2h", label, t, dev.nbytes, faulted=corrupted)
+        self._record(
+            "d2h", label, t, start=start, bytes_moved=dev.nbytes,
+            faulted=corrupted, stream=stream,
         )
         return t
+
+    def h2d(self, host: np.ndarray, dev: DeviceArray, label: str = "h2d") -> float:
+        """Copy host -> device synchronously; returns simulated seconds."""
+        t = self._do_h2d(host, dev, label, self._horizon, None)
+        self._sync_cursors()
+        return t
+
+    def d2h(self, dev: DeviceArray, host: np.ndarray, label: str = "d2h") -> float:
+        """Copy device -> host synchronously; returns simulated seconds."""
+        t = self._do_d2h(dev, host, label, self._horizon, None)
+        self._sync_cursors()
+        return t
+
+    def async_h2d(
+        self, host: np.ndarray, dev: DeviceArray, stream: int = 0, label: str = "h2d"
+    ) -> float:
+        """Copy host -> device on ``stream``; returns its completion time.
+
+        Starts once the stream's prior work and the H2D copy engine are
+        both free; overlaps with compute and D2H traffic on other streams.
+        """
+        start = self._async_start(stream, "h2d")
+        t = self._do_h2d(host, dev, label, start, stream)
+        self._advance(stream, "h2d", start + t)
+        return start + t
+
+    def async_d2h(
+        self, dev: DeviceArray, host: np.ndarray, stream: int = 0, label: str = "d2h"
+    ) -> float:
+        """Copy device -> host on ``stream``; returns its completion time."""
+        start = self._async_start(stream, "d2h")
+        t = self._do_d2h(dev, host, label, start, stream)
+        self._advance(stream, "d2h", start + t)
+        return start + t
 
     # ------------------------------------------------------------------
     # Kernel launches
     # ------------------------------------------------------------------
 
-    def _launch_fault(self, label: str) -> str | None:
+    def _launch_fault(
+        self, label: str, start: float, stream: int | None = None
+    ) -> str | None:
         if self.faults is None:
             return None
         fault = self.faults.on_launch(label)
         if fault in ("device-lost", "launch-fail"):
-            self._timeline.append(
-                TimelineEvent(
-                    "kernel", label, self.device.launch_overhead_s, faulted=True
-                )
+            t = self.device.launch_overhead_s
+            self._record(
+                "kernel", label, t, start=start, faulted=True, stream=stream
             )
+            if stream is None:
+                self._sync_cursors()
+            else:
+                self._advance(stream, "compute", start + t)
             if fault == "device-lost":
                 raise self._lose_device(f"launch {label!r}")
             raise KernelLaunchError(f"launch of {label!r} rejected")
@@ -272,6 +449,28 @@ class DeviceSimulator:
         if self._arrays:
             victim = self.faults.choose(sorted(self._arrays))
             self.faults.corrupt(self._arrays[victim].data)
+
+    def _do_launch(
+        self,
+        spec: KernelSpec,
+        body: Callable[..., None] | None,
+        args,
+        kwargs,
+        start: float,
+        stream: int | None,
+    ) -> KernelTiming:
+        self._check_alive()
+        fault = self._launch_fault(spec.name, start, stream)
+        timing = time_kernel(self.device, spec, self.memsystem)
+        if body is not None:
+            body(*args, **kwargs)
+        if fault == "ecc-bitflip":
+            self._ecc_upset()
+        self._record(
+            "kernel", spec.name, timing.seconds, start=start,
+            bytes_moved=spec.total_bytes, flops=spec.total_flops, stream=stream,
+        )
+        return timing
 
     def launch(
         self,
@@ -285,19 +484,44 @@ class DeviceSimulator:
         ``body`` receives ``*args``/``**kwargs`` (typically DeviceArrays'
         ``.data``) and mutates them in place, exactly like a CUDA kernel.
         """
+        timing = self._do_launch(spec, body, args, kwargs, self._horizon, None)
+        self._sync_cursors()
+        return timing
+
+    def async_launch(
+        self,
+        spec: KernelSpec,
+        stream: int = 0,
+        body: Callable[..., None] | None = None,
+        *args,
+        **kwargs,
+    ) -> KernelTiming:
+        """Launch a kernel on ``stream``: ordered there, overlaps elsewhere."""
+        start = self._async_start(stream, "compute")
+        timing = self._do_launch(spec, body, args, kwargs, start, stream)
+        self._advance(stream, "compute", start + timing.seconds)
+        return timing
+
+    def _do_launch_timed(
+        self,
+        label: str,
+        seconds: float,
+        body: Callable[..., None] | None,
+        args,
+        kwargs,
+        start: float,
+        stream: int | None,
+    ) -> float:
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
         self._check_alive()
-        fault = self._launch_fault(spec.name)
-        timing = time_kernel(self.device, spec, self.memsystem)
+        fault = self._launch_fault(label, start, stream)
         if body is not None:
             body(*args, **kwargs)
         if fault == "ecc-bitflip":
             self._ecc_upset()
-        self._timeline.append(
-            TimelineEvent(
-                "kernel", spec.name, timing.seconds, spec.total_bytes, spec.total_flops
-            )
-        )
-        return timing
+        self._record("kernel", label, seconds, start=start, stream=stream)
+        return seconds
 
     def launch_timed(
         self,
@@ -315,22 +539,31 @@ class DeviceSimulator:
         out-of-core pipeline, whose per-phase times come from the
         Table 12 estimator.
         """
-        if seconds < 0:
-            raise ValueError("seconds must be non-negative")
-        self._check_alive()
-        fault = self._launch_fault(label)
-        if body is not None:
-            body(*args, **kwargs)
-        if fault == "ecc-bitflip":
-            self._ecc_upset()
-        self._timeline.append(TimelineEvent("kernel", label, seconds))
-        return seconds
+        t = self._do_launch_timed(label, seconds, body, args, kwargs, self._horizon, None)
+        self._sync_cursors()
+        return t
+
+    def async_launch_timed(
+        self,
+        label: str,
+        seconds: float,
+        stream: int = 0,
+        body: Callable[..., None] | None = None,
+        *args,
+        **kwargs,
+    ) -> float:
+        """:meth:`launch_timed` on a numbered stream."""
+        start = self._async_start(stream, "compute")
+        t = self._do_launch_timed(label, seconds, body, args, kwargs, start, stream)
+        self._advance(stream, "compute", start + t)
+        return t
 
     def charge(self, label: str, seconds: float, kind: str = "kernel") -> None:
         """Record externally-computed time (e.g. an estimator result)."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        self._timeline.append(TimelineEvent(kind, label, seconds))
+        self._record(kind, label, seconds, start=self._horizon)
+        self._sync_cursors()
 
     # ------------------------------------------------------------------
     # Accounting
@@ -338,8 +571,14 @@ class DeviceSimulator:
 
     @property
     def elapsed(self) -> float:
-        """Total simulated seconds on this device's timeline."""
-        return sum(e.seconds for e in self._timeline)
+        """Simulated wall-clock seconds: when the last scheduled event ends.
+
+        For purely synchronous workloads every event starts where the
+        previous one ended, so this equals the plain sum of durations; with
+        stream-pipelined work it is the makespan of the overlapped
+        schedule.
+        """
+        return self._horizon
 
     @property
     def kernel_seconds(self) -> float:
@@ -358,6 +597,20 @@ class DeviceSimulator:
     def backoff_seconds(self) -> float:
         """Time spent waiting in retry backoff (charged by the resilient layer)."""
         return sum(e.seconds for e in self._timeline if e.kind == "backoff")
+
+    def engine_busy_seconds(self) -> dict[str, float]:
+        """Busy time per hardware engine (h2d / compute / d2h).
+
+        With perfect pipelining ``elapsed`` approaches the largest of
+        these; fully serialized it is their sum (plus host/backoff time).
+        """
+        busy = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0}
+        for e in self._timeline:
+            if e.kind in ("h2d", "d2h"):
+                busy[e.kind] += e.seconds
+            elif e.kind == "kernel":
+                busy["compute"] += e.seconds
+        return busy
 
     def events(self) -> list[TimelineEvent]:
         """The timeline as a list copy (kernels, transfers, backoff, host)."""
@@ -378,5 +631,8 @@ class DeviceSimulator:
         ]
 
     def reset_clock(self) -> None:
-        """Clear the timeline (allocations stay)."""
+        """Clear the timeline and rewind all cursors (allocations stay)."""
         self._timeline.clear()
+        self._horizon = 0.0
+        self._engine_cursor = {e: 0.0 for e in _ENGINES}
+        self._stream_cursor.clear()

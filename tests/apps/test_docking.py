@@ -163,3 +163,42 @@ class TestDockingSearch:
         )
         with pytest.raises(ValueError):
             search.run(top_k=0)
+
+
+class TestBatchedSearch:
+    @pytest.fixture(scope="class")
+    def search(self):
+        receptor = random_protein(40, seed=11)
+        ligand = random_protein(20, seed=22)
+        return DockingSearch(
+            receptor, ligand, grid_size=32, spacing=2.0, device=GEFORCE_8800_GT
+        )
+
+    @pytest.fixture(scope="class")
+    def rotations(self):
+        return rotation_grid(2, 1, 2)
+
+    def test_batched_matches_analytic_best_pose(self, search, rotations):
+        base = search.run(rotations, top_k=5)
+        batched = search.run_batched(rotations, top_k=5, batch_size=2)
+        assert batched.best.rotation_index == base.best.rotation_index
+        assert batched.best.translation == base.best.translation
+        assert batched.best.score == pytest.approx(base.best.score, rel=1e-4)
+
+    def test_pipelined_faster_than_serial_offload(self, search, rotations):
+        result = search.run_batched(rotations, top_k=3, batch_size=4)
+        assert result.pipelined_seconds is not None
+        assert result.pipelined_seconds < result.offload_seconds
+        assert result.pipeline_speedup > 1.0
+
+    def test_analytic_result_has_no_pipeline_time(self, search, rotations):
+        result = search.run(rotations, top_k=3)
+        assert result.pipelined_seconds is None
+        with pytest.raises(ValueError, match="batched"):
+            result.pipeline_speedup
+
+    def test_batched_validates_args(self, search, rotations):
+        with pytest.raises(ValueError):
+            search.run_batched(rotations, top_k=0)
+        with pytest.raises(ValueError):
+            search.run_batched(rotations, batch_size=0)

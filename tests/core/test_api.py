@@ -155,3 +155,127 @@ class TestSharedSimulator:
         a.release()
         b.release()
         assert sim.used_bytes == 0
+
+
+class TestInjectorScoping:
+    """Regression: a per-plan injector must not leak onto a shared simulator."""
+
+    def _inj(self, seed=1):
+        from repro.gpu.faults import FaultInjector, FaultSpec
+
+        return FaultInjector([FaultSpec("launch-fail", rate=1.0)], seed=seed)
+
+    def test_construction_does_not_mutate_shared_simulator(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        plan = GpuFFT3D((16, 16, 16), simulator=sim, fault_injector=self._inj())
+        assert sim.faults is None
+        plan.release()
+
+    def test_sibling_plan_unaffected_by_faulty_plan(self, rng):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        faulty = GpuFFT3D((16, 16, 16), simulator=sim, fault_injector=self._inj())
+        clean = GpuFFT3D((16, 16, 16), simulator=sim)
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        out = clean.forward(x)  # every launch would fail if injection leaked
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+        assert clean.resilience_report().total_retries == 0
+        faulty.release()
+        clean.release()
+
+    def test_faulty_plan_still_sees_its_injector(self, rng):
+        from repro.gpu.faults import FaultInjector, FaultSpec
+
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        inj = FaultInjector([FaultSpec("launch-fail", at_ops=(0,))], seed=4)
+        plan = GpuFFT3D((16, 16, 16), simulator=sim, fault_injector=inj)
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        plan.forward(x)
+        assert plan.resilience_report().retries.get("launch", 0) >= 1
+        assert sim.faults is None  # detached again after the run
+        plan.release()
+
+    def test_conflicting_injectors_rejected(self):
+        a = self._inj(seed=1)
+        b = self._inj(seed=2)
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=a)
+        with pytest.raises(ValueError, match="injector"):
+            GpuFFT3D((16, 16, 16), simulator=sim, fault_injector=b)
+
+    def test_simulator_level_injector_still_observed(self, rng):
+        from repro.gpu.faults import FaultInjector, FaultSpec
+
+        inj = FaultInjector([FaultSpec("launch-fail", at_ops=(0,))], seed=4)
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        plan = GpuFFT3D((16, 16, 16), simulator=sim)
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        plan.forward(x)
+        assert plan.resilience_report().retries.get("launch", 0) >= 1
+        plan.release()
+
+
+class TestBufferLifetime:
+    """Regression: degraded plans used to leak their device buffers."""
+
+    def test_host_fallback_frees_device_buffers(self, rng):
+        from repro.gpu.faults import FaultInjector, FaultSpec
+
+        inj = FaultInjector(
+            [FaultSpec("device-lost", rate=1.0, category="transfer")], seed=2
+        )
+        plan = GpuFFT3D((16, 16, 16), fault_injector=inj)
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        out = plan.forward(x)
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+        assert any("host-fallback" in d for d in plan.resilience_report().downgrades)
+        assert plan.simulator.used_bytes == 0
+
+    def test_close_frees_buffers(self, rng):
+        plan = GpuFFT3D((16, 16, 16))
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        plan.forward(x)
+        assert plan.simulator.used_bytes > 0
+        plan.close()
+        assert plan.simulator.used_bytes == 0
+
+    def test_context_manager_frees_buffers(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        with GpuFFT3D((16, 16, 16)) as plan:
+            plan.forward(x)
+            sim = plan.simulator
+            assert sim.used_bytes > 0
+        assert sim.used_bytes == 0
+
+    def test_plan_usable_after_close(self, rng):
+        x = (rng.standard_normal((16, 16, 16)) + 0j).astype(np.complex64)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        plan = GpuFFT3D((16, 16, 16))
+        plan.forward(x)
+        plan.close()
+        out = plan.forward(x)  # lazily re-allocates
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+        plan.close()
+
+
+class TestNormModes:
+    @pytest.mark.parametrize("norm", ["backward", "ortho", "forward"])
+    def test_roundtrip_single_path(self, rng, norm):
+        x = (rng.standard_normal((32, 32, 32)) + 0j).astype(np.complex64)
+        with GpuFFT3D((32, 32, 32), norm=norm) as plan:
+            back = plan.inverse(plan.forward(x))
+        assert np.abs(back - x).max() / np.abs(x).max() < 1e-5
+
+    def test_forward_norm_matches_numpy(self, rng):
+        x = (rng.standard_normal((32, 32, 32)) + 0j).astype(np.complex64)
+        ref = np.fft.fftn(x.astype(np.complex128), norm="forward")
+        with GpuFFT3D((32, 32, 32), norm="forward") as plan:
+            out = plan.forward(x)
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5
+
+    def test_execute_inverse_flag(self, rng):
+        x = (rng.standard_normal((32, 32, 32)) + 0j).astype(np.complex64)
+        ref = np.fft.ifftn(x.astype(np.complex128))
+        with GpuFFT3D((32, 32, 32)) as plan:
+            out = plan.execute(x, inverse=True)
+        assert np.abs(out - ref).max() / np.abs(ref).max() < 1e-5

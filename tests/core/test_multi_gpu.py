@@ -71,3 +71,54 @@ class TestScaling:
             (1, 8)
         )
         assert curve[8].total_seconds < curve[1].total_seconds
+
+
+class TestBatch:
+    def test_execute_batch_matches_fftn(self, rng):
+        xs = rng.standard_normal((3, 16, 16, 16)) + 1j * rng.standard_normal(
+            (3, 16, 16, 16)
+        )
+        plan = MultiGpuFFT3D(16, 2, precision="double")
+        outs, report = plan.execute_batch(xs)
+        refs = np.stack([np.fft.fftn(x) for x in xs])
+        np.testing.assert_allclose(outs, refs, rtol=1e-9, atol=1e-9)
+        assert report.total_retries == 0
+
+    def test_empty_batch(self):
+        plan = MultiGpuFFT3D(16, 2)
+        outs, _ = plan.execute_batch([])
+        assert outs.shape == (0, 16, 16, 16)
+
+    def test_rank_lost_mid_batch_stays_lost(self, rng):
+        """A rank lost on entry i keeps the shrunken decomposition for i+1."""
+        from repro.gpu.faults import FaultInjector, FaultSpec
+
+        xs = rng.standard_normal((3, 16, 16, 16)) + 1j * rng.standard_normal(
+            (3, 16, 16, 16)
+        )
+        inj = FaultInjector(
+            [FaultSpec("device-lost", at_ops=(2,), category="launch")], seed=7
+        )
+        plan = MultiGpuFFT3D(16, 4, precision="double")
+        outs, report = plan.execute_batch(xs, fault_injector=inj)
+        refs = np.stack([np.fft.fftn(x) for x in xs])
+        np.testing.assert_allclose(outs, refs, rtol=1e-9, atol=1e-9)
+        assert report.device_resets == 1
+        assert report.downgrades == ["replan:4->2 ranks"]
+
+    def test_estimate_batch_pipelines(self):
+        plan = MultiGpuFFT3D(128, 4)
+        est = plan.estimate_batch(8)
+        assert est.pipelined_seconds < est.sequential_seconds
+        assert est.speedup > 1.0
+        assert est.sequential_seconds == pytest.approx(
+            8 * est.per_entry.total_seconds
+        )
+
+    def test_estimate_batch_degenerate_sizes(self):
+        plan = MultiGpuFFT3D(64, 2)
+        assert plan.estimate_batch(0).pipelined_seconds == 0.0
+        one = plan.estimate_batch(1)
+        assert one.pipelined_seconds == pytest.approx(one.sequential_seconds)
+        with pytest.raises(ValueError):
+            plan.estimate_batch(-1)

@@ -1,0 +1,99 @@
+"""Tests for the process-wide plan/twiddle cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import GpuFFT3D
+from repro.core.plan_cache import PLAN_CACHE, PlanCache
+from repro.fft.twiddle import DEFAULT_CACHE
+from repro.gpu.specs import GEFORCE_8800_GT, GEFORCE_8800_GTX
+
+
+@pytest.fixture
+def cache():
+    return PlanCache()
+
+
+class TestPlanCache:
+    def test_second_request_returns_same_plan(self, cache):
+        a = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        b = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        assert a is b
+        assert len(cache) == 1
+
+    def test_hit_does_not_recompute_twiddles(self, cache):
+        """The acceptance criterion: a cache hit builds no new tables."""
+        cache.five_step((64, 64, 64), "single", GEFORCE_8800_GTX)
+        tables_after_miss = len(DEFAULT_CACHE)
+        cache.five_step((64, 64, 64), "single", GEFORCE_8800_GTX)
+        assert len(DEFAULT_CACHE) == tables_after_miss
+
+    def test_miss_warms_twiddle_tables(self):
+        """A fresh plan's four-step tables are resident after the miss."""
+        cache = PlanCache()
+        plan = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        before = len(DEFAULT_CACHE)
+        # Executing through the plan must not add tables: they were
+        # warmed when the cache built it.
+        x = np.ones((32, 32, 32), np.complex64)
+        plan.execute(x)
+        assert len(DEFAULT_CACHE) == before
+
+    def test_stats_count_hits_and_misses(self, cache):
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((64, 64, 64), "single", GEFORCE_8800_GTX)
+        s = cache.stats
+        assert (s.hits, s.misses, s.requests) == (1, 2, 3)
+
+    def test_distinct_keys(self, cache):
+        a = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        b = cache.five_step((32, 32, 32), "double", GEFORCE_8800_GTX)
+        c = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GT)
+        d = cache.five_step((32, 32, 64), "single", GEFORCE_8800_GTX)
+        assert len({id(a), id(b), id(c), id(d)}) == 4
+        assert len(cache) == 4
+
+    def test_int_shape_normalized_to_cube(self, cache):
+        a = cache.five_step(32, "single", GEFORCE_8800_GTX)
+        b = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        assert a is b
+
+    def test_bad_shape_rejected(self, cache):
+        with pytest.raises(ValueError, match="3-D"):
+            cache.five_step((32, 32), "single", GEFORCE_8800_GTX)
+
+    def test_clear(self, cache):
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.requests == 0
+
+    def test_step_specs_memoized(self, cache):
+        a = cache.step_specs((32, 32, 32), "single", GEFORCE_8800_GTX)
+        b = cache.step_specs((32, 32, 32), "single", GEFORCE_8800_GTX)
+        assert a is b
+        assert len(a) == 5
+
+
+class TestApiIntegration:
+    def test_two_plans_share_one_cached_plan(self):
+        """A second GpuFFT3D for the same key is served from the cache."""
+        p1 = GpuFFT3D((32, 32, 32))
+        hits_before = PLAN_CACHE.stats.hits
+        tables_before = len(DEFAULT_CACHE)
+        p2 = GpuFFT3D((32, 32, 32))
+        assert p2._plan is p1._plan
+        assert PLAN_CACHE.stats.hits == hits_before + 1
+        assert len(DEFAULT_CACHE) == tables_before
+        p1.release()
+        p2.release()
+
+    def test_shared_plan_still_correct(self, rng):
+        x = (rng.standard_normal((32, 32, 32)) + 0j).astype(np.complex64)
+        ref = np.fft.fftn(x.astype(np.complex128))
+        for _ in range(2):
+            with GpuFFT3D((32, 32, 32)) as plan:
+                out = plan.forward(x)
+            err = np.abs(out - ref).max() / np.abs(ref).max()
+            assert err < 1e-5

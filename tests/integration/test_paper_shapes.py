@@ -29,6 +29,7 @@ def results():
 
 
 class TestHeadlineClaims:
+    @pytest.mark.slow
     def test_more_than_3x_cufft_on_every_card(self, results):
         # Abstract: "more than three times faster than any existing FFT
         # implementations on GPUs including CUFFT".
@@ -96,6 +97,7 @@ class TestSizeScaling:
         ]
         assert g[0] < g[1] < g[2]
 
+    @pytest.mark.slow
     def test_still_beats_cufft_at_every_size(self):
         for n in (64, 128, 256):
             ours = estimate_fft3d(GEFORCE_8800_GTX, n).on_board_gflops
