@@ -12,6 +12,8 @@ Layered architecture (see DESIGN.md):
   out-of-core 512^3 extension, and the end-to-end estimator.
 * :mod:`repro.baselines` — conventional six-step GPU FFT, CUFFT-like and
   FFTW-like baselines.
+* :mod:`repro.obs` — observability: tracing, metrics, Chrome-trace export
+  and timeline invariant validation for the simulated pipeline.
 * :mod:`repro.apps` — ZDOCK-style docking, spectral solvers, convolution.
 * :mod:`repro.harness` — per-table/figure experiment registry and reports.
 

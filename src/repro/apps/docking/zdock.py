@@ -19,6 +19,7 @@ its neighbours' kernels on the simulated timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from repro.core.estimator import estimate_fft3d
 from repro.fft.fft3d import fft3d, ifft3d
 from repro.gpu.pcie import link_for
 from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.profiler import Profiler
 
 __all__ = ["DockingPose", "DockingResult", "DockingSearch"]
 
@@ -137,8 +141,14 @@ class DockingSearch:
         self,
         rotations: np.ndarray | None = None,
         top_k: int = 10,
+        profiler: Profiler | None = None,
     ) -> DockingResult:
-        """Search all rotations; return the ``top_k`` poses by score."""
+        """Search all rotations; return the ``top_k`` poses by score.
+
+        The analytic path has no device simulator, so a profiler gets
+        summary metrics (rotation count, on-card vs offload seconds) and
+        one synthetic span covering the modeled on-card search.
+        """
         rotations = self._check_rotations(rotations)
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
@@ -153,6 +163,20 @@ class DockingSearch:
         # product inverse) + one elementwise multiply we fold into them;
         # the receptor spectrum is computed once.
         on_card, offload = self._analytic_seconds(len(rotations))
+        if profiler is not None:
+            profiler.metrics.counter("docking.rotations", "rotations").inc(
+                len(rotations)
+            )
+            profiler.metrics.gauge("docking.on_card.seconds", "s").set(on_card)
+            profiler.metrics.gauge("docking.offload.seconds", "s").set(offload)
+            profiler.tracer.emit(
+                "kernel",
+                "docking-search",
+                0.0,
+                on_card,
+                plan="docking",
+                rotations=len(rotations),
+            )
         return DockingResult(
             poses=tuple(poses[:top_k]),
             n_rotations=len(rotations),
@@ -167,6 +191,7 @@ class DockingSearch:
         top_k: int = 10,
         batch_size: int = 8,
         n_streams: int = 3,
+        profiler: Profiler | None = None,
     ) -> DockingResult:
         """Score rotations in pipelined batches through one shared plan.
 
@@ -176,6 +201,11 @@ class DockingSearch:
         rotation's PCIe staging overlaps its neighbours' kernels and
         ``pipelined_seconds`` carries the simulated makespan of the
         streamed search.
+
+        Pass a :class:`repro.obs.Profiler` to capture the whole search as
+        an annotated trace (one span per staged transfer and kernel,
+        tagged with the engine's plan id and batch entry) plus docking
+        counters — the search loop itself is unchanged.
         """
         rotations = self._check_rotations(rotations)
         if top_k < 1:
@@ -186,7 +216,8 @@ class DockingSearch:
         n = self.n
         poses: list[DockingPose] = []
         with BatchedGpuFFT3D(
-            (n, n, n), device=self.device, n_streams=n_streams
+            (n, n, n), device=self.device, n_streams=n_streams,
+            profiler=profiler,
         ) as engine:
             for start in range(0, len(rotations), batch_size):
                 chunk = rotations[start : start + batch_size]
@@ -207,6 +238,12 @@ class DockingSearch:
         poses.sort(key=lambda p: p.score, reverse=True)
 
         on_card, offload = self._analytic_seconds(len(rotations))
+        if profiler is not None:
+            profiler.metrics.counter("docking.rotations", "rotations").inc(
+                len(rotations)
+            )
+            profiler.metrics.gauge("docking.pipelined.seconds", "s").set(pipelined)
+            profiler.metrics.gauge("docking.offload.seconds", "s").set(offload)
         return DockingResult(
             poses=tuple(poses[:top_k]),
             n_rotations=len(rotations),

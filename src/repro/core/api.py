@@ -19,6 +19,7 @@ The cost of robustness is surfaced via :meth:`GpuFFT3D.resilience_report`.
 from __future__ import annotations
 
 from itertools import count
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -45,6 +46,9 @@ from repro.gpu.simulator import DeviceArray, DeviceSimulator
 from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
 from repro.util.units import flops_3d_fft
 from repro.util.validation import as_complex_array
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.profiler import Profiler
 
 __all__ = ["GpuFFT3D", "gpu_fft3d", "gpu_ifft3d"]
 
@@ -82,6 +86,16 @@ class GpuFFT3D:
         Run the Parseval energy check on transform results (catches ECC
         upsets).  Default ``None`` enables it exactly when a fault
         injector is attached.
+    profiler:
+        Optional :class:`repro.obs.Profiler`.  When given it is attached
+        to this plan's simulator, every operation the plan charges is
+        captured as an annotated span (tagged with :attr:`plan_id`), and
+        the caller reads the trace/metrics off the profiler — the execute
+        methods themselves are unchanged.
+    name:
+        Optional stable plan id used to prefix device buffer names and
+        trace annotations; defaults to a process-unique ``fft3dN``.
+        Callers sharing one simulator must keep names unique.
 
     Transforms larger than device memory transparently take the
     out-of-core path (Section 3.3), staged slab by slab through the
@@ -98,6 +112,8 @@ class GpuFFT3D:
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         verify: bool | None = None,
+        profiler: Profiler | None = None,
+        name: str | None = None,
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -124,7 +140,10 @@ class GpuFFT3D:
         self._plan = PLAN_CACHE.five_step(self.shape, precision, device)
         self._dev_v: DeviceArray | None = None
         self._dev_w: DeviceArray | None = None
-        self._buf = f"fft3d{next(_PLAN_IDS)}"
+        self._buf = name or f"fft3d{next(_PLAN_IDS)}"
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.attach(self.simulator)
         self.retry_policy = retry_policy or RetryPolicy()
         self.resilience = ResilienceReport()
         self._executor = ResilientExecutor(
@@ -136,6 +155,11 @@ class GpuFFT3D:
             else verify
         )
         self._ooc_estimate: OutOfCoreEstimate | None = None
+
+    @property
+    def plan_id(self) -> str:
+        """The id tagged onto this plan's buffers and trace spans."""
+        return self._buf
 
     @property
     def out_of_core(self) -> bool:
@@ -262,11 +286,12 @@ class GpuFFT3D:
         x = as_complex_array(x, self.precision)
         if x.shape != self.shape:
             raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
-        with self.simulator.fault_scope(self._injector):
-            if self.out_of_core:
-                out = self._run_out_of_core(x, inverse)
-            else:
-                out = self._run_in_core(x, inverse)
+        with self.simulator.annotate(plan=self._buf):
+            with self.simulator.fault_scope(self._injector):
+                if self.out_of_core:
+                    out = self._run_out_of_core(x, inverse)
+                else:
+                    out = self._run_in_core(x, inverse)
         return apply_norm(out, self.total_elements, self.norm, inverse)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

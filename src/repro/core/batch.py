@@ -34,6 +34,7 @@ host memory and are unaffected).
 from __future__ import annotations
 
 from itertools import count
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -61,6 +62,9 @@ from repro.gpu.simulator import DeviceArray, DeviceMemoryError, DeviceSimulator
 from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
 from repro.util.units import flops_3d_fft
 from repro.util.validation import as_complex_array
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.profiler import Profiler
 
 __all__ = ["BatchedGpuFFT3D", "gpu_fft3d_batch"]
 
@@ -90,6 +94,13 @@ class BatchedGpuFFT3D:
         holds a V + WORK buffer pair on the card).  Three suffices to
         keep all three engines busy; the engine shrinks the depth
         automatically if device memory cannot hold that many slots.
+    profiler:
+        Optional :class:`repro.obs.Profiler` attached to the simulator;
+        every pipelined operation is captured as a span tagged with this
+        engine's plan id and the batch entry index it belongs to.
+    name:
+        Optional stable plan id (buffer prefix + trace tag); defaults to
+        a process-unique ``batchN``.
 
     The batched path is in-core only: grids larger than device memory
     take the out-of-core path via :class:`~repro.core.api.GpuFFT3D`.
@@ -106,6 +117,8 @@ class BatchedGpuFFT3D:
         retry_policy: RetryPolicy | None = None,
         verify: bool | None = None,
         n_streams: int = 3,
+        profiler: Profiler | None = None,
+        name: str | None = None,
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -145,8 +158,11 @@ class BatchedGpuFFT3D:
             if verify is None
             else verify
         )
-        self._buf = f"batch{next(_BATCH_IDS)}"
+        self._buf = name or f"batch{next(_BATCH_IDS)}"
         self._slots: list[_Slot] = []
+        self.profiler = profiler
+        if profiler is not None:
+            profiler.attach(self.simulator)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -161,6 +177,11 @@ class BatchedGpuFFT3D:
     def n_slots(self) -> int:
         """Pipeline depth actually in use (0 before the first batch)."""
         return len(self._slots)
+
+    @property
+    def plan_id(self) -> str:
+        """The id tagged onto this engine's buffers and trace spans."""
+        return self._buf
 
     def resilience_report(self) -> ResilienceReport:
         """The live resilience account, time fields synced to the simulator."""
@@ -259,36 +280,41 @@ class BatchedGpuFFT3D:
         if not entries:
             return np.empty((0, *self.shape), dtype)
         outs: list[np.ndarray] = []
-        with self.simulator.fault_scope(self._injector):
+        with self.simulator.annotate(plan=self._buf), self.simulator.fault_scope(
+            self._injector
+        ):
             resets = 0
             dead = False  # device given up on: host path for the rest
             for i, x in enumerate(entries):
-                while True:
-                    if dead:
-                        outs.append(self._host_entry(x, inverse, "device lost"))
-                        break
-                    try:
-                        self._ensure_slots()
-                        slot = self._slots[i % len(self._slots)]
-                        outs.append(self._run_entry(i, x, slot, inverse))
-                        break
-                    except DeviceLostError:
-                        # Only entry i was in flight functionally; finished
-                        # entries already live in host memory.
-                        resets += 1
-                        self.resilience.device_resets += 1
-                        self._slots.clear()  # allocations died with the card
-                        if resets > self.retry_policy.max_device_resets:
-                            dead = True
-                            continue
-                        self.simulator.reset_device()
-                    except FaultError as exc:
-                        # Retries exhausted for this entry alone: degrade
-                        # it, keep the pipeline for its neighbours.
-                        outs.append(
-                            self._host_entry(x, inverse, type(exc).__name__)
-                        )
-                        break
+                with self.simulator.annotate(entry=i):
+                    while True:
+                        if dead:
+                            outs.append(
+                                self._host_entry(x, inverse, "device lost")
+                            )
+                            break
+                        try:
+                            self._ensure_slots()
+                            slot = self._slots[i % len(self._slots)]
+                            outs.append(self._run_entry(i, x, slot, inverse))
+                            break
+                        except DeviceLostError:
+                            # Only entry i was in flight functionally;
+                            # finished entries already live in host memory.
+                            resets += 1
+                            self.resilience.device_resets += 1
+                            self._slots.clear()  # allocations died with card
+                            if resets > self.retry_policy.max_device_resets:
+                                dead = True
+                                continue
+                            self.simulator.reset_device()
+                        except FaultError as exc:
+                            # Retries exhausted for this entry alone:
+                            # degrade it, keep the pipeline for neighbours.
+                            outs.append(
+                                self._host_entry(x, inverse, type(exc).__name__)
+                            )
+                            break
             self.simulator.synchronize()
         n = self.total_elements
         return np.stack([apply_norm(o, n, self.norm, inverse) for o in outs])

@@ -18,6 +18,7 @@ multi-card version of the paper's PCIe findings.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -31,6 +32,10 @@ from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
 from repro.util.indexing import ilog2
 from repro.util.units import flops_3d_fft
 from repro.util.validation import as_complex_array
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.profiler import Profiler
+    from repro.obs.tracer import Tracer
 
 __all__ = ["MultiGpuBatchEstimate", "MultiGpuEstimate", "MultiGpuFFT3D"]
 
@@ -147,6 +152,7 @@ class MultiGpuFFT3D:
         self.device = device
         self.precision = precision
         self._el = 8 if precision == "single" else 16
+        self._span_estimate: MultiGpuEstimate | None = None
 
     @property
     def slab_nz(self) -> int:
@@ -197,12 +203,61 @@ class MultiGpuFFT3D:
             )
         return out
 
+    def _emit_entry_spans(self, tracer: Tracer, t0: float, entry: int) -> float:
+        """Lay one entry's rank phases onto ``tracer``'s trace.
+
+        The rank model is analytic (no device simulator), so the spans
+        carry the estimator's per-phase seconds: every rank's XY kernel
+        starts together at ``t0`` (the cards run concurrently), the
+        host-staged all-to-all follows, then the Z kernels.  Returns the
+        entry's completion time, the next entry's ``t0``.
+        """
+        if self._span_estimate is None:
+            self._span_estimate = self.estimate()
+        est = self._span_estimate
+        plan_tag = f"multigpu{self.n_gpus}x{self.n}"
+        for rank in range(self.n_gpus):
+            tracer.emit(
+                "kernel",
+                f"rank{rank}-xy",
+                t0,
+                est.xy_seconds,
+                stream=rank,
+                plan=plan_tag,
+                entry=entry,
+                phase="xy",
+            )
+        t1 = t0 + est.xy_seconds
+        tracer.emit(
+            "host",
+            "all-to-all",
+            t1,
+            est.exchange_seconds,
+            plan=plan_tag,
+            entry=entry,
+            phase="exchange",
+        )
+        t2 = t1 + est.exchange_seconds
+        for rank in range(self.n_gpus):
+            tracer.emit(
+                "kernel",
+                f"rank{rank}-z",
+                t2,
+                est.z_seconds,
+                stream=rank,
+                plan=plan_tag,
+                entry=entry,
+                phase="z",
+            )
+        return t2 + est.z_seconds
+
     def execute_resilient(
         self,
         x: np.ndarray,
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         report: ResilienceReport | None = None,
+        profiler: Profiler | None = None,
     ) -> tuple[np.ndarray, ResilienceReport]:
         """Distributed transform that survives rank loss by re-planning.
 
@@ -218,7 +273,7 @@ class MultiGpuFFT3D:
         resilience account (retries, re-plans recorded as downgrades).
         """
         out, report = self.execute_batch(
-            [x], fault_injector, retry_policy, report
+            [x], fault_injector, retry_policy, report, profiler
         )
         return out[0], report
 
@@ -228,6 +283,7 @@ class MultiGpuFFT3D:
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         report: ResilienceReport | None = None,
+        profiler: Profiler | None = None,
     ) -> tuple[np.ndarray, ResilienceReport]:
         """Per-rank batches: N same-shape cubes through one shared plan.
 
@@ -237,18 +293,29 @@ class MultiGpuFFT3D:
         for ``i+1``..., so the shrunken decomposition is amortized over
         the remainder of the batch).  Returns the stacked transforms plus
         the shared resilience account.
+
+        An optional :class:`repro.obs.Profiler` receives one synthetic
+        span per rank phase (XY kernels, the host-staged all-to-all, Z
+        kernels) laid out on the estimator's clock, plus replan/entry
+        counters — the rank model has no device simulator to trace, so
+        this is how the distributed path lands on the same Chrome trace
+        as everything else.
         """
         report = report or ResilienceReport()
         policy = retry_policy or RetryPolicy()
         entries = xs if isinstance(xs, np.ndarray) and xs.ndim == 4 else list(xs)
         plan: MultiGpuFFT3D = self
         outs = []
-        for x in entries:
+        clock = 0.0
+        for idx, x in enumerate(entries):
             while True:
                 try:
                     outs.append(
                         plan._execute_ranks(x, fault_injector, policy, report)
                     )
+                    if profiler is not None:
+                        clock = plan._emit_entry_spans(profiler.tracer, clock, idx)
+                        profiler.metrics.counter("multigpu.entries", "entries").inc()
                     break
                 except DeviceLostError:
                     survivors = plan.n_gpus - 1
@@ -257,6 +324,8 @@ class MultiGpuFFT3D:
                         raise
                     new_g = _largest_pow2(survivors)
                     report.downgrades.append(f"replan:{plan.n_gpus}->{new_g} ranks")
+                    if profiler is not None:
+                        profiler.metrics.counter("multigpu.replans", "events").inc()
                     plan = MultiGpuFFT3D(plan.n, new_g, plan.device, plan.precision)
         n = self.n
         dtype = np.complex64 if self.precision == "single" else np.complex128

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.five_step import FiveStepPlan
 from repro.fft.twiddle import DEFAULT_CACHE
@@ -60,6 +61,36 @@ class PlanCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._observers: list[Callable[[str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def add_observer(self, fn: Callable[[str], None]) -> Callable[[str], None]:
+        """Subscribe ``fn`` to plan requests; it receives ``"hits"``/``"misses"``.
+
+        One call per :meth:`five_step` request (the same accounting the
+        :attr:`stats` counters keep), made outside the cache lock so the
+        observer may consult the cache re-entrantly.  Returns ``fn`` as
+        the handle for :meth:`remove_observer`.  This is how a
+        :class:`repro.obs.Profiler` keeps live hit/miss counters.
+        """
+        with self._lock:
+            self._observers.append(fn)
+        return fn
+
+    def remove_observer(self, fn: Callable[[str], None]) -> None:
+        """Unsubscribe a :meth:`add_observer` handle (idempotent)."""
+        with self._lock:
+            if fn in self._observers:
+                self._observers.remove(fn)
+
+    def _notify(self, outcome: str) -> None:
+        with self._lock:
+            observers = list(self._observers)
+        for fn in observers:
+            fn(outcome)
 
     def five_step(
         self, shape, precision: str, device: DeviceSpec
@@ -75,8 +106,12 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self._hits += 1
-                return plan
-            self._misses += 1
+            else:
+                self._misses += 1
+        if plan is not None:
+            self._notify("hits")
+            return plan
+        self._notify("misses")
         # Build outside the lock (construction touches the twiddle cache,
         # which has its own lock); last writer wins on a racing miss.
         plan = FiveStepPlan(key[0], precision=precision)

@@ -367,39 +367,40 @@ def run_out_of_core(
             for i in range(s):
                 if s1_done[i]:
                     continue
-                slab = np.ascontiguousarray(x[i::s])
-                e_in = _energy(slab)
-                last = policy.max_attempts - 1
-                for attempt in range(policy.max_attempts):
-                    executor.h2d(slab, dev, f"{name}-s1-h2d[{i}]")
-                    plane_setup(f"{name}-s1-h2d[{i}]-planes", sub_nz, "h2d")
-                    executor.launch_timed(
-                        f"{name}-s1-fft[{i}]",
-                        fft_t,
-                        lambda: dev.data.__setitem__(
-                            ..., slab_plan.execute(dev.data)
-                        ),
-                    )
-                    executor.launch_timed(
-                        f"{name}-s1-twiddle[{i}]",
-                        tw_t,
-                        lambda: dev.data.__imul__(plan.stage1_twiddles(i)),
-                    )
-                    if not verify or energy_preserved(
-                        e_in, _energy(dev.data), float(n_slab)
-                    ):
-                        break
-                    if attempt == last:
-                        raise CorruptionError(
-                            f"stage-1 slab {i}: energy invariant violated "
-                            f"through {policy.max_attempts} attempts"
+                with sim.annotate(stage="s1", slab=i):
+                    slab = np.ascontiguousarray(x[i::s])
+                    e_in = _energy(slab)
+                    last = policy.max_attempts - 1
+                    for attempt in range(policy.max_attempts):
+                        executor.h2d(slab, dev, f"{name}-s1-h2d[{i}]")
+                        plane_setup(f"{name}-s1-h2d[{i}]-planes", sub_nz, "h2d")
+                        executor.launch_timed(
+                            f"{name}-s1-fft[{i}]",
+                            fft_t,
+                            lambda: dev.data.__setitem__(
+                                ..., slab_plan.execute(dev.data)
+                            ),
                         )
-                    executor.backoff(attempt, "ecc")
-                tmp = np.empty(plan.slab_shape, dtype)
-                executor.d2h(dev, tmp, f"{name}-s1-d2h[{i}]")
-                plane_setup(f"{name}-s1-d2h[{i}]-planes", sub_nz, "d2h")
-                work[i::s] = tmp
-                s1_done[i] = True
+                        executor.launch_timed(
+                            f"{name}-s1-twiddle[{i}]",
+                            tw_t,
+                            lambda: dev.data.__imul__(plan.stage1_twiddles(i)),
+                        )
+                        if not verify or energy_preserved(
+                            e_in, _energy(dev.data), float(n_slab)
+                        ):
+                            break
+                        if attempt == last:
+                            raise CorruptionError(
+                                f"stage-1 slab {i}: energy invariant violated "
+                                f"through {policy.max_attempts} attempts"
+                            )
+                        executor.backoff(attempt, "ecc")
+                    tmp = np.empty(plan.slab_shape, dtype)
+                    executor.d2h(dev, tmp, f"{name}-s1-d2h[{i}]")
+                    plane_setup(f"{name}-s1-d2h[{i}]-planes", sub_nz, "d2h")
+                    work[i::s] = tmp
+                    s1_done[i] = True
         finally:
             if sim.is_allocated(dev):
                 sim.free(dev)
@@ -410,34 +411,35 @@ def run_out_of_core(
             for k in range(sub_nz):
                 if s2_done[k]:
                     continue
-                group = np.ascontiguousarray(work[k * s : (k + 1) * s])
-                e_in = _energy(group)
-                last = policy.max_attempts - 1
-                for attempt in range(policy.max_attempts):
-                    executor.h2d(group, dev, f"{name}-s2-h2d[{k}]")
-                    plane_setup(f"{name}-s2-h2d[{k}]-planes", s, "h2d")
-                    executor.launch_timed(
-                        f"{name}-s2-fft[{k}]",
-                        s2_t,
-                        lambda: dev.data.__setitem__(
-                            ..., plan.stage2_compute(dev.data)
-                        ),
-                    )
-                    if not verify or energy_preserved(
-                        e_in, _energy(dev.data), float(s)
-                    ):
-                        break
-                    if attempt == last:
-                        raise CorruptionError(
-                            f"stage-2 group {k}: energy invariant violated "
-                            f"through {policy.max_attempts} attempts"
+                with sim.annotate(stage="s2", group=k):
+                    group = np.ascontiguousarray(work[k * s : (k + 1) * s])
+                    e_in = _energy(group)
+                    last = policy.max_attempts - 1
+                    for attempt in range(policy.max_attempts):
+                        executor.h2d(group, dev, f"{name}-s2-h2d[{k}]")
+                        plane_setup(f"{name}-s2-h2d[{k}]-planes", s, "h2d")
+                        executor.launch_timed(
+                            f"{name}-s2-fft[{k}]",
+                            s2_t,
+                            lambda: dev.data.__setitem__(
+                                ..., plan.stage2_compute(dev.data)
+                            ),
                         )
-                    executor.backoff(attempt, "ecc")
-                tmp = np.empty((s, ny, nx), dtype)
-                executor.d2h(dev, tmp, f"{name}-s2-d2h[{k}]")
-                plane_setup(f"{name}-s2-d2h[{k}]-planes", s, "d2h")
-                result[k::sub_nz] = tmp
-                s2_done[k] = True
+                        if not verify or energy_preserved(
+                            e_in, _energy(dev.data), float(s)
+                        ):
+                            break
+                        if attempt == last:
+                            raise CorruptionError(
+                                f"stage-2 group {k}: energy invariant violated "
+                                f"through {policy.max_attempts} attempts"
+                            )
+                        executor.backoff(attempt, "ecc")
+                    tmp = np.empty((s, ny, nx), dtype)
+                    executor.d2h(dev, tmp, f"{name}-s2-d2h[{k}]")
+                    plane_setup(f"{name}-s2-d2h[{k}]-planes", s, "d2h")
+                    result[k::sub_nz] = tmp
+                    s2_done[k] = True
         finally:
             if sim.is_allocated(dev):
                 sim.free(dev)

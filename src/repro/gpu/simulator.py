@@ -32,13 +32,22 @@ cost of unreliability is observable on the same simulated clock as the
 useful work.  :meth:`fault_scope` bounds an injector to one plan's
 operations so plans sharing a simulator do not leak faults onto each
 other.
+
+Observability hangs off two small surfaces.  :meth:`add_record_hook`
+registers a callable that sees every :class:`TimelineEvent` the moment it
+is recorded, together with the *annotations* in force — arbitrary tags
+(plan id, batch entry, out-of-core stage) that the algorithm layer pushes
+with the :meth:`annotate` context manager.  With no hooks registered the
+cost is one truthiness check per event, which is how tracing stays off by
+default; :mod:`repro.obs` builds its tracer and metrics on exactly this
+hook.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Mapping
 
 import numpy as np
 
@@ -55,7 +64,13 @@ from repro.gpu.pcie import PcieLink, link_for
 from repro.gpu.specs import DeviceSpec
 from repro.gpu.timing import KernelTiming, time_kernel
 
-__all__ = ["DeviceMemoryError", "DeviceArray", "TimelineEvent", "DeviceSimulator"]
+__all__ = [
+    "DeviceMemoryError",
+    "DeviceArray",
+    "TimelineEvent",
+    "RecordHook",
+    "DeviceSimulator",
+]
 
 
 class DeviceMemoryError(MemoryError):
@@ -109,6 +124,11 @@ class TimelineEvent:
 #: Engine each event kind occupies in the async schedule.
 _ENGINES = ("h2d", "d2h", "compute")
 
+#: Signature of a record hook: the freshly recorded event plus the
+#: annotations in force when it was recorded (shared mapping — copy if
+#: you need to keep it past the call).
+RecordHook = Callable[["TimelineEvent", Mapping[str, object]], None]
+
 
 class DeviceSimulator:
     """One simulated GPU: allocator + launcher + transfer engine + clock."""
@@ -136,6 +156,9 @@ class DeviceSimulator:
         self._stream_cursor: dict[int, float] = {}
         #: Latest completion time of any event — the simulated wall clock.
         self._horizon = 0.0
+        #: Observability: record hooks + the current annotation context.
+        self._record_hooks: list[RecordHook] = []
+        self._annotations: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Device health
@@ -256,6 +279,54 @@ class DeviceSimulator:
         return self._arrays.get(arr.name) is arr
 
     # ------------------------------------------------------------------
+    # Observability: record hooks and annotations
+    # ------------------------------------------------------------------
+
+    def add_record_hook(self, hook: RecordHook) -> RecordHook:
+        """Subscribe ``hook`` to every event recorded from now on.
+
+        The hook is called synchronously from :meth:`_record` with the
+        event and the annotations in force; it must not mutate either.
+        Returns ``hook`` so callers can keep the handle for
+        :meth:`remove_record_hook`.
+        """
+        if hook in self._record_hooks:
+            raise ValueError("hook is already registered")
+        self._record_hooks.append(hook)
+        return hook
+
+    def remove_record_hook(self, hook: RecordHook) -> None:
+        """Unsubscribe a hook registered with :meth:`add_record_hook`."""
+        self._record_hooks.remove(hook)
+
+    @property
+    def annotations(self) -> Mapping[str, object]:
+        """The annotation tags currently in force (read-only view)."""
+        return dict(self._annotations)
+
+    @contextmanager
+    def annotate(self, **tags: object) -> Iterator[None]:
+        """Tag every event recorded inside the scope with ``tags``.
+
+        Scopes nest: inner tags shadow outer ones for the duration of the
+        inner scope and the outer mapping is restored on exit.  ``None``
+        values are dropped, so call sites can pass optional tags
+        unconditionally.  The tags reach record hooks (and therefore the
+        :mod:`repro.obs` tracer) alongside each event; with no hooks
+        attached the cost is two dict rebinds per scope.
+        """
+        tags = {k: v for k, v in tags.items() if v is not None}
+        if not tags:
+            yield
+            return
+        prev = self._annotations
+        self._annotations = {**prev, **tags}
+        try:
+            yield
+        finally:
+            self._annotations = prev
+
+    # ------------------------------------------------------------------
     # Scheduling plumbing
     # ------------------------------------------------------------------
 
@@ -277,6 +348,9 @@ class DeviceSimulator:
         self._timeline.append(ev)
         if ev.end > self._horizon:
             self._horizon = ev.end
+        if self._record_hooks:
+            for hook in self._record_hooks:
+                hook(ev, self._annotations)
         return ev
 
     def _sync_cursors(self) -> None:

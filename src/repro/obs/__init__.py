@@ -1,0 +1,45 @@
+"""repro.obs — observability for the simulated FFT pipeline.
+
+Structured tracing, a metrics registry and Chrome-trace export layered on
+the device simulator's record hook (PR 3).  Everything here is opt-in and
+read-only: attaching a tracer or profiler never changes simulated times,
+results or fault schedules.
+
+* :mod:`repro.obs.tracer` — :class:`Span` capture via
+  :meth:`DeviceSimulator.add_record_hook`, enriched with plan/entry/stage
+  annotations;
+* :mod:`repro.obs.metrics` — counters, gauges and histograms with units,
+  aggregated process-wide and per plan;
+* :mod:`repro.obs.chrome_trace` — ``chrome://tracing`` / Perfetto
+  loadable trace-event JSON, one track per engine and per stream;
+* :mod:`repro.obs.validate` — the timeline invariant auditor;
+* :mod:`repro.obs.profiler` — the facade the execution layers accept as
+  their ``profiler=`` parameter.
+"""
+
+from repro.obs.chrome_trace import chrome_trace, write_chrome_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import Profiler, profile
+from repro.obs.tracer import Span, Tracer, engine_of
+from repro.obs.validate import (
+    TimelineInvariantError,
+    check_timeline,
+    validate_timeline,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "engine_of",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "Profiler",
+    "profile",
+    "TimelineInvariantError",
+    "check_timeline",
+    "validate_timeline",
+]

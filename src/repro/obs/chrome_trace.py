@@ -1,0 +1,141 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto loadable).
+
+Serializes a list of :class:`~repro.obs.tracer.Span` into the trace-event
+JSON format both viewers accept: a top-level object with ``traceEvents``
+(a list of events) and ``displayTimeUnit``.  The layout convention,
+pinned by the golden-trace regression test:
+
+* **pid 1 — "engines"**: one track (tid) per hardware engine — ``h2d``
+  (tid 1), ``compute`` (tid 2), ``d2h`` (tid 3) — plus ``host`` (tid 4)
+  for host/backoff time.  Summing ``dur`` over tids 1-3 reproduces
+  :meth:`DeviceSimulator.engine_busy_seconds` exactly.
+* **pid 2 — "streams"**: one track per numbered CUDA-style stream
+  (tid = stream + 1); synchronous default-stream operations land on
+  tid 0.  Every simulator event appears here as well, so the stream view
+  shows the issue order while the engine view shows the contention.
+
+Each operation is a complete event (``ph: "X"``) with microsecond ``ts``
+and ``dur`` on the simulated clock; ``args`` carries the enrichment
+(bytes, flops, fault flag, plan id, batch entry and any other
+annotations).  Track names arrive as metadata events (``ph: "M"``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.tracer import Span
+
+__all__ = [
+    "ENGINE_PID",
+    "STREAM_PID",
+    "ENGINE_TIDS",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+#: pid of the per-engine track group.
+ENGINE_PID = 1
+#: pid of the per-stream track group.
+STREAM_PID = 2
+
+#: tid of each engine track under :data:`ENGINE_PID`.
+ENGINE_TIDS = {"h2d": 1, "compute": 2, "d2h": 3, "host": 4}
+
+
+def _meta(pid: int, name: str, tid: int | None = None, sort: int | None = None):
+    events = []
+    if tid is None:
+        events.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}
+        )
+    else:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+        if sort is not None:
+            events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"sort_index": sort},
+                }
+            )
+    return events
+
+
+def _args(span: Span) -> dict:
+    args: dict[str, object] = {"kind": span.kind}
+    if span.bytes_moved:
+        args["bytes"] = span.bytes_moved
+    if span.flops:
+        args["flops"] = span.flops
+    if span.faulted:
+        args["faulted"] = True
+    if span.plan is not None:
+        args["plan"] = span.plan
+    if span.entry is not None:
+        args["entry"] = span.entry
+    for k, v in span.tags:
+        args[k] = v
+    return args
+
+
+def _complete(span: Span, pid: int, tid: int) -> dict:
+    return {
+        "name": span.label,
+        "cat": span.kind,
+        "ph": "X",
+        "ts": span.start * 1e6,
+        "dur": span.seconds * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "args": _args(span),
+    }
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict:
+    """Build the trace-event JSON object for ``spans``.
+
+    Returns a plain dict ready for :func:`json.dumps`; load the result in
+    ``chrome://tracing`` or https://ui.perfetto.dev to see one lane per
+    engine and per stream with all overlap visible.
+    """
+    spans = list(spans)
+    events: list[dict] = []
+    if not spans:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    events += _meta(ENGINE_PID, "engines")
+    for engine, tid in ENGINE_TIDS.items():
+        events += _meta(ENGINE_PID, engine, tid, sort=tid)
+    streams = sorted(
+        {s.stream for s in spans if s.stream is not None}, key=int
+    )
+    events += _meta(STREAM_PID, "streams")
+    if any(s.stream is None for s in spans):
+        events += _meta(STREAM_PID, "default (sync)", 0, sort=0)
+    for stream in streams:
+        tid = int(stream) + 1
+        events += _meta(STREAM_PID, f"stream {stream}", tid, sort=tid)
+    for span in spans:
+        events.append(_complete(span, ENGINE_PID, ENGINE_TIDS[span.engine]))
+        tid = 0 if span.stream is None else int(span.stream) + 1
+        events.append(_complete(span, STREAM_PID, tid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, spans: Iterable[Span]) -> Path:
+    """Serialize ``spans`` to ``path`` as trace-event JSON; returns it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans), indent=2) + "\n")
+    return path

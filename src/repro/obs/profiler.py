@@ -1,0 +1,147 @@
+"""The one-stop profiling facade: tracer + metrics + exports.
+
+:class:`Profiler` bundles a :class:`~repro.obs.tracer.Tracer` and a
+:class:`~repro.obs.metrics.MetricsRegistry`, subscribes to the
+process-wide plan cache's hit/miss feed, and knows how to refresh the
+simulator-state gauges (elapsed, memory in use, device resets) at
+snapshot time.  It is what the execution layers accept as their
+``profiler=`` parameter: hand the same instance to a
+:class:`~repro.core.api.GpuFFT3D`, a
+:class:`~repro.core.batch.BatchedGpuFFT3D`, a
+:class:`~repro.core.multi_gpu.MultiGpuFFT3D` batch and a
+:class:`~repro.apps.docking.zdock.DockingSearch`, call the exact same
+execute methods as an unprofiled run, and read one merged trace and one
+merged metrics snapshot afterwards.
+
+Usage::
+
+    with Profiler() as prof:
+        plan = GpuFFT3D((32, 32, 32), profiler=prof)
+        plan.forward(x)
+        prof.write_chrome_trace("trace.json")   # open in Perfetto
+        print(prof.metrics.render())
+
+Profiling is opt-in and read-only: simulated times, results and fault
+schedules are bit-identical with or without a profiler attached.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.plan_cache import PLAN_CACHE
+from repro.gpu.simulator import DeviceSimulator
+from repro.obs.chrome_trace import write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["Profiler", "profile"]
+
+
+class Profiler:
+    """Shared tracer + metrics registry with lifecycle management."""
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(metrics=self.metrics)
+        self._sims: list[DeviceSimulator] = []
+        self._cache_observer = PLAN_CACHE.add_observer(self._on_cache_event)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def attach(self, sim: DeviceSimulator) -> "Profiler":
+        """Capture ``sim``'s events from now on; idempotent per simulator."""
+        if self._closed:
+            raise ValueError("profiler is closed")
+        if sim not in self._sims:
+            self._sims.append(sim)
+            self.tracer.attach(sim)
+        return self
+
+    def close(self) -> None:
+        """Detach from every simulator and the plan cache (idempotent).
+
+        Captured spans and metrics stay readable after closing — only the
+        live subscriptions are torn down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.tracer.detach()
+        self._sims.clear()
+        PLAN_CACHE.remove_observer(self._cache_observer)
+
+    def __enter__(self) -> "Profiler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Feeds
+    # ------------------------------------------------------------------
+
+    def _on_cache_event(self, outcome: str) -> None:
+        self.metrics.counter(f"plan_cache.{outcome}", "requests").inc()
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Refresh the simulator gauges, then return the metrics snapshot.
+
+        Gauges carry a ``sim=<index>`` label in attachment order:
+        ``sim.elapsed.seconds``, ``sim.used.bytes``, ``sim.device.resets``
+        plus the per-engine ``sim.engine.busy.seconds``.
+        """
+        for i, sim in enumerate(self._sims):
+            labels = {"sim": i}
+            self.metrics.gauge("sim.elapsed.seconds", "s", labels).set(sim.elapsed)
+            self.metrics.gauge("sim.used.bytes", "B", labels).set(sim.used_bytes)
+            self.metrics.gauge("sim.device.resets", "resets", labels).set(
+                sim.device_resets
+            )
+            for engine, busy in sim.engine_busy_seconds().items():
+                self.metrics.gauge(
+                    "sim.engine.busy.seconds", "s", {"sim": i, "engine": engine}
+                ).set(busy)
+        return self.metrics.snapshot()
+
+    def chrome_trace(self) -> dict:
+        """The captured spans as a Chrome trace-event JSON object."""
+        return self.tracer.chrome_trace()
+
+    def write_chrome_trace(self, path) -> Path:
+        """Write the Chrome trace to ``path`` (Perfetto-loadable JSON)."""
+        return write_chrome_trace(path, self.tracer.spans())
+
+    def render(self) -> str:
+        """Human-readable dump: metrics table + per-engine busy line."""
+        self.snapshot()
+        busy = self.tracer.engine_busy_seconds()
+        line = ", ".join(f"{k} {v * 1e3:.3f} ms" for k, v in busy.items())
+        return self.metrics.render() + f"\ntracer engines: {line}"
+
+
+@contextmanager
+def profile(sim: DeviceSimulator) -> Iterator[Profiler]:
+    """Profile everything ``sim`` runs inside the ``with`` block.
+
+    Shorthand for attaching a fresh :class:`Profiler` to an existing
+    simulator::
+
+        with profile(plan.simulator) as prof:
+            plan.forward(x)
+        trace = prof.chrome_trace()
+    """
+    prof = Profiler()
+    try:
+        yield prof.attach(sim)
+    finally:
+        prof.close()

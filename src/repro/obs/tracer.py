@@ -1,0 +1,226 @@
+"""Structured tracing for the device simulator.
+
+:class:`Tracer` subscribes to :meth:`DeviceSimulator.add_record_hook` and
+turns every :class:`~repro.gpu.simulator.TimelineEvent` into an enriched,
+immutable :class:`Span`: the raw event fields (kind, label, start,
+duration, bytes, flops, fault flag, stream) plus the *engine* the event
+occupied and whatever annotations the algorithm layer had pushed via
+:meth:`DeviceSimulator.annotate` — plan id, batch entry, out-of-core
+stage.  Spans are what the Chrome-trace exporter
+(:mod:`repro.obs.chrome_trace`) and the metrics recorder
+(:mod:`repro.obs.metrics`) consume.
+
+Tracing is strictly opt-in: a simulator with no tracer attached pays one
+truthiness check per recorded event, and attaching never changes the
+simulated timeline — spans are a read-only projection of it, which is
+what keeps traced and untraced runs bit-identical.
+
+Host-side phases that never touch a simulator (the multi-GPU rank model,
+analytic docking accounting) can still appear on the trace via
+:meth:`Tracer.emit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.gpu.simulator import DeviceSimulator, TimelineEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "engine_of"]
+
+
+def engine_of(kind: str) -> str:
+    """The hardware engine an event kind occupies.
+
+    Transfers map to their copy engine, kernels to the compute engine;
+    ``host`` and ``backoff`` time runs on the host, off the card's three
+    engines.
+    """
+    if kind in ("h2d", "d2h"):
+        return kind
+    if kind == "kernel":
+        return "compute"
+    return "host"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced operation: a timeline event plus its annotations."""
+
+    kind: str
+    label: str
+    start: float
+    seconds: float
+    engine: str
+    stream: int | None = None
+    bytes_moved: int = 0
+    flops: float = 0.0
+    faulted: bool = False
+    #: Owning plan id (``GpuFFT3D``/``BatchedGpuFFT3D`` buffer prefix),
+    #: ``None`` for unattributed operations.
+    plan: str | None = None
+    #: Batch entry index within the owning plan, when applicable.
+    entry: int | None = None
+    #: Remaining annotation tags (out-of-core stage, slab index, rank...).
+    tags: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def end(self) -> float:
+        """Completion time on the simulated clock."""
+        return self.start + self.seconds
+
+
+class Tracer:
+    """Capture enriched spans from one or more device simulators.
+
+    Attach with :meth:`attach` (or use the tracer as a context manager
+    around a simulator scope), run any workload, then read
+    :meth:`spans`, export via :meth:`chrome_trace`, or hand a
+    :class:`~repro.obs.metrics.MetricsRegistry` at construction to have
+    every span folded into metrics as it is captured.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics
+        self._spans: list[Span] = []
+        self._hooks: dict[int, tuple[DeviceSimulator, object]] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, sim: DeviceSimulator) -> "Tracer":
+        """Start capturing ``sim``'s events; idempotent per simulator."""
+        if id(sim) not in self._hooks:
+            hook = sim.add_record_hook(self._on_record)
+            self._hooks[id(sim)] = (sim, hook)
+        return self
+
+    def detach(self, sim: DeviceSimulator | None = None) -> None:
+        """Stop capturing ``sim`` (or every attached simulator)."""
+        if sim is not None:
+            entry = self._hooks.pop(id(sim), None)
+            if entry is not None:
+                entry[0].remove_record_hook(entry[1])
+            return
+        for attached, hook in self._hooks.values():
+            attached.remove_record_hook(hook)
+        self._hooks.clear()
+
+    @property
+    def attached(self) -> list[DeviceSimulator]:
+        """The simulators currently feeding this tracer."""
+        return [sim for sim, _ in self._hooks.values()]
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def _on_record(self, ev: TimelineEvent, tags: Mapping[str, object]) -> None:
+        plan = tags.get("plan")
+        entry = tags.get("entry")
+        extra = tuple(
+            (k, v) for k, v in tags.items() if k not in ("plan", "entry")
+        )
+        self._capture(
+            Span(
+                kind=ev.kind,
+                label=ev.label,
+                start=ev.start,
+                seconds=ev.seconds,
+                engine=engine_of(ev.kind),
+                stream=ev.stream,
+                bytes_moved=ev.bytes_moved,
+                flops=ev.flops,
+                faulted=ev.faulted,
+                plan=None if plan is None else str(plan),
+                entry=None if entry is None else int(entry),  # type: ignore[arg-type]
+                tags=extra,
+            )
+        )
+
+    def _capture(self, span: Span) -> None:
+        self._spans.append(span)
+        if self.metrics is not None:
+            self.metrics.record_span(span)
+
+    def emit(
+        self,
+        kind: str,
+        label: str,
+        start: float,
+        seconds: float,
+        *,
+        stream: int | None = None,
+        bytes_moved: int = 0,
+        flops: float = 0.0,
+        faulted: bool = False,
+        plan: str | None = None,
+        entry: int | None = None,
+        **tags: object,
+    ) -> Span:
+        """Record a synthetic span for work outside any simulator.
+
+        Used by layers whose timing is analytic rather than simulated —
+        the multi-GPU rank model emits one span per rank phase — so their
+        phases land on the same trace as real simulator events.
+        """
+        span = Span(
+            kind=kind,
+            label=label,
+            start=start,
+            seconds=seconds,
+            engine=engine_of(kind),
+            stream=stream,
+            bytes_moved=bytes_moved,
+            flops=flops,
+            faulted=faulted,
+            plan=plan,
+            entry=entry,
+            tags=tuple(tags.items()),
+        )
+        self._capture(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Read-out
+    # ------------------------------------------------------------------
+
+    def spans(self) -> list[Span]:
+        """Every captured span, in record order (list copy)."""
+        return list(self._spans)
+
+    def engine_busy_seconds(self) -> dict[str, float]:
+        """Busy seconds per engine over the captured spans.
+
+        Matches :meth:`DeviceSimulator.engine_busy_seconds` exactly when
+        the tracer saw the simulator's whole lifetime — the acceptance
+        cross-check the test suite pins to 1e-9.
+        """
+        busy = {"h2d": 0.0, "compute": 0.0, "d2h": 0.0, "host": 0.0}
+        for s in self._spans:
+            busy[s.engine] += s.seconds
+        return busy
+
+    def chrome_trace(self) -> dict:
+        """The captured spans as a Chrome trace-event JSON object."""
+        from repro.obs.chrome_trace import chrome_trace
+
+        return chrome_trace(self._spans)
+
+    def clear(self) -> None:
+        """Drop every captured span (attachments stay)."""
+        self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)

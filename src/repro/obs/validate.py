@@ -1,0 +1,114 @@
+"""Timeline invariant validator for the device simulator.
+
+The stream/engine schedule in :mod:`repro.gpu.simulator` promises a set
+of structural invariants; this module makes them machine-checkable so any
+workload (and any future scheduler change) can be audited in one call:
+
+* every event charges non-negative time and ends no earlier than it
+  starts;
+* operations issued on one stream start in issue order (streams are
+  FIFO), including the synchronous default-stream lane;
+* events occupying one hardware engine never overlap (engines
+  serialize);
+* :meth:`DeviceSimulator.engine_busy_seconds` equals the per-kind event
+  sums it claims to summarize;
+* ``elapsed`` equals the makespan of the event schedule (the latest
+  event end, or zero for an empty timeline).
+
+:func:`validate_timeline` returns the violations as strings (empty list
+= clean); :func:`check_timeline` raises :class:`TimelineInvariantError`
+so tests can assert in one line.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.simulator import DeviceSimulator
+
+__all__ = ["TimelineInvariantError", "validate_timeline", "check_timeline"]
+
+#: Event kind -> engine it occupies (host/backoff run off-card).
+_ENGINE_OF = {"h2d": "h2d", "d2h": "d2h", "kernel": "compute"}
+
+
+class TimelineInvariantError(AssertionError):
+    """A simulator timeline violated one of its scheduling invariants."""
+
+
+def validate_timeline(sim: DeviceSimulator, tol: float = 1e-12) -> list[str]:
+    """Audit ``sim``'s timeline; returns a list of violation messages.
+
+    ``tol`` absorbs float round-off in the overlap comparisons; the
+    bookkeeping identities (busy-time sums, makespan) are checked
+    exactly because the simulator computes them from the same floats.
+    """
+    events = sim.events()
+    problems: list[str] = []
+
+    for i, ev in enumerate(events):
+        if ev.seconds < 0:
+            problems.append(f"event {i} ({ev.label!r}): seconds {ev.seconds} < 0")
+        if ev.end < ev.start:
+            problems.append(
+                f"event {i} ({ev.label!r}): end {ev.end} < start {ev.start}"
+            )
+
+    # Streams are FIFO: starts in issue (= record) order never decrease.
+    last_start: dict[object, float] = {}
+    for i, ev in enumerate(events):
+        lane = "sync" if ev.stream is None else ev.stream
+        prev = last_start.get(lane)
+        if prev is not None and ev.start < prev - tol:
+            problems.append(
+                f"event {i} ({ev.label!r}): stream {lane} start regressed "
+                f"({ev.start} after {prev})"
+            )
+        last_start[lane] = ev.start
+
+    # Engines serialize: no two events on one engine overlap.
+    per_engine: dict[str, list] = {"h2d": [], "d2h": [], "compute": []}
+    for ev in events:
+        engine = _ENGINE_OF.get(ev.kind)
+        if engine is not None:
+            per_engine[engine].append(ev)
+    for engine, evs in per_engine.items():
+        evs = sorted(evs, key=lambda e: (e.start, e.end))
+        for a, b in zip(evs, evs[1:]):
+            if b.start < a.end - tol:
+                problems.append(
+                    f"engine {engine}: {b.label!r} starts at {b.start} "
+                    f"before {a.label!r} ends at {a.end}"
+                )
+
+    # Busy-time bookkeeping equals the per-kind sums it summarizes.
+    busy = sim.engine_busy_seconds()
+    sums = {
+        "h2d": sum(e.seconds for e in events if e.kind == "h2d"),
+        "d2h": sum(e.seconds for e in events if e.kind == "d2h"),
+        "compute": sum(e.seconds for e in events if e.kind == "kernel"),
+    }
+    for engine, expected in sums.items():
+        if busy[engine] != expected:
+            problems.append(
+                f"engine_busy_seconds[{engine!r}] = {busy[engine]} but the "
+                f"event sum is {expected}"
+            )
+
+    # Elapsed is the schedule makespan.
+    makespan = max((e.end for e in events), default=0.0)
+    if sim.elapsed != makespan:
+        problems.append(
+            f"elapsed {sim.elapsed} != makespan {makespan} over "
+            f"{len(events)} events"
+        )
+
+    return problems
+
+
+def check_timeline(sim: DeviceSimulator, tol: float = 1e-12) -> None:
+    """Raise :class:`TimelineInvariantError` if ``sim``'s timeline is bad."""
+    problems = validate_timeline(sim, tol)
+    if problems:
+        raise TimelineInvariantError(
+            f"{len(problems)} timeline invariant violation(s):\n"
+            + "\n".join(f"  - {p}" for p in problems)
+        )

@@ -23,6 +23,7 @@ CASES = [
     ("out_of_core_512.py", [], "Table 12"),
     ("dns_taylor_green.py", ["16", "6"], "kinetic energy"),
     ("warp_level_demo.py", [], "coalesced"),
+    ("trace_explorer.py", ["16", "4"], "ui.perfetto.dev"),
 ]
 
 

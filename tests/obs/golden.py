@@ -1,0 +1,47 @@
+"""Canonical workload behind the golden-trace regression test.
+
+The run must be fully deterministic: fixed input seed, a named plan (so
+labels do not depend on how many plans earlier tests created), and a
+fixed stream count.  Regenerate the committed artifact after an
+*intentional* trace-schema change with::
+
+    PYTHONPATH=src python -m tests.obs.golden
+
+run from the repo root.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batch import BatchedGpuFFT3D
+from repro.obs.tracer import Tracer
+
+#: Where the committed golden trace lives.
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace_16.json"
+
+
+def golden_trace() -> dict:
+    """Run the canonical 3x16^3 batched workload; return its trace doc."""
+    tracer = Tracer()
+    rng = np.random.default_rng(1616)
+    x = (
+        rng.standard_normal((3, 16, 16, 16))
+        + 1j * rng.standard_normal((3, 16, 16, 16))
+    ).astype(np.complex64)
+    with BatchedGpuFFT3D((16, 16, 16), n_streams=2, name="golden") as plan:
+        tracer.attach(plan.simulator)
+        plan.forward(x)
+    return tracer.chrome_trace()
+
+
+def regenerate() -> Path:
+    """Rewrite the committed golden trace from a fresh canonical run."""
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden_trace(), indent=2) + "\n")
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    print(regenerate())

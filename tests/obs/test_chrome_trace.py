@@ -1,0 +1,182 @@
+"""Chrome trace-event export: schema, tracks, and engine-busy accounting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.batch import BatchedGpuFFT3D
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.obs.chrome_trace import (
+    ENGINE_PID,
+    ENGINE_TIDS,
+    STREAM_PID,
+    chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def _traced_batch(n=32, batch=8, n_streams=3):
+    """Run a batched transform with tracing on; return (tracer, sim, out)."""
+    tracer = Tracer()
+    rng = np.random.default_rng(7)
+    x = (
+        rng.standard_normal((batch, n, n, n))
+        + 1j * rng.standard_normal((batch, n, n, n))
+    ).astype(np.complex64)
+    with BatchedGpuFFT3D((n, n, n), n_streams=n_streams) as plan:
+        tracer.attach(plan.simulator)
+        out = plan.forward(x)
+        sim = plan.simulator
+        tracer.detach(sim)
+    return tracer, sim, out
+
+
+def _complete_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "X"]
+
+
+def _metadata_events(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] == "M"]
+
+
+class TestDocumentShape:
+    def test_empty_tracer_exports_empty_document(self):
+        doc = chrome_trace([])
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_top_level_keys(self):
+        tracer, _, _ = _traced_batch(n=16, batch=2)
+        doc = tracer.chrome_trace()
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_json_roundtrip(self, tmp_path):
+        tracer, _, _ = _traced_batch(n=16, batch=2)
+        path = write_chrome_trace(tmp_path / "trace.json", tracer.spans())
+        doc = json.loads(path.read_text())
+        assert doc == tracer.chrome_trace()
+
+    def test_every_event_is_wellformed(self):
+        tracer, _, _ = _traced_batch(n=16, batch=2)
+        for ev in tracer.chrome_trace()["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            assert isinstance(ev["pid"], int)
+            if ev["ph"] == "X":
+                assert isinstance(ev["name"], str)
+                assert ev["ts"] >= 0
+                assert ev["dur"] >= 0
+                assert isinstance(ev["args"], dict)
+            else:
+                assert ev["name"] in (
+                    "process_name", "thread_name", "thread_sort_index"
+                )
+
+
+class TestTracks:
+    def test_engine_and_stream_tracks(self):
+        tracer, _, _ = _traced_batch(n=16, batch=4, n_streams=2)
+        doc = tracer.chrome_trace()
+        complete = _complete_events(doc)
+        pids = {e["pid"] for e in complete}
+        assert pids == {ENGINE_PID, STREAM_PID}
+        engine_tids = {e["tid"] for e in complete if e["pid"] == ENGINE_PID}
+        assert engine_tids <= set(ENGINE_TIDS.values())
+        # 2 streams -> stream tids 1 and 2 (tid 0 reserved for sync lane).
+        stream_tids = {e["tid"] for e in complete if e["pid"] == STREAM_PID}
+        assert stream_tids <= {0, 1, 2}
+
+    def test_each_span_appears_on_both_tracks(self):
+        tracer, _, _ = _traced_batch(n=16, batch=2)
+        doc = tracer.chrome_trace()
+        complete = _complete_events(doc)
+        assert len(complete) == 2 * len(tracer)
+        engine_track = [e for e in complete if e["pid"] == ENGINE_PID]
+        stream_track = [e for e in complete if e["pid"] == STREAM_PID]
+        assert len(engine_track) == len(stream_track) == len(tracer)
+
+    def test_metadata_names_processes_and_threads(self):
+        tracer, _, _ = _traced_batch(n=16, batch=2, n_streams=2)
+        meta = _metadata_events(tracer.chrome_trace())
+        process_names = {
+            e["pid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert set(process_names) == {ENGINE_PID, STREAM_PID}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta
+            if e["name"] == "thread_name"
+        }
+        for engine, tid in ENGINE_TIDS.items():
+            assert engine in thread_names[(ENGINE_PID, tid)]
+
+    def test_args_carry_enrichment(self):
+        tracer, _, _ = _traced_batch(n=16, batch=2)
+        complete = _complete_events(tracer.chrome_trace())
+        kernels = [e for e in complete if e["cat"] == "kernel"]
+        assert kernels
+        assert any("plan" in e["args"] for e in kernels)
+        transfers = [e for e in complete if e["cat"] in ("h2d", "d2h")]
+        assert all(e["args"].get("bytes", 0) > 0 for e in transfers)
+
+
+class TestAcceptance:
+    """ISSUE.md acceptance: batched 8x32^3 export parses and balances."""
+
+    def test_batched_8x32_trace_parses_and_busy_matches(self, tmp_path):
+        tracer, sim, _ = _traced_batch(n=32, batch=8, n_streams=3)
+        path = write_chrome_trace(tmp_path / "batch32.json", tracer.spans())
+        doc = json.loads(path.read_text())
+
+        complete = _complete_events(doc)
+        assert complete, "trace must not be empty"
+
+        # Sum engine-track durations (microseconds) per engine tid and
+        # compare against the simulator's own busy accounting.
+        tid_to_engine = {tid: engine for engine, tid in ENGINE_TIDS.items()}
+        busy = {engine: 0.0 for engine in ENGINE_TIDS}
+        for ev in complete:
+            if ev["pid"] == ENGINE_PID:
+                busy[tid_to_engine[ev["tid"]]] += ev["dur"] / 1e6
+        sim_busy = sim.engine_busy_seconds()
+        for engine in ("h2d", "compute", "d2h"):
+            assert busy[engine] == pytest.approx(sim_busy[engine], abs=1e-9)
+
+    def test_trace_covers_whole_timeline(self):
+        tracer, sim, _ = _traced_batch(n=16, batch=4)
+        complete = _complete_events(tracer.chrome_trace())
+        makespan = max((e["ts"] + e["dur"]) / 1e6 for e in complete)
+        assert makespan == pytest.approx(sim.elapsed, abs=1e-9)
+
+    def test_tracer_busy_matches_simulator_exactly(self):
+        tracer, sim, _ = _traced_batch(n=16, batch=4)
+        busy = tracer.engine_busy_seconds()
+        sim_busy = sim.engine_busy_seconds()
+        for engine in ("h2d", "compute", "d2h"):
+            assert abs(busy[engine] - sim_busy[engine]) < 1e-12
+
+
+class TestSyncLane:
+    def test_sync_spans_land_on_tid_zero(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        tracer = Tracer().attach(sim)
+        host = np.ones(1024, np.complex64)
+        dev = sim.allocate((1024,), np.complex64, "x")
+        sim.h2d(host, dev, "up")  # synchronous: no stream
+        doc = tracer.chrome_trace()
+        stream_track = [
+            e for e in _complete_events(doc) if e["pid"] == STREAM_PID
+        ]
+        assert [e["tid"] for e in stream_track] == [0]
+        sync_names = [
+            e["args"]["name"]
+            for e in _metadata_events(doc)
+            if e["name"] == "thread_name"
+            and e["pid"] == STREAM_PID
+            and e["tid"] == 0
+        ]
+        assert sync_names and "sync" in sync_names[0]

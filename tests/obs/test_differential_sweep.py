@@ -1,0 +1,184 @@
+"""Property-based differential sweep: random configs vs numpy.fft.fftn.
+
+A seeded ``numpy.random`` generator draws plan configurations (shape,
+norm, precision, execution path) and every draw is checked two ways:
+
+* the simulated GPU result matches ``numpy.fft.fftn`` within the
+  precision's tolerance, including through the batched pipeline and a
+  fault-injected run that exercises retry/verify recovery;
+* running the identical workload with a :class:`repro.obs.Profiler`
+  attached returns **bit-identical** results — observability is a pure
+  projection of the timeline, never a participant in it.
+
+No hypothesis/external property-testing dependency: the draw set is a
+deterministic function of the module-level seed, so failures reproduce
+by test id alone.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.api import GpuFFT3D
+from repro.core.batch import BatchedGpuFFT3D
+from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.obs.profiler import Profiler
+
+_SHAPES = [
+    (16, 16, 16),
+    (32, 16, 16),
+    (16, 32, 16),
+    (16, 16, 32),
+    (32, 32, 32),
+]
+_NORMS = ["backward", "ortho", "forward"]
+_PRECISIONS = ["single", "double"]
+
+#: rel/abs tolerance per precision for the numpy comparison.  Single
+#: precision loses ~3 digits over a 32^3 five-step pipeline.
+_TOL = {"single": 2e-3, "double": 1e-10}
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One drawn configuration of the differential sweep."""
+
+    shape: tuple[int, int, int]
+    norm: str
+    precision: str
+    batch: int
+    seed: int
+
+    @property
+    def id(self) -> str:
+        z, y, x = self.shape
+        return f"{z}x{y}x{x}-{self.norm}-{self.precision}-b{self.batch}-s{self.seed}"
+
+
+def _draw_cases(n: int, seed: int) -> list[SweepCase]:
+    rng = np.random.default_rng(seed)
+    cases = []
+    for _ in range(n):
+        cases.append(
+            SweepCase(
+                shape=_SHAPES[rng.integers(len(_SHAPES))],
+                norm=_NORMS[rng.integers(len(_NORMS))],
+                precision=_PRECISIONS[rng.integers(len(_PRECISIONS))],
+                batch=int(rng.integers(2, 5)),
+                seed=int(rng.integers(1 << 16)),
+            )
+        )
+    return cases
+
+
+CASES = _draw_cases(n=6, seed=20080815)  # SC'08 vintage
+
+
+def _signal(case: SweepCase, batched: bool = False) -> np.ndarray:
+    rng = np.random.default_rng(case.seed)
+    shape = (case.batch, *case.shape) if batched else case.shape
+    dtype = np.complex64 if case.precision == "single" else np.complex128
+    return (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ).astype(dtype)
+
+
+def _injector(case: SweepCase) -> FaultInjector:
+    """A deterministic multi-kind fault schedule derived from the case."""
+    return FaultInjector(
+        [
+            FaultSpec("transfer-fail", at_ops=(1,)),
+            FaultSpec("transfer-corrupt", at_ops=(4,)),
+            FaultSpec("launch-fail", at_ops=(3,)),
+        ],
+        seed=case.seed,
+    )
+
+
+def _assert_close(out: np.ndarray, ref: np.ndarray, case: SweepCase) -> None:
+    tol = _TOL[case.precision]
+    scale = np.max(np.abs(ref)) or 1.0
+    np.testing.assert_allclose(out / scale, ref / scale, atol=tol, rtol=tol)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.id)
+class TestAgainstNumpy:
+    def test_single_plan(self, case):
+        x = _signal(case)
+        with GpuFFT3D(
+            case.shape, precision=case.precision, norm=case.norm
+        ) as plan:
+            out = plan.forward(x)
+        _assert_close(out, np.fft.fftn(x, norm=case.norm), case)
+
+    def test_batched_pipeline(self, case):
+        xs = _signal(case, batched=True)
+        with BatchedGpuFFT3D(
+            case.shape, precision=case.precision, norm=case.norm, n_streams=2
+        ) as plan:
+            out = plan.forward(xs)
+        ref = np.stack([np.fft.fftn(x, norm=case.norm) for x in xs])
+        _assert_close(out, ref, case)
+
+    def test_resilient_with_faults(self, case):
+        x = _signal(case)
+        with GpuFFT3D(
+            case.shape,
+            precision=case.precision,
+            norm=case.norm,
+            fault_injector=_injector(case),
+        ) as plan:
+            out = plan.forward(x)
+            assert plan.resilience.total_retries >= 1
+        _assert_close(out, np.fft.fftn(x, norm=case.norm), case)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.id)
+class TestTracingIsPureProjection:
+    """Tracing on vs off: bit-identical outputs and timelines."""
+
+    def test_single_plan_bit_identical(self, case):
+        x = _signal(case)
+
+        def run(profiler):
+            with GpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                profiler=profiler,
+                name="diff-single",
+            ) as plan:
+                out = plan.forward(x)
+                events = plan.simulator.events()
+            return out, events
+
+        plain, plain_events = run(None)
+        with Profiler() as prof:
+            traced, traced_events = run(prof)
+        assert np.array_equal(plain, traced)
+        assert plain_events == traced_events
+        assert len(prof.tracer) == len(traced_events)
+
+    def test_faulted_batch_bit_identical(self, case):
+        xs = _signal(case, batched=True)
+
+        def run(profiler):
+            with BatchedGpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                n_streams=2,
+                fault_injector=_injector(case),
+                profiler=profiler,
+                name="diff-batch",
+            ) as plan:
+                out = plan.forward(xs)
+                events = plan.simulator.events()
+            return out, events
+
+        plain, plain_events = run(None)
+        with Profiler() as prof:
+            traced, traced_events = run(prof)
+        assert np.array_equal(plain, traced)
+        assert plain_events == traced_events

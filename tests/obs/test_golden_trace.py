@@ -1,0 +1,96 @@
+"""Golden-trace regression: the export schema is pinned by an artifact.
+
+A canonical 3x16^3 batched run (see :mod:`obs.golden`) is committed as
+``data/golden_trace_16.json``.  The test regenerates the trace and
+compares it structurally — event counts, per-event key sets, the
+``ph``/``pid``/``tid`` track conventions and the name/category strings —
+so any accidental change to the exporter (renamed keys, re-numbered
+tracks, dropped metadata) fails loudly, while the timing floats are
+compared with a tolerance that survives benign arithmetic reordering.
+
+After an intentional schema change, regenerate with
+``PYTHONPATH=src python -m tests.obs.golden`` and review the diff.
+"""
+
+import json
+
+import pytest
+
+from tests.obs.golden import GOLDEN_PATH, golden_trace
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"missing {GOLDEN_PATH}; regenerate with "
+        "`PYTHONPATH=src python -m tests.obs.golden`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def fresh() -> dict:
+    return golden_trace()
+
+
+def _skeleton(doc: dict) -> list[tuple]:
+    """Everything structural about a trace, timing floats excluded."""
+    rows = []
+    for ev in doc["traceEvents"]:
+        rows.append(
+            (
+                ev["ph"],
+                ev.get("pid"),
+                ev.get("tid"),
+                ev["name"],
+                ev.get("cat"),
+                tuple(sorted(ev)),
+                tuple(sorted(ev.get("args", {}))),
+            )
+        )
+    return rows
+
+
+class TestGoldenArtifact:
+    def test_parses_as_trace_event_json(self, golden):
+        assert set(golden) == {"traceEvents", "displayTimeUnit"}
+        assert golden["displayTimeUnit"] == "ms"
+        for ev in golden["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+
+    def test_event_counts(self, golden):
+        events = golden["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        meta = [e for e in events if e["ph"] == "M"]
+        # 3 entries x (h2d + 5 kernel steps + d2h) = 21 spans, each on an
+        # engine track and a stream track.
+        assert len(complete) == 42
+        # engines process + 4 engine threads (name+sort for each) +
+        # streams process + 2 stream threads (name+sort) = 14.
+        assert len(meta) == 14
+        assert len(events) == 56
+
+    def test_track_conventions(self, golden):
+        complete = [e for e in golden["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in complete} == {1, 2}
+        engine_tids = {e["tid"] for e in complete if e["pid"] == 1}
+        assert engine_tids == {1, 2, 3}  # h2d, compute, d2h; no host time
+        stream_tids = {e["tid"] for e in complete if e["pid"] == 2}
+        assert stream_tids == {1, 2}  # 2 streams, no sync-lane traffic
+
+    def test_plan_and_entry_args(self, golden):
+        complete = [e for e in golden["traceEvents"] if e["ph"] == "X"]
+        assert {e["args"]["plan"] for e in complete} == {"golden"}
+        assert {e["args"]["entry"] for e in complete} == {0, 1, 2}
+
+
+class TestRegression:
+    def test_structure_matches_golden(self, golden, fresh):
+        assert _skeleton(fresh) == _skeleton(golden)
+
+    def test_timings_match_golden(self, golden, fresh):
+        for got, want in zip(fresh["traceEvents"], golden["traceEvents"]):
+            if got["ph"] != "X":
+                continue
+            assert got["ts"] == pytest.approx(want["ts"], rel=1e-9, abs=1e-9)
+            assert got["dur"] == pytest.approx(want["dur"], rel=1e-9, abs=1e-9)

@@ -1,0 +1,138 @@
+"""MetricsRegistry: instruments, labels, span folding, rendering."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import Span
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("n", "events")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("n", "events").inc(-1)
+
+    def test_gauge_keeps_last(self):
+        g = Gauge("g", "s")
+        g.set(1.0)
+        g.set(0.25)
+        assert g.value == 0.25
+
+    def test_histogram_summary_stats(self):
+        h = Histogram("h", "s")
+        for v in (1e-3, 2e-3, 3e-3):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(6e-3)
+        assert h.min == pytest.approx(1e-3)
+        assert h.max == pytest.approx(3e-3)
+        assert h.mean == pytest.approx(2e-3)
+
+    def test_empty_histogram(self):
+        h = Histogram("h", "s")
+        assert h.count == 0
+        assert h.mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", "events")
+        b = reg.counter("x", "events")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_labels_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "events", {"plan": "a"}).inc()
+        reg.counter("x", "events", {"plan": "b"}).inc(2)
+        reg.counter("x", "events").inc(3)
+        snap = reg.snapshot()["counters"]
+        assert snap["x"]["value"] == 3
+        assert snap["x{plan=a}"]["value"] == 1
+        assert snap["x{plan=b}"]["value"] == 2
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "events").inc()
+        reg.gauge("g", "s").set(1.5)
+        reg.histogram("h", "GB/s").observe(70.0)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["c"] == {"value": 1, "unit": "events"}
+        assert snap["gauges"]["g"] == {"value": 1.5, "unit": "s"}
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 1
+        assert hist["mean"] == pytest.approx(70.0)
+        assert hist["unit"] == "GB/s"
+
+    def test_clear_empties_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "events").inc()
+        reg.clear()
+        assert len(reg) == 0
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_render_lists_every_series(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.events", "events").inc(7)
+        reg.gauge("sim.elapsed.seconds", "s").set(0.5)
+        reg.histogram("sim.h2d.gbps", "GB/s").observe(3.0)
+        text = reg.render()
+        assert "sim.events" in text
+        assert "sim.elapsed.seconds" in text
+        assert "sim.h2d.gbps" in text
+        assert "GB/s" in text
+
+
+def _span(kind, seconds, *, bytes_moved=0, flops=0.0, faulted=False, plan=None):
+    return Span(
+        kind=kind, label=kind, start=0.0, seconds=seconds,
+        engine={"h2d": "h2d", "d2h": "d2h", "kernel": "compute"}.get(kind, "host"),
+        bytes_moved=bytes_moved, flops=flops, faulted=faulted, plan=plan,
+    )
+
+
+class TestRecordSpan:
+    def test_transfer_span_counters(self):
+        reg = MetricsRegistry()
+        reg.record_span(_span("h2d", 0.01, bytes_moved=1 << 20))
+        assert reg.counter("sim.events", "events").value == 1
+        assert reg.counter("sim.h2d.bytes", "B").value == 1 << 20
+        assert reg.counter("sim.h2d.seconds", "s").value == pytest.approx(0.01)
+        gbps = reg.histogram("sim.h2d.gbps", "GB/s")
+        assert gbps.count == 1
+        assert gbps.mean == pytest.approx((1 << 20) / 0.01 / 1e9)
+
+    def test_kernel_span_flops_and_bytes(self):
+        reg = MetricsRegistry()
+        reg.record_span(_span("kernel", 0.002, bytes_moved=1 << 22, flops=1e7))
+        assert reg.counter("sim.kernel.bytes", "B").value == 1 << 22
+        assert reg.counter("sim.kernel.flops", "flop").value == 1e7
+        gbps = reg.histogram("sim.kernel.gbps", "GB/s", {"step": "kernel"})
+        assert gbps.count == 1
+
+    def test_faulted_span_excluded_from_gbps(self):
+        reg = MetricsRegistry()
+        reg.record_span(_span("h2d", 0.01, bytes_moved=1 << 20, faulted=True))
+        assert reg.counter("sim.faulted.events", "events").value == 1
+        assert reg.histogram("sim.h2d.gbps", "GB/s").count == 0
+        assert (
+            reg.counter("sim.faulted.seconds", "s").value == pytest.approx(0.01)
+        )
+
+    def test_plan_label_doubles_recording(self):
+        reg = MetricsRegistry()
+        reg.record_span(_span("d2h", 0.01, bytes_moved=1024, plan="p"))
+        assert reg.counter("sim.d2h.bytes", "B").value == 1024
+        assert reg.counter("sim.d2h.bytes", "B", {"plan": "p"}).value == 1024
+
+    def test_zero_second_span_no_gbps(self):
+        reg = MetricsRegistry()
+        reg.record_span(_span("h2d", 0.0, bytes_moved=1024))
+        assert reg.histogram("sim.h2d.gbps", "GB/s").count == 0

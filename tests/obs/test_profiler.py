@@ -1,0 +1,173 @@
+"""Profiler facade: end-to-end capture across every execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.docking.shapes import random_protein
+from repro.apps.docking.zdock import DockingSearch
+from repro.core.api import GpuFFT3D
+from repro.core.batch import BatchedGpuFFT3D
+from repro.core.multi_gpu import MultiGpuFFT3D
+from repro.core.plan_cache import PLAN_CACHE
+from repro.obs.profiler import Profiler, profile
+
+
+def _signal(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ).astype(np.complex64)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_keeps_data(self):
+        prof = Profiler()
+        with GpuFFT3D((16, 16, 16), profiler=prof, name="p") as plan:
+            plan.forward(_signal((16, 16, 16)))
+        prof.close()
+        prof.close()
+        assert len(prof.tracer) > 0
+        assert prof.snapshot()["counters"]["sim.events"]["value"] > 0
+
+    def test_attach_after_close_rejected(self):
+        prof = Profiler()
+        prof.close()
+        with GpuFFT3D((16, 16, 16)) as plan:
+            with pytest.raises(ValueError):
+                prof.attach(plan.simulator)
+
+    def test_context_manager_detaches_hooks(self):
+        with GpuFFT3D((16, 16, 16)) as plan:
+            with Profiler() as prof:
+                prof.attach(plan.simulator)
+                plan.forward(_signal((16, 16, 16)))
+            assert plan.simulator._record_hooks == []
+
+    def test_profile_shorthand(self):
+        with GpuFFT3D((16, 16, 16)) as plan:
+            with profile(plan.simulator) as prof:
+                plan.forward(_signal((16, 16, 16)))
+            assert len(prof.tracer) > 0
+
+
+class TestPlanIntegration:
+    def test_single_plan_spans_carry_plan_id(self):
+        prof = Profiler()
+        with GpuFFT3D((16, 16, 16), profiler=prof, name="solo") as plan:
+            assert plan.plan_id == "solo"
+            plan.forward(_signal((16, 16, 16)))
+        prof.close()
+        assert {s.plan for s in prof.tracer.spans()} == {"solo"}
+
+    def test_batched_plan_spans_carry_entries(self):
+        prof = Profiler()
+        with BatchedGpuFFT3D(
+            (16, 16, 16), profiler=prof, name="b", n_streams=2
+        ) as plan:
+            plan.forward(_signal((3, 16, 16, 16)))
+        prof.close()
+        entries = {s.entry for s in prof.tracer.spans() if s.entry is not None}
+        assert entries == {0, 1, 2}
+        assert {s.plan for s in prof.tracer.spans()} == {"b"}
+
+    def test_plan_cache_feed(self):
+        prof = Profiler()
+        PLAN_CACHE.clear()
+        with GpuFFT3D((16, 16, 16), profiler=prof) as plan:
+            plan.forward(_signal((16, 16, 16)))
+        with GpuFFT3D((16, 16, 16), profiler=prof) as plan:
+            plan.forward(_signal((16, 16, 16)))
+        prof.close()
+        snap = prof.snapshot()["counters"]
+        assert snap["plan_cache.misses"]["value"] >= 1
+        assert snap["plan_cache.hits"]["value"] >= 1
+
+    def test_snapshot_gauges_track_each_simulator(self):
+        prof = Profiler()
+        with GpuFFT3D((16, 16, 16), profiler=prof) as a:
+            a.forward(_signal((16, 16, 16)))
+            with GpuFFT3D((32, 32, 32), profiler=prof) as b:
+                b.forward(_signal((32, 32, 32)))
+                snap = prof.snapshot()
+                gauges = snap["gauges"]
+                assert gauges["sim.elapsed.seconds{sim=0}"]["value"] == (
+                    pytest.approx(a.simulator.elapsed)
+                )
+                assert gauges["sim.elapsed.seconds{sim=1}"]["value"] == (
+                    pytest.approx(b.simulator.elapsed)
+                )
+                assert "sim.engine.busy.seconds{engine=compute,sim=0}" in gauges
+        prof.close()
+
+    def test_render_mentions_engines(self):
+        prof = Profiler()
+        with GpuFFT3D((16, 16, 16), profiler=prof) as plan:
+            plan.forward(_signal((16, 16, 16)))
+        prof.close()
+        text = prof.render()
+        assert "tracer engines" in text
+        assert "sim.events" in text
+
+
+class TestMultiGpuIntegration:
+    def test_execute_batch_emits_synthetic_spans(self):
+        prof = Profiler()
+        plan = MultiGpuFFT3D(16, n_gpus=2)
+        xs = _signal((2, 16, 16, 16))
+        out, report = plan.execute_batch(xs, profiler=prof)
+        prof.close()
+        ref = np.stack([np.fft.fftn(x) for x in xs])
+        assert np.allclose(out, ref, rtol=1e-3, atol=1e-3)
+        spans = prof.tracer.spans()
+        assert {s.plan for s in spans} == {"multigpu2x16"}
+        assert {s.entry for s in spans} == {0, 1}
+        kinds = {s.kind for s in spans}
+        assert kinds == {"kernel", "host"}
+        assert prof.metrics.counter("multigpu.entries", "entries").value == 2
+
+    def test_batch_spans_tile_the_estimated_clock(self):
+        prof = Profiler()
+        plan = MultiGpuFFT3D(16, n_gpus=2)
+        plan.execute_batch(_signal((2, 16, 16, 16)), profiler=prof)
+        prof.close()
+        est = plan.estimate()
+        spans = prof.tracer.spans()
+        makespan = max(s.end for s in spans)
+        assert makespan == pytest.approx(2 * est.total_seconds, rel=1e-9)
+
+
+class TestDockingIntegration:
+    @pytest.fixture
+    def proteins(self):
+        receptor = random_protein(8, radius=1.0, step=0.6, seed=1)
+        ligand = random_protein(5, radius=1.0, step=0.6, seed=2)
+        return receptor, ligand
+
+    def test_run_records_summary_metrics(self, proteins):
+        receptor, ligand = proteins
+        search = DockingSearch(receptor, ligand, grid_size=16)
+        rotations = np.eye(3)[None]
+        prof = Profiler()
+        search.run(rotations, top_k=1, profiler=prof)
+        prof.close()
+        snap = prof.snapshot()
+        assert snap["counters"]["docking.rotations"]["value"] == 1
+        assert snap["gauges"]["docking.on_card.seconds"]["value"] > 0
+        spans = prof.tracer.spans()
+        assert [s.label for s in spans] == ["docking-search"]
+
+    def test_run_batched_traces_the_pipeline(self, proteins):
+        receptor, ligand = proteins
+        search = DockingSearch(receptor, ligand, grid_size=16)
+        rotations = np.stack([np.eye(3), np.eye(3)])
+        prof = Profiler()
+        result = search.run_batched(
+            rotations, top_k=1, batch_size=2, profiler=prof
+        )
+        prof.close()
+        snap = prof.snapshot()
+        assert snap["counters"]["docking.rotations"]["value"] == 2
+        assert snap["gauges"]["docking.pipelined.seconds"]["value"] == (
+            pytest.approx(result.pipelined_seconds)
+        )
+        assert len(prof.tracer) > 0
