@@ -1,0 +1,162 @@
+"""Dynamic-batching FFT service vs request-at-a-time dispatch.
+
+The serving layer's acceptance experiment: a seeded 64-client mixed-shape
+workload is pushed through ``FFTServer`` twice on identical simulated
+hardware — once with the coalescer disabled (``max_batch=1``, every
+request dispatched alone) and once with dynamic batching
+(``max_batch=16``).  Batching must be at least 2x faster in simulated
+time, every accepted result must be bit-identical to the standalone
+``GpuFFT3D`` path, and an overloaded bounded queue must shed with typed,
+counted rejections.  An offered-load sweep records throughput and
+p50/p99 latency per operating point.
+
+Results are also emitted as ``BENCH_serve.json`` for CI consumption.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once, write_bench_json
+from repro.core.api import GpuFFT3D
+from repro.serve import CoalescePolicy, FFTRequest, FFTServer, ServeError
+
+N_CLIENTS = 64
+REQS_PER_CLIENT = 2
+SHAPES = ((32, 32, 32), (64, 32, 32), (64, 64, 64))
+SPEEDUP_BAR = 2.0
+OVERLOAD_DEPTH = 48
+
+
+def _workload(n_requests):
+    """The seeded mixed-shape request stream shared by every run."""
+    rng = np.random.default_rng(20080819)
+    reqs = []
+    for i in range(n_requests):
+        shape = SHAPES[i % len(SHAPES)]
+        x = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex64)
+        reqs.append(FFTRequest(x, tenant=f"client-{i % N_CLIENTS}"))
+    return reqs
+
+
+def _serve(reqs, max_batch, max_depth=1024):
+    """Drive one server run; returns (futures, rejections, stats, metrics, elapsed)."""
+    srv = FFTServer(
+        start=False,
+        max_depth=max_depth,
+        coalesce=CoalescePolicy(max_batch=max_batch, max_wait_s=0.0),
+    )
+    futs, rejected = [], []
+    for req in reqs:
+        try:
+            futs.append(srv.submit(req))
+        except ServeError as exc:
+            rejected.append(exc)
+    srv.run_pending()
+    elapsed = srv.simulator.elapsed
+    busy = dict(srv.simulator.engine_busy_seconds())
+    stats = srv.stats()
+    lat = srv.metrics.histogram("serve.latency.seconds", "s")
+    point = {
+        "offered": len(reqs),
+        "completed": stats.completed,
+        "shed": stats.rejected_total,
+        "shed_rate": stats.rejected_total / len(reqs),
+        "reject_reasons": dict(stats.rejected),
+        "batches": stats.batches,
+        "elapsed_seconds": elapsed,
+        "throughput_rps": stats.completed / elapsed if elapsed else 0.0,
+        "p50_latency_ms": lat.percentile(50) * 1e3,
+        "p99_latency_ms": lat.percentile(99) * 1e3,
+        "device_busy_fraction": max(busy.values()) / elapsed if elapsed else 0.0,
+    }
+    srv.close()
+    return futs, rejected, point
+
+
+def _assert_bit_identical(futs):
+    """Every accepted result must match the unserved GpuFFT3D path exactly."""
+    plans = {}
+    try:
+        for fut in futs:
+            key = fut.request.plan_key()
+            if key not in plans:
+                plans[key] = GpuFFT3D(
+                    key.shape, precision=key.precision, norm=key.norm
+                )
+            assert np.array_equal(fut.result(), plans[key].forward(fut.request.x))
+    finally:
+        for plan in plans.values():
+            plan.close()
+
+
+def test_serve_dynamic_batching_speedup(benchmark, show):
+    """64 clients, mixed shapes: coalesced dispatch vs one-at-a-time."""
+    reqs = _workload(N_CLIENTS * REQS_PER_CLIENT)
+
+    def run():
+        solo = _serve(reqs, max_batch=1)
+        dyn = _serve(reqs, max_batch=16)
+        sweep = [
+            _serve(_workload(offered), max_batch=16)[2]
+            for offered in (16, 64, 128)
+        ]
+        over = _serve(reqs, max_batch=16, max_depth=OVERLOAD_DEPTH)
+        return solo, dyn, sweep, over
+
+    solo, dyn, sweep, over = run_once(benchmark, run)
+
+    (solo_futs, solo_rej, solo_pt) = solo
+    (dyn_futs, dyn_rej, dyn_pt) = dyn
+    (over_futs, over_rej, over_pt) = over
+    speedup = solo_pt["elapsed_seconds"] / dyn_pt["elapsed_seconds"]
+
+    _assert_bit_identical(dyn_futs)
+    _assert_bit_identical(over_futs)
+
+    payload = {
+        "clients": N_CLIENTS,
+        "requests": len(reqs),
+        "shapes": [list(s) for s in SHAPES],
+        "request_at_a_time": solo_pt,
+        "dynamic_batching": dyn_pt,
+        "speedup": speedup,
+        "speedup_bar": SPEEDUP_BAR,
+        "load_sweep": sweep,
+        "overload": over_pt,
+    }
+    path = write_bench_json("serve", payload)
+
+    show(
+        f"FFT serving: {len(reqs)} requests from {N_CLIENTS} clients",
+        f"request-at-a-time: {solo_pt['elapsed_seconds'] * 1e3:8.3f} ms "
+        f"({solo_pt['batches']} dispatches)\n"
+        f"dynamic batching:  {dyn_pt['elapsed_seconds'] * 1e3:8.3f} ms "
+        f"({dyn_pt['batches']} batches)\n"
+        f"speedup:           {speedup:8.3f}x (acceptance bar: >= {SPEEDUP_BAR}x)\n"
+        f"device busy:       {dyn_pt['device_busy_fraction']:.2f} of elapsed\n"
+        "load sweep (offered -> rps, p50/p99 ms):\n"
+        + "\n".join(
+            f"  {pt['offered']:4d} -> {pt['throughput_rps']:9.0f} rps, "
+            f"{pt['p50_latency_ms']:7.3f}/{pt['p99_latency_ms']:7.3f} ms"
+            for pt in sweep
+        )
+        + f"\noverload (depth {OVERLOAD_DEPTH}): shed {over_pt['shed']} "
+        f"({over_pt['shed_rate']:.0%}) via {over_pt['reject_reasons']}\n"
+        f"json: {path}",
+    )
+
+    # The tentpole bar: coalescing at saturation doubles throughput.
+    assert speedup >= SPEEDUP_BAR
+    # No work was shed in the unbounded runs, and nothing was lost.
+    assert not solo_rej and not dyn_rej
+    assert solo_pt["completed"] == dyn_pt["completed"] == len(reqs)
+    # Overload sheds with typed, counted rejections that add up.
+    assert over_pt["shed"] > 0
+    assert over_pt["reject_reasons"] == {"queue_full": over_pt["shed"]}
+    assert len(over_rej) == over_pt["shed"]
+    assert all(exc.reason == "queue_full" for exc in over_rej)
+    assert over_pt["completed"] + over_pt["shed"] == len(reqs)
+    # Batching strictly reduces dispatch count and keeps the device busier.
+    assert dyn_pt["batches"] < solo_pt["batches"]
+    assert dyn_pt["device_busy_fraction"] > solo_pt["device_busy_fraction"]

@@ -209,14 +209,27 @@ class BatchedGpuFFT3D:
                 self._executor.backoff(attempt, "alloc")
         raise AssertionError("unreachable")
 
-    def _ensure_slots(self) -> None:
-        if self._slots and all(
-            self.simulator.is_allocated(s.v) and self.simulator.is_allocated(s.w)
-            for s in self._slots
+    def _ensure_slots(self, needed: int | None = None) -> None:
+        """Hold enough live slots for ``needed`` in-flight entries.
+
+        The pipeline never needs more slots than batch entries, so a
+        singleton batch (a server dispatching an uncoalesced request)
+        allocates one V/WORK pair, not ``n_streams`` of them.  Slots left
+        over from a deeper earlier batch are kept — they are already
+        paid for and the modulo mapping uses whatever depth exists.
+        """
+        target = self.n_streams if needed is None else min(self.n_streams, needed)
+        target = max(target, 1)
+        if (
+            len(self._slots) >= target
+            and all(
+                self.simulator.is_allocated(s.v) and self.simulator.is_allocated(s.w)
+                for s in self._slots
+            )
         ):
             return
         self._drop_slots()
-        for j in range(self.n_streams):
+        for j in range(target):
             try:
                 v = self._allocate_retrying(f"{self._buf}-s{j}-V")
                 w = self._allocate_retrying(f"{self._buf}-s{j}-WORK")
@@ -294,7 +307,7 @@ class BatchedGpuFFT3D:
                             )
                             break
                         try:
-                            self._ensure_slots()
+                            self._ensure_slots(len(entries))
                             slot = self._slots[i % len(self._slots)]
                             outs.append(self._run_entry(i, x, slot, inverse))
                             break

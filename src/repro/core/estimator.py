@@ -17,7 +17,13 @@ from repro.gpu.specs import DeviceSpec
 from repro.gpu.timing import KernelTiming, time_kernel
 from repro.util.units import flops_1d_fft
 
-__all__ = ["FFT3DEstimate", "estimate_fft3d", "estimate_batch_1d"]
+__all__ = [
+    "FFT3DEstimate",
+    "BatchPipelineEstimate",
+    "estimate_fft3d",
+    "estimate_batch_pipelined",
+    "estimate_batch_1d",
+]
 
 #: Real kernels achieve slightly less than the pattern microbenchmark
 #: (extra index arithmetic between bursts, imperfect issue overlap): the
@@ -110,6 +116,79 @@ def estimate_fft3d(
         nominal_flops=plan.flops,
         h2d_seconds=link.transfer_time(n_bytes, "h2d"),
         d2h_seconds=link.transfer_time(n_bytes, "d2h"),
+    )
+
+
+@dataclass(frozen=True)
+class BatchPipelineEstimate:
+    """Predicted makespan of a pipelined same-shape batch.
+
+    The model behind :class:`~repro.core.batch.BatchedGpuFFT3D`'s
+    scheduling: with at least two stream slots the steady-state cost per
+    entry is the *largest* of the three phase times (upload, five
+    kernels, download) while the first entry still pays all three —
+    pipeline fill and drain.  With one slot nothing overlaps and the
+    batch degenerates to ``batch`` sequential round trips.  This is what
+    admission control uses to decide whether a deadline is feasible
+    before any device work happens.
+    """
+
+    device: str
+    shape: tuple[int, int, int]
+    batch: int
+    n_streams: int
+    h2d_seconds: float
+    kernel_seconds: float
+    d2h_seconds: float
+
+    @property
+    def bottleneck_seconds(self) -> float:
+        """The per-entry steady-state cost: the slowest phase."""
+        return max(self.h2d_seconds, self.kernel_seconds, self.d2h_seconds)
+
+    @property
+    def sequential_seconds(self) -> float:
+        """Unpipelined cost: every entry pays all three phases."""
+        return self.batch * (
+            self.h2d_seconds + self.kernel_seconds + self.d2h_seconds
+        )
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Predicted end-to-end batch time on an idle device."""
+        if self.batch == 0:
+            return 0.0
+        if self.n_streams < 2:
+            return self.sequential_seconds
+        fill_drain = self.h2d_seconds + self.kernel_seconds + self.d2h_seconds
+        return fill_drain + (self.batch - 1) * self.bottleneck_seconds
+
+    @property
+    def per_entry_seconds(self) -> float:
+        """Amortized cost of one entry inside the batch."""
+        return self.makespan_seconds / self.batch if self.batch else 0.0
+
+
+def estimate_batch_pipelined(
+    device: DeviceSpec,
+    shape: tuple[int, int, int] | int,
+    precision: str = "single",
+    batch: int = 1,
+    n_streams: int = 3,
+    memsystem: MemorySystem | None = None,
+) -> BatchPipelineEstimate:
+    """Predict a ``batch``-entry pipelined run of the five-step transform."""
+    if batch < 0:
+        raise ValueError("batch must be non-negative")
+    est = estimate_fft3d(device, shape, precision, memsystem)
+    return BatchPipelineEstimate(
+        device=est.device,
+        shape=est.shape,
+        batch=batch,
+        n_streams=n_streams,
+        h2d_seconds=est.h2d_seconds,
+        kernel_seconds=est.on_board_seconds,
+        d2h_seconds=est.d2h_seconds,
     )
 
 

@@ -16,11 +16,19 @@ threads, under the cache lock — is safe.  Kernel specs depend on the
 device, hence the device name in the key; the functional plan itself is
 device-independent, but keying it the same way keeps one cache with one
 invalidation story.
+
+The cache is *bounded*: a long-lived process (the :mod:`repro.serve`
+front door in particular) sees an open-ended stream of distinct shapes,
+so plans are kept in LRU order and the least-recently-requested entry is
+evicted once ``max_entries`` is exceeded.  Evictions are counted in
+:attr:`PlanCache.stats` and fed to observers (so a
+:class:`repro.obs.Profiler` surfaces them as ``plan_cache.evictions``).
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
 
@@ -29,15 +37,20 @@ from repro.fft.twiddle import DEFAULT_CACHE
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.specs import DeviceSpec
 
-__all__ = ["PlanCacheStats", "PlanCache", "PLAN_CACHE"]
+__all__ = ["DEFAULT_MAX_ENTRIES", "PlanCacheStats", "PlanCache", "PLAN_CACHE"]
+
+#: Default LRU bound: generous for any realistic shape working set while
+#: keeping a shape-churning server from growing the cache without limit.
+DEFAULT_MAX_ENTRIES = 128
 
 
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Hit/miss counters snapshot (misses == distinct plans built)."""
+    """Hit/miss/eviction counters snapshot (misses == plans built)."""
 
     hits: int
     misses: int
+    evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -53,14 +66,24 @@ def _normalize(shape) -> tuple[int, int, int]:
 
 
 class PlanCache:
-    """Thread-safe memoizing store for plans and their kernel specs."""
+    """Thread-safe LRU-bounded store for plans and their kernel specs.
 
-    def __init__(self) -> None:
-        self._plans: dict[tuple, FiveStepPlan] = {}
+    ``max_entries`` bounds the number of distinct ``(shape, precision,
+    device)`` plans held at once (``None`` disables eviction); requests
+    refresh recency, inserts past the bound evict the stalest entry and
+    its kernel specs together.
+    """
+
+    def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        self._plans: OrderedDict[tuple, FiveStepPlan] = OrderedDict()
         self._specs: dict[tuple, list[KernelSpec]] = {}
         self._lock = threading.Lock()
+        self._max_entries = max_entries
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
         self._observers: list[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------
@@ -106,6 +129,7 @@ class PlanCache:
             plan = self._plans.get(key)
             if plan is not None:
                 self._hits += 1
+                self._plans.move_to_end(key)
             else:
                 self._misses += 1
         if plan is not None:
@@ -118,7 +142,22 @@ class PlanCache:
         DEFAULT_CACHE.four_step(plan.rz1, plan.rz2, precision)
         DEFAULT_CACHE.four_step(plan.ry1, plan.ry2, precision)
         with self._lock:
-            return self._plans.setdefault(key, plan)
+            plan = self._plans.setdefault(key, plan)
+            self._plans.move_to_end(key)
+            evicted = self._evict_over_bound()
+        for _ in range(evicted):
+            self._notify("evictions")
+        return plan
+
+    def _evict_over_bound(self) -> int:
+        """Drop LRU entries past ``max_entries``; caller holds the lock."""
+        evicted = 0
+        while self._max_entries is not None and len(self._plans) > self._max_entries:
+            stale_key, _ = self._plans.popitem(last=False)
+            self._specs.pop(stale_key, None)
+            self._evictions += 1
+            evicted += 1
+        return evicted
 
     def step_specs(
         self, shape, precision: str, device: DeviceSpec
@@ -136,7 +175,23 @@ class PlanCache:
     @property
     def stats(self) -> PlanCacheStats:
         with self._lock:
-            return PlanCacheStats(self._hits, self._misses)
+            return PlanCacheStats(self._hits, self._misses, self._evictions)
+
+    @property
+    def max_entries(self) -> int | None:
+        """The LRU bound currently in force (``None`` = unbounded)."""
+        with self._lock:
+            return self._max_entries
+
+    def set_max_entries(self, max_entries: int | None) -> None:
+        """Re-bound the cache; shrinking evicts stalest entries now."""
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None)")
+        with self._lock:
+            self._max_entries = max_entries
+            evicted = self._evict_over_bound()
+        for _ in range(evicted):
+            self._notify("evictions")
 
     def __len__(self) -> int:
         with self._lock:
@@ -149,6 +204,7 @@ class PlanCache:
             self._specs.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
 
 #: The process-wide cache every GPU plan consults.

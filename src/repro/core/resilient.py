@@ -150,6 +150,23 @@ class ResilienceReport:
         """Count one retry attributed to ``fault_class``."""
         self.retries[fault_class] = self.retries.get(fault_class, 0) + 1
 
+    def absorb(self, other: "ResilienceReport") -> "ResilienceReport":
+        """Fold ``other``'s counters into this report; returns self.
+
+        The aggregation a server needs: one report per plan/engine rolls
+        up into a fleet-wide account.  Counter fields add; the time
+        fields are *not* summed (engines sharing one simulator share one
+        clock — use :meth:`capture_timeline` on the aggregate instead).
+        """
+        self.attempts += other.attempts
+        for fault_class, n in other.retries.items():
+            self.retries[fault_class] = self.retries.get(fault_class, 0) + n
+        self.checksum_failures += other.checksum_failures
+        self.checkpoint_restores += other.checkpoint_restores
+        self.device_resets += other.device_resets
+        self.downgrades.extend(other.downgrades)
+        return self
+
     def capture_timeline(self, sim: DeviceSimulator) -> "ResilienceReport":
         """Snapshot time accounting from ``sim``'s timeline; returns self."""
         self.fault_seconds = sim.fault_seconds

@@ -22,7 +22,16 @@ table): ``sim.kernel.seconds``, ``sim.h2d.seconds``, ``sim.d2h.seconds``,
 ``sim.d2h.bytes``, ``sim.kernel.bytes``, ``sim.kernel.flops``,
 ``sim.faulted.seconds``, ``sim.faulted.events``, ``sim.events``,
 ``sim.kernel.gbps``, ``sim.h2d.gbps``, ``sim.d2h.gbps``,
-``plan_cache.hits``, ``plan_cache.misses``, ``multigpu.replans``.
+``plan_cache.hits``, ``plan_cache.misses``, ``plan_cache.evictions``,
+``multigpu.replans``.
+
+The serving layer (:mod:`repro.serve`) records its own family under the
+``serve.`` prefix (DESIGN.md §13): ``serve.submitted``,
+``serve.completed`` (also per ``tenant=`` label), ``serve.rejected``
+(per ``reason=`` label), ``serve.expired``, ``serve.batches``,
+``serve.queue.depth`` (gauge), ``serve.queue.wait.seconds``,
+``serve.first_dispatch.seconds``, ``serve.latency.seconds`` and
+``serve.batch.size`` (histograms, simulated device seconds).
 
 :meth:`MetricsRegistry.snapshot` returns the whole registry as one plain
 dict (JSON-safe) and :meth:`MetricsRegistry.render` as an aligned text
@@ -116,6 +125,33 @@ class Histogram:
     def mean(self) -> float:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (``q`` in [0, 100]).
+
+        Resolution is the decade bucket width: the estimate interpolates
+        linearly inside the bucket holding the rank, clamped to the
+        observed min/max so small samples stay sane.  Good for p50/p99
+        dashboards, not for sub-decade comparisons — keep raw samples
+        when those matter.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.count:
+            return 0.0
+        rank = q / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            if not n:
+                continue
+            if seen + n >= rank:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                frac = (rank - seen) / n
+                est = lo + frac * (hi - lo)
+                return min(max(est, self.min), self.max)
+            seen += n
+        return self.max
 
 
 class MetricsRegistry:

@@ -1,0 +1,55 @@
+"""repro.serve — dynamic-batching FFT service over the simulated stack.
+
+The throughput front door the paper's killer app implies (ZDOCK-style
+docking streams thousands of 3-D FFTs through one card): an
+:class:`FFTServer` accepts concurrent :class:`FFTRequest` submissions
+from many tenants, coalesces compatible requests into pipelined batches
+on a shape/precision/norm/direction key, applies admission control
+(bounded queue, per-tenant quotas, deadline feasibility), schedules with
+priority + earliest-deadline-first + tenant fair-share, and dispatches
+through the existing :class:`~repro.core.batch.BatchedGpuFFT3D` /
+:class:`~repro.core.api.GpuFFT3D` engines with their resilient retry
+machinery and shared :data:`~repro.core.plan_cache.PLAN_CACHE` plans.
+
+See DESIGN.md §13 and the README "Serving" section; the acceptance
+experiment lives in ``benchmarks/bench_serve.py``.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.coalescer import CoalesceDecision, CoalescePolicy, Coalescer
+from repro.serve.errors import (
+    DeadlineExpiredError,
+    InfeasibleDeadlineError,
+    QueueFullError,
+    RejectedError,
+    ServeError,
+    ServerClosedError,
+    TenantQuotaError,
+)
+from repro.serve.queueing import PendingQueue, Ticket
+from repro.serve.request import FFTFuture, FFTRequest, PlanKey
+from repro.serve.scheduler import FairScheduler, SchedulerPolicy
+from repro.serve.server import FFTServer, ServeStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CoalesceDecision",
+    "CoalescePolicy",
+    "Coalescer",
+    "DeadlineExpiredError",
+    "FFTFuture",
+    "FFTRequest",
+    "FFTServer",
+    "FairScheduler",
+    "InfeasibleDeadlineError",
+    "PendingQueue",
+    "PlanKey",
+    "QueueFullError",
+    "RejectedError",
+    "ServeError",
+    "ServeStats",
+    "ServerClosedError",
+    "SchedulerPolicy",
+    "Ticket",
+]

@@ -1,0 +1,93 @@
+"""Admission control: quotas, backpressure, and deadline feasibility.
+
+Runs synchronously inside :meth:`PendingQueue.push`'s lock, so every
+decision sees a consistent queue snapshot and a rejected request is
+*provably* never enqueued.  Three gates, each with its own typed error
+(:mod:`repro.serve.errors`) and metrics ``reason`` slug:
+
+* global depth — enforced by the queue itself (``queue_full``);
+* per-tenant quota — a flooding tenant is bounced at its pending cap
+  while other tenants keep getting in (``tenant_quota``);
+* deadline feasibility — using the
+  :func:`~repro.core.estimator.estimate_batch_pipelined` cost model, a
+  request whose deadline cannot be met even against the *current*
+  backlog is refused up front (``deadline_infeasible``) rather than
+  occupying queue space it is doomed to waste.
+
+Feasibility is deliberately optimistic (backlog is costed at its
+batch-amortized rate): the server prefers to admit a borderline request
+and let the deadline-aware scheduler drop it later than to shed work a
+lucky coalesce could have saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.errors import InfeasibleDeadlineError, TenantQuotaError
+from repro.serve.queueing import PendingQueue, Ticket
+
+__all__ = ["AdmissionPolicy", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Tunable admission gates (the queue's depth bound lives on the queue).
+
+    ``max_pending_per_tenant``
+        Pending-request cap per tenant id (None = unlimited).
+    ``reject_infeasible_deadlines``
+        When True, requests whose deadline cannot be met given the
+        current backlog estimate are refused at submit time.
+    ``deadline_slack``
+        Safety multiplier applied to the predicted completion time
+        before comparing against the deadline (>1 rejects earlier).
+    """
+
+    max_pending_per_tenant: int | None = None
+    reject_infeasible_deadlines: bool = True
+    deadline_slack: float = 1.0
+
+    def __post_init__(self) -> None:
+        if (
+            self.max_pending_per_tenant is not None
+            and self.max_pending_per_tenant < 1
+        ):
+            raise ValueError("max_pending_per_tenant must be >= 1 (or None)")
+        if self.deadline_slack <= 0:
+            raise ValueError("deadline_slack must be positive")
+
+
+class AdmissionController:
+    """Applies an :class:`AdmissionPolicy` to each submitting ticket."""
+
+    def __init__(self, policy: AdmissionPolicy | None = None):
+        self.policy = policy or AdmissionPolicy()
+
+    def check(self, ticket: Ticket, queue: PendingQueue) -> None:
+        """Raise a typed rejection if ``ticket`` must not be enqueued.
+
+        Called by the queue under its lock; on return the ticket is
+        admitted.  The global depth bound has already been enforced.
+        """
+        policy = self.policy
+        if policy.max_pending_per_tenant is not None:
+            if queue.tenant_depth(ticket.tenant) >= policy.max_pending_per_tenant:
+                raise TenantQuotaError(
+                    f"tenant {ticket.tenant!r} at its pending quota "
+                    f"({policy.max_pending_per_tenant})"
+                )
+        if (
+            policy.reject_infeasible_deadlines
+            and ticket.deadline_device_s is not None
+        ):
+            predicted_finish = ticket.admit_device_s + policy.deadline_slack * (
+                queue.backlog_seconds + ticket.est_solo_s
+            )
+            if predicted_finish > ticket.deadline_device_s:
+                budget = ticket.deadline_device_s - ticket.admit_device_s
+                raise InfeasibleDeadlineError(
+                    f"deadline {budget * 1e3:.3f} ms cannot be met: predicted "
+                    f"completion in {(predicted_finish - ticket.admit_device_s) * 1e3:.3f} ms "
+                    f"(backlog {queue.backlog_seconds * 1e3:.3f} ms)"
+                )

@@ -1,0 +1,104 @@
+"""Dynamic batching: when is a plan key's queue worth dispatching?
+
+The throughput case for the five-step kernel is made batch-wide — the
+pipelined engine only beats request-at-a-time dispatch once several
+same-shape transforms ride one plan (DESIGN.md §10).  But a server that
+waits forever for a full batch trades away latency.  The
+:class:`Coalescer` arbitrates with the classic dynamic-batching rule:
+
+* dispatch **full** — a key holding ``max_batch`` requests goes now;
+* dispatch **aged** — a key whose oldest request has waited longer than
+  the ``max_wait_s`` wall-clock window goes with whatever it has;
+* dispatch **drain** — when the server is draining/closing, everything
+  is ripe immediately.
+
+Every decision is returned as a :class:`CoalesceDecision` so the server
+can count dispatch reasons (``serve.coalesce{reason=...}``) — the
+observable that tells an operator whether their window is doing
+anything (all-``full`` means it could shrink; all-``window`` means the
+offered load never fills a batch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serve.queueing import Ticket
+from repro.serve.request import PlanKey
+
+__all__ = ["CoalescePolicy", "CoalesceDecision", "Coalescer"]
+
+
+@dataclass(frozen=True)
+class CoalescePolicy:
+    """Batching knobs.
+
+    ``max_batch``
+        Hard cap on requests per dispatched batch (1 disables batching —
+        the request-at-a-time baseline the benchmark compares against).
+    ``max_wait_s``
+        Wall-clock age of the oldest request at which a partial batch
+        dispatches anyway.  0 means "never hold work back": whatever is
+        queued when the dispatcher looks is taken.
+    """
+
+    max_batch: int = 16
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class CoalesceDecision:
+    """One ripe plan key and why it is ripe (``full``/``window``/``drain``)."""
+
+    key: PlanKey
+    size: int
+    reason: str
+
+
+class Coalescer:
+    """Applies a :class:`CoalescePolicy` to the queue's per-key heads."""
+
+    def __init__(self, policy: CoalescePolicy | None = None):
+        self.policy = policy or CoalescePolicy()
+
+    def ripe(
+        self,
+        heads: dict[PlanKey, tuple[Ticket, int]],
+        now_wall_s: float,
+        draining: bool = False,
+    ) -> list[CoalesceDecision]:
+        """Which keys should dispatch now, given per-key (oldest, depth).
+
+        ``draining`` short-circuits the window: a closing server never
+        holds work hostage to a timer that may outlive it.
+        """
+        out = []
+        for key, (oldest, size) in heads.items():
+            if size >= self.policy.max_batch:
+                out.append(CoalesceDecision(key, size, "full"))
+            elif draining:
+                out.append(CoalesceDecision(key, size, "drain"))
+            elif now_wall_s - oldest.admit_wall_s >= self.policy.max_wait_s:
+                out.append(CoalesceDecision(key, size, "window"))
+        return out
+
+    def next_timeout(
+        self,
+        heads: dict[PlanKey, tuple[Ticket, int]],
+        now_wall_s: float,
+    ) -> float | None:
+        """Seconds until the earliest window expiry (None = no waiters)."""
+        waits = [
+            self.policy.max_wait_s - (now_wall_s - oldest.admit_wall_s)
+            for oldest, size in heads.values()
+            if size < self.policy.max_batch
+        ]
+        if not waits:
+            return None
+        return max(0.0, min(waits))

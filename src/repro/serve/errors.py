@@ -1,0 +1,74 @@
+"""Typed failure surface of the FFT service.
+
+Every way the server can refuse or abandon a request is a distinct
+exception class carrying a stable ``reason`` slug — the same slug the
+metrics layer uses as the ``reason=`` label on ``serve.rejected``, so an
+operator can line up what clients saw with what the counters say.
+
+Two families:
+
+* :class:`RejectedError` — *admission-time* refusals raised synchronously
+  from :meth:`~repro.serve.server.FFTServer.submit`; the request was
+  never enqueued and will never execute.
+* :class:`DeadlineExpiredError` / :class:`ServerClosedError` — *post-
+  admission* abandonment delivered through the request's future: the
+  request was queued but dropped before (or instead of) dispatch.
+
+The disjointness of these paths is the invariant the stress suite pins
+down: no request is ever both rejected and executed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError",
+    "RejectedError",
+    "QueueFullError",
+    "TenantQuotaError",
+    "InfeasibleDeadlineError",
+    "DeadlineExpiredError",
+    "ServerClosedError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for every serving-layer failure."""
+
+    #: Stable slug used as the ``reason=`` metrics label.
+    reason = "serve_error"
+
+
+class RejectedError(ServeError):
+    """Admission refused the request; it was never enqueued."""
+
+    reason = "rejected"
+
+
+class QueueFullError(RejectedError):
+    """Load shed: the bounded pending queue is at capacity."""
+
+    reason = "queue_full"
+
+
+class TenantQuotaError(RejectedError):
+    """The submitting tenant is at its pending-request quota."""
+
+    reason = "tenant_quota"
+
+
+class InfeasibleDeadlineError(RejectedError):
+    """The deadline cannot be met even by an idle device."""
+
+    reason = "deadline_infeasible"
+
+
+class DeadlineExpiredError(ServeError):
+    """Queued too long: the deadline passed before dispatch could finish."""
+
+    reason = "deadline_expired"
+
+
+class ServerClosedError(ServeError):
+    """The server is shut down (or shutting down) and takes no new work."""
+
+    reason = "server_closed"

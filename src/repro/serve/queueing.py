@@ -1,0 +1,219 @@
+"""Bounded, shape-keyed pending store for the FFT service.
+
+The :class:`PendingQueue` is the single synchronized structure between
+the many submitting client threads and the one dispatcher: admission
+runs inside its lock (check-then-enqueue is atomic, so quotas cannot be
+raced past), tickets are kept FIFO per plan key, and a condition
+variable lets the dispatcher sleep until work arrives or its coalescing
+window expires.
+
+The queue also maintains the two running aggregates admission prices
+requests against: per-tenant pending counts and the *backlog estimate*
+— the summed amortized cost (in simulated device seconds) of everything
+already queued, which is how a deadline can be declared infeasible
+before any device work happens.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.serve.errors import QueueFullError
+from repro.serve.request import FFTFuture, FFTRequest, PlanKey
+
+__all__ = ["Ticket", "PendingQueue"]
+
+
+@dataclass
+class Ticket:
+    """One admitted request in flight through the queue → dispatch pipe."""
+
+    request: FFTRequest
+    future: FFTFuture
+    key: PlanKey
+    #: Global admission order; assigned by the queue under its lock.
+    seq: int = -1
+    #: Simulated device time at admission.
+    admit_device_s: float = 0.0
+    #: Wall-clock time at admission (drives the coalescing window).
+    admit_wall_s: float = 0.0
+    #: Absolute deadline on the device clock, or None.
+    deadline_device_s: float | None = None
+    #: Estimated solo cost of this transform (idle device, no batch).
+    est_solo_s: float = 0.0
+    #: Estimated amortized cost inside a steady-state batch.
+    est_amortized_s: float = 0.0
+
+    @property
+    def tenant(self) -> str:
+        """The accounting principal, straight off the request."""
+        return self.request.tenant
+
+    @property
+    def priority(self) -> int:
+        """The priority class, straight off the request."""
+        return self.request.priority
+
+
+@dataclass
+class _KeyQueue:
+    """Per-plan-key FIFO plus its oldest wall-clock arrival."""
+
+    tickets: deque = field(default_factory=deque)
+
+
+class PendingQueue:
+    """Thread-safe bounded multi-key FIFO with admission hooks.
+
+    ``max_depth`` bounds the total pending count; pushing past it raises
+    :class:`~repro.serve.errors.QueueFullError` (the load-shed signal).
+    An optional admission policy object with a ``check(ticket, queue)``
+    method runs inside the lock before the ticket is enqueued, so every
+    policy decision sees a consistent snapshot.
+    """
+
+    def __init__(self, max_depth: int = 256):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._by_key: OrderedDict[PlanKey, _KeyQueue] = OrderedDict()
+        self._depth = 0
+        self._tenant_depth: dict[str, int] = {}
+        self._backlog_s = 0.0
+        self._seq = count()
+
+    # ------------------------------------------------------------------
+    # Introspection (safe to call from admission checks under the lock)
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Total pending tickets."""
+        with self._lock:
+            return self._depth
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Pending tickets for one tenant."""
+        with self._lock:
+            return self._tenant_depth.get(tenant, 0)
+
+    @property
+    def backlog_seconds(self) -> float:
+        """Summed amortized cost estimate of everything pending."""
+        with self._lock:
+            return self._backlog_s
+
+    def keys(self) -> list[PlanKey]:
+        """Plan keys with at least one pending ticket, oldest key first."""
+        with self._lock:
+            return [k for k, q in self._by_key.items() if q.tickets]
+
+    def head_info(self) -> dict[PlanKey, tuple[Ticket, int]]:
+        """Snapshot: per key, the oldest ticket and the key's depth."""
+        with self._lock:
+            return {
+                k: (q.tickets[0], len(q.tickets))
+                for k, q in self._by_key.items()
+                if q.tickets
+            }
+
+    def tickets(self, key: PlanKey) -> list[Ticket]:
+        """Snapshot of one key's pending tickets in admission order."""
+        with self._lock:
+            q = self._by_key.get(key)
+            return list(q.tickets) if q else []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def push(self, ticket: Ticket, admission=None) -> Ticket:
+        """Atomically admit and enqueue; raises typed rejection errors.
+
+        The depth bound is enforced first, then the policy's ``check``;
+        only a fully admitted ticket receives a sequence number.
+        """
+        with self._lock:
+            if self._depth >= self.max_depth:
+                raise QueueFullError(
+                    f"pending queue at capacity ({self.max_depth})"
+                )
+            if admission is not None:
+                admission.check(ticket, self)
+            ticket.seq = next(self._seq)
+            ticket.future.seq = ticket.seq
+            q = self._by_key.get(ticket.key)
+            if q is None:
+                q = self._by_key[ticket.key] = _KeyQueue()
+            q.tickets.append(ticket)
+            self._depth += 1
+            self._tenant_depth[ticket.tenant] = (
+                self._tenant_depth.get(ticket.tenant, 0) + 1
+            )
+            self._backlog_s += ticket.est_amortized_s
+            self._cond.notify_all()
+            return ticket
+
+    def remove_many(self, key: PlanKey, taken: list[Ticket]) -> None:
+        """Remove specific tickets of one key (they were dispatched/dropped)."""
+        if not taken:
+            return
+        gone = {id(t) for t in taken}
+        with self._lock:
+            q = self._by_key.get(key)
+            if q is None:
+                return
+            kept = deque(t for t in q.tickets if id(t) not in gone)
+            removed = len(q.tickets) - len(kept)
+            q.tickets = kept
+            if not kept:
+                self._by_key.pop(key, None)
+            self._depth -= removed
+            for t in taken:
+                self._tenant_depth[t.tenant] = max(
+                    0, self._tenant_depth.get(t.tenant, 0) - 1
+                )
+                self._backlog_s -= t.est_amortized_s
+            if self._backlog_s < 1e-18 or self._depth == 0:
+                self._backlog_s = max(self._backlog_s, 0.0)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Dispatcher parking
+    # ------------------------------------------------------------------
+
+    def wait_for_work(self, timeout: float | None = None) -> bool:
+        """Park until the queue changes (or ``timeout``); True if pending."""
+        with self._lock:
+            if self._depth == 0:
+                self._cond.wait(timeout)
+            return self._depth > 0
+
+    def park(self, timeout: float) -> None:
+        """Sleep on the queue's condition regardless of depth.
+
+        The dispatcher parks here while work is queued but no coalescing
+        window has expired; any push/remove (and :meth:`wake`) ends the
+        nap early so a filling batch dispatches the moment it is full.
+        """
+        with self._lock:
+            self._cond.wait(timeout)
+
+    def wake(self) -> None:
+        """Wake every parked waiter (shutdown, drain, policy change)."""
+        with self._lock:
+            self._cond.notify_all()
+
+    def wait_until_empty(self, timeout: float | None = None) -> bool:
+        """Park until nothing is pending; True when drained."""
+        deadline = None if timeout is None else timeout
+        with self._lock:
+            while self._depth > 0:
+                if not self._cond.wait(deadline):
+                    break
+            return self._depth == 0

@@ -1,0 +1,157 @@
+"""Request and future types for the FFT service.
+
+A client hands the server one :class:`FFTRequest` — the input grid plus
+everything the scheduler needs to place it: plan parameters (shape,
+precision, norm, direction), a priority class, an optional deadline in
+*simulated device seconds*, and the tenant id the fairness and quota
+machinery account against.  ``submit`` returns an :class:`FFTFuture`
+that resolves to the transformed grid (or to a typed
+:mod:`repro.serve.errors` failure) once the dispatcher has run the
+batch the request rode in.
+
+Requests coalesce only when they can share one
+:class:`~repro.core.batch.BatchedGpuFFT3D` plan, so the batch key —
+:func:`FFTRequest.plan_key` — is ``(shape, precision, norm, inverse)``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["PlanKey", "FFTRequest", "FFTFuture"]
+
+
+class PlanKey(NamedTuple):
+    """What must match for two requests to share one batched plan."""
+
+    shape: tuple[int, int, int]
+    precision: str
+    norm: str
+    inverse: bool
+
+    @property
+    def slug(self) -> str:
+        """Filesystem/metric-safe identifier (``32x32x32-single-backward-fwd``)."""
+        nz, ny, nx = self.shape
+        direction = "inv" if self.inverse else "fwd"
+        return f"{nz}x{ny}x{nx}-{self.precision}-{self.norm}-{direction}"
+
+
+def _normalize_shape(shape) -> tuple[int, int, int]:
+    if isinstance(shape, int):
+        shape = (shape, shape, shape)
+    shape = tuple(int(n) for n in shape)
+    if len(shape) != 3:
+        raise ValueError(f"shape must be 3-D, got {shape!r}")
+    return shape
+
+
+@dataclass(frozen=True)
+class FFTRequest:
+    """One client transform: payload plus scheduling envelope.
+
+    Parameters
+    ----------
+    x:
+        The input grid; its shape fixes the plan shape.
+    precision / norm / inverse:
+        Plan parameters, as in :class:`~repro.core.api.GpuFFT3D`.
+    priority:
+        Higher runs sooner; requests of equal priority within a tenant
+        keep submission order.
+    deadline_s:
+        Optional deadline *relative to submission*, in simulated device
+        seconds.  Admission rejects it when infeasible; the scheduler
+        drops it (typed, counted) if the queue outgrows it anyway.
+    tenant:
+        The accounting principal for quotas and fair-share.
+    """
+
+    x: np.ndarray
+    precision: str = "single"
+    norm: str = "backward"
+    inverse: bool = False
+    priority: int = 0
+    deadline_s: float | None = None
+    tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.precision not in ("single", "double"):
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when given")
+        _normalize_shape(np.asarray(self.x).shape)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """The transform shape, derived from the payload."""
+        return _normalize_shape(np.asarray(self.x).shape)
+
+    def plan_key(self) -> PlanKey:
+        """The coalescing key: requests batch iff their keys are equal."""
+        return PlanKey(self.shape, self.precision, self.norm, self.inverse)
+
+
+@dataclass
+class FFTFuture:
+    """Completion handle for one submitted request.
+
+    Thread-safe: the dispatcher resolves it exactly once, any number of
+    client threads may :meth:`result`/:meth:`wait` on it.  Scheduling
+    telemetry (assigned sequence number, the batch it rode in, simulated
+    queue wait) is filled in as the request moves through the pipeline.
+    """
+
+    request: FFTRequest
+    #: Global admission order (assigned by the server at submit time).
+    seq: int = -1
+    #: Identifier of the dispatch batch this request rode in (or None).
+    batch_id: int | None = None
+    #: Number of requests in that batch.
+    batch_size: int = 0
+    #: Simulated seconds between admission and dispatch.
+    queue_wait_s: float = 0.0
+    #: Simulated device time when the result landed.
+    finish_device_s: float = 0.0
+    #: Global completion order (assigned when the future resolves).
+    completion_seq: int = -1
+    _event: threading.Event = field(default_factory=threading.Event, repr=False)
+    _result: np.ndarray | None = field(default=None, repr=False)
+    _exception: BaseException | None = field(default=None, repr=False)
+
+    def done(self) -> bool:
+        """True once resolved (result or failure)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until resolved; returns ``done()``."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """The transformed grid; re-raises the typed failure if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not complete")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The stored failure (None on success); blocks like :meth:`result`."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("request not complete")
+        return self._exception
+
+    def _resolve(self, result: np.ndarray, completion_seq: int) -> None:
+        self._result = result
+        self.completion_seq = completion_seq
+        self._event.set()
+
+    def _fail(self, exc: BaseException, completion_seq: int) -> None:
+        self._exception = exc
+        self.completion_seq = completion_seq
+        self._event.set()

@@ -1,0 +1,123 @@
+"""Multi-tenant scheduling: which ripe batch goes next, who rides in it.
+
+Two decisions per dispatch cycle, both deterministic functions of the
+queue snapshot and the simulated device clock:
+
+**Key selection** — among the coalescer's ripe plan keys, dispatch the
+one whose most urgent ticket wins on ``(priority desc, deadline asc,
+admission seq asc)``.  Priority classes preempt, earliest-deadline-first
+breaks ties inside a class, and FIFO breaks ties among the undeadlined.
+
+**Batch fill** — within the chosen key, tenants take turns: each round
+of the fill takes the most urgent remaining ticket of each tenant
+(tenants ordered by their current most urgent ticket), so a tenant
+flooding the queue cannot crowd a light tenant out of the next batch —
+at ``T`` active tenants everyone gets ≥ ``max_batch // T`` seats.
+Within one ``(tenant, priority)`` class the fill is strictly FIFO for
+equal deadlines (and all-None deadlines), which is the ordering
+guarantee the stress suite asserts; an earlier deadline may overtake.
+
+**Hopeless drop** — before a batch launches, any selected ticket whose
+deadline precedes even its best-case completion (``device_now`` + its
+solo cost estimate) is dropped with a typed
+:class:`~repro.serve.errors.DeadlineExpiredError` instead of burning
+device time on a result nobody can use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.serve.queueing import Ticket
+from repro.serve.request import PlanKey
+
+__all__ = ["SchedulerPolicy", "FairScheduler"]
+
+
+def _urgency(t: Ticket) -> tuple[float, float, int]:
+    """Sort key: higher priority, then earlier deadline, then older seq."""
+    deadline = math.inf if t.deadline_device_s is None else t.deadline_device_s
+    return (-t.priority, deadline, t.seq)
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Scheduling knobs.
+
+    ``drop_hopeless``
+        Drop tickets that cannot meet their deadline even if dispatched
+        immediately (typed error, counted as ``serve.expired``).  Off,
+        they execute anyway and the client learns from the latency.
+    """
+
+    drop_hopeless: bool = True
+
+
+class FairScheduler:
+    """Deterministic priority/EDF/fair-share arbiter over queue snapshots."""
+
+    def __init__(self, policy: SchedulerPolicy | None = None):
+        self.policy = policy or SchedulerPolicy()
+
+    def select_key(
+        self, candidates: dict[PlanKey, list[Ticket]]
+    ) -> PlanKey | None:
+        """The ripe key owning the globally most urgent ticket."""
+        best_key = None
+        best_urgency = None
+        for key, tickets in candidates.items():
+            if not tickets:
+                continue
+            u = min(_urgency(t) for t in tickets)
+            if best_urgency is None or u < best_urgency:
+                best_key, best_urgency = key, u
+        return best_key
+
+    def split_hopeless(
+        self, tickets: list[Ticket], device_now_s: float
+    ) -> tuple[list[Ticket], list[Ticket]]:
+        """Partition into (schedulable, hopeless) against the device clock."""
+        if not self.policy.drop_hopeless:
+            return list(tickets), []
+        viable, hopeless = [], []
+        for t in tickets:
+            if (
+                t.deadline_device_s is not None
+                and device_now_s + t.est_solo_s > t.deadline_device_s
+            ):
+                hopeless.append(t)
+            else:
+                viable.append(t)
+        return viable, hopeless
+
+    def select_batch(self, tickets: list[Ticket], max_batch: int) -> list[Ticket]:
+        """Fair-share fill: round-robin across tenants, urgency within.
+
+        Returns at most ``max_batch`` tickets.  Deterministic: tenants
+        are ordered by their most urgent ticket each round, and each
+        tenant's own tickets are consumed in urgency order (which is
+        FIFO within a ``(tenant, priority)`` class for equal deadlines).
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        per_tenant: dict[str, list[Ticket]] = {}
+        for t in sorted(tickets, key=_urgency):
+            per_tenant.setdefault(t.tenant, []).append(t)
+        queues = {tenant: iter(ts) for tenant, ts in per_tenant.items()}
+        fronts: dict[str, Ticket] = {
+            tenant: next(it) for tenant, it in queues.items()
+        }
+        picked: list[Ticket] = []
+        while fronts and len(picked) < max_batch:
+            # One seat per tenant per round, most urgent front first.
+            for tenant in sorted(fronts, key=lambda te: _urgency(fronts[te])):
+                if len(picked) >= max_batch:
+                    break
+                picked.append(fronts[tenant])
+                nxt = next(queues[tenant], None)
+                if nxt is None:
+                    del fronts[tenant]
+                else:
+                    fronts[tenant] = nxt
+        return picked

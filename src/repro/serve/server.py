@@ -1,0 +1,558 @@
+"""`FFTServer`: the service front door over the simulated FFT stack.
+
+Many concurrent clients submit :class:`~repro.serve.request.FFTRequest`
+objects; one dispatcher keeps the (simulated) device saturated::
+
+    submit() ──admission──► PendingQueue ──coalesce──► FairScheduler
+                                 │                          │
+                       typed rejections              batch per plan key
+                                 │                          │
+                                 ▼                          ▼
+                             FFTFuture ◄──results── BatchedGpuFFT3D
+                                                    (GpuFFT3D for singletons)
+
+Key properties:
+
+* **One device thread.**  All simulator work happens on the dispatcher
+  (or the caller of :meth:`FFTServer.run_pending` in synchronous mode),
+  so the engines and the simulated timeline need no internal locking.
+* **Deterministic results.**  A request's transform rides the exact
+  same plan objects as a standalone
+  :class:`~repro.core.api.GpuFFT3D`/:class:`~repro.core.batch.BatchedGpuFFT3D`
+  run — results are bit-identical to the unserved path regardless of
+  which batch the coalescer formed.
+* **Typed failure surface.**  Everything the server refuses or abandons
+  is a :mod:`repro.serve.errors` class and a metrics counter; no
+  request is ever both rejected and executed.
+* **Observability.**  With a ``profiler=`` attached, every dispatch is
+  traced through the simulator (spans tagged ``serve_batch``) and the
+  ``serve.*`` metric family (queue depth, waits, batch sizes, shed and
+  expiry counts, per-tenant throughput) lands in the same registry as
+  the device-level metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from itertools import count
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.api import GpuFFT3D
+from repro.core.batch import BatchedGpuFFT3D
+from repro.core.estimator import estimate_batch_pipelined
+from repro.core.resilient import ResilienceReport, RetryPolicy
+from repro.gpu.faults import FaultInjector
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.coalescer import CoalescePolicy, Coalescer
+from repro.serve.errors import DeadlineExpiredError, RejectedError, ServerClosedError
+from repro.serve.queueing import PendingQueue, Ticket
+from repro.serve.request import FFTFuture, FFTRequest, PlanKey
+from repro.serve.scheduler import FairScheduler, SchedulerPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.profiler import Profiler
+
+__all__ = ["ServeStats", "FFTServer"]
+
+#: Parking interval for the dispatcher when nothing is ripe; bounds how
+#: late it notices drain/stop flags set without a queue notification.
+_PARK_S = 0.05
+
+
+@dataclass
+class ServeStats:
+    """Point-in-time account of everything the server has decided.
+
+    Counters are lifetime totals; ``queue_depth``/``inflight`` are the
+    live values at snapshot time.  ``rejected`` is keyed by the typed
+    error's ``reason`` slug, ``per_tenant_completed`` by tenant id.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    expired: int = 0
+    failed: int = 0
+    batches: int = 0
+    rejected: dict[str, int] = field(default_factory=dict)
+    per_tenant_completed: dict[str, int] = field(default_factory=dict)
+    queue_depth: int = 0
+    inflight: int = 0
+    device_elapsed_s: float = 0.0
+
+    @property
+    def rejected_total(self) -> int:
+        """Admission rejections across every reason."""
+        return sum(self.rejected.values())
+
+    @property
+    def accepted(self) -> int:
+        """Requests that made it past admission."""
+        return self.submitted - self.rejected_total
+
+
+class FFTServer:
+    """Dynamic-batching, multi-tenant front door for 3-D FFT requests.
+
+    Parameters
+    ----------
+    device / simulator / precision-free:
+        The simulated card all dispatches share; one is created when not
+        given.  Plan parameters come per-request.
+    admission:
+        :class:`~repro.serve.admission.AdmissionPolicy` (quotas, deadline
+        feasibility); ``max_depth`` bounds the pending queue.
+    coalesce:
+        :class:`~repro.serve.coalescer.CoalescePolicy` — batch cap and
+        the max-wait window.  ``max_batch=1`` is the request-at-a-time
+        baseline.
+    scheduler:
+        :class:`~repro.serve.scheduler.SchedulerPolicy` (hopeless-drop).
+    n_streams:
+        Pipeline depth handed to each per-key batch engine.
+    fault_injector / retry_policy:
+        Forwarded to every engine; per-batch recovery (retries, host
+        degradation, device-loss resume) is the engines' existing
+        resilient machinery.
+    profiler:
+        Optional :class:`repro.obs.Profiler`; serve metrics land in its
+        registry and dispatches are traced via the shared simulator.
+    start:
+        When True (default) a daemon dispatcher thread runs the queue;
+        when False the caller drives dispatch with :meth:`run_pending`
+        (fully deterministic — used by tests and benchmarks).
+    max_resident_plans:
+        Engines (and their device buffers) kept warm at once; least
+        recently used engines past the bound release their buffers.
+    clock:
+        Wall-clock source for the coalescing window (injectable for
+        tests).
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec = GEFORCE_8800_GTX,
+        simulator: DeviceSimulator | None = None,
+        admission: AdmissionPolicy | None = None,
+        coalesce: CoalescePolicy | None = None,
+        scheduler: SchedulerPolicy | None = None,
+        max_depth: int = 256,
+        n_streams: int = 3,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        profiler: Profiler | None = None,
+        start: bool = True,
+        name: str = "serve",
+        max_resident_plans: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.device = device
+        self.simulator = simulator or DeviceSimulator(
+            device, fault_injector=fault_injector
+        )
+        self.queue = PendingQueue(max_depth=max_depth)
+        self.coalescer = Coalescer(coalesce)
+        self.scheduler = FairScheduler(scheduler)
+        self._admission = AdmissionController(admission)
+        self.n_streams = n_streams
+        self._fault_injector = fault_injector
+        self._retry_policy = retry_policy
+        self.profiler = profiler
+        self.metrics: MetricsRegistry = (
+            profiler.metrics if profiler is not None else MetricsRegistry()
+        )
+        if profiler is not None:
+            profiler.attach(self.simulator)
+        self._name = name
+        self._clock = clock
+        if max_resident_plans < 1:
+            raise ValueError("max_resident_plans must be at least 1")
+        self._max_resident_plans = max_resident_plans
+        self._engines: dict[PlanKey, BatchedGpuFFT3D] = {}
+        self._singles: dict[PlanKey, GpuFFT3D] = {}
+        self._engine_use: dict[PlanKey, int] = {}
+        self._use_counter = count()
+        self._costs: dict[PlanKey, tuple[float, float]] = {}
+        self._cost_lock = threading.Lock()
+        self._state = threading.Condition()
+        self._stats = ServeStats()
+        self._inflight = 0
+        self._completion_seq = count()
+        self._batch_ids = count()
+        self._closed = False
+        self._draining = False
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        if start:
+            self._thread = threading.Thread(
+                target=self._dispatch_loop, name=f"{name}-dispatcher", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+
+    def submit(self, request: FFTRequest) -> FFTFuture:
+        """Admit one request; returns its future or raises a typed error.
+
+        Thread-safe.  Admission (queue bound, tenant quota, deadline
+        feasibility) runs atomically with the enqueue: a raised
+        :class:`~repro.serve.errors.RejectedError` guarantees the
+        request was never queued and will never execute.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        if not isinstance(request, FFTRequest):
+            raise TypeError("submit() takes an FFTRequest")
+        key = request.plan_key()
+        solo_s, amortized_s = self._cost(key)
+        device_now = self.simulator.elapsed
+        ticket = Ticket(
+            request=request,
+            future=FFTFuture(request),
+            key=key,
+            admit_device_s=device_now,
+            admit_wall_s=self._clock(),
+            deadline_device_s=(
+                None
+                if request.deadline_s is None
+                else device_now + request.deadline_s
+            ),
+            est_solo_s=solo_s,
+            est_amortized_s=amortized_s,
+        )
+        with self._state:
+            self._stats.submitted += 1
+        self.metrics.counter("serve.submitted", "requests").inc()
+        try:
+            self.queue.push(ticket, admission=self._admission)
+        except RejectedError as exc:
+            with self._state:
+                reasons = self._stats.rejected
+                reasons[exc.reason] = reasons.get(exc.reason, 0) + 1
+            self.metrics.counter(
+                "serve.rejected", "requests", {"reason": exc.reason}
+            ).inc()
+            self.metrics.counter("serve.rejected", "requests").inc()
+            raise
+        self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
+        return ticket.future
+
+    def stats(self) -> ServeStats:
+        """Snapshot of the server's lifetime counters and live depths."""
+        with self._state:
+            snap = ServeStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                expired=self._stats.expired,
+                failed=self._stats.failed,
+                batches=self._stats.batches,
+                rejected=dict(self._stats.rejected),
+                per_tenant_completed=dict(self._stats.per_tenant_completed),
+                inflight=self._inflight,
+            )
+        snap.queue_depth = self.queue.depth
+        snap.device_elapsed_s = self.simulator.elapsed
+        return snap
+
+    def resilience_report(self) -> ResilienceReport:
+        """Fleet-wide resilience account folded over every engine."""
+        report = ResilienceReport()
+        for engine in self._engines.values():
+            report.absorb(engine.resilience)
+        for plan in self._singles.values():
+            report.absorb(plan.resilience)
+        return report.capture_timeline(self.simulator)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until queue and in-flight work are empty; True on success.
+
+        In synchronous mode (``start=False``) this dispatches on the
+        caller's thread instead of waiting for one.
+        """
+        if self._thread is None:
+            self.run_pending()
+            return True
+        self.queue.wake()
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._state:
+            self._draining = True
+        try:
+            self.queue.wake()
+            while True:
+                with self._state:
+                    idle = self._inflight == 0
+                if idle and self.queue.depth == 0:
+                    return True
+                if deadline is not None and self._clock() > deadline:
+                    return False
+                time.sleep(0.001)
+        finally:
+            with self._state:
+                self._draining = False
+
+    def run_pending(self) -> int:
+        """Synchronously dispatch everything queued; returns batch count.
+
+        The deterministic drive mode: with ``start=False`` the queue is
+        only consumed here, so batch formation is a pure function of
+        submission order and the policies.
+        """
+        n = 0
+        while self._dispatch_once(draining=True):
+            n += 1
+        return n
+
+    def close(self, discard: bool = False) -> None:
+        """Stop accepting work and shut down (idempotent).
+
+        By default queued requests are drained to completion first; with
+        ``discard=True`` they fail with
+        :class:`~repro.serve.errors.ServerClosedError` instead.  Engines
+        release their device buffers either way.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if discard:
+            self._discard_pending()
+        if self._thread is not None:
+            self._stop.set()
+            self.queue.wake()
+            self._thread.join()
+            self._thread = None
+        else:
+            self.run_pending()
+        for engine in self._engines.values():
+            engine.close()
+        for plan in self._singles.values():
+            plan.close()
+
+    def _discard_pending(self) -> None:
+        for key in self.queue.keys():
+            tickets = self.queue.tickets(key)
+            self.queue.remove_many(key, tickets)
+            for t in tickets:
+                self._finish_failed(t, ServerClosedError("server closed"))
+
+    def __enter__(self) -> "FFTServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+
+    def _cost(self, key: PlanKey) -> tuple[float, float]:
+        """(solo, batch-amortized) predicted seconds for one transform."""
+        with self._cost_lock:
+            cached = self._costs.get(key)
+            if cached is not None:
+                return cached
+        est = estimate_batch_pipelined(
+            self.device,
+            key.shape,
+            key.precision,
+            batch=max(self.coalescer.policy.max_batch, 1),
+            n_streams=self.n_streams,
+            memsystem=self.simulator.memsystem,
+        )
+        solo = est.h2d_seconds + est.kernel_seconds + est.d2h_seconds
+        amortized = est.per_entry_seconds if est.batch else solo
+        with self._cost_lock:
+            return self._costs.setdefault(key, (solo, amortized))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _engine_for(self, key: PlanKey, batch_size: int):
+        """The execution engine for one batch (shared plans via the cache)."""
+        self._engine_use[key] = next(self._use_counter)
+        if batch_size == 1:
+            plan = self._singles.get(key)
+            if plan is None:
+                plan = self._singles[key] = GpuFFT3D(
+                    key.shape,
+                    device=self.device,
+                    simulator=self.simulator,
+                    precision=key.precision,
+                    norm=key.norm,
+                    fault_injector=self._fault_injector,
+                    retry_policy=self._retry_policy,
+                    profiler=self.profiler,
+                    name=f"{self._name}-{key.slug}-solo",
+                )
+            return plan
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = self._engines[key] = BatchedGpuFFT3D(
+                key.shape,
+                device=self.device,
+                simulator=self.simulator,
+                precision=key.precision,
+                norm=key.norm,
+                fault_injector=self._fault_injector,
+                retry_policy=self._retry_policy,
+                n_streams=self.n_streams,
+                profiler=self.profiler,
+                name=f"{self._name}-{key.slug}",
+            )
+        return engine
+
+    def _evict_cold_engines(self) -> None:
+        """Release device buffers of least-recently-used warm engines."""
+        warm = sorted(self._engine_use, key=self._engine_use.get, reverse=True)
+        for key in warm[self._max_resident_plans :]:
+            engine = self._engines.get(key)
+            if engine is not None:
+                engine.close()
+            plan = self._singles.get(key)
+            if plan is not None:
+                plan.release()
+
+    def _dispatch_once(self, draining: bool = False) -> bool:
+        """Run one scheduling cycle; True when any decision was made."""
+        heads = self.queue.head_info()
+        if not heads:
+            return False
+        decisions = self.coalescer.ripe(heads, self._clock(), draining=draining)
+        if not decisions:
+            return False
+        by_key = {d.key: d for d in decisions}
+        candidates = {key: self.queue.tickets(key) for key in by_key}
+        key = self.scheduler.select_key(candidates)
+        if key is None:
+            return False
+        device_now = self.simulator.elapsed
+        viable, hopeless = self.scheduler.split_hopeless(
+            candidates[key], device_now
+        )
+        if hopeless:
+            self.queue.remove_many(key, hopeless)
+            for t in hopeless:
+                budget = (t.deadline_device_s or 0.0) - t.admit_device_s
+                self._finish_expired(
+                    t,
+                    DeadlineExpiredError(
+                        f"deadline of {budget * 1e3:.3f} ms passed before "
+                        f"dispatch (queued {device_now - t.admit_device_s:+.6f} s "
+                        "on the device clock)"
+                    ),
+                )
+        batch = self.scheduler.select_batch(
+            viable, self.coalescer.policy.max_batch
+        )
+        if not batch:
+            return bool(hopeless)
+        self.queue.remove_many(key, batch)
+        with self._state:
+            self._inflight += len(batch)
+        try:
+            self._execute_batch(key, batch, by_key[key].reason, device_now)
+        finally:
+            with self._state:
+                self._inflight -= len(batch)
+                self._state.notify_all()
+        self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
+        return True
+
+    def _execute_batch(
+        self, key: PlanKey, batch: list[Ticket], reason: str, device_now: float
+    ) -> None:
+        batch_id = next(self._batch_ids)
+        now_wall = self._clock()
+        engine = self._engine_for(key, len(batch))
+        try:
+            with self.simulator.annotate(serve_batch=batch_id):
+                if len(batch) == 1:
+                    outs = [
+                        engine.execute(batch[0].request.x, inverse=key.inverse)
+                    ]
+                else:
+                    stacked = engine.execute(
+                        [t.request.x for t in batch], inverse=key.inverse
+                    )
+                    outs = [stacked[i] for i in range(len(batch))]
+        except Exception as exc:  # noqa: BLE001 - typed surface for clients
+            for t in batch:
+                self._finish_failed(t, exc)
+            return
+        finish = self.simulator.elapsed
+        with self._state:
+            self._stats.batches += 1
+        self.metrics.counter("serve.batches", "batches").inc()
+        self.metrics.counter(
+            "serve.coalesce", "batches", {"reason": reason}
+        ).inc()
+        self.metrics.histogram("serve.batch.size", "requests").observe(
+            len(batch)
+        )
+        for t, out in zip(batch, outs):
+            t.future.batch_id = batch_id
+            t.future.batch_size = len(batch)
+            t.future.queue_wait_s = device_now - t.admit_device_s
+            t.future.finish_device_s = finish
+            self.metrics.histogram("serve.queue.wait.seconds", "s").observe(
+                device_now - t.admit_device_s
+            )
+            self.metrics.histogram("serve.first_dispatch.seconds", "s").observe(
+                max(0.0, now_wall - t.admit_wall_s)
+            )
+            self.metrics.histogram("serve.latency.seconds", "s").observe(
+                finish - t.admit_device_s
+            )
+            self.metrics.counter("serve.completed", "requests").inc()
+            self.metrics.counter(
+                "serve.completed", "requests", {"tenant": t.tenant}
+            ).inc()
+            with self._state:
+                self._stats.completed += 1
+                per = self._stats.per_tenant_completed
+                per[t.tenant] = per.get(t.tenant, 0) + 1
+            t.future._resolve(out, next(self._completion_seq))
+        self._evict_cold_engines()
+
+    def _finish_expired(self, t: Ticket, exc: DeadlineExpiredError) -> None:
+        with self._state:
+            self._stats.expired += 1
+        self.metrics.counter("serve.expired", "requests").inc()
+        t.future._fail(exc, next(self._completion_seq))
+
+    def _finish_failed(self, t: Ticket, exc: BaseException) -> None:
+        with self._state:
+            self._stats.failed += 1
+        self.metrics.counter("serve.failed", "requests").inc()
+        t.future._fail(exc, next(self._completion_seq))
+
+    # ------------------------------------------------------------------
+    # Dispatcher thread
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            stop = self._stop.is_set()
+            with self._state:
+                draining = self._draining or stop
+            if self._dispatch_once(draining=draining):
+                continue
+            if stop and self.queue.depth == 0:
+                return
+            heads = self.queue.head_info()
+            if not heads:
+                self.queue.wait_for_work(_PARK_S)
+                continue
+            timeout = self.coalescer.next_timeout(heads, self._clock())
+            park = _PARK_S if timeout is None else min(max(timeout, 1e-4), _PARK_S)
+            self.queue.park(park)

@@ -132,8 +132,44 @@ class TestPipelining:
         engine = BatchedGpuFFT3D(SHAPE, n_streams=3)
         assert engine.n_slots == 0
         engine.forward(_batch(rng, b=2))
-        assert engine.n_slots == 3
+        assert engine.n_slots == 2  # small batch allocates only what it needs
+        engine.forward(_batch(rng, b=8))
+        assert engine.n_slots == 3  # grows to n_streams, never beyond
         engine.close()
+
+
+class TestSmallBatchEdgeCases:
+    """Regression coverage: empty batches and batches below n_streams."""
+
+    def test_empty_batch_does_no_device_work(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        with BatchedGpuFFT3D(SHAPE, simulator=sim) as engine:
+            outs = engine.forward(np.empty((0, N, N, N), np.complex64))
+        assert outs.shape == (0, N, N, N)
+        assert outs.dtype == np.complex64
+        assert sim.elapsed == 0.0
+        assert engine.n_slots == 0  # no buffers were ever allocated
+
+    def test_empty_batch_double_precision_dtype(self):
+        with BatchedGpuFFT3D(SHAPE, precision="double") as engine:
+            outs = engine.forward(np.empty((0, N, N, N), np.complex128))
+        assert outs.shape == (0, N, N, N)
+        assert outs.dtype == np.complex128
+
+    @pytest.mark.parametrize("b", [1, 2])
+    def test_batch_below_n_streams_is_correct(self, rng, b):
+        xs = _batch(rng, b=b)
+        with BatchedGpuFFT3D(SHAPE, n_streams=3) as engine:
+            outs = engine.forward(xs)
+            assert engine.n_slots == b
+        _assert_close(outs, _refs(xs))
+
+    def test_slot_count_never_shrinks(self, rng):
+        with BatchedGpuFFT3D(SHAPE, n_streams=3) as engine:
+            engine.forward(_batch(rng, b=3))
+            assert engine.n_slots == 3
+            engine.forward(_batch(rng, b=1))  # reuses the warm slots
+            assert engine.n_slots == 3
 
 
 class TestBufferLifetime:

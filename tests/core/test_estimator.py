@@ -124,3 +124,40 @@ class TestBatch1D:
         inp = estimate_batch_1d(GEFORCE_8800_GTS, 256, 65536, out_of_place=False)
         outp = estimate_batch_1d(GEFORCE_8800_GTS, 256, 65536, out_of_place=True)
         assert outp.seconds >= inp.seconds * 0.98
+
+
+class TestBatchPipelined:
+    """estimate_batch_pipelined: the serving layer's batch cost model."""
+
+    def test_batch_of_one_matches_solo_estimate(self):
+        from repro.core.estimator import estimate_batch_pipelined
+
+        est = estimate_batch_pipelined(GEFORCE_8800_GTX, (256, 256, 256))
+        solo = estimate_fft3d(GEFORCE_8800_GTX, 256)
+        assert est.makespan_seconds == pytest.approx(solo.total_seconds)
+        assert est.sequential_seconds == pytest.approx(solo.total_seconds)
+
+    def test_pipelining_amortizes_per_entry_cost(self):
+        from repro.core.estimator import estimate_batch_pipelined
+
+        est = estimate_batch_pipelined(GEFORCE_8800_GTX, (256, 256, 256), batch=8)
+        assert est.makespan_seconds < est.sequential_seconds
+        assert est.per_entry_seconds < est.sequential_seconds / 8 * 1.001
+        # Makespan is bounded below by the bottleneck engine alone.
+        assert est.makespan_seconds > 8 * est.bottleneck_seconds
+
+    def test_single_stream_degenerates_to_sequential(self):
+        from repro.core.estimator import estimate_batch_pipelined
+
+        est = estimate_batch_pipelined(
+            GEFORCE_8800_GTX, (256, 256, 256), batch=8, n_streams=1
+        )
+        assert est.makespan_seconds == pytest.approx(est.sequential_seconds)
+
+    def test_negative_batch_rejected_and_empty_batch_free(self):
+        from repro.core.estimator import estimate_batch_pipelined
+
+        with pytest.raises(ValueError, match="batch"):
+            estimate_batch_pipelined(GEFORCE_8800_GTX, (256, 256, 256), batch=-1)
+        est = estimate_batch_pipelined(GEFORCE_8800_GTX, (256, 256, 256), batch=0)
+        assert est.makespan_seconds == 0.0

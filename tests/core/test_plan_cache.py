@@ -76,6 +76,73 @@ class TestPlanCache:
         assert len(a) == 5
 
 
+class TestLruBound:
+    def test_eviction_drops_least_recently_used(self):
+        cache = PlanCache(max_entries=2)
+        a = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((64, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)  # refresh a
+        cache.five_step((32, 64, 32), "single", GEFORCE_8800_GTX)  # evicts 64x
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The refreshed entry survived; the stale one is rebuilt on demand.
+        assert cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX) is a
+        misses = cache.stats.misses
+        cache.five_step((64, 32, 32), "single", GEFORCE_8800_GTX)
+        assert cache.stats.misses == misses + 1
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = PlanCache(max_entries=None)
+        for n in (32, 64, 128):
+            cache.five_step((n, 32, 32), "single", GEFORCE_8800_GTX)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 0
+
+    def test_set_max_entries_shrinks_immediately(self):
+        cache = PlanCache(max_entries=8)
+        for n in (32, 64, 128):
+            cache.five_step((n, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.set_max_entries(1)
+        assert cache.max_entries == 1
+        assert len(cache) == 1
+        assert cache.stats.evictions == 2
+
+    def test_step_specs_evicted_with_plan(self):
+        cache = PlanCache(max_entries=1)
+        a = cache.step_specs((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((64, 32, 32), "single", GEFORCE_8800_GTX)
+        b = cache.step_specs((32, 32, 32), "single", GEFORCE_8800_GTX)
+        assert a is not b  # rebuilt after eviction, not stale-served
+
+    def test_clear_resets_eviction_count(self):
+        cache = PlanCache(max_entries=1)
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((64, 32, 32), "single", GEFORCE_8800_GTX)
+        assert cache.stats.evictions == 1
+        cache.clear()
+        assert cache.stats.evictions == 0
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            PlanCache(max_entries=0)
+
+    def test_evictions_reach_profiler_counter(self):
+        from repro.obs.profiler import Profiler
+
+        old_bound = PLAN_CACHE.max_entries
+        PLAN_CACHE.clear()
+        try:
+            with Profiler() as prof:
+                PLAN_CACHE.set_max_entries(1)
+                PLAN_CACHE.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+                PLAN_CACHE.five_step((64, 32, 32), "single", GEFORCE_8800_GTX)
+                snap = prof.snapshot()["counters"]
+                assert snap["plan_cache.evictions"]["value"] == 1
+        finally:
+            PLAN_CACHE.set_max_entries(old_bound)
+            PLAN_CACHE.clear()
+
+
 class TestApiIntegration:
     def test_two_plans_share_one_cached_plan(self):
         """A second GpuFFT3D for the same key is served from the cache."""

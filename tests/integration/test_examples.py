@@ -24,6 +24,7 @@ CASES = [
     ("dns_taylor_green.py", ["16", "6"], "kinetic energy"),
     ("warp_level_demo.py", [], "coalesced"),
     ("trace_explorer.py", ["16", "4"], "ui.perfetto.dev"),
+    ("serve_demo.py", ["24"], "dynamic batching"),
 ]
 
 

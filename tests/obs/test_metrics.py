@@ -136,3 +136,31 @@ class TestRecordSpan:
         reg = MetricsRegistry()
         reg.record_span(_span("h2d", 0.0, bytes_moved=1024))
         assert reg.histogram("sim.h2d.gbps", "GB/s").count == 0
+
+
+class TestHistogramPercentile:
+    def test_percentile_brackets_the_distribution(self):
+        h = Histogram("h", "s")
+        for v in (1e-3, 2e-3, 5e-3, 8e-3, 2e-2):
+            h.observe(v)
+        p50 = h.percentile(50)
+        p99 = h.percentile(99)
+        assert h.min <= p50 <= p99 <= h.max
+        assert p50 < 1e-2  # median sits in the 1e-3..1e-2 decade
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        h = Histogram("h", "s")
+        for v in (1e-3, 4e-3, 9e-3):
+            h.observe(v)
+        assert h.percentile(0) == pytest.approx(h.min)
+        assert h.percentile(100) == pytest.approx(h.max)
+
+    def test_empty_histogram_percentile_is_zero(self):
+        assert Histogram("h", "s").percentile(50) == 0.0
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("h", "s")
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)

@@ -1,0 +1,96 @@
+"""Admission gates: quotas and deadline feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.errors import InfeasibleDeadlineError, TenantQuotaError
+from repro.serve.queueing import PendingQueue, Ticket
+from repro.serve.request import FFTFuture, FFTRequest
+
+
+def _ticket(tenant="t0", deadline=None, solo=1.0, amortized=0.5, now=0.0):
+    req = FFTRequest(
+        np.ones((8, 8, 8), np.complex64),
+        tenant=tenant,
+        deadline_s=deadline,
+    )
+    return Ticket(
+        request=req,
+        future=FFTFuture(req),
+        key=req.plan_key(),
+        admit_device_s=now,
+        deadline_device_s=None if deadline is None else now + deadline,
+        est_solo_s=solo,
+        est_amortized_s=amortized,
+    )
+
+
+class TestTenantQuota:
+    def test_quota_bounces_flooding_tenant_only(self):
+        q = PendingQueue(max_depth=16)
+        ctl = AdmissionController(AdmissionPolicy(max_pending_per_tenant=2))
+        q.push(_ticket("loud"), admission=ctl)
+        q.push(_ticket("loud"), admission=ctl)
+        with pytest.raises(TenantQuotaError):
+            q.push(_ticket("loud"), admission=ctl)
+        # A different tenant still gets in.
+        q.push(_ticket("quiet"), admission=ctl)
+        assert q.tenant_depth("loud") == 2
+        assert q.tenant_depth("quiet") == 1
+
+    def test_no_quota_by_default(self):
+        q = PendingQueue(max_depth=16)
+        ctl = AdmissionController()
+        for _ in range(10):
+            q.push(_ticket("loud"), admission=ctl)
+        assert q.tenant_depth("loud") == 10
+
+
+class TestDeadlineFeasibility:
+    def test_impossible_deadline_rejected_up_front(self):
+        q = PendingQueue(max_depth=16)
+        ctl = AdmissionController()
+        with pytest.raises(InfeasibleDeadlineError):
+            q.push(_ticket(deadline=0.5, solo=1.0), admission=ctl)
+        assert q.depth == 0
+
+    def test_feasible_deadline_admitted(self):
+        q = PendingQueue(max_depth=16)
+        ctl = AdmissionController()
+        q.push(_ticket(deadline=2.0, solo=1.0), admission=ctl)
+        assert q.depth == 1
+
+    def test_backlog_makes_deadline_infeasible(self):
+        q = PendingQueue(max_depth=16)
+        ctl = AdmissionController()
+        for _ in range(4):
+            q.push(_ticket(amortized=0.5), admission=ctl)
+        # Backlog now 2.0s; a 2.1s deadline cannot absorb backlog + solo.
+        with pytest.raises(InfeasibleDeadlineError):
+            q.push(_ticket(deadline=2.1, solo=1.0), admission=ctl)
+
+    def test_feasibility_check_can_be_disabled(self):
+        q = PendingQueue(max_depth=16)
+        ctl = AdmissionController(
+            AdmissionPolicy(reject_infeasible_deadlines=False)
+        )
+        q.push(_ticket(deadline=0.5, solo=1.0), admission=ctl)
+        assert q.depth == 1
+
+    def test_slack_rejects_earlier(self):
+        q = PendingQueue(max_depth=16)
+        strict = AdmissionController(AdmissionPolicy(deadline_slack=2.0))
+        with pytest.raises(InfeasibleDeadlineError):
+            q.push(_ticket(deadline=1.5, solo=1.0), admission=strict)
+        relaxed = AdmissionController(AdmissionPolicy(deadline_slack=1.0))
+        q.push(_ticket(deadline=1.5, solo=1.0), admission=relaxed)
+        assert q.depth == 1
+
+
+class TestPolicyValidation:
+    def test_bad_policy_values_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_pending_per_tenant=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(deadline_slack=0.0)

@@ -1,0 +1,78 @@
+"""Coalescing decisions: full / window / drain ripeness and timeouts."""
+
+import numpy as np
+import pytest
+
+from repro.serve.coalescer import CoalescePolicy, Coalescer
+from repro.serve.queueing import Ticket
+from repro.serve.request import FFTFuture, FFTRequest
+
+
+def _heads(*entries):
+    """Build a head_info-style dict from (n, arrival_wall_s, size)."""
+    out = {}
+    for n, wall, size in entries:
+        req = FFTRequest(np.ones((n, n, n), np.complex64))
+        t = Ticket(
+            request=req,
+            future=FFTFuture(req),
+            key=req.plan_key(),
+            admit_wall_s=wall,
+        )
+        out[t.key] = (t, size)
+    return out
+
+
+class TestRipeness:
+    def test_full_batch_dispatches_immediately(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=10.0))
+        decisions = c.ripe(_heads((8, 0.0, 4)), now_wall_s=0.0)
+        assert [d.reason for d in decisions] == ["full"]
+
+    def test_young_partial_batch_waits(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=10.0))
+        assert c.ripe(_heads((8, 0.0, 2)), now_wall_s=1.0) == []
+
+    def test_aged_partial_batch_dispatches(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=10.0))
+        decisions = c.ripe(_heads((8, 0.0, 2)), now_wall_s=10.5)
+        assert [d.reason for d in decisions] == ["window"]
+
+    def test_draining_makes_everything_ripe(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=10.0))
+        decisions = c.ripe(_heads((8, 0.0, 1)), now_wall_s=0.0, draining=True)
+        assert [d.reason for d in decisions] == ["drain"]
+
+    def test_zero_window_never_holds_work(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=0.0))
+        decisions = c.ripe(_heads((8, 5.0, 1)), now_wall_s=5.0)
+        assert [d.reason for d in decisions] == ["window"]
+
+    def test_keys_decided_independently(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=10.0))
+        heads = _heads((8, 0.0, 4), (16, 8.0, 2))
+        reasons = {d.key.shape: d.reason for d in c.ripe(heads, now_wall_s=9.0)}
+        assert reasons == {(8, 8, 8): "full"}
+
+
+class TestTimeouts:
+    def test_next_timeout_is_earliest_window_expiry(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=10.0))
+        heads = _heads((8, 0.0, 2), (16, 5.0, 2))
+        assert c.next_timeout(heads, now_wall_s=6.0) == pytest.approx(4.0)
+
+    def test_full_keys_do_not_set_timeouts(self):
+        c = Coalescer(CoalescePolicy(max_batch=2, max_wait_s=10.0))
+        assert c.next_timeout(_heads((8, 0.0, 2)), now_wall_s=0.0) is None
+
+    def test_expired_window_clamps_to_zero(self):
+        c = Coalescer(CoalescePolicy(max_batch=4, max_wait_s=1.0))
+        assert c.next_timeout(_heads((8, 0.0, 2)), now_wall_s=9.0) == 0.0
+
+
+class TestPolicyValidation:
+    def test_bad_policy_values_rejected(self):
+        with pytest.raises(ValueError):
+            CoalescePolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            CoalescePolicy(max_wait_s=-1.0)

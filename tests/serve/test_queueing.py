@@ -1,0 +1,86 @@
+"""Bounded queue invariants: atomic admission, accounting, removal."""
+
+import numpy as np
+import pytest
+
+from repro.serve.errors import QueueFullError, TenantQuotaError
+from repro.serve.queueing import PendingQueue, Ticket
+from repro.serve.request import FFTFuture, FFTRequest
+
+
+def _ticket(tenant="t0", n=8, amortized=0.5):
+    req = FFTRequest(np.ones((n, n, n), np.complex64), tenant=tenant)
+    return Ticket(
+        request=req,
+        future=FFTFuture(req),
+        key=req.plan_key(),
+        est_amortized_s=amortized,
+    )
+
+
+class TestPendingQueue:
+    def test_push_assigns_monotone_seq(self):
+        q = PendingQueue(max_depth=8)
+        seqs = [q.push(_ticket()).seq for _ in range(4)]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_depth_bound_sheds(self):
+        q = PendingQueue(max_depth=2)
+        q.push(_ticket())
+        q.push(_ticket())
+        with pytest.raises(QueueFullError):
+            q.push(_ticket())
+        assert q.depth == 2
+
+    def test_rejected_ticket_never_enqueued(self):
+        class _DenyAll:
+            def check(self, ticket, queue):
+                raise TenantQuotaError("no")
+
+        q = PendingQueue(max_depth=8)
+        t = _ticket()
+        with pytest.raises(TenantQuotaError):
+            q.push(t, admission=_DenyAll())
+        assert q.depth == 0
+        assert t.seq == -1  # never admitted
+
+    def test_tenant_and_backlog_accounting(self):
+        q = PendingQueue(max_depth=8)
+        a = q.push(_ticket("a", amortized=0.25))
+        q.push(_ticket("a", amortized=0.25))
+        q.push(_ticket("b", amortized=0.5))
+        assert q.tenant_depth("a") == 2
+        assert q.tenant_depth("b") == 1
+        assert q.backlog_seconds == pytest.approx(1.0)
+        q.remove_many(a.key, [a])
+        assert q.tenant_depth("a") == 1
+        assert q.backlog_seconds == pytest.approx(0.75)
+
+    def test_per_key_fifo_snapshots(self):
+        q = PendingQueue(max_depth=8)
+        small = [q.push(_ticket(n=8)) for _ in range(2)]
+        big = q.push(_ticket(n=16))
+        assert q.keys() == [small[0].key, big.key]
+        assert q.tickets(small[0].key) == small
+        heads = q.head_info()
+        assert heads[small[0].key] == (small[0], 2)
+        assert heads[big.key] == (big, 1)
+
+    def test_remove_clears_empty_key(self):
+        q = PendingQueue(max_depth=8)
+        t = q.push(_ticket())
+        q.remove_many(t.key, [t])
+        assert q.keys() == []
+        assert q.depth == 0
+
+    def test_wait_until_empty(self):
+        q = PendingQueue(max_depth=8)
+        assert q.wait_until_empty(timeout=0.01)
+        t = q.push(_ticket())
+        assert not q.wait_until_empty(timeout=0.01)
+        q.remove_many(t.key, [t])
+        assert q.wait_until_empty(timeout=0.01)
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            PendingQueue(max_depth=0)

@@ -1,0 +1,85 @@
+"""Request envelope, plan keys, and future semantics."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.errors import DeadlineExpiredError
+from repro.serve.request import FFTFuture, FFTRequest, PlanKey
+
+
+def _x(n=8):
+    return np.ones((n, n, n), np.complex64)
+
+
+class TestFFTRequest:
+    def test_shape_derived_from_payload(self):
+        req = FFTRequest(np.zeros((4, 8, 16), np.complex64))
+        assert req.shape == (4, 8, 16)
+
+    def test_plan_key_groups_compatible_requests(self):
+        a = FFTRequest(_x(), tenant="a", priority=3)
+        b = FFTRequest(_x(), tenant="b", priority=0, deadline_s=1.0)
+        assert a.plan_key() == b.plan_key()
+
+    def test_plan_key_separates_incompatible_requests(self):
+        base = FFTRequest(_x())
+        assert base.plan_key() != FFTRequest(_x(16)).plan_key()
+        assert base.plan_key() != FFTRequest(_x(), precision="double").plan_key()
+        assert base.plan_key() != FFTRequest(_x(), norm="ortho").plan_key()
+        assert base.plan_key() != FFTRequest(_x(), inverse=True).plan_key()
+
+    def test_key_slug_is_readable(self):
+        key = FFTRequest(_x(), inverse=True).plan_key()
+        assert key.slug == "8x8x8-single-backward-inv"
+
+    def test_bad_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            FFTRequest(_x(), precision="half")
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            FFTRequest(_x(), deadline_s=0.0)
+
+    def test_non_3d_payload_rejected(self):
+        with pytest.raises(ValueError, match="3-D"):
+            FFTRequest(np.zeros((4, 4), np.complex64))
+
+
+class TestPlanKey:
+    def test_is_hashable_and_ordered_fields(self):
+        k = PlanKey((8, 8, 8), "single", "backward", False)
+        assert k == PlanKey((8, 8, 8), "single", "backward", False)
+        assert len({k, PlanKey((8, 8, 8), "single", "backward", True)}) == 2
+
+
+class TestFFTFuture:
+    def test_result_blocks_until_resolved(self):
+        fut = FFTFuture(FFTRequest(_x()))
+        out = _x()
+
+        def resolve():
+            fut._resolve(out, 0)
+
+        t = threading.Timer(0.01, resolve)
+        t.start()
+        try:
+            assert fut.result(timeout=5.0) is out
+        finally:
+            t.join()
+        assert fut.done()
+        assert fut.exception() is None
+        assert fut.completion_seq == 0
+
+    def test_failure_reraises_typed_error(self):
+        fut = FFTFuture(FFTRequest(_x()))
+        fut._fail(DeadlineExpiredError("too late"), 7)
+        assert isinstance(fut.exception(), DeadlineExpiredError)
+        with pytest.raises(DeadlineExpiredError):
+            fut.result()
+
+    def test_unresolved_result_times_out(self):
+        fut = FFTFuture(FFTRequest(_x()))
+        with pytest.raises(TimeoutError):
+            fut.result(timeout=0.001)

@@ -1,0 +1,108 @@
+"""Scheduler policies: priority, EDF, tenant fair-share, hopeless drop."""
+
+import numpy as np
+
+from repro.serve.queueing import Ticket
+from repro.serve.request import FFTFuture, FFTRequest
+from repro.serve.scheduler import FairScheduler, SchedulerPolicy
+
+_SEQ = iter(range(10_000))
+
+
+def _ticket(tenant="t0", priority=0, deadline=None, n=8, solo=1.0):
+    req = FFTRequest(
+        np.ones((n, n, n), np.complex64),
+        tenant=tenant,
+        priority=priority,
+        deadline_s=deadline,
+    )
+    t = Ticket(
+        request=req,
+        future=FFTFuture(req),
+        key=req.plan_key(),
+        seq=next(_SEQ),
+        deadline_device_s=deadline,
+        est_solo_s=solo,
+    )
+    return t
+
+
+class TestKeySelection:
+    def test_highest_priority_key_wins(self):
+        s = FairScheduler()
+        lo = [_ticket(n=8, priority=0)]
+        hi = [_ticket(n=16, priority=5)]
+        key = s.select_key({lo[0].key: lo, hi[0].key: hi})
+        assert key == hi[0].key
+
+    def test_earliest_deadline_breaks_priority_ties(self):
+        s = FairScheduler()
+        soon = [_ticket(n=8, deadline=1.0)]
+        late = [_ticket(n=16, deadline=9.0)]
+        assert s.select_key({late[0].key: late, soon[0].key: soon}) == soon[0].key
+
+    def test_fifo_breaks_remaining_ties(self):
+        s = FairScheduler()
+        first = [_ticket(n=8)]
+        second = [_ticket(n=16)]
+        assert (
+            s.select_key({second[0].key: second, first[0].key: first})
+            == first[0].key
+        )
+
+    def test_empty_candidates(self):
+        assert FairScheduler().select_key({}) is None
+
+
+class TestBatchFill:
+    def test_fifo_within_tenant_and_priority(self):
+        s = FairScheduler()
+        ts = [_ticket("a") for _ in range(5)]
+        picked = s.select_batch(ts, max_batch=3)
+        assert [t.seq for t in picked] == [t.seq for t in ts[:3]]
+
+    def test_priority_jumps_the_line_within_tenant(self):
+        s = FairScheduler()
+        normal = [_ticket("a", priority=0) for _ in range(3)]
+        urgent = _ticket("a", priority=9)
+        picked = s.select_batch(normal + [urgent], max_batch=2)
+        assert picked[0] is urgent
+        assert picked[1] is normal[0]
+
+    def test_tenants_share_a_contended_batch(self):
+        s = FairScheduler()
+        flood = [_ticket("loud") for _ in range(10)]
+        pair = [_ticket("quiet") for _ in range(2)]
+        picked = s.select_batch(flood + pair, max_batch=4)
+        tenants = [t.tenant for t in picked]
+        # Round-robin: both quiet requests ride despite the flood.
+        assert tenants.count("quiet") == 2
+        assert tenants.count("loud") == 2
+
+    def test_fill_is_deterministic(self):
+        s = FairScheduler()
+        ts = [_ticket(f"t{i % 3}") for i in range(9)]
+        a = s.select_batch(list(ts), max_batch=6)
+        b = s.select_batch(list(reversed(ts)), max_batch=6)
+        assert [t.seq for t in a] == [t.seq for t in b]
+
+
+class TestHopelessDrop:
+    def test_unmeetable_deadline_dropped(self):
+        s = FairScheduler()
+        doomed = _ticket(deadline=0.5, solo=1.0)
+        fine = _ticket(deadline=5.0, solo=1.0)
+        viable, hopeless = s.split_hopeless([doomed, fine], device_now_s=0.0)
+        assert viable == [fine]
+        assert hopeless == [doomed]
+
+    def test_clock_advancing_makes_tickets_hopeless(self):
+        s = FairScheduler()
+        t = _ticket(deadline=2.0, solo=1.0)
+        assert s.split_hopeless([t], device_now_s=0.0) == ([t], [])
+        assert s.split_hopeless([t], device_now_s=1.5) == ([], [t])
+
+    def test_drop_can_be_disabled(self):
+        s = FairScheduler(SchedulerPolicy(drop_hopeless=False))
+        doomed = _ticket(deadline=0.5, solo=1.0)
+        assert s.split_hopeless([doomed], device_now_s=9.0) == ([doomed], [])

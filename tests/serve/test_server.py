@@ -1,0 +1,296 @@
+"""FFTServer integration: correctness, policies, metrics, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import GpuFFT3D
+from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.obs.profiler import Profiler
+from repro.serve import (
+    AdmissionPolicy,
+    CoalescePolicy,
+    DeadlineExpiredError,
+    FFTRequest,
+    FFTServer,
+    InfeasibleDeadlineError,
+    QueueFullError,
+    ServerClosedError,
+    TenantQuotaError,
+)
+
+
+def _cubes(rng, n, count, shape=None):
+    shape = shape or (n, n, n)
+    return [
+        (rng.standard_normal(shape) + 1j * rng.standard_normal(shape))
+        .astype(np.complex64)
+        for _ in range(count)
+    ]
+
+
+@pytest.fixture
+def sync_server():
+    srv = FFTServer(
+        start=False, coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0)
+    )
+    yield srv
+    srv.close()
+
+
+class TestDispatchCorrectness:
+    def test_results_match_numpy(self, rng, sync_server):
+        xs = _cubes(rng, 16, 6)
+        futs = [sync_server.submit(FFTRequest(x)) for x in xs]
+        sync_server.run_pending()
+        for f, x in zip(futs, xs):
+            ref = np.fft.fftn(x.astype(np.complex128))
+            err = np.abs(f.result() - ref).max() / np.abs(ref).max()
+            assert err < 2e-3
+
+    def test_results_bit_identical_to_unserved_path(self, rng, sync_server):
+        """The acceptance bit: serving must not perturb the math."""
+        xs = _cubes(rng, 16, 5)
+        futs = [sync_server.submit(FFTRequest(x, norm="ortho")) for x in xs]
+        sync_server.run_pending()
+        with GpuFFT3D((16, 16, 16), norm="ortho") as plan:
+            for f, x in zip(futs, xs):
+                assert np.array_equal(f.result(), plan.forward(x))
+
+    def test_inverse_and_double_precision(self, rng, sync_server):
+        x = _cubes(rng, 16, 1)[0].astype(np.complex128)
+        fut = sync_server.submit(
+            FFTRequest(x, precision="double", inverse=True)
+        )
+        sync_server.run_pending()
+        ref = np.fft.ifftn(x)  # backward norm matches numpy's ifftn
+        assert np.abs(fut.result() - ref).max() / np.abs(ref).max() < 1e-10
+
+    def test_mixed_shapes_batch_separately(self, rng, sync_server):
+        small = sync_server.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+        big = sync_server.submit(
+            FFTRequest(_cubes(rng, 0, 1, shape=(32, 16, 16))[0])
+        )
+        small2 = sync_server.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+        sync_server.run_pending()
+        assert small.batch_id == small2.batch_id
+        assert big.batch_id != small.batch_id
+        assert small.batch_size == 2
+        assert big.batch_size == 1
+
+    def test_singleton_dispatch_uses_single_plan(self, rng, sync_server):
+        fut = sync_server.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+        sync_server.run_pending()
+        assert fut.batch_size == 1
+        key = fut.request.plan_key()
+        assert key in sync_server._singles
+        assert key not in sync_server._engines
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_typed_error(self, rng):
+        with FFTServer(
+            start=False,
+            max_depth=3,
+            coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0),
+        ) as srv:
+            xs = _cubes(rng, 16, 5)
+            futs = []
+            shed = 0
+            for x in xs:
+                try:
+                    futs.append(srv.submit(FFTRequest(x)))
+                except QueueFullError:
+                    shed += 1
+            assert shed == 2
+            srv.run_pending()
+            assert all(f.exception() is None for f in futs)
+            s = srv.stats()
+            assert s.rejected == {"queue_full": 2}
+            assert s.completed == 3
+            snap = srv.metrics.snapshot()["counters"]
+            assert snap["serve.rejected{reason=queue_full}"]["value"] == 2
+
+    def test_tenant_quota_enforced(self, rng):
+        with FFTServer(
+            start=False,
+            admission=AdmissionPolicy(max_pending_per_tenant=2),
+        ) as srv:
+            xs = _cubes(rng, 16, 4)
+            srv.submit(FFTRequest(xs[0], tenant="a"))
+            srv.submit(FFTRequest(xs[1], tenant="a"))
+            with pytest.raises(TenantQuotaError):
+                srv.submit(FFTRequest(xs[2], tenant="a"))
+            srv.submit(FFTRequest(xs[3], tenant="b"))
+            assert srv.stats().rejected == {"tenant_quota": 1}
+
+    def test_infeasible_deadline_rejected_at_submit(self, rng):
+        with FFTServer(start=False) as srv:
+            x = _cubes(rng, 16, 1)[0]
+            with pytest.raises(InfeasibleDeadlineError):
+                srv.submit(FFTRequest(x, deadline_s=1e-12))
+            assert srv.stats().rejected == {"deadline_infeasible": 1}
+            assert srv.queue.depth == 0
+
+
+class TestDeadlines:
+    def test_queued_past_deadline_dropped_typed_and_counted(self, rng):
+        srv = FFTServer(
+            start=False,
+            admission=AdmissionPolicy(reject_infeasible_deadlines=False),
+            coalesce=CoalescePolicy(max_batch=8, max_wait_s=0.0),
+        )
+        xs = _cubes(rng, 16, 3)
+        # A generous-deadline request plus one whose budget only covers an
+        # idle dispatch; burn device time first so the latter expires.
+        burn = [srv.submit(FFTRequest(x)) for x in xs[:2]]
+        solo_cost, _ = srv._cost(FFTRequest(xs[2]).plan_key())
+        doomed = srv.submit(FFTRequest(xs[2], deadline_s=solo_cost * 1.01))
+        srv.run_pending()  # first batch (all three?) — same key batches once
+        # All three shared one batch: nothing expired, deadline met or not
+        # by actual completion.  Force the expiry case with a fresh server.
+        srv.close()
+
+        srv2 = FFTServer(
+            start=False,
+            admission=AdmissionPolicy(reject_infeasible_deadlines=False),
+            coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0),
+        )
+        ys = _cubes(rng, 16, 2)
+        first = [srv2.submit(FFTRequest(y)) for y in ys]  # fills batch 1
+        cost, _ = srv2._cost(FFTRequest(ys[0]).plan_key())
+        late = srv2.submit(FFTRequest(ys[0], deadline_s=cost * 0.9))
+        srv2.run_pending()
+        assert all(f.exception() is None for f in first)
+        assert burn[0].exception() is None and doomed.done()
+        assert isinstance(late.exception(), DeadlineExpiredError)
+        s = srv2.stats()
+        assert s.expired == 1
+        assert (
+            srv2.metrics.snapshot()["counters"]["serve.expired"]["value"] == 1
+        )
+        srv2.close()
+
+
+class TestFairness:
+    def test_flooding_tenant_cannot_starve_light_tenant(self, rng):
+        with FFTServer(
+            start=False, coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0)
+        ) as srv:
+            flood = [
+                srv.submit(FFTRequest(x, tenant="loud"))
+                for x in _cubes(rng, 16, 10)
+            ]
+            light = [
+                srv.submit(FFTRequest(x, tenant="quiet"))
+                for x in _cubes(rng, 16, 2)
+            ]
+            srv.run_pending()
+            # Both quiet requests ride the first batch alongside the flood.
+            assert {f.batch_id for f in light} == {0}
+            assert sum(1 for f in flood if f.batch_id == 0) == 2
+
+    def test_priority_preempts_fifo(self, rng):
+        with FFTServer(
+            start=False, coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0)
+        ) as srv:
+            normal = [srv.submit(FFTRequest(x)) for x in _cubes(rng, 16, 3)]
+            urgent = srv.submit(FFTRequest(_cubes(rng, 16, 1)[0], priority=9))
+            srv.run_pending()
+            assert urgent.batch_id == 0
+            assert normal[2].batch_id == 1
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, rng):
+        srv = FFTServer(start=False)
+        srv.close()
+        with pytest.raises(ServerClosedError):
+            srv.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+
+    def test_close_drains_queued_work(self, rng):
+        srv = FFTServer(start=False)
+        futs = [srv.submit(FFTRequest(x)) for x in _cubes(rng, 16, 3)]
+        srv.close()
+        assert all(f.done() and f.exception() is None for f in futs)
+
+    def test_close_discard_fails_queued_futures_typed(self, rng):
+        srv = FFTServer(start=False)
+        futs = [srv.submit(FFTRequest(x)) for x in _cubes(rng, 16, 3)]
+        srv.close(discard=True)
+        assert all(isinstance(f.exception(), ServerClosedError) for f in futs)
+        assert srv.stats().failed == 3
+
+    def test_threaded_server_round_trip(self, rng):
+        with FFTServer(
+            coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.001)
+        ) as srv:
+            xs = _cubes(rng, 16, 8)
+            futs = [srv.submit(FFTRequest(x)) for x in xs]
+            assert srv.drain(timeout=30.0)
+            for f, x in zip(futs, xs):
+                ref = np.fft.fftn(x.astype(np.complex128))
+                assert np.abs(f.result() - ref).max() / np.abs(ref).max() < 2e-3
+
+    def test_engine_eviction_releases_buffers(self, rng):
+        with FFTServer(
+            start=False,
+            max_resident_plans=1,
+            coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0),
+        ) as srv:
+            for shape in ((16, 16, 16), (32, 16, 16)):
+                for x in _cubes(rng, 0, 2, shape=shape):
+                    srv.submit(FFTRequest(x))
+            srv.run_pending()
+            # Only the most recently used engine may still hold slots.
+            warm = [e for e in srv._engines.values() if e.n_slots > 0]
+            assert len(warm) <= 1
+
+
+class TestObservability:
+    def test_profiler_captures_serve_metrics_and_spans(self, rng):
+        with Profiler() as prof:
+            with FFTServer(
+                start=False,
+                profiler=prof,
+                coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0),
+            ) as srv:
+                for x in _cubes(rng, 16, 4):
+                    srv.submit(FFTRequest(x, tenant="t"))
+                srv.run_pending()
+            snap = prof.snapshot()["counters"]
+            assert snap["serve.submitted"]["value"] == 4
+            assert snap["serve.completed"]["value"] == 4
+            assert snap["serve.completed{tenant=t}"]["value"] == 4
+            assert snap["serve.batches"]["value"] == 1
+            hist = prof.metrics.histogram("serve.latency.seconds", "s")
+            assert hist.count == 4
+            # Dispatched device work is traced with the serve batch tag.
+            tagged = [
+                s
+                for s in prof.tracer.spans()
+                if dict(s.tags).get("serve_batch") == 0
+            ]
+            assert tagged
+
+    def test_per_batch_fault_recovery_keeps_results_correct(self, rng):
+        inj = FaultInjector(
+            [
+                FaultSpec("transfer-fail", rate=0.2),
+                FaultSpec("launch-fail", rate=0.1),
+            ],
+            seed=99,
+        )
+        with FFTServer(
+            start=False,
+            fault_injector=inj,
+            coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0),
+        ) as srv:
+            xs = _cubes(rng, 16, 6)
+            futs = [srv.submit(FFTRequest(x)) for x in xs]
+            srv.run_pending()
+            for f, x in zip(futs, xs):
+                ref = np.fft.fftn(x.astype(np.complex128))
+                assert np.abs(f.result() - ref).max() / np.abs(ref).max() < 2e-3
+            report = srv.resilience_report()
+            assert report.attempts > 0
+            assert report.total_retries > 0

@@ -1,0 +1,131 @@
+"""Seeded concurrent-client stress: correctness, FIFO, shed/execute split.
+
+The acceptance workload: 64 threaded clients submit a mixed-shape stream
+against a bounded server.  Every accepted request must come back
+bit-identical to the standalone ``GpuFFT3D`` path (and close to numpy),
+completion order must be FIFO within a (tenant, priority, key) class,
+and no request may be both rejected and executed.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core.api import GpuFFT3D
+from repro.serve import CoalescePolicy, FFTRequest, FFTServer, ServeError
+
+N_CLIENTS = 64
+REQS_PER_CLIENT = 3
+SHAPES = ((16, 16, 16), (32, 16, 16), (16, 16, 32))
+
+
+class _Client:
+    """One submitting thread: a tenant slice of the offered load."""
+
+    def __init__(self, idx, server):
+        self.idx = idx
+        self.tenant = f"tenant-{idx % 8}"
+        self.server = server
+        self.accepted = []  # (request, future, payload)
+        self.rejected = []  # (request, error)
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        rng = np.random.default_rng(1000 + self.idx)
+        for j in range(REQS_PER_CLIENT):
+            shape = SHAPES[(self.idx + j) % len(SHAPES)]
+            x = (
+                rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+            ).astype(np.complex64)
+            req = FFTRequest(
+                x, tenant=self.tenant, priority=self.idx % 2
+            )
+            try:
+                fut = self.server.submit(req)
+            except ServeError as exc:
+                self.rejected.append((req, exc))
+            else:
+                self.accepted.append((req, fut, x))
+
+
+def _run_workload(max_depth):
+    server = FFTServer(
+        max_depth=max_depth,
+        coalesce=CoalescePolicy(max_batch=8, max_wait_s=0.001),
+    )
+    clients = [_Client(i, server) for i in range(N_CLIENTS)]
+    for c in clients:
+        c.thread.start()
+    for c in clients:
+        c.thread.join(timeout=60.0)
+        assert not c.thread.is_alive()
+    assert server.drain(timeout=60.0)
+    stats = server.stats()
+    server.close()
+    return clients, stats
+
+
+class TestConcurrentClients:
+    def test_64_clients_mixed_shapes(self):
+        clients, stats = _run_workload(max_depth=256)
+        accepted = [item for c in clients for item in c.accepted]
+        rejected = [item for c in clients for item in c.rejected]
+        assert len(accepted) + len(rejected) == N_CLIENTS * REQS_PER_CLIENT
+
+        # 1. Every accepted request resolved, none failed.
+        for _, fut, _ in accepted:
+            assert fut.done()
+            assert fut.exception() is None
+
+        # 2. Bit-identical to the unserved GpuFFT3D path, close to numpy.
+        plans = {}
+        try:
+            for req, fut, x in accepted:
+                key = req.plan_key()
+                if key not in plans:
+                    plans[key] = GpuFFT3D(
+                        key.shape, precision=key.precision, norm=key.norm
+                    )
+                ref = plans[key].forward(x)
+                assert np.array_equal(fut.result(), ref)
+                npref = np.fft.fftn(x.astype(np.complex128))
+                err = np.abs(fut.result() - npref).max() / np.abs(npref).max()
+                assert err < 2e-3
+        finally:
+            for plan in plans.values():
+                plan.close()
+
+        # 3. FIFO within each (tenant, priority, key) class: completion
+        #    order follows admission order.
+        classes = {}
+        for req, fut, _ in accepted:
+            cls = (req.tenant, req.priority, req.plan_key())
+            classes.setdefault(cls, []).append(fut)
+        for futs in classes.values():
+            futs.sort(key=lambda f: f.seq)
+            done_order = [f.completion_seq for f in futs]
+            assert done_order == sorted(done_order)
+
+        # 4. Accounting: nothing both rejected and executed, nothing lost.
+        assert stats.completed == len(accepted)
+        assert stats.rejected_total == len(rejected)
+        assert stats.submitted == stats.completed + stats.rejected_total
+        assert stats.expired == 0 and stats.failed == 0
+
+    def test_overloaded_server_sheds_but_stays_consistent(self):
+        clients, stats = _run_workload(max_depth=16)
+        accepted = [item for c in clients for item in c.accepted]
+        rejected = [item for c in clients for item in c.rejected]
+        # Typed rejections only; every rejection carries a counted reason.
+        for _, exc in rejected:
+            assert isinstance(exc, ServeError)
+            assert exc.reason in stats.rejected
+        assert stats.rejected_total == len(rejected)
+        # Accepted work is still all correct despite the shedding.
+        for req, fut, x in accepted:
+            assert fut.exception() is None
+            npref = np.fft.fftn(x.astype(np.complex128))
+            assert (
+                np.abs(fut.result() - npref).max() / np.abs(npref).max() < 2e-3
+            )
+        assert stats.submitted == stats.completed + stats.rejected_total
