@@ -1,0 +1,352 @@
+"""Workspace-pooled zero-copy host path vs the seed allocate-per-step path.
+
+The host execution engine's acceptance experiment: a seeded 64-transform
+single-precision workload (64 x 64^3 entries — one 256^3 grid's worth of
+points, the paper's largest in-core problem) runs through ``FFTServer``
+three times on identical simulated hardware:
+
+* **seed** — ``pooling=False``, ``n_workers=1``: every five-step stage
+  allocates fresh intermediates, results are staged and stack-copied
+  (the pre-workspace behavior, kept verbatim as the ``pooling=False``
+  path);
+* **pooled** — ``pooling=True``, ``n_workers=1``: all intermediates come
+  from the per-plan :class:`~repro.core.workspace.Workspace` arena, the
+  twiddle multiplies are fused into the transpose writes, the transform
+  runs in place on the device buffer and downloads land directly in the
+  caller's result block;
+* **pooled+parallel** — ``pooling=True``, ``n_workers=4``: the pooled
+  engines behind the server's dispatch worker pool (compute capped at
+  the host's core count, so oversubscription never thrashes).
+
+Acceptance: the pooled+parallel configuration must be >= 1.5x faster in
+wall-clock than seed, with every spectrum bit-identical and a 100%
+steady-state arena hit rate.  Results land in ``BENCH_hostpath.json``
+with a ``quick`` section sized for the CI smoke gate::
+
+    python benchmarks/bench_hostpath.py --quick --check-against BENCH_hostpath.json
+
+re-runs the quick workload and fails (exit 1) when the measured speedups
+regress below ``REGRESSION_TOLERANCE`` of the committed baseline —
+comparing speedup *ratios*, not absolute times, so the gate is
+self-normalizing across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+if __package__ in (None, ""):  # CLI: python benchmarks/bench_hostpath.py
+    sys.path.insert(0, str(_ROOT))
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.api import GpuFFT3D
+from repro.core.workspace import Workspace
+from repro.serve import CoalescePolicy, FFTRequest, FFTServer
+
+SPEEDUP_BAR = 1.5
+N_WORKERS = 4
+MAX_BATCH = 4
+#: CI gate: current quick-mode speedup must be >= committed * this.
+REGRESSION_TOLERANCE = 0.8
+
+#: 64 x 64^3 complex64 = exactly one 256^3 grid of points.
+FULL = {"shape": (64, 64, 64), "entries": 64, "rounds": 5}
+QUICK = {"shape": (64, 64, 64), "entries": 16, "rounds": 4}
+
+
+def _workload(shape, entries):
+    rng = np.random.default_rng(20080815)
+    return [
+        (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+            np.complex64
+        )
+        for _ in range(entries)
+    ]
+
+
+def _round(srv, xs):
+    """One full pass of the workload through ``srv``; wall + spectra."""
+    gc.collect()  # keep prior rounds' garbage out of the timing
+    futs = [srv.submit(FFTRequest(x)) for x in xs]
+    t0 = time.perf_counter()
+    srv.run_pending()
+    wall = time.perf_counter() - t0
+    outs = [f.result(timeout=120) for f in futs]
+    return wall, outs
+
+
+#: (payload key, pooling, n_workers) for the three measured configurations.
+_CONFIGS = (
+    ("seed", False, 1),
+    ("pooled", True, 1),
+    ("pooled_parallel", True, N_WORKERS),
+)
+
+
+def _measure(xs, rounds):
+    """Best-of-``rounds`` wall seconds per configuration, interleaved.
+
+    All three servers stay alive and the timed rounds alternate between
+    them (seed, pooled, parallel, seed, ...), so transient host
+    interference — CPU steal on a shared box — lands on at most one
+    round of each configuration and best-of-N discards it; back-to-back
+    per-config runs would let one noisy stretch corrupt a whole
+    configuration.  An untimed warm-up round per server populates
+    engines, arenas and caches first (steady state is what the tentpole
+    optimizes) and doubles as the bit-identity oracle against seed.
+    """
+    servers = {
+        name: FFTServer(
+            start=False,
+            pooling=pooling,
+            n_workers=n_workers,
+            max_depth=4096,
+            coalesce=CoalescePolicy(max_batch=MAX_BATCH, max_wait_s=0.0),
+        )
+        for name, pooling, n_workers in _CONFIGS
+    }
+    best: dict[str, float] = {}
+    identical = True
+    try:
+        ref = None
+        for name, srv in servers.items():  # warm-up + identity check
+            _, outs = _round(srv, xs)
+            if ref is None:
+                ref = outs
+            else:
+                identical = identical and all(
+                    np.array_equal(a, b) for a, b in zip(ref, outs)
+                )
+            del outs
+        for _ in range(rounds):
+            for name, srv in servers.items():
+                wall, outs = _round(srv, xs)
+                del outs
+                best[name] = min(best.get(name, wall), wall)
+    finally:
+        for srv in servers.values():
+            srv.close()
+    return best, identical
+
+
+def _steady_state(shape):
+    """Arena behavior over 20 pooled executions after warm-up."""
+    x = _workload(shape, 1)[0]
+    plan = GpuFFT3D(shape, precision="single", pooling=True)
+    try:
+        plan.forward(x)
+        before = plan.workspace.stats
+        gc.collect()
+        tracemalloc.start()
+        base = tracemalloc.take_snapshot()
+        for _ in range(20):
+            plan.forward(x)
+        gc.collect()
+        growth = tracemalloc.take_snapshot().compare_to(base, "lineno")
+        tracemalloc.stop()
+        after = plan.workspace.stats
+    finally:
+        plan.close()
+    return {
+        "miss_delta": after.misses - before.misses,
+        "hits_delta": after.hits - before.hits,
+        "live_buffers": after.live_buffers,
+        "arena_bytes": after.bytes_allocated,
+        "net_traced_bytes": sum(
+            d.size_diff for d in growth if d.size_diff > 0
+        ),
+    }
+
+
+def _pure_plan_steady_state(shape):
+    """Per-transform core time, seed vs pooled, outside the server."""
+    from repro.core.five_step import FiveStepPlan
+
+    x = _workload(shape, 1)[0]
+    plan = FiveStepPlan(shape, precision="single")
+    ws = Workspace()
+    out = np.empty(shape, np.complex64)
+    reps = 8
+
+    plan.execute(x)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        plan.execute(x)
+    seed_s = (time.perf_counter() - t0) / reps
+
+    plan.execute(x, workspace=ws, out=out)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        plan.execute(x, workspace=ws, out=out)
+    pooled_s = (time.perf_counter() - t0) / reps
+    return {
+        "seed_ms": seed_s * 1e3,
+        "pooled_ms": pooled_s * 1e3,
+        "core_speedup": seed_s / pooled_s,
+    }
+
+
+def run_section(cfg) -> dict:
+    """Run seed / pooled / pooled+parallel over one workload size."""
+    shape, entries, rounds = cfg["shape"], cfg["entries"], cfg["rounds"]
+    xs = _workload(shape, entries)
+
+    best, identical = _measure(xs, rounds)
+    seed_s = best["seed"]
+    pooled_s = best["pooled"]
+    par_s = best["pooled_parallel"]
+
+    return {
+        "shape": list(shape),
+        "entries": entries,
+        "total_points": entries * int(np.prod(shape)),
+        "seed": {
+            "wall_seconds": seed_s,
+            "per_entry_ms": seed_s / entries * 1e3,
+        },
+        "pooled": {
+            "wall_seconds": pooled_s,
+            "per_entry_ms": pooled_s / entries * 1e3,
+        },
+        "pooled_parallel": {
+            "wall_seconds": par_s,
+            "per_entry_ms": par_s / entries * 1e3,
+            "n_workers": N_WORKERS,
+        },
+        "speedup_pooled": seed_s / pooled_s,
+        "speedup_parallel": seed_s / par_s,
+        "bit_identical": identical,
+    }
+
+
+def build_payload(quick_only: bool = False) -> dict:
+    payload = {
+        "speedup_bar": SPEEDUP_BAR,
+        "n_workers": N_WORKERS,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "quick": run_section(QUICK),
+    }
+    if not quick_only:
+        payload["full"] = run_section(FULL)
+        payload["speedup"] = payload["full"]["speedup_parallel"]
+        payload["steady_state"] = _steady_state(FULL["shape"])
+        payload["plan_core"] = _pure_plan_steady_state(FULL["shape"])
+    return payload
+
+
+def _fmt(section, name):
+    return (
+        f"{name}: {section['entries']} x {section['shape']} "
+        f"({section['total_points'] / 1e6:.1f}M points)\n"
+        f"  seed:            {section['seed']['wall_seconds'] * 1e3:8.1f} ms\n"
+        f"  pooled:          {section['pooled']['wall_seconds'] * 1e3:8.1f} ms "
+        f"({section['speedup_pooled']:.2f}x)\n"
+        f"  pooled+parallel: "
+        f"{section['pooled_parallel']['wall_seconds'] * 1e3:8.1f} ms "
+        f"({section['speedup_parallel']:.2f}x, "
+        f"n_workers={section['pooled_parallel']['n_workers']})\n"
+        f"  bit-identical:   {section['bit_identical']}"
+    )
+
+
+def test_hostpath_pooled_speedup(benchmark, show):
+    """Pooled + parallel host path: >= 1.5x over seed, bit-identical."""
+    from benchmarks.conftest import run_once, write_bench_json
+
+    payload = run_once(benchmark, build_payload)
+    path = write_bench_json("hostpath", payload)
+
+    full, quick = payload["full"], payload["quick"]
+    steady = payload["steady_state"]
+    show(
+        "Workspace-pooled host path vs seed",
+        _fmt(full, "full")
+        + "\n"
+        + _fmt(quick, "quick")
+        + f"\nsteady state: {steady['miss_delta']} arena misses / "
+        f"{steady['hits_delta']} hits over 20 runs, "
+        f"{steady['arena_bytes'] / 1e6:.1f} MB arena\n"
+        f"plan core: {payload['plan_core']['seed_ms']:.2f} -> "
+        f"{payload['plan_core']['pooled_ms']:.2f} ms "
+        f"({payload['plan_core']['core_speedup']:.2f}x)\n"
+        f"json: {path}",
+    )
+
+    # The tentpole bar: pooled + parallel dispatch >= 1.5x over seed.
+    assert full["speedup_parallel"] >= SPEEDUP_BAR
+    assert full["speedup_pooled"] >= SPEEDUP_BAR
+    # Pure optimization: every spectrum identical to the seed path.
+    assert full["bit_identical"] and quick["bit_identical"]
+    # Zero steady-state allocation: a warm arena never misses, and no
+    # per-execution numpy allocation survives the loop.
+    assert steady["miss_delta"] == 0
+    assert steady["live_buffers"] == 0
+    assert steady["net_traced_bytes"] < 1 << 20
+
+
+def _check_against(payload: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for metric in ("speedup_pooled", "speedup_parallel"):
+        committed = baseline["quick"][metric]
+        current = payload["quick"][metric]
+        # Cap the reference at the acceptance bar so a lucky committed
+        # run can't ratchet the floor above what the gate is meant to
+        # protect: "still roughly as fast as the seed-vs-pooled contract
+        # promises", not "as fast as the best run ever recorded".
+        floor = min(committed, SPEEDUP_BAR) * REGRESSION_TOLERANCE
+        status = "ok" if current >= floor else "REGRESSION"
+        print(
+            f"{metric}: current {current:.2f}x vs committed {committed:.2f}x "
+            f"(floor {floor:.2f}x) -> {status}"
+        )
+        if current < floor:
+            failures.append(metric)
+    if not payload["quick"]["bit_identical"]:
+        print("bit_identical: False -> REGRESSION")
+        failures.append("bit_identical")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the small CI-smoke workload (no full section)",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        metavar="JSON",
+        help="compare quick-mode speedups against a committed "
+        "BENCH_hostpath.json; exit 1 on regression",
+    )
+    args = parser.parse_args(argv)
+
+    payload = build_payload(quick_only=args.quick)
+    print(_fmt(payload["quick"], "quick"))
+    if "full" in payload:
+        print(_fmt(payload["full"], "full"))
+
+    if args.check_against is not None:
+        return _check_against(payload, args.check_against)
+
+    out = _ROOT / "BENCH_hostpath.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,10 @@
 * :mod:`repro.core.plan_cache` — process-wide plan/twiddle cache keyed by
   ``(shape, precision, device)``;
 * :mod:`repro.core.batch` — :class:`BatchedGpuFFT3D`, stream-pipelined
-  execution of N same-shape transforms through one resilient plan.
+  execution of N same-shape transforms through one resilient plan;
+* :mod:`repro.core.workspace` — :class:`Workspace`, the per-plan arena
+  of shape/dtype-keyed host buffers behind the zero-allocation
+  steady-state execution path.
 """
 
 from repro.core.patterns import (
@@ -45,6 +48,7 @@ from repro.core.resilient import (
 from repro.core.api import GpuFFT3D, gpu_fft3d, gpu_ifft3d
 from repro.core.batch import BatchedGpuFFT3D, gpu_fft3d_batch
 from repro.core.plan_cache import PLAN_CACHE, PlanCache, PlanCacheStats
+from repro.core.workspace import Workspace, WorkspaceStats
 from repro.core.accuracy import AccuracyReport, accuracy_sweep, measure_accuracy
 from repro.core.multi_gpu import MultiGpuBatchEstimate, MultiGpuEstimate, MultiGpuFFT3D
 from repro.core.tuner import TuneResult, tune_multirow_step
@@ -93,6 +97,8 @@ __all__ = [
     "PLAN_CACHE",
     "PlanCache",
     "PlanCacheStats",
+    "Workspace",
+    "WorkspaceStats",
     "AccuracyReport",
     "accuracy_sweep",
     "measure_accuracy",

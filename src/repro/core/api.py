@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.estimator import FFT3DEstimate, estimate_fft3d
 from repro.core.out_of_core import OutOfCoreEstimate, OutOfCorePlan
 from repro.core.plan_cache import PLAN_CACHE
+from repro.core.workspace import Workspace
 from repro.core.resilient import (
     ResilienceReport,
     ResilientExecutor,
@@ -96,6 +97,13 @@ class GpuFFT3D:
         Optional stable plan id used to prefix device buffer names and
         trace annotations; defaults to a process-unique ``fft3dN``.
         Callers sharing one simulator must keep names unique.
+    pooling:
+        Route host execution through a per-plan
+        :class:`~repro.core.workspace.Workspace` arena (default).  Every
+        transform intermediate is then a reused pooled buffer and the
+        twiddle multiplies fuse into the rearrangement writes — zero
+        steady-state heap allocations in the transform loop.  Results are
+        bit-identical to ``pooling=False`` (the seed path).
 
     Transforms larger than device memory transparently take the
     out-of-core path (Section 3.3), staged slab by slab through the
@@ -114,6 +122,7 @@ class GpuFFT3D:
         verify: bool | None = None,
         profiler: Profiler | None = None,
         name: str | None = None,
+        pooling: bool = True,
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -154,6 +163,12 @@ class GpuFFT3D:
             if verify is None
             else verify
         )
+        self.workspace: Workspace | None = None
+        if pooling:
+            self.workspace = Workspace(
+                name=self._buf,
+                metrics=profiler.metrics if profiler is not None else None,
+            )
         self._ooc_estimate: OutOfCoreEstimate | None = None
 
     @property
@@ -198,24 +213,35 @@ class GpuFFT3D:
         ex.h2d(x, self._dev_v, f"{self._buf}-h2d")
         specs = PLAN_CACHE.step_specs(self.shape, self.precision, self.device)
         result: dict[str, np.ndarray] = {}
+        ws = self.workspace
 
         def body() -> None:
-            result["out"] = self._plan.execute(self._dev_v.data, inverse=inverse)
-
-        # Launch the five kernels; the functional work happens on the last
-        # launch (one pass through the plan), the timing on each.
-        for spec in specs[:-1]:
-            ex.launch(spec)
-        ex.launch(specs[-1], body)
-        if self._verify:
-            e_in = float(np.vdot(x, x).real)
-            e_out = float(np.vdot(result["out"], result["out"]).real)
-            if not energy_preserved(e_in, e_out, float(self.total_elements)):
-                raise CorruptionError(
-                    "in-core transform violated the energy invariant "
-                    "(likely an ECC upset of a device buffer)"
+            if ws is None:
+                result["out"] = self._plan.execute(self._dev_v.data, inverse=inverse)
+            else:
+                buf = ws.acquire(self.shape, self._dev_v.data.dtype)
+                result["out"] = self._plan.execute(
+                    self._dev_v.data, inverse=inverse, workspace=ws, out=buf
                 )
-        np.copyto(self._dev_v.data, result["out"])
+
+        try:
+            # Launch the five kernels; the functional work happens on the
+            # last launch (one pass through the plan), the timing on each.
+            for spec in specs[:-1]:
+                ex.launch(spec)
+            ex.launch(specs[-1], body)
+            if self._verify:
+                e_in = float(np.vdot(x, x).real)
+                e_out = float(np.vdot(result["out"], result["out"]).real)
+                if not energy_preserved(e_in, e_out, float(self.total_elements)):
+                    raise CorruptionError(
+                        "in-core transform violated the energy invariant "
+                        "(likely an ECC upset of a device buffer)"
+                    )
+            np.copyto(self._dev_v.data, result["out"])
+        finally:
+            if ws is not None:
+                ws.release(result.get("out"))
         out = np.empty_like(x)
         ex.d2h(self._dev_v, out, f"{self._buf}-d2h")
         return out
@@ -277,6 +303,7 @@ class GpuFFT3D:
                 self._executor,
                 verify=self._verify,
                 name=f"{self._buf}-ooc",
+                workspace=self.workspace,
             )
         except FaultError as exc:
             return self._host_fallback(x, inverse, type(exc).__name__)

@@ -199,10 +199,24 @@ class FiveStepPlan:
     # Functional execution
     # ------------------------------------------------------------------
 
-    def execute(self, x: np.ndarray, inverse: bool = False) -> np.ndarray:
+    def execute(
+        self,
+        x: np.ndarray,
+        inverse: bool = False,
+        *,
+        workspace=None,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Run the transform on the host; un-normalized both directions.
 
         Matches ``numpy.fft.fftn`` forward and ``ifftn * N`` inverse.
+
+        ``workspace`` (a :class:`~repro.core.workspace.Workspace`) runs the
+        pooled zero-allocation path: every intermediate comes from the
+        arena and the twiddle multiplies are fused into the pattern-A/B
+        rearrangement writes.  ``out`` (C-contiguous, plan shape/dtype)
+        receives the spectrum in place.  Values are identical to the seed
+        path either way.
         """
         x = as_complex_array(x, self.precision)
         if x.shape != self.shape:
@@ -211,13 +225,37 @@ class FiveStepPlan:
         wz = self._cache.four_step(self.rz1, self.rz2, self.precision)
         wy = self._cache.four_step(self.ry1, self.ry2, self.precision)
 
+        if out is not None and not out.flags.c_contiguous:
+            raise ValueError("out must be C-contiguous")
+        if out is not None and (out.shape != self.shape or out.dtype != x.dtype):
+            raise ValueError(
+                f"out must be {self.shape} {x.dtype}, got {out.shape} {out.dtype}"
+            )
         state = x.reshape(self.rz2, self.rz1, self.ry2, self.ry1, nx)
-        state = multirow_half1(state, wz, inverse)  # step 1
-        state = multirow_half2(state, inverse)      # step 2
-        state = multirow_half1(state, wy, inverse)  # step 3
-        state = multirow_half2(state, inverse)      # step 4
-        state = shared_x_transform(state, inverse)  # step 5
-        return state.reshape(self.shape)
+        if workspace is None:
+            state = multirow_half1(state, wz, inverse)  # step 1
+            state = multirow_half2(state, inverse)      # step 2
+            state = multirow_half1(state, wy, inverse)  # step 3
+            state = multirow_half2(state, inverse)      # step 4
+            state = shared_x_transform(state, inverse)  # step 5
+            res = state.reshape(self.shape)
+            if out is None:
+                return res
+            np.copyto(out, res)
+            return out
+        ws = workspace
+        b1 = multirow_half1(state, wz, inverse, ws=ws)  # step 1
+        b2 = multirow_half2(b1, inverse, ws=ws)         # step 2
+        ws.release(b1)
+        b3 = multirow_half1(b2, wy, inverse, ws=ws)     # step 3
+        ws.release(b2)
+        b4 = multirow_half2(b3, inverse, ws=ws)         # step 4
+        ws.release(b3)
+        if out is None:
+            out = np.empty(self.shape, b4.dtype)
+        shared_x_transform(b4, inverse, out=out.reshape(b4.shape), ws=ws)
+        ws.release(b4)
+        return out
 
     def execute_steps(self, x: np.ndarray, inverse: bool = False):
         """Yield ``(StepInfo, state)`` after each step (for inspection)."""

@@ -60,29 +60,63 @@ THREADS_PER_BLOCK = 64
 # Functional bodies
 # ----------------------------------------------------------------------
 
-def fft_codelet_axis0(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+def fft_codelet_axis0(
+    state: np.ndarray,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """FFT along axis 0 of an N-D array (vectorized batch).
 
     Dispatches to a straight-line codelet when one exists; oversized
     factors (the out-of-core slabs' 32-point half) recurse through the
     four-step engine.
+
+    With ``out``/``ws`` (keyword-only), the transform is evaluated through
+    strided views — no staging ``ascontiguousarray`` copy on the way in and
+    results written straight into ``out`` (which may itself be a transpose
+    view, fusing the transform into a rearrangement write).  Values are
+    identical to the seed path; ``out`` must not alias ``state``.
     """
-    moved = np.ascontiguousarray(np.moveaxis(state, 0, -1))
-    if moved.shape[-1] in CODELET_SIZES:
-        out = codelet_fft(moved, inverse=inverse)
+    if (out is None and ws is None) or not np.iscomplexobj(state):
+        moved = np.ascontiguousarray(np.moveaxis(state, 0, -1))
+        if moved.shape[-1] in CODELET_SIZES:
+            res = codelet_fft(moved, inverse=inverse)
+        else:
+            res = fft_pow2(moved, inverse=inverse)
+        res = np.moveaxis(res, -1, 0)
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+    moved_in = np.moveaxis(state, 0, -1)
+    if out is None:
+        out = ws.acquire(state.shape, state.dtype)
+    moved_out = np.moveaxis(out, 0, -1)
+    if moved_in.shape[-1] in CODELET_SIZES:
+        codelet_fft(moved_in, inverse=inverse, out=moved_out, ws=ws)
     else:
-        out = fft_pow2(moved, inverse=inverse)
-    return np.moveaxis(out, -1, 0)
+        fft_pow2(moved_in, inverse=inverse, out=moved_out, ws=ws)
+    return out
 
 
 def multirow_half1(
-    state: np.ndarray, twiddle: np.ndarray, inverse: bool = False
+    state: np.ndarray,
+    twiddle: np.ndarray,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """Steps 1 and 3: first half of the split transform (FFT256_1).
 
     Transforms axis 0 (the slow digit of the split axis), applies the
     inter-factor twiddles, and lands the result in the pattern-A layout:
     C axes ``(d0, d1, d2, d3, x) -> (d1, d2, d3, k, x)``.
+
+    On the pooled path the twiddle multiply is fused into the pattern-A
+    transpose write (one pass instead of multiply + transpose copy).
     """
     if state.ndim != 5:
         raise ValueError(f"expected a 5-D state, got shape {state.shape}")
@@ -91,32 +125,75 @@ def multirow_half1(
             f"twiddle shape {twiddle.shape} does not match state "
             f"{state.shape[:2]}"
         )
-    t = fft_codelet_axis0(state, inverse)
     w = np.conj(twiddle) if inverse else twiddle
-    t = t * w[:, :, None, None, None].astype(t.dtype, copy=False)
-    return np.ascontiguousarray(t.transpose(1, 2, 3, 0, 4))
+    if (out is None and ws is None) or not np.iscomplexobj(state):
+        t = fft_codelet_axis0(state, inverse)
+        t = t * w[:, :, None, None, None].astype(t.dtype, copy=False)
+        res = np.ascontiguousarray(t.transpose(1, 2, 3, 0, 4))
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+    d0, d1, d2, d3, nx = state.shape
+    t = fft_codelet_axis0(state, inverse, ws=ws)
+    wb = w[:, :, None, None, None].astype(t.dtype, copy=False)
+    if out is None:
+        out = ws.acquire((d1, d2, d3, d0, nx), t.dtype)
+    # out[i1,i2,i3,i0,ix] = t[i0,i1,i2,i3,ix] * w[i0,i1]: the multiply
+    # writes through the transpose view, fusing pattern-A rearrangement.
+    np.multiply(t, wb, out=out.transpose(3, 0, 1, 2, 4))
+    if ws is not None:
+        ws.release(t)
+    return out
 
 
-def multirow_half2(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+def multirow_half2(
+    state: np.ndarray,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """Steps 2 and 4: second half of the split transform (FFT256_2).
 
     Transforms axis 0 (the fast digit) and lands in the pattern-B layout:
     C axes ``(d0, d1, d2, d3, x) -> (d1, d2, k, d3, x)``.
+
+    On the pooled path the codelet writes through the pattern-B transpose
+    view of ``out`` directly — the rearrangement costs no extra pass.
     """
     if state.ndim != 5:
         raise ValueError(f"expected a 5-D state, got shape {state.shape}")
-    t = fft_codelet_axis0(state, inverse)
-    return np.ascontiguousarray(t.transpose(1, 2, 0, 3, 4))
+    if (out is None and ws is None) or not np.iscomplexobj(state):
+        t = fft_codelet_axis0(state, inverse)
+        res = np.ascontiguousarray(t.transpose(1, 2, 0, 3, 4))
+        if out is None:
+            return res
+        np.copyto(out, res)
+        return out
+    d0, d1, d2, d3, nx = state.shape
+    if out is None:
+        out = ws.acquire((d1, d2, d0, d3, nx), state.dtype)
+    fft_codelet_axis0(state, inverse, out=out.transpose(2, 0, 1, 3, 4), ws=ws)
+    return out
 
 
-def shared_x_transform(state: np.ndarray, inverse: bool = False) -> np.ndarray:
+def shared_x_transform(
+    state: np.ndarray,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """Step 5: in-place transform along the contiguous X axis.
 
     The CUDA original computes each X line with 64 cooperating threads via
     shared memory; functionally it is a batched power-of-two FFT along the
     last axis.
     """
-    return fft_pow2(np.ascontiguousarray(state), inverse=inverse)
+    if out is None and ws is None:
+        return fft_pow2(np.ascontiguousarray(state), inverse=inverse)
+    return fft_pow2(state, inverse=inverse, out=out, ws=ws)
 
 
 # ----------------------------------------------------------------------

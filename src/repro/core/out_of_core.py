@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.estimator import estimate_fft3d
 from repro.core.five_step import FiveStepPlan
 from repro.core.kernels import MULTIROW_REGISTERS, fft_codelet_axis0
-from repro.fft.twiddle import twiddle_table
+from repro.fft.twiddle import DEFAULT_CACHE
 from repro.gpu.access import BurstPattern
 from repro.gpu.isa import InstructionMix
 from repro.gpu.kernel import KernelSpec, MemoryAccessSpec
@@ -156,22 +156,27 @@ class OutOfCorePlan:
         """Decimation twiddles ``W_nz^{i*k2}`` for slab ``i`` (per plane)."""
         nz = self.shape[0]
         sub_nz = nz // self.n_slabs
-        wz = twiddle_table(nz, self.precision)
+        wz = DEFAULT_CACHE.table(nz, self.precision)
         k2 = np.arange(sub_nz)
         return wz[(i * k2) % nz][:, None, None]
 
-    def stage2_compute(self, group: np.ndarray) -> np.ndarray:
+    def stage2_compute(
+        self, group: np.ndarray, *, out: np.ndarray | None = None, workspace=None
+    ) -> np.ndarray:
         """S-point FFTs across the slab axis of one ``k2`` plane group.
 
         FFT over axis 0; the recursive path covers slab counts beyond the
         straight-line codelets.
         """
-        return fft_codelet_axis0(group)
+        return fft_codelet_axis0(group, out=out, ws=workspace)
 
-    def execute(self, x: np.ndarray) -> np.ndarray:
+    def execute(self, x: np.ndarray, *, workspace=None) -> np.ndarray:
         """Forward transform on the host, staged exactly as on the device.
 
-        Matches ``numpy.fft.fftn``; un-normalized.
+        Matches ``numpy.fft.fftn``; un-normalized.  ``workspace`` recycles
+        one slab staging buffer and one slab output buffer across every
+        slab (and routes the per-slab transforms through the pooled path)
+        instead of allocating per slab; results are identical.
         """
         x = as_complex_array(x, self.precision)
         if x.shape != self.shape:
@@ -179,22 +184,46 @@ class OutOfCorePlan:
         nz, ny, nx = self.shape
         s = self.n_slabs
         if s == 1:
-            return FiveStepPlan(self.shape, self.precision).execute(x)
+            return FiveStepPlan(self.shape, self.precision).execute(
+                x, workspace=workspace
+            )
 
         sub_nz = nz // s
         slab_plan = self.slab_plan()
         work = np.empty_like(x)
-        # Stage 1: per-slab 3-D FFT + decimation twiddles.
+        ws = workspace
+        pooled_slab = ws is not None and isinstance(slab_plan, FiveStepPlan)
+        # Stage 1: per-slab 3-D FFT + decimation twiddles; with a
+        # workspace the staging/output buffers are recycled across slabs.
+        slab_buf = ws.acquire(self.slab_shape, x.dtype) if ws is not None else None
+        out_buf = ws.acquire(self.slab_shape, x.dtype) if pooled_slab else None
         for i in range(s):
-            slab = np.ascontiguousarray(x[i::s])  # planes z ≡ i (mod s)
-            out = slab_plan.execute(slab)
+            if slab_buf is None:
+                slab = np.ascontiguousarray(x[i::s])  # planes z ≡ i (mod s)
+            else:
+                np.copyto(slab_buf, x[i::s])
+                slab = slab_buf
+            if pooled_slab:
+                out = slab_plan.execute(slab, workspace=ws, out=out_buf)
+            else:
+                out = slab_plan.execute(slab)
             out *= self.stage1_twiddles(i)
             work[i::s] = out
+        if ws is not None:
+            ws.release(slab_buf)
+            ws.release(out_buf)
         # Stage 2: s-point FFTs across slabs for each k2 plane group.
         result = np.empty_like(x)
+        group_buf = ws.acquire((s, ny, nx), x.dtype) if ws is not None else None
         for k in range(sub_nz):
             group = np.ascontiguousarray(work[k * s : (k + 1) * s])
-            result[k::sub_nz] = self.stage2_compute(group)
+            if group_buf is None:
+                result[k::sub_nz] = self.stage2_compute(group)
+            else:
+                self.stage2_compute(group, out=group_buf, workspace=ws)
+                result[k::sub_nz] = group_buf
+        if ws is not None:
+            ws.release(group_buf)
         return result
 
     # ------------------------------------------------------------------

@@ -1,0 +1,185 @@
+"""Shape/dtype-keyed arena of reusable host buffers.
+
+The paper's thesis is that memory traffic, not arithmetic, is the scarce
+resource.  The host-side reference pipeline used to contradict it: every
+five-step execution allocated ten-plus fresh temporaries (transpose
+staging copies, out-of-place codelet stacks, per-call twiddle casts), so
+steady-state throughput was bound by the allocator and the kernel page
+faults of freshly mmap'd arrays rather than by the transform itself.
+
+:class:`Workspace` is the fix.  It is a per-plan arena: ``acquire`` hands
+out a C-contiguous ``ndarray`` of the requested shape and dtype, reusing
+a previously released buffer of the same footprint when one is free
+(a *hit*) and allocating only on first use (a *miss*).  ``release``
+returns a buffer — or any view of one, e.g. the ``moveaxis`` ping-pong
+views the kernels trade in — to the free list.  After a warm-up
+execution the five-step transform loop runs with zero net heap growth:
+every large buffer it touches comes from, and goes back to, the arena.
+
+Buffers are keyed by ``(shape, dtype)`` exactly; the five-step pipeline
+cycles through a handful of fixed footprints per plan, so exact keying
+gives a 100% steady-state hit rate without the fragmentation of a
+size-class allocator.
+
+Stats (hits / misses / bytes / live buffers) are kept locally and can be
+folded into a :class:`~repro.obs.metrics.MetricsRegistry` so the serving
+observability stack sees arena behaviour next to plan-cache and device
+counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Workspace", "WorkspaceStats"]
+
+
+@dataclass(frozen=True)
+class WorkspaceStats:
+    """Point-in-time arena counters."""
+
+    hits: int
+    misses: int
+    releases: int
+    bytes_allocated: int
+    live_buffers: int
+    free_buffers: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Workspace:
+    """Arena of preallocated, shape/dtype-keyed reusable buffers.
+
+    Parameters
+    ----------
+    name:
+        Label used for metrics registration; defaults to ``"ws"``.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When given,
+        ``workspace.hits`` / ``workspace.misses`` counters and a
+        ``workspace.bytes`` gauge (labelled ``workspace=<name>``) are kept
+        in lockstep with the local stats.
+    """
+
+    def __init__(self, name: str = "ws", metrics=None) -> None:
+        self.name = name
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._live: dict[int, tuple] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._releases = 0
+        self._bytes = 0
+        self._hit_ctr = None
+        self._miss_ctr = None
+        self._bytes_gauge = None
+        if metrics is not None:
+            labels = {"workspace": name}
+            self._hit_ctr = metrics.counter(
+                "workspace.hits", "arena buffer reuses", labels=labels
+            )
+            self._miss_ctr = metrics.counter(
+                "workspace.misses", "arena buffer allocations", labels=labels
+            )
+            self._bytes_gauge = metrics.gauge(
+                "workspace.bytes", "B", labels=labels
+            )
+
+    # -- keying ---------------------------------------------------------
+
+    @staticmethod
+    def _key(shape, dtype) -> tuple:
+        return (tuple(int(s) for s in shape), np.dtype(dtype).str)
+
+    @staticmethod
+    def _root(arr: np.ndarray) -> np.ndarray:
+        """Walk a view chain back to the owning buffer."""
+        while isinstance(arr.base, np.ndarray):
+            arr = arr.base
+        return arr
+
+    # -- acquire / release ---------------------------------------------
+
+    def acquire(self, shape, dtype) -> np.ndarray:
+        """A C-contiguous buffer of ``shape``/``dtype``, pooled if possible.
+
+        Contents are unspecified (the buffer is *not* zeroed); callers
+        must fully overwrite it.  Pass the buffer — or any view of it —
+        to :meth:`release` when done.
+        """
+        key = self._key(shape, dtype)
+        with self._lock:
+            stack = self._free.get(key)
+            if stack:
+                buf = stack.pop()
+                self._hits += 1
+                if self._hit_ctr is not None:
+                    self._hit_ctr.inc()
+            else:
+                buf = np.empty(key[0], dtype=np.dtype(dtype))
+                self._misses += 1
+                self._bytes += buf.nbytes
+                if self._miss_ctr is not None:
+                    self._miss_ctr.inc()
+                if self._bytes_gauge is not None:
+                    self._bytes_gauge.set(float(self._bytes))
+            self._live[id(buf)] = key
+        return buf
+
+    def release(self, arr: np.ndarray | None) -> None:
+        """Return ``arr`` (or the buffer backing this view) to the arena.
+
+        ``None`` and foreign arrays (not acquired here) are ignored, so
+        callers can release unconditionally.
+        """
+        if arr is None:
+            return
+        root = self._root(arr)
+        with self._lock:
+            key = self._live.pop(id(root), None)
+            if key is None:
+                return
+            self._releases += 1
+            self._free.setdefault(key, []).append(root)
+
+    def clear(self) -> None:
+        """Drop every free buffer (live ones stay tracked)."""
+        with self._lock:
+            for stack in self._free.values():
+                self._bytes -= sum(b.nbytes for b in stack)
+            self._free.clear()
+            if self._bytes_gauge is not None:
+                self._bytes_gauge.set(float(self._bytes))
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def stats(self) -> WorkspaceStats:
+        with self._lock:
+            return WorkspaceStats(
+                hits=self._hits,
+                misses=self._misses,
+                releases=self._releases,
+                bytes_allocated=self._bytes,
+                live_buffers=len(self._live),
+                free_buffers=sum(len(s) for s in self._free.values()),
+            )
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats
+        return (
+            f"Workspace({self.name!r}, hits={s.hits}, misses={s.misses}, "
+            f"bytes={s.bytes_allocated}, live={s.live_buffers})"
+        )

@@ -7,7 +7,13 @@ and full 1-D/2-D/3-D transforms with planning.  ``numpy.fft`` is used only
 in the test suite as an oracle, never inside the library.
 """
 
-from repro.fft.twiddle import twiddle_table, four_step_twiddles, TwiddleCache
+from repro.fft.twiddle import (
+    DEFAULT_CACHE,
+    TwiddleCache,
+    TwiddleCacheStats,
+    four_step_twiddles,
+    twiddle_table,
+)
 from repro.fft.reference import dft_reference, dft_matrix, dft3_reference
 from repro.fft.codelets import (
     CODELET_SIZES,
@@ -34,6 +40,8 @@ __all__ = [
     "twiddle_table",
     "four_step_twiddles",
     "TwiddleCache",
+    "TwiddleCacheStats",
+    "DEFAULT_CACHE",
     "dft_reference",
     "dft_matrix",
     "dft3_reference",

@@ -11,6 +11,17 @@ batch of any shape is processed in one vectorized sweep — the multirow-FFT
 structure the paper inherits from vector machines maps onto NumPy's batch
 axes here.
 
+Every codelet takes optional keyword-only ``out``/``ws`` arguments.  With
+neither, the original out-of-place expressions run unchanged (the *seed
+path*).  With either, the butterfly is evaluated through explicit ufunc
+``out=`` writes into caller- or :class:`~repro.core.workspace.Workspace`-
+provided buffers: no stack/concatenate temporaries, results written
+straight into ``out`` (which may be a strided view — this is how the
+five-step kernels fuse the transform into a transpose write).  The two
+paths perform the same scalar arithmetic and produce equal values.
+``out`` must not alias ``x``; complex input is required on the pooled path
+(real input falls back to the seed expressions).
+
 Flop counts (used by the performance model) follow the standard
 ``5 n log2 n`` convention; the explicit butterfly structure below achieves
 it up to the usual trivial-twiddle savings, which we do not discount (the
@@ -22,6 +33,8 @@ from __future__ import annotations
 from typing import Callable
 
 import numpy as np
+
+from repro.fft.twiddle import DEFAULT_CACHE
 
 __all__ = [
     "CODELET_SIZES",
@@ -44,24 +57,100 @@ def _mul_j(x: np.ndarray) -> np.ndarray:
     return x.imag - 1j * x.real  # (a+bi) * -i = b - ai
 
 
-def fft2(x: np.ndarray) -> np.ndarray:
+# -- pooled-path plumbing ---------------------------------------------------
+
+
+def _scratch(ws, shape, dtype) -> np.ndarray:
+    """A batch-shaped temporary (no transform axis)."""
+    if ws is None:
+        return np.empty(shape, dtype)
+    return ws.acquire(shape, dtype)
+
+
+def _scratch_t(ws, shape, dtype) -> np.ndarray:
+    """A temporary whose *last* (transform) axis is slowest in memory.
+
+    Codelets write one transform-index slice at a time; with the transform
+    axis outermost each ``t[..., k]`` slice is one contiguous block — the
+    host analogue of the paper's pattern-A/B coalesced stores.
+    """
+    phys = (shape[-1], *shape[:-1])
+    buf = np.empty(phys, dtype) if ws is None else ws.acquire(phys, dtype)
+    return np.moveaxis(buf, 0, -1)
+
+
+def _free(ws, *arrs: np.ndarray) -> None:
+    if ws is not None:
+        for a in arrs:
+            ws.release(a)
+
+
+def _finish(legacy: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+    """Route a seed-path result through ``out`` when one was given."""
+    if out is None:
+        return legacy
+    np.copyto(out, legacy)
+    return out
+
+
+def _combine_into(even, odd, w, out, ws) -> None:
+    """``out[:h] = E + wO; out[h:] = E - wO`` with a single pooled temp."""
+    h = even.shape[-1]
+    t = _scratch_t(ws, even.shape, even.dtype)
+    np.multiply(odd, w, out=t)
+    np.add(even, t, out=out[..., :h])
+    np.subtract(even, t, out=out[..., h:])
+    _free(ws, t)
+
+
+# -- seed-path helpers ------------------------------------------------------
+
+
+def fft2(x: np.ndarray, *, out: np.ndarray | None = None, ws=None) -> np.ndarray:
     """2-point DFT along the last axis."""
     if x.shape[-1] != 2:
         raise ValueError(f"fft2 expects last axis 2, got {x.shape[-1]}")
     a, b = x[..., 0], x[..., 1]
-    return np.stack([a + b, a - b], axis=-1)
+    if (out is None and ws is None) or not np.iscomplexobj(x):
+        return _finish(np.stack([a + b, a - b], axis=-1), out)
+    if out is None:
+        out = _scratch_t(ws, x.shape, x.dtype)
+    np.add(a, b, out=out[..., 0])
+    np.subtract(a, b, out=out[..., 1])
+    return out
 
 
-def fft4(x: np.ndarray) -> np.ndarray:
+def fft4(x: np.ndarray, *, out: np.ndarray | None = None, ws=None) -> np.ndarray:
     """4-point DFT along the last axis (radix-2 DIT, straight-line)."""
     if x.shape[-1] != 4:
         raise ValueError(f"fft4 expects last axis 4, got {x.shape[-1]}")
     x0, x1, x2, x3 = (x[..., i] for i in range(4))
-    t0 = x0 + x2
-    t1 = x0 - x2
-    t2 = x1 + x3
-    t3 = _mul_j(x1 - x3)  # -i * (x1 - x3)
-    return np.stack([t0 + t2, t1 + t3, t0 - t2, t1 - t3], axis=-1)
+    if (out is None and ws is None) or not np.iscomplexobj(x):
+        t0 = x0 + x2
+        t1 = x0 - x2
+        t2 = x1 + x3
+        t3 = _mul_j(x1 - x3)  # -i * (x1 - x3)
+        return _finish(np.stack([t0 + t2, t1 + t3, t0 - t2, t1 - t3], axis=-1), out)
+    dt = x.dtype
+    if out is None:
+        out = _scratch_t(ws, x.shape, dt)
+    # Two scratches, eight contiguous passes.  The -i rotation is a
+    # scalar complex multiply: (a+bi)(-i) = b - ai up to the sign of
+    # zeros, which +/-/* can never turn into a nonzero difference —
+    # values stay ``==``-identical to the seed path's _mul_j.
+    t = _scratch(ws, x0.shape, dt)
+    u = _scratch(ws, x0.shape, dt)
+    np.add(x0, x2, out=t)
+    np.add(x1, x3, out=u)
+    np.add(t, u, out=out[..., 0])
+    np.subtract(t, u, out=out[..., 2])
+    np.subtract(x0, x2, out=t)
+    np.subtract(x1, x3, out=u)
+    np.multiply(u, dt.type(-1j), out=u)
+    np.add(t, u, out=out[..., 1])
+    np.subtract(t, u, out=out[..., 3])
+    _free(ws, t, u)
+    return out
 
 
 def _dit_combine(even: np.ndarray, odd: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -75,26 +164,34 @@ def _dit_combine(even: np.ndarray, odd: np.ndarray, w: np.ndarray) -> np.ndarray
 
 
 def _half_twiddles(n: int, dtype: np.dtype) -> np.ndarray:
-    k = np.arange(n // 2, dtype=np.float64)
-    return np.exp(-2j * np.pi * k / n).astype(dtype, copy=False)
+    # Cached per (n, dtype) — this used to recompute exp() on every call.
+    return DEFAULT_CACHE.half(n, dtype)
 
 
-def fft8(x: np.ndarray) -> np.ndarray:
+def fft8(x: np.ndarray, *, out: np.ndarray | None = None, ws=None) -> np.ndarray:
     """8-point DFT along the last axis (DIT from two 4-point codelets)."""
     if x.shape[-1] != 8:
         raise ValueError(f"fft8 expects last axis 8, got {x.shape[-1]}")
-    even = fft4(x[..., 0::2])
-    odd = fft4(x[..., 1::2])
     # W8^k, k=0..3: 1, (1-i)/sqrt2, -i, -(1+i)/sqrt2 — constants, like the
     # register-held twiddles of the paper's step 1-4 kernels.
-    w = np.array(
-        [1.0, _SQRT1_2 * (1 - 1j), -1j, _SQRT1_2 * (-1 - 1j)],
-        dtype=x.dtype if np.iscomplexobj(x) else np.complex128,
+    w = DEFAULT_CACHE.codelet8(
+        x.dtype if np.iscomplexobj(x) else np.complex128
     )
-    return _dit_combine(even, odd, w)
+    if (out is None and ws is None) or not np.iscomplexobj(x):
+        even = fft4(x[..., 0::2])
+        odd = fft4(x[..., 1::2])
+        return _finish(_dit_combine(even, odd, w), out)
+    dt = x.dtype
+    if out is None:
+        out = _scratch_t(ws, x.shape, dt)
+    even = fft4(x[..., 0::2], out=_scratch_t(ws, x.shape[:-1] + (4,), dt), ws=ws)
+    odd = fft4(x[..., 1::2], out=_scratch_t(ws, x.shape[:-1] + (4,), dt), ws=ws)
+    _combine_into(even, odd, w, out, ws)
+    _free(ws, even, odd)
+    return out
 
 
-def fft16(x: np.ndarray) -> np.ndarray:
+def fft16(x: np.ndarray, *, out: np.ndarray | None = None, ws=None) -> np.ndarray:
     """16-point DFT along the last axis (DIT from two 8-point codelets).
 
     This is the workhorse of the paper's steps 1-4: one of these per thread,
@@ -102,14 +199,22 @@ def fft16(x: np.ndarray) -> np.ndarray:
     """
     if x.shape[-1] != 16:
         raise ValueError(f"fft16 expects last axis 16, got {x.shape[-1]}")
-    even = fft8(x[..., 0::2])
-    odd = fft8(x[..., 1::2])
     dtype = x.dtype if np.iscomplexobj(x) else np.dtype(np.complex128)
     w = _half_twiddles(16, dtype)
-    return _dit_combine(even, odd, w)
+    if (out is None and ws is None) or not np.iscomplexobj(x):
+        even = fft8(x[..., 0::2])
+        odd = fft8(x[..., 1::2])
+        return _finish(_dit_combine(even, odd, w), out)
+    if out is None:
+        out = _scratch_t(ws, x.shape, dtype)
+    even = fft8(x[..., 0::2], out=_scratch_t(ws, x.shape[:-1] + (8,), dtype), ws=ws)
+    odd = fft8(x[..., 1::2], out=_scratch_t(ws, x.shape[:-1] + (8,), dtype), ws=ws)
+    _combine_into(even, odd, w, out, ws)
+    _free(ws, even, odd)
+    return out
 
 
-_CODELETS: dict[int, Callable[[np.ndarray], np.ndarray]] = {
+_CODELETS: dict[int, Callable[..., np.ndarray]] = {
     2: fft2,
     4: fft4,
     8: fft8,
@@ -120,7 +225,13 @@ _CODELETS: dict[int, Callable[[np.ndarray], np.ndarray]] = {
 CODELET_SIZES: tuple[int, ...] = tuple(sorted(_CODELETS))
 
 
-def codelet_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+def codelet_fft(
+    x: np.ndarray,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """Dispatch to the codelet for ``x.shape[-1]``.
 
     ``inverse=True`` computes the un-normalized inverse via conjugation
@@ -134,6 +245,17 @@ def codelet_fft(x: np.ndarray, inverse: bool = False) -> np.ndarray:
         raise ValueError(
             f"no codelet for size {n}; available: {CODELET_SIZES}"
         ) from None
-    if inverse:
-        return np.conj(f(np.conj(x)))
-    return f(x)
+    if out is None and ws is None:
+        if inverse:
+            return np.conj(f(np.conj(x)))
+        return f(x)
+    if not inverse:
+        return f(x, out=out, ws=ws)
+    if not np.iscomplexobj(x):
+        return _finish(np.conj(f(np.conj(x))), out)
+    xc = _scratch_t(ws, x.shape, x.dtype)
+    np.conjugate(x, out=xc)
+    out = f(xc, out=out, ws=ws)
+    _free(ws, xc)
+    np.conjugate(out, out=out)
+    return out

@@ -13,14 +13,27 @@ output index ``k = k2 + r2*k1``::
 The two half-transforms are exactly the paper's FFT256_1 (steps 1+2) and
 FFT256_2 (step 3); :mod:`repro.core.kernels` reuses the same helpers with
 the same index convention.
+
+Like the codelets, every entry point takes keyword-only ``out``/``ws``:
+with neither the original allocating expressions run (the seed path); with
+either, intermediates come from the workspace and the result is written
+into ``out`` — which may be a strided view, since the final ``k = k2 +
+r2*k1`` interleave is expressed as a stride-split view of ``out`` rather
+than an ``ascontiguousarray`` copy.  Both paths compute identical values.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.fft.codelets import CODELET_SIZES, codelet_fft
-from repro.fft.twiddle import four_step_twiddles
+from repro.fft.codelets import (
+    CODELET_SIZES,
+    _free,
+    _scratch,
+    _scratch_t,
+    codelet_fft,
+)
+from repro.fft.twiddle import DEFAULT_CACHE
 from repro.util.indexing import ilog2
 
 __all__ = ["split_radices", "four_step_fft", "fft_pow2"]
@@ -44,19 +57,48 @@ def split_radices(n: int) -> tuple[int, int]:
     raise ValueError(f"cannot split {n}")  # unreachable for n >= 4
 
 
-def _fft_last_axis(x: np.ndarray, inverse: bool) -> np.ndarray:
+def _split_last(a: np.ndarray, d1: int, d2: int) -> np.ndarray:
+    """View ``a`` with its last axis split into ``(d1, d2)``.
+
+    Splitting a single evenly-strided axis never needs a copy;
+    ``as_strided`` makes the view explicit so writes through it always
+    land in ``a``'s memory (plain ``reshape`` silently copies for some
+    stride patterns, which would drop writes).
+    """
+    s = a.strides[-1]
+    return np.lib.stride_tricks.as_strided(
+        a, a.shape[:-1] + (d1, d2), a.strides[:-1] + (d2 * s, s)
+    )
+
+
+def _fft_last_axis(
+    x: np.ndarray,
+    inverse: bool,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """Un-normalized FFT along the last axis; recursive four-step."""
     n = x.shape[-1]
     if n == 1:
-        return x.copy()
+        if out is None:
+            return x.copy()
+        np.copyto(out, x)
+        return out
     if n in CODELET_SIZES:
-        return codelet_fft(x, inverse=inverse)
+        return codelet_fft(x, inverse=inverse, out=out, ws=ws)
     r1, r2 = split_radices(n)
-    return four_step_fft(x, r1, r2, inverse=inverse)
+    return four_step_fft(x, r1, r2, inverse=inverse, out=out, ws=ws)
 
 
 def four_step_fft(
-    x: np.ndarray, r1: int, r2: int, inverse: bool = False
+    x: np.ndarray,
+    r1: int,
+    r2: int,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
 ) -> np.ndarray:
     """FFT along the last axis via the ``n = r1*r2`` four-step lemma.
 
@@ -71,23 +113,48 @@ def four_step_fft(
         raise ValueError(f"r1*r2 = {r1 * r2} != n = {n}")
     batch = x.shape[:-1]
 
-    # i = n1 + r1*n2  ->  C-order view (..., n2, n1)
-    a = x.reshape(batch + (r2, r1))
-    # Inner transform over n2 (axis -2).
-    a = np.moveaxis(_fft_last_axis(np.moveaxis(a, -2, -1), inverse), -1, -2)
-    # a is now A[k2, n1]; twiddle W_n^{n1*k2} (conjugated for inverse).
-    w = four_step_twiddles(r1, r2, precision="double").astype(a.dtype, copy=False)
-    if inverse:
-        w = np.conj(w)
-    a = a * w
-    # Outer transform over n1 (axis -1) -> X[k2, k1].
-    a = _fft_last_axis(a, inverse)
-    # Output index k = k2 + r2*k1: flatten [k1, k2] in C order.
-    a = np.swapaxes(a, -1, -2)
-    return np.ascontiguousarray(a).reshape(batch + (n,))
+    if out is None and ws is None:
+        # i = n1 + r1*n2  ->  C-order view (..., n2, n1)
+        a = x.reshape(batch + (r2, r1))
+        # Inner transform over n2 (axis -2).
+        a = np.moveaxis(_fft_last_axis(np.moveaxis(a, -2, -1), inverse), -1, -2)
+        # a is now A[k2, n1]; twiddle W_n^{n1*k2} (conjugated for inverse).
+        w = DEFAULT_CACHE.four_step_cast(r1, r2, a.dtype, conjugate=inverse)
+        a = a * w
+        # Outer transform over n1 (axis -1) -> X[k2, k1].
+        a = _fft_last_axis(a, inverse)
+        # Output index k = k2 + r2*k1: flatten [k1, k2] in C order.
+        a = np.swapaxes(a, -1, -2)
+        return np.ascontiguousarray(a).reshape(batch + (n,))
+
+    dt = x.dtype
+    a = _split_last(x, r2, r1)  # (..., n2, n1) view
+    av = np.moveaxis(a, -2, -1)  # (..., n1, n2) view
+    t1 = _scratch_t(ws, av.shape, dt)
+    _fft_last_axis(av, inverse, out=t1, ws=ws)  # t1 = A[..., n1, k2]
+    a2 = np.moveaxis(t1, -1, -2)  # (..., k2, n1) view
+    w = DEFAULT_CACHE.four_step_cast(r1, r2, dt, conjugate=inverse)
+    t2 = _scratch_t(ws, a2.shape, dt)
+    np.multiply(a2, w, out=t2)
+    _free(ws, t1)
+    t3 = _scratch_t(ws, t2.shape, dt)
+    _fft_last_axis(t2, inverse, out=t3, ws=ws)  # t3 = X[..., k2, k1]
+    _free(ws, t2)
+    if out is None:
+        out = _scratch(ws, batch + (n,), dt)
+    # k = k2 + r2*k1: write X[k1, k2] through the stride-split view of out.
+    np.copyto(_split_last(out, r1, r2), np.swapaxes(t3, -1, -2))
+    _free(ws, t3)
+    return out
 
 
-def fft_pow2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
+def fft_pow2(
+    x: np.ndarray,
+    inverse: bool = False,
+    *,
+    out: np.ndarray | None = None,
+    ws=None,
+) -> np.ndarray:
     """Un-normalized power-of-two FFT along the last axis.
 
     Recursive four-step down to straight-line codelets; batched over all
@@ -97,4 +164,4 @@ def fft_pow2(x: np.ndarray, inverse: bool = False) -> np.ndarray:
     if not np.iscomplexobj(x):
         x = x.astype(np.complex128)
     ilog2(x.shape[-1])
-    return _fft_last_axis(x, inverse)
+    return _fft_last_axis(x, inverse, out=out, ws=ws)

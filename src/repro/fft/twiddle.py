@@ -8,15 +8,31 @@ corresponds to the texture/constant options.
 
 Sign convention: forward transform uses ``exp(-2*pi*i*...)`` (the NumPy and
 FFTW convention); the inverse conjugates.
+
+Every lookup path — 1-D tables, four-step matrices (including their
+precision casts and conjugates), and the codelet half/constant tables that
+:mod:`repro.fft.codelets` used to rebuild on every call — is memoized here.
+The cache counts hits and misses and supports observers with the same
+``(event, key)`` protocol as :class:`repro.core.plan_cache.PlanCache`, so
+the profiler folds twiddle reuse into the plan-cache metric family.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["twiddle_table", "four_step_twiddles", "TwiddleCache"]
+__all__ = [
+    "twiddle_table",
+    "four_step_twiddles",
+    "TwiddleCache",
+    "TwiddleCacheStats",
+]
+
+#: exp(-i*pi/4) real part as the codelets spell it.
+_SQRT1_2 = np.sqrt(0.5)
 
 
 def _complex_dtype(precision: str) -> np.dtype:
@@ -58,40 +74,143 @@ def four_step_twiddles(r1: int, r2: int, precision: str = "double") -> np.ndarra
     return table.astype(_complex_dtype(precision), copy=False)
 
 
+@dataclass(frozen=True)
+class TwiddleCacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+
+
 class TwiddleCache:
     """Thread-safe memoizing store for twiddle tables.
 
     A 256^3 five-step transform re-reads the same 16x16 and 256-point
     tables thousands of times; recomputing ``exp`` each time would dominate
     host runtime, so plans share one cache.
+
+    Returned arrays are shared — callers must treat them as read-only.
     """
 
     def __init__(self) -> None:
         self._tables: dict[tuple, np.ndarray] = {}
         self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._observers: list = []
+
+    def _get(self, key: tuple, build) -> np.ndarray:
+        with self._lock:
+            table = self._tables.get(key)
+            if table is None:
+                event = "misses"
+                self._misses += 1
+            else:
+                event = "hits"
+                self._hits += 1
+        if table is None:
+            built = build()
+            with self._lock:
+                table = self._tables.setdefault(key, built)
+        for fn in list(self._observers):
+            fn(event, key)
+        return table
 
     def table(self, n: int, precision: str = "double") -> np.ndarray:
         """Memoized :func:`twiddle_table`."""
-        key = ("1d", n, precision)
-        with self._lock:
-            if key not in self._tables:
-                self._tables[key] = twiddle_table(n, precision)
-            return self._tables[key]
+        return self._get(
+            ("1d", n, precision), lambda: twiddle_table(n, precision)
+        )
 
     def four_step(self, r1: int, r2: int, precision: str = "double") -> np.ndarray:
         """Memoized :func:`four_step_twiddles`."""
-        key = ("4step", r1, r2, precision)
+        return self._get(
+            ("4step", r1, r2, precision),
+            lambda: four_step_twiddles(r1, r2, precision),
+        )
+
+    def four_step_cast(
+        self, r1: int, r2: int, dtype, conjugate: bool = False
+    ) -> np.ndarray:
+        """The double-precision four-step matrix cast to ``dtype``.
+
+        This is the table :func:`repro.fft.cooley_tukey.four_step_fft`
+        rebuilds per call (``four_step_twiddles(...).astype(a.dtype)``,
+        conjugated for the inverse); values are identical.
+        """
+        dt = np.dtype(dtype)
+        key = ("4step-cast", r1, r2, dt.str, bool(conjugate))
+
+        def build():
+            w = four_step_twiddles(r1, r2, precision="double")
+            w = w.astype(dt, copy=False)
+            return np.conj(w) if conjugate else w
+
+        return self._get(key, build)
+
+    def half(self, n: int, dtype) -> np.ndarray:
+        """Codelet half-length table ``W_n^k`` for ``k = 0..n/2-1``.
+
+        Matches what :mod:`repro.fft.codelets` used to recompute on every
+        ``fft16`` call.
+        """
+        dt = np.dtype(dtype)
+
+        def build():
+            k = np.arange(n // 2, dtype=np.float64)
+            return np.exp(-2j * np.pi * k / n).astype(dt, copy=False)
+
+        return self._get(("half", n, dt.str), build)
+
+    def codelet8(self, dtype) -> np.ndarray:
+        """The radix-8 constant table, spelled exactly as the codelet's
+        former inline literal (``cos`` and ``sin`` of pi/4 differ in the
+        last ulp from ``exp``-derived values, so this is *not* ``half(8)``).
+        """
+        dt = np.dtype(dtype)
+
+        def build():
+            return np.array(
+                [1.0, _SQRT1_2 * (1 - 1j), -1j, _SQRT1_2 * (-1 - 1j)],
+                dtype=dt,
+            )
+
+        return self._get(("codelet8", dt.str), build)
+
+    def add_observer(self, fn):
+        """Register ``fn(event, key)``; events are ``"hits"``/``"misses"``.
+
+        Returns ``fn`` so the caller can hold the handle for
+        :meth:`remove_observer` (same contract as the plan cache).
+        """
+        self._observers.append(fn)
+        return fn
+
+    def remove_observer(self, fn) -> None:
+        """Detach an observer registered by :meth:`add_observer`.
+
+        Unknown observers are ignored, so teardown paths can call this
+        unconditionally.
+        """
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def stats(self) -> TwiddleCacheStats:
         with self._lock:
-            if key not in self._tables:
-                self._tables[key] = four_step_twiddles(r1, r2, precision)
-            return self._tables[key]
+            return TwiddleCacheStats(
+                hits=self._hits, misses=self._misses, size=len(self._tables)
+            )
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._tables)
 
     def clear(self) -> None:
-        """Drop every cached table."""
+        """Drop every cached table (counters and observers persist)."""
         with self._lock:
             self._tables.clear()
 

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.core.plan_cache import PLAN_CACHE
+from repro.fft.twiddle import DEFAULT_CACHE
 from repro.gpu.simulator import DeviceSimulator
 from repro.obs.chrome_trace import write_chrome_trace
 from repro.obs.metrics import MetricsRegistry
@@ -48,6 +49,9 @@ class Profiler:
         self.tracer = Tracer(metrics=self.metrics)
         self._sims: list[DeviceSimulator] = []
         self._cache_observer = PLAN_CACHE.add_observer(self._on_cache_event)
+        self._twiddle_observer = DEFAULT_CACHE.add_observer(
+            self._on_twiddle_event
+        )
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -75,6 +79,7 @@ class Profiler:
         self.tracer.detach()
         self._sims.clear()
         PLAN_CACHE.remove_observer(self._cache_observer)
+        DEFAULT_CACHE.remove_observer(self._twiddle_observer)
 
     def __enter__(self) -> "Profiler":
         return self
@@ -88,6 +93,13 @@ class Profiler:
 
     def _on_cache_event(self, outcome: str) -> None:
         self.metrics.counter(f"plan_cache.{outcome}", "requests").inc()
+
+    def _on_twiddle_event(self, outcome: str, key: tuple) -> None:
+        # Twiddle tables are plan-derived constants, so their hit/miss
+        # feed lands in the plan_cache family under a "twiddle" kind.
+        self.metrics.counter(
+            f"plan_cache.{outcome}", "requests", {"kind": "twiddle"}
+        ).inc()
 
     # ------------------------------------------------------------------
     # Read-out

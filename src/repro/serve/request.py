@@ -113,6 +113,8 @@ class FFTFuture:
     batch_id: int | None = None
     #: Number of requests in that batch.
     batch_size: int = 0
+    #: Dispatch worker (card) that executed the batch.
+    worker: int = 0
     #: Simulated seconds between admission and dispatch.
     queue_wait_s: float = 0.0
     #: Simulated device time when the result landed.

@@ -33,8 +33,11 @@ Key properties:
 
 from __future__ import annotations
 
+import os
+import queue as _queue
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import count
 from typing import TYPE_CHECKING, Callable
@@ -83,6 +86,9 @@ class ServeStats:
     queue_depth: int = 0
     inflight: int = 0
     device_elapsed_s: float = 0.0
+    #: Simulated seconds per worker card; with ``n_workers == 1`` this is
+    #: ``{0: device_elapsed_s}``.
+    worker_elapsed_s: dict[int, float] = field(default_factory=dict)
 
     @property
     def rejected_total(self) -> int:
@@ -114,6 +120,21 @@ class FFTServer:
         :class:`~repro.serve.scheduler.SchedulerPolicy` (hopeless-drop).
     n_streams:
         Pipeline depth handed to each per-key batch engine.
+    n_workers:
+        Independent dispatch workers.  The default of 1 keeps today's
+        single-device behavior exactly.  With more, each worker owns its
+        own simulated card (``simulator`` / the implicit front simulator
+        is worker 0's, and remains the admission/deadline clock) and its
+        own engines, so independent coalesced batches execute
+        concurrently; results stay bit-identical because each batch
+        rides the same plan objects regardless of which worker runs it.
+        Incompatible with ``fault_injector`` (injector state is
+        single-card).
+    pooling:
+        Forwarded to every engine: True (default) runs the
+        workspace-pooled zero-allocation host path, False the seed
+        allocate-per-step path (results are bit-identical; see
+        ``benchmarks/bench_hostpath.py``).
     fault_injector / retry_policy:
         Forwarded to every engine; per-batch recovery (retries, host
         degradation, device-loss resume) is the engines' existing
@@ -142,6 +163,8 @@ class FFTServer:
         scheduler: SchedulerPolicy | None = None,
         max_depth: int = 256,
         n_streams: int = 3,
+        n_workers: int = 1,
+        pooling: bool = True,
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         profiler: Profiler | None = None,
@@ -151,14 +174,29 @@ class FFTServer:
         clock: Callable[[], float] = time.monotonic,
     ):
         self.device = device
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        if n_workers > 1 and fault_injector is not None:
+            raise ValueError(
+                "n_workers > 1 cannot share a fault_injector: injector "
+                "state models a single card; attach per-engine injectors "
+                "via fault scopes instead"
+            )
+        self.n_workers = n_workers
         self.simulator = simulator or DeviceSimulator(
             device, fault_injector=fault_injector
         )
+        # Worker 0 owns the front simulator (the admission/deadline
+        # clock); extra workers each get an independent card.
+        self._sims: list[DeviceSimulator] = [self.simulator] + [
+            DeviceSimulator(device) for _ in range(n_workers - 1)
+        ]
         self.queue = PendingQueue(max_depth=max_depth)
         self.coalescer = Coalescer(coalesce)
         self.scheduler = FairScheduler(scheduler)
         self._admission = AdmissionController(admission)
         self.n_streams = n_streams
+        self.pooling = pooling
         self._fault_injector = fault_injector
         self._retry_policy = retry_policy
         self.profiler = profiler
@@ -166,15 +204,20 @@ class FFTServer:
             profiler.metrics if profiler is not None else MetricsRegistry()
         )
         if profiler is not None:
-            profiler.attach(self.simulator)
+            for sim in self._sims:
+                profiler.attach(sim)
         self._name = name
         self._clock = clock
         if max_resident_plans < 1:
             raise ValueError("max_resident_plans must be at least 1")
         self._max_resident_plans = max_resident_plans
-        self._engines: dict[PlanKey, BatchedGpuFFT3D] = {}
-        self._singles: dict[PlanKey, GpuFFT3D] = {}
-        self._engine_use: dict[PlanKey, int] = {}
+        # Engines are scoped (worker id, plan key): each worker drives
+        # its own card, so buffers are never shared across threads.
+        self._engines: dict[tuple[int, PlanKey], BatchedGpuFFT3D] = {}
+        self._singles: dict[tuple[int, PlanKey], GpuFFT3D] = {}
+        self._engine_use: dict[tuple[int, PlanKey], int] = {}
+        self._engines_lock = threading.Lock()
+        self._busy_wids: set[int] = set()
         self._use_counter = count()
         self._costs: dict[PlanKey, tuple[float, float]] = {}
         self._cost_lock = threading.Lock()
@@ -186,6 +229,20 @@ class FFTServer:
         self._closed = False
         self._draining = False
         self._stop = threading.Event()
+        self._pool: ThreadPoolExecutor | None = None
+        self._free_wids: _queue.SimpleQueue[int] = _queue.SimpleQueue()
+        # Workers beyond the host's cores would only thrash caches during
+        # the numeric sections; they still overlap queueing, transfers
+        # and bookkeeping, but the heavy compute is capped at core count.
+        self._compute_permits = threading.BoundedSemaphore(
+            max(1, min(n_workers, os.cpu_count() or 1))
+        )
+        if n_workers > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=n_workers, thread_name_prefix=f"{name}-worker"
+            )
+            for wid in range(n_workers):
+                self._free_wids.put(wid)
         self._thread: threading.Thread | None = None
         if start:
             self._thread = threading.Thread(
@@ -258,6 +315,9 @@ class FFTServer:
             )
         snap.queue_depth = self.queue.depth
         snap.device_elapsed_s = self.simulator.elapsed
+        snap.worker_elapsed_s = {
+            wid: sim.elapsed for wid, sim in enumerate(self._sims)
+        }
         return snap
 
     def resilience_report(self) -> ResilienceReport:
@@ -308,9 +368,20 @@ class FFTServer:
         submission order and the policies.
         """
         n = 0
-        while self._dispatch_once(draining=True):
-            n += 1
-        return n
+        while True:
+            if self._dispatch_once(draining=True):
+                n += 1
+                continue
+            if self._pool is None:
+                return n
+            # Pooled workers may still be executing; completed batches
+            # never enqueue new work, so once inflight drains we're done.
+            with self._state:
+                if self._inflight == 0:
+                    if self.queue.depth == 0:
+                        return n
+                else:
+                    self._state.wait(0.005)
 
     def close(self, discard: bool = False) -> None:
         """Stop accepting work and shut down (idempotent).
@@ -332,6 +403,9 @@ class FFTServer:
             self._thread = None
         else:
             self.run_pending()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
         for engine in self._engines.values():
             engine.close()
         for plan in self._singles.values():
@@ -377,50 +451,64 @@ class FFTServer:
     # Dispatch
     # ------------------------------------------------------------------
 
-    def _engine_for(self, key: PlanKey, batch_size: int):
+    def _engine_for(self, wid: int, key: PlanKey, batch_size: int):
         """The execution engine for one batch (shared plans via the cache)."""
-        self._engine_use[key] = next(self._use_counter)
-        if batch_size == 1:
-            plan = self._singles.get(key)
-            if plan is None:
-                plan = self._singles[key] = GpuFFT3D(
+        suffix = f"-w{wid}" if self.n_workers > 1 else ""
+        with self._engines_lock:
+            ekey = (wid, key)
+            self._engine_use[ekey] = next(self._use_counter)
+            if batch_size == 1:
+                plan = self._singles.get(ekey)
+                if plan is None:
+                    plan = self._singles[ekey] = GpuFFT3D(
+                        key.shape,
+                        device=self.device,
+                        simulator=self._sims[wid],
+                        precision=key.precision,
+                        norm=key.norm,
+                        fault_injector=self._fault_injector,
+                        retry_policy=self._retry_policy,
+                        profiler=self.profiler,
+                        pooling=self.pooling,
+                        name=f"{self._name}-{key.slug}-solo{suffix}",
+                    )
+                return plan
+            engine = self._engines.get(ekey)
+            if engine is None:
+                engine = self._engines[ekey] = BatchedGpuFFT3D(
                     key.shape,
                     device=self.device,
-                    simulator=self.simulator,
+                    simulator=self._sims[wid],
                     precision=key.precision,
                     norm=key.norm,
                     fault_injector=self._fault_injector,
                     retry_policy=self._retry_policy,
+                    n_streams=self.n_streams,
                     profiler=self.profiler,
-                    name=f"{self._name}-{key.slug}-solo",
+                    pooling=self.pooling,
+                    name=f"{self._name}-{key.slug}{suffix}",
                 )
-            return plan
-        engine = self._engines.get(key)
-        if engine is None:
-            engine = self._engines[key] = BatchedGpuFFT3D(
-                key.shape,
-                device=self.device,
-                simulator=self.simulator,
-                precision=key.precision,
-                norm=key.norm,
-                fault_injector=self._fault_injector,
-                retry_policy=self._retry_policy,
-                n_streams=self.n_streams,
-                profiler=self.profiler,
-                name=f"{self._name}-{key.slug}",
-            )
-        return engine
+            return engine
 
     def _evict_cold_engines(self) -> None:
-        """Release device buffers of least-recently-used warm engines."""
-        warm = sorted(self._engine_use, key=self._engine_use.get, reverse=True)
-        for key in warm[self._max_resident_plans :]:
-            engine = self._engines.get(key)
-            if engine is not None:
-                engine.close()
-            plan = self._singles.get(key)
-            if plan is not None:
-                plan.release()
+        """Release device buffers of least-recently-used warm engines.
+
+        Engines of workers currently mid-batch are never touched — their
+        device buffers are live on another thread.
+        """
+        with self._engines_lock:
+            warm = sorted(
+                self._engine_use, key=self._engine_use.get, reverse=True
+            )
+            for ekey in warm[self._max_resident_plans :]:
+                if ekey[0] in self._busy_wids:
+                    continue
+                engine = self._engines.get(ekey)
+                if engine is not None:
+                    engine.close()
+                plan = self._singles.get(ekey)
+                if plan is not None:
+                    plan.release()
 
     def _dispatch_once(self, draining: bool = False) -> bool:
         """Run one scheduling cycle; True when any decision was made."""
@@ -459,23 +547,55 @@ class FFTServer:
         self.queue.remove_many(key, batch)
         with self._state:
             self._inflight += len(batch)
-        try:
-            self._execute_batch(key, batch, by_key[key].reason, device_now)
-        finally:
-            with self._state:
-                self._inflight -= len(batch)
-                self._state.notify_all()
+        if self._pool is None:
+            try:
+                self._execute_batch(0, key, batch, by_key[key].reason, device_now)
+            finally:
+                with self._state:
+                    self._inflight -= len(batch)
+                    self._state.notify_all()
+        else:
+            self._pool.submit(
+                self._batch_job, key, batch, by_key[key].reason, device_now
+            )
         self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
         return True
 
-    def _execute_batch(
+    def _batch_job(
         self, key: PlanKey, batch: list[Ticket], reason: str, device_now: float
+    ) -> None:
+        """One pooled worker's batch: claim a card, execute, hand it back."""
+        wid = self._free_wids.get()
+        with self._engines_lock:
+            self._busy_wids.add(wid)
+        try:
+            self._execute_batch(wid, key, batch, reason, device_now)
+        finally:
+            with self._engines_lock:
+                self._busy_wids.discard(wid)
+            self._free_wids.put(wid)
+            with self._state:
+                self._inflight -= len(batch)
+                self._state.notify_all()
+            self.queue.wake()
+
+    def _execute_batch(
+        self,
+        wid: int,
+        key: PlanKey,
+        batch: list[Ticket],
+        reason: str,
+        device_now: float,
     ) -> None:
         batch_id = next(self._batch_ids)
         now_wall = self._clock()
-        engine = self._engine_for(key, len(batch))
+        sim = self._sims[wid]
+        engine = self._engine_for(wid, key, len(batch))
+        tags = {"serve_batch": batch_id}
+        if self.n_workers > 1:
+            tags["worker"] = wid
         try:
-            with self.simulator.annotate(serve_batch=batch_id):
+            with self._compute_permits, sim.annotate(**tags):
                 if len(batch) == 1:
                     outs = [
                         engine.execute(batch[0].request.x, inverse=key.inverse)
@@ -489,10 +609,17 @@ class FFTServer:
             for t in batch:
                 self._finish_failed(t, exc)
             return
-        finish = self.simulator.elapsed
+        finish = sim.elapsed
         with self._state:
             self._stats.batches += 1
         self.metrics.counter("serve.batches", "batches").inc()
+        if self.n_workers > 1:
+            self.metrics.counter(
+                "serve.batches", "batches", {"worker": str(wid)}
+            ).inc()
+            self.metrics.gauge(
+                "serve.worker.elapsed.seconds", "s", {"worker": str(wid)}
+            ).set(finish)
         self.metrics.counter(
             "serve.coalesce", "batches", {"reason": reason}
         ).inc()
@@ -502,6 +629,7 @@ class FFTServer:
         for t, out in zip(batch, outs):
             t.future.batch_id = batch_id
             t.future.batch_size = len(batch)
+            t.future.worker = wid
             t.future.queue_wait_s = device_now - t.admit_device_s
             t.future.finish_device_s = finish
             self.metrics.histogram("serve.queue.wait.seconds", "s").observe(

@@ -1,0 +1,139 @@
+"""Workspace arena: keying, reuse accounting, and zero steady-state allocation.
+
+The tentpole property lives here: after a warm-up execution populates the
+arena, repeated pooled transforms must perform **no net heap allocation**
+(verified with ``tracemalloc``) and the arena must report a 100% hit rate.
+"""
+
+import gc
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.core.api import GpuFFT3D
+from repro.core.five_step import FiveStepPlan
+from repro.core.workspace import Workspace
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestWorkspaceArena:
+    def test_acquire_miss_then_hit(self):
+        ws = Workspace()
+        a = ws.acquire((4, 4), np.complex64)
+        assert a.shape == (4, 4) and a.dtype == np.complex64
+        ws.release(a)
+        b = ws.acquire((4, 4), np.complex64)
+        assert b is a  # exact-key reuse, not a fresh allocation
+        s = ws.stats
+        assert (s.misses, s.hits, s.releases) == (1, 1, 1)
+
+    def test_shape_and_dtype_key_exactly(self):
+        ws = Workspace()
+        a = ws.acquire((4, 4), np.complex64)
+        ws.release(a)
+        assert ws.acquire((4, 4), np.complex128) is not a
+        assert ws.acquire((8, 2), np.complex64) is not a
+
+    def test_release_resolves_views_to_their_base(self):
+        ws = Workspace()
+        a = ws.acquire((4, 4), np.complex64)
+        ws.release(a.T[1:, :])  # any view chain maps back to the arena buffer
+        assert ws.acquire((4, 4), np.complex64) is a
+
+    def test_release_ignores_none_and_foreign_arrays(self):
+        ws = Workspace()
+        ws.release(None)
+        ws.release(np.zeros(3))
+        assert ws.stats.releases == 0
+        assert ws.stats.free_buffers == 0
+
+    def test_bytes_accounting(self):
+        ws = Workspace()
+        a = ws.acquire((8,), np.complex128)
+        assert ws.total_bytes == a.nbytes
+        ws.release(a)
+        ws.acquire((8,), np.complex128)  # hit: no new bytes
+        assert ws.total_bytes == a.nbytes
+
+    def test_clear_drops_free_buffers(self):
+        ws = Workspace()
+        ws.release(ws.acquire((4,), np.complex64))
+        ws.clear()
+        assert ws.stats.free_buffers == 0
+        assert ws.total_bytes == 0
+
+    def test_metrics_are_folded_into_registry(self):
+        reg = MetricsRegistry()
+        ws = Workspace(name="t", metrics=reg)
+        ws.release(ws.acquire((4,), np.complex64))
+        ws.acquire((4,), np.complex64)
+        snap = reg.snapshot()
+        counters = snap["counters"]
+        assert counters["workspace.misses{workspace=t}"]["value"] == 1.0
+        assert counters["workspace.hits{workspace=t}"]["value"] == 1.0
+
+
+class TestZeroSteadyStateAllocation:
+    """100 pooled executions after warm-up: zero net allocation growth."""
+
+    @pytest.mark.parametrize("precision", ["single", "double"])
+    def test_plan_execute_steady_state(self, precision):
+        shape = (16, 16, 16)
+        plan = FiveStepPlan(shape, precision=precision)
+        ws = Workspace()
+        dtype = np.complex64 if precision == "single" else np.complex128
+        rng = np.random.default_rng(5)
+        x = (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+            dtype
+        )
+        out = np.empty(shape, dtype)
+        for _ in range(3):  # warm the arena and any lazy caches
+            plan.execute(x, workspace=ws, out=out)
+        before = ws.stats
+
+        gc.collect()
+        tracemalloc.start()
+        base = tracemalloc.take_snapshot()
+        for _ in range(100):
+            plan.execute(x, workspace=ws, out=out)
+        gc.collect()
+        growth = tracemalloc.take_snapshot().compare_to(base, "lineno")
+        tracemalloc.stop()
+
+        after = ws.stats
+        assert after.misses == before.misses  # every acquire was a hit
+        assert after.live_buffers == 0
+        net = sum(d.size_diff for d in growth if d.size_diff > 0)
+        # No per-execution array allocation survives 100 transforms: any
+        # residue is interpreter bookkeeping, far below one (16,16,16)
+        # buffer (and independent of the iteration count).
+        assert net < out.nbytes
+
+    def test_api_steady_state_hit_rate(self):
+        shape = (16, 16, 16)
+        x = (np.ones(shape) + 1j).astype(np.complex64)
+        with GpuFFT3D(shape, precision="single", pooling=True) as plan:
+            plan.forward(x)
+            before = plan.workspace.stats
+            for _ in range(10):
+                plan.forward(x)
+            after = plan.workspace.stats
+        assert after.misses == before.misses
+        assert after.hits > before.hits
+        assert after.live_buffers == 0
+        assert after.hit_rate > 0.5
+
+
+class TestPoolingKnob:
+    def test_pooling_false_has_no_workspace(self):
+        with GpuFFT3D((16, 16, 16), pooling=False) as plan:
+            assert plan.workspace is None
+
+    def test_out_must_be_contiguous_and_matching(self):
+        plan = FiveStepPlan((16, 16, 16), precision="single")
+        x = np.ones((16, 16, 16), np.complex64)
+        with pytest.raises(ValueError):
+            plan.execute(x, out=np.empty((16, 16, 32), np.complex64)[:, :, ::2])
+        with pytest.raises(ValueError):
+            plan.execute(x, out=np.empty((8, 8, 8), np.complex64))

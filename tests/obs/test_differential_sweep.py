@@ -182,3 +182,85 @@ class TestTracingIsPureProjection:
             traced, traced_events = run(prof)
         assert np.array_equal(plain, traced)
         assert plain_events == traced_events
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.id)
+class TestPoolingIsPureOptimization:
+    """Workspace pooling on vs off: bit-identical spectra everywhere.
+
+    The pooled path writes through arena buffers and fuses the twiddle
+    multiplies into the transpose stores; it must be an *optimization*
+    only — every value identical to the seed path, forward and inverse.
+    """
+
+    def test_single_plan_bit_identical(self, case):
+        x = _signal(case)
+
+        def run(pooling):
+            with GpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                pooling=pooling,
+            ) as plan:
+                fwd = plan.forward(x)
+                return fwd, plan.inverse(fwd)
+
+        f0, i0 = run(False)
+        f1, i1 = run(True)
+        assert np.array_equal(f0, f1)
+        assert np.array_equal(i0, i1)
+
+    def test_batched_pipeline_bit_identical(self, case):
+        xs = _signal(case, batched=True)
+
+        def run(pooling):
+            with BatchedGpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                n_streams=2,
+                pooling=pooling,
+            ) as plan:
+                return plan.forward(xs)
+
+        assert np.array_equal(run(False), run(True))
+
+    def test_faulted_run_bit_identical(self, case):
+        x = _signal(case)
+
+        def run(pooling):
+            with GpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                fault_injector=_injector(case),
+                pooling=pooling,
+            ) as plan:
+                return plan.forward(x)
+
+        assert np.array_equal(run(False), run(True))
+
+    def test_parallel_serve_bit_identical(self, case):
+        from repro.serve.request import FFTRequest
+        from repro.serve.server import FFTServer
+
+        xs = _signal(case, batched=True)
+
+        def run(n_workers):
+            with FFTServer(start=False, n_workers=n_workers) as srv:
+                futs = [
+                    srv.submit(
+                        FFTRequest(
+                            x=x, precision=case.precision, norm=case.norm
+                        )
+                    )
+                    for x in xs
+                ]
+                srv.run_pending()
+                return [f.result(timeout=30) for f in futs]
+
+        serial = run(1)
+        pooled = run(4)
+        for a, b in zip(serial, pooled):
+            assert np.array_equal(a, b)

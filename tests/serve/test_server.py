@@ -82,8 +82,8 @@ class TestDispatchCorrectness:
         sync_server.run_pending()
         assert fut.batch_size == 1
         key = fut.request.plan_key()
-        assert key in sync_server._singles
-        assert key not in sync_server._engines
+        assert (0, key) in sync_server._singles
+        assert (0, key) not in sync_server._engines
 
 
 class TestAdmission:
@@ -294,3 +294,81 @@ class TestObservability:
             report = srv.resilience_report()
             assert report.attempts > 0
             assert report.total_retries > 0
+
+
+class TestParallelWorkers:
+    """The n_workers pool: per-card engines, consistent accounting."""
+
+    def test_default_is_single_worker(self):
+        with FFTServer(start=False) as srv:
+            assert srv.n_workers == 1
+            assert srv._pool is None
+            assert len(srv._sims) == 1
+            assert srv._sims[0] is srv.simulator
+
+    def test_rejects_shared_fault_injector(self):
+        inj = FaultInjector([FaultSpec("transfer-fail", at_ops=(1,))])
+        with pytest.raises(ValueError, match="fault_injector"):
+            FFTServer(start=False, n_workers=2, fault_injector=inj)
+        with pytest.raises(ValueError, match="n_workers"):
+            FFTServer(start=False, n_workers=0)
+
+    def test_batches_spread_across_workers(self):
+        rng = np.random.default_rng(9)
+        shapes = [(16, 16, 16), (32, 16, 16), (16, 32, 16), (16, 16, 32)]
+        with FFTServer(
+            start=False,
+            n_workers=4,
+            coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0),
+        ) as srv:
+            futs = []
+            for shape in shapes:
+                for x in _cubes(rng, 0, 4, shape=shape):
+                    futs.append(srv.submit(FFTRequest(x)))
+            srv.run_pending()
+            outs = [f.result(timeout=30) for f in futs]
+        # Results match the standalone plan regardless of worker choice.
+        for f, out in zip(futs, outs):
+            with GpuFFT3D(f.request.shape, precision="single") as plan:
+                assert np.array_equal(out, plan.forward(f.request.x))
+        workers = {f.worker for f in futs}
+        assert len(workers) > 1  # four keys, four cards: work spread out
+        stats = srv.stats()
+        assert set(stats.worker_elapsed_s) == {0, 1, 2, 3}
+        assert sum(1 for v in stats.worker_elapsed_s.values() if v > 0) >= len(
+            workers
+        )
+
+    def test_threaded_dispatcher_with_workers(self):
+        rng = np.random.default_rng(10)
+        with FFTServer(
+            start=True,
+            n_workers=2,
+            coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0),
+        ) as srv:
+            futs = [
+                srv.submit(FFTRequest(x)) for x in _cubes(rng, 16, 6)
+            ]
+            assert srv.drain(timeout=30)
+            for f in futs:
+                assert f.result(timeout=30).shape == (16, 16, 16)
+            assert srv.stats().completed == 6
+
+    def test_worker_metrics_recorded(self):
+        rng = np.random.default_rng(11)
+        prof = Profiler()
+        with FFTServer(
+            start=False,
+            n_workers=2,
+            profiler=prof,
+            coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0),
+        ) as srv:
+            for x in _cubes(rng, 16, 4):
+                srv.submit(FFTRequest(x))
+            srv.run_pending()
+            snap = prof.metrics.snapshot()
+        worker_counters = [
+            k for k in snap["counters"] if "serve.batches{worker=" in k
+        ]
+        assert worker_counters  # per-worker batch accounting present
+        prof.close()
