@@ -1,20 +1,25 @@
-"""Cost of resilience: zero-fault overhead and throughput vs fault rate.
+"""Cost of resilience: overhead, throughput vs fault rate, recovery latency.
 
-Two questions the fault-injection layer must answer quantitatively:
+Three questions the fault-injection layer must answer quantitatively:
 
 1. What does the machinery cost when nothing goes wrong?  (Answer: no
    simulated time at all — checksums and energy checks are host-side.)
 2. How does effective throughput degrade as the injected fault rate
    rises, with retries, backoff and re-sent transfers all charged to the
    simulated clock?
+3. How fast does the *serving* layer recover from a worker loss — the
+   wall-clock gap between a card dying mid-batch and the first
+   re-queued request completing on a survivor?  Emitted to
+   ``BENCH_resilience.json`` for CI consumption.
 """
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_bench_json
 from repro.core.api import GpuFFT3D
 from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.serve import CoalescePolicy, FFTRequest, FFTServer
 from repro.util.units import flops_3d_fft
 
 N = 32
@@ -95,3 +100,91 @@ def test_throughput_vs_fault_rate(benchmark, show):
     # the heaviest fault rate must be strictly slower than fault-free.
     assert rows[-1][1] > rows[0][1]
     assert rows[0][3] == 0 and rows[-1][3] > 0
+
+
+def test_serve_recovery_latency(benchmark, show):
+    """Worker loss → first re-queued completion, through the full server.
+
+    A four-worker serial-dispatch server takes a 64-request stream while
+    worker 1 carries a deterministic mid-stream device loss.  The health
+    layer ejects the worker and re-queues its in-flight batch; the
+    recovery latency is the wall-clock gap between the ejection
+    transition and the first re-queued request resolving on a survivor.
+    """
+    rng = np.random.default_rng(4242)
+    xs = [
+        (rng.standard_normal((N, N, N)) + 1j * rng.standard_normal((N, N, N)))
+        .astype(np.complex64)
+        for _ in range(64)
+    ]
+
+    def run():
+        injectors = [FaultInjector([], seed=i) for i in range(4)]
+        injectors[1] = FaultInjector(
+            [FaultSpec("device-lost", at_ops=(12,), category="launch")],
+            seed=21,
+        )
+        futs = []
+        with FFTServer(
+            start=False,
+            n_workers=4,
+            serial_dispatch=True,
+            fault_injector=injectors,
+            coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0),
+            name="bench-resil",
+        ) as srv:
+            for i, x in enumerate(xs):
+                futs.append(srv.submit(FFTRequest(x)))
+                if (i + 1) % 8 == 0:
+                    srv.run_pending()
+            srv.drain()
+            losses = [
+                t
+                for t in srv.health.transitions
+                if t.reason == "DeviceLostError"
+            ]
+            stats = srv.stats()
+        assert losses, "the injected device loss never fired"
+        recovered = sorted(
+            (
+                f
+                for f in futs
+                if f.requeues > 0 and f.done() and f.exception() is None
+            ),
+            key=lambda f: f.finish_wall_s,
+        )
+        assert recovered, "no re-queued request completed"
+        assert all(f.done() for f in futs)
+        return {
+            "recovery_latency_s": recovered[0].finish_wall_s - losses[0].wall_s,
+            "requeued_requests": stats.requeued,
+            "requeued_completed": len(recovered),
+            "completed": stats.completed,
+            "device_losses": len(losses),
+        }
+
+    result = run_once(benchmark, run)
+    write_bench_json(
+        "resilience",
+        {
+            "experiment": "serve worker-loss recovery",
+            "n_workers": 4,
+            "requests": len(xs),
+            "shape": [N, N, N],
+            "recovery_latency_ms": round(result["recovery_latency_s"] * 1e3, 3),
+            "requeued_requests": result["requeued_requests"],
+            "requeued_completed": result["requeued_completed"],
+            "completed": result["completed"],
+            "device_losses": result["device_losses"],
+        },
+    )
+    show(
+        "Serve-layer recovery latency (worker loss → first re-queued completion)",
+        f"device losses:        {result['device_losses']}\n"
+        f"requests re-queued:   {result['requeued_requests']}\n"
+        f"re-queued completed:  {result['requeued_completed']}\n"
+        f"recovery latency:     {result['recovery_latency_s'] * 1e3:.3f} ms (wall)\n"
+        f"completed overall:    {result['completed']}/{len(xs)}",
+    )
+    assert result["recovery_latency_s"] >= 0.0
+    assert result["completed"] == len(xs)

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Chaos drill walkthrough: watch the serving layer survive dying cards.
+
+Runs a seeded fault schedule — two mid-stream device losses plus an
+operator ejection — against a four-worker ``FFTServer`` with a
+:class:`~repro.obs.profiler.Profiler` attached, then reconstructs the
+worker health timeline *from the trace*: every state transition the
+health monitor stamped onto the simulated timelines, in device-clock
+order, alongside the request-level outcome counts.
+
+    python examples/chaos_drill.py [requests] [--trace out.json]
+
+For the CI-grade invariant checker (bit-identity, zero lost futures,
+byte-identical reruns) see ``python -m repro.serve.chaos``.
+"""
+
+import sys
+
+import numpy as np
+
+from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.obs.profiler import Profiler
+from repro.serve import (
+    CoalescePolicy,
+    FFTRequest,
+    FFTServer,
+    HealthPolicy,
+    RejectedError,
+)
+from repro.util.tables import Table
+
+SHAPES = ((16, 16, 16), (32, 16, 16), (16, 32, 16))
+TENANTS = ("alice", "bob", "carol")
+N_WORKERS = 4
+
+
+def fault_schedule() -> list[FaultInjector]:
+    """Independent per-worker injectors; workers 1 and 3 lose their card."""
+    injectors = []
+    for wid in range(N_WORKERS):
+        specs = [FaultSpec("transfer-corrupt", rate=0.002)]
+        if wid in (1, 3):
+            specs.append(
+                FaultSpec(
+                    "device-lost", at_ops=(40 * wid,), category="launch"
+                )
+            )
+        injectors.append(FaultInjector(specs, seed=7 + wid))
+    return injectors
+
+
+def workload(count: int) -> list[FFTRequest]:
+    """Seeded mixed-shape stream; a few deadlines sprinkled in."""
+    rng = np.random.default_rng(2008)
+    reqs = []
+    for i in range(count):
+        shape = SHAPES[i % len(SHAPES)]
+        x = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex64)
+        reqs.append(
+            FFTRequest(
+                x,
+                tenant=TENANTS[i % len(TENANTS)],
+                deadline_s=30.0 if i % 11 == 3 else None,
+            )
+        )
+    return reqs
+
+
+def main() -> None:
+    argv = [a for a in sys.argv[1:] if not a.startswith("--")]
+    count = int(argv[0]) if argv else 96
+    trace_out = None
+    if "--trace" in sys.argv:
+        trace_out = sys.argv[sys.argv.index("--trace") + 1]
+
+    reqs = workload(count)
+    print(f"== chaos drill: {count} requests, {N_WORKERS} workers ==\n")
+
+    futures, rejected = [], 0
+    with Profiler() as prof:
+        with FFTServer(
+            start=False,
+            n_workers=N_WORKERS,
+            serial_dispatch=True,
+            fault_injector=fault_schedule(),
+            health=HealthPolicy(),
+            profiler=prof,
+            coalesce=CoalescePolicy(max_batch=8, max_wait_s=0.0),
+            name="drill",
+        ) as server:
+            for i, req in enumerate(reqs):
+                if i == count // 2:
+                    server.eject_worker(0, reason="operator drill")
+                try:
+                    futures.append(server.submit(req))
+                except RejectedError:
+                    rejected += 1
+                if (i + 1) % 16 == 0:
+                    server.run_pending()
+            server.drain()
+            stats = server.stats()
+            final = server.health.states()
+
+        # The timeline below comes from the *trace*: the health monitor
+        # stamps every transition onto the worker's simulated timeline.
+        marks = [s for s in prof.tracer.spans() if s.label.startswith("health:")]
+
+    table = Table(
+        ["Device clock (ms)", "Worker", "Transition", "Cause"],
+        title="Worker health timeline (reconstructed from trace spans)",
+    )
+    for span in sorted(marks, key=lambda s: s.start):
+        _, wid, move = span.label.split(":", 2)
+        tags = dict(span.tags)
+        table.add_row(
+            [
+                f"{span.start * 1e3:10.3f}",
+                wid.lstrip("w"),
+                move,
+                str(tags.get("reason", "")),
+            ]
+        )
+    print(table.render())
+
+    completed = sum(1 for f in futures if f.done() and f.exception() is None)
+    failed = sum(1 for f in futures if f.done() and f.exception() is not None)
+    faulted = sum(1 for f in futures if f.done() and f.faulted)
+    requeued = sum(1 for f in futures if f.requeues > 0)
+    print(
+        f"\ncompleted {completed}  failed {failed}  rejected {rejected}  "
+        f"(touched by faults: {faulted}, re-queued: {requeued}, "
+        f"re-dispatches: {stats.requeued})"
+    )
+    print("final worker states:", final)
+    lost = [f for f in futures if not f.done()]
+    print(f"lost futures: {len(lost)} (the invariant: always zero)")
+    if trace_out:
+        path = prof.write_chrome_trace(trace_out)
+        print(f"chrome trace written to {path} (open in Perfetto)")
+    if lost:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -104,6 +104,13 @@ class GpuFFT3D:
         twiddle multiplies fuse into the rearrangement writes — zero
         steady-state heap allocations in the transform loop.  Results are
         bit-identical to ``pooling=False`` (the seed path).
+    raise_on_device_loss:
+        When True, a device loss that exhausts the reset budget
+        re-raises :class:`~repro.gpu.faults.DeviceLostError` instead of
+        silently degrading to the host path.  The serving layer's health
+        monitor sets this so a dying card surfaces as a worker failure
+        (ejection + re-queue) rather than vanishing into a slow host
+        transform.
 
     Transforms larger than device memory transparently take the
     out-of-core path (Section 3.3), staged slab by slab through the
@@ -123,9 +130,11 @@ class GpuFFT3D:
         profiler: Profiler | None = None,
         name: str | None = None,
         pooling: bool = True,
+        raise_on_device_loss: bool = False,
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
+        self.raise_on_device_loss = raise_on_device_loss
         self.device = device
         self.norm = norm
         self.precision = precision
@@ -276,12 +285,14 @@ class GpuFFT3D:
             try:
                 return self._attempt_in_core(x, inverse)
             except DeviceLostError:
+                self._dev_v = self._dev_w = None  # allocations died with card
+                if self.raise_on_device_loss:
+                    raise
                 resets += 1
                 self.resilience.device_resets += 1
                 if resets > self.retry_policy.max_device_resets:
                     return self._host_fallback(x, inverse, "device lost")
                 self.simulator.reset_device()
-                self._dev_v = self._dev_w = None
             except CorruptionError:
                 corruption_retries += 1
                 if corruption_retries >= self.retry_policy.max_attempts:
@@ -306,16 +317,22 @@ class GpuFFT3D:
                 workspace=self.workspace,
             )
         except FaultError as exc:
+            if self.raise_on_device_loss and isinstance(exc, DeviceLostError):
+                raise
             return self._host_fallback(x, inverse, type(exc).__name__)
         return np.conj(out) if inverse else out
 
-    def _run(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+    def _run(
+        self, x: np.ndarray, inverse: bool, force_host: bool = False
+    ) -> np.ndarray:
         x = as_complex_array(x, self.precision)
         if x.shape != self.shape:
             raise ValueError(f"plan is for shape {self.shape}, got {x.shape}")
         with self.simulator.annotate(plan=self._buf):
             with self.simulator.fault_scope(self._injector):
-                if self.out_of_core:
+                if force_host:
+                    out = self._host_fallback(x, inverse, "forced")
+                elif self.out_of_core:
                     out = self._run_out_of_core(x, inverse)
                 else:
                     out = self._run_in_core(x, inverse)
@@ -329,9 +346,16 @@ class GpuFFT3D:
         """Inverse transform; matches ``numpy.fft.ifftn`` (default norm)."""
         return self._run(x, inverse=True)
 
-    def execute(self, x: np.ndarray, inverse: bool = False) -> np.ndarray:
-        """One transform in either direction (the generic entry point)."""
-        return self._run(x, inverse=inverse)
+    def execute(
+        self, x: np.ndarray, inverse: bool = False, force_host: bool = False
+    ) -> np.ndarray:
+        """One transform in either direction (the generic entry point).
+
+        ``force_host`` skips the device entirely and runs the reference
+        host transform (charged as host time) — the serving layer's
+        degradation path when every worker card is ejected.
+        """
+        return self._run(x, inverse=inverse, force_host=force_host)
 
     # ------------------------------------------------------------------
 

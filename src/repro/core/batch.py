@@ -102,6 +102,14 @@ class BatchedGpuFFT3D:
     name:
         Optional stable plan id (buffer prefix + trace tag); defaults to
         a process-unique ``batchN``.
+    raise_on_device_loss:
+        When True a :class:`~repro.gpu.faults.DeviceLostError` propagates
+        to the caller (after the engine forgets its dead slots) instead
+        of being recovered in-engine by reset-and-resume.  The serving
+        layer uses this so a card loss surfaces as a *batch* failure it
+        can answer with worker ejection and loss-free re-queueing onto
+        surviving cards; standalone callers keep the default in-engine
+        recovery.
 
     The batched path is in-core only: grids larger than device memory
     take the out-of-core path via :class:`~repro.core.api.GpuFFT3D`.
@@ -121,6 +129,7 @@ class BatchedGpuFFT3D:
         profiler: Profiler | None = None,
         name: str | None = None,
         pooling: bool = True,
+        raise_on_device_loss: bool = False,
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -161,6 +170,7 @@ class BatchedGpuFFT3D:
             else verify
         )
         self._buf = name or f"batch{next(_BATCH_IDS)}"
+        self.raise_on_device_loss = raise_on_device_loss
         self._slots: list[_Slot] = []
         self.profiler = profiler
         if profiler is not None:
@@ -276,9 +286,18 @@ class BatchedGpuFFT3D:
         """Inverse-transform every entry; matches ``ifftn`` per entry."""
         return self._run(xs, inverse=True)
 
-    def execute(self, xs, inverse: bool = False) -> np.ndarray:
-        """Transform a batch in either direction."""
-        return self._run(xs, inverse=inverse)
+    def execute(
+        self, xs, inverse: bool = False, force_host: bool = False
+    ) -> np.ndarray:
+        """Transform a batch in either direction.
+
+        ``force_host=True`` runs every entry on the host reference path
+        (charged as host time, no device operations at all) — the
+        guaranteed-progress degradation a server takes when every card
+        is ejected.  Results stay correct; the downgrades are recorded
+        in :attr:`resilience`.
+        """
+        return self._run(xs, inverse=inverse, force_host=force_host)
 
     def _coerce_batch(self, xs) -> list[np.ndarray]:
         if isinstance(xs, np.ndarray) and xs.ndim == 4:
@@ -295,7 +314,7 @@ class BatchedGpuFFT3D:
             out.append(x)
         return out
 
-    def _run(self, xs, inverse: bool) -> np.ndarray:
+    def _run(self, xs, inverse: bool, force_host: bool = False) -> np.ndarray:
         entries = self._coerce_batch(xs)
         dtype = np.complex64 if self.precision == "single" else np.complex128
         if not entries:
@@ -311,7 +330,7 @@ class BatchedGpuFFT3D:
             self._injector
         ):
             resets = 0
-            dead = False  # device given up on: host path for the rest
+            dead = force_host  # device given up on: host path for the rest
             for i, x in enumerate(entries):
                 target = final[i] if pooled else None
                 with self.simulator.annotate(entry=i):
@@ -319,7 +338,10 @@ class BatchedGpuFFT3D:
                         if dead:
                             outs.append(
                                 self._host_result(
-                                    x, inverse, "device lost", target
+                                    x,
+                                    inverse,
+                                    "forced" if force_host else "device lost",
+                                    target,
                                 )
                             )
                             break
@@ -333,9 +355,11 @@ class BatchedGpuFFT3D:
                         except DeviceLostError:
                             # Only entry i was in flight functionally;
                             # finished entries already live in host memory.
+                            self._slots.clear()  # allocations died with card
+                            if self.raise_on_device_loss:
+                                raise
                             resets += 1
                             self.resilience.device_resets += 1
-                            self._slots.clear()  # allocations died with card
                             if resets > self.retry_policy.max_device_resets:
                                 dead = True
                                 continue

@@ -156,6 +156,25 @@ class ResilienceReport:
         """Count one retry attributed to ``fault_class``."""
         self.retries[fault_class] = self.retries.get(fault_class, 0) + 1
 
+    def signature(self) -> tuple[int, int, int, int, int]:
+        """Cheap comparable fingerprint of the fault-visible counters.
+
+        Two signatures taken around a batch dispatch differ iff the
+        engine absorbed any fault during it (a retry, checksum failure,
+        checkpoint restore, device reset or downgrade).  The serving
+        layer's health tracker uses exactly this to mark a batch — and
+        every future that rode in it — as *faulted* without walking the
+        timeline.  ``attempts`` is deliberately excluded: it advances on
+        clean transfers too.
+        """
+        return (
+            self.total_retries,
+            self.checksum_failures,
+            self.checkpoint_restores,
+            self.device_resets,
+            len(self.downgrades),
+        )
+
     def absorb(self, other: "ResilienceReport") -> "ResilienceReport":
         """Fold ``other``'s counters into this report; returns self.
 

@@ -215,6 +215,32 @@ class FaultInjector:
         return self._poll("allocate", label)
 
     # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+
+    def split(self, n: int) -> list["FaultInjector"]:
+        """``n`` independently seeded injectors carrying this one's specs.
+
+        The fleet-scoping primitive: a multi-worker server hands each
+        simulated card its own injector so per-card fault schedules never
+        interleave, yet the whole fleet's behavior stays a pure function
+        of the template's seed.  Child seeds come from
+        ``numpy.random.SeedSequence(seed).spawn``, so siblings are
+        statistically independent and the derivation is reproducible.
+        The template itself is left untouched (its counters do not
+        advance), and ``at_ops`` specs replicate onto every child — each
+        card sees the deterministic schedule against its *own* operation
+        stream.
+        """
+        if n < 1:
+            raise ValueError("split() needs at least one child")
+        children = np.random.SeedSequence(self.seed).spawn(n)
+        return [
+            FaultInjector(self.specs, seed=int(c.generate_state(1)[0]))
+            for c in children
+        ]
+
+    # ------------------------------------------------------------------
     # Corruption
     # ------------------------------------------------------------------
 

@@ -31,7 +31,14 @@ The serving layer (:mod:`repro.serve`) records its own family under the
 (per ``reason=`` label), ``serve.expired``, ``serve.batches``,
 ``serve.queue.depth`` (gauge), ``serve.queue.wait.seconds``,
 ``serve.first_dispatch.seconds``, ``serve.latency.seconds`` and
-``serve.batch.size`` (histograms, simulated device seconds).
+``serve.batch.size`` (histograms, simulated device seconds).  The
+fault-tolerant layer (DESIGN.md §15) adds ``serve.health.state`` (gauge,
+state code per ``worker=``), ``serve.health.transitions`` (per
+``worker=``/``to=``), ``serve.health.probes`` (per ``outcome=``),
+``serve.health.absorbed``, ``serve.health.forced_host``,
+``serve.breaker.open`` / ``serve.breaker.state`` (per ``worker=``),
+``serve.requeue.requests``, ``serve.requeue.dropped`` (per
+``reason=budget|deadline``) and ``serve.drains`` (per ``outcome=``).
 
 :meth:`MetricsRegistry.snapshot` returns the whole registry as one plain
 dict (JSON-safe) and :meth:`MetricsRegistry.render` as an aligned text

@@ -11,20 +11,39 @@ through the existing :class:`~repro.core.batch.BatchedGpuFFT3D` /
 :class:`~repro.core.api.GpuFFT3D` engines with their resilient retry
 machinery and shared :data:`~repro.core.plan_cache.PLAN_CACHE` plans.
 
-See DESIGN.md §13 and the README "Serving" section; the acceptance
-experiment lives in ``benchmarks/bench_serve.py``.
+The serving layer is chaos-hardened: every dispatch worker owns a
+circuit breaker and a four-state health machine (:mod:`repro.serve.health`)
+driven by batch outcomes and synthetic probes; a dying card is ejected,
+its in-flight requests re-queue to the survivors (deadline- and
+budget-checked), and :meth:`FFTServer.drain` quiesces gracefully with a
+typed :class:`DrainingError` at the door.  The seeded drill in
+:mod:`repro.serve.chaos` pins the invariants: no future is ever lost,
+non-faulted results are bit-identical to a fault-free run, and a fixed
+seed reproduces the drill byte for byte.
+
+See DESIGN.md §13/§15 and the README "Serving" / "Resilient serving"
+sections; the acceptance experiments live in ``benchmarks/bench_serve.py``
+and ``benchmarks/bench_resilience.py``.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionPolicy
 from repro.serve.coalescer import CoalesceDecision, CoalescePolicy, Coalescer
 from repro.serve.errors import (
     DeadlineExpiredError,
+    DrainingError,
     InfeasibleDeadlineError,
     QueueFullError,
     RejectedError,
+    RequeueExhaustedError,
     ServeError,
     ServerClosedError,
     TenantQuotaError,
+)
+from repro.serve.health import (
+    CircuitBreaker,
+    HealthMonitor,
+    HealthPolicy,
+    HealthTransition,
 )
 from repro.serve.queueing import PendingQueue, Ticket
 from repro.serve.request import FFTFuture, FFTRequest, PlanKey
@@ -34,19 +53,25 @@ from repro.serve.server import FFTServer, ServeStats
 __all__ = [
     "AdmissionController",
     "AdmissionPolicy",
+    "CircuitBreaker",
     "CoalesceDecision",
     "CoalescePolicy",
     "Coalescer",
     "DeadlineExpiredError",
+    "DrainingError",
     "FFTFuture",
     "FFTRequest",
     "FFTServer",
     "FairScheduler",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthTransition",
     "InfeasibleDeadlineError",
     "PendingQueue",
     "PlanKey",
     "QueueFullError",
     "RejectedError",
+    "RequeueExhaustedError",
     "ServeError",
     "ServeStats",
     "ServerClosedError",

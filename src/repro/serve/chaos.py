@@ -1,0 +1,377 @@
+"""Seeded chaos drill for the serving layer (``python -m repro.serve.chaos``).
+
+The drill throws a randomized-but-seeded fault schedule — transfer
+corruption, ECC bit-flips, allocation failures, device losses, operator
+worker ejections — at a live multi-worker :class:`~repro.serve.server.FFTServer`
+and asserts the three robustness invariants the layer promises:
+
+1. **Zero lost futures.**  Every accepted submission resolves — to a
+   result or a typed :mod:`repro.serve.errors` failure — and every
+   refused submission raised a typed rejection synchronously.  Nothing
+   hangs, nothing vanishes, the queue is empty at the end.
+2. **Bit-identity off the fault path.**  Every completed request whose
+   batch saw no fault (``future.faulted`` clear) produced a result
+   byte-for-byte identical to the fault-free reference (the standalone
+   :class:`~repro.core.api.GpuFFT3D` plan — the same plan objects the
+   server dispatches through).
+3. **Determinism.**  The drill runs in the server's
+   ``serial_dispatch`` mode, where worker assignment, fault streams and
+   health transitions are pure functions of submission order, so a
+   fixed seed reproduces the entire drill summary byte for byte.  The
+   CLI runs the drill twice and compares.
+
+The fault schedule derives from one seed via ``numpy`` ``SeedSequence``
+spawning: each worker gets its own injector with rate-based soft faults,
+and at least two workers carry a deterministic mid-drill device loss;
+an operator ejection (:meth:`~repro.serve.server.FFTServer.eject_worker`)
+fires partway through.  CI runs the quick profile
+(``--seed 7 --requests 500 --quick``); the full drill defaults to 5000
+requests on four workers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.api import GpuFFT3D
+from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.serve.coalescer import CoalescePolicy
+from repro.serve.errors import RejectedError
+from repro.serve.health import HealthPolicy
+from repro.serve.request import FFTFuture, FFTRequest
+from repro.serve.server import FFTServer
+
+__all__ = ["DrillConfig", "DrillResult", "build_requests", "run_drill", "main"]
+
+#: Transform shapes the drill mixes (all in-core, five-step plannable).
+_SHAPES = ((16, 16, 16), (32, 16, 16), (16, 32, 16))
+
+#: Tenants the drill submits as (exercises fair-share accounting).
+_TENANTS = ("alice", "bob", "carol", "dave")
+
+
+@dataclass(frozen=True)
+class DrillConfig:
+    """Everything that parameterizes one drill (and seeds all of it).
+
+    ``quick`` shrinks the soft-fault rates and brings the deterministic
+    device losses forward so a 500-request CI run still sees every
+    event class; the invariants checked are identical.
+    """
+
+    seed: int = 7
+    requests: int = 5000
+    n_workers: int = 4
+    max_batch: int = 8
+    #: Requests submitted between synchronous pump (dispatch) cycles.
+    chunk: int = 32
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be at least 1")
+        if self.n_workers < 2:
+            raise ValueError("the drill needs at least two workers")
+        if self.chunk < 1:
+            raise ValueError("chunk must be at least 1")
+
+
+@dataclass
+class DrillResult:
+    """Outcome of one drill: the canonical summary plus the verdict."""
+
+    summary: dict
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.violations
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, no wall-clock fields) — two runs
+        of the same config must produce byte-identical output."""
+        return json.dumps(self.summary, sort_keys=True, indent=2)
+
+
+def build_requests(cfg: DrillConfig) -> list[FFTRequest]:
+    """The drill's deterministic request stream.
+
+    Payloads, shapes, tenants, priorities and deadlines all derive from
+    ``cfg.seed``; most deadlines are generous (they exist to exercise
+    the re-queue feasibility re-check), a small slice is deliberately
+    infeasible so typed admission rejections appear in every drill.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, 0xC0DE]))
+    reqs = []
+    for i in range(cfg.requests):
+        shape = _SHAPES[int(rng.integers(len(_SHAPES)))]
+        x = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex64)
+        deadline = None
+        if i % 13 == 5:
+            deadline = 30.0  # generous: ~1e5x a single transform
+        elif i % 97 == 41:
+            deadline = 1e-9  # infeasible on purpose: typed rejection
+        reqs.append(
+            FFTRequest(
+                x,
+                tenant=_TENANTS[i % len(_TENANTS)],
+                priority=int(rng.integers(3)),
+                deadline_s=deadline,
+            )
+        )
+    return reqs
+
+
+def _fault_schedule(cfg: DrillConfig) -> list[FaultInjector]:
+    """Per-worker injectors: seeded soft faults + two hard device losses.
+
+    Workers 1 and ``n_workers - 1`` carry a deterministic ``device-lost``
+    at a launch-op index drawn from the seed (so the loss lands mid-
+    stream, after the worker has done real work); every worker gets
+    low-rate transfer corruption, ECC flips and allocation failures for
+    the engines' internal machinery to absorb.
+    """
+    children = np.random.SeedSequence([cfg.seed, 0xFA117]).spawn(cfg.n_workers)
+    scale = 0.4 if cfg.quick else 1.0
+    lo, hi = (20, 120) if cfg.quick else (200, 1200)
+    loss_workers = {1, cfg.n_workers - 1}
+    injectors = []
+    for wid, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        specs = [
+            FaultSpec("transfer-corrupt", rate=0.004 * scale),
+            FaultSpec("ecc-bitflip", rate=0.002 * scale),
+            FaultSpec("alloc-fail", rate=0.002 * scale),
+            FaultSpec("transfer-fail", rate=0.003 * scale),
+        ]
+        if wid in loss_workers:
+            specs.append(
+                FaultSpec(
+                    "device-lost",
+                    at_ops=(int(rng.integers(lo, hi)),),
+                    category="launch",
+                )
+            )
+        injectors.append(
+            FaultInjector(specs, seed=int(child.generate_state(1)[0]))
+        )
+    return injectors
+
+
+def reference_digests(reqs: list[FFTRequest]) -> list[str]:
+    """Fault-free result digest per request, via the standalone plans.
+
+    The server dispatches through the same
+    :data:`~repro.core.plan_cache.PLAN_CACHE` plan objects, so a served
+    result that took no fault path must match these bytes exactly.
+    """
+    plans: dict[tuple, GpuFFT3D] = {}
+    digests = []
+    for req in reqs:
+        pkey = (req.shape, req.precision, req.norm)
+        plan = plans.get(pkey)
+        if plan is None:
+            plan = plans[pkey] = GpuFFT3D(
+                req.shape, precision=req.precision, norm=req.norm
+            )
+        out = plan.execute(req.x, inverse=req.inverse)
+        digests.append(
+            hashlib.sha256(np.ascontiguousarray(out).tobytes()).hexdigest()
+        )
+    for plan in plans.values():
+        plan.close()
+    return digests
+
+
+def run_drill(cfg: DrillConfig) -> DrillResult:
+    """One full drill: build, bombard, drain, check every invariant."""
+    reqs = build_requests(cfg)
+    refs = reference_digests(reqs)
+    eject_at = cfg.requests // 2  # operator pulls worker 0 mid-stream
+    outcomes: list[FFTFuture | str] = []
+    server = FFTServer(
+        start=False,
+        n_workers=cfg.n_workers,
+        serial_dispatch=True,
+        fault_injector=_fault_schedule(cfg),
+        health=HealthPolicy(),
+        max_depth=max(4 * cfg.chunk, 128),
+        coalesce=CoalescePolicy(max_batch=cfg.max_batch, max_wait_s=0.0),
+        name="chaos",
+    )
+    ejections = 0
+    with server:
+        for i, req in enumerate(reqs):
+            if i == eject_at:
+                server.eject_worker(0, reason="drill")
+                ejections += 1
+            try:
+                outcomes.append(server.submit(req))
+            except RejectedError as exc:
+                outcomes.append(exc.reason)
+            if (i + 1) % cfg.chunk == 0:
+                server.run_pending()
+        server.drain()
+        stats = server.stats()
+        monitor = server.health
+        assert monitor is not None
+        transitions = [
+            {
+                "worker": t.worker,
+                "from": t.frm,
+                "to": t.to,
+                "dispatch_no": t.dispatch_no,
+                "reason": t.reason,
+                "device_s": round(t.device_s, 9),
+            }
+            for t in monitor.transitions
+        ]
+        health_snap = {str(k): v for k, v in monitor.snapshot().items()}
+        leftover_depth = server.queue.depth
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    violations: list[str] = []
+    rejected = sum(1 for o in outcomes if isinstance(o, str))
+    futures = [o for o in outcomes if not isinstance(o, str)]
+    unresolved = sum(1 for f in futures if not f.done())
+    if unresolved:
+        violations.append(f"{unresolved} futures never resolved (lost work)")
+    if leftover_depth:
+        violations.append(f"{leftover_depth} tickets stranded in the queue")
+
+    completed = failed = faulted_ok = checked = mismatches = 0
+    failure_kinds: dict[str, int] = {}
+    for i, o in enumerate(outcomes):
+        if isinstance(o, str) or not o.done():
+            continue
+        exc = o.exception()
+        if exc is not None:
+            failed += 1
+            kind = type(exc).__name__
+            failure_kinds[kind] = failure_kinds.get(kind, 0) + 1
+            continue
+        completed += 1
+        if o.faulted:
+            faulted_ok += 1
+            continue
+        checked += 1
+        digest = hashlib.sha256(
+            np.ascontiguousarray(o.result()).tobytes()
+        ).hexdigest()
+        if digest != refs[i]:
+            mismatches += 1
+    if mismatches:
+        violations.append(
+            f"{mismatches}/{checked} non-faulted results differ from the "
+            "fault-free reference"
+        )
+
+    device_losses = sum(
+        1 for t in transitions if t["reason"] == "DeviceLostError"
+    )
+    if device_losses + ejections < 2:
+        violations.append(
+            f"drill saw only {device_losses} device losses and {ejections} "
+            "ejections; the schedule must produce at least two hard events"
+        )
+
+    summary = {
+        "config": {
+            "seed": cfg.seed,
+            "requests": cfg.requests,
+            "n_workers": cfg.n_workers,
+            "max_batch": cfg.max_batch,
+            "chunk": cfg.chunk,
+            "quick": cfg.quick,
+        },
+        "counts": {
+            "submitted": stats.submitted,
+            "completed": completed,
+            "completed_faulted": faulted_ok,
+            "failed": failed,
+            "rejected": rejected,
+            "rejected_reasons": dict(sorted(stats.rejected.items())),
+            "failure_kinds": dict(sorted(failure_kinds.items())),
+            "requeued": stats.requeued,
+            "batches": stats.batches,
+            "expired": stats.expired,
+        },
+        "health": {
+            "transitions": transitions,
+            "workers": health_snap,
+            "device_losses": device_losses,
+            "operator_ejections": ejections,
+        },
+        "invariants": {
+            "zero_lost_futures": unresolved == 0 and leftover_depth == 0,
+            "bit_identity_checked": checked,
+            "bit_identity_mismatches": mismatches,
+            "hard_events": device_losses + ejections,
+        },
+    }
+    return DrillResult(summary=summary, violations=violations)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: run the drill twice, assert invariants + determinism."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.chaos",
+        description="Seeded chaos drill against a live FFTServer.",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--requests", type=int, default=5000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI profile: softer fault rates, earlier device losses",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="skip the second (determinism-checking) run",
+    )
+    args = parser.parse_args(argv)
+    cfg = DrillConfig(
+        seed=args.seed,
+        requests=args.requests,
+        n_workers=args.workers,
+        max_batch=args.max_batch,
+        quick=args.quick,
+    )
+    first = run_drill(cfg)
+    print(first.to_json())
+    rc = 0
+    for v in first.violations:
+        print(f"INVARIANT VIOLATED: {v}", file=sys.stderr)
+        rc = 1
+    if not args.once:
+        second = run_drill(cfg)
+        if second.to_json() != first.to_json():
+            print(
+                "INVARIANT VIOLATED: drill is not deterministic for "
+                f"seed {cfg.seed}",
+                file=sys.stderr,
+            )
+            rc = 1
+        else:
+            print(f"determinism: second run identical (seed {cfg.seed})")
+    if rc == 0:
+        print("chaos drill passed: all invariants held")
+    return rc
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI job
+    raise SystemExit(main())

@@ -9,13 +9,22 @@ Two families:
 
 * :class:`RejectedError` — *admission-time* refusals raised synchronously
   from :meth:`~repro.serve.server.FFTServer.submit`; the request was
-  never enqueued and will never execute.
-* :class:`DeadlineExpiredError` / :class:`ServerClosedError` — *post-
-  admission* abandonment delivered through the request's future: the
-  request was queued but dropped before (or instead of) dispatch.
+  never enqueued and will never execute.  :class:`DrainingError` is the
+  member a draining server answers with: typed, counted, and gone the
+  moment the drain completes.
+* :class:`DeadlineExpiredError` / :class:`ServerClosedError` /
+  :class:`RequeueExhaustedError` — *post-admission* abandonment
+  delivered through the request's future: the request was queued but
+  dropped before (or instead of) dispatch, swept by a closing server,
+  or re-queued off failing workers until its retry budget ran out.
+  :class:`~repro.serve.errors.InfeasibleDeadlineError` also reaches
+  futures via this path when a re-queued request can no longer meet its
+  deadline after a worker loss.
 
-The disjointness of these paths is the invariant the stress suite pins
-down: no request is ever both rejected and executed.
+The disjointness of these paths is the invariant the stress suite and
+the chaos drill (:mod:`repro.serve.chaos`) pin down: no request is ever
+both rejected and executed, and every submitted request resolves to a
+result or one of these typed failures.
 """
 
 from __future__ import annotations
@@ -27,6 +36,8 @@ __all__ = [
     "TenantQuotaError",
     "InfeasibleDeadlineError",
     "DeadlineExpiredError",
+    "DrainingError",
+    "RequeueExhaustedError",
     "ServerClosedError",
 ]
 
@@ -62,10 +73,22 @@ class InfeasibleDeadlineError(RejectedError):
     reason = "deadline_infeasible"
 
 
+class DrainingError(RejectedError):
+    """The server is draining: admission is paused until it completes."""
+
+    reason = "draining"
+
+
 class DeadlineExpiredError(ServeError):
     """Queued too long: the deadline passed before dispatch could finish."""
 
     reason = "deadline_expired"
+
+
+class RequeueExhaustedError(ServeError):
+    """Every re-dispatch after worker failures also failed; budget spent."""
+
+    reason = "requeue_exhausted"
 
 
 class ServerClosedError(ServeError):

@@ -1,0 +1,525 @@
+"""Worker health: state machine, circuit breakers, synthetic probes.
+
+The fault-tolerant serving layer's control plane.  Each dispatch worker
+(one simulated card) owns a :class:`CircuitBreaker`, and the
+:class:`HealthMonitor` folds breaker state plus recent batch outcomes
+into the four-state health machine the operator sees::
+
+    healthy ──batch failure──► degraded ──threshold──► ejected
+       ▲                          │                       │
+       │ success                  │ device loss /         │ cool-down
+       │                          ▼ operator eject        ▼
+       └──k probation wins── probation ◄──synthetic probe ok
+                                  │
+                                  └──probe/batch failure──► ejected
+
+* **healthy** — breaker closed, no recent failures; dispatches normally.
+* **degraded** — breaker closed but the last batch failed; still
+  dispatchable, one more consecutive failure closer to ejection.
+* **ejected** — breaker open: the worker lost its card (or an operator /
+  the chaos drill pulled it).  No work lands here until the cool-down
+  (counted in dispatch cycles, so the machine is deterministic under the
+  serial drill) expires.
+* **probation** — breaker half-open: the cool-down expired and a
+  synthetic probe (allocate → upload → kernel launch → download →
+  bit-compare on the worker's own card) passed.  The worker takes real
+  batches again, but a single failure re-opens the breaker and
+  ``probation_successes`` clean batches are needed to close it.
+
+Every transition is logged (:class:`HealthTransition`), counted into the
+``serve.health.*`` / ``serve.breaker.*`` metric families, and — when a
+simulator is attached — stamped onto its timeline as a zero-duration
+``host`` event labelled ``health:wN:old->new``, which is how ejection
+and recovery show up in Chrome-trace exports and the drill timeline of
+``examples/chaos_drill.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from threading import Lock
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.plan_cache import PLAN_CACHE
+from repro.gpu.faults import FaultError
+from repro.gpu.simulator import DeviceMemoryError, DeviceSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "HEALTH_STATES",
+    "HealthPolicy",
+    "HealthTransition",
+    "CircuitBreaker",
+    "WorkerHealth",
+    "HealthMonitor",
+    "run_probe",
+]
+
+#: The four worker states, in display/metric-code order.
+HEALTH_STATES = ("healthy", "degraded", "ejected", "probation")
+
+#: Numeric codes for the ``serve.health.state`` gauge.
+_STATE_CODE = {s: i for i, s in enumerate(HEALTH_STATES)}
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Knobs of the health machine and the per-worker breakers.
+
+    ``failure_threshold``
+        Consecutive batch failures that open a worker's breaker (a
+        device loss or a probation failure opens it immediately).
+    ``cooldown_dispatches``
+        Dispatch cycles an ejected worker sits out before a synthetic
+        probe may half-open its breaker.  Counted in cycles rather than
+        wall seconds so the machine is a pure function of the dispatch
+        sequence — the chaos drill's determinism depends on it.
+    ``probation_successes``
+        Clean batches a probationary worker must complete before its
+        breaker closes again (``healthy``).
+    ``max_requeues``
+        Re-dispatch budget per request: a ticket bounced off failing
+        workers more than this resolves with
+        :class:`~repro.serve.errors.RequeueExhaustedError`.
+    ``probe_shape``
+        Grid shape of the synthetic probe transform (kept at the
+        smallest plannable grid on purpose — the probe charges real
+        simulated time on the candidate card).
+    ``probe_every``
+        Optional periodic probing of *non*-ejected workers every N
+        batches (None disables; ejection recovery always probes).
+    """
+
+    failure_threshold: int = 3
+    cooldown_dispatches: int = 2
+    probation_successes: int = 2
+    max_requeues: int = 3
+    probe_shape: tuple[int, int, int] = (16, 16, 16)
+    probe_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown_dispatches < 0:
+            raise ValueError("cooldown_dispatches must be non-negative")
+        if self.probation_successes < 1:
+            raise ValueError("probation_successes must be at least 1")
+        if self.max_requeues < 0:
+            raise ValueError("max_requeues must be non-negative")
+        if self.probe_every is not None and self.probe_every < 1:
+            raise ValueError("probe_every must be at least 1 (or None)")
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One edge taken in a worker's health machine (for logs and drills).
+
+    ``dispatch_no`` is the monitor's cycle counter at the transition and
+    ``device_s`` the worker's own simulated clock — both deterministic
+    under the serial drill.  ``wall_s`` is host wall-clock, recorded for
+    recovery-latency benchmarks and deliberately excluded from the
+    drill's deterministic summary.
+    """
+
+    worker: int
+    frm: str
+    to: str
+    dispatch_no: int
+    reason: str
+    device_s: float = 0.0
+    wall_s: float = 0.0
+
+
+class CircuitBreaker:
+    """Per-worker breaker: closed → open → half-open → closed.
+
+    Pure mechanism, no policy of its own beyond the three knobs; the
+    :class:`HealthMonitor` drives it from batch outcomes and maps its
+    state onto the health machine.  ``now`` is the dispatch-cycle
+    counter, not wall time.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: int = 2,
+        half_open_successes: int = 2,
+    ):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.half_open_successes = half_open_successes
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: int | None = None
+        self.half_open_wins = 0
+        self.times_opened = 0
+
+    def record_failure(self, now: int, fatal: bool = False) -> bool:
+        """Count one failure; returns True when this opened the breaker.
+
+        ``fatal`` (device loss, probe failure, operator eject) opens
+        immediately; otherwise the consecutive-failure threshold
+        applies.  A half-open breaker re-opens on any failure.
+        """
+        self.consecutive_failures += 1
+        if (
+            fatal
+            or self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            already_open = self.state == self.OPEN
+            self.state = self.OPEN
+            self.opened_at = now
+            self.half_open_wins = 0
+            if not already_open:
+                self.times_opened += 1
+                return True
+        return False
+
+    def record_success(self) -> bool:
+        """Count one success; returns True when this closed the breaker."""
+        self.consecutive_failures = 0
+        if self.state == self.HALF_OPEN:
+            self.half_open_wins += 1
+            if self.half_open_wins >= self.half_open_successes:
+                self.state = self.CLOSED
+                self.opened_at = None
+                self.half_open_wins = 0
+                return True
+        return False
+
+    def allow(self, now: int) -> bool:
+        """May traffic reach this worker at cycle ``now``?
+
+        An open breaker whose cool-down has expired moves to half-open
+        (and answers True — the caller must probe before trusting it).
+        """
+        if self.state != self.OPEN:
+            return True
+        assert self.opened_at is not None
+        if now - self.opened_at >= self.cooldown:
+            self.state = self.HALF_OPEN
+            self.half_open_wins = 0
+            return True
+        return False
+
+
+def run_probe(
+    sim: DeviceSimulator,
+    shape: tuple[int, int, int] = (16, 16, 16),
+    label: str = "probe",
+) -> tuple[bool, str]:
+    """One synthetic probe plan on ``sim``; returns ``(ok, reason)``.
+
+    The probe exercises every fault category the injector knows, on the
+    worker's own card and operation streams: an allocation, an upload, a
+    kernel launch (the probe shape's first five-step kernel, pulled from
+    the plan cache so probing never recomputes specs), and a download,
+    then bit-compares the round-tripped payload.  A lost card is reset
+    first — the probe's question is "is the card usable *now*?" — and
+    any fault during the probe (including silent corruption caught by
+    the compare) answers no.  Time is charged to the worker's simulated
+    clock: probing is not free, which is why ejection cool-downs exist.
+    """
+    if sim.device_lost:
+        sim.reset_device()
+    shape = tuple(int(n) for n in shape)
+    nz, ny, nx = shape
+    pattern = (
+        np.arange(nz * ny * nx, dtype=np.float32).reshape(shape)
+        + 1j * np.float32(1.0)
+    ).astype(np.complex64)
+    dev = None
+    try:
+        dev = sim.allocate(shape, np.complex64, f"{label}-V")
+        sim.h2d(pattern, dev, label=f"{label}-h2d")
+        spec = PLAN_CACHE.step_specs(shape, "single", sim.device)[0]
+        sim.launch(spec)
+        out = np.empty_like(pattern)
+        sim.d2h(dev, out, label=f"{label}-d2h")
+        if not np.array_equal(out, pattern):
+            return False, "corrupt"
+        return True, "ok"
+    except (FaultError, DeviceMemoryError) as exc:
+        return False, type(exc).__name__
+    finally:
+        if dev is not None and sim.is_allocated(dev):
+            sim.free(dev)
+
+
+@dataclass
+class WorkerHealth:
+    """One worker's live health record (breaker + counters)."""
+
+    worker: int
+    breaker: CircuitBreaker
+    state: str = "healthy"
+    batches_ok: int = 0
+    batches_failed: int = 0
+    probes_ok: int = 0
+    probes_failed: int = 0
+    requeued_requests: int = 0
+    forced_host_batches: int = 0
+    batches_since_probe: int = 0
+    last_ejected_at: int | None = None
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of this worker (drill reports, ``stats``)."""
+        return {
+            "state": self.state,
+            "breaker": self.breaker.state,
+            "batches_ok": self.batches_ok,
+            "batches_failed": self.batches_failed,
+            "probes_ok": self.probes_ok,
+            "probes_failed": self.probes_failed,
+            "requeued_requests": self.requeued_requests,
+            "forced_host_batches": self.forced_host_batches,
+            "times_ejected": self.breaker.times_opened,
+        }
+
+
+class HealthMonitor:
+    """Fleet view: claims, outcomes, transitions and metric emission.
+
+    The server funnels every scheduling decision through here:
+
+    * :meth:`advance` once per dispatch cycle (the machine's clock);
+    * :meth:`claim` before handing a batch to a worker — answers
+      ``"run"``, ``"probe"`` (half-open: probe first) or ``"reject"``
+      (breaker open, still cooling);
+    * :meth:`record_success` / :meth:`record_failure` /
+      :meth:`record_probe` with the outcome.
+
+    Thread-safe (pooled workers report concurrently); trace-event
+    stamping onto worker simulators is enabled only when the server
+    dispatches serially, because a simulator timeline is single-threaded
+    property of its owning worker.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        policy: HealthPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        sims: list[DeviceSimulator] | None = None,
+        trace_events: bool = False,
+    ):
+        self.policy = policy or HealthPolicy()
+        self.metrics = metrics
+        self._sims = sims or []
+        self._trace_events = trace_events and bool(sims)
+        self._lock = Lock()
+        self._now = 0
+        self.workers = {
+            wid: WorkerHealth(
+                wid,
+                CircuitBreaker(
+                    failure_threshold=self.policy.failure_threshold,
+                    cooldown=self.policy.cooldown_dispatches,
+                    half_open_successes=self.policy.probation_successes,
+                ),
+            )
+            for wid in range(n_workers)
+        }
+        self.transitions: list[HealthTransition] = []
+        for wid in self.workers:
+            self._gauge(wid)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    def advance(self) -> int:
+        """Tick the dispatch-cycle clock; returns the new cycle number."""
+        with self._lock:
+            self._now += 1
+            return self._now
+
+    @property
+    def now(self) -> int:
+        """The current dispatch cycle."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling surface
+    # ------------------------------------------------------------------
+
+    def claim(self, wid: int) -> str:
+        """May a batch land on ``wid`` right now?
+
+        ``"reject"`` — breaker open, cool-down running; ``"probe"`` —
+        half-open (or periodic probe due): run a synthetic probe before
+        the batch; ``"run"`` — dispatch normally.
+        """
+        with self._lock:
+            w = self.workers[wid]
+            if not w.breaker.allow(self._now):
+                return "reject"
+            if w.breaker.state == CircuitBreaker.HALF_OPEN:
+                # Half-open and not yet probed → probe first; once the
+                # probe passed (state == probation) real batches flow.
+                if w.state != "probation":
+                    return "probe"
+                return "run"
+            if (
+                self.policy.probe_every is not None
+                and w.batches_since_probe >= self.policy.probe_every
+            ):
+                return "probe"
+            return "run"
+
+    def states(self) -> dict[int, str]:
+        """Current health state per worker."""
+        with self._lock:
+            return {wid: w.state for wid, w in self.workers.items()}
+
+    def snapshot(self) -> dict[int, dict]:
+        """Per-worker JSON-safe summaries (keyed by worker id)."""
+        with self._lock:
+            return {wid: w.snapshot() for wid, w in self.workers.items()}
+
+    def any_dispatchable(self) -> bool:
+        """True while at least one breaker admits traffic this cycle.
+
+        A pure query: unlike :meth:`claim` it never half-opens a cooled
+        breaker, so callers may poll it freely while deciding whether to
+        wait for a card or degrade to the host path.
+        """
+        with self._lock:
+            for w in self.workers.values():
+                b = w.breaker
+                if b.state != CircuitBreaker.OPEN:
+                    return True
+                if b.opened_at is not None and self._now - b.opened_at >= b.cooldown:
+                    return True
+            return False
+
+    # ------------------------------------------------------------------
+    # Outcomes
+    # ------------------------------------------------------------------
+
+    def record_success(self, wid: int, absorbed_faults: bool = False) -> None:
+        """One batch completed on ``wid`` (``absorbed_faults``: retried
+        /degraded internally but still delivered)."""
+        with self._lock:
+            w = self.workers[wid]
+            w.batches_ok += 1
+            w.batches_since_probe += 1
+            closed = w.breaker.record_success()
+            if absorbed_faults:
+                self._count("serve.health.absorbed", wid)
+            if closed or w.state == "degraded":
+                self._set_state(w, "healthy", "recovered")
+
+    def record_failure(self, wid: int, exc: BaseException, fatal: bool = False) -> None:
+        """One batch failed on ``wid``; ``fatal`` skips the threshold."""
+        with self._lock:
+            w = self.workers[wid]
+            w.batches_failed += 1
+            opened = w.breaker.record_failure(self._now, fatal=fatal)
+            if opened:
+                w.last_ejected_at = self._now
+                self._count("serve.breaker.open", wid)
+                self._set_state(w, "ejected", type(exc).__name__)
+            elif w.breaker.state == CircuitBreaker.CLOSED:
+                self._set_state(w, "degraded", type(exc).__name__)
+
+    def record_probe(self, wid: int, ok: bool, reason: str = "") -> None:
+        """Outcome of a synthetic probe on ``wid``."""
+        with self._lock:
+            w = self.workers[wid]
+            w.batches_since_probe = 0
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "serve.health.probes",
+                    "probes",
+                    {"worker": str(wid), "outcome": "ok" if ok else "fail"},
+                ).inc()
+            if ok:
+                w.probes_ok += 1
+                if w.breaker.state == CircuitBreaker.HALF_OPEN:
+                    self._set_state(w, "probation", "probe ok")
+            else:
+                w.probes_failed += 1
+                opened = w.breaker.record_failure(self._now, fatal=True)
+                if opened or w.state != "ejected":
+                    w.last_ejected_at = self._now
+                    self._count("serve.breaker.open", wid)
+                    self._set_state(w, "ejected", reason or "probe failed")
+
+    def eject(self, wid: int, reason: str = "operator") -> None:
+        """Open ``wid``'s breaker now (operator action / chaos drill)."""
+        with self._lock:
+            w = self.workers[wid]
+            if w.breaker.record_failure(self._now, fatal=True):
+                w.last_ejected_at = self._now
+                self._count("serve.breaker.open", wid)
+                self._set_state(w, "ejected", reason)
+
+    def note_requeue(self, wid: int, n: int) -> None:
+        """Account ``n`` requests re-queued off ``wid``."""
+        with self._lock:
+            self.workers[wid].requeued_requests += n
+
+    def note_forced_host(self, wid: int) -> None:
+        """Account one batch host-forced because no card was dispatchable."""
+        with self._lock:
+            self.workers[wid].forced_host_batches += 1
+            self._count("serve.health.forced_host", wid)
+
+    # ------------------------------------------------------------------
+    # Internals (called under self._lock)
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str, wid: int) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, "events", {"worker": str(wid)}).inc()
+            self.metrics.counter(name, "events").inc()
+
+    def _gauge(self, wid: int) -> None:
+        if self.metrics is not None:
+            w = self.workers[wid]
+            self.metrics.gauge(
+                "serve.health.state", "code", {"worker": str(wid)}
+            ).set(_STATE_CODE[w.state])
+            self.metrics.gauge(
+                "serve.breaker.state", "code", {"worker": str(wid)}
+            ).set(
+                (CircuitBreaker.CLOSED, CircuitBreaker.OPEN,
+                 CircuitBreaker.HALF_OPEN).index(w.breaker.state)
+            )
+
+    def _set_state(self, w: WorkerHealth, to: str, reason: str) -> None:
+        if w.state == to:
+            return
+        frm, w.state = w.state, to
+        sim = self._sims[w.worker] if w.worker < len(self._sims) else None
+        self.transitions.append(
+            HealthTransition(
+                worker=w.worker,
+                frm=frm,
+                to=to,
+                dispatch_no=self._now,
+                reason=reason,
+                device_s=sim.elapsed if sim is not None else 0.0,
+                wall_s=time.monotonic(),
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve.health.transitions",
+                "events",
+                {"worker": str(w.worker), "to": to},
+            ).inc()
+            self.metrics.counter("serve.health.transitions", "events").inc()
+        self._gauge(w.worker)
+        if self._trace_events and sim is not None:
+            with sim.annotate(health=to, worker=w.worker, reason=reason):
+                sim.charge(f"health:w{w.worker}:{frm}->{to}", 0.0, "host")

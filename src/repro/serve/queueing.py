@@ -46,6 +46,9 @@ class Ticket:
     est_solo_s: float = 0.0
     #: Estimated amortized cost inside a steady-state batch.
     est_amortized_s: float = 0.0
+    #: Times this ticket went back to the queue after a worker/batch
+    #: failure (bounded by the server's health policy).
+    requeues: int = 0
 
     @property
     def tenant(self) -> str:
@@ -151,6 +154,31 @@ class PendingQueue:
             if q is None:
                 q = self._by_key[ticket.key] = _KeyQueue()
             q.tickets.append(ticket)
+            self._depth += 1
+            self._tenant_depth[ticket.tenant] = (
+                self._tenant_depth.get(ticket.tenant, 0) + 1
+            )
+            self._backlog_s += ticket.est_amortized_s
+            self._cond.notify_all()
+            return ticket
+
+    def requeue(self, ticket: Ticket) -> Ticket:
+        """Return an already-admitted ticket to the *front* of its key.
+
+        The loss-free re-queue path: the ticket was dispatched, its
+        worker died, and it must go back without re-running admission —
+        it passed the gates once, and bouncing in-flight work off a
+        quota or the depth bound would strand its future.  Depth, tenant
+        and backlog accounting re-enter exactly as :meth:`push` charges
+        them (dispatch released them), and front placement keeps
+        completion order close to admission order for the key's
+        surviving tickets.
+        """
+        with self._lock:
+            q = self._by_key.get(ticket.key)
+            if q is None:
+                q = self._by_key[ticket.key] = _KeyQueue()
+            q.tickets.appendleft(ticket)
             self._depth += 1
             self._tenant_depth[ticket.tenant] = (
                 self._tenant_depth.get(ticket.tenant, 0) + 1

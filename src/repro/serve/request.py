@@ -17,6 +17,7 @@ Requests coalesce only when they can share one
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
@@ -115,10 +116,19 @@ class FFTFuture:
     batch_size: int = 0
     #: Dispatch worker (card) that executed the batch.
     worker: int = 0
+    #: Times this request was re-queued after a worker/batch failure.
+    requeues: int = 0
+    #: True when the batch this request rode in absorbed any injected
+    #: fault (retry, checksum failure, device reset, host downgrade) or
+    #: was re-queued/host-forced — the chaos drill's bit-identity
+    #: invariant applies only to futures with this flag clear.
+    faulted: bool = False
     #: Simulated seconds between admission and dispatch.
     queue_wait_s: float = 0.0
     #: Simulated device time when the result landed.
     finish_device_s: float = 0.0
+    #: Wall-clock (``time.monotonic``) when the future resolved.
+    finish_wall_s: float = 0.0
     #: Global completion order (assigned when the future resolves).
     completion_seq: int = -1
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
@@ -149,11 +159,17 @@ class FFTFuture:
         return self._exception
 
     def _resolve(self, result: np.ndarray, completion_seq: int) -> None:
+        if self._event.is_set():  # resolve-once: first outcome wins
+            return
         self._result = result
         self.completion_seq = completion_seq
+        self.finish_wall_s = time.monotonic()
         self._event.set()
 
     def _fail(self, exc: BaseException, completion_seq: int) -> None:
+        if self._event.is_set():  # resolve-once: first outcome wins
+            return
         self._exception = exc
         self.completion_seq = completion_seq
+        self.finish_wall_s = time.monotonic()
         self._event.set()

@@ -6,29 +6,38 @@ objects; one dispatcher keeps the (simulated) device saturated::
     submit() ──admission──► PendingQueue ──coalesce──► FairScheduler
                                  │                          │
                        typed rejections              batch per plan key
-                                 │                          │
-                                 ▼                          ▼
+                                 ▲ re-queue                 │
+                                 │ (worker loss)            ▼
                              FFTFuture ◄──results── BatchedGpuFFT3D
                                                     (GpuFFT3D for singletons)
 
 Key properties:
 
-* **One device thread.**  All simulator work happens on the dispatcher
-  (or the caller of :meth:`FFTServer.run_pending` in synchronous mode),
-  so the engines and the simulated timeline need no internal locking.
+* **One device thread per worker.**  All simulator work happens on the
+  dispatcher (or the caller of :meth:`FFTServer.run_pending` in
+  synchronous mode), so the engines and the simulated timeline need no
+  internal locking.
 * **Deterministic results.**  A request's transform rides the exact
   same plan objects as a standalone
   :class:`~repro.core.api.GpuFFT3D`/:class:`~repro.core.batch.BatchedGpuFFT3D`
   run — results are bit-identical to the unserved path regardless of
-  which batch the coalescer formed.
+  which batch the coalescer formed or which worker (or re-dispatch)
+  executed it.
 * **Typed failure surface.**  Everything the server refuses or abandons
   is a :mod:`repro.serve.errors` class and a metrics counter; no
-  request is ever both rejected and executed.
+  request is ever both rejected and executed, and every admitted
+  request resolves — worker deaths re-queue their in-flight work
+  instead of stranding it.
+* **Worker health.**  Each worker owns a circuit breaker driven by
+  batch outcomes and synthetic probes
+  (:class:`~repro.serve.health.HealthMonitor`): a dying card is ejected,
+  cools down, is probed, and re-admitted through probation; while every
+  card is out the server degrades to the host path rather than stall.
 * **Observability.**  With a ``profiler=`` attached, every dispatch is
   traced through the simulator (spans tagged ``serve_batch``) and the
   ``serve.*`` metric family (queue depth, waits, batch sizes, shed and
-  expiry counts, per-tenant throughput) lands in the same registry as
-  the device-level metrics.
+  expiry counts, re-queues, per-worker health) lands in the same
+  registry as the device-level metrics.
 """
 
 from __future__ import annotations
@@ -40,19 +49,28 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import count
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.core.api import GpuFFT3D
 from repro.core.batch import BatchedGpuFFT3D
 from repro.core.estimator import estimate_batch_pipelined
 from repro.core.resilient import ResilienceReport, RetryPolicy
-from repro.gpu.faults import FaultInjector
+from repro.gpu.faults import DeviceLostError, FaultError, FaultInjector
 from repro.gpu.simulator import DeviceSimulator
 from repro.gpu.specs import DeviceSpec, GEFORCE_8800_GTX
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.admission import AdmissionController, AdmissionPolicy
 from repro.serve.coalescer import CoalescePolicy, Coalescer
-from repro.serve.errors import DeadlineExpiredError, RejectedError, ServerClosedError
+from repro.serve.errors import (
+    DeadlineExpiredError,
+    DrainingError,
+    InfeasibleDeadlineError,
+    RejectedError,
+    RequeueExhaustedError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.serve.health import HealthMonitor, HealthPolicy, run_probe
 from repro.serve.queueing import PendingQueue, Ticket
 from repro.serve.request import FFTFuture, FFTRequest, PlanKey
 from repro.serve.scheduler import FairScheduler, SchedulerPolicy
@@ -73,7 +91,8 @@ class ServeStats:
 
     Counters are lifetime totals; ``queue_depth``/``inflight`` are the
     live values at snapshot time.  ``rejected`` is keyed by the typed
-    error's ``reason`` slug, ``per_tenant_completed`` by tenant id.
+    error's ``reason`` slug, ``per_tenant_completed`` by tenant id,
+    ``worker_health`` by worker id (empty with health monitoring off).
     """
 
     submitted: int = 0
@@ -81,6 +100,8 @@ class ServeStats:
     expired: int = 0
     failed: int = 0
     batches: int = 0
+    #: Requests returned to the queue after a worker/batch failure.
+    requeued: int = 0
     rejected: dict[str, int] = field(default_factory=dict)
     per_tenant_completed: dict[str, int] = field(default_factory=dict)
     queue_depth: int = 0
@@ -89,6 +110,9 @@ class ServeStats:
     #: Simulated seconds per worker card; with ``n_workers == 1`` this is
     #: ``{0: device_elapsed_s}``.
     worker_elapsed_s: dict[int, float] = field(default_factory=dict)
+    #: Health state per worker (``healthy``/``degraded``/``ejected``/
+    #: ``probation``); empty when health monitoring is disabled.
+    worker_health: dict[int, str] = field(default_factory=dict)
 
     @property
     def rejected_total(self) -> int:
@@ -128,17 +152,32 @@ class FFTServer:
         own engines, so independent coalesced batches execute
         concurrently; results stay bit-identical because each batch
         rides the same plan objects regardless of which worker runs it.
-        Incompatible with ``fault_injector`` (injector state is
-        single-card).
+    serial_dispatch:
+        With ``n_workers > 1``, skip the thread pool and execute every
+        batch inline on the dispatching thread, claiming workers
+        round-robin.  Fault streams, health transitions and worker
+        assignment then depend only on submission order — the mode the
+        seeded chaos drill (:mod:`repro.serve.chaos`) runs in.
     pooling:
         Forwarded to every engine: True (default) runs the
         workspace-pooled zero-allocation host path, False the seed
         allocate-per-step path (results are bit-identical; see
         ``benchmarks/bench_hostpath.py``).
     fault_injector / retry_policy:
-        Forwarded to every engine; per-batch recovery (retries, host
-        degradation, device-loss resume) is the engines' existing
-        resilient machinery.
+        Fault injection and retry bounds forwarded to every engine.
+        With ``n_workers > 1`` a single injector is
+        :meth:`~repro.gpu.faults.FaultInjector.split` into independently
+        seeded per-worker children (injector state models a single
+        card); a sequence of exactly ``n_workers`` injectors scopes each
+        worker explicitly.  Per-batch recovery (retries, host
+        degradation) is the engines' existing resilient machinery;
+        device losses surface to the health layer when it is on.
+    health:
+        Worker health monitoring.  ``None`` (default) enables it with
+        the default :class:`~repro.serve.health.HealthPolicy`; pass a
+        policy to tune thresholds, or ``False`` to disable (legacy
+        behavior: engines absorb device losses internally and nothing is
+        ever ejected or re-queued).
     profiler:
         Optional :class:`repro.obs.Profiler`; serve metrics land in its
         registry and dispatches are traced via the shared simulator.
@@ -164,9 +203,11 @@ class FFTServer:
         max_depth: int = 256,
         n_streams: int = 3,
         n_workers: int = 1,
+        serial_dispatch: bool = False,
         pooling: bool = True,
-        fault_injector: FaultInjector | None = None,
+        fault_injector: FaultInjector | Sequence[FaultInjector] | None = None,
         retry_policy: RetryPolicy | None = None,
+        health: HealthPolicy | bool | None = None,
         profiler: Profiler | None = None,
         start: bool = True,
         name: str = "serve",
@@ -176,20 +217,37 @@ class FFTServer:
         self.device = device
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
-        if n_workers > 1 and fault_injector is not None:
-            raise ValueError(
-                "n_workers > 1 cannot share a fault_injector: injector "
-                "state models a single card; attach per-engine injectors "
-                "via fault scopes instead"
-            )
         self.n_workers = n_workers
+        self.serial_dispatch = serial_dispatch
+        # One injector per worker: a single injector models a single
+        # card, so with several workers it is split into independently
+        # seeded children (or the caller scopes each worker explicitly).
+        self._injectors: list[FaultInjector | None]
+        if fault_injector is None:
+            self._injectors = [None] * n_workers
+        elif isinstance(fault_injector, FaultInjector):
+            self._injectors = (
+                [fault_injector]
+                if n_workers == 1
+                else fault_injector.split(n_workers)
+            )
+        else:
+            injectors = list(fault_injector)
+            if len(injectors) != n_workers:
+                raise ValueError(
+                    f"need exactly one fault injector per worker: got "
+                    f"{len(injectors)} for n_workers={n_workers}"
+                )
+            self._injectors = injectors
+        self._fault_injector = self._injectors[0]
         self.simulator = simulator or DeviceSimulator(
-            device, fault_injector=fault_injector
+            device, fault_injector=self._injectors[0]
         )
         # Worker 0 owns the front simulator (the admission/deadline
         # clock); extra workers each get an independent card.
         self._sims: list[DeviceSimulator] = [self.simulator] + [
-            DeviceSimulator(device) for _ in range(n_workers - 1)
+            DeviceSimulator(device, fault_injector=self._injectors[wid])
+            for wid in range(1, n_workers)
         ]
         self.queue = PendingQueue(max_depth=max_depth)
         self.coalescer = Coalescer(coalesce)
@@ -197,7 +255,6 @@ class FFTServer:
         self._admission = AdmissionController(admission)
         self.n_streams = n_streams
         self.pooling = pooling
-        self._fault_injector = fault_injector
         self._retry_policy = retry_policy
         self.profiler = profiler
         self.metrics: MetricsRegistry = (
@@ -231,18 +288,32 @@ class FFTServer:
         self._stop = threading.Event()
         self._pool: ThreadPoolExecutor | None = None
         self._free_wids: _queue.SimpleQueue[int] = _queue.SimpleQueue()
+        self._rr_wid = 0  # next serial-mode worker (round-robin cursor)
         # Workers beyond the host's cores would only thrash caches during
         # the numeric sections; they still overlap queueing, transfers
         # and bookkeeping, but the heavy compute is capped at core count.
         self._compute_permits = threading.BoundedSemaphore(
             max(1, min(n_workers, os.cpu_count() or 1))
         )
-        if n_workers > 1:
+        if n_workers > 1 and not serial_dispatch:
             self._pool = ThreadPoolExecutor(
                 max_workers=n_workers, thread_name_prefix=f"{name}-worker"
             )
             for wid in range(n_workers):
                 self._free_wids.put(wid)
+        if health is False:
+            self._health: HealthMonitor | None = None
+        else:
+            policy = health if isinstance(health, HealthPolicy) else HealthPolicy()
+            self._health = HealthMonitor(
+                n_workers,
+                policy,
+                metrics=self.metrics,
+                sims=self._sims,
+                # Transition trace events touch a worker's timeline, so
+                # they are only safe when one thread drives everything.
+                trace_events=not start and self._pool is None,
+            )
         self._thread: threading.Thread | None = None
         if start:
             self._thread = threading.Thread(
@@ -258,8 +329,8 @@ class FFTServer:
         """Admit one request; returns its future or raises a typed error.
 
         Thread-safe.  Admission (queue bound, tenant quota, deadline
-        feasibility) runs atomically with the enqueue: a raised
-        :class:`~repro.serve.errors.RejectedError` guarantees the
+        feasibility, drain state) runs atomically with the enqueue: a
+        raised :class:`~repro.serve.errors.RejectedError` guarantees the
         request was never queued and will never execute.
         """
         if self._closed:
@@ -285,20 +356,31 @@ class FFTServer:
         )
         with self._state:
             self._stats.submitted += 1
+            draining = self._draining
         self.metrics.counter("serve.submitted", "requests").inc()
+        if draining:
+            raise self._rejected(
+                DrainingError(
+                    "server is draining; admission resumes when it completes"
+                )
+            )
         try:
             self.queue.push(ticket, admission=self._admission)
         except RejectedError as exc:
-            with self._state:
-                reasons = self._stats.rejected
-                reasons[exc.reason] = reasons.get(exc.reason, 0) + 1
-            self.metrics.counter(
-                "serve.rejected", "requests", {"reason": exc.reason}
-            ).inc()
-            self.metrics.counter("serve.rejected", "requests").inc()
-            raise
+            raise self._rejected(exc) from None
         self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
         return ticket.future
+
+    def _rejected(self, exc: RejectedError) -> RejectedError:
+        """Account one admission rejection; returns ``exc`` for raising."""
+        with self._state:
+            reasons = self._stats.rejected
+            reasons[exc.reason] = reasons.get(exc.reason, 0) + 1
+        self.metrics.counter(
+            "serve.rejected", "requests", {"reason": exc.reason}
+        ).inc()
+        self.metrics.counter("serve.rejected", "requests").inc()
+        return exc
 
     def stats(self) -> ServeStats:
         """Snapshot of the server's lifetime counters and live depths."""
@@ -309,6 +391,7 @@ class FFTServer:
                 expired=self._stats.expired,
                 failed=self._stats.failed,
                 batches=self._stats.batches,
+                requeued=self._stats.requeued,
                 rejected=dict(self._stats.rejected),
                 per_tenant_completed=dict(self._stats.per_tenant_completed),
                 inflight=self._inflight,
@@ -318,7 +401,29 @@ class FFTServer:
         snap.worker_elapsed_s = {
             wid: sim.elapsed for wid, sim in enumerate(self._sims)
         }
+        if self._health is not None:
+            snap.worker_health = self._health.states()
         return snap
+
+    @property
+    def health(self) -> HealthMonitor | None:
+        """The worker health monitor (None when disabled)."""
+        return self._health
+
+    def eject_worker(self, wid: int, reason: str = "operator") -> None:
+        """Open ``wid``'s breaker immediately (operator / chaos action).
+
+        The worker takes no further batches until its cool-down expires
+        and a synthetic probe passes; in-flight work on it re-queues
+        through the normal failure path when it surfaces.
+        """
+        if self._health is None:
+            raise RuntimeError(
+                "worker ejection needs health monitoring (health=False given)"
+            )
+        if not 0 <= wid < self.n_workers:
+            raise ValueError(f"no such worker: {wid}")
+        self._health.eject(wid, reason)
 
     def resilience_report(self) -> ResilienceReport:
         """Fleet-wide resilience account folded over every engine."""
@@ -334,31 +439,49 @@ class FFTServer:
     # ------------------------------------------------------------------
 
     def drain(self, timeout: float | None = None) -> bool:
-        """Block until queue and in-flight work are empty; True on success.
+        """Gracefully quiesce: pause admission, finish everything queued.
+
+        While draining, :meth:`submit` rejects with
+        :class:`~repro.serve.errors.DrainingError`; queued and in-flight
+        requests (including any re-queued off failing workers) run to
+        completion, then final gauge values are flushed to the metrics
+        registry.  Returns True when the server emptied within
+        ``timeout`` (None waits indefinitely); on False the server keeps
+        running and admission reopens either way.
 
         In synchronous mode (``start=False``) this dispatches on the
         caller's thread instead of waiting for one.
         """
-        if self._thread is None:
-            self.run_pending()
-            return True
-        self.queue.wake()
-        deadline = None if timeout is None else self._clock() + timeout
         with self._state:
             self._draining = True
         try:
-            self.queue.wake()
-            while True:
+            if self._thread is None:
+                self.run_pending()
                 with self._state:
-                    idle = self._inflight == 0
-                if idle and self.queue.depth == 0:
-                    return True
-                if deadline is not None and self._clock() > deadline:
-                    return False
-                time.sleep(0.001)
+                    ok = self._inflight == 0
+                ok = ok and self.queue.depth == 0
+            else:
+                self.queue.wake()
+                deadline = None if timeout is None else self._clock() + timeout
+                while True:
+                    with self._state:
+                        idle = self._inflight == 0
+                    if idle and self.queue.depth == 0:
+                        ok = True
+                        break
+                    if deadline is not None and self._clock() > deadline:
+                        ok = False
+                        break
+                    time.sleep(0.001)
         finally:
             with self._state:
                 self._draining = False
+            self.queue.wake()
+        self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
+        self.metrics.counter(
+            "serve.drains", "drains", {"outcome": "complete" if ok else "timeout"}
+        ).inc()
+        return ok
 
     def run_pending(self) -> int:
         """Synchronously dispatch everything queued; returns batch count.
@@ -374,8 +497,9 @@ class FFTServer:
                 continue
             if self._pool is None:
                 return n
-            # Pooled workers may still be executing; completed batches
-            # never enqueue new work, so once inflight drains we're done.
+            # Pooled workers may still be executing; batches re-queue
+            # work only before inflight drops, so once inflight drains
+            # an empty queue means we're done.
             with self._state:
                 if self._inflight == 0:
                     if self.queue.depth == 0:
@@ -388,8 +512,11 @@ class FFTServer:
 
         By default queued requests are drained to completion first; with
         ``discard=True`` they fail with
-        :class:`~repro.serve.errors.ServerClosedError` instead.  Engines
-        release their device buffers either way.
+        :class:`~repro.serve.errors.ServerClosedError` instead.  Either
+        way no future is ever stranded: anything still pending after the
+        dispatcher and workers stop (e.g. work re-queued by a dying
+        worker during shutdown) is swept and resolved with
+        ``ServerClosedError``.  Engines release their device buffers.
         """
         if self._closed:
             return
@@ -406,6 +533,9 @@ class FFTServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Final sweep: a worker that died mid-shutdown may have put its
+        # batch back on the queue after the dispatcher exited.
+        self._discard_pending()
         for engine in self._engines.values():
             engine.close()
         for plan in self._singles.values():
@@ -454,6 +584,7 @@ class FFTServer:
     def _engine_for(self, wid: int, key: PlanKey, batch_size: int):
         """The execution engine for one batch (shared plans via the cache)."""
         suffix = f"-w{wid}" if self.n_workers > 1 else ""
+        raise_loss = self._health is not None
         with self._engines_lock:
             ekey = (wid, key)
             self._engine_use[ekey] = next(self._use_counter)
@@ -466,10 +597,11 @@ class FFTServer:
                         simulator=self._sims[wid],
                         precision=key.precision,
                         norm=key.norm,
-                        fault_injector=self._fault_injector,
+                        fault_injector=self._injectors[wid],
                         retry_policy=self._retry_policy,
                         profiler=self.profiler,
                         pooling=self.pooling,
+                        raise_on_device_loss=raise_loss,
                         name=f"{self._name}-{key.slug}-solo{suffix}",
                     )
                 return plan
@@ -481,11 +613,12 @@ class FFTServer:
                     simulator=self._sims[wid],
                     precision=key.precision,
                     norm=key.norm,
-                    fault_injector=self._fault_injector,
+                    fault_injector=self._injectors[wid],
                     retry_policy=self._retry_policy,
                     n_streams=self.n_streams,
                     profiler=self.profiler,
                     pooling=self.pooling,
+                    raise_on_device_loss=raise_loss,
                     name=f"{self._name}-{key.slug}{suffix}",
                 )
             return engine
@@ -509,6 +642,50 @@ class FFTServer:
                 plan = self._singles.get(ekey)
                 if plan is not None:
                     plan.release()
+
+    def _claim_worker_serial(self) -> tuple[int, str]:
+        """Deterministic round-robin claim for pool-less dispatch.
+
+        Walks the workers from the round-robin cursor until the health
+        monitor admits one (``run`` or ``probe``); when every breaker is
+        open and cooling the cursor's worker is returned in ``host``
+        mode — the batch runs on the host path, which needs no card.
+        """
+        if self._health is None:
+            wid = self._rr_wid
+            self._rr_wid = (wid + 1) % self.n_workers
+            return wid, "run"
+        first = self._rr_wid
+        for i in range(self.n_workers):
+            wid = (first + i) % self.n_workers
+            verdict = self._health.claim(wid)
+            if verdict != "reject":
+                self._rr_wid = (wid + 1) % self.n_workers
+                return wid, verdict
+        self._rr_wid = (first + 1) % self.n_workers
+        return first, "host"
+
+    def _claim_worker_pooled(self) -> tuple[int, str]:
+        """Blocking claim for pooled dispatch: a free, admissible worker.
+
+        Takes the next free worker; if its breaker rejects while some
+        other worker could still take traffic, the card is handed back
+        and the claim waits for a better one.  When no worker in the
+        fleet is admissible the rejected card is used in ``host`` mode
+        so the batch makes progress without touching any device.
+        """
+        wid = self._free_wids.get()
+        if self._health is None:
+            return wid, "run"
+        while True:
+            verdict = self._health.claim(wid)
+            if verdict != "reject":
+                return wid, verdict
+            if not self._health.any_dispatchable():
+                return wid, "host"
+            self._free_wids.put(wid)
+            time.sleep(0.0005)
+            wid = self._free_wids.get()
 
     def _dispatch_once(self, draining: bool = False) -> bool:
         """Run one scheduling cycle; True when any decision was made."""
@@ -545,11 +722,16 @@ class FFTServer:
         if not batch:
             return bool(hopeless)
         self.queue.remove_many(key, batch)
+        if self._health is not None:
+            self._health.advance()
         with self._state:
             self._inflight += len(batch)
         if self._pool is None:
+            wid, mode = self._claim_worker_serial()
             try:
-                self._execute_batch(0, key, batch, by_key[key].reason, device_now)
+                self._execute_batch(
+                    wid, key, batch, by_key[key].reason, device_now, mode
+                )
             finally:
                 with self._state:
                     self._inflight -= len(batch)
@@ -565,11 +747,11 @@ class FFTServer:
         self, key: PlanKey, batch: list[Ticket], reason: str, device_now: float
     ) -> None:
         """One pooled worker's batch: claim a card, execute, hand it back."""
-        wid = self._free_wids.get()
+        wid, mode = self._claim_worker_pooled()
         with self._engines_lock:
             self._busy_wids.add(wid)
         try:
-            self._execute_batch(wid, key, batch, reason, device_now)
+            self._execute_batch(wid, key, batch, reason, device_now, mode)
         finally:
             with self._engines_lock:
                 self._busy_wids.discard(wid)
@@ -586,29 +768,97 @@ class FFTServer:
         batch: list[Ticket],
         reason: str,
         device_now: float,
+        mode: str = "run",
+    ) -> None:
+        """Execute one batch on worker ``wid`` in ``mode``.
+
+        ``mode`` is the health monitor's claim verdict: ``run`` (normal),
+        ``probe`` (synthetic probe first — a failing probe re-queues the
+        batch without touching the suspect card), or ``host`` (every
+        card is out; run the reference host path).  Whatever happens,
+        every ticket in ``batch`` ends up resolved or back on the queue.
+        """
+        handled: set[int] = set()
+        try:
+            self._execute_batch_inner(
+                wid, key, batch, reason, device_now, mode, handled
+            )
+        except Exception as exc:  # noqa: BLE001 - nothing may strand a future
+            for t in batch:
+                if id(t) not in handled and not t.future.done():
+                    self._finish_failed(t, exc)
+
+    def _execute_batch_inner(
+        self,
+        wid: int,
+        key: PlanKey,
+        batch: list[Ticket],
+        reason: str,
+        device_now: float,
+        mode: str,
+        handled: set[int],
     ) -> None:
         batch_id = next(self._batch_ids)
         now_wall = self._clock()
         sim = self._sims[wid]
-        engine = self._engine_for(wid, key, len(batch))
+        health = self._health
+        if mode == "probe" and health is not None:
+            ok, why = run_probe(
+                sim, health.policy.probe_shape, label=f"{self._name}-probe-w{wid}"
+            )
+            health.record_probe(wid, ok, why)
+            if not ok:
+                self._requeue_batch(
+                    wid,
+                    batch,
+                    FaultError(f"worker {wid} failed its recovery probe ({why})"),
+                    handled,
+                )
+                return
+        force_host = mode == "host"
+        if force_host and health is not None:
+            health.note_forced_host(wid)
         tags = {"serve_batch": batch_id}
         if self.n_workers > 1:
             tags["worker"] = wid
         try:
+            engine = self._engine_for(wid, key, len(batch))
+            single = isinstance(engine, GpuFFT3D)
+            sig_before = engine.resilience.signature()
             with self._compute_permits, sim.annotate(**tags):
-                if len(batch) == 1:
+                if single:
                     outs = [
-                        engine.execute(batch[0].request.x, inverse=key.inverse)
+                        engine.execute(
+                            batch[0].request.x,
+                            inverse=key.inverse,
+                            force_host=force_host,
+                        )
                     ]
                 else:
                     stacked = engine.execute(
-                        [t.request.x for t in batch], inverse=key.inverse
+                        [t.request.x for t in batch],
+                        inverse=key.inverse,
+                        force_host=force_host,
                     )
                     outs = [stacked[i] for i in range(len(batch))]
+            absorbed = engine.resilience.signature() != sig_before
+        except FaultError as exc:
+            # The worker's card failed under the batch (device loss with
+            # health on, or a probe-visible fault): eject/degrade the
+            # worker and put the work back for the survivors.
+            if health is not None:
+                health.record_failure(
+                    wid, exc, fatal=isinstance(exc, DeviceLostError)
+                )
+            self._requeue_batch(wid, batch, exc, handled)
+            return
         except Exception as exc:  # noqa: BLE001 - typed surface for clients
             for t in batch:
+                handled.add(id(t))
                 self._finish_failed(t, exc)
             return
+        if health is not None and not force_host:
+            health.record_success(wid, absorbed_faults=absorbed)
         finish = sim.elapsed
         with self._state:
             self._stats.batches += 1
@@ -630,6 +880,7 @@ class FFTServer:
             t.future.batch_id = batch_id
             t.future.batch_size = len(batch)
             t.future.worker = wid
+            t.future.faulted = absorbed or force_host or t.requeues > 0
             t.future.queue_wait_s = device_now - t.admit_device_s
             t.future.finish_device_s = finish
             self.metrics.histogram("serve.queue.wait.seconds", "s").observe(
@@ -649,10 +900,79 @@ class FFTServer:
                 self._stats.completed += 1
                 per = self._stats.per_tenant_completed
                 per[t.tenant] = per.get(t.tenant, 0) + 1
+            handled.add(id(t))
             t.future._resolve(out, next(self._completion_seq))
         self._evict_cold_engines()
 
-    def _finish_expired(self, t: Ticket, exc: DeadlineExpiredError) -> None:
+    def _requeue_batch(
+        self,
+        wid: int,
+        batch: list[Ticket],
+        exc: BaseException,
+        handled: set[int],
+    ) -> None:
+        """Return a failed batch to the queue without losing anything.
+
+        Each ticket spends one unit of its re-dispatch budget; a ticket
+        over budget resolves with
+        :class:`~repro.serve.errors.RequeueExhaustedError`, one whose
+        deadline is no longer feasible (re-checked against the front
+        clock, as at admission) with
+        :class:`~repro.serve.errors.InfeasibleDeadlineError`.  Everyone
+        else goes back to the *front* of its key's queue for the
+        surviving workers — admission is not re-run; these requests
+        already passed it.
+        """
+        budget = self._health.policy.max_requeues if self._health is not None else 0
+        device_now = self.simulator.elapsed
+        requeued = 0
+        for t in batch:
+            handled.add(id(t))
+            t.requeues += 1
+            t.future.requeues = t.requeues
+            t.future.faulted = True
+            if t.requeues > budget:
+                self.metrics.counter(
+                    "serve.requeue.dropped", "requests", {"reason": "budget"}
+                ).inc()
+                self._finish_failed(
+                    t,
+                    RequeueExhaustedError(
+                        f"request failed {t.requeues} dispatch attempts "
+                        f"(budget {budget}); last failure: {exc}"
+                    ),
+                )
+                continue
+            if (
+                t.deadline_device_s is not None
+                and device_now + t.est_solo_s > t.deadline_device_s
+            ):
+                self.metrics.counter(
+                    "serve.requeue.dropped", "requests", {"reason": "deadline"}
+                ).inc()
+                self._finish_expired(
+                    t,
+                    InfeasibleDeadlineError(
+                        f"deadline infeasible after worker failure: needs "
+                        f"{t.est_solo_s * 1e3:.3f} ms but only "
+                        f"{max(0.0, (t.deadline_device_s - device_now)) * 1e3:.3f} ms "
+                        "remain on the device clock"
+                    ),
+                )
+                continue
+            self.queue.requeue(t)
+            requeued += 1
+        if requeued:
+            if self._health is not None:
+                self._health.note_requeue(wid, requeued)
+            with self._state:
+                self._stats.requeued += requeued
+            self.metrics.counter("serve.requeue.requests", "requests").inc(
+                requeued
+            )
+        self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
+
+    def _finish_expired(self, t: Ticket, exc: ServeError) -> None:
         with self._state:
             self._stats.expired += 1
         self.metrics.counter("serve.expired", "requests").inc()
@@ -676,7 +996,14 @@ class FFTServer:
             if self._dispatch_once(draining=draining):
                 continue
             if stop and self.queue.depth == 0:
-                return
+                with self._state:
+                    busy = self._inflight > 0
+                if not busy:
+                    return
+                # Pooled batches may still re-queue work; wait them out.
+                with self._state:
+                    self._state.wait(0.005)
+                continue
             heads = self.queue.head_info()
             if not heads:
                 self.queue.wait_for_work(_PARK_S)

@@ -25,6 +25,7 @@ CASES = [
     ("warp_level_demo.py", [], "coalesced"),
     ("trace_explorer.py", ["16", "4"], "ui.perfetto.dev"),
     ("serve_demo.py", ["24"], "dynamic batching"),
+    ("chaos_drill.py", ["64"], "lost futures: 0"),
 ]
 
 

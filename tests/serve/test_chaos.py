@@ -1,0 +1,92 @@
+"""The chaos drill: invariants hold, and the drill itself is deterministic."""
+
+import numpy as np
+import pytest
+
+from repro.serve.chaos import DrillConfig, build_requests, main, run_drill
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One shared quick drill (the module's expensive fixture)."""
+    return run_drill(DrillConfig(seed=7, requests=160, chunk=16, quick=True))
+
+
+class TestDrillConfig:
+    def test_validates(self):
+        with pytest.raises(ValueError, match="requests"):
+            DrillConfig(requests=0)
+        with pytest.raises(ValueError, match="two workers"):
+            DrillConfig(n_workers=1)
+        with pytest.raises(ValueError, match="chunk"):
+            DrillConfig(chunk=0)
+
+
+class TestBuildRequests:
+    def test_deterministic_and_mixed(self):
+        cfg = DrillConfig(seed=3, requests=120)
+        a = build_requests(cfg)
+        b = build_requests(cfg)
+        assert len(a) == 120
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.x, rb.x)
+            assert ra.tenant == rb.tenant
+            assert ra.deadline_s == rb.deadline_s
+        assert len({r.shape for r in a}) > 1
+        assert len({r.tenant for r in a}) == 4
+        assert any(r.deadline_s == 1e-9 for r in a)  # infeasible slice
+
+    def test_different_seed_different_payloads(self):
+        a = build_requests(DrillConfig(seed=3, requests=8))
+        b = build_requests(DrillConfig(seed=4, requests=8))
+        assert not np.array_equal(a[0].x, b[0].x)
+
+
+class TestDrillInvariants:
+    def test_quick_drill_passes(self, quick_result):
+        assert quick_result.ok, quick_result.violations
+
+    def test_zero_lost_futures(self, quick_result):
+        inv = quick_result.summary["invariants"]
+        assert inv["zero_lost_futures"] is True
+
+    def test_bit_identity_off_fault_path(self, quick_result):
+        inv = quick_result.summary["invariants"]
+        assert inv["bit_identity_checked"] > 0
+        assert inv["bit_identity_mismatches"] == 0
+
+    def test_hard_events_occurred(self, quick_result):
+        health = quick_result.summary["health"]
+        assert health["operator_ejections"] >= 1
+        assert quick_result.summary["invariants"]["hard_events"] >= 2
+
+    def test_accounting_closes(self, quick_result):
+        counts = quick_result.summary["counts"]
+        # completed_faulted is a subset of completed, not disjoint from it.
+        resolved = counts["completed"] + counts["failed"] + counts["rejected"]
+        assert resolved == counts["submitted"]
+        assert counts["completed_faulted"] <= counts["completed"]
+
+    def test_deterministic_for_fixed_seed(self, quick_result):
+        again = run_drill(
+            DrillConfig(seed=7, requests=160, chunk=16, quick=True)
+        )
+        assert again.to_json() == quick_result.to_json()
+
+    def test_different_seed_changes_outcome(self, quick_result):
+        other = run_drill(
+            DrillConfig(seed=8, requests=160, chunk=16, quick=True)
+        )
+        assert other.ok
+        assert other.to_json() != quick_result.to_json()
+
+
+class TestCli:
+    def test_main_quick_passes(self, capsys):
+        rc = main(
+            ["--seed", "7", "--requests", "96", "--quick", "--once"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all invariants held" in out
+        assert '"zero_lost_futures": true' in out

@@ -1,0 +1,203 @@
+"""Unit tests for the worker health layer: breakers, monitor, probes."""
+
+import pytest
+
+from repro.gpu.faults import FaultInjector, FaultSpec
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GTX
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.health import (
+    HEALTH_STATES,
+    CircuitBreaker,
+    HealthMonitor,
+    HealthPolicy,
+    run_probe,
+)
+
+
+class TestCircuitBreaker:
+    def test_threshold_opens_and_cooldown_half_opens(self):
+        b = CircuitBreaker(failure_threshold=3, cooldown=2)
+        assert not b.record_failure(now=0)
+        assert not b.record_failure(now=0)
+        assert b.record_failure(now=1)  # third consecutive: opens
+        assert b.state == CircuitBreaker.OPEN
+        assert b.times_opened == 1
+        assert not b.allow(now=1)
+        assert not b.allow(now=2)
+        assert b.allow(now=3)  # cooldown expired: half-open
+        assert b.state == CircuitBreaker.HALF_OPEN
+
+    def test_success_resets_consecutive_count(self):
+        b = CircuitBreaker(failure_threshold=2)
+        b.record_failure(now=0)
+        b.record_success()
+        b.record_failure(now=1)
+        assert b.state == CircuitBreaker.CLOSED  # never two in a row
+
+    def test_fatal_opens_immediately(self):
+        b = CircuitBreaker(failure_threshold=99)
+        assert b.record_failure(now=5, fatal=True)
+        assert b.state == CircuitBreaker.OPEN
+        assert b.opened_at == 5
+
+    def test_half_open_closes_after_wins_and_reopens_on_failure(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown=1, half_open_successes=2)
+        b.record_failure(now=0)
+        assert b.allow(now=1)
+        assert not b.record_success()  # one win: still half-open
+        assert b.record_success()  # second win: closed
+        assert b.state == CircuitBreaker.CLOSED
+        b.record_failure(now=2)
+        assert b.allow(now=3)
+        assert b.record_failure(now=3)  # any half-open failure re-opens
+        assert b.state == CircuitBreaker.OPEN
+        assert b.times_opened == 3
+
+
+class TestHealthPolicy:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            HealthPolicy(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown"):
+            HealthPolicy(cooldown_dispatches=-1)
+        with pytest.raises(ValueError, match="probation"):
+            HealthPolicy(probation_successes=0)
+        with pytest.raises(ValueError, match="max_requeues"):
+            HealthPolicy(max_requeues=-1)
+        with pytest.raises(ValueError, match="probe_every"):
+            HealthPolicy(probe_every=0)
+
+
+class TestHealthMonitor:
+    def _monitor(self, n=2, **kw):
+        return HealthMonitor(n, HealthPolicy(**kw), metrics=MetricsRegistry())
+
+    def test_full_lifecycle_healthy_to_healthy(self):
+        m = self._monitor(failure_threshold=2, cooldown_dispatches=1,
+                          probation_successes=1)
+        assert m.states() == {0: "healthy", 1: "healthy"}
+        m.advance()
+        m.record_failure(0, RuntimeError("x"))
+        assert m.states()[0] == "degraded"
+        m.record_failure(0, RuntimeError("x"))
+        assert m.states()[0] == "ejected"
+        assert m.claim(0) == "reject"  # cooling
+        m.advance()
+        assert m.claim(0) == "probe"  # cooldown over: probe first
+        m.record_probe(0, ok=True)
+        assert m.states()[0] == "probation"
+        assert m.claim(0) == "run"  # probation takes real batches
+        m.record_success(0)
+        assert m.states()[0] == "healthy"
+        # The whole walk is logged.
+        path = [(t.frm, t.to) for t in m.transitions if t.worker == 0]
+        assert path == [
+            ("healthy", "degraded"),
+            ("degraded", "ejected"),
+            ("ejected", "probation"),
+            ("probation", "healthy"),
+        ]
+        assert all(t.to in HEALTH_STATES for t in m.transitions)
+
+    def test_fatal_failure_ejects_at_once(self):
+        m = self._monitor(failure_threshold=99)
+        m.record_failure(1, RuntimeError("card gone"), fatal=True)
+        assert m.states()[1] == "ejected"
+        assert m.states()[0] == "healthy"  # isolated per worker
+
+    def test_failed_probe_keeps_worker_ejected(self):
+        m = self._monitor(failure_threshold=1, cooldown_dispatches=0)
+        m.record_failure(0, RuntimeError("x"), fatal=True)
+        assert m.claim(0) == "probe"
+        m.record_probe(0, ok=False, reason="corrupt")
+        assert m.states()[0] == "ejected"
+        assert m.workers[0].probes_failed == 1
+
+    def test_eject_and_any_dispatchable(self):
+        m = self._monitor(cooldown_dispatches=5)
+        m.eject(0, "operator")
+        assert m.any_dispatchable()  # worker 1 still up
+        m.eject(1, "operator")
+        assert not m.any_dispatchable()
+        # any_dispatchable is a pure query: breakers stay open.
+        assert m.workers[0].breaker.state == CircuitBreaker.OPEN
+        for _ in range(5):
+            m.advance()
+        assert m.any_dispatchable()  # cooldowns expired
+
+    def test_periodic_probe_schedule(self):
+        m = self._monitor(probe_every=2)
+        assert m.claim(0) == "run"
+        m.record_success(0)
+        m.record_success(0)
+        assert m.claim(0) == "probe"  # two batches since last probe
+        m.record_probe(0, ok=True)
+        assert m.states()[0] == "healthy"  # healthy probes don't demote
+        assert m.claim(0) == "run"
+
+    def test_metrics_emitted(self):
+        reg = MetricsRegistry()
+        m = HealthMonitor(1, HealthPolicy(failure_threshold=1), metrics=reg)
+        m.record_failure(0, RuntimeError("x"), fatal=True)
+        assert reg.counter("serve.breaker.open", "events").value == 1
+        assert reg.counter("serve.health.transitions", "events").value == 1
+        code = reg.gauge("serve.health.state", "code", {"worker": "0"}).value
+        assert code == HEALTH_STATES.index("ejected")
+
+
+class TestRunProbe:
+    def test_probe_passes_on_clean_card(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        ok, why = run_probe(sim)
+        assert ok and why == "ok"
+        assert sim.elapsed > 0  # probing charges real simulated time
+
+    def test_probe_resets_lost_card_first(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        sim._lose_device("test")
+        ok, _ = run_probe(sim)
+        assert ok
+        assert not sim.device_lost
+
+    def test_probe_fails_under_persistent_faults(self):
+        inj = FaultInjector(
+            [FaultSpec("transfer-fail", rate=1.0)], seed=3
+        )
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        ok, why = run_probe(sim)
+        assert not ok
+        assert why  # carries the failure kind
+
+    def test_probe_detects_silent_corruption(self):
+        inj = FaultInjector(
+            [FaultSpec("transfer-corrupt", rate=1.0)], seed=3
+        )
+        sim = DeviceSimulator(GEFORCE_8800_GTX, fault_injector=inj)
+        ok, why = run_probe(sim)
+        assert not ok
+
+    def test_probe_frees_its_scratch(self):
+        sim = DeviceSimulator(GEFORCE_8800_GTX)
+        before = sim.free_bytes
+        run_probe(sim)
+        assert sim.free_bytes == before
+
+
+class TestSplitInjector:
+    def test_split_children_are_independent_but_carry_specs(self):
+        inj = FaultInjector(
+            [FaultSpec("transfer-fail", rate=0.5)], seed=123
+        )
+        kids = inj.split(3)
+        assert len(kids) == 3
+        assert len({k.seed for k in kids}) == 3
+        for k in kids:
+            assert k.specs == inj.specs
+        # Deterministic: same parent seed, same children.
+        again = FaultInjector(inj.specs, seed=123).split(3)
+        assert [k.seed for k in again] == [k.seed for k in kids]
+
+    def test_split_needs_positive_count(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FaultInjector([], seed=1).split(0)

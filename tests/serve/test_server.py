@@ -1,5 +1,7 @@
 """FFTServer integration: correctness, policies, metrics, lifecycle."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -10,8 +12,10 @@ from repro.serve import (
     AdmissionPolicy,
     CoalescePolicy,
     DeadlineExpiredError,
+    DrainingError,
     FFTRequest,
     FFTServer,
+    HealthPolicy,
     InfeasibleDeadlineError,
     QueueFullError,
     ServerClosedError,
@@ -306,12 +310,27 @@ class TestParallelWorkers:
             assert len(srv._sims) == 1
             assert srv._sims[0] is srv.simulator
 
-    def test_rejects_shared_fault_injector(self):
-        inj = FaultInjector([FaultSpec("transfer-fail", at_ops=(1,))])
-        with pytest.raises(ValueError, match="fault_injector"):
-            FFTServer(start=False, n_workers=2, fault_injector=inj)
+    def test_single_injector_splits_per_worker(self):
+        # A shared injector no longer raises: it is split into
+        # independently seeded per-worker children carrying its specs.
+        inj = FaultInjector([FaultSpec("transfer-fail", at_ops=(1,))], seed=5)
+        with FFTServer(start=False, n_workers=2, fault_injector=inj) as srv:
+            assert len(srv._injectors) == 2
+            assert srv._injectors[0] is not inj
+            assert srv._injectors[0] is not srv._injectors[1]
+            seeds = {child.seed for child in srv._injectors}
+            assert len(seeds) == 2  # independent fault streams
         with pytest.raises(ValueError, match="n_workers"):
             FFTServer(start=False, n_workers=0)
+
+    def test_injector_list_must_match_worker_count(self):
+        injs = [FaultInjector([], seed=i) for i in range(3)]
+        with pytest.raises(ValueError, match="per worker"):
+            FFTServer(start=False, n_workers=2, fault_injector=injs)
+        with FFTServer(
+            start=False, n_workers=3, fault_injector=injs
+        ) as srv:
+            assert srv._injectors == injs
 
     def test_batches_spread_across_workers(self):
         rng = np.random.default_rng(9)
@@ -372,3 +391,154 @@ class TestParallelWorkers:
         ]
         assert worker_counters  # per-worker batch accounting present
         prof.close()
+
+
+class TestResilientDispatch:
+    """Health-gated dispatch: worker loss, re-queue, operator ejection."""
+
+    def _loss_pair(self):
+        # Worker 1 loses its card on its very first kernel launch.
+        return [
+            FaultInjector([], seed=11),
+            FaultInjector(
+                [FaultSpec("device-lost", at_ops=(0,), category="launch")],
+                seed=12,
+            ),
+        ]
+
+    def test_worker_loss_requeues_to_survivor(self, rng):
+        xs = _cubes(rng, 16, 4)
+        with FFTServer(
+            start=False,
+            n_workers=2,
+            serial_dispatch=True,
+            fault_injector=self._loss_pair(),
+            health=HealthPolicy(),
+            coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0),
+        ) as srv:
+            futs = [srv.submit(FFTRequest(x)) for x in xs]
+            srv.run_pending()
+            assert all(f.done() and f.exception() is None for f in futs)
+            for f, x in zip(futs, xs):
+                ref = np.fft.fftn(x.astype(np.complex128))
+                assert np.abs(f.result() - ref).max() / np.abs(ref).max() < 2e-3
+            # The dead worker's batch crossed to the survivor, flagged.
+            assert srv.stats().requeued == 2
+            assert sum(f.requeues for f in futs) == 2
+            assert all(f.faulted for f in futs if f.requeues)
+            assert any(
+                t.reason == "DeviceLostError" for t in srv.health.transitions
+            )
+            assert srv.health.states()[1] == "ejected"
+
+    def test_requeue_rechecks_deadline_feasibility(self, rng):
+        """A re-queued request whose deadline can no longer be met gets
+        the same typed rejection the admission check uses."""
+        from repro.gpu.faults import FaultError
+
+        with FFTServer(
+            start=False,
+            n_workers=2,
+            serial_dispatch=True,
+            health=HealthPolicy(),
+            coalesce=CoalescePolicy(max_batch=1, max_wait_s=0.0),
+        ) as srv:
+            fut = srv.submit(
+                FFTRequest(_cubes(rng, 16, 1)[0], deadline_s=5.0)
+            )
+            key = srv.queue.keys()[0]
+            (ticket,) = srv.queue.tickets(key)
+            srv.queue.remove_many(key, [ticket])
+            # The front clock moves past the deadline while the batch is
+            # out on a worker that then dies.
+            srv.simulator.charge("test:clock-advance", 6.0, "host")
+            srv._requeue_batch(1, [ticket], FaultError("injected loss"), set())
+            assert isinstance(fut.exception(), InfeasibleDeadlineError)
+            assert srv.stats().expired == 1
+            dropped = srv.metrics.counter(
+                "serve.requeue.dropped", "requests", {"reason": "deadline"}
+            )
+            assert dropped.value == 1
+
+    def test_eject_worker_validates(self, rng):
+        with FFTServer(start=False, n_workers=2, health=False) as srv:
+            with pytest.raises(RuntimeError, match="health"):
+                srv.eject_worker(0)
+        with FFTServer(
+            start=False, n_workers=2, serial_dispatch=True, health=True
+        ) as srv:
+            with pytest.raises(ValueError, match="no such worker"):
+                srv.eject_worker(7)
+            srv.eject_worker(1, reason="test")
+            assert srv.health.states()[1] == "ejected"
+            # Work still completes on the remaining worker.
+            fut = srv.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+            srv.run_pending()
+            assert fut.exception() is None and fut.worker == 0
+
+
+class TestDrainAndClose:
+    """Graceful quiesce and the never-strand-a-future guarantee."""
+
+    def test_drain_rejects_submissions_with_typed_error(self, rng):
+        import threading
+
+        with FFTServer(
+            coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0)
+        ) as srv:
+            futs = [srv.submit(FFTRequest(x)) for x in _cubes(rng, 32, 40)]
+            drained = []
+            t = threading.Thread(target=lambda: drained.append(srv.drain()))
+            t.start()
+            deadline = time.monotonic() + 5.0
+            while not srv._draining and time.monotonic() < deadline:
+                pass
+            assert srv._draining, "drain window never opened"
+            with pytest.raises(DrainingError):
+                srv.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+            t.join()
+            assert drained == [True]
+            assert all(f.done() and f.exception() is None for f in futs)
+            assert srv.stats().rejected.get("draining") == 1
+            # Admission reopens once the drain completes.
+            late = srv.submit(FFTRequest(_cubes(rng, 16, 1)[0]))
+            assert srv.drain(timeout=30.0)
+            assert late.exception() is None
+
+    def test_close_mid_flight_never_strands_futures(self, rng):
+        srv = FFTServer(coalesce=CoalescePolicy(max_batch=4, max_wait_s=0.0))
+        futs = [srv.submit(FFTRequest(x)) for x in _cubes(rng, 32, 24)]
+        # Batches are in flight on the dispatcher thread right now.
+        srv.close(discard=True)
+        assert all(f.done() for f in futs)
+        completed = sum(1 for f in futs if f.exception() is None)
+        closed = sum(
+            1 for f in futs if isinstance(f.exception(), ServerClosedError)
+        )
+        assert completed + closed == len(futs)
+
+    def test_close_with_dying_worker_resolves_everything(self, rng):
+        injs = [
+            FaultInjector([], seed=21),
+            FaultInjector(
+                [FaultSpec("device-lost", at_ops=(0,), category="launch")],
+                seed=22,
+            ),
+        ]
+        srv = FFTServer(
+            start=False,
+            n_workers=2,
+            serial_dispatch=True,
+            fault_injector=injs,
+            health=HealthPolicy(),
+            coalesce=CoalescePolicy(max_batch=2, max_wait_s=0.0),
+        )
+        futs = [srv.submit(FFTRequest(x)) for x in _cubes(rng, 16, 6)]
+        srv.close()  # default close drains: re-queued work still lands
+        assert all(f.done() for f in futs)
+        assert all(
+            f.exception() is None
+            or isinstance(f.exception(), ServerClosedError)
+            for f in futs
+        )
+        assert sum(1 for f in futs if f.exception() is None) >= 4
