@@ -1,0 +1,483 @@
+"""ASGI gateway under load: keep-alive concurrency, parity, shed paths.
+
+The gateway's acceptance experiment, in three sections:
+
+* **concurrency** — N clients (1000 in full mode) each hold one
+  persistent keep-alive socket against the stdlib
+  :class:`~repro.serve.httpd.AsgiHttpServer` and drive a seeded
+  ``POST /v1/fft/wait`` through a live threaded ``FFTServer`` at once.
+  Every response must come back 200 with a unique job id and a grid
+  bit-identical to the direct engine path.
+* **parity** — the same seeded workload submitted directly
+  (``FFTServer.submit``) and through the gateway's ASGI surface on
+  identical simulated hardware.  The batching throughput BENCH_serve
+  measures is in *simulated* seconds, so the HTTP front door must not
+  change it: the gateway/direct throughput ratio has to stay >=
+  ``PARITY_BAR`` (0.9 — "within ~10%").
+* **shed** — the 429/503 pressure paths exercised deliberately
+  (bounded queue, tenant quota, gateway overload, drain lifecycle),
+  counting one typed refusal per code with its Retry-After hint.
+
+Results land in ``BENCH_gateway.json``; CI re-runs the quick sections
+and gates on them::
+
+    python benchmarks/bench_gateway.py --quick --check-against BENCH_gateway.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+if __package__ in (None, ""):  # CLI: python benchmarks/bench_gateway.py
+    sys.path.insert(0, str(_ROOT))
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.api import GpuFFT3D
+from repro.serve import (
+    AdmissionPolicy,
+    AsgiHttpServer,
+    CoalescePolicy,
+    ErrorBody,
+    ErrorCode,
+    FFTRequest,
+    FFTServer,
+    Gateway,
+    GatewayPolicy,
+    HttpClient,
+    SubmitBody,
+    asgi_request,
+    decode_array,
+    needs_retry_after,
+)
+from repro.serve.wire import DTYPES
+
+#: Gateway-vs-direct simulated throughput must stay within ~10%.
+PARITY_BAR = 0.9
+#: CI gate: current parity ratio must be >= committed * this.
+REGRESSION_TOLERANCE = 0.8
+#: Shed codes the bench must observe, each with its Retry-After hint.
+SHED_CODES = ("queue_full", "tenant_quota", "gateway_overload", "draining")
+
+SHAPE = (16, 16, 16)
+N_SEEDS = 8
+MAX_BATCH = 16
+
+FULL = {"connections": 1000, "parity_requests": 128}
+QUICK = {"connections": 64, "parity_requests": 48}
+
+
+def _grid(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal(SHAPE) + 1j * rng.standard_normal(SHAPE)
+    ).astype(np.complex64)
+
+
+def _payload(seed: int) -> bytes:
+    return SubmitBody(shape=SHAPE, data=_grid(seed)).encode()
+
+
+def _http(app, method, path, headers=None, body=b""):
+    """One synchronous in-process request against the gateway."""
+    return asyncio.run(asgi_request(app, method, path, headers, body))
+
+
+# ----------------------------------------------------------------------
+# Section 1: keep-alive concurrency over real sockets
+# ----------------------------------------------------------------------
+
+
+async def _drive_connections(port: int, n_conns: int):
+    """All ``n_conns`` sockets open at once, one submit-and-wait each."""
+    clients = [HttpClient("127.0.0.1", port) for _ in range(n_conns)]
+    gate = asyncio.Semaphore(128)  # bound the connect burst, not the fleet
+
+    async def connect(c: HttpClient) -> None:
+        async with gate:
+            await c.connect()
+
+    await asyncio.gather(*(connect(c) for c in clients))
+    t0 = time.perf_counter()
+
+    async def one(i: int, c: HttpClient):
+        return await c.request(
+            "POST",
+            "/v1/fft/wait",
+            headers={"x-tenant": f"bench-{i % 32}"},
+            body=_payload(i % N_SEEDS),
+        )
+
+    responses = await asyncio.gather(
+        *(one(i, c) for i, c in enumerate(clients))
+    )
+    wall = time.perf_counter() - t0
+    await asyncio.gather(*(c.aclose() for c in clients))
+    return responses, wall
+
+
+def _concurrency_section(n_conns: int) -> dict:
+    with FFTServer(
+        start=True,
+        max_depth=4 * n_conns,
+        coalesce=CoalescePolicy(max_batch=MAX_BATCH, max_wait_s=0.0),
+    ) as srv:
+        gw = Gateway(srv, policy=GatewayPolicy(max_inflight=2 * n_conns))
+
+        async def scenario():
+            async with AsgiHttpServer(gw) as server:
+                return await _drive_connections(server.port, n_conns)
+
+        responses, wall = asyncio.run(scenario())
+        stats = srv.stats()
+
+    with GpuFFT3D(SHAPE) as plan:
+        expected = {seed: plan.forward(_grid(seed)) for seed in range(N_SEEDS)}
+    ok = sum(1 for r in responses if r.status == 200)
+    job_ids = {r.header("x-fft-job") for r in responses if r.status == 200}
+    identical = all(
+        np.array_equal(
+            decode_array(r.body, SHAPE, DTYPES["single"]),
+            expected[i % N_SEEDS],
+        )
+        for i, r in enumerate(responses)
+        if r.status == 200
+    )
+    return {
+        "connections": n_conns,
+        "ok": ok,
+        "unique_job_ids": len(job_ids),
+        "bit_identical": identical,
+        "wall_seconds": wall,
+        "requests_per_second": n_conns / wall if wall else 0.0,
+        "completed": stats.completed,
+        "batches": stats.batches,
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 2: simulated-throughput parity with the direct path
+# ----------------------------------------------------------------------
+
+
+def _parity_server() -> FFTServer:
+    return FFTServer(
+        start=False,
+        max_depth=4096,
+        coalesce=CoalescePolicy(max_batch=MAX_BATCH, max_wait_s=0.0),
+    )
+
+
+def _parity_section(n_requests: int) -> dict:
+    # Direct: the BENCH_serve batching path, no HTTP anywhere.
+    with _parity_server() as direct:
+        futs = [
+            direct.submit(
+                FFTRequest(_grid(i % N_SEEDS), tenant=f"bench-{i % 32}")
+            )
+            for i in range(n_requests)
+        ]
+        t0 = time.perf_counter()
+        direct.run_pending()
+        direct_wall = time.perf_counter() - t0
+        direct_elapsed = direct.simulator.elapsed
+        direct_stats = direct.stats()
+        direct_outs = [f.result() for f in futs]
+
+    # Gateway: the same submission stream through the ASGI surface.
+    with _parity_server() as srv:
+        gw = Gateway(srv)
+        t0 = time.perf_counter()
+        accepted = [
+            _http(
+                gw,
+                "POST",
+                "/v1/fft",
+                {"x-tenant": f"bench-{i % 32}"},
+                _payload(i % N_SEEDS),
+            )
+            for i in range(n_requests)
+        ]
+        submit_wall = time.perf_counter() - t0
+        assert all(r.status == 202 for r in accepted)
+        t0 = time.perf_counter()
+        srv.run_pending()
+        gw_wall = time.perf_counter() - t0
+        gw_elapsed = srv.simulator.elapsed
+        gw_stats = srv.stats()
+        job_ids = [json.loads(r.body)["job_id"] for r in accepted]
+        results = [
+            _http(gw, "GET", f"/v1/jobs/{job_id}/result")
+            for job_id in job_ids
+        ]
+
+    identical = all(
+        r.status == 200
+        and np.array_equal(
+            decode_array(r.body, SHAPE, DTYPES["single"]), out
+        )
+        for r, out in zip(results, direct_outs)
+    )
+    direct_rps = (
+        direct_stats.completed / direct_elapsed if direct_elapsed else 0.0
+    )
+    gw_rps = gw_stats.completed / gw_elapsed if gw_elapsed else 0.0
+    return {
+        "requests": n_requests,
+        "direct": {
+            "completed": direct_stats.completed,
+            "batches": direct_stats.batches,
+            "sim_elapsed_seconds": direct_elapsed,
+            "throughput_rps": direct_rps,
+            "dispatch_wall_seconds": direct_wall,
+        },
+        "gateway": {
+            "completed": gw_stats.completed,
+            "batches": gw_stats.batches,
+            "sim_elapsed_seconds": gw_elapsed,
+            "throughput_rps": gw_rps,
+            "dispatch_wall_seconds": gw_wall,
+            "submit_wall_seconds": submit_wall,
+            "submit_overhead_ms_per_req": submit_wall / n_requests * 1e3,
+        },
+        "throughput_ratio": gw_rps / direct_rps if direct_rps else 0.0,
+        "bit_identical": identical,
+    }
+
+
+# ----------------------------------------------------------------------
+# Section 3: the 429/503 shed paths, deliberately provoked
+# ----------------------------------------------------------------------
+
+
+def _expect_shed(resp, code: str, counts: dict) -> None:
+    body = ErrorBody.parse(resp.body)
+    assert str(body.code) == code, f"expected {code}, got {body.code}"
+    assert resp.status in (429, 503)
+    if needs_retry_after(ErrorCode(code)):
+        assert resp.header("retry-after") is not None
+    counts[code] = counts.get(code, 0) + 1
+
+
+def _shed_section() -> dict:
+    counts: dict[str, int] = {}
+    statuses: dict[str, int] = {}
+
+    with FFTServer(start=False, max_depth=2) as srv:  # bounded queue: 429
+        gw = Gateway(srv)
+        tenant = {"x-tenant": "shed"}
+        for i in range(4):
+            resp = _http(gw, "POST", "/v1/fft", tenant, _payload(i))
+            if resp.status != 202:
+                _expect_shed(resp, "queue_full", counts)
+                statuses["queue_full"] = resp.status
+
+    with FFTServer(  # per-tenant quota: 429
+        start=False, admission=AdmissionPolicy(max_pending_per_tenant=1)
+    ) as srv:
+        gw = Gateway(srv)
+        tenant = {"x-tenant": "greedy"}
+        for i in range(3):
+            resp = _http(gw, "POST", "/v1/fft", tenant, _payload(i))
+            if resp.status != 202:
+                _expect_shed(resp, "tenant_quota", counts)
+                statuses["tenant_quota"] = resp.status
+
+    with FFTServer(start=False) as srv:  # gateway concurrency bound: 429
+        gw = Gateway(srv, policy=GatewayPolicy(max_inflight=1))
+        tenant = {"x-tenant": "surge"}
+
+        async def overload():
+            waiter = asyncio.ensure_future(
+                asgi_request(gw, "POST", "/v1/fft/wait", tenant, _payload(0))
+            )
+            while gw._inflight < 1:
+                await asyncio.sleep(0.001)
+            shed = await asgi_request(
+                gw, "POST", "/v1/fft", tenant, _payload(1)
+            )
+            srv.run_pending()
+            await waiter
+            return shed
+
+        resp = asyncio.run(overload())
+        _expect_shed(resp, "gateway_overload", counts)
+        statuses["gateway_overload"] = resp.status
+
+    with FFTServer(start=False) as srv:  # drain lifecycle: 503 then 202
+        gw = Gateway(srv)
+        tenant = {"x-tenant": "drainee"}
+        srv.begin_drain()
+        resp = _http(gw, "POST", "/v1/fft", tenant, _payload(0))
+        _expect_shed(resp, "draining", counts)
+        statuses["draining"] = resp.status
+        health_while_draining = _http(gw, "GET", "/v1/health").status
+        srv.end_drain()
+        readmitted = _http(gw, "POST", "/v1/fft", tenant, _payload(0)).status
+
+    return {
+        "counts": counts,
+        "http_statuses": statuses,
+        "health_status_while_draining": health_while_draining,
+        "readmitted_status_after_drain": readmitted,
+        "all_codes_exercised": sorted(counts) == sorted(SHED_CODES),
+    }
+
+
+# ----------------------------------------------------------------------
+# Payload assembly, pytest entry, CLI
+# ----------------------------------------------------------------------
+
+
+def run_section(cfg: dict) -> dict:
+    """One (connections, parity, shed) sweep at the given scale."""
+    return {
+        "concurrency": _concurrency_section(cfg["connections"]),
+        "parity": _parity_section(cfg["parity_requests"]),
+        "shed": _shed_section(),
+    }
+
+
+def build_payload(quick_only: bool = False) -> dict:
+    payload = {
+        "parity_bar": PARITY_BAR,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "shed_codes": list(SHED_CODES),
+        "quick": run_section(QUICK),
+    }
+    if not quick_only:
+        payload["full"] = run_section(FULL)
+    return payload
+
+
+def _fmt(section: dict, name: str) -> str:
+    conc, par, shed = section["concurrency"], section["parity"], section["shed"]
+    return (
+        f"{name}: {conc['connections']} keep-alive connections\n"
+        f"  wire:   {conc['ok']}/{conc['connections']} ok, "
+        f"{conc['unique_job_ids']} unique jobs, "
+        f"{conc['requests_per_second']:.0f} req/s wall, "
+        f"bit-identical={conc['bit_identical']}\n"
+        f"  parity: gateway {par['gateway']['throughput_rps']:.0f} rps vs "
+        f"direct {par['direct']['throughput_rps']:.0f} rps (simulated) -> "
+        f"ratio {par['throughput_ratio']:.3f}, "
+        f"+{par['gateway']['submit_overhead_ms_per_req']:.2f} ms/req submit\n"
+        f"  shed:   {shed['counts']} "
+        f"(drain health={shed['health_status_while_draining']}, "
+        f"re-admit={shed['readmitted_status_after_drain']})"
+    )
+
+
+def test_gateway_concurrency_and_parity(benchmark, show):
+    """1000 keep-alive sockets; simulated throughput within 10% of direct."""
+    from benchmarks.conftest import run_once, write_bench_json
+
+    payload = run_once(benchmark, build_payload)
+    path = write_bench_json("gateway", payload)
+    show(
+        "ASGI gateway under load",
+        _fmt(payload["full"], "full")
+        + "\n"
+        + _fmt(payload["quick"], "quick")
+        + f"\njson: {path}",
+    )
+
+    full = payload["full"]
+    conc = full["concurrency"]
+    # The wire holds at four-digit concurrency: every request answered,
+    # no job id lost or duplicated, every grid exact.
+    assert conc["connections"] >= 1000
+    assert conc["ok"] == conc["connections"]
+    assert conc["unique_job_ids"] == conc["connections"]
+    assert conc["bit_identical"]
+    # The HTTP front door does not tax the batching throughput the
+    # serving layer was accepted on.
+    for section in (full, payload["quick"]):
+        assert section["parity"]["throughput_ratio"] >= PARITY_BAR
+        assert section["parity"]["bit_identical"]
+        assert section["shed"]["all_codes_exercised"]
+        assert section["shed"]["health_status_while_draining"] == 503
+        assert section["shed"]["readmitted_status_after_drain"] == 202
+
+
+def _check_against(payload: dict, baseline_path: Path) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+
+    committed = baseline["quick"]["parity"]["throughput_ratio"]
+    current = payload["quick"]["parity"]["throughput_ratio"]
+    # Same capped-reference scheme as bench_hostpath: the floor protects
+    # the parity contract, not the best ratio ever committed.
+    floor = min(committed, PARITY_BAR) * REGRESSION_TOLERANCE
+    status = "ok" if current >= floor else "REGRESSION"
+    print(
+        f"parity throughput_ratio: current {current:.3f} vs committed "
+        f"{committed:.3f} (floor {floor:.3f}) -> {status}"
+    )
+    if current < floor:
+        failures.append("throughput_ratio")
+
+    for check, want in (
+        ("bit_identical", payload["quick"]["parity"]["bit_identical"]),
+        ("all_codes_exercised", payload["quick"]["shed"]["all_codes_exercised"]),
+    ):
+        print(f"{check}: {want} -> {'ok' if want else 'REGRESSION'}")
+        if not want:
+            failures.append(check)
+
+    conc = payload["quick"]["concurrency"]
+    wire_ok = (
+        conc["ok"] == conc["connections"]
+        and conc["unique_job_ids"] == conc["connections"]
+        and conc["bit_identical"]
+    )
+    print(
+        f"wire: {conc['ok']}/{conc['connections']} ok, "
+        f"{conc['unique_job_ids']} unique -> "
+        f"{'ok' if wire_ok else 'REGRESSION'}"
+    )
+    if not wire_ok:
+        failures.append("wire")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the small CI-smoke sections (64 connections, no full)",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        metavar="JSON",
+        help="compare quick-mode results against a committed "
+        "BENCH_gateway.json; exit 1 on regression",
+    )
+    args = parser.parse_args(argv)
+
+    payload = build_payload(quick_only=args.quick)
+    print(_fmt(payload["quick"], "quick"))
+    if "full" in payload:
+        print(_fmt(payload["full"], "full"))
+
+    if args.check_against is not None:
+        return _check_against(payload, args.check_against)
+
+    out = _ROOT / "BENCH_gateway.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

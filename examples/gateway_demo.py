@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Gateway demo: the FFT service spoken over plain HTTP.
+
+Starts a live ``FFTServer`` behind the zero-dependency ASGI gateway on a
+real localhost socket, then walks the whole wire surface with the
+stdlib keep-alive client: submit / poll / download, submit-and-wait,
+the health probe, and the typed refusal taxonomy (an unauthenticated
+request, a nonsense job id, and a drain window answering 503 with
+Retry-After).  Finishes with the status-code table the conformance
+suite pins.
+
+    python examples/gateway_demo.py [n_requests]
+"""
+
+import asyncio
+import json
+import sys
+
+import numpy as np
+
+from repro.serve import (
+    HTTP_STATUS,
+    AcceptedBody,
+    AsgiHttpServer,
+    ErrorBody,
+    FFTServer,
+    Gateway,
+    HttpClient,
+    SubmitBody,
+    needs_retry_after,
+)
+from repro.util.tables import Table
+
+SHAPE = (32, 32, 32)
+
+
+def payload(seed: int) -> bytes:
+    """One seeded single-precision submission body."""
+    rng = np.random.default_rng(seed)
+    x = (
+        rng.standard_normal(SHAPE) + 1j * rng.standard_normal(SHAPE)
+    ).astype(np.complex64)
+    return SubmitBody(shape=SHAPE, data=x).encode()
+
+
+async def drive(server: FFTServer, gateway: Gateway, n_requests: int) -> None:
+    """Every route of the wire surface, over one keep-alive socket each."""
+    async with AsgiHttpServer(gateway) as httpd:
+        port = httpd.port
+        print(f"gateway listening on 127.0.0.1:{port}\n")
+        auth = {"authorization": "Bearer alice"}
+
+        async with HttpClient("127.0.0.1", port) as client:
+            # Submit-and-poll: the 202 handle, then status, then bytes.
+            accepted = AcceptedBody.parse(
+                (
+                    await client.request(
+                        "POST", "/v1/fft", headers=auth, body=payload(0)
+                    )
+                ).body
+            )
+            print(
+                f"POST /v1/fft           -> 202 job={accepted.job_id} "
+                f"plan={accepted.plan}"
+            )
+            while True:
+                status = json.loads(
+                    (
+                        await client.request(
+                            "GET", f"/v1/jobs/{accepted.job_id}"
+                        )
+                    ).body
+                )
+                if status["state"] != "queued":
+                    break
+                await asyncio.sleep(0.01)
+            result = await client.request(
+                "GET", f"/v1/jobs/{accepted.job_id}/result"
+            )
+            print(
+                f"GET  /v1/jobs/../result -> {result.status} "
+                f"{result.header('x-fft-shape')} "
+                f"{result.header('x-fft-dtype')} "
+                f"({len(result.body)} bytes)"
+            )
+
+            # Submit-and-wait: one round trip, many at once.
+            waits = await asyncio.gather(
+                *(
+                    client.request(
+                        "POST", "/v1/fft/wait", headers=auth, body=payload(i)
+                    )
+                    for i in range(1)
+                )
+            )
+            extra = [
+                HttpClient("127.0.0.1", port) for _ in range(n_requests - 1)
+            ]
+            try:
+                waits += await asyncio.gather(
+                    *(
+                        c.request(
+                            "POST",
+                            "/v1/fft/wait",
+                            headers={"authorization": f"Bearer client-{i}"},
+                            body=payload(i + 1),
+                        )
+                        for i, c in enumerate(extra)
+                    )
+                )
+            finally:
+                await asyncio.gather(*(c.aclose() for c in extra))
+            codes = sorted({w.status for w in waits})
+            print(
+                f"POST /v1/fft/wait       -> {len(waits)} concurrent "
+                f"clients, statuses {codes}"
+            )
+
+            health = await client.request("GET", "/v1/health")
+            print(f"GET  /v1/health         -> {health.status} {health.body.decode()}")
+
+            # The refusal surface, typed end to end.
+            print()
+            for label, coro in (
+                (
+                    "no credentials",
+                    client.request("POST", "/v1/fft", body=payload(9)),
+                ),
+                (
+                    "unknown job id",
+                    client.request("GET", "/v1/jobs/j-bogus"),
+                ),
+            ):
+                resp = await coro
+                err = ErrorBody.parse(resp.body)
+                print(f"{label:18s} -> {resp.status} code={err.code}")
+
+            server.begin_drain()
+            resp = await client.request(
+                "POST", "/v1/fft", headers=auth, body=payload(9)
+            )
+            err = ErrorBody.parse(resp.body)
+            print(
+                f"{'while draining':18s} -> {resp.status} code={err.code} "
+                f"retry-after={resp.header('retry-after')}s"
+            )
+            server.end_drain()
+            resp = await client.request(
+                "POST", "/v1/fft", headers=auth, body=payload(9)
+            )
+            print(f"{'after drain':18s} -> {resp.status} (re-admitted)")
+
+
+def main(argv: list[str]) -> int:
+    """Run the demo; optional argv[0] is the concurrent /wait client count."""
+    n_requests = int(argv[0]) if argv else 8
+    with FFTServer(start=True, max_depth=4096) as server:
+        gateway = Gateway(server)
+        asyncio.run(drive(server, gateway, n_requests))
+        stats = server.stats()
+
+    print(
+        f"\nserved {stats.completed} transforms in "
+        f"{stats.batches} batches, "
+        f"{stats.rejected_total} typed rejections"
+    )
+
+    table = Table(
+        ["code", "HTTP status", "Retry-After"],
+        title="Wire taxonomy (status-code table)",
+    )
+    for code, status in HTTP_STATUS.items():
+        table.add_row([str(code), status, "yes" if needs_retry_after(code) else ""])
+    print()
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -21,12 +21,31 @@ typed :class:`DrainingError` at the door.  The seeded drill in
 non-faulted results are bit-identical to a fault-free run, and a fixed
 seed reproduces the drill byte for byte.
 
-See DESIGN.md §13/§15 and the README "Serving" / "Resilient serving"
-sections; the acceptance experiments live in ``benchmarks/bench_serve.py``
-and ``benchmarks/bench_resilience.py``.
+Since PR 7 the stack is reachable over a wire: :class:`Gateway` is a
+zero-dependency ASGI application (:mod:`repro.serve.gateway`) whose
+typed routes (:mod:`repro.serve.wire`) expose submit / status / result /
+submit-and-wait over HTTP, with tenant identity derived from auth
+headers and every rejection in the :mod:`repro.serve.errors` taxonomy
+projected onto a stable (:class:`ErrorCode`, HTTP status) pair
+(:mod:`repro.serve.codes`).  :mod:`repro.serve.httpd` hosts it on a
+stdlib ``asyncio`` HTTP/1.1 server with keep-alive, so nothing beyond
+the standard library sits between a client socket and the scheduler.
+
+See DESIGN.md §13/§15/§16 and the README "Serving" / "Resilient
+serving" / "Gateway" sections; the acceptance experiments live in
+``benchmarks/bench_serve.py``, ``benchmarks/bench_resilience.py`` and
+``benchmarks/bench_gateway.py``.
 """
 
 from repro.serve.admission import AdmissionController, AdmissionPolicy
+from repro.serve.codes import (
+    HTTP_STATUS,
+    REJECTION_TAXONOMY,
+    RETRY_AFTER,
+    ErrorCode,
+    http_status,
+    needs_retry_after,
+)
 from repro.serve.coalescer import CoalesceDecision, CoalescePolicy, Coalescer
 from repro.serve.errors import (
     DeadlineExpiredError,
@@ -39,42 +58,85 @@ from repro.serve.errors import (
     ServerClosedError,
     TenantQuotaError,
 )
+from repro.serve.gateway import (
+    Gateway,
+    GatewayError,
+    GatewayPolicy,
+    GatewayRequest,
+    Response,
+    Route,
+    TenantAuth,
+)
 from repro.serve.health import (
     CircuitBreaker,
     HealthMonitor,
     HealthPolicy,
     HealthTransition,
 )
+from repro.serve.httpd import AsgiHttpServer, HttpClient, HttpResponse, asgi_request
 from repro.serve.queueing import PendingQueue, Ticket
 from repro.serve.request import FFTFuture, FFTRequest, PlanKey
 from repro.serve.scheduler import FairScheduler, SchedulerPolicy
 from repro.serve.server import FFTServer, ServeStats
+from repro.serve.wire import (
+    AcceptedBody,
+    ErrorBody,
+    StatusBody,
+    SubmitBody,
+    WireError,
+    decode_array,
+    encode_array,
+)
 
 __all__ = [
+    "AcceptedBody",
     "AdmissionController",
     "AdmissionPolicy",
+    "AsgiHttpServer",
     "CircuitBreaker",
     "CoalesceDecision",
     "CoalescePolicy",
     "Coalescer",
     "DeadlineExpiredError",
     "DrainingError",
+    "ErrorBody",
+    "ErrorCode",
     "FFTFuture",
     "FFTRequest",
     "FFTServer",
     "FairScheduler",
+    "Gateway",
+    "GatewayError",
+    "GatewayPolicy",
+    "GatewayRequest",
+    "HTTP_STATUS",
     "HealthMonitor",
     "HealthPolicy",
     "HealthTransition",
+    "HttpClient",
+    "HttpResponse",
     "InfeasibleDeadlineError",
     "PendingQueue",
     "PlanKey",
     "QueueFullError",
+    "REJECTION_TAXONOMY",
+    "RETRY_AFTER",
     "RejectedError",
     "RequeueExhaustedError",
+    "Response",
+    "Route",
     "ServeError",
     "ServeStats",
     "ServerClosedError",
     "SchedulerPolicy",
+    "StatusBody",
+    "SubmitBody",
+    "TenantAuth",
     "Ticket",
+    "WireError",
+    "asgi_request",
+    "decode_array",
+    "encode_array",
+    "http_status",
+    "needs_retry_after",
 ]

@@ -1,0 +1,136 @@
+"""Stable machine-readable error codes and their HTTP projection.
+
+One enum names every way the serving stack refuses, abandons, or cannot
+understand a request.  The first block mirrors the typed exception
+taxonomy of :mod:`repro.serve.errors` — each member's *value* is exactly
+the ``reason`` slug those exceptions have always carried, so metrics
+labels, ``ServeStats.rejected`` keys and JSON dumps are byte-identical
+to the pre-enum behavior.  The second block exists only at the wire:
+codes the gateway mints itself for requests that never reach
+``FFTServer.submit`` (malformed payloads, missing auth, overload shed at
+the HTTP layer).
+
+The HTTP projection is the wire contract pinned by the gateway
+conformance suite: every code maps to exactly one status
+(:data:`HTTP_STATUS`), and :data:`RETRY_AFTER` names the codes whose
+responses must carry a ``Retry-After`` header — transient pressure the
+client should back off from, as opposed to requests that are wrong
+(4xx, no retry) or permanently refused.
+
+Status policy (DESIGN.md §16): **429** for load/quota pressure the
+client can retry, **503** for a server that is draining, closed, or out
+of healthy workers, **400/413** for requests that are malformed or can
+never be satisfied, **504** for deadlines that expired in the queue.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "ErrorCode",
+    "HTTP_STATUS",
+    "RETRY_AFTER",
+    "REJECTION_TAXONOMY",
+    "http_status",
+    "needs_retry_after",
+]
+
+
+class ErrorCode(str, enum.Enum):
+    """Every machine-readable failure code the serving stack emits.
+
+    A ``str`` subclass so members compare, hash, format and JSON-encode
+    exactly like the plain reason slugs they replaced (``__str__`` is
+    pinned to ``str.__str__`` for pre-3.11 enum semantics).
+    """
+
+    # -- mirrors of the repro.serve.errors taxonomy (reason slugs) -----
+    SERVE_ERROR = "serve_error"
+    REJECTED = "rejected"
+    QUEUE_FULL = "queue_full"
+    TENANT_QUOTA = "tenant_quota"
+    DEADLINE_INFEASIBLE = "deadline_infeasible"
+    DRAINING = "draining"
+    DEADLINE_EXPIRED = "deadline_expired"
+    REQUEUE_EXHAUSTED = "requeue_exhausted"
+    SERVER_CLOSED = "server_closed"
+
+    # -- gateway-minted codes (never raised by FFTServer itself) -------
+    BAD_REQUEST = "bad_request"
+    PAYLOAD_TOO_LARGE = "payload_too_large"
+    UNAUTHENTICATED = "unauthenticated"
+    NOT_FOUND = "not_found"
+    METHOD_NOT_ALLOWED = "method_not_allowed"
+    RESULT_PENDING = "result_pending"
+    GATEWAY_OVERLOAD = "gateway_overload"
+    UNHEALTHY = "unhealthy"
+    INTERNAL = "internal"
+
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+
+#: The serve-layer rejection taxonomy: every ``reason`` an exception in
+#: :mod:`repro.serve.errors` can carry.  The conformance suite iterates
+#: this tuple, so adding an error class without extending the wire
+#: contract fails the build.
+REJECTION_TAXONOMY: tuple[ErrorCode, ...] = (
+    ErrorCode.SERVE_ERROR,
+    ErrorCode.REJECTED,
+    ErrorCode.QUEUE_FULL,
+    ErrorCode.TENANT_QUOTA,
+    ErrorCode.DEADLINE_INFEASIBLE,
+    ErrorCode.DRAINING,
+    ErrorCode.DEADLINE_EXPIRED,
+    ErrorCode.REQUEUE_EXHAUSTED,
+    ErrorCode.SERVER_CLOSED,
+)
+
+#: The one HTTP status each code projects to (total over ErrorCode).
+HTTP_STATUS: dict[ErrorCode, int] = {
+    ErrorCode.SERVE_ERROR: 500,
+    ErrorCode.REJECTED: 400,
+    ErrorCode.QUEUE_FULL: 429,
+    ErrorCode.TENANT_QUOTA: 429,
+    ErrorCode.DEADLINE_INFEASIBLE: 400,
+    ErrorCode.DRAINING: 503,
+    ErrorCode.DEADLINE_EXPIRED: 504,
+    ErrorCode.REQUEUE_EXHAUSTED: 503,
+    ErrorCode.SERVER_CLOSED: 503,
+    ErrorCode.BAD_REQUEST: 400,
+    ErrorCode.PAYLOAD_TOO_LARGE: 413,
+    ErrorCode.UNAUTHENTICATED: 401,
+    ErrorCode.NOT_FOUND: 404,
+    ErrorCode.METHOD_NOT_ALLOWED: 405,
+    ErrorCode.RESULT_PENDING: 409,
+    ErrorCode.GATEWAY_OVERLOAD: 429,
+    ErrorCode.UNHEALTHY: 503,
+    ErrorCode.INTERNAL: 500,
+}
+
+#: Codes whose responses carry ``Retry-After``: transient pressure that
+#: a well-behaved client should back off from and retry.  Wrong requests
+#: (4xx validation) and permanent refusals (closed server, expired
+#: deadlines) deliberately do not invite a retry.
+RETRY_AFTER: frozenset[ErrorCode] = frozenset(
+    {
+        ErrorCode.QUEUE_FULL,
+        ErrorCode.TENANT_QUOTA,
+        ErrorCode.DRAINING,
+        ErrorCode.REQUEUE_EXHAUSTED,
+        ErrorCode.RESULT_PENDING,
+        ErrorCode.GATEWAY_OVERLOAD,
+        ErrorCode.UNHEALTHY,
+    }
+)
+
+
+def http_status(code: ErrorCode) -> int:
+    """The HTTP status ``code`` projects to (the conformance contract)."""
+    return HTTP_STATUS[code]
+
+
+def needs_retry_after(code: ErrorCode) -> bool:
+    """True when responses carrying ``code`` must include Retry-After."""
+    return code in RETRY_AFTER

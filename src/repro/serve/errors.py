@@ -3,7 +3,12 @@
 Every way the server can refuse or abandon a request is a distinct
 exception class carrying a stable ``reason`` slug — the same slug the
 metrics layer uses as the ``reason=`` label on ``serve.rejected``, so an
-operator can line up what clients saw with what the counters say.
+operator can line up what clients saw with what the counters say.  Each
+slug is a member of :class:`~repro.serve.codes.ErrorCode` (a ``str``
+subclass, so every comparison, label and JSON dump behaves exactly as
+the bare strings did); the gateway projects the same members onto HTTP
+statuses, which is how a Python ``except TenantQuotaError`` and an HTTP
+429 with ``{"code": "tenant_quota"}`` stay provably the same event.
 
 Two families:
 
@@ -29,6 +34,8 @@ result or one of these typed failures.
 
 from __future__ import annotations
 
+from repro.serve.codes import ErrorCode
+
 __all__ = [
     "ServeError",
     "RejectedError",
@@ -46,52 +53,52 @@ class ServeError(RuntimeError):
     """Base class for every serving-layer failure."""
 
     #: Stable slug used as the ``reason=`` metrics label.
-    reason = "serve_error"
+    reason = ErrorCode.SERVE_ERROR
 
 
 class RejectedError(ServeError):
     """Admission refused the request; it was never enqueued."""
 
-    reason = "rejected"
+    reason = ErrorCode.REJECTED
 
 
 class QueueFullError(RejectedError):
     """Load shed: the bounded pending queue is at capacity."""
 
-    reason = "queue_full"
+    reason = ErrorCode.QUEUE_FULL
 
 
 class TenantQuotaError(RejectedError):
     """The submitting tenant is at its pending-request quota."""
 
-    reason = "tenant_quota"
+    reason = ErrorCode.TENANT_QUOTA
 
 
 class InfeasibleDeadlineError(RejectedError):
     """The deadline cannot be met even by an idle device."""
 
-    reason = "deadline_infeasible"
+    reason = ErrorCode.DEADLINE_INFEASIBLE
 
 
 class DrainingError(RejectedError):
     """The server is draining: admission is paused until it completes."""
 
-    reason = "draining"
+    reason = ErrorCode.DRAINING
 
 
 class DeadlineExpiredError(ServeError):
     """Queued too long: the deadline passed before dispatch could finish."""
 
-    reason = "deadline_expired"
+    reason = ErrorCode.DEADLINE_EXPIRED
 
 
 class RequeueExhaustedError(ServeError):
     """Every re-dispatch after worker failures also failed; budget spent."""
 
-    reason = "requeue_exhausted"
+    reason = ErrorCode.REQUEUE_EXHAUSTED
 
 
 class ServerClosedError(ServeError):
     """The server is shut down (or shutting down) and takes no new work."""
 
-    reason = "server_closed"
+    reason = ErrorCode.SERVER_CLOSED

@@ -134,10 +134,27 @@ class FFTFuture:
     _event: threading.Event = field(default_factory=threading.Event, repr=False)
     _result: np.ndarray | None = field(default=None, repr=False)
     _exception: BaseException | None = field(default=None, repr=False)
+    _cb_lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _callbacks: list = field(default_factory=list, repr=False)
 
     def done(self) -> bool:
         """True once resolved (result or failure)."""
         return self._event.is_set()
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once resolved (immediately if already done).
+
+        Callbacks run on the resolving thread (the dispatcher or a pool
+        worker) exactly once each, in registration order — the bridge
+        the async gateway uses to wake an event loop without polling.
+        Exceptions from ``fn`` propagate to the resolver, so callbacks
+        must be cheap and non-raising (e.g. ``call_soon_threadsafe``).
+        """
+        with self._cb_lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until resolved; returns ``done()``."""
@@ -164,7 +181,7 @@ class FFTFuture:
         self._result = result
         self.completion_seq = completion_seq
         self.finish_wall_s = time.monotonic()
-        self._event.set()
+        self._settle()
 
     def _fail(self, exc: BaseException, completion_seq: int) -> None:
         if self._event.is_set():  # resolve-once: first outcome wins
@@ -172,4 +189,12 @@ class FFTFuture:
         self._exception = exc
         self.completion_seq = completion_seq
         self.finish_wall_s = time.monotonic()
-        self._event.set()
+        self._settle()
+
+    def _settle(self) -> None:
+        """Flip to done and drain callbacks (under the registration lock)."""
+        with self._cb_lock:
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)

@@ -438,6 +438,30 @@ class FFTServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def draining(self) -> bool:
+        """True while admission is paused (drain in progress or held)."""
+        with self._state:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Pause admission now (idempotent): submits reject as draining.
+
+        The operator half of :meth:`drain` without the wait — queued and
+        in-flight work keeps executing, but nothing new is admitted
+        until :meth:`end_drain`.  The gateway projects this state as
+        HTTP 503 ``draining`` at the door.
+        """
+        with self._state:
+            self._draining = True
+        self.queue.wake()
+
+    def end_drain(self) -> None:
+        """Re-open admission after :meth:`begin_drain` (idempotent)."""
+        with self._state:
+            self._draining = False
+        self.queue.wake()
+
     def drain(self, timeout: float | None = None) -> bool:
         """Gracefully quiesce: pause admission, finish everything queued.
 
@@ -452,8 +476,7 @@ class FFTServer:
         In synchronous mode (``start=False``) this dispatches on the
         caller's thread instead of waiting for one.
         """
-        with self._state:
-            self._draining = True
+        self.begin_drain()
         try:
             if self._thread is None:
                 self.run_pending()
@@ -474,9 +497,7 @@ class FFTServer:
                         break
                     time.sleep(0.001)
         finally:
-            with self._state:
-                self._draining = False
-            self.queue.wake()
+            self.end_drain()
         self.metrics.gauge("serve.queue.depth", "requests").set(self.queue.depth)
         self.metrics.counter(
             "serve.drains", "drains", {"outcome": "complete" if ok else "timeout"}

@@ -26,6 +26,7 @@ CASES = [
     ("trace_explorer.py", ["16", "4"], "ui.perfetto.dev"),
     ("serve_demo.py", ["24"], "dynamic batching"),
     ("chaos_drill.py", ["64"], "lost futures: 0"),
+    ("gateway_demo.py", ["6"], "status-code table"),
 ]
 
 

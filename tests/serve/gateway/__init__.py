@@ -1,0 +1,1 @@
+"""Wire-protocol conformance and stress suite for the ASGI gateway."""

@@ -1,0 +1,72 @@
+"""Shared helpers for the gateway suite: payload builders, sync dispatch.
+
+Tests here are ordinary synchronous pytest functions; each in-process
+HTTP exchange runs under its own ``asyncio.run`` via :func:`http` (the
+gateway is deliberately usable across event loops).  Scenarios that need
+real concurrency (overload shed, the stress test) build one coroutine
+and run it whole.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serve import FFTServer, Gateway, SubmitBody, asgi_request
+from repro.serve.httpd import HttpResponse
+
+SHAPE = (16, 16, 16)
+#: Default identity header for tests that aren't about auth.
+TENANT = {"x-tenant": "test-tenant"}
+
+
+def grid(seed: int = 0, shape=SHAPE, precision: str = "single") -> np.ndarray:
+    """A seeded unit-scale complex grid in the wire dtype."""
+    rng = np.random.default_rng(seed)
+    dtype = np.complex64 if precision == "single" else np.complex128
+    return (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(
+        dtype
+    )
+
+
+def submit_bytes(seed: int = 0, shape=SHAPE, **fields) -> tuple[bytes, np.ndarray]:
+    """(encoded SubmitBody, the grid it carries) for one seeded payload."""
+    x = grid(seed, shape, fields.get("precision", "single"))
+    return SubmitBody(shape=tuple(shape), data=x, **fields).encode(), x
+
+
+def http(app, method: str, path: str, headers=None, body: bytes = b"") -> HttpResponse:
+    """One synchronous in-process request against an ASGI app."""
+    return asyncio.run(
+        asgi_request(app, method, path, headers=headers, body=body)
+    )
+
+
+@pytest.fixture
+def sync_server():
+    """A deterministic synchronous server (caller drives run_pending)."""
+    srv = FFTServer(start=False)
+    yield srv
+    srv.close()
+
+
+@pytest.fixture
+def sync_gateway(sync_server):
+    """A gateway over the synchronous server."""
+    return Gateway(sync_server)
+
+
+@pytest.fixture
+def live_server():
+    """A server with its dispatcher thread running."""
+    srv = FFTServer(start=True)
+    yield srv
+    srv.close()
+
+
+@pytest.fixture
+def live_gateway(live_server):
+    """A gateway over the threaded server."""
+    return Gateway(live_server)
