@@ -1,0 +1,258 @@
+"""Cluster scaling: the BENCH_serve mix sharded over 1/2/4/8 nodes.
+
+The cluster tier's acceptance experiment: the same seeded 64-client
+mixed-shape workload the serving benchmark uses
+(:mod:`benchmarks.bench_serve`) is pushed through :class:`FFTCluster`
+at 1, 2, 4 and 8 nodes on identical simulated hardware.  Requests shard
+by consistent hashing of the plan-cache key + tenant with bounded-load
+spill, so the measure is the whole routing tier, not an idealized
+round-robin.  Cluster throughput is completed requests over the
+*makespan* — the busiest node's simulated clock — so imbalance shows up
+as lost scaling, exactly as it would on real hardware.
+
+Acceptance: >= 6x throughput at 8 nodes vs 1 node, every result
+bit-identical to the standalone ``GpuFFT3D`` path, zero shed or lost
+requests.  Results land in ``BENCH_cluster.json``; the CI smoke gate::
+
+    python benchmarks/bench_cluster.py --quick --check-against BENCH_cluster.json
+
+re-runs the quick workload and fails (exit 1) when the measured 8-node
+speedup regresses below ``REGRESSION_TOLERANCE`` of the committed
+baseline.  The comparison is on simulated-time ratios, which are
+deterministic, so the gate is machine-independent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+if __package__ in (None, ""):  # CLI: python benchmarks/bench_cluster.py
+    sys.path.insert(0, str(_ROOT))
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from repro.cluster import FFTCluster
+from repro.core.api import GpuFFT3D
+from repro.serve import CoalescePolicy, FFTRequest
+
+N_CLIENTS = 64
+SHAPES = ((32, 32, 32), (64, 32, 32), (64, 64, 64))
+NODE_COUNTS = (1, 2, 4, 8)
+SPEEDUP_BAR = 6.0  # at 8 nodes
+#: CI gate: current quick-mode 8-node speedup must be >= committed * this.
+REGRESSION_TOLERANCE = 0.8
+MAX_BATCH = 8
+#: Bounded-load spill threshold: tighter than the 1.25 default because
+#: the mix is large and key-diverse, so balance costs little warmth.
+BALANCE_FACTOR = 1.1
+
+FULL = {"requests": 256}
+QUICK = {"requests": 96}
+
+
+def _workload(n_requests):
+    """The seeded BENCH_serve mix (same seed, shapes and tenants)."""
+    rng = np.random.default_rng(20080819)
+    reqs = []
+    for i in range(n_requests):
+        shape = SHAPES[i % len(SHAPES)]
+        x = (
+            rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        ).astype(np.complex64)
+        reqs.append(FFTRequest(x, tenant=f"client-{i % N_CLIENTS}"))
+    return reqs
+
+
+def _reference(reqs):
+    """Fault-free spectra via the standalone plans (bit-identity oracle)."""
+    plans = {}
+    outs = []
+    try:
+        for req in reqs:
+            key = req.plan_key()
+            if key not in plans:
+                plans[key] = GpuFFT3D(
+                    key.shape, precision=key.precision, norm=key.norm
+                )
+            outs.append(plans[key].forward(req.x))
+    finally:
+        for plan in plans.values():
+            plan.close()
+    return outs
+
+
+def _run_point(reqs, refs, n_nodes):
+    """One operating point: the whole mix through an n-node cluster."""
+    with FFTCluster(
+        n_nodes=n_nodes,
+        start=False,
+        serial_dispatch=True,
+        max_depth=4096,
+        balance_factor=BALANCE_FACTOR,
+        coalesce=CoalescePolicy(max_batch=MAX_BATCH, max_wait_s=0.0),
+    ) as cluster:
+        futs = [cluster.submit(req) for req in reqs]
+        cluster.run_pending()
+        elapsed = cluster.elapsed
+        stats = cluster.stats()
+        identical = all(
+            f.exception() is None and np.array_equal(f.result(), ref)
+            for f, ref in zip(futs, refs)
+        )
+        per_node = {
+            name: node_stats.submitted
+            for name, node_stats in sorted(stats.nodes.items())
+        }
+    spread = max(per_node.values()) / (len(reqs) / n_nodes)
+    return {
+        "nodes": n_nodes,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "rejected": sum(stats.rejected.values()),
+        "elapsed_seconds": elapsed,
+        "throughput_rps": stats.completed / elapsed if elapsed else 0.0,
+        "per_node_submitted": per_node,
+        "load_spread": spread,  # busiest node vs perfect balance (1.0)
+        "bit_identical": identical,
+    }
+
+
+def run_section(cfg) -> dict:
+    """The node-count sweep over one workload size."""
+    reqs = _workload(cfg["requests"])
+    refs = _reference(reqs)
+    points = [_run_point(reqs, refs, n) for n in NODE_COUNTS]
+    base = points[0]["throughput_rps"]
+    for pt in points:
+        pt["speedup_vs_1"] = pt["throughput_rps"] / base if base else 0.0
+        pt["scaling_efficiency"] = pt["speedup_vs_1"] / pt["nodes"]
+    return {
+        "requests": cfg["requests"],
+        "clients": N_CLIENTS,
+        "shapes": [list(s) for s in SHAPES],
+        "points": points,
+        "speedup_at_8": points[-1]["speedup_vs_1"],
+        "efficiency_at_8": points[-1]["scaling_efficiency"],
+        "bit_identical": all(pt["bit_identical"] for pt in points),
+    }
+
+
+def build_payload(quick_only: bool = False) -> dict:
+    """Assemble the BENCH_cluster.json payload."""
+    payload = {
+        "speedup_bar": SPEEDUP_BAR,
+        "node_counts": list(NODE_COUNTS),
+        "max_batch": MAX_BATCH,
+        "regression_tolerance": REGRESSION_TOLERANCE,
+        "quick": run_section(QUICK),
+    }
+    if not quick_only:
+        payload["full"] = run_section(FULL)
+        payload["speedup"] = payload["full"]["speedup_at_8"]
+    return payload
+
+
+def _fmt(section, name):
+    lines = [
+        f"{name}: {section['requests']} requests, "
+        f"{section['clients']} tenants, shapes {section['shapes']}"
+    ]
+    for pt in section["points"]:
+        lines.append(
+            f"  {pt['nodes']:2d} node(s): "
+            f"{pt['elapsed_seconds'] * 1e3:8.3f} ms makespan, "
+            f"{pt['throughput_rps']:9.0f} rps, "
+            f"{pt['speedup_vs_1']:5.2f}x "
+            f"(eff {pt['scaling_efficiency']:.2f}, "
+            f"spread {pt['load_spread']:.2f})"
+        )
+    lines.append(f"  bit-identical: {section['bit_identical']}")
+    return "\n".join(lines)
+
+
+def test_cluster_scaling(benchmark, show):
+    """Sharded serving: >= 6x throughput at 8 nodes, bit-identical."""
+    from benchmarks.conftest import run_once, write_bench_json
+
+    payload = run_once(benchmark, build_payload)
+    path = write_bench_json("cluster", payload)
+
+    full, quick = payload["full"], payload["quick"]
+    show(
+        "Cluster scaling on the BENCH_serve mix",
+        _fmt(full, "full") + "\n" + _fmt(quick, "quick") + f"\njson: {path}",
+    )
+
+    # The tentpole bar: near-linear scaling through the routing tier.
+    assert full["speedup_at_8"] >= SPEEDUP_BAR
+    # Sharding is a pure routing change: results identical, nothing lost.
+    assert full["bit_identical"] and quick["bit_identical"]
+    for pt in full["points"]:
+        assert pt["completed"] == full["requests"]
+        assert pt["failed"] == 0 and pt["rejected"] == 0
+    # Throughput rises monotonically with node count.
+    rps = [pt["throughput_rps"] for pt in full["points"]]
+    assert rps == sorted(rps)
+
+
+def _check_against(payload: dict, baseline_path: Path) -> int:
+    """Compare quick-mode scaling against the committed baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    committed = baseline["quick"]["speedup_at_8"]
+    current = payload["quick"]["speedup_at_8"]
+    # Cap the reference at the acceptance bar so a lucky committed run
+    # can't ratchet the floor above the contract the gate protects.
+    floor = min(committed, SPEEDUP_BAR) * REGRESSION_TOLERANCE
+    status = "ok" if current >= floor else "REGRESSION"
+    print(
+        f"speedup_at_8: current {current:.2f}x vs committed {committed:.2f}x "
+        f"(floor {floor:.2f}x) -> {status}"
+    )
+    if current < floor:
+        failures.append("speedup_at_8")
+    if not payload["quick"]["bit_identical"]:
+        print("bit_identical: False -> REGRESSION")
+        failures.append("bit_identical")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    """CLI entry: regenerate BENCH_cluster.json or gate against it."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the small CI-smoke workload (no full section)",
+    )
+    parser.add_argument(
+        "--check-against",
+        type=Path,
+        metavar="JSON",
+        help="compare quick-mode scaling against a committed "
+        "BENCH_cluster.json; exit 1 on regression",
+    )
+    args = parser.parse_args(argv)
+
+    payload = build_payload(quick_only=args.quick)
+    print(_fmt(payload["quick"], "quick"))
+    if "full" in payload:
+        print(_fmt(payload["full"], "full"))
+
+    if args.check_against is not None:
+        return _check_against(payload, args.check_against)
+
+    out = _ROOT / "BENCH_cluster.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Cluster-scale serving: sharded multi-node simulation over a fabric.
+
+The subsystem that scales the serving stack past one simulated machine:
+
+* :mod:`repro.gpu.interconnect` — the inter-node fabric model (latency,
+  bandwidth, bisection, fat-tree vs flat), the network analog of the
+  PCIe model;
+* :class:`~repro.cluster.distributed.DistributedFFT3D` — slab/pencil
+  decomposed transforms with modeled all-to-all exchange phases,
+  functionally validated against ``numpy.fft.fftn``;
+* :class:`~repro.cluster.router.ConsistentHashRouter` — plan-key/tenant
+  sharding with virtual nodes and bounded loads;
+* :class:`~repro.cluster.cluster.FFTCluster` — N nodes x M cards, each an
+  :class:`~repro.serve.server.FFTServer` replica, with node-loss drills
+  and loss-free cross-node re-queue.
+"""
+
+from repro.cluster.cluster import ClusterNode, ClusterStats, FFTCluster
+from repro.cluster.distributed import DistributedFFT3D
+from repro.cluster.router import ConsistentHashRouter, HashRing
+from repro.gpu.interconnect import (
+    ETHERNET_10G,
+    ETHERNET_100G,
+    INFINIBAND_HDR,
+    ClusterInterconnect,
+    InterconnectLink,
+    interconnect_for,
+)
+
+__all__ = [
+    "ClusterNode",
+    "ClusterStats",
+    "FFTCluster",
+    "DistributedFFT3D",
+    "ConsistentHashRouter",
+    "HashRing",
+    "ClusterInterconnect",
+    "InterconnectLink",
+    "interconnect_for",
+    "ETHERNET_10G",
+    "ETHERNET_100G",
+    "INFINIBAND_HDR",
+]

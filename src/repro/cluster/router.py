@@ -1,0 +1,158 @@
+"""Consistent-hash routing tier for the simulated cluster.
+
+Requests shard across :class:`~repro.serve.server.FFTServer` replicas by
+consistent hashing of a route key derived from the plan-cache key — so
+every request for one ``(shape, precision, norm, inverse)`` plan from one
+tenant lands on the same node and its warm plan cache stays warm — with
+Google's *bounded loads* refinement layered on top: a node already
+carrying more than ``balance_factor`` times its fair share spills to the
+next node on the key's ring walk instead of hot-spotting.
+
+The ring uses virtual nodes (many hash points per physical node) so that
+adding or removing a replica remaps only about ``1/N`` of the key space
+— the property the stability test pins.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, Iterable
+
+__all__ = ["HashRing", "ConsistentHashRouter"]
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit ring position for ``data`` (blake2b, not ``hash()``)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    Each member contributes ``vnodes`` points on a 64-bit ring; a key is
+    served by the first member point at or after the key's own hash,
+    wrapping at the top.  :meth:`preference` extends that to the full
+    distinct-member walk order, which is what bounded-load spilling and
+    dead-node failover both traverse.
+    """
+
+    def __init__(self, members: Iterable[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        self._members: set[str] = set()
+        for member in members:
+            self.add(member)
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        """Current members, sorted for determinism."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def _member_points(self, member: str) -> list[int]:
+        return [_hash64(f"{member}#{i}") for i in range(self.vnodes)]
+
+    def add(self, member: str) -> None:
+        """Insert ``member``'s virtual nodes onto the ring."""
+        if member in self._members:
+            raise ValueError(f"member {member!r} already on the ring")
+        for point in self._member_points(member):
+            # A 64-bit collision across vnode labels is effectively
+            # impossible; first owner keeps the point if one happens.
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = member
+        self._members.add(member)
+
+    def remove(self, member: str) -> None:
+        """Remove ``member``'s virtual nodes from the ring."""
+        if member not in self._members:
+            raise ValueError(f"member {member!r} not on the ring")
+        for point in self._member_points(member):
+            if self._owners.get(point) == member:
+                self._points.remove(point)
+                del self._owners[point]
+        self._members.discard(member)
+
+    def preference(self, key: str) -> list[str]:
+        """Distinct members in ring-walk order from ``key``'s position.
+
+        The first entry is the key's home node; the rest are its spill /
+        failover order.  Every live member appears exactly once.
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect_left(self._points, _hash64(key))
+        seen: list[str] = []
+        for i in range(len(self._points)):
+            owner = self._owners[self._points[(start + i) % len(self._points)]]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._members):
+                    break
+        return seen
+
+    def node_for(self, key: str) -> str:
+        """The key's home member (first of :meth:`preference`)."""
+        pref = self.preference(key)
+        if not pref:
+            raise LookupError("ring is empty")
+        return pref[0]
+
+
+class ConsistentHashRouter:
+    """Bounded-load consistent-hash placement over a :class:`HashRing`.
+
+    ``route(key, load_of, weight)`` walks the key's preference order and
+    accepts the first member whose current load (any non-negative
+    measure: outstanding requests, queued bytes) stays within
+    ``balance_factor`` times the fair share after taking the new item.
+    If every member is above the bound — a burst aimed at few keys — the
+    least-loaded member on the walk takes it, so placement never fails
+    while the ring has members.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[str] = (),
+        vnodes: int = 64,
+        balance_factor: float = 1.25,
+    ):
+        if balance_factor < 1.0:
+            raise ValueError("balance_factor must be at least 1.0")
+        self.ring = HashRing(members, vnodes)
+        self.balance_factor = balance_factor
+
+    def route(
+        self,
+        key: str,
+        load_of: Callable[[str], float] | None = None,
+        weight: float = 1.0,
+    ) -> str:
+        """Pick the member for ``key`` (affinity first, balance bounded)."""
+        order = self.ring.preference(key)
+        if not order:
+            raise LookupError("ring is empty")
+        if load_of is None or len(order) == 1:
+            return order[0]
+        loads = {m: max(0.0, load_of(m)) for m in order}
+        capacity = (
+            self.balance_factor
+            * (sum(loads.values()) + weight)
+            / len(order)
+        )
+        for member in order:
+            if loads[member] + weight <= capacity:
+                return member
+        return min(order, key=lambda m: (loads[m], order.index(m)))

@@ -1,0 +1,183 @@
+"""Slab and pencil decomposition math for distributed 3-D FFTs.
+
+A transform too large for one card is split across nodes the way the
+Wafer-Scale FFT literature (and every production distributed FFT since
+Swarztrauber) does it:
+
+* **slab** — 1-D decomposition over Z: node ``k`` owns a contiguous
+  ``nz/p`` slab, transforms X and Y locally, then one all-to-all
+  redistributes to Y-slabs so Z becomes local for the final stage.
+  Minimum exchanges (one), but parallelism caps at ``min(nz, ny)``.
+* **pencil** — 2-D decomposition over a ``pr x pc`` node grid: node
+  ``(i, j)`` owns an X-pencil block, and each of the three 1-D stages is
+  separated by an all-to-all within one axis of the node grid (two
+  exchanges total).  Scales to ``nz * ny`` nodes and moves less data per
+  exchange partner.
+
+This module is the *math* — block ranges, divisibility validation and
+per-pair exchange volumes — shared by the functional executor
+(:mod:`repro.cluster.distributed`) and the cost model
+(:func:`repro.core.estimator.estimate_distributed_fft3d`).  Keeping it
+in :mod:`repro.core` keeps the decomposition story next to the
+single-card plan it generalizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DECOMPOSITIONS",
+    "block_ranges",
+    "pencil_grid",
+    "SlabDecomposition",
+    "PencilDecomposition",
+    "decomposition_for",
+]
+
+#: The supported decomposition kinds.
+DECOMPOSITIONS = ("slab", "pencil")
+
+
+def block_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """``parts`` contiguous, equal ``[start, stop)`` ranges covering ``n``.
+
+    Distributed stages require exact divisibility — ragged blocks would
+    make exchange volumes rank-dependent and the timing model dishonest.
+    """
+    if parts < 1:
+        raise ValueError("parts must be at least 1")
+    if n % parts != 0:
+        raise ValueError(f"{parts} nodes cannot evenly split an axis of {n}")
+    step = n // parts
+    return [(k * step, (k + 1) * step) for k in range(parts)]
+
+
+def pencil_grid(p: int) -> tuple[int, int]:
+    """The near-square ``(pr, pc)`` node grid for ``p`` nodes.
+
+    ``p`` must be a power of two (matching every grid axis in the
+    five-step world); the split puts the larger factor on columns so a
+    non-square grid favors the X axis, which is never decomposed.
+    """
+    if p < 1 or (p & (p - 1)) != 0:
+        raise ValueError("node count must be a power of two")
+    k = p.bit_length() - 1
+    pr = 1 << (k // 2)
+    return pr, p // pr
+
+
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """One-axis split: Z-slabs in, Y-slabs out, one all-to-all between."""
+
+    shape: tuple[int, int, int]
+    n_nodes: int
+    itemsize: int
+
+    def __post_init__(self) -> None:
+        nz, ny, _ = self.shape
+        block_ranges(nz, self.n_nodes)
+        block_ranges(ny, self.n_nodes)
+
+    @property
+    def kind(self) -> str:
+        """The decomposition kind slug (``slab``)."""
+        return "slab"
+
+    @property
+    def z_slabs(self) -> list[tuple[int, int]]:
+        """Each node's Z range in the input (XY-stage) layout."""
+        return block_ranges(self.shape[0], self.n_nodes)
+
+    @property
+    def y_slabs(self) -> list[tuple[int, int]]:
+        """Each node's Y range in the output (Z-stage) layout."""
+        return block_ranges(self.shape[1], self.n_nodes)
+
+    @property
+    def exchange_bytes_per_pair(self) -> int:
+        """Bytes one node sends one peer in the single all-to-all.
+
+        Node ``k`` keeps the ``(z_k, y_k)`` corner of its slab and ships
+        every other ``(z_k, y_j)`` block — ``nz/p * ny/p * nx`` elements
+        per peer.
+        """
+        nz, ny, nx = self.shape
+        p = self.n_nodes
+        return (nz // p) * (ny // p) * nx * self.itemsize
+
+    @property
+    def exchange_phases(self) -> tuple[tuple[int, int], ...]:
+        """``(group_size, bytes_per_pair)`` per all-to-all phase."""
+        if self.n_nodes == 1:
+            return ()
+        return ((self.n_nodes, self.exchange_bytes_per_pair),)
+
+
+@dataclass(frozen=True)
+class PencilDecomposition:
+    """Two-axis split over a ``pr x pc`` node grid, two all-to-alls.
+
+    Stage layouts (node ``(i, j)``, X never decomposed across stages
+    simultaneously with its transform):
+
+    1. owns ``(nz/pr, ny/pc, nx)`` — transform X;
+    2. exchange among the ``pc`` nodes of its grid row — now owns
+       ``(nz/pr, ny, nx/pc)`` — transform Y;
+    3. exchange among the ``pr`` nodes of its grid column — now owns
+       ``(nz, ny/pr, nx/pc)`` — transform Z.
+    """
+
+    shape: tuple[int, int, int]
+    n_nodes: int
+    itemsize: int
+
+    def __post_init__(self) -> None:
+        pr, pc = self.grid
+        nz, ny, nx = self.shape
+        block_ranges(nz, pr)
+        block_ranges(ny, pc)
+        block_ranges(nx, pc)
+        block_ranges(ny, pr)
+
+    @property
+    def kind(self) -> str:
+        """The decomposition kind slug (``pencil``)."""
+        return "pencil"
+
+    @property
+    def grid(self) -> tuple[int, int]:
+        """The ``(pr, pc)`` node grid."""
+        return pencil_grid(self.n_nodes)
+
+    @property
+    def exchange_phases(self) -> tuple[tuple[int, int], ...]:
+        """``(group_size, bytes_per_pair)`` for the row and column phases.
+
+        Row phase: ``(i, j) -> (i, j')`` ships the ``(nz/pr, ny/pc,
+        nx/pc)`` sub-block; column phase: ``(i, j) -> (i', j)`` ships
+        ``(nz/pr, ny/pr, nx/pc)``.  Groups along the other grid axis run
+        their all-to-alls concurrently on disjoint node sets.
+        """
+        pr, pc = self.grid
+        nz, ny, nx = self.shape
+        phases: list[tuple[int, int]] = []
+        if pc > 1:
+            row_pair = (nz // pr) * (ny // pc) * (nx // pc) * self.itemsize
+            phases.append((pc, row_pair))
+        if pr > 1:
+            col_pair = (nz // pr) * (ny // pr) * (nx // pc) * self.itemsize
+            phases.append((pr, col_pair))
+        return tuple(phases)
+
+
+def decomposition_for(
+    kind: str, shape: tuple[int, int, int], n_nodes: int, itemsize: int
+):
+    """Build the named decomposition (validating divisibility)."""
+    if kind == "slab":
+        return SlabDecomposition(shape, n_nodes, itemsize)
+    if kind == "pencil":
+        return PencilDecomposition(shape, n_nodes, itemsize)
+    raise ValueError(f"unknown decomposition {kind!r}; known: {DECOMPOSITIONS}")

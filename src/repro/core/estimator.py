@@ -9,8 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.decompose import decomposition_for
 from repro.core.five_step import FiveStepPlan
 from repro.core.kernels import shared_x_step_spec
+from repro.gpu.interconnect import ClusterInterconnect
 from repro.gpu.memsystem import MemorySystem
 from repro.gpu.pcie import link_for
 from repro.gpu.specs import DeviceSpec
@@ -20,9 +22,11 @@ from repro.util.units import flops_1d_fft
 __all__ = [
     "FFT3DEstimate",
     "BatchPipelineEstimate",
+    "DistributedFFT3DEstimate",
     "estimate_fft3d",
     "estimate_batch_pipelined",
     "estimate_batch_1d",
+    "estimate_distributed_fft3d",
 ]
 
 #: Real kernels achieve slightly less than the pattern microbenchmark
@@ -189,6 +193,96 @@ def estimate_batch_pipelined(
         h2d_seconds=est.h2d_seconds,
         kernel_seconds=est.on_board_seconds,
         d2h_seconds=est.d2h_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class DistributedFFT3DEstimate:
+    """Predicted performance of one decomposed 3-D FFT across a cluster.
+
+    Each node transforms ``1/p`` of the rows of every 1-D stage, so the
+    on-board compute divides by the node count; what does *not* divide
+    is the all-to-all exchange between stages, whose cost comes from the
+    :class:`~repro.gpu.interconnect.ClusterInterconnect` model.  The
+    ratio of the two is the whole scaling story: on a full-bisection
+    fabric the exchange stays flat per node and speedup is near-linear;
+    on an oversubscribed flat fabric the bisection term grows with ``p``
+    and the transform hits a cluster-level PCIe wall.
+    """
+
+    device: str
+    shape: tuple[int, int, int]
+    n_nodes: int
+    decomposition: str
+    nominal_flops: float
+    #: Per-node on-board compute, already divided by ``n_nodes``.
+    local_seconds: float
+    #: Seconds of each modeled all-to-all phase (1 for slab, 2 for pencil).
+    exchange_phase_seconds: tuple[float, ...]
+    #: Per-node host<->device edges for the node's own block.
+    h2d_seconds: float
+    d2h_seconds: float
+
+    @property
+    def exchange_seconds(self) -> float:
+        """Total time spent in inter-node exchange phases."""
+        return sum(self.exchange_phase_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time: local stages plus exchanges plus edges."""
+        return (
+            self.h2d_seconds
+            + self.local_seconds
+            + self.exchange_seconds
+            + self.d2h_seconds
+        )
+
+    @property
+    def total_gflops(self) -> float:
+        """Aggregate throughput across the cluster."""
+        return self.nominal_flops / self.total_seconds / 1e9
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Speedup over one node divided by the node count."""
+        single = (
+            self.h2d_seconds * self.n_nodes
+            + self.local_seconds * self.n_nodes
+            + self.d2h_seconds * self.n_nodes
+        )
+        return single / (self.total_seconds * self.n_nodes)
+
+
+def estimate_distributed_fft3d(
+    device: DeviceSpec,
+    shape: tuple[int, int, int] | int,
+    n_nodes: int,
+    decomposition: str = "slab",
+    precision: str = "single",
+    interconnect: ClusterInterconnect | None = None,
+    memsystem: MemorySystem | None = None,
+) -> DistributedFFT3DEstimate:
+    """Predict a slab/pencil-decomposed transform on ``n_nodes`` nodes."""
+    est = estimate_fft3d(device, shape, precision, memsystem)
+    plan = FiveStepPlan(shape, precision=precision)
+    itemsize = plan.total_bytes // (plan.shape[0] * plan.shape[1] * plan.shape[2])
+    decomp = decomposition_for(decomposition, plan.shape, n_nodes, itemsize)
+    fabric = interconnect or ClusterInterconnect()
+    phases = tuple(
+        fabric.all_to_all_seconds(group, per_pair)
+        for group, per_pair in decomp.exchange_phases
+    )
+    return DistributedFFT3DEstimate(
+        device=est.device,
+        shape=plan.shape,
+        n_nodes=n_nodes,
+        decomposition=decomp.kind,
+        nominal_flops=plan.flops,
+        local_seconds=est.on_board_seconds / n_nodes,
+        exchange_phase_seconds=phases,
+        h2d_seconds=est.h2d_seconds / n_nodes,
+        d2h_seconds=est.d2h_seconds / n_nodes,
     )
 
 

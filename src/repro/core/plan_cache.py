@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.five_step import FiveStepPlan
 from repro.fft.twiddle import DEFAULT_CACHE
@@ -85,10 +86,39 @@ class PlanCache:
         self._misses = 0
         self._evictions = 0
         self._observers: list[Callable[[str], None]] = []
+        self._scope = threading.local()
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+
+    @property
+    def current_scope(self) -> str | None:
+        """The attribution label in force on this thread (``None`` = global).
+
+        Observers run synchronously on the requesting thread, so they may
+        read this to attribute a hit/miss to the cluster node (or other
+        scope) whose work triggered it — the fix for the single-process
+        assumption in the stats folding: one process-wide cache serving
+        many simulated nodes must not fold every node's traffic into one
+        unlabeled counter.
+        """
+        return getattr(self._scope, "label", None)
+
+    @contextmanager
+    def scoped(self, label: str) -> Iterator[None]:
+        """Attribute this thread's cache traffic to ``label`` while open.
+
+        Scopes nest (the inner label wins) and are strictly thread-local,
+        so concurrent nodes driving the shared cache cannot contaminate
+        each other's attribution.
+        """
+        prev = getattr(self._scope, "label", None)
+        self._scope.label = label
+        try:
+            yield
+        finally:
+            self._scope.label = prev
 
     def add_observer(self, fn: Callable[[str], None]) -> Callable[[str], None]:
         """Subscribe ``fn`` to plan requests; it receives ``"hits"``/``"misses"``.

@@ -1,0 +1,165 @@
+"""Inter-node interconnect model for the simulated cluster.
+
+The single-card story ends at the PCIe slot (:mod:`repro.gpu.pcie`);
+scaling the serving stack past one simulated machine needs the next bus
+out: the network fabric between nodes.  This module models it in the
+same style as :class:`~repro.gpu.pcie.PcieLink` — a link is theoretical
+bandwidth times a calibrated efficiency plus a fixed per-message setup
+cost — and adds the one thing a *fabric* has that a point-to-point bus
+does not: a topology with a bisection, which is what prices the
+all-to-all exchange phases of distributed FFTs (the Wafer-Scale FFT
+playbook: pencil/slab decomposition with exchange phases whose cost is
+dominated by the interconnect).
+
+Two topologies are modeled:
+
+* ``fat-tree`` — full bisection bandwidth; an all-to-all is limited only
+  by each node's injection rate, so exchange time stays flat as nodes
+  are added for a fixed per-node payload (the near-linear-scaling case).
+* ``flat`` — an oversubscribed fabric whose bisection carries only
+  ``bisection_fraction`` of the aggregate injection bandwidth; past the
+  point where the bisection saturates, adding nodes makes the exchange
+  *slower* — the cluster-level analog of the paper's PCIe wall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InterconnectLink",
+    "ClusterInterconnect",
+    "ETHERNET_10G",
+    "ETHERNET_100G",
+    "INFINIBAND_HDR",
+    "interconnect_for",
+]
+
+
+@dataclass(frozen=True)
+class InterconnectLink:
+    """One node's network link (the NIC), mirroring :class:`PcieLink`."""
+
+    name: str
+    #: Theoretical one-direction payload bandwidth, bytes/s.
+    raw_bandwidth: float
+    #: Achieved fraction of raw bandwidth (protocol framing, MTU tax).
+    efficiency: float = 0.9
+    #: Fixed per-message cost, seconds (NIC doorbell + switch hops).
+    latency_s: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.raw_bandwidth <= 0:
+            raise ValueError("raw_bandwidth must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved one-direction bandwidth, bytes/s."""
+        return self.raw_bandwidth * self.efficiency
+
+    def transfer_time(self, n_bytes: int) -> float:
+        """Seconds for one point-to-point message of ``n_bytes``."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency_s + n_bytes / self.bandwidth
+
+
+# 10 GbE: 1.25 GB/s raw; TCP-stack efficiency, tens-of-us latency.
+ETHERNET_10G = InterconnectLink(
+    name="10GbE", raw_bandwidth=1.25e9, efficiency=0.85, latency_s=30e-6
+)
+
+# 100 GbE with RoCE-class offload: 12.5 GB/s raw.
+ETHERNET_100G = InterconnectLink(
+    name="100GbE", raw_bandwidth=12.5e9, efficiency=0.90, latency_s=8e-6
+)
+
+# InfiniBand HDR (200 Gb/s): 25 GB/s raw, microsecond-class latency.
+INFINIBAND_HDR = InterconnectLink(
+    name="IB-HDR", raw_bandwidth=25.0e9, efficiency=0.92, latency_s=2e-6
+)
+
+_LINKS = {link.name: link for link in (ETHERNET_10G, ETHERNET_100G, INFINIBAND_HDR)}
+
+_TOPOLOGIES = ("fat-tree", "flat")
+
+
+def interconnect_for(name: str) -> InterconnectLink:
+    """Resolve a link preset by name (``10GbE``/``100GbE``/``IB-HDR``)."""
+    try:
+        return _LINKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown interconnect {name!r}; known: {sorted(_LINKS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ClusterInterconnect:
+    """A fabric: per-node links plus a topology with a bisection.
+
+    ``bisection_fraction`` is the fraction of the aggregate injection
+    bandwidth the bisection can carry (1.0 = full bisection, the
+    fat-tree ideal; a ``flat`` oversubscribed fabric sits below 1).
+    """
+
+    link: InterconnectLink = ETHERNET_100G
+    topology: str = "fat-tree"
+    bisection_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.topology not in _TOPOLOGIES:
+            raise ValueError(
+                f"unknown topology {self.topology!r}; known: {_TOPOLOGIES}"
+            )
+        if not 0.0 < self.bisection_fraction <= 1.0:
+            raise ValueError("bisection_fraction must be in (0, 1]")
+        if self.topology == "fat-tree" and self.bisection_fraction != 1.0:
+            raise ValueError("a fat-tree has full bisection by definition")
+
+    def point_to_point_seconds(self, n_bytes: int) -> float:
+        """One message between two nodes (link latency + payload)."""
+        return self.link.transfer_time(n_bytes)
+
+    def all_to_all_seconds(self, n_nodes: int, bytes_per_pair: int) -> float:
+        """One all-to-all exchange phase across ``n_nodes``.
+
+        Every node sends ``bytes_per_pair`` to each of the other
+        ``n_nodes - 1`` nodes.  The phase time is the larger of two
+        limits — each node's injection rate and the fabric's bisection —
+        plus one setup latency per peer message:
+
+        * injection: ``(p - 1) * b / link.bandwidth`` per node;
+        * bisection: ``p^2 * b / 4`` bytes cross each way, through a
+          bisection of ``p * link.bandwidth * bisection_fraction / 2``.
+
+        With full bisection the injection term always dominates, so the
+        per-node exchange cost is flat in ``p`` for fixed total payload —
+        which is exactly what near-linear distributed-FFT scaling needs.
+        """
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be at least 1")
+        if bytes_per_pair < 0:
+            raise ValueError("bytes_per_pair must be non-negative")
+        if n_nodes == 1 or bytes_per_pair == 0:
+            return 0.0
+        bw = self.link.bandwidth
+        injection = (n_nodes - 1) * bytes_per_pair / bw
+        cross = n_nodes * n_nodes * bytes_per_pair / 4.0
+        bisection_bw = n_nodes * bw * self.bisection_fraction / 2.0
+        bisection = cross / bisection_bw
+        return (n_nodes - 1) * self.link.latency_s + max(injection, bisection)
+
+    def exchange_bandwidth(self, n_nodes: int) -> float:
+        """Aggregate payload bytes/s an all-to-all sustains at ``n_nodes``."""
+        if n_nodes < 2:
+            return self.link.bandwidth
+        probe = 1 << 20
+        total = n_nodes * (n_nodes - 1) * probe
+        return total / self.all_to_all_seconds(n_nodes, probe)

@@ -18,6 +18,14 @@ Each operation is a complete event (``ph: "X"``) with microsecond ``ts``
 and ``dur`` on the simulated clock; ``args`` carries the enrichment
 (bytes, flops, fault flag, plan id, batch entry and any other
 annotations).  Track names arrive as metadata events (``ph: "M"``).
+
+Multi-node runs: spans carrying a ``node`` tag (a tracer attached with a
+scope — see :meth:`~repro.obs.tracer.Tracer.attach`) land in *their
+node's own* pid pair — ``engines [n0]`` / ``streams [n0]``, allocated
+after the reserved pids 1/2 in sorted node order — instead of
+interleaving every node's cards onto one process's lanes.  Unscoped
+spans keep the pinned pid 1/2 layout exactly, which is what the golden
+trace test continues to assert.
 """
 
 from __future__ import annotations
@@ -104,33 +112,59 @@ def _complete(span: Span, pid: int, tid: int) -> dict:
     }
 
 
+def _node_of(span: Span) -> str | None:
+    """The span's owning node scope (its ``node`` tag), if any."""
+    for k, v in span.tags:
+        if k == "node":
+            return str(v)
+    return None
+
+
 def chrome_trace(spans: Iterable[Span]) -> dict:
     """Build the trace-event JSON object for ``spans``.
 
     Returns a plain dict ready for :func:`json.dumps`; load the result in
     ``chrome://tracing`` or https://ui.perfetto.dev to see one lane per
-    engine and per stream with all overlap visible.
+    engine and per stream with all overlap visible.  Spans tagged with a
+    ``node`` scope get a pid pair per node; untagged spans keep the
+    pinned pid 1/2 layout.
     """
     spans = list(spans)
     events: list[dict] = []
     if not spans:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
-    events += _meta(ENGINE_PID, "engines")
-    for engine, tid in ENGINE_TIDS.items():
-        events += _meta(ENGINE_PID, engine, tid, sort=tid)
-    streams = sorted(
-        {s.stream for s in spans if s.stream is not None}, key=int
-    )
-    events += _meta(STREAM_PID, "streams")
-    if any(s.stream is None for s in spans):
-        events += _meta(STREAM_PID, "default (sync)", 0, sort=0)
-    for stream in streams:
-        tid = int(stream) + 1
-        events += _meta(STREAM_PID, f"stream {stream}", tid, sort=tid)
+    groups: dict[str | None, list[Span]] = {}
     for span in spans:
-        events.append(_complete(span, ENGINE_PID, ENGINE_TIDS[span.engine]))
+        groups.setdefault(_node_of(span), []).append(span)
+    order: list[str | None] = [None] if None in groups else []
+    order += sorted(k for k in groups if k is not None)
+    scoped = [k for k in order if k is not None]
+    pids: dict[str | None, tuple[int, int]] = {
+        None: (ENGINE_PID, STREAM_PID)
+    }
+    for i, scope in enumerate(scoped):
+        pids[scope] = (STREAM_PID + 2 * i + 1, STREAM_PID + 2 * i + 2)
+    for scope in order:
+        engine_pid, stream_pid = pids[scope]
+        suffix = "" if scope is None else f" [{scope}]"
+        group = groups[scope]
+        events += _meta(engine_pid, f"engines{suffix}")
+        for engine, tid in ENGINE_TIDS.items():
+            events += _meta(engine_pid, engine, tid, sort=tid)
+        streams = sorted(
+            {s.stream for s in group if s.stream is not None}, key=int
+        )
+        events += _meta(stream_pid, f"streams{suffix}")
+        if any(s.stream is None for s in group):
+            events += _meta(stream_pid, "default (sync)", 0, sort=0)
+        for stream in streams:
+            tid = int(stream) + 1
+            events += _meta(stream_pid, f"stream {stream}", tid, sort=tid)
+    for span in spans:
+        engine_pid, stream_pid = pids[_node_of(span)]
+        events.append(_complete(span, engine_pid, ENGINE_TIDS[span.engine]))
         tid = 0 if span.stream is None else int(span.stream) + 1
-        events.append(_complete(span, STREAM_PID, tid))
+        events.append(_complete(span, stream_pid, tid))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -48,6 +48,7 @@ class Profiler:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(metrics=self.metrics)
         self._sims: list[DeviceSimulator] = []
+        self._scopes: dict[int, str] = {}
         self._cache_observer = PLAN_CACHE.add_observer(self._on_cache_event)
         self._twiddle_observer = DEFAULT_CACHE.add_observer(
             self._on_twiddle_event
@@ -58,13 +59,21 @@ class Profiler:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def attach(self, sim: DeviceSimulator) -> "Profiler":
-        """Capture ``sim``'s events from now on; idempotent per simulator."""
+    def attach(self, sim: DeviceSimulator, scope: str | None = None) -> "Profiler":
+        """Capture ``sim``'s events from now on; idempotent per simulator.
+
+        ``scope`` attributes the simulator to one owner in a multi-node
+        run (a cluster node id): its spans carry a ``node`` tag and its
+        snapshot gauges a ``node`` label, so several nodes sharing one
+        profiler stay distinguishable instead of folding together.
+        """
         if self._closed:
             raise ValueError("profiler is closed")
         if sim not in self._sims:
             self._sims.append(sim)
-            self.tracer.attach(sim)
+            if scope is not None:
+                self._scopes[id(sim)] = scope
+            self.tracer.attach(sim, scope=scope)
         return self
 
     def close(self) -> None:
@@ -78,6 +87,7 @@ class Profiler:
         self._closed = True
         self.tracer.detach()
         self._sims.clear()
+        self._scopes.clear()
         PLAN_CACHE.remove_observer(self._cache_observer)
         DEFAULT_CACHE.remove_observer(self._twiddle_observer)
 
@@ -92,7 +102,16 @@ class Profiler:
     # ------------------------------------------------------------------
 
     def _on_cache_event(self, outcome: str) -> None:
+        # Observers run on the requesting thread, so the cache's
+        # thread-local scope (set per cluster node around submits and
+        # dispatch) attributes the event; single-process runs see the
+        # unlabeled counter only, exactly as before.
         self.metrics.counter(f"plan_cache.{outcome}", "requests").inc()
+        scope = PLAN_CACHE.current_scope
+        if scope is not None:
+            self.metrics.counter(
+                f"plan_cache.{outcome}", "requests", {"node": scope}
+            ).inc()
 
     def _on_twiddle_event(self, outcome: str, key: tuple) -> None:
         # Twiddle tables are plan-derived constants, so their hit/miss
@@ -108,12 +127,16 @@ class Profiler:
     def snapshot(self) -> dict:
         """Refresh the simulator gauges, then return the metrics snapshot.
 
-        Gauges carry a ``sim=<index>`` label in attachment order:
+        Gauges carry a ``sim=<index>`` label in attachment order (plus a
+        ``node`` label for simulators attached with a scope):
         ``sim.elapsed.seconds``, ``sim.used.bytes``, ``sim.device.resets``
         plus the per-engine ``sim.engine.busy.seconds``.
         """
         for i, sim in enumerate(self._sims):
-            labels = {"sim": i}
+            labels: dict[str, object] = {"sim": i}
+            scope = self._scopes.get(id(sim))
+            if scope is not None:
+                labels["node"] = scope
             self.metrics.gauge("sim.elapsed.seconds", "s", labels).set(sim.elapsed)
             self.metrics.gauge("sim.used.bytes", "B", labels).set(sim.used_bytes)
             self.metrics.gauge("sim.device.resets", "resets", labels).set(
@@ -121,7 +144,7 @@ class Profiler:
             )
             for engine, busy in sim.engine_busy_seconds().items():
                 self.metrics.gauge(
-                    "sim.engine.busy.seconds", "s", {"sim": i, "engine": engine}
+                    "sim.engine.busy.seconds", "s", {**labels, "engine": engine}
                 ).set(busy)
         return self.metrics.snapshot()
 

@@ -93,10 +93,27 @@ class Tracer:
     # Attachment
     # ------------------------------------------------------------------
 
-    def attach(self, sim: DeviceSimulator) -> "Tracer":
-        """Start capturing ``sim``'s events; idempotent per simulator."""
+    def attach(self, sim: DeviceSimulator, scope: str | None = None) -> "Tracer":
+        """Start capturing ``sim``'s events; idempotent per simulator.
+
+        ``scope`` names the owner of this simulator in a multi-node run
+        (e.g. a cluster node id): every span captured from ``sim`` then
+        carries a ``node`` tag, which the Chrome-trace exporter uses to
+        give each node its own track group instead of interleaving every
+        node's cards onto one process's lanes.
+        """
         if id(sim) not in self._hooks:
-            hook = sim.add_record_hook(self._on_record)
+            if scope is None:
+                hook = sim.add_record_hook(self._on_record)
+            else:
+                def scoped_hook(
+                    ev: TimelineEvent,
+                    tags: Mapping[str, object],
+                    _scope: str = scope,
+                ) -> None:
+                    self._on_record(ev, tags, _scope)
+
+                hook = sim.add_record_hook(scoped_hook)
             self._hooks[id(sim)] = (sim, hook)
         return self
 
@@ -126,12 +143,19 @@ class Tracer:
     # Capture
     # ------------------------------------------------------------------
 
-    def _on_record(self, ev: TimelineEvent, tags: Mapping[str, object]) -> None:
+    def _on_record(
+        self,
+        ev: TimelineEvent,
+        tags: Mapping[str, object],
+        scope: str | None = None,
+    ) -> None:
         plan = tags.get("plan")
         entry = tags.get("entry")
         extra = tuple(
             (k, v) for k, v in tags.items() if k not in ("plan", "entry")
         )
+        if scope is not None and "node" not in tags:
+            extra += (("node", scope),)
         self._capture(
             Span(
                 kind=ev.kind,

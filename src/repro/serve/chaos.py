@@ -27,6 +27,13 @@ an operator ejection (:meth:`~repro.serve.server.FFTServer.eject_worker`)
 fires partway through.  CI runs the quick profile
 (``--seed 7 --requests 500 --quick``); the full drill defaults to 5000
 requests on four workers.
+
+``--cluster`` switches to the cluster scenario
+(:func:`run_cluster_drill`): the same seeded mix against an
+:class:`~repro.cluster.FFTCluster`, with one whole node killed at the
+halfway mark instead of a worker ejection.  The invariants extend to
+the cluster promises — no stranded futures across the fleet and the
+surviving replicas absorb every re-queued request.
 """
 
 from __future__ import annotations
@@ -47,7 +54,14 @@ from repro.serve.health import HealthPolicy
 from repro.serve.request import FFTFuture, FFTRequest
 from repro.serve.server import FFTServer
 
-__all__ = ["DrillConfig", "DrillResult", "build_requests", "run_drill", "main"]
+__all__ = [
+    "DrillConfig",
+    "DrillResult",
+    "build_requests",
+    "run_drill",
+    "run_cluster_drill",
+    "main",
+]
 
 #: Transform shapes the drill mixes (all in-core, five-step plannable).
 _SHAPES = ((16, 16, 16), (32, 16, 16), (16, 32, 16))
@@ -323,6 +337,198 @@ def run_drill(cfg: DrillConfig) -> DrillResult:
     return DrillResult(summary=summary, violations=violations)
 
 
+def _cluster_fault_schedule(cfg: DrillConfig) -> FaultInjector:
+    """One seeded soft-fault injector for the whole cluster.
+
+    The cluster splits it into independently seeded per-node children.
+    No ``device-lost`` specs here: the cluster drill's hard event is the
+    node kill itself, and soft faults exercise the per-node retry and
+    re-queue machinery underneath it.
+    """
+    scale = 0.4 if cfg.quick else 1.0
+    seed_seq = np.random.SeedSequence([cfg.seed, 0xC1057E4])
+    specs = [
+        FaultSpec("transfer-corrupt", rate=0.004 * scale),
+        FaultSpec("ecc-bitflip", rate=0.002 * scale),
+        FaultSpec("alloc-fail", rate=0.002 * scale),
+        FaultSpec("transfer-fail", rate=0.003 * scale),
+    ]
+    return FaultInjector(specs, seed=int(seed_seq.generate_state(1)[0]))
+
+
+def run_cluster_drill(cfg: DrillConfig) -> DrillResult:
+    """Cluster chaos drill: lose a whole node mid-mix, lose no work.
+
+    ``cfg.n_workers`` is read as the *node* count (one card per node).
+    The drill bombards an :class:`~repro.cluster.FFTCluster` with the
+    same seeded request stream as the single-server drill, kills one
+    node at the halfway mark, then asserts the cluster-level invariants:
+
+    1. **Zero stranded futures.**  Every accepted submission resolves —
+       including every request re-queued off the dead node — and no
+       survivor's queue holds leftover tickets.
+    2. **Survivors absorb the re-queued work.**  The kill re-queues at
+       least one in-flight request and all of them resolve on surviving
+       replicas; nothing fails with a node-loss error while survivors
+       remain.
+    3. **Bit-identity off the fault path** and **determinism**, exactly
+       as in :func:`run_drill` (re-queued requests are marked
+       ``faulted`` and exempt from the byte comparison).
+    """
+    from repro.cluster import FFTCluster
+
+    reqs = build_requests(cfg)
+    refs = reference_digests(reqs)
+    n_nodes = cfg.n_workers
+    victim = 1
+    kill_at = cfg.requests // 2
+    outcomes: list[FFTFuture | str] = []
+    cluster = FFTCluster(
+        n_nodes=n_nodes,
+        cards_per_node=1,
+        start=False,
+        serial_dispatch=True,
+        fault_injector=_cluster_fault_schedule(cfg),
+        health=HealthPolicy(),
+        max_depth=max(4 * cfg.chunk, 128),
+        coalesce=CoalescePolicy(max_batch=cfg.max_batch, max_wait_s=0.0),
+        name="chaos-cluster",
+    )
+    requeued_at_kill = 0
+    with cluster:
+        for i, req in enumerate(reqs):
+            if i == kill_at:
+                requeued_at_kill = cluster.kill_node(victim, reason="drill")
+            try:
+                outcomes.append(cluster.submit(req))
+            except RejectedError as exc:
+                outcomes.append(exc.reason)
+            if (i + 1) % cfg.chunk == 0:
+                cluster.run_pending()
+        cluster.drain()
+        stats = cluster.stats()
+        leftover_depth = cluster.queue.depth
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    violations: list[str] = []
+    rejected = sum(1 for o in outcomes if isinstance(o, str))
+    futures = [o for o in outcomes if not isinstance(o, str)]
+    unresolved = sum(1 for f in futures if not f.done())
+    if unresolved:
+        violations.append(f"{unresolved} futures never resolved (lost work)")
+    if leftover_depth:
+        violations.append(f"{leftover_depth} tickets stranded in the queue")
+    if stats.inflight:
+        violations.append(f"{stats.inflight} entries still tracked in-flight")
+
+    completed = failed = faulted_ok = checked = mismatches = 0
+    requeued_done = requeued_unresolved = 0
+    failure_kinds: dict[str, int] = {}
+    for i, o in enumerate(outcomes):
+        if isinstance(o, str):
+            continue
+        if o.requeues:
+            if o.done():
+                requeued_done += 1
+            else:
+                requeued_unresolved += 1
+        if not o.done():
+            continue
+        exc = o.exception()
+        if exc is not None:
+            failed += 1
+            kind = type(exc).__name__
+            failure_kinds[kind] = failure_kinds.get(kind, 0) + 1
+            continue
+        completed += 1
+        if o.faulted:
+            faulted_ok += 1
+            continue
+        checked += 1
+        digest = hashlib.sha256(
+            np.ascontiguousarray(o.result()).tobytes()
+        ).hexdigest()
+        if digest != refs[i]:
+            mismatches += 1
+    if mismatches:
+        violations.append(
+            f"{mismatches}/{checked} non-faulted results differ from the "
+            "fault-free reference"
+        )
+    if stats.node_losses != 1:
+        violations.append(
+            f"expected exactly one node loss, saw {stats.node_losses}"
+        )
+    if requeued_at_kill < 1:
+        violations.append(
+            "the node kill re-queued no in-flight work; move the kill "
+            "point off a dispatch boundary"
+        )
+    if requeued_unresolved:
+        violations.append(
+            f"{requeued_unresolved} re-queued requests never resolved on "
+            "the survivors"
+        )
+    survivor_failures = sum(
+        n
+        for kind, n in failure_kinds.items()
+        if kind in ("RequeueExhaustedError", "ServerClosedError")
+    )
+    if survivor_failures:
+        violations.append(
+            f"{survivor_failures} requests failed with node-loss errors "
+            "while survivors remained"
+        )
+
+    nodes_summary = {
+        name: {
+            "alive": stats.node_alive[name],
+            "submitted": node_stats.submitted,
+            "batches": node_stats.batches,
+            "queue_depth": node_stats.queue_depth,
+        }
+        for name, node_stats in sorted(stats.nodes.items())
+    }
+    summary = {
+        "config": {
+            "seed": cfg.seed,
+            "requests": cfg.requests,
+            "n_nodes": n_nodes,
+            "max_batch": cfg.max_batch,
+            "chunk": cfg.chunk,
+            "quick": cfg.quick,
+        },
+        "counts": {
+            "submitted": len(futures),
+            "completed": completed,
+            "completed_faulted": faulted_ok,
+            "failed": failed,
+            "rejected": rejected,
+            "rejected_reasons": dict(sorted(stats.rejected.items())),
+            "failure_kinds": dict(sorted(failure_kinds.items())),
+            "requeued": stats.requeued,
+            "requeued_at_kill": requeued_at_kill,
+            "node_losses": stats.node_losses,
+        },
+        "nodes": nodes_summary,
+        "workers": dict(sorted(stats.worker_health.items())),
+        "invariants": {
+            "zero_lost_futures": unresolved == 0
+            and leftover_depth == 0
+            and stats.inflight == 0,
+            "survivors_absorbed": requeued_at_kill >= 1
+            and requeued_unresolved == 0
+            and survivor_failures == 0,
+            "bit_identity_checked": checked,
+            "bit_identity_mismatches": mismatches,
+            "requeued_futures_resolved": requeued_done,
+        },
+    }
+    return DrillResult(summary=summary, violations=violations)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry: run the drill twice, assert invariants + determinism."""
     parser = argparse.ArgumentParser(
@@ -339,6 +545,12 @@ def main(argv: list[str] | None = None) -> int:
         help="CI profile: softer fault rates, earlier device losses",
     )
     parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run the cluster scenario: kill a node mid-mix "
+        "(--workers is read as the node count)",
+    )
+    parser.add_argument(
         "--once",
         action="store_true",
         help="skip the second (determinism-checking) run",
@@ -351,14 +563,15 @@ def main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         quick=args.quick,
     )
-    first = run_drill(cfg)
+    drill = run_cluster_drill if args.cluster else run_drill
+    first = drill(cfg)
     print(first.to_json())
     rc = 0
     for v in first.violations:
         print(f"INVARIANT VIOLATED: {v}", file=sys.stderr)
         rc = 1
     if not args.once:
-        second = run_drill(cfg)
+        second = drill(cfg)
         if second.to_json() != first.to_json():
             print(
                 "INVARIANT VIOLATED: drill is not deterministic for "

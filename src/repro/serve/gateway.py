@@ -51,7 +51,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from itertools import count
-from typing import AsyncIterator, Awaitable, Callable, Mapping
+from typing import TYPE_CHECKING, AsyncIterator, Awaitable, Callable, Mapping
 
 import numpy as np
 
@@ -67,6 +67,9 @@ from repro.serve.wire import (
     WireError,
     encode_array,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (cycle guard)
+    from repro.cluster.cluster import FFTCluster
 
 __all__ = [
     "GatewayError",
@@ -270,7 +273,7 @@ class _Job:
 
 
 class Gateway:
-    """The ASGI application: typed routes over one :class:`FFTServer`.
+    """The ASGI application: typed routes over one serving core.
 
     Call the instance per the ASGI 3 single-callable contract
     (``await gateway(scope, receive, send)``).  The gateway owns no
@@ -280,9 +283,18 @@ class Gateway:
     Parameters
     ----------
     server:
-        The serving core requests land on.  Its metrics registry also
-        receives the ``gateway.*`` family, so one snapshot shows the
-        wire and the device ends of the same traffic.
+        The serving core requests land on — a single
+        :class:`FFTServer`, or an
+        :class:`~repro.cluster.cluster.FFTCluster`, whose ``submit``
+        routes each ``/v1/fft`` body through the consistent-hash tier
+        to a node replica.  The cluster's typed failures (node loss
+        re-queue exhaustion, a fully-dead fleet) are existing
+        :class:`~repro.serve.errors.ServeError` reasons, so they
+        project onto the same :class:`ErrorCode` statuses as a single
+        server's — node loss adds no new codes.  Either way its metrics
+        registry also receives the ``gateway.*`` family, so one
+        snapshot shows the wire and the device ends of the same
+        traffic.
     auth:
         Tenant derivation (default: self-asserted bearer/X-Tenant).
     policy:
@@ -291,7 +303,7 @@ class Gateway:
 
     def __init__(
         self,
-        server: FFTServer,
+        server: FFTServer | FFTCluster,
         auth: TenantAuth | None = None,
         policy: GatewayPolicy | None = None,
     ):
@@ -573,6 +585,13 @@ class Gateway:
             "completed": stats.completed,
             "workers": {str(k): v for k, v in stats.worker_health.items()},
         }
+        # Cluster cores (ClusterStats) also report per-node liveness.
+        node_alive = getattr(stats, "node_alive", None)
+        if node_alive is not None:
+            payload["nodes"] = {
+                name: ("alive" if alive else "dead")
+                for name, alive in node_alive.items()
+            }
         return Response(
             status=200, body=json.dumps(payload, sort_keys=True).encode()
         )

@@ -1,0 +1,1 @@
+"""Cluster-scale serving tests: fabric, decomposition, routing, drills."""

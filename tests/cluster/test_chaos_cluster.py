@@ -1,0 +1,84 @@
+"""The cluster chaos drill: node loss mid-mix loses nothing, twice over."""
+
+import pytest
+
+from repro.serve.chaos import DrillConfig, main, run_cluster_drill
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """One shared quick cluster drill (the module's expensive fixture).
+
+    chunk is chosen so the kill point (requests // 2) lands mid-chunk —
+    a kill on a dispatch boundary would find an empty queue and nothing
+    to re-queue.
+    """
+    return run_cluster_drill(
+        DrillConfig(seed=7, requests=150, n_workers=3, chunk=16, quick=True)
+    )
+
+
+class TestInvariants:
+    def test_drill_passes(self, quick_result):
+        assert quick_result.ok, quick_result.violations
+
+    def test_zero_stranded_futures(self, quick_result):
+        inv = quick_result.summary["invariants"]
+        assert inv["zero_lost_futures"]
+
+    def test_survivors_absorbed_requeued_work(self, quick_result):
+        inv = quick_result.summary["invariants"]
+        counts = quick_result.summary["counts"]
+        assert inv["survivors_absorbed"]
+        assert counts["requeued_at_kill"] >= 1
+        assert inv["requeued_futures_resolved"] >= counts["requeued_at_kill"]
+        assert counts["node_losses"] == 1
+
+    def test_victim_dead_and_empty_survivors_busy(self, quick_result):
+        nodes = quick_result.summary["nodes"]
+        assert not nodes["n1"]["alive"]
+        assert nodes["n1"]["queue_depth"] == 0
+        survivors = [n for k, n in nodes.items() if k != "n1"]
+        assert all(n["alive"] for n in survivors)
+        assert all(n["batches"] > 0 for n in survivors)
+
+    def test_bit_identity_off_fault_path(self, quick_result):
+        inv = quick_result.summary["invariants"]
+        assert inv["bit_identity_checked"] > 0
+        assert inv["bit_identity_mismatches"] == 0
+
+
+class TestDeterminism:
+    def test_second_run_is_byte_identical(self, quick_result):
+        again = run_cluster_drill(
+            DrillConfig(
+                seed=7, requests=150, n_workers=3, chunk=16, quick=True
+            )
+        )
+        assert again.to_json() == quick_result.to_json()
+
+    def test_seed_changes_the_summary(self, quick_result):
+        other = run_cluster_drill(
+            DrillConfig(
+                seed=11, requests=150, n_workers=3, chunk=16, quick=True
+            )
+        )
+        assert other.to_json() != quick_result.to_json()
+
+
+class TestCli:
+    def test_cluster_flag_runs_green(self, capsys):
+        rc = main(
+            [
+                "--cluster",
+                "--quick",
+                "--requests",
+                "150",
+                "--workers",
+                "3",
+                "--once",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert '"node_losses": 1' in out

@@ -1,0 +1,255 @@
+"""Cluster serving: routing affinity, node loss, gateway + observability."""
+
+import asyncio
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import FFTCluster
+from repro.core.api import GpuFFT3D
+from repro.obs.chrome_trace import ENGINE_PID, STREAM_PID
+from repro.obs.profiler import Profiler
+from repro.serve import Gateway, SubmitBody, asgi_request
+from repro.serve.errors import ServerClosedError
+from repro.serve.request import FFTRequest
+
+SHAPE = (16, 16, 16)
+
+
+def grid(seed: int = 0, shape=SHAPE) -> np.ndarray:
+    """A seeded unit-scale complex64 payload."""
+    rng = np.random.default_rng([seed, 77])
+    return (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ).astype(np.complex64)
+
+
+def request(seed: int = 0, tenant: str = "alice", shape=SHAPE) -> FFTRequest:
+    """One seeded request from ``tenant``."""
+    return FFTRequest(grid(seed, shape), tenant=tenant)
+
+
+def digest(arr: np.ndarray) -> str:
+    """sha256 of the array bytes (bit-identity probe)."""
+    return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+@pytest.fixture
+def cluster():
+    """A deterministic 3-node cluster (caller drives run_pending)."""
+    with FFTCluster(n_nodes=3, start=False, serial_dispatch=True) as c:
+        yield c
+
+
+class TestRoutingAndCompletion:
+    def test_results_bit_identical_to_standalone_plan(self, cluster):
+        futs = [cluster.submit(request(i, t)) for i, t in enumerate(
+            ("alice", "bob", "carol", "dave", "erin", "frank")
+        )]
+        cluster.run_pending()
+        plan = GpuFFT3D(SHAPE)
+        try:
+            for i, fut in enumerate(futs):
+                assert fut.done() and fut.exception() is None
+                assert digest(fut.result()) == digest(plan.execute(grid(i)))
+        finally:
+            plan.close()
+        stats = cluster.stats()
+        assert stats.submitted == 6
+        assert stats.completed == 6
+        assert stats.inflight == 0 and stats.queue_depth == 0
+
+    def test_same_key_keeps_its_home_node(self, cluster):
+        home = cluster._router.ring.node_for(
+            cluster.route_key(request(0, "alice"))
+        )
+        for seed in range(5):
+            fut = cluster.submit(request(seed, "alice"))
+            cluster.run_pending()
+            assert fut.done()
+        routed = cluster.metrics.counter(
+            "cluster.routed", "requests", {"node": home}
+        )
+        assert routed.value == 5
+
+    def test_tenants_spread_over_nodes(self, cluster):
+        for i in range(30):
+            cluster.submit(request(i, f"tenant-{i}"))
+        cluster.run_pending()
+        per_node = [s.submitted for s in cluster.stats().nodes.values()]
+        assert sum(per_node) == 30
+        assert sum(1 for n in per_node if n > 0) >= 2
+
+    def test_submit_type_checked(self, cluster):
+        with pytest.raises(TypeError, match="FFTRequest"):
+            cluster.submit(grid())
+
+
+class TestNodeLoss:
+    def test_kill_requeues_pending_onto_survivors(self, cluster):
+        futs = [cluster.submit(request(i, f"t{i}")) for i in range(24)]
+        victim = "n1"
+        pending_on_victim = sum(
+            1
+            for e in cluster._entries.values()
+            if e.node == victim and not e.outer.done()
+        )
+        assert pending_on_victim > 0  # the kill must have victims
+        requeued = cluster.kill_node(victim, reason="test")
+        assert requeued == pending_on_victim
+        cluster.run_pending()
+        for i, fut in enumerate(futs):
+            assert fut.done() and fut.exception() is None
+            assert digest(fut.result()) == digest(
+                GpuFFT3D(SHAPE).execute(grid(i))
+            )
+        stats = cluster.stats()
+        assert stats.node_losses == 1
+        assert stats.requeued == requeued
+        assert stats.node_alive == {"n0": True, "n1": False, "n2": True}
+        assert stats.worker_health["n1"] == "dead"
+        # Re-queued futures are marked: they crossed the fault path.
+        marked = [f for f in futs if f.requeues > 0]
+        assert len(marked) == requeued
+        assert all(f.faulted for f in marked)
+
+    def test_kill_validation(self, cluster):
+        cluster.kill_node(1)
+        with pytest.raises(ValueError, match="already dead"):
+            cluster.kill_node("n1")
+        with pytest.raises(ValueError, match="no such node"):
+            cluster.kill_node("n9")
+
+    def test_losing_every_node_fails_pending_and_closes_admission(self):
+        with FFTCluster(n_nodes=2, start=False, serial_dispatch=True) as c:
+            futs = [c.submit(request(i, f"t{i}")) for i in range(8)]
+            c.kill_node(0)
+            c.kill_node(1)
+            assert all(f.done() for f in futs)
+            failed = [f for f in futs if f.exception() is not None]
+            assert failed  # the second kill had no survivors to absorb
+            assert all(
+                isinstance(f.exception(), ServerClosedError) for f in failed
+            )
+            with pytest.raises(ServerClosedError, match="no live nodes"):
+                c.submit(request(99))
+            assert not c.health.any_dispatchable()
+
+    def test_dead_node_excluded_from_routing(self, cluster):
+        cluster.kill_node("n0", reason="test")
+        assert "n0" not in cluster._router.ring
+        futs = [cluster.submit(request(i, f"t{i}")) for i in range(12)]
+        cluster.run_pending()
+        assert all(f.done() and f.exception() is None for f in futs)
+        assert cluster.stats().nodes["n0"].submitted == 0
+
+
+class TestDistributedOverCluster:
+    def test_execute_distributed_matches_numpy_and_charges_clocks(self):
+        with FFTCluster(n_nodes=4, start=False, serial_dispatch=True) as c:
+            x = grid(3, (16, 16, 16)).astype(np.complex128)
+            before = c.elapsed
+            got = c.execute_distributed(x, precision="double")
+            err = np.linalg.norm(got - np.fft.fftn(x)) / np.linalg.norm(
+                np.fft.fftn(x)
+            )
+            assert err < 5e-13
+            assert c.elapsed > before
+            clocks = {n.server.simulator.elapsed for n in c.nodes}
+            assert len(clocks) == 1  # all-to-alls are barriers
+
+    def test_distributed_plan_spans_live_nodes_only(self, cluster):
+        cluster.kill_node(2)
+        plan = cluster.distributed_plan((16, 16, 16))
+        assert plan.n_nodes == 2
+
+
+class TestGatewayOverCluster:
+    def _http(self, app, method, path, headers=None, body=b""):
+        return asyncio.run(
+            asgi_request(app, method, path, headers=headers, body=body)
+        )
+
+    def test_submit_and_health_through_the_routing_tier(self):
+        with FFTCluster(n_nodes=2, start=False, serial_dispatch=True) as c:
+            gw = Gateway(c)
+            raw = SubmitBody(shape=SHAPE, data=grid(5)).encode()
+            resp = self._http(
+                gw, "POST", "/v1/fft", {"x-tenant": "alice"}, raw
+            )
+            assert resp.status == 202
+            c.run_pending()
+            job = json.loads(resp.body)["job_id"]
+            status = self._http(gw, "GET", f"/v1/jobs/{job}")
+            assert json.loads(status.body)["state"] == "done"
+            health = self._http(gw, "GET", "/v1/health")
+            assert health.status == 200
+            payload = json.loads(health.body)
+            assert payload["nodes"] == {"n0": "alive", "n1": "alive"}
+
+    def test_node_loss_maps_onto_existing_error_codes(self):
+        with FFTCluster(n_nodes=2, start=False, serial_dispatch=True) as c:
+            gw = Gateway(c)
+            c.kill_node(0)
+            c.kill_node(1)
+            resp = self._http(
+                gw,
+                "POST",
+                "/v1/fft",
+                {"x-tenant": "alice"},
+                SubmitBody(shape=SHAPE, data=grid(6)).encode(),
+            )
+            assert resp.status == 503
+            assert json.loads(resp.body)["code"] == "server_closed"
+            health = self._http(gw, "GET", "/v1/health")
+            assert health.status == 503
+
+
+class TestClusterObservability:
+    def test_spans_and_metrics_are_node_scoped(self):
+        with Profiler() as prof:
+            with FFTCluster(
+                n_nodes=2, start=False, serial_dispatch=True, profiler=prof
+            ) as c:
+                for i in range(8):
+                    c.submit(request(i, f"t{i}"))
+                c.run_pending()
+                snap = prof.snapshot()
+            node_tags = {
+                v for s in prof.tracer.spans() for k, v in s.tags if k == "node"
+            }
+            assert node_tags == {"n0", "n1"}
+            gauges = snap["gauges"]
+            assert any("node=n0" in name for name in gauges)
+            counters = snap["counters"]
+            assert any(
+                name.startswith("plan_cache.") and "node=" in name
+                for name in counters
+            )
+            trace = prof.chrome_trace()["traceEvents"]
+            names = {
+                e["args"]["name"]
+                for e in trace
+                if e["name"] == "process_name"
+            }
+            assert {"engines [n0]", "streams [n0]", "engines [n1]"} <= names
+            pids = {e["pid"] for e in trace}
+            assert pids - {ENGINE_PID, STREAM_PID}  # per-node pid pairs
+
+    def test_node_loss_emits_span_and_counter(self):
+        with Profiler() as prof:
+            with FFTCluster(
+                n_nodes=2, start=False, serial_dispatch=True, profiler=prof
+            ) as c:
+                c.kill_node(1, reason="test")
+            losses = prof.snapshot()["counters"]
+            assert any(
+                name.startswith("cluster.node.lost") for name in losses
+            )
+            labels = [
+                s for s in prof.tracer.spans()
+                if s.label == "cluster:node-loss:n1"
+            ]
+            assert len(labels) == 1

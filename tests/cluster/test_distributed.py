@@ -1,0 +1,141 @@
+"""Distributed FFT correctness: differential sweep + cost-model sanity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterInterconnect, DistributedFFT3D
+from repro.core.api import GpuFFT3D
+from repro.core.estimator import estimate_distributed_fft3d, estimate_fft3d
+from repro.gpu.simulator import DeviceSimulator
+from repro.gpu.specs import GEFORCE_8800_GTX
+
+SHAPES = ((16, 16, 16), (32, 16, 16), (8, 32, 16))
+
+#: Documented accuracy bounds vs numpy (relative L2).  The decomposed
+#: path batches rows in a different order than one fused transform, so
+#: the usual O(eps * log n) summation-order noise applies — not bit
+#: identity.
+RTOL = {"single": 2e-5, "double": 5e-13}
+
+
+def seeded_grid(shape, precision="double", seed=2026):
+    rng = np.random.default_rng([seed, *shape])
+    dtype = np.complex64 if precision == "single" else np.complex128
+    return (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ).astype(dtype)
+
+
+def rel_err(got, want):
+    return np.linalg.norm(got - want) / np.linalg.norm(want)
+
+
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("kind", ["slab", "pencil"])
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("n_nodes", [2, 4])
+    def test_matches_numpy(self, kind, shape, n_nodes):
+        x = seeded_grid(shape)
+        plan = DistributedFFT3D(
+            shape, n_nodes=n_nodes, decomposition=kind, precision="double"
+        )
+        assert rel_err(plan.execute(x), np.fft.fftn(x)) < RTOL["double"]
+
+    @pytest.mark.parametrize("kind", ["slab", "pencil"])
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_matches_single_card_plan(self, kind, shape):
+        x = seeded_grid(shape)
+        dist = DistributedFFT3D(
+            shape, n_nodes=4, decomposition=kind, precision="double"
+        )
+        card = GpuFFT3D(shape, precision="double")
+        try:
+            assert rel_err(dist.execute(x), card.execute(x)) < RTOL["double"]
+        finally:
+            card.close()
+
+    @pytest.mark.parametrize("kind", ["slab", "pencil"])
+    def test_single_precision_bound(self, kind):
+        shape = (16, 32, 16)
+        x = seeded_grid(shape, "single")
+        plan = DistributedFFT3D(shape, n_nodes=4, decomposition=kind)
+        got = plan.execute(x)
+        assert got.dtype == np.complex64
+        assert rel_err(got, np.fft.fftn(x.astype(np.complex128))) < RTOL["single"]
+
+    @pytest.mark.parametrize("kind", ["slab", "pencil"])
+    @pytest.mark.parametrize("norm", ["backward", "ortho", "forward"])
+    def test_inverse_round_trip_and_norms(self, kind, norm):
+        shape = (16, 16, 16)
+        x = seeded_grid(shape)
+        plan = DistributedFFT3D(
+            shape, n_nodes=4, decomposition=kind, precision="double", norm=norm
+        )
+        fwd = plan.execute(x)
+        assert rel_err(
+            fwd, np.fft.fftn(x, norm=norm)
+        ) < RTOL["double"]
+        back = plan.execute(fwd, inverse=True)
+        assert rel_err(back, x) < RTOL["double"]
+
+    def test_one_node_degenerates_to_local_transform(self):
+        x = seeded_grid((16, 16, 16))
+        plan = DistributedFFT3D((16, 16, 16), n_nodes=1, precision="double")
+        assert plan.decomposition.exchange_phases == ()
+        assert rel_err(plan.execute(x), np.fft.fftn(x)) < RTOL["double"]
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        with pytest.raises(ValueError, match="3-D"):
+            DistributedFFT3D((16, 16))
+        with pytest.raises(ValueError, match="evenly split"):
+            DistributedFFT3D((18, 16, 16), n_nodes=4)
+        with pytest.raises(ValueError, match="power of two"):
+            DistributedFFT3D((16, 16, 16), n_nodes=3, decomposition="pencil")
+        plan = DistributedFFT3D((16, 16, 16), n_nodes=2)
+        with pytest.raises(ValueError, match="plan is for"):
+            plan.execute(seeded_grid((8, 8, 8), "single"))
+
+    def test_simulator_count_must_match(self):
+        plan = DistributedFFT3D((16, 16, 16), n_nodes=2)
+        x = seeded_grid((16, 16, 16), "single")
+        with pytest.raises(ValueError, match="simulators"):
+            plan.execute(x, simulators=[DeviceSimulator(GEFORCE_8800_GTX)])
+
+
+class TestTiming:
+    def test_estimate_decomposes_single_card_cost(self):
+        est = estimate_distributed_fft3d(GEFORCE_8800_GTX, (64, 64, 64), 4)
+        single = estimate_fft3d(GEFORCE_8800_GTX, (64, 64, 64))
+        assert est.n_nodes == 4
+        assert est.local_seconds == pytest.approx(single.on_board_seconds / 4)
+        assert est.exchange_seconds > 0
+        assert est.total_seconds == pytest.approx(
+            est.local_seconds + est.exchange_seconds + est.h2d_seconds
+            + est.d2h_seconds
+        )
+        assert 0.0 < est.parallel_efficiency <= 1.0
+
+    def test_fat_tree_beats_oversubscribed_flat(self):
+        fat = estimate_distributed_fft3d(
+            GEFORCE_8800_GTX, (64, 64, 64), 8,
+            interconnect=ClusterInterconnect(),
+        )
+        flat = estimate_distributed_fft3d(
+            GEFORCE_8800_GTX, (64, 64, 64), 8,
+            interconnect=ClusterInterconnect(
+                topology="flat", bisection_fraction=0.25
+            ),
+        )
+        assert fat.exchange_seconds < flat.exchange_seconds
+        assert fat.parallel_efficiency > flat.parallel_efficiency
+
+    def test_execute_charges_every_node_clock_identically(self):
+        plan = DistributedFFT3D((16, 16, 16), n_nodes=4, decomposition="pencil")
+        sims = [DeviceSimulator(GEFORCE_8800_GTX) for _ in range(4)]
+        plan.execute(seeded_grid((16, 16, 16), "single"), simulators=sims)
+        est = plan.estimate()
+        expected = est.local_seconds + est.exchange_seconds
+        for sim in sims:
+            assert sim.elapsed == pytest.approx(expected)

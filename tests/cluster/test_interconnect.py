@@ -1,0 +1,98 @@
+"""The interconnect model: link arithmetic, topologies, bisection limits."""
+
+import pytest
+
+from repro.gpu.interconnect import (
+    ETHERNET_10G,
+    ETHERNET_100G,
+    INFINIBAND_HDR,
+    ClusterInterconnect,
+    InterconnectLink,
+    interconnect_for,
+)
+
+
+class TestInterconnectLink:
+    def test_validates(self):
+        with pytest.raises(ValueError, match="raw_bandwidth"):
+            InterconnectLink("bad", raw_bandwidth=0)
+        with pytest.raises(ValueError, match="efficiency"):
+            InterconnectLink("bad", raw_bandwidth=1e9, efficiency=1.5)
+        with pytest.raises(ValueError, match="latency"):
+            InterconnectLink("bad", raw_bandwidth=1e9, latency_s=-1e-6)
+
+    def test_achieved_bandwidth_and_transfer_time(self):
+        link = InterconnectLink(
+            "t", raw_bandwidth=10e9, efficiency=0.8, latency_s=1e-5
+        )
+        assert link.bandwidth == pytest.approx(8e9)
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_time(8_000_000) == pytest.approx(1e-5 + 1e-3)
+        with pytest.raises(ValueError, match="n_bytes"):
+            link.transfer_time(-1)
+
+    def test_presets_resolve_by_name(self):
+        assert interconnect_for("10GbE") is ETHERNET_10G
+        assert interconnect_for("100GbE") is ETHERNET_100G
+        assert interconnect_for("IB-HDR") is INFINIBAND_HDR
+        with pytest.raises(ValueError, match="unknown interconnect"):
+            interconnect_for("token-ring")
+
+    def test_presets_ordered_by_speed(self):
+        assert ETHERNET_10G.bandwidth < ETHERNET_100G.bandwidth
+        assert ETHERNET_100G.bandwidth < INFINIBAND_HDR.bandwidth
+
+
+class TestClusterInterconnect:
+    def test_validates(self):
+        with pytest.raises(ValueError, match="topology"):
+            ClusterInterconnect(topology="torus")
+        with pytest.raises(ValueError, match="bisection_fraction"):
+            ClusterInterconnect(topology="flat", bisection_fraction=0.0)
+        with pytest.raises(ValueError, match="fat-tree"):
+            ClusterInterconnect(topology="fat-tree", bisection_fraction=0.5)
+
+    def test_degenerate_exchanges_are_free(self):
+        fabric = ClusterInterconnect()
+        assert fabric.all_to_all_seconds(1, 1 << 20) == 0.0
+        assert fabric.all_to_all_seconds(8, 0) == 0.0
+        with pytest.raises(ValueError, match="n_nodes"):
+            fabric.all_to_all_seconds(0, 1)
+        with pytest.raises(ValueError, match="bytes_per_pair"):
+            fabric.all_to_all_seconds(2, -1)
+
+    def test_fat_tree_injection_limited(self):
+        # Full bisection: the per-node injection term dominates, so for a
+        # fixed per-node payload ((p-1) * b constant) the phase time is
+        # flat in p up to the extra per-peer latencies.
+        fabric = ClusterInterconnect()
+        total = 64 << 20
+        times = {
+            p: fabric.all_to_all_seconds(p, total // (p - 1))
+            - (p - 1) * fabric.link.latency_s
+            for p in (2, 4, 8, 16)
+        }
+        base = times[2]
+        for t in times.values():
+            # rel tolerance covers the integer division of the payload
+            assert t == pytest.approx(base, rel=1e-6)
+
+    def test_flat_fabric_hits_the_bisection_wall(self):
+        fat = ClusterInterconnect()
+        flat = ClusterInterconnect(topology="flat", bisection_fraction=0.25)
+        b = 1 << 20
+        assert flat.all_to_all_seconds(2, b) >= fat.all_to_all_seconds(2, b)
+        # Past saturation, the oversubscribed fabric is strictly slower
+        # and its gap grows with node count.
+        gap8 = flat.all_to_all_seconds(8, b) - fat.all_to_all_seconds(8, b)
+        gap16 = flat.all_to_all_seconds(16, b) - fat.all_to_all_seconds(16, b)
+        assert gap8 > 0
+        assert gap16 > gap8
+
+    def test_exchange_bandwidth_scales_with_topology(self):
+        fat = ClusterInterconnect()
+        flat = ClusterInterconnect(topology="flat", bisection_fraction=0.25)
+        # Fat-tree aggregate exchange bandwidth grows ~linearly in p;
+        # the flat fabric's is capped by its bisection.
+        assert fat.exchange_bandwidth(8) > 3 * fat.exchange_bandwidth(2)
+        assert flat.exchange_bandwidth(16) < fat.exchange_bandwidth(16)

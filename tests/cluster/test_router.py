@@ -1,0 +1,103 @@
+"""The routing tier: ring determinism, ~1/N remap stability, bounded loads."""
+
+import pytest
+
+from repro.cluster import ConsistentHashRouter, HashRing
+
+KEYS = [f"plan-{i % 37}/tenant-{i}" for i in range(2000)]
+
+
+class TestHashRing:
+    def test_membership_and_validation(self):
+        ring = HashRing(["n0", "n1"])
+        assert ring.members == ("n0", "n1")
+        assert len(ring) == 2
+        assert "n0" in ring and "n9" not in ring
+        with pytest.raises(ValueError, match="already"):
+            ring.add("n0")
+        with pytest.raises(ValueError, match="not on the ring"):
+            ring.remove("n9")
+        with pytest.raises(ValueError, match="vnodes"):
+            HashRing(vnodes=0)
+
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(["n0", "n1", "n2"])
+        b = HashRing(["n2", "n0", "n1"])  # construction order must not matter
+        for key in KEYS[:200]:
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_preference_walk_covers_all_members_once(self):
+        ring = HashRing([f"n{i}" for i in range(5)])
+        for key in KEYS[:50]:
+            pref = ring.preference(key)
+            assert sorted(pref) == sorted(ring.members)
+            assert pref[0] == ring.node_for(key)
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.preference("k") == []
+        with pytest.raises(LookupError, match="empty"):
+            ring.node_for("k")
+
+    def test_removal_remaps_about_one_nth(self):
+        members = [f"n{i}" for i in range(8)]
+        ring = HashRing(members)
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("n3")
+        moved = 0
+        for key, home in before.items():
+            after = ring.node_for(key)
+            if home == "n3":
+                moved += 1
+                assert after != "n3"
+            else:
+                # Strict consistent hashing: only the dead node's keys move.
+                assert after == home
+        frac = moved / len(KEYS)
+        assert 0.04 < frac < 0.25  # ~1/8 of the key space
+
+    def test_addition_remaps_about_one_nth_onto_newcomer(self):
+        ring = HashRing([f"n{i}" for i in range(7)])
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.add("n7")
+        moved = [key for key in KEYS if ring.node_for(key) != before[key]]
+        assert all(ring.node_for(key) == "n7" for key in moved)
+        assert 0.04 < len(moved) / len(KEYS) < 0.25
+
+
+class TestConsistentHashRouter:
+    def test_validates(self):
+        with pytest.raises(ValueError, match="balance_factor"):
+            ConsistentHashRouter(["n0"], balance_factor=0.5)
+        with pytest.raises(LookupError, match="empty"):
+            ConsistentHashRouter().route("k")
+
+    def test_affinity_without_loads(self):
+        router = ConsistentHashRouter(["n0", "n1", "n2"])
+        for key in KEYS[:100]:
+            assert router.route(key) == router.ring.node_for(key)
+
+    def test_overloaded_home_spills_to_next_preference(self):
+        router = ConsistentHashRouter(["n0", "n1", "n2"], balance_factor=1.25)
+        key = "plan-x/tenant-y"
+        home, second = router.ring.preference(key)[:2]
+        loads = {m: 0.0 for m in router.ring.members}
+        loads[home] = 100.0
+        assert router.route(key, loads.__getitem__) == second
+
+    def test_all_overloaded_falls_back_to_least_loaded(self):
+        router = ConsistentHashRouter(["n0", "n1", "n2"], balance_factor=1.0)
+        key = "plan-x/tenant-z"
+        order = router.ring.preference(key)
+        loads = {order[0]: 90.0, order[1]: 10.0, order[2]: 50.0}
+        assert router.route(key, loads.__getitem__, weight=30.0) == order[1]
+
+    def test_bounded_load_keeps_placement_spread(self):
+        # Route a burst of identically-keyed work with live load feedback:
+        # bounded loads must spread it instead of hot-spotting the home.
+        router = ConsistentHashRouter(["n0", "n1", "n2", "n3"])
+        placed: dict[str, float] = {m: 0.0 for m in router.ring.members}
+        for _ in range(100):
+            node = router.route("one-hot-key", placed.__getitem__)
+            placed[node] += 1.0
+        assert max(placed.values()) <= 1.25 * 100 / 4 + 1

@@ -1,0 +1,107 @@
+"""Decomposition math: block ranges, grids, exchange volumes."""
+
+import pytest
+
+from repro.core.decompose import (
+    DECOMPOSITIONS,
+    PencilDecomposition,
+    SlabDecomposition,
+    block_ranges,
+    decomposition_for,
+    pencil_grid,
+)
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(16, 4) == [(0, 4), (4, 8), (8, 12), (12, 16)]
+        assert block_ranges(8, 1) == [(0, 8)]
+
+    def test_rejects_ragged_and_invalid(self):
+        with pytest.raises(ValueError, match="evenly split"):
+            block_ranges(10, 4)
+        with pytest.raises(ValueError, match="parts"):
+            block_ranges(8, 0)
+
+
+class TestPencilGrid:
+    def test_near_square_grids(self):
+        assert pencil_grid(1) == (1, 1)
+        assert pencil_grid(2) == (1, 2)
+        assert pencil_grid(4) == (2, 2)
+        assert pencil_grid(8) == (2, 4)
+        assert pencil_grid(16) == (4, 4)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            pencil_grid(6)
+        with pytest.raises(ValueError, match="power of two"):
+            pencil_grid(0)
+
+
+class TestSlabDecomposition:
+    def test_layouts_and_exchange_volume(self):
+        d = SlabDecomposition((16, 32, 8), n_nodes=4, itemsize=8)
+        assert d.kind == "slab"
+        assert d.z_slabs == block_ranges(16, 4)
+        assert d.y_slabs == block_ranges(32, 4)
+        # nz/p * ny/p * nx elements to each peer.
+        assert d.exchange_bytes_per_pair == 4 * 8 * 8 * 8
+        assert d.exchange_phases == ((4, d.exchange_bytes_per_pair),)
+
+    def test_single_node_has_no_exchange(self):
+        d = SlabDecomposition((8, 8, 8), n_nodes=1, itemsize=8)
+        assert d.exchange_phases == ()
+
+    def test_total_exchange_is_all_but_one_nth_of_grid(self):
+        # Each node keeps 1/p of its slab and ships the rest: summed over
+        # nodes, (p-1)/p of the whole grid crosses the fabric once.
+        nz, ny, nx, p, el = 16, 16, 32, 4, 16
+        d = SlabDecomposition((nz, ny, nx), n_nodes=p, itemsize=el)
+        total = p * (p - 1) * d.exchange_bytes_per_pair
+        assert total == nz * ny * nx * el * (p - 1) // p
+
+    def test_rejects_ragged_axes(self):
+        with pytest.raises(ValueError, match="evenly split"):
+            SlabDecomposition((10, 16, 16), n_nodes=4, itemsize=8)
+
+
+class TestPencilDecomposition:
+    def test_grid_and_phases(self):
+        d = PencilDecomposition((16, 16, 16), n_nodes=4, itemsize=8)
+        assert d.kind == "pencil"
+        assert d.grid == (2, 2)
+        row, col = d.exchange_phases
+        assert row == (2, 8 * 8 * 8 * 8)   # (nz/pr, ny/pc, nx/pc)
+        assert col == (2, 8 * 8 * 8 * 8)   # (nz/pr, ny/pr, nx/pc)
+
+    def test_degenerate_row_grid_skips_row_phase(self):
+        d = PencilDecomposition((16, 16, 16), n_nodes=2, itemsize=8)
+        assert d.grid == (1, 2)
+        assert len(d.exchange_phases) == 1  # pr == 1: no column phase
+        group, _ = d.exchange_phases[0]
+        assert group == 2
+
+    def test_pencil_exchanges_in_smaller_groups_than_slab(self):
+        # Slab runs one all-to-all over all p nodes; pencil runs two, each
+        # confined to one axis of the ~sqrt(p) x sqrt(p) grid — the
+        # scaling advantage the decomposition exists for.
+        shape, p, el = (32, 32, 32), 16, 8
+        slab = SlabDecomposition(shape, p, el)
+        pencil = PencilDecomposition(shape, p, el)
+        (slab_group, _), = slab.exchange_phases
+        assert slab_group == p
+        assert all(group <= 4 for group, _ in pencil.exchange_phases)
+
+
+class TestDecompositionFor:
+    def test_dispatch(self):
+        assert set(DECOMPOSITIONS) == {"slab", "pencil"}
+        assert isinstance(
+            decomposition_for("slab", (8, 8, 8), 2, 8), SlabDecomposition
+        )
+        assert isinstance(
+            decomposition_for("pencil", (8, 8, 8), 2, 8), PencilDecomposition
+        )
+        with pytest.raises(ValueError, match="unknown decomposition"):
+            decomposition_for("brick", (8, 8, 8), 2, 8)

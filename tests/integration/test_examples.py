@@ -27,6 +27,7 @@ CASES = [
     ("serve_demo.py", ["24"], "dynamic batching"),
     ("chaos_drill.py", ["64"], "lost futures: 0"),
     ("gateway_demo.py", ["6"], "status-code table"),
+    ("cluster_demo.py", ["32"], "lost futures: 0"),
 ]
 
 
