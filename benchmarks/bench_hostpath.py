@@ -169,31 +169,62 @@ def _steady_state(shape):
 
 
 def _pure_plan_steady_state(shape):
-    """Per-transform core time, seed vs pooled, outside the server."""
+    """Per-transform core time, seed vs pooled, outside the server.
+
+    Measured with the shared interleaved best-of-N harness
+    (``benchmarks/harness.py``) so the numbers sit on the same footing
+    as ``BENCH_jit.json``'s plan-core section.
+    """
+    from benchmarks.harness import best_of_interleaved
+
     from repro.core.five_step import FiveStepPlan
 
     x = _workload(shape, 1)[0]
     plan = FiveStepPlan(shape, precision="single")
     ws = Workspace()
     out = np.empty(shape, np.complex64)
-    reps = 8
-
-    plan.execute(x)
-    t0 = time.perf_counter()
-    for _ in range(reps):
-        plan.execute(x)
-    seed_s = (time.perf_counter() - t0) / reps
-
-    plan.execute(x, workspace=ws, out=out)
-    t0 = time.perf_counter()
-    for _ in range(reps):
-        plan.execute(x, workspace=ws, out=out)
-    pooled_s = (time.perf_counter() - t0) / reps
+    best = best_of_interleaved(
+        {
+            "seed": lambda: plan.execute(x),
+            "pooled": lambda: plan.execute(x, workspace=ws, out=out),
+        },
+        rounds=4,
+        reps=4,
+    )
     return {
-        "seed_ms": seed_s * 1e3,
-        "pooled_ms": pooled_s * 1e3,
-        "core_speedup": seed_s / pooled_s,
+        "seed_ms": best["seed"] * 1e3,
+        "pooled_ms": best["pooled"] * 1e3,
+        "core_speedup": best["seed"] / best["pooled"],
     }
+
+
+def _interpreter_backend_split(shape):
+    """Interpreter-vs-backend decomposition of one pooled transform.
+
+    Identical harness and definitions to ``BENCH_jit.json``'s
+    ``time_split`` section (``benchmarks/harness.py``): ``backend`` is
+    the bare plan execute, ``total`` the full ``GpuFFT3D.forward``, and
+    the difference is interpreter-side dispatch a faster numeric core
+    can never remove.
+    """
+    from benchmarks.harness import time_split
+
+    x = _workload(shape, 1)[0]
+    engine = GpuFFT3D(shape, precision="single", pooling=True)
+    try:
+        plan = engine._plan
+        ws = engine.workspace
+        out = np.empty(shape, np.complex64)
+        return {
+            "numpy_pooled": time_split(
+                lambda: engine.forward(x),
+                lambda: plan.execute(x, workspace=ws, out=out),
+                rounds=4,
+                reps=4,
+            )
+        }
+    finally:
+        engine.close()
 
 
 def run_section(cfg) -> dict:
@@ -241,6 +272,7 @@ def build_payload(quick_only: bool = False) -> dict:
         payload["speedup"] = payload["full"]["speedup_parallel"]
         payload["steady_state"] = _steady_state(FULL["shape"])
         payload["plan_core"] = _pure_plan_steady_state(FULL["shape"])
+        payload["time_split"] = _interpreter_backend_split(FULL["shape"])
     return payload
 
 

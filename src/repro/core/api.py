@@ -111,6 +111,13 @@ class GpuFFT3D:
         monitor sets this so a dying card surfaces as a worker failure
         (ejection + re-queue) rather than vanishing into a slow host
         transform.
+    backend:
+        Hot-path implementation: ``"numpy"`` (default, the reference),
+        ``"numba"``, ``"cjit"`` or ``"auto"`` (see :mod:`repro.jit`).
+        Compiled backends degrade cleanly to NumPy when unavailable or
+        when the plan geometry has no emitted kernels; results are
+        bit-identical (cjit on FMA hardware) or within a documented
+        ulp bound (DESIGN.md §18).
 
     Transforms larger than device memory transparently take the
     out-of-core path (Section 3.3), staged slab by slab through the
@@ -131,6 +138,7 @@ class GpuFFT3D:
         name: str | None = None,
         pooling: bool = True,
         raise_on_device_loss: bool = False,
+        backend: str = "numpy",
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -155,7 +163,9 @@ class GpuFFT3D:
         self.simulator = simulator
         self._ooc = OutOfCorePlan(shape, device, precision=precision)
         self.shape = self._ooc.shape
-        self._plan = PLAN_CACHE.five_step(self.shape, precision, device)
+        self._plan = PLAN_CACHE.five_step(
+            self.shape, precision, device, backend=backend
+        )
         self._dev_v: DeviceArray | None = None
         self._dev_w: DeviceArray | None = None
         self._buf = name or f"fft3d{next(_PLAN_IDS)}"
@@ -216,11 +226,18 @@ class GpuFFT3D:
         self._dev_w = self._allocate_retrying(self.shape, dtype, f"{self._buf}-WORK")
 
     def _attempt_in_core(self, x: np.ndarray, inverse: bool) -> np.ndarray:
+        wall = self._plan.ensure_compiled()
+        if wall:
+            # First transform on a JIT plan pays the kernel warm-up; make
+            # it a visible host span instead of unexplained latency.
+            self.simulator.charge(f"{self._buf}-jit.compile", wall, "host")
         self._ensure_device_buffers()
         assert self._dev_v is not None
         ex = self._executor
         ex.h2d(x, self._dev_v, f"{self._buf}-h2d")
-        specs = PLAN_CACHE.step_specs(self.shape, self.precision, self.device)
+        specs = PLAN_CACHE.step_specs(
+            self.shape, self.precision, self.device, backend=self._plan.backend
+        )
         result: dict[str, np.ndarray] = {}
         ws = self.workspace
 

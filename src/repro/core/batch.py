@@ -110,6 +110,12 @@ class BatchedGpuFFT3D:
         can answer with worker ejection and loss-free re-queueing onto
         surviving cards; standalone callers keep the default in-engine
         recovery.
+    backend:
+        Hot-path implementation (``"numpy"``/``"numba"``/``"cjit"``/
+        ``"auto"``), resolved exactly as in
+        :class:`~repro.core.api.GpuFFT3D` — compiled backends degrade
+        cleanly to NumPy and never change results beyond the documented
+        ulp bound (DESIGN.md §18).
 
     The batched path is in-core only: grids larger than device memory
     take the out-of-core path via :class:`~repro.core.api.GpuFFT3D`.
@@ -130,6 +136,7 @@ class BatchedGpuFFT3D:
         name: str | None = None,
         pooling: bool = True,
         raise_on_device_loss: bool = False,
+        backend: str = "numpy",
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -158,7 +165,9 @@ class BatchedGpuFFT3D:
             if simulator.faults is None:
                 self._injector = fault_injector
         self.simulator = simulator
-        self._plan = PLAN_CACHE.five_step(self.shape, precision, device)
+        self._plan = PLAN_CACHE.five_step(
+            self.shape, precision, device, backend=backend
+        )
         self.retry_policy = retry_policy or RetryPolicy()
         self.resilience = ResilienceReport()
         self._executor = ResilientExecutor(
@@ -505,7 +514,12 @@ class BatchedGpuFFT3D:
     def _compute(
         self, x: np.ndarray, slot: _Slot, inverse: bool, label: str
     ) -> None:
-        specs = PLAN_CACHE.step_specs(self.shape, self.precision, self.device)
+        wall = self._plan.ensure_compiled()
+        if wall:
+            self.simulator.charge(f"{self._buf}-jit.compile", wall, "host")
+        specs = PLAN_CACHE.step_specs(
+            self.shape, self.precision, self.device, backend=self._plan.backend
+        )
         result: dict[str, np.ndarray] = {}
         ws = self.workspace
 

@@ -24,6 +24,7 @@ transposes are absorbed into the pattern-A/B writes, never paid separately.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -45,7 +46,7 @@ from repro.util.indexing import ilog2
 from repro.util.units import flops_3d_fft
 from repro.util.validation import as_complex_array
 
-__all__ = ["split_axis", "StepInfo", "FiveStepPlan"]
+__all__ = ["split_axis", "resolve_plan_backend", "StepInfo", "FiveStepPlan"]
 
 
 def split_axis(n: int) -> tuple[int, int]:
@@ -78,6 +79,37 @@ def split_axis(n: int) -> tuple[int, int]:
     return best
 
 
+def resolve_plan_backend(shape, backend: str = "numpy") -> str:
+    """The concrete backend a plan for ``shape`` will execute with.
+
+    Combines machine availability (:func:`repro.jit.resolve_backend`)
+    with per-shape kernel coverage: a compiled backend is only kept when
+    every axis-split radix has an emitted codelet and the X extent an
+    emitted step-5 kernel; everything else degrades to ``"numpy"``.
+    Used both by :class:`FiveStepPlan` and by the plan cache (which keys
+    plans on the *resolved* backend, so ``"auto"`` and its concrete
+    resolution share one entry).
+    """
+    if backend == "numpy":
+        return "numpy"
+    from repro import jit
+
+    resolved = jit.resolve_backend(backend)
+    if resolved == "numpy":
+        return "numpy"
+    if isinstance(shape, int):
+        shape = (shape, shape, shape)
+    nz, ny, nx = (int(n) for n in shape)
+    try:
+        rz1, rz2 = split_axis(nz)
+        ry1, ry2 = split_axis(ny)
+    except ValueError:
+        return "numpy"
+    if not jit.supports_shape(rz1, rz2, ry1, ry2, nx):
+        return "numpy"
+    return resolved
+
+
 @dataclass(frozen=True)
 class StepInfo:
     """One step of the plan: its spec builder plus a readable description."""
@@ -100,6 +132,11 @@ class FiveStepPlan:
     precision:
         ``"single"`` (the paper's case) or ``"double"`` (the paper's
         stated future work; see DESIGN.md extensions).
+    backend:
+        ``"numpy"`` (reference, default), ``"numba"``, ``"cjit"`` or
+        ``"auto"``.  Compiled backends degrade to ``"numpy"`` when the
+        toolchain is absent or the shape has no emitted kernels; the
+        concrete choice is :attr:`backend` (DESIGN.md §18).
     """
 
     def __init__(
@@ -107,6 +144,7 @@ class FiveStepPlan:
         shape: tuple[int, int, int] | int,
         precision: str = "single",
         twiddles: TwiddleCache | None = None,
+        backend: str = "numpy",
     ):
         if isinstance(shape, int):
             shape = (shape, shape, shape)
@@ -124,6 +162,14 @@ class FiveStepPlan:
         self.ry1, self.ry2 = split_axis(ny)
         self._cache = twiddles or DEFAULT_CACHE
         self._el = 8 if precision == "single" else 16
+        #: The backend as requested (before availability/shape resolution).
+        self.backend_requested = backend
+        #: The concrete backend executing this plan (``"numpy"`` when the
+        #: request degraded); set once at construction so the plan-cache
+        #: key and the executing code path can never disagree.
+        self.backend = resolve_plan_backend(self.shape, backend)
+        self._compiled = None
+        self._compile_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -196,6 +242,63 @@ class FiveStepPlan:
         return [s.spec(device) for s in self.steps()]
 
     # ------------------------------------------------------------------
+    # Compiled backend
+    # ------------------------------------------------------------------
+
+    def ensure_compiled(self) -> float:
+        """Compile/load this plan's backend kernels if not yet done.
+
+        Returns the wall-clock seconds spent *by this call* (0.0 for the
+        numpy backend or when already compiled) so the execution engines
+        can charge warm-up as an observable ``jit.compile`` span.  A
+        compile failure degrades the plan to the numpy backend instead
+        of raising — clean fallback is the backend contract.
+        """
+        if self.backend == "numpy" or self._compiled is not None:
+            return 0.0
+        with self._compile_lock:
+            if self._compiled is not None or self.backend == "numpy":
+                return 0.0
+            from repro import jit
+
+            try:
+                compiled, wall = jit.compile_plan(
+                    self.backend,
+                    self.shape,
+                    self.precision,
+                    self.rz1,
+                    self.rz2,
+                    self.ry1,
+                    self.ry2,
+                    twiddles=self._cache,
+                )
+            except Exception:
+                self.backend = "numpy"
+                return 0.0
+            self._compiled = compiled
+        from repro.core.plan_cache import PLAN_CACHE
+
+        PLAN_CACHE.record_compile(self.backend, wall)
+        return wall
+
+    def _execute_compiled(self, x, inverse, workspace, out):
+        """The compiled five-call sequence (same contract as the rest of
+        :meth:`execute`: ``out`` may alias ``x``, ``workspace`` pools the
+        ping-pong scratch)."""
+        if out is None:
+            out = np.empty(self.shape, x.dtype)
+        if workspace is not None:
+            work = workspace.acquire(self.shape, x.dtype)
+        else:
+            work = np.empty(self.shape, x.dtype)
+        try:
+            self._compiled.run(x, out, work, inverse)
+        finally:
+            if workspace is not None:
+                workspace.release(work)
+        return out
+
+    # ------------------------------------------------------------------
     # Functional execution
     # ------------------------------------------------------------------
 
@@ -231,6 +334,10 @@ class FiveStepPlan:
             raise ValueError(
                 f"out must be {self.shape} {x.dtype}, got {out.shape} {out.dtype}"
             )
+        if self.backend != "numpy":
+            self.ensure_compiled()
+        if self._compiled is not None:
+            return self._execute_compiled(x, inverse, workspace, out)
         state = x.reshape(self.rz2, self.rz1, self.ry2, self.ry1, nx)
         if workspace is None:
             state = multirow_half1(state, wz, inverse)  # step 1

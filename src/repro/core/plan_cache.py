@@ -27,13 +27,14 @@ evicted once ``max_entries`` is exceeded.  Evictions are counted in
 
 from __future__ import annotations
 
+import inspect
 import threading
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.core.five_step import FiveStepPlan
+from repro.core.five_step import FiveStepPlan, resolve_plan_backend
 from repro.fft.twiddle import DEFAULT_CACHE
 from repro.gpu.kernel import KernelSpec
 from repro.gpu.specs import DeviceSpec
@@ -47,15 +48,31 @@ DEFAULT_MAX_ENTRIES = 128
 
 @dataclass(frozen=True)
 class PlanCacheStats:
-    """Hit/miss/eviction counters snapshot (misses == plans built)."""
+    """Hit/miss/eviction counters snapshot (misses == plans built).
+
+    ``compiles`` counts backend kernel compilations
+    (:meth:`PlanCache.record_compile`); ``by_backend`` labels the
+    hit/miss traffic per resolved backend as sorted
+    ``(backend, hits, misses)`` triples, so a mixed numpy/jit workload's
+    cache behaviour stays attributable.
+    """
 
     hits: int
     misses: int
     evictions: int = 0
+    compiles: int = 0
+    by_backend: tuple = field(default=(), compare=False)
 
     @property
     def requests(self) -> int:
         return self.hits + self.misses
+
+    def backend(self, name: str) -> tuple[int, int]:
+        """``(hits, misses)`` attributed to one resolved backend."""
+        for backend, hits, misses in self.by_backend:
+            if backend == name:
+                return (hits, misses)
+        return (0, 0)
 
 
 def _normalize(shape) -> tuple[int, int, int]:
@@ -85,7 +102,10 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._compiles = 0
+        self._by_backend: dict[str, list[int]] = {}
         self._observers: list[Callable[[str], None]] = []
+        self._observer_kwargs: set[int] = set()
         self._scope = threading.local()
 
     # ------------------------------------------------------------------
@@ -128,9 +148,21 @@ class PlanCache:
         observer may consult the cache re-entrantly.  Returns ``fn`` as
         the handle for :meth:`remove_observer`.  This is how a
         :class:`repro.obs.Profiler` keeps live hit/miss counters.
+
+        Observers whose signature accepts keyword arguments additionally
+        receive ``backend=`` (the resolved plan backend) on every event
+        and ``seconds=`` on ``"compiles"`` events; single-argument
+        observers keep the original protocol.
         """
+        try:
+            inspect.signature(fn).bind("outcome", backend=None, seconds=None)
+            wants_kwargs = True
+        except TypeError:
+            wants_kwargs = False
         with self._lock:
             self._observers.append(fn)
+            if wants_kwargs:
+                self._observer_kwargs.add(id(fn))
         return fn
 
     def remove_observer(self, fn: Callable[[str], None]) -> None:
@@ -138,74 +170,127 @@ class PlanCache:
         with self._lock:
             if fn in self._observers:
                 self._observers.remove(fn)
+                self._observer_kwargs.discard(id(fn))
 
-    def _notify(self, outcome: str) -> None:
+    def _notify(self, outcome: str, **info) -> None:
         with self._lock:
-            observers = list(self._observers)
-        for fn in observers:
-            fn(outcome)
+            observers = [
+                (fn, id(fn) in self._observer_kwargs) for fn in self._observers
+            ]
+        for fn, wants_kwargs in observers:
+            if wants_kwargs:
+                fn(outcome, **info)
+            else:
+                fn(outcome)
 
     def five_step(
-        self, shape, precision: str, device: DeviceSpec
+        self, shape, precision: str, device: DeviceSpec, backend: str = "numpy"
     ) -> FiveStepPlan:
-        """The shared plan for ``(shape, precision, device)``.
+        """The shared plan for ``(shape, precision, device, backend)``.
 
         A miss builds the plan and warms its twiddle tables in the
         process-wide :data:`~repro.fft.twiddle.DEFAULT_CACHE`; a hit
-        recomputes neither.
+        recomputes neither.  ``backend`` is resolved *before* keying
+        (:func:`~repro.core.five_step.resolve_plan_backend`), so
+        ``"auto"`` shares the entry of its concrete resolution while a
+        numba-keyed plan can never collide with a numpy-keyed one.
         """
-        key = (_normalize(shape), precision, device.name)
+        resolved = resolve_plan_backend(shape, backend)
+        key = (_normalize(shape), precision, device.name, resolved)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._hits += 1
+                self._bump_backend(resolved, 0)
                 self._plans.move_to_end(key)
             else:
                 self._misses += 1
+                self._bump_backend(resolved, 1)
         if plan is not None:
-            self._notify("hits")
+            self._notify("hits", backend=resolved)
             return plan
-        self._notify("misses")
+        self._notify("misses", backend=resolved)
         # Build outside the lock (construction touches the twiddle cache,
         # which has its own lock); last writer wins on a racing miss.
-        plan = FiveStepPlan(key[0], precision=precision)
+        plan = FiveStepPlan(key[0], precision=precision, backend=resolved)
         DEFAULT_CACHE.four_step(plan.rz1, plan.rz2, precision)
         DEFAULT_CACHE.four_step(plan.ry1, plan.ry2, precision)
         with self._lock:
             plan = self._plans.setdefault(key, plan)
             self._plans.move_to_end(key)
             evicted = self._evict_over_bound()
-        for _ in range(evicted):
-            self._notify("evictions")
+        for backend_name in evicted:
+            self._notify("evictions", backend=backend_name)
         return plan
 
-    def _evict_over_bound(self) -> int:
-        """Drop LRU entries past ``max_entries``; caller holds the lock."""
-        evicted = 0
+    def _bump_backend(self, backend: str, slot: int) -> None:
+        """Count a hit (slot 0) or miss (slot 1) for one backend; caller
+        holds the lock."""
+        self._by_backend.setdefault(backend, [0, 0])[slot] += 1
+
+    def record_compile(self, backend: str, seconds: float) -> None:
+        """Count one backend kernel compilation and notify observers.
+
+        Called by :meth:`FiveStepPlan.ensure_compiled` after a successful
+        warm-up so profilers surface ``plan_cache.compiles`` alongside
+        the hit/miss feed (with ``backend=``/``seconds=`` detail for
+        keyword-aware observers).
+        """
+        with self._lock:
+            self._compiles += 1
+        self._notify("compiles", backend=backend, seconds=seconds)
+
+    def _evict_over_bound(self) -> list[str]:
+        """Drop LRU entries past ``max_entries``; caller holds the lock.
+
+        Returns the backend of each evicted entry so the caller can
+        notify observers (outside the lock) with attribution.
+        """
+        evicted: list[str] = []
         while self._max_entries is not None and len(self._plans) > self._max_entries:
             stale_key, _ = self._plans.popitem(last=False)
             self._specs.pop(stale_key, None)
             self._evictions += 1
-            evicted += 1
+            evicted.append(stale_key[3])
         return evicted
 
     def step_specs(
-        self, shape, precision: str, device: DeviceSpec
+        self, shape, precision: str, device: DeviceSpec, backend: str = "numpy"
     ) -> list[KernelSpec]:
-        """The plan's five kernel specs, built once per device."""
-        key = (_normalize(shape), precision, device.name)
+        """The plan's five kernel specs, built once per device.
+
+        The specs model the simulated card and are backend-independent,
+        but they are keyed alongside their plan so eviction retires both
+        together.
+        """
+        resolved = resolve_plan_backend(shape, backend)
+        key = (_normalize(shape), precision, device.name, resolved)
         with self._lock:
             specs = self._specs.get(key)
             if specs is not None:
                 return specs
-        specs = self.five_step(shape, precision, device).step_specs(device)
+        specs = self.five_step(shape, precision, device, backend).step_specs(
+            device
+        )
         with self._lock:
             return self._specs.setdefault(key, specs)
 
     @property
     def stats(self) -> PlanCacheStats:
         with self._lock:
-            return PlanCacheStats(self._hits, self._misses, self._evictions)
+            by_backend = tuple(
+                sorted(
+                    (name, counts[0], counts[1])
+                    for name, counts in self._by_backend.items()
+                )
+            )
+            return PlanCacheStats(
+                self._hits,
+                self._misses,
+                self._evictions,
+                self._compiles,
+                by_backend,
+            )
 
     @property
     def max_entries(self) -> int | None:
@@ -220,8 +305,8 @@ class PlanCache:
         with self._lock:
             self._max_entries = max_entries
             evicted = self._evict_over_bound()
-        for _ in range(evicted):
-            self._notify("evictions")
+        for backend_name in evicted:
+            self._notify("evictions", backend=backend_name)
 
     def __len__(self) -> int:
         with self._lock:
@@ -235,6 +320,8 @@ class PlanCache:
             self._hits = 0
             self._misses = 0
             self._evictions = 0
+            self._compiles = 0
+            self._by_backend.clear()
 
 
 #: The process-wide cache every GPU plan consults.

@@ -113,17 +113,34 @@ class Workspace:
         Contents are unspecified (the buffer is *not* zeroed); callers
         must fully overwrite it.  Pass the buffer — or any view of it —
         to :meth:`release` when done.
+
+        The contiguity/dtype contract is *guaranteed*, not assumed: the
+        compiled backends flat-view every buffer as raw floats
+        (``reshape(-1).view(float)``), which silently computes garbage on
+        a strided or wrong-dtype array, so a pooled pop that somehow
+        violates the contract is discarded and replaced by a fresh
+        allocation rather than handed out.
         """
         key = self._key(shape, dtype)
+        want = np.dtype(dtype)
         with self._lock:
             stack = self._free.get(key)
-            if stack:
-                buf = stack.pop()
+            buf = stack.pop() if stack else None
+            if buf is not None and not (
+                buf.flags.c_contiguous
+                and buf.dtype == want
+                and buf.shape == key[0]
+            ):
+                # Contract violation (should be unreachable via the
+                # public API): drop the tainted buffer, allocate fresh.
+                self._bytes -= buf.nbytes
+                buf = None
+            if buf is not None:
                 self._hits += 1
                 if self._hit_ctr is not None:
                     self._hit_ctr.inc()
             else:
-                buf = np.empty(key[0], dtype=np.dtype(dtype))
+                buf = np.empty(key[0], dtype=want)
                 self._misses += 1
                 self._bytes += buf.nbytes
                 if self._miss_ctr is not None:
@@ -131,6 +148,7 @@ class Workspace:
                 if self._bytes_gauge is not None:
                     self._bytes_gauge.set(float(self._bytes))
             self._live[id(buf)] = key
+        assert buf.flags.c_contiguous and buf.dtype == want
         return buf
 
     def release(self, arr: np.ndarray | None) -> None:

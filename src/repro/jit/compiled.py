@@ -1,0 +1,172 @@
+"""Compiled five-step execution: table bundles + the five-call sequence.
+
+A :class:`CompiledFiveStep` is the compiled counterpart of one
+:class:`~repro.core.five_step.FiveStepPlan`: it holds the float-viewed
+twiddle tables (taken from the same
+:data:`~repro.fft.twiddle.DEFAULT_CACHE` the NumPy reference reads, so
+both paths consume identical constants) and drives the emitted kernels
+through the exact pipeline the reference executes:
+
+    1. ``mr_a[rz2]``  state (a,b,c,d,nx) -> (b,c,d,a,nx), wz fused
+    2. ``mr_b[rz1]``  -> (c,d,b,a,nx)
+    3. ``mr_a[ry2]``  -> (d,b,a,c,nx), wy fused
+    4. ``mr_b[ry1]``  -> (b,a,d,c,nx)
+    5. ``s5[nx]``     in place along the contiguous lines
+
+with one ping-pong work buffer: x -> work -> out -> work -> out -> out.
+``out`` may alias ``x`` (the batched engine transforms device buffers in
+place): step 1 is the only reader of ``x`` and step 2 is the first
+writer of ``out``.  Instances are stateless between calls — all scratch
+is caller-provided or per-call — so one compiled plan is safely shared
+across server workers, exactly like the plan it accelerates.
+
+Inverse transforms pass ``sgn=-1``: every load and store flips the
+imaginary sign, which together with the *forward* twiddle tables is
+bit-equivalent to the reference's ``conj(F(conj(x)))`` sandwich with
+conjugated tables (conjugation distributes exactly over the kernels'
+sums, products and FMAs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fft.twiddle import DEFAULT_CACHE, TwiddleCache
+from repro.jit import emit
+
+__all__ = ["supports_shape", "CompiledFiveStep"]
+
+
+def supports_shape(rz1: int, rz2: int, ry1: int, ry2: int, nx: int) -> bool:
+    """True when emitted kernels cover this plan geometry.
+
+    The four axis-split radices must each have a straight-line codelet
+    and the X extent an emitted step-5 kernel; anything else (512-point
+    axes from out-of-core slabs, exotic splits) stays on the NumPy path.
+    """
+    return (
+        all(r in emit.CODELET_RADICES for r in (rz1, rz2, ry1, ry2))
+        and nx in emit.STEP5_SIZES
+    )
+
+
+def _fview(arr: np.ndarray, rdt) -> np.ndarray:
+    return np.ascontiguousarray(arr).view(rdt).reshape(-1)
+
+
+class CompiledFiveStep:
+    """One plan's compiled kernels + tables, ready to execute.
+
+    Parameters
+    ----------
+    shape, precision:
+        The plan geometry (must satisfy :func:`supports_shape` after
+        axis splitting).
+    rz1, rz2, ry1, ry2:
+        The plan's axis-split radices (from
+        :func:`repro.core.five_step.split_axis`).
+    kernels:
+        ``{"multirow_a": {radix: fn}, "multirow_b": ..., "step5": ...}``
+        — either the ctypes entry points of
+        :class:`repro.jit.cc.CJitLibrary` or (numba-jitted or plain)
+        functions from :mod:`repro.jit.loops`.
+    needs_scratch:
+        True for the Python/numba kernels, whose step-5 takes an
+        explicit accumulator line (the C kernels use a stack local).
+    twiddles:
+        Table source; defaults to the process-wide cache.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int],
+        precision: str,
+        rz1: int,
+        rz2: int,
+        ry1: int,
+        ry2: int,
+        kernels: dict,
+        needs_scratch: bool,
+        twiddles: TwiddleCache | None = None,
+    ):
+        if not supports_shape(rz1, rz2, ry1, ry2, shape[2]):
+            raise ValueError(f"no compiled kernels for shape {shape}")
+        cache = twiddles or DEFAULT_CACHE
+        self.shape = shape
+        self.precision = precision
+        self._radices = (rz2, rz1, ry2, ry1)  # (a, b, c, d)
+        self._nx = shape[2]
+        cdt = np.dtype(np.complex64 if precision == "single" else np.complex128)
+        self._cdtype = cdt
+        self._rdtype = np.dtype(np.float32 if precision == "single" else np.float64)
+        rdt = self._rdtype
+        self._kernels = kernels
+        self._needs_scratch = needs_scratch
+        # Forward tables only — sgn handles the inverse (module docstring).
+        self._wz = _fview(cache.four_step(rz1, rz2, precision), rdt)
+        self._wy = _fview(cache.four_step(ry1, ry2, precision), rdt)
+        r1, r2 = emit.step5_split(self._nx)
+        if r2 == 1:
+            self._w5 = np.zeros(2, rdt)  # unused by the direct-16 kernel
+        else:
+            self._w5 = _fview(cache.four_step_cast(r1, r2, cdt), rdt)
+        self._ctab = _fview(
+            np.concatenate([cache.codelet8(cdt), cache.half(16, cdt)]), rdt
+        )
+        self._sgn = {False: rdt.type(1.0), True: rdt.type(-1.0)}
+
+    def warm(self) -> None:
+        """Force kernel specialization with minimal dummy calls.
+
+        Numba compiles per dtype signature on first call; warming here
+        moves that cost into the plan's observable ``jit.compile`` span
+        instead of its first transform.  Cheap no-op for ctypes kernels.
+        """
+        rdt = self._rdtype
+        one = rdt.type(1.0)
+        ctab = self._ctab
+        for r in sorted(set(self._radices)):
+            buf = np.zeros(2 * r * 16, rdt)
+            out = np.zeros(2 * r * 16, rdt)
+            w = np.zeros(2 * r, rdt)
+            self._kernels["multirow_a"][r](buf, out, w, ctab, 1, 1, 1, 16, one)
+            self._kernels["multirow_b"][r](buf, out, ctab, 1, 1, 1, 16, one)
+        line = np.zeros(2 * self._nx, rdt)
+        s5 = self._kernels["step5"][self._nx]
+        if self._needs_scratch:
+            s5(line, self._w5, ctab, np.empty(2 * self._nx, rdt), 1, one)
+        else:
+            s5(line, self._w5, ctab, 1, one)
+
+    def run(
+        self,
+        x: np.ndarray,
+        out: np.ndarray,
+        work: np.ndarray,
+        inverse: bool = False,
+    ) -> None:
+        """Transform C-contiguous ``x`` into ``out`` (may alias ``x``).
+
+        ``work`` is a caller-owned scratch array of the plan's shape and
+        dtype (from the plan's workspace arena on the pooled path); its
+        contents are clobbered.
+        """
+        rdt = self._rdtype
+        a, b, c, d = self._radices
+        nx = self._nx
+        sgn = self._sgn[bool(inverse)]
+        xf = x.reshape(-1).view(rdt)
+        wf = work.reshape(-1).view(rdt)
+        of = out.reshape(-1).view(rdt)
+        mr_a = self._kernels["multirow_a"]
+        mr_b = self._kernels["multirow_b"]
+        s5 = self._kernels["step5"][nx]
+        mr_a[a](xf, wf, self._wz, self._ctab, b, c, d, nx, sgn)
+        mr_b[b](wf, of, self._ctab, c, d, a, nx, sgn)
+        mr_a[c](of, wf, self._wy, self._ctab, d, b, a, nx, sgn)
+        mr_b[d](wf, of, self._ctab, b, a, c, nx, sgn)
+        if self._needs_scratch:
+            acc = np.empty(2 * nx, rdt)
+            s5(of, self._w5, self._ctab, acc, a * b * c * d, sgn)
+        else:
+            s5(of, self._w5, self._ctab, a * b * c * d, sgn)

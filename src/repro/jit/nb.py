@@ -1,0 +1,60 @@
+"""Numba binding for the generated loop kernels.
+
+When :mod:`numba` is importable, the generated kernels in
+:mod:`repro.jit.loops` are wrapped with ``@njit(cache=True, nogil=True)``:
+
+- ``cache=True`` persists the compiled machine code next to the source,
+  so warm-up is paid once per machine rather than once per process;
+- ``nogil=True`` releases the GIL for the duration of every kernel call,
+  which is what turns ``FFTServer(n_workers>1)`` dispatch overlap into
+  real parallel compute.
+
+The import of numba itself is deferred to first use: merely resolving
+backends must stay cheap and must work on machines without numba (where
+:func:`available` is False and the registry falls back to NumPy).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import threading
+
+__all__ = ["available", "kernels"]
+
+_lock = threading.Lock()
+_kernels: dict | None = None
+
+
+def available() -> bool:
+    """True when the numba package is importable (no import performed)."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def kernels() -> dict:
+    """The jitted kernel tables (compiled lazily, memoized process-wide).
+
+    Returns the same ``{"multirow_a": {radix: fn}, ...}`` structure as
+    :meth:`repro.jit.cc.CJitLibrary.kernels` but with dtype-generic
+    functions (numba specializes per signature on first call).
+    """
+    global _kernels
+    with _lock:
+        if _kernels is not None:
+            return _kernels
+    import numba
+
+    from repro.jit import loops
+
+    njit = numba.njit(cache=True, nogil=True)
+    jitted = {
+        "multirow_a": {r: njit(fn) for r, fn in loops.MULTIROW_A.items()},
+        "multirow_b": {r: njit(fn) for r, fn in loops.MULTIROW_B.items()},
+        "step5": {n: njit(fn) for n, fn in loops.STEP5.items()},
+    }
+    with _lock:
+        if _kernels is None:
+            _kernels = jitted
+    return _kernels

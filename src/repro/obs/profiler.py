@@ -101,7 +101,9 @@ class Profiler:
     # Feeds
     # ------------------------------------------------------------------
 
-    def _on_cache_event(self, outcome: str) -> None:
+    def _on_cache_event(
+        self, outcome: str, backend: str | None = None, seconds: float | None = None
+    ) -> None:
         # Observers run on the requesting thread, so the cache's
         # thread-local scope (set per cluster node around submits and
         # dispatch) attributes the event; single-process runs see the
@@ -112,6 +114,20 @@ class Profiler:
             self.metrics.counter(
                 f"plan_cache.{outcome}", "requests", {"node": scope}
             ).inc()
+        # Compiled-backend traffic gets an additional labeled stream
+        # (kind=jit, backend=...), keeping the unlabeled feed identical
+        # to numpy-only runs.  Compile events also accumulate their
+        # warm-up wall time so the cost of JIT is visible, not implied.
+        if backend is not None and backend != "numpy":
+            self.metrics.counter(
+                f"plan_cache.{outcome}",
+                "requests",
+                {"kind": "jit", "backend": backend},
+            ).inc()
+            if outcome == "compiles" and seconds is not None:
+                self.metrics.counter(
+                    "jit.compile.seconds", "s", {"backend": backend}
+                ).inc(seconds)
 
     def _on_twiddle_event(self, outcome: str, key: tuple) -> None:
         # Twiddle tables are plan-derived constants, so their hit/miss

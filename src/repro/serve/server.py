@@ -191,6 +191,12 @@ class FFTServer:
     clock:
         Wall-clock source for the coalescing window (injectable for
         tests).
+    backend:
+        Compute backend forwarded to every engine (``"numpy"`` default,
+        ``"numba"``/``"cjit"``/``"auto"`` — :mod:`repro.jit`).  The
+        numba and cjit kernels release the GIL, so with ``n_workers > 1``
+        the per-worker compute permits become real parallel compute
+        instead of interleaved interpretation.
     """
 
     def __init__(
@@ -213,8 +219,10 @@ class FFTServer:
         name: str = "serve",
         max_resident_plans: int = 8,
         clock: Callable[[], float] = time.monotonic,
+        backend: str = "numpy",
     ):
         self.device = device
+        self.backend = backend
         if n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.n_workers = n_workers
@@ -624,6 +632,7 @@ class FFTServer:
                         pooling=self.pooling,
                         raise_on_device_loss=raise_loss,
                         name=f"{self._name}-{key.slug}-solo{suffix}",
+                        backend=self.backend,
                     )
                 return plan
             engine = self._engines.get(ekey)
@@ -641,6 +650,7 @@ class FFTServer:
                     pooling=self.pooling,
                     raise_on_device_loss=raise_loss,
                     name=f"{self._name}-{key.slug}{suffix}",
+                    backend=self.backend,
                 )
             return engine
 

@@ -164,3 +164,98 @@ class TestApiIntegration:
                 out = plan.forward(x)
             err = np.abs(out - ref).max() / np.abs(ref).max()
             assert err < 1e-5
+
+
+class TestBackendKeying:
+    """Backend-aware keys: jit and numpy plans must never collide."""
+
+    def test_numpy_and_jit_keys_never_collide(self, cache):
+        """The satellite regression: same geometry, different backend,
+        two distinct cache entries — a jit-keyed plan can never be
+        handed to a numpy caller or vice versa."""
+        from repro import jit
+
+        a = cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        b = cache.five_step(
+            (32, 32, 32), "single", GEFORCE_8800_GTX, backend="auto"
+        )
+        resolved = jit.resolve_backend("auto")
+        if resolved == "numpy":
+            # No compiled backend on this machine: "auto" resolves to
+            # numpy *before* keying, so the entries must be shared.
+            assert a is b
+            assert len(cache) == 1
+        else:
+            assert a is not b
+            assert b.backend == resolved
+            assert len(cache) == 2
+
+    def test_auto_shares_entry_with_concrete_resolution(self, cache):
+        from repro import jit
+
+        resolved = jit.resolve_backend("auto")
+        a = cache.five_step(
+            (32, 32, 32), "single", GEFORCE_8800_GTX, backend="auto"
+        )
+        b = cache.five_step(
+            (32, 32, 32), "single", GEFORCE_8800_GTX, backend=resolved
+        )
+        assert a is b
+        assert len(cache) == 1
+
+    def test_unsupported_shape_keys_as_numpy(self, cache):
+        """A geometry with no emitted kernels resolves to numpy even when
+        a compiled backend was requested, sharing the numpy entry."""
+        a = cache.five_step((512, 512, 512), "single", GEFORCE_8800_GTX)
+        b = cache.five_step(
+            (512, 512, 512), "single", GEFORCE_8800_GTX, backend="auto"
+        )
+        assert a is b
+        assert b.backend == "numpy"
+
+    def test_stats_labeled_by_backend(self, cache):
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        s = cache.stats
+        assert s.backend("numpy") == (1, 1)
+        assert s.backend("numba") == (0, 0)
+
+    def test_step_specs_keyed_by_backend(self, cache):
+        from repro import jit
+
+        a = cache.step_specs((32, 32, 32), "single", GEFORCE_8800_GTX)
+        b = cache.step_specs(
+            (32, 32, 32), "single", GEFORCE_8800_GTX, backend="auto"
+        )
+        if jit.resolve_backend("auto") == "numpy":
+            assert a is b
+        else:
+            assert a is not b
+        assert len(a) == len(b) == 5
+
+    def test_record_compile_counts_and_notifies(self, cache):
+        events = []
+
+        def observer(outcome, backend=None, seconds=None):
+            events.append((outcome, backend, seconds))
+
+        cache.add_observer(observer)
+        cache.record_compile("cjit", 0.25)
+        assert cache.stats.compiles == 1
+        assert ("compiles", "cjit", 0.25) in events
+
+    def test_legacy_single_arg_observers_still_work(self, cache):
+        outcomes = []
+        cache.add_observer(outcomes.append)
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.record_compile("cjit", 0.1)
+        assert outcomes == ["misses", "hits", "compiles"]
+
+    def test_clear_resets_backend_counters(self, cache):
+        cache.five_step((32, 32, 32), "single", GEFORCE_8800_GTX)
+        cache.record_compile("cjit", 0.1)
+        cache.clear()
+        s = cache.stats
+        assert s.compiles == 0
+        assert s.by_backend == ()

@@ -137,3 +137,38 @@ class TestPoolingKnob:
             plan.execute(x, out=np.empty((16, 16, 32), np.complex64)[:, :, ::2])
         with pytest.raises(ValueError):
             plan.execute(x, out=np.empty((8, 8, 8), np.complex64))
+
+
+class TestAcquireContract:
+    """Every acquire returns a C-contiguous, dtype-exact, shape-exact
+    buffer — the invariant the flat-viewing compiled backends rely on."""
+
+    def test_fresh_and_pooled_buffers_honor_contract(self):
+        ws = Workspace()
+        for _ in range(2):  # miss round, then pooled round
+            bufs = [ws.acquire((8, 4, 16), np.complex64) for _ in range(3)]
+            for buf in bufs:
+                assert buf.flags.c_contiguous
+                assert buf.dtype == np.dtype(np.complex64)
+                assert buf.shape == (8, 4, 16)
+            for buf in bufs:
+                ws.release(buf)
+
+    def test_tainted_pool_entry_is_discarded(self):
+        """A contract-violating buffer smuggled into the free list is
+        replaced by a fresh allocation, never handed out."""
+        ws = Workspace()
+        buf = ws.acquire((4, 4, 4), np.complex64)
+        ws.release(buf)
+        key = next(iter(ws._free))
+        ws._free[key] = [np.empty((4, 4, 8), np.complex64)[:, :, ::2]]
+        again = ws.acquire((4, 4, 4), np.complex64)
+        assert again.flags.c_contiguous
+        assert again.shape == (4, 4, 4)
+        assert ws.stats.misses == 2  # the tainted entry did not count as a hit
+
+    def test_dtype_is_exact_not_equivalent(self):
+        ws = Workspace()
+        buf = ws.acquire((4, 4, 4), "complex64")
+        assert buf.dtype == np.dtype(np.complex64)
+        assert buf.dtype.str == np.dtype("complex64").str

@@ -1,0 +1,1 @@
+"""Tests for the optional JIT backends (:mod:`repro.jit`)."""

@@ -1,0 +1,54 @@
+"""The generated kernel module is a build artifact kept in sync by test.
+
+:mod:`repro.jit.loops` is emitted by ``python -m repro.jit.emit`` and
+committed (so the package imports with zero build steps); this file
+pins the artifact to its generator — any drift between the two fails
+here with the regeneration command in the message.
+"""
+
+from pathlib import Path
+
+from repro.jit import emit, loops
+
+
+class TestGeneratedModule:
+    def test_loops_module_matches_emitter(self):
+        current = Path(loops.__file__).read_text()
+        expected = emit.python_module()
+        assert current == expected, (
+            "repro/jit/loops.py is stale — regenerate with "
+            "`python -m repro.jit.emit`"
+        )
+
+    def test_kernel_tables_are_complete(self):
+        assert set(loops.MULTIROW_A) == set(emit.CODELET_RADICES)
+        assert set(loops.MULTIROW_B) == set(emit.CODELET_RADICES)
+        assert set(loops.STEP5) == set(emit.STEP5_SIZES)
+
+    def test_kernel_names_enumerate_every_kernel(self):
+        expected = (
+            len(emit.CODELET_RADICES) * 2 + len(emit.STEP5_SIZES)
+        )
+        assert len(loops.KERNEL_NAMES) == expected
+        for name in loops.KERNEL_NAMES:
+            assert hasattr(loops, name)
+
+    def test_every_kernel_has_a_docstring(self):
+        for name in loops.KERNEL_NAMES:
+            assert getattr(loops, name).__doc__
+
+    def test_c_module_exports_every_symbol(self):
+        source = emit.c_module("naive", "naive")
+        for radix in emit.CODELET_RADICES:
+            for suffix in ("f", "d"):
+                assert f"mr_a_{radix}_{suffix}" in source
+                assert f"mr_b_{radix}_{suffix}" in source
+        for nx in emit.STEP5_SIZES:
+            for suffix in ("f", "d"):
+                assert f"s5_{nx}_{suffix}" in source
+
+    def test_c_module_cmul_modes_differ(self):
+        naive = emit.c_module("naive", "naive")
+        fma = emit.c_module("fma", "fma")
+        assert naive != fma
+        assert "fmaf" in fma and "fmaf" not in naive

@@ -264,3 +264,124 @@ class TestPoolingIsPureOptimization:
         pooled = run(4)
         for a, b in zip(serial, pooled):
             assert np.array_equal(a, b)
+
+
+def _jit_backend() -> str | None:
+    """The concrete compiled backend for this machine, or None."""
+    from repro import jit
+
+    resolved = jit.resolve_backend("auto")
+    return None if resolved == "numpy" else resolved
+
+
+def _assert_jit_equivalent(jitted: np.ndarray, ref: np.ndarray) -> None:
+    """Bit-identical for cjit (FMA-probed emission); ulp-bounded for the
+    naive-cmul numba kernels (documented bound: 4 ulp, DESIGN.md §18)."""
+    from tests.jit.test_kernels import ULP_BOUND, ulp_distance
+
+    if _jit_backend() == "numba":
+        assert ulp_distance(jitted, ref) <= ULP_BOUND
+    else:
+        rdt = np.float32 if ref.dtype == np.complex64 else np.float64
+        assert np.array_equal(jitted.view(rdt), ref.view(rdt))
+
+
+@pytest.mark.skipif(
+    _jit_backend() is None, reason="no compiled backend on this machine"
+)
+@pytest.mark.parametrize("case", CASES, ids=lambda c: c.id)
+class TestJitIsPureOptimization:
+    """JIT backend on vs off: same spectra on every execution path.
+
+    The compiled hot path must be an *optimization* only — cjit matches
+    the NumPy reference bit-for-bit (its complex multiply is probed
+    against the hardware), numba within the documented 4-ulp bound —
+    across the single-plan, batched, pooled, and faulted paths.
+    """
+
+    def test_single_plan_forward_and_inverse(self, case):
+        x = _signal(case)
+
+        def run(backend):
+            with GpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                backend=backend,
+            ) as plan:
+                fwd = plan.forward(x)
+                return fwd, plan.inverse(fwd)
+
+        f0, i0 = run("numpy")
+        f1, i1 = run("auto")
+        _assert_jit_equivalent(f1, f0)
+        _assert_jit_equivalent(i1, i0)
+
+    def test_batched_pipeline(self, case):
+        xs = _signal(case, batched=True)
+
+        def run(backend):
+            with BatchedGpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                n_streams=2,
+                backend=backend,
+            ) as plan:
+                return plan.forward(xs)
+
+        _assert_jit_equivalent(run("auto"), run("numpy"))
+
+    def test_unpooled_path(self, case):
+        x = _signal(case)
+
+        def run(backend):
+            with GpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                pooling=False,
+                backend=backend,
+            ) as plan:
+                return plan.forward(x)
+
+        _assert_jit_equivalent(run("auto"), run("numpy"))
+
+    def test_faulted_run(self, case):
+        x = _signal(case)
+
+        def run(backend):
+            with GpuFFT3D(
+                case.shape,
+                precision=case.precision,
+                norm=case.norm,
+                fault_injector=_injector(case),
+                backend=backend,
+            ) as plan:
+                return plan.forward(x)
+
+        _assert_jit_equivalent(run("auto"), run("numpy"))
+
+    def test_parallel_serve(self, case):
+        from repro.serve.request import FFTRequest
+        from repro.serve.server import FFTServer
+
+        xs = _signal(case, batched=True)
+
+        def run(backend, n_workers):
+            with FFTServer(
+                start=False, n_workers=n_workers, backend=backend
+            ) as srv:
+                futs = [
+                    srv.submit(
+                        FFTRequest(
+                            x=x, precision=case.precision, norm=case.norm
+                        )
+                    )
+                    for x in xs
+                ]
+                srv.run_pending()
+                return [f.result(timeout=30) for f in futs]
+
+        for ref, jit_out in zip(run("numpy", 1), run("auto", 4)):
+            _assert_jit_equivalent(jit_out, ref)
